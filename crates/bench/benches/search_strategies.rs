@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the search strategies: executions per second
+//! and cost per explored execution for ICB against the baselines, on the
+//! paper's two smallest benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use icb_core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy};
+use icb_workloads::bluetooth::{bluetooth_model, BluetoothVariant};
+use icb_workloads::wsq::{wsq_model, WsqVariant};
+
+fn strategy_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_throughput_wsq");
+    group.sample_size(10);
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    let budget = 500;
+    let config = SearchConfig::with_max_executions(budget);
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(IcbSearch::new(config.clone())),
+        Box::new(DfsSearch::new(config.clone())),
+        Box::new(DfsSearch::with_depth_bound(config.clone(), 20)),
+        Box::new(RandomSearch::new(config.clone(), 7)),
+    ];
+    for strategy in &strategies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            strategy,
+            |b, s| b.iter(|| s.search(&model)),
+        );
+    }
+    group.finish();
+}
+
+fn icb_bug_hunt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bug_hunt_bluetooth_vm");
+    group.sample_size(10);
+    let model = bluetooth_model(BluetoothVariant::Buggy, 2);
+    group.bench_function("icb_find_minimal_bug", |b| {
+        b.iter(|| {
+            IcbSearch::find_minimal_bug(&model, 100_000).expect("bug exists");
+        })
+    });
+    group.bench_function("dfs_find_any_bug", |b| {
+        b.iter(|| {
+            let report = DfsSearch::new(SearchConfig {
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run(&model);
+            assert!(!report.bugs.is_empty());
+        })
+    });
+    group.finish();
+}
+
+fn icb_exhaustive_by_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icb_exhaust_wsq_by_bound");
+    group.sample_size(10);
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    for bound in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+            b.iter(|| IcbSearch::up_to_bound(bound).run(&model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    strategy_throughput,
+    icb_bug_hunt,
+    icb_exhaustive_by_bound
+);
+criterion_main!(benches);

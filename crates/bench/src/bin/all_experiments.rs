@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper, in order.
+fn main() {
+    icb_bench::experiments::all();
+}

@@ -1,0 +1,188 @@
+//! `explore` — the command-line front door to the checkers.
+//!
+//! ```text
+//! explore list
+//! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]
+//!             [--bound N] [--budget N] [--shrink]
+//! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
+//! explore disasm <benchmark>
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin explore -- list
+//! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --bug check-then-increment
+//! cargo run --release -p icb-bench --bin explore -- run "Work Stealing Q." --strategy random --budget 5000
+//! cargo run --release -p icb-bench --bin explore -- disasm "Transaction Manager"
+//! ```
+
+use std::process::ExitCode;
+
+use icb_core::search::{
+    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy,
+};
+use icb_core::{render, shrink, ControlledProgram, NullSink, ReplayScheduler, Schedule};
+use icb_workloads::registry::{all_benchmarks, AnyProgram, BenchmarkInfo};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  explore list");
+            eprintln!(
+                "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]"
+            );
+            eprintln!("              [--bound N] [--budget N] [--shrink]");
+            eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
+            eprintln!("  explore disasm <benchmark>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        other => Err(match other {
+            Some(cmd) => format!("unknown command `{cmd}`"),
+            None => "missing command".to_string(),
+        }),
+    }
+}
+
+fn list() {
+    for bench in all_benchmarks() {
+        println!("{} ({} threads)", bench.name, bench.paper_threads);
+        for bug in &bench.bugs {
+            println!("    --bug \"{}\" (expected bound {})", bug.name, bug.expected_bound);
+        }
+    }
+}
+
+fn find_benchmark(name: &str) -> Result<BenchmarkInfo, String> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `explore list`)"))
+}
+
+fn build_program(bench: &BenchmarkInfo, bug: Option<&str>) -> Result<AnyProgram, String> {
+    match bug {
+        None => Ok((bench.correct)()),
+        Some(name) => bench
+            .bugs
+            .iter()
+            .find(|b| b.name.eq_ignore_ascii_case(name))
+            .map(|b| (b.build)())
+            .ok_or_else(|| format!("unknown bug `{name}` for {}", bench.name)),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    let bench = find_benchmark(name)?;
+    let program = build_program(&bench, flag_value(args, "--bug"))?;
+
+    let budget: usize = match flag_value(args, "--budget") {
+        Some(v) => v.parse().map_err(|_| "invalid --budget")?,
+        None => 200_000,
+    };
+    let bound: Option<usize> = match flag_value(args, "--bound") {
+        Some(v) => Some(v.parse().map_err(|_| "invalid --bound")?),
+        None => None,
+    };
+    let config = SearchConfig {
+        max_executions: Some(budget),
+        preemption_bound: bound,
+        stop_on_first_bug: true,
+        ..SearchConfig::default()
+    };
+    let strategy: Box<dyn SearchStrategy> = match flag_value(args, "--strategy").unwrap_or("icb") {
+        "icb" => Box::new(IcbSearch::new(config)),
+        "dfs" => Box::new(DfsSearch::new(config)),
+        "random" => Box::new(RandomSearch::new(config, 0x1cb)),
+        "best-first" => Box::new(BestFirstSearch::new(config)),
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+
+    println!("exploring {} with {}…", bench.name, strategy.name());
+    let report = strategy.search(&program);
+    println!("{report}");
+    if let Some(bug) = report.first_bug() {
+        println!();
+        println!("witness: {}", bug.schedule);
+        let schedule = if args.iter().any(|a| a == "--shrink") {
+            let shrunk = shrink::minimize_witness(&program, &bug.schedule);
+            println!(
+                "shrunk to {} forced choice(s) in {} replays: {}",
+                shrunk.schedule.len(),
+                shrunk.replays,
+                shrunk.schedule
+            );
+            bug.schedule.clone()
+        } else {
+            bug.schedule.clone()
+        };
+        let mut replay = ReplayScheduler::new(schedule);
+        let result = program.execute(&mut replay, &mut NullSink);
+        println!();
+        println!("{}", render::lanes(&result.trace));
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    let bench = find_benchmark(name)?;
+    let program = build_program(&bench, flag_value(args, "--bug"))?;
+    let schedule: Schedule = flag_value(args, "--schedule")
+        .ok_or("missing --schedule")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let mut replay = ReplayScheduler::new(schedule);
+    let result = program.execute(&mut replay, &mut NullSink);
+    println!("outcome: {}", result.outcome);
+    println!(
+        "steps: {}, preemptions: {}",
+        result.stats.steps, result.stats.preemptions
+    );
+    println!();
+    println!("{}", render::lanes(&result.trace));
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    let bench = find_benchmark(name)?;
+    let model = bench
+        .vm_model
+        .ok_or_else(|| format!("{} has no VM model", bench.name))?();
+    let stats = model.stats();
+    println!(
+        "; {} threads, {} shared / {} blocking / {} local instructions",
+        stats.threads,
+        stats.shared_instructions,
+        stats.blocking_instructions,
+        stats.local_instructions
+    );
+    println!("{}", model.disasm());
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6. See `icb_bench::experiments`.
+fn main() {
+    icb_bench::experiments::fig6();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2. See `icb_bench::experiments`.
+fn main() {
+    icb_bench::experiments::table2();
+}

@@ -1,0 +1,181 @@
+//! The combinatorial bounds of Section 2 (Theorem 1).
+//!
+//! For a terminating program `P` with `n` threads, each executing at most
+//! `k` steps of which at most `b` are potentially blocking, the paper
+//! proves:
+//!
+//! * the *total* number of executions may be as large as
+//!   `(n·k)! / (k!)^n ≤ (n!)^k` — exponential in both `n` and `k`;
+//! * the number of executions with at most `c` preemptions is at most
+//!   `C(n·k, c) · (n·b + c)!` — **polynomial in `k`** for fixed `c`.
+//!
+//! These functions compute the bounds exactly in `u128` where possible and
+//! in log-space (`f64` natural logarithms) always, so the benchmark
+//! harness can display both the measured execution counts and the
+//! theoretical ceilings without overflow.
+
+/// Exact binomial coefficient `C(n, r)` in `u128`, or `None` on overflow.
+pub fn binomial(n: u64, r: u64) -> Option<u128> {
+    if r > n {
+        return Some(0);
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// Exact factorial `n!` in `u128`, or `None` on overflow (n ≥ 35).
+pub fn factorial(n: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for i in 2..=n {
+        acc = acc.checked_mul(u128::from(i))?;
+    }
+    Some(acc)
+}
+
+/// `ln C(n, r)` via the log-gamma function.
+pub fn ln_binomial(n: u64, r: u64) -> f64 {
+    if r > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(r) - ln_factorial(n - r)
+}
+
+/// `ln n!` (Stirling's series for large `n`, exact summation below 32).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 32 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        return acc;
+    }
+    let x = n as f64;
+    // Stirling with the first correction terms; plenty accurate for
+    // display purposes (relative error < 1e-9 at n = 32).
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Theorem 1's upper bound on the number of executions with exactly `c`
+/// preemptions: `C(n·k, c) · (n·b + c)!`, exact in `u128`.
+///
+/// Returns `None` if the value overflows `u128`; use
+/// [`ln_executions_with_preemptions`] in that case.
+pub fn executions_with_preemptions(n: u64, k: u64, b: u64, c: u64) -> Option<u128> {
+    let choose = binomial(n.checked_mul(k)?, c)?;
+    let contexts = factorial(n.checked_mul(b)?.checked_add(c)?)?;
+    choose.checked_mul(contexts)
+}
+
+/// Natural log of Theorem 1's bound, never overflows.
+pub fn ln_executions_with_preemptions(n: u64, k: u64, b: u64, c: u64) -> f64 {
+    ln_binomial(n * k, c) + ln_factorial(n * b + c)
+}
+
+/// The paper's simplified bound `(n²·k·b)^c · (n·b)!` (valid when `c` is
+/// much smaller than `k` and `n·b`), in log-space.
+pub fn ln_simplified_bound(n: u64, k: u64, b: u64, c: u64) -> f64 {
+    let base = (n as f64).powi(2) * k as f64 * b as f64;
+    c as f64 * base.ln() + ln_factorial(n * b)
+}
+
+/// Upper bound on the *total* number of executions, `(n·k)! / (k!)^n`,
+/// in log-space (this is the quantity that explodes exponentially in `k`
+/// and motivates context bounding).
+pub fn ln_total_executions(n: u64, k: u64) -> f64 {
+    ln_factorial(n * k) - n as f64 * ln_factorial(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials() {
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 0), Some(1));
+        assert_eq!(binomial(10, 10), Some(1));
+        assert_eq!(binomial(3, 5), Some(0));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn small_factorials() {
+        assert_eq!(factorial(0), Some(1));
+        assert_eq!(factorial(5), Some(120));
+        assert_eq!(factorial(20), Some(2_432_902_008_176_640_000));
+        assert!(factorial(40).is_none());
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact() {
+        for n in [0u64, 1, 5, 20, 30, 34] {
+            let exact = (factorial(n).unwrap() as f64).ln();
+            assert!(
+                (ln_factorial(n) - exact).abs() < 1e-6 * exact.abs().max(1.0),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_region_is_monotone_and_close() {
+        // Compare Stirling (n >= 32) against summation at a crossover point.
+        let mut acc = 0.0;
+        for i in 2..=40u64 {
+            acc += (i as f64).ln();
+        }
+        assert!((ln_factorial(40) - acc).abs() < 1e-8 * acc);
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        let exact = (binomial(52, 5).unwrap() as f64).ln();
+        assert!((ln_binomial(52, 5) - exact).abs() < 1e-9 * exact);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn theorem1_bound_zero_preemptions() {
+        // With c = 0 the bound is (n·b)!: executions differ only in the
+        // order of the n·b blocking contexts.
+        assert_eq!(executions_with_preemptions(2, 10, 1, 0), Some(2));
+        assert_eq!(executions_with_preemptions(3, 10, 1, 0), Some(6));
+    }
+
+    #[test]
+    fn theorem1_bound_grows_polynomially_in_k() {
+        // For fixed n, b, c the bound over k must be polynomial: doubling
+        // k multiplies the bound by at most 2^c (times lower-order terms).
+        let c = 2;
+        let b1 = ln_executions_with_preemptions(2, 100, 1, c);
+        let b2 = ln_executions_with_preemptions(2, 200, 1, c);
+        // ratio ≈ (200/100)^c = 4; allow slack.
+        let ratio = (b2 - b1).exp();
+        assert!(ratio < 5.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn total_executions_exponential_in_k() {
+        // ln total should grow linearly in k (i.e. the count grows
+        // exponentially), while the c-bounded count grows logarithmically.
+        let t1 = ln_total_executions(2, 10);
+        let t2 = ln_total_executions(2, 20);
+        assert!(t2 > 1.8 * t1);
+    }
+
+    #[test]
+    fn simplified_bound_dominates_for_small_c() {
+        // (n²kb)^c (nb)! ≥ C(nk,c)(nb+c)! roughly, for c ≪ k, nb… the
+        // paper presents it as an approximation; check same order of
+        // magnitude (within a factor e^3).
+        let a = ln_executions_with_preemptions(4, 1000, 5, 2);
+        let s = ln_simplified_bound(4, 1000, 5, 2);
+        assert!((a - s).abs() < 3.0, "a = {a}, s = {s}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Human-readable rendering of traces: per-thread lanes with context
+//! switches and preemptions marked — for bug reports and examples.
+
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Renders a trace as per-thread lanes.
+///
+/// Each column is one step; the running thread's lane shows `●` (or `!`
+/// when it was scheduled *by preempting* the previous thread), other
+/// lanes show `·` if enabled at that point and space if not. The summary
+/// line states the step, switch and preemption counts.
+///
+/// # Examples
+///
+/// ```
+/// use icb_core::{Tid, Trace, TraceEntry};
+/// let trace: Trace = vec![
+///     TraceEntry::new(Tid(0), vec![Tid(0), Tid(1)], None, false, false),
+///     TraceEntry::new(Tid(1), vec![Tid(0), Tid(1)], Some(Tid(0)), true, false),
+/// ].into();
+/// let lanes = icb_core::render::lanes(&trace);
+/// assert!(lanes.contains("T0 │●"));
+/// assert!(lanes.contains("!")); // the preemption marker
+/// ```
+pub fn lanes(trace: &Trace) -> String {
+    let entries = trace.entries();
+    let threads = entries
+        .iter()
+        .flat_map(|e| e.enabled.iter().map(|t| t.index()))
+        .chain(entries.iter().map(|e| e.chosen.index()))
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut out = String::new();
+    for t in 0..threads {
+        let _ = write!(out, "T{t:<2}│");
+        for e in entries {
+            let c = if e.chosen.index() == t {
+                if e.is_preemption() {
+                    '!'
+                } else {
+                    '●'
+                }
+            } else if e.enabled.iter().any(|x| x.index() == t) {
+                '·'
+            } else {
+                ' '
+            };
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "{} steps, {} context switches ({} preempting, marked `!`)",
+        trace.len(),
+        trace.context_switches(),
+        trace.preemptions(),
+    );
+    out
+}
+
+/// One-line summary of a trace: the schedule in run-length form
+/// (`T0×3 T1×2 …`) with preemptions marked.
+pub fn compact(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut run: Option<(usize, usize, bool)> = None; // (tid, count, preempted-into)
+    let flush = |out: &mut String, run: Option<(usize, usize, bool)>| {
+        if let Some((tid, count, preempted)) = run {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if preempted {
+                out.push('!');
+            }
+            let _ = write!(out, "T{tid}×{count}");
+        }
+    };
+    for e in trace.entries() {
+        match run {
+            Some((tid, count, preempted)) if tid == e.chosen.index() => {
+                run = Some((tid, count + 1, preempted));
+            }
+            prev => {
+                flush(&mut out, prev);
+                run = Some((e.chosen.index(), 1, e.is_preemption()));
+            }
+        }
+    }
+    flush(&mut out, run);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::Tid;
+    use crate::trace::TraceEntry;
+
+    fn sample() -> Trace {
+        vec![
+            TraceEntry::new(Tid(0), vec![Tid(0), Tid(1)], None, false, false),
+            TraceEntry::new(Tid(0), vec![Tid(0), Tid(1)], Some(Tid(0)), true, false),
+            TraceEntry::new(Tid(1), vec![Tid(0), Tid(1)], Some(Tid(0)), true, false),
+            TraceEntry::new(Tid(0), vec![Tid(0)], Some(Tid(1)), false, false),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn lanes_mark_preemptions() {
+        let s = lanes(&sample());
+        assert!(s.contains("T0 │●●·●"), "got:\n{s}");
+        assert!(s.contains("T1 │··! "), "got:\n{s}");
+        assert!(s.contains("4 steps, 2 context switches (1 preempting"));
+    }
+
+    #[test]
+    fn compact_run_length_encodes() {
+        let s = compact(&sample());
+        assert_eq!(s, "T0×2 !T1×1 T0×1");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::new();
+        assert!(lanes(&t).contains("0 steps"));
+        assert_eq!(compact(&t), "");
+    }
+}

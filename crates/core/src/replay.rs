@@ -1,0 +1,121 @@
+//! Replay scheduling: reproduce an execution from its schedule.
+
+use crate::program::{SchedulePoint, Scheduler};
+use crate::tid::Tid;
+use crate::trace::Schedule;
+
+/// A scheduler that first replays a fixed schedule prefix verbatim and
+/// then falls back to a deterministic policy.
+///
+/// Replay is the foundation of stateless model checking: a state is never
+/// stored, only the schedule that reaches it, and "going back" to a state
+/// means re-executing the program under that schedule.
+///
+/// # Panics
+///
+/// `pick` panics if the program diverges from the recorded schedule (a
+/// prefix choice names a thread that is not currently enabled). Divergence
+/// means the program under test is not deterministic, which violates the
+/// [`crate::ControlledProgram`] contract.
+#[derive(Clone, Debug)]
+pub struct ReplayScheduler {
+    prefix: Schedule,
+    policy: TailPolicy,
+}
+
+/// What a [`ReplayScheduler`] does after the prefix is exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TailPolicy {
+    /// Continue the current thread while enabled, else lowest-id enabled
+    /// thread. Never adds a preemption (the paper's round-robin
+    /// completion argument).
+    #[default]
+    NonPreemptive,
+    /// Always run the lowest-id enabled thread, even if that preempts.
+    LowestId,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler replaying `prefix`, then following the
+    /// preemption-free default policy.
+    pub fn new(prefix: Schedule) -> Self {
+        ReplayScheduler {
+            prefix,
+            policy: TailPolicy::NonPreemptive,
+        }
+    }
+
+    /// Creates a scheduler replaying `prefix` with an explicit tail
+    /// policy.
+    pub fn with_policy(prefix: Schedule, policy: TailPolicy) -> Self {
+        ReplayScheduler { prefix, policy }
+    }
+
+    /// The schedule prefix being replayed.
+    pub fn prefix(&self) -> &Schedule {
+        &self.prefix
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
+        if let Some(tid) = self.prefix.get(point.step_index) {
+            assert!(
+                point.is_enabled(tid),
+                "replay divergence at step {}: {tid} not enabled (enabled: {:?})",
+                point.step_index,
+                point.enabled,
+            );
+            return tid;
+        }
+        match self.policy {
+            TailPolicy::NonPreemptive => point.default_choice(),
+            TailPolicy::LowestId => point.enabled[0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point<'a>(
+        step: usize,
+        current: Option<Tid>,
+        cur_en: bool,
+        enabled: &'a [Tid],
+    ) -> SchedulePoint<'a> {
+        SchedulePoint {
+            step_index: step,
+            current,
+            current_enabled: cur_en,
+            enabled,
+        }
+    }
+
+    #[test]
+    fn replays_prefix_then_defaults() {
+        let mut s = ReplayScheduler::new(Schedule::from(vec![Tid(1)]));
+        let enabled = [Tid(0), Tid(1)];
+        assert_eq!(s.pick(point(0, None, false, &enabled)), Tid(1));
+        // Past the prefix: continue current thread.
+        assert_eq!(s.pick(point(1, Some(Tid(1)), true, &enabled)), Tid(1));
+        // Current blocked: nonpreempting switch to lowest id.
+        assert_eq!(s.pick(point(2, Some(Tid(1)), false, &enabled)), Tid(0));
+    }
+
+    #[test]
+    fn lowest_id_tail_policy() {
+        let mut s = ReplayScheduler::with_policy(Schedule::new(), TailPolicy::LowestId);
+        let enabled = [Tid(0), Tid(2)];
+        assert_eq!(s.pick(point(0, Some(Tid(2)), true, &enabled)), Tid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence")]
+    fn divergence_panics() {
+        let mut s = ReplayScheduler::new(Schedule::from(vec![Tid(5)]));
+        let enabled = [Tid(0), Tid(1)];
+        s.pick(point(0, None, false, &enabled));
+    }
+}

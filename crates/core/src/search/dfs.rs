@@ -1,0 +1,371 @@
+//! Depth-first baselines: unbounded DFS (`dfs`), depth-bounded DFS
+//! (`db:N`) and iterative depth-bounding (`idfs`), the strategies the
+//! paper compares ICB against (Figures 2, 5 and 6).
+
+use crate::coverage::StateSink;
+use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::tid::Tid;
+
+/// Stateless depth-first search over the schedule tree.
+///
+/// At every scheduling point before the depth bound, the search branches
+/// over *all* enabled threads — preempting freely, which is exactly why it
+/// drowns in shallow interleavings on multithreaded programs (Section 4.2
+/// of the paper). Beyond the depth bound the run is completed under the
+/// default preemption-free policy, but states visited there are not
+/// counted and bugs occurring there are not reported: the depth-bounded
+/// search semantics is "the tree truncated at depth `N`".
+#[derive(Clone, Debug, Default)]
+pub struct DfsSearch {
+    config: SearchConfig,
+    depth_bound: Option<usize>,
+}
+
+impl DfsSearch {
+    /// Unbounded depth-first search (the paper's `dfs`).
+    pub fn new(config: SearchConfig) -> Self {
+        DfsSearch {
+            config,
+            depth_bound: None,
+        }
+    }
+
+    /// Depth-first search truncated at `bound` steps (the paper's
+    /// `db:N`).
+    pub fn with_depth_bound(config: SearchConfig, bound: usize) -> Self {
+        DfsSearch {
+            config,
+            depth_bound: Some(bound),
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
+        let mut ctx = SearchCtx::new(self.config.clone());
+        let completed = run_dfs(program, self.depth_bound, &mut ctx, &mut None);
+        ctx.into_report(self.name(), completed, None, Vec::new(), false)
+    }
+
+    /// Returns the depth bound, if any.
+    pub fn depth_bound(&self) -> Option<usize> {
+        self.depth_bound
+    }
+}
+
+impl SearchStrategy for DfsSearch {
+    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
+        self.run(program)
+    }
+
+    fn name(&self) -> String {
+        match self.depth_bound {
+            Some(b) => format!("db:{b}"),
+            None => "dfs".to_string(),
+        }
+    }
+}
+
+/// Iterative depth-bounding (the paper's `idfs`): repeat depth-bounded
+/// DFS with bounds `start, start + step, …` up to `max`, sharing one
+/// coverage set and execution budget.
+///
+/// The iteration stops early once a bound exceeds the longest execution
+/// seen (deepening further cannot reach new states) or the budget runs
+/// out.
+#[derive(Clone, Debug)]
+pub struct IterativeDeepeningSearch {
+    config: SearchConfig,
+    start: usize,
+    step: usize,
+    max: usize,
+}
+
+impl IterativeDeepeningSearch {
+    /// Creates an iterative-deepening search with bounds
+    /// `start, start + step, …, ≤ max`.
+    pub fn new(config: SearchConfig, start: usize, step: usize, max: usize) -> Self {
+        assert!(step > 0, "deepening step must be positive");
+        IterativeDeepeningSearch {
+            config,
+            start,
+            step,
+            max,
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
+        let mut ctx = SearchCtx::new(self.config.clone());
+        let mut completed = false;
+        let mut bound = self.start;
+        loop {
+            let mut max_len: Option<usize> = Some(0);
+            let exhausted = run_dfs(program, Some(bound), &mut ctx, &mut max_len);
+            if ctx.stop {
+                break;
+            }
+            if exhausted && max_len.unwrap_or(usize::MAX) <= bound {
+                // No execution was truncated: the full space is explored.
+                completed = true;
+                break;
+            }
+            if bound >= self.max {
+                break;
+            }
+            bound = (bound + self.step).min(self.max);
+        }
+        ctx.into_report(self.name(), completed, None, Vec::new(), false)
+    }
+}
+
+impl SearchStrategy for IterativeDeepeningSearch {
+    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
+        self.run(program)
+    }
+
+    fn name(&self) -> String {
+        format!("idfs-{}", self.max)
+    }
+}
+
+/// Shared DFS engine. Returns `true` if the (possibly depth-bounded)
+/// branch tree was exhausted. When `track_max_len` is `Some`, the longest
+/// observed execution length is written into it.
+fn run_dfs(
+    program: &dyn ControlledProgram,
+    depth_bound: Option<usize>,
+    ctx: &mut SearchCtx,
+    track_max_len: &mut Option<usize>,
+) -> bool {
+    let bound = depth_bound.unwrap_or(usize::MAX);
+    let mut stack: Vec<Branch> = Vec::new();
+    loop {
+        let mut sched = DfsScheduler {
+            stack,
+            cursor: 0,
+            bound,
+        };
+        let mut sink = GatedSink {
+            inner: &mut ctx.coverage,
+            remaining: bound,
+        };
+        let result = program.execute(&mut sched, &mut sink);
+        stack = sched.stack;
+
+        if let Some(m) = track_max_len {
+            *m = (*m).max(result.stats.steps);
+        }
+
+        // Within the depth bound the result stands; beyond it the run is
+        // an artifact of the completion policy — downgrade any bug.
+        let effective = if result.stats.steps <= bound || !result.outcome.is_bug() {
+            result
+        } else {
+            let mut r = result;
+            r.outcome = crate::trace::ExecutionOutcome::Terminated;
+            r
+        };
+        ctx.record(&effective, program.executions_per_run());
+        if ctx.stop {
+            return false;
+        }
+
+        loop {
+            match stack.last_mut() {
+                Some(top) if top.next_ix + 1 < top.options.len() => {
+                    top.next_ix += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+                None => return true,
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Branch {
+    options: Vec<Tid>,
+    next_ix: usize,
+}
+
+struct DfsScheduler {
+    stack: Vec<Branch>,
+    cursor: usize,
+    bound: usize,
+}
+
+impl Scheduler for DfsScheduler {
+    fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
+        if point.step_index >= self.bound {
+            // Truncated region: complete the run without branching.
+            return point.default_choice();
+        }
+        if self.cursor < self.stack.len() {
+            let b = &self.stack[self.cursor];
+            let tid = b.options[b.next_ix];
+            assert!(
+                point.is_enabled(tid),
+                "replay divergence at step {}: {tid} not enabled \
+                 (the program is not deterministic)",
+                point.step_index
+            );
+            self.cursor += 1;
+            tid
+        } else {
+            self.stack.push(Branch {
+                options: point.enabled.to_vec(),
+                next_ix: 0,
+            });
+            self.cursor += 1;
+            point.enabled[0]
+        }
+    }
+}
+
+/// Forwards at most `remaining` fingerprints, dropping the rest — states
+/// past the depth bound do not count as covered.
+struct GatedSink<'a, S: StateSink> {
+    inner: &'a mut S,
+    remaining: usize,
+}
+
+impl<S: StateSink> StateSink for GatedSink<'_, S> {
+    fn visit(&mut self, fingerprint: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.inner.visit(fingerprint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::testprog::{schedule_count, Counters};
+    use crate::search::IcbSearch;
+
+    #[test]
+    fn unbounded_dfs_exhausts_the_space() {
+        let p = Counters {
+            n: 2,
+            k: 3,
+            bug: None,
+        };
+        let report = DfsSearch::new(SearchConfig::default()).run(&p);
+        assert!(report.completed);
+        assert_eq!(report.executions as u128, schedule_count(2, 3));
+    }
+
+    #[test]
+    fn dfs_and_icb_cover_identical_state_sets() {
+        let p = Counters {
+            n: 3,
+            k: 2,
+            bug: None,
+        };
+        let dfs = DfsSearch::new(SearchConfig::default()).run(&p);
+        let icb = IcbSearch::new(SearchConfig::default()).run(&p);
+        assert!(dfs.completed && icb.completed);
+        assert_eq!(dfs.distinct_states, icb.distinct_states);
+        assert_eq!(dfs.executions, icb.executions);
+    }
+
+    #[test]
+    fn depth_bound_truncates_coverage() {
+        let p = Counters {
+            n: 2,
+            k: 4,
+            bug: None,
+        };
+        let full = DfsSearch::new(SearchConfig::default()).run(&p);
+        let bounded = DfsSearch::with_depth_bound(SearchConfig::default(), 3).run(&p);
+        assert!(bounded.completed);
+        assert!(
+            bounded.distinct_states < full.distinct_states,
+            "bounded {} !< full {}",
+            bounded.distinct_states,
+            full.distinct_states
+        );
+        // The truncated tree is much smaller.
+        assert!(bounded.executions < full.executions);
+    }
+
+    #[test]
+    fn depth_bound_hides_deep_bugs() {
+        // Bug on thread 1's last step needs depth ≥ 6 to manifest.
+        let p = Counters {
+            n: 2,
+            k: 3,
+            bug: Some((1, 2, 5)),
+        };
+        let shallow = DfsSearch::with_depth_bound(SearchConfig::default(), 2).run(&p);
+        assert!(shallow.bugs.is_empty());
+        let deep = DfsSearch::new(SearchConfig::default()).run(&p);
+        assert!(!deep.bugs.is_empty());
+    }
+
+    #[test]
+    fn dfs_finds_bug_but_not_necessarily_minimal() {
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: Some((1, 0, 1)),
+        };
+        let report = DfsSearch::new(SearchConfig {
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run(&p);
+        assert!(!report.bugs.is_empty());
+    }
+
+    #[test]
+    fn idfs_completes_small_spaces() {
+        let p = Counters {
+            n: 2,
+            k: 3,
+            bug: None,
+        };
+        let report =
+            IterativeDeepeningSearch::new(SearchConfig::default(), 2, 2, 100).run(&p);
+        assert!(report.completed);
+        // All states eventually covered.
+        let full = DfsSearch::new(SearchConfig::default()).run(&p);
+        assert_eq!(report.distinct_states, full.distinct_states);
+    }
+
+    #[test]
+    fn idfs_respects_budget() {
+        let p = Counters {
+            n: 3,
+            k: 3,
+            bug: None,
+        };
+        let report = IterativeDeepeningSearch::new(
+            SearchConfig::with_max_executions(10),
+            2,
+            2,
+            50,
+        )
+        .run(&p);
+        assert_eq!(report.executions, 10);
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(DfsSearch::new(SearchConfig::default()).name(), "dfs");
+        assert_eq!(
+            DfsSearch::with_depth_bound(SearchConfig::default(), 40).name(),
+            "db:40"
+        );
+        assert_eq!(
+            IterativeDeepeningSearch::new(SearchConfig::default(), 10, 10, 100).name(),
+            "idfs-100"
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Iterative context bounding — Algorithm 1 of the paper, in stateless
+//! (replay-based) form.
+//!
+//! The explicit-state formulation keeps a queue of `(state, tid)` work
+//! items. A stateless checker cannot store states, so a work item here is
+//! the *schedule prefix* that reaches the state, with the thread to run as
+//! its last element. Processing a work item replays the prefix and then
+//! explores, by nested depth-first search, every execution reachable
+//! **without introducing another preemption**:
+//!
+//! * while the current thread stays enabled it is forced to continue —
+//!   scheduling any other enabled thread would be a preemption, so for
+//!   every such thread `t` a new work item `prefix·t` is pushed onto the
+//!   *next* work queue (to be processed at bound + 1);
+//! * when the current thread blocks or terminates, the switch is free and
+//!   the nested DFS branches over every enabled thread (lines 33–37 of
+//!   Algorithm 1).
+//!
+//! The outer loop drains the current queue, then increments the bound and
+//! swaps in the deferred queue — so every execution with `i` preemptions
+//! is explored before any execution with `i + 1`, and the first bug found
+//! is exposed by a minimal number of preemptions.
+
+use std::collections::VecDeque;
+
+use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+use crate::search::{BoundStats, BugReport, SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::tid::Tid;
+use crate::trace::Schedule;
+
+/// The iterative context-bounding search.
+///
+/// # Examples
+///
+/// Exhaustively exploring a program and reading the per-bound statistics:
+///
+/// ```no_run
+/// use icb_core::search::{IcbSearch, SearchConfig};
+/// # fn program() -> Box<dyn icb_core::ControlledProgram> { unimplemented!() }
+/// let report = IcbSearch::new(SearchConfig::default()).run(&*program());
+/// for b in &report.bound_history {
+///     println!("bound {}: {} executions, {} states",
+///              b.bound, b.executions, b.cumulative_states);
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IcbSearch {
+    config: SearchConfig,
+}
+
+impl IcbSearch {
+    /// Creates the search with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        IcbSearch { config }
+    }
+
+    /// Creates a search that explores all executions with at most `bound`
+    /// preemptions and stops.
+    pub fn up_to_bound(bound: usize) -> Self {
+        IcbSearch {
+            config: SearchConfig {
+                preemption_bound: Some(bound),
+                ..SearchConfig::default()
+            },
+        }
+    }
+
+    /// Finds a bug with the *minimal* number of preemptions, if the
+    /// program has one reachable within `max_executions` executions.
+    ///
+    /// Minimality holds because ICB completes every bound before starting
+    /// the next: if the returned bug has `c` preemptions, every execution
+    /// with fewer preemptions was explored and found correct.
+    pub fn find_minimal_bug(
+        program: &dyn ControlledProgram,
+        max_executions: usize,
+    ) -> Option<BugReport> {
+        let search = IcbSearch::new(SearchConfig {
+            max_executions: Some(max_executions),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        });
+        search.run(program).bugs.into_iter().next()
+    }
+
+    /// Runs the search.
+    pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
+        let mut ctx = SearchCtx::new(self.config.clone());
+        let mut work: VecDeque<Schedule> = VecDeque::new();
+        work.push_back(Schedule::new());
+        let mut next: VecDeque<Schedule> = VecDeque::new();
+        let mut bound = 0usize;
+        let mut truncated = false;
+        let mut bound_history = Vec::new();
+        let mut completed = false;
+        let mut completed_bound = None;
+
+        'outer: loop {
+            let execs_before = ctx.executions;
+            let bugs_before = ctx.buggy_executions;
+            while let Some(prefix) = work.pop_front() {
+                self.search_item(program, prefix, &mut ctx, &mut next, &mut truncated);
+                if ctx.stop {
+                    break 'outer;
+                }
+            }
+            bound_history.push(BoundStats {
+                bound,
+                executions: ctx.executions - execs_before,
+                cumulative_states: ctx.coverage.distinct_states(),
+                bugs_found: ctx.buggy_executions - bugs_before,
+            });
+            completed_bound = Some(bound);
+            if next.is_empty() {
+                completed = !truncated;
+                break;
+            }
+            if self.config.preemption_bound.is_some_and(|pb| bound >= pb) {
+                break;
+            }
+            bound += 1;
+            std::mem::swap(&mut work, &mut next);
+        }
+
+        ctx.into_report(
+            "icb".to_string(),
+            completed,
+            completed_bound,
+            bound_history,
+            truncated,
+        )
+    }
+
+    /// Processes one work item: nested DFS over the preemption-free
+    /// extensions of `prefix`.
+    fn search_item(
+        &self,
+        program: &dyn ControlledProgram,
+        prefix: Schedule,
+        ctx: &mut SearchCtx,
+        next: &mut VecDeque<Schedule>,
+        truncated: &mut bool,
+    ) {
+        let mut stack: Vec<Branch> = Vec::new();
+        let mut first_run = true;
+        loop {
+            // Points at or beyond `fresh_from` are visited for the first
+            // time in this run; preemption work items are emitted only for
+            // them (earlier points were handled in a previous run or by
+            // the parent work item).
+            let fresh_from = if first_run {
+                prefix.len()
+            } else {
+                // After backtracking, the deepest branch point took a new
+                // option; everything strictly after it is fresh.
+                stack.last().map_or(prefix.len(), |b| b.step + 1)
+            };
+            first_run = false;
+
+            let mut sched = ItemScheduler {
+                prefix: &prefix,
+                stack,
+                cursor: 0,
+                path: Schedule::new(),
+                fresh_from,
+                emitted: Vec::new(),
+            };
+            let result = program.execute(&mut sched, &mut ctx.coverage);
+            stack = sched.stack;
+
+            let queue_cap = self
+                .config
+                .max_work_queue
+                .unwrap_or(usize::MAX)
+                .min(ctx.remaining_budget());
+            for item in sched.emitted {
+                if next.len() < queue_cap {
+                    next.push_back(item);
+                } else {
+                    *truncated = true;
+                }
+            }
+
+            ctx.record(&result, program.executions_per_run());
+            if ctx.stop {
+                return;
+            }
+
+            // Backtrack: advance the deepest branch point with options
+            // left; drop exhausted ones.
+            loop {
+                match stack.last_mut() {
+                    Some(top) if top.next_ix + 1 < top.options.len() => {
+                        top.next_ix += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        stack.pop();
+                    }
+                    None => return,
+                }
+            }
+        }
+    }
+}
+
+impl SearchStrategy for IcbSearch {
+    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
+        self.run(program)
+    }
+
+    fn name(&self) -> String {
+        "icb".to_string()
+    }
+}
+
+/// A nonpreempting branch point within one work item's nested DFS.
+#[derive(Clone, Debug)]
+struct Branch {
+    /// Step index of the scheduling point.
+    step: usize,
+    /// The enabled threads at that point.
+    options: Vec<Tid>,
+    /// Index of the option taken in the current run.
+    next_ix: usize,
+}
+
+/// The scheduler driving one run within a work item.
+struct ItemScheduler<'a> {
+    prefix: &'a Schedule,
+    stack: Vec<Branch>,
+    /// Position in `stack` during the current run.
+    cursor: usize,
+    /// Full schedule chosen so far in this run (prefix included).
+    path: Schedule,
+    /// First step index considered fresh for work-item emission.
+    fresh_from: usize,
+    /// Deferred work items (`path-so-far · t`) discovered in this run.
+    emitted: Vec<Schedule>,
+}
+
+impl Scheduler for ItemScheduler<'_> {
+    fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
+        let choice = if point.step_index < self.prefix.len() {
+            let tid = self
+                .prefix
+                .get(point.step_index)
+                .expect("prefix indexed in range");
+            assert!(
+                point.is_enabled(tid),
+                "replay divergence at step {}: {tid} not enabled",
+                point.step_index
+            );
+            tid
+        } else if point.current_enabled {
+            // Forced: continuing the current thread is free; switching to
+            // any other enabled thread costs a preemption and is deferred
+            // to the next bound.
+            let current = point
+                .current
+                .expect("current_enabled implies a current thread");
+            if point.step_index >= self.fresh_from {
+                for &t in point.enabled {
+                    if t != current {
+                        let mut item = self.path.clone();
+                        item.push(t);
+                        self.emitted.push(item);
+                    }
+                }
+            }
+            current
+        } else {
+            // Nonpreempting branch point: the previous thread blocked or
+            // terminated (or this is the initial point); explore every
+            // enabled thread via the branch stack.
+            if self.cursor < self.stack.len() {
+                let b = &self.stack[self.cursor];
+                debug_assert_eq!(
+                    b.step, point.step_index,
+                    "branch stack out of sync with execution"
+                );
+                let tid = b.options[b.next_ix];
+                assert!(
+                    point.is_enabled(tid),
+                    "replay divergence at step {}: {tid} not enabled \
+                     (the program is not deterministic)",
+                    point.step_index
+                );
+                self.cursor += 1;
+                tid
+            } else {
+                self.stack.push(Branch {
+                    step: point.step_index,
+                    options: point.enabled.to_vec(),
+                    next_ix: 0,
+                });
+                self.cursor += 1;
+                point.enabled[0]
+            }
+        };
+        self.path.push(choice);
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::search::testprog::{schedule_count, Counters};
+
+    #[test]
+    fn exhausts_two_by_two_counter_program() {
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        assert!(report.completed);
+        assert_eq!(report.executions as u128, schedule_count(2, 2));
+        assert_eq!(report.completed_bound, Some(2));
+        // Per-bound execution counts for 2 threads × 2 steps:
+        // bound 0: 0011, 1100; bound 1: 0110, 1001; bound 2: 0101, 1010.
+        let per_bound: Vec<usize> = report.bound_history.iter().map(|b| b.executions).collect();
+        assert_eq!(per_bound, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn exhausts_three_by_two_counter_program() {
+        let p = Counters {
+            n: 3,
+            k: 2,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        assert!(report.completed);
+        assert_eq!(report.executions as u128, schedule_count(3, 2));
+    }
+
+    #[test]
+    fn per_bound_counts_respect_theorem_1() {
+        let p = Counters {
+            n: 3,
+            k: 3,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        assert!(report.completed);
+        for b in &report.bound_history {
+            // Non-blocking program: each thread's only blocking action is
+            // its fictitious termination, so b = 1 (Section 2).
+            let bound = bounds::executions_with_preemptions(3, 3, 1, b.bound as u64).unwrap();
+            assert!(
+                (b.executions as u128) <= bound,
+                "bound {}: {} > {}",
+                b.bound,
+                b.executions,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn finds_bug_with_minimal_preemptions() {
+        // Thread 1's first step must observe counter == 1: exactly one
+        // step of thread 0 must precede it, which requires preempting
+        // thread 0 once.
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: Some((1, 0, 1)),
+        };
+        let bug = IcbSearch::find_minimal_bug(&p, 10_000).expect("bug must be found");
+        assert_eq!(bug.preemptions, 1);
+    }
+
+    #[test]
+    fn finds_zero_preemption_bug_at_bound_zero() {
+        // Thread 1's first step observes counter == 2: schedule 0 0 1 1,
+        // reachable without preemptions.
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: Some((1, 0, 2)),
+        };
+        let bug = IcbSearch::find_minimal_bug(&p, 10_000).expect("bug must be found");
+        assert_eq!(bug.preemptions, 0);
+    }
+
+    #[test]
+    fn bug_schedule_replays_to_same_outcome() {
+        let p = Counters {
+            n: 2,
+            k: 3,
+            bug: Some((1, 1, 3)),
+        };
+        let bug = IcbSearch::find_minimal_bug(&p, 100_000).expect("bug must be found");
+        let mut replay = crate::replay::ReplayScheduler::new(bug.schedule.clone());
+        let result =
+            crate::ControlledProgram::execute(&p, &mut replay, &mut crate::coverage::NullSink);
+        assert!(result.outcome.is_bug());
+        assert_eq!(result.stats.preemptions, bug.preemptions);
+    }
+
+    #[test]
+    fn respects_execution_budget() {
+        let p = Counters {
+            n: 3,
+            k: 3,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::with_max_executions(7)).run(&p);
+        assert_eq!(report.executions, 7);
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn preemption_bound_stops_iteration() {
+        let p = Counters {
+            n: 2,
+            k: 3,
+            bug: None,
+        };
+        let report = IcbSearch::up_to_bound(1).run(&p);
+        assert_eq!(report.completed_bound, Some(1));
+        assert!(!report.completed); // deeper bounds exist but were skipped
+        assert!(report.bound_history.len() == 2);
+        // All explored executions have at most 1 preemption.
+        assert!(report.max_stats.preemptions <= 1);
+    }
+
+    #[test]
+    fn bound_zero_explores_without_limiting_depth() {
+        // Even at bound 0, executions run to completion: max steps equals
+        // the full program length.
+        let p = Counters {
+            n: 2,
+            k: 5,
+            bug: None,
+        };
+        let report = IcbSearch::up_to_bound(0).run(&p);
+        assert_eq!(report.max_stats.steps, 10);
+        assert_eq!(report.max_stats.preemptions, 0);
+        assert_eq!(report.executions, 2); // 0^5 1^5 and 1^5 0^5
+    }
+
+    #[test]
+    fn queue_cap_sets_truncated() {
+        let p = Counters {
+            n: 3,
+            k: 3,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig {
+            max_work_queue: Some(1),
+            ..SearchConfig::default()
+        })
+        .run(&p);
+        assert!(report.truncated);
+        assert!(!report.completed);
+    }
+
+    #[test]
+    fn executions_are_distinct_schedules() {
+        // The nested DFS must not re-run identical schedules: total
+        // executions equals the number of distinct schedules, which for
+        // the no-bug counter program is the multinomial count.
+        let p = Counters {
+            n: 2,
+            k: 4,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        assert_eq!(report.executions as u128, schedule_count(2, 4));
+    }
+}

@@ -1,0 +1,424 @@
+//! Systematic search strategies over the schedule tree of a
+//! [`ControlledProgram`] implementation.
+//!
+//! [`ControlledProgram`]: crate::program::ControlledProgram
+//!
+//! * [`IcbSearch`] — **iterative context bounding**, the paper's
+//!   Algorithm 1 in its stateless (replay-based) form: all executions with
+//!   `i` preemptions are explored before any execution with `i + 1`.
+//! * [`DfsSearch`] — depth-first enumeration of all schedules, optionally
+//!   depth-bounded (the paper's `dfs` and `db:N` baselines).
+//! * [`IterativeDeepeningSearch`] — iterative depth-bounding (`idfs`).
+//! * [`RandomSearch`] — uniform random walk (`random`).
+//! * [`BestFirstSearch`] — the Groce–Visser "more enabled threads"
+//!   heuristic from the paper's related work.
+//!
+//! All strategies share [`SearchConfig`] / [`SearchReport`] and implement
+//! the object-safe [`SearchStrategy`] trait so the benchmark harness can
+//! treat them uniformly.
+
+mod bestfirst;
+mod dfs;
+mod icb;
+mod random;
+
+pub use bestfirst::BestFirstSearch;
+pub use dfs::{DfsSearch, IterativeDeepeningSearch};
+pub use icb::IcbSearch;
+pub use random::RandomSearch;
+
+use crate::coverage::CoverageTracker;
+use crate::program::ControlledProgram;
+use crate::trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule};
+
+/// Limits and options common to all search strategies.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Stop after this many executions (`None` = unlimited; prefer a
+    /// limit for programs whose schedule space you have not measured).
+    pub max_executions: Option<usize>,
+    /// For [`IcbSearch`]: stop after *completing* this preemption bound.
+    /// `None` iterates until the space is exhausted or another limit
+    /// triggers.
+    pub preemption_bound: Option<usize>,
+    /// Abort the search as soon as the first bug is recorded.
+    pub stop_on_first_bug: bool,
+    /// Keep at most this many bug reports (further buggy executions are
+    /// still counted in [`SearchReport::buggy_executions`]).
+    pub max_bug_reports: usize,
+    /// Hard cap on the deferred work queue of [`IcbSearch`]; exceeding it
+    /// sets [`SearchReport::truncated`]. `None` = unbounded.
+    pub max_work_queue: Option<usize>,
+    /// Wall-clock budget: the search stops (incomplete) after this long.
+    /// `None` = unlimited.
+    pub max_duration: Option<std::time::Duration>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_executions: Some(1_000_000),
+            preemption_bound: None,
+            stop_on_first_bug: false,
+            max_bug_reports: 64,
+            max_work_queue: None,
+            max_duration: None,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Config that hunts for the first bug and stops.
+    pub fn bug_hunt() -> Self {
+        SearchConfig {
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Config with an execution budget.
+    pub fn with_max_executions(max: usize) -> Self {
+        SearchConfig {
+            max_executions: Some(max),
+            ..SearchConfig::default()
+        }
+    }
+}
+
+/// A bug found by a search.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// What went wrong.
+    pub outcome: ExecutionOutcome,
+    /// The complete schedule of the failing execution — replay it with
+    /// [`crate::ReplayScheduler`] to reproduce the bug deterministically.
+    pub schedule: Schedule,
+    /// Number of preemptions in the failing execution. For [`IcbSearch`]
+    /// the first report's value is *minimal* over all failing executions.
+    pub preemptions: usize,
+    /// 1-based index of the failing execution within the search.
+    pub execution_index: usize,
+    /// Length of the failing execution in steps.
+    pub steps: usize,
+}
+
+/// Statistics for one completed preemption bound of [`IcbSearch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundStats {
+    /// The preemption bound these statistics describe.
+    pub bound: usize,
+    /// Executions explored *at* this bound.
+    pub executions: usize,
+    /// Cumulative distinct states after completing this bound — the
+    /// y-axis of Figures 1 and 4.
+    pub cumulative_states: usize,
+    /// Bugs first observed at this bound.
+    pub bugs_found: usize,
+}
+
+/// The result of running a search strategy.
+#[derive(Clone, Debug, Default)]
+pub struct SearchReport {
+    /// Human-readable strategy label (`icb`, `dfs`, `db:40`, …).
+    pub strategy: String,
+    /// Executions performed.
+    pub executions: usize,
+    /// Distinct state fingerprints visited.
+    pub distinct_states: usize,
+    /// Cumulative distinct states after each execution (Figures 2/5/6).
+    pub coverage_curve: Vec<(usize, usize)>,
+    /// Bug reports, in discovery order (capped by
+    /// [`SearchConfig::max_bug_reports`]).
+    pub bugs: Vec<BugReport>,
+    /// Total executions that ended in a bug.
+    pub buggy_executions: usize,
+    /// `true` if the schedule space was exhausted within the limits.
+    pub completed: bool,
+    /// Highest preemption bound fully explored ([`IcbSearch`] only).
+    pub completed_bound: Option<usize>,
+    /// Per-bound statistics ([`IcbSearch`] only).
+    pub bound_history: Vec<BoundStats>,
+    /// Pointwise maxima of the per-execution statistics (Table 1).
+    pub max_stats: ExecStats,
+    /// Work had to be dropped (queue cap) — coverage claims are lower
+    /// bounds only.
+    pub truncated: bool,
+}
+
+impl SearchReport {
+    /// The first (for ICB: minimal-preemption) bug, if any was found.
+    pub fn first_bug(&self) -> Option<&BugReport> {
+        self.bugs.first()
+    }
+}
+
+impl std::fmt::Display for SearchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} executions, {} states",
+            self.strategy, self.executions, self.distinct_states
+        )?;
+        if let Some(bound) = self.completed_bound {
+            write!(f, ", bound {bound} complete")?;
+        }
+        if self.completed {
+            write!(f, ", space exhausted")?;
+        }
+        if self.truncated {
+            write!(f, ", TRUNCATED")?;
+        }
+        match self.buggy_executions {
+            0 => write!(f, ", no bugs")?,
+            n => {
+                write!(f, ", {n} failing execution(s)")?;
+                if let Some(bug) = self.first_bug() {
+                    write!(f, "; first: {} ({} preemptions)", bug.outcome, bug.preemptions)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Object-safe interface over all search strategies.
+pub trait SearchStrategy {
+    /// Runs the search against `program`.
+    fn search(&self, program: &dyn ControlledProgram) -> SearchReport;
+    /// Short label for reports and plots (`icb`, `dfs`, `db:40`, …).
+    fn name(&self) -> String;
+}
+
+/// Shared bookkeeping: budget, coverage, bug collection.
+pub(crate) struct SearchCtx {
+    pub(crate) config: SearchConfig,
+    pub(crate) started: std::time::Instant,
+    pub(crate) coverage: CoverageTracker,
+    pub(crate) executions: usize,
+    pub(crate) bugs: Vec<BugReport>,
+    pub(crate) buggy_executions: usize,
+    pub(crate) max_stats: ExecStats,
+    pub(crate) stop: bool,
+}
+
+impl SearchCtx {
+    pub(crate) fn new(config: SearchConfig) -> Self {
+        SearchCtx {
+            config,
+            started: std::time::Instant::now(),
+            coverage: CoverageTracker::new(),
+            executions: 0,
+            bugs: Vec::new(),
+            buggy_executions: 0,
+            max_stats: ExecStats::default(),
+            stop: false,
+        }
+    }
+
+    /// Remaining execution budget, `usize::MAX` if unlimited.
+    pub(crate) fn remaining_budget(&self) -> usize {
+        match self.config.max_executions {
+            Some(max) => max.saturating_sub(self.executions),
+            None => usize::MAX,
+        }
+    }
+
+    /// Records a finished execution; sets `stop` when a limit is hit.
+    pub(crate) fn record(&mut self, result: &ExecutionResult, cost: usize) {
+        self.executions += cost;
+        self.coverage.end_execution();
+        self.max_stats = self.max_stats.max(result.stats);
+        if result.outcome.is_bug() {
+            self.buggy_executions += 1;
+            if self.bugs.len() < self.config.max_bug_reports {
+                self.bugs.push(BugReport {
+                    outcome: result.outcome.clone(),
+                    schedule: result.trace.schedule(),
+                    preemptions: result.stats.preemptions,
+                    execution_index: self.executions,
+                    steps: result.stats.steps,
+                });
+            }
+            if self.config.stop_on_first_bug {
+                self.stop = true;
+            }
+        }
+        if self.remaining_budget() == 0 {
+            self.stop = true;
+        }
+        if let Some(limit) = self.config.max_duration {
+            if self.started.elapsed() >= limit {
+                self.stop = true;
+            }
+        }
+    }
+
+    /// Converts the context into a report. `completed` must reflect
+    /// whether the strategy exhausted its search space.
+    pub(crate) fn into_report(
+        self,
+        strategy: String,
+        completed: bool,
+        completed_bound: Option<usize>,
+        bound_history: Vec<BoundStats>,
+        truncated: bool,
+    ) -> SearchReport {
+        SearchReport {
+            strategy,
+            executions: self.executions,
+            distinct_states: self.coverage.distinct_states(),
+            coverage_curve: self.coverage.into_curve(),
+            bugs: self.bugs,
+            buggy_executions: self.buggy_executions,
+            completed,
+            completed_bound,
+            bound_history,
+            max_stats: self.max_stats,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testprog {
+    //! A tiny deterministic multithreaded interpreter used by the search
+    //! unit tests: `n` threads, each executing `k` increments of a shared
+    //! counter; an optional assertion fails iff a specific interleaving
+    //! pattern occurs. Enabledness can include a one-slot "lock" to
+    //! exercise blocking (nonpreempting switches).
+
+    use crate::coverage::{fingerprint_bytes, StateSink};
+    use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+    use crate::tid::Tid;
+    use crate::trace::{ExecutionOutcome, ExecutionResult, Trace, TraceEntry};
+
+    /// `n` threads × `k` steps, no blocking; optional bug when thread
+    /// `bug_thread` observes `counter == bug_value` at its own step
+    /// `bug_step`.
+    pub(crate) struct Counters {
+        pub n: usize,
+        pub k: usize,
+        pub bug: Option<(usize, usize, u32)>, // (thread, its step, counter value)
+    }
+
+    impl ControlledProgram for Counters {
+        fn execute(
+            &self,
+            scheduler: &mut dyn Scheduler,
+            sink: &mut dyn StateSink,
+        ) -> ExecutionResult {
+            let mut counter: u32 = 0;
+            let mut pos = vec![0usize; self.n];
+            let mut trace = Trace::new();
+            let mut current: Option<Tid> = None;
+            let mut failure: Option<Tid> = None;
+            loop {
+                let enabled: Vec<Tid> = (0..self.n)
+                    .filter(|&i| pos[i] < self.k)
+                    .map(Tid)
+                    .collect();
+                if enabled.is_empty() {
+                    break;
+                }
+                let current_enabled = current.is_some_and(|t| pos[t.index()] < self.k);
+                let chosen = scheduler.pick(SchedulePoint {
+                    step_index: trace.len(),
+                    current,
+                    current_enabled,
+                    enabled: &enabled,
+                });
+                trace.push(TraceEntry::new(
+                    chosen,
+                    enabled,
+                    current,
+                    current_enabled,
+                    false,
+                ));
+                if let Some((bt, bs, bv)) = self.bug {
+                    if chosen.index() == bt && pos[bt] == bs && counter == bv {
+                        failure = Some(chosen);
+                    }
+                }
+                counter += 1;
+                pos[chosen.index()] += 1;
+                current = Some(chosen);
+
+                let mut bytes = Vec::with_capacity(4 + self.n * 8);
+                bytes.extend_from_slice(&counter.to_le_bytes());
+                for p in &pos {
+                    bytes.extend_from_slice(&(*p as u64).to_le_bytes());
+                }
+                sink.visit(fingerprint_bytes(&bytes));
+
+                if failure.is_some() {
+                    break;
+                }
+            }
+            let outcome = match failure {
+                Some(thread) => ExecutionOutcome::AssertionFailure {
+                    thread,
+                    message: "bug pattern hit".into(),
+                },
+                None => ExecutionOutcome::Terminated,
+            };
+            ExecutionResult::from_trace(outcome, trace)
+        }
+    }
+
+    /// Total number of schedules of `n` threads × `k` steps:
+    /// multinomial (nk)! / (k!)^n.
+    pub(crate) fn schedule_count(n: u64, k: u64) -> u128 {
+        let f = |x: u64| crate::bounds::factorial(x).unwrap();
+        f(n * k) / f(k).pow(n as u32)
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use crate::search::testprog::Counters;
+
+    #[test]
+    fn display_summarizes_reports() {
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: Some((1, 0, 1)),
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let text = report.to_string();
+        assert!(text.starts_with("[icb]"), "{text}");
+        assert!(text.contains("executions"), "{text}");
+        assert!(text.contains("failing execution"), "{text}");
+        assert!(text.contains("preemptions"), "{text}");
+    }
+
+    #[test]
+    fn clean_report_displays_no_bugs() {
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let text = report.to_string();
+        assert!(text.contains("no bugs"), "{text}");
+        assert!(text.contains("space exhausted"), "{text}");
+    }
+
+    #[test]
+    fn zero_duration_budget_stops_after_one_execution() {
+        let p = Counters {
+            n: 3,
+            k: 3,
+            bug: None,
+        };
+        let report = IcbSearch::new(SearchConfig {
+            max_duration: Some(std::time::Duration::ZERO),
+            ..SearchConfig::default()
+        })
+        .run(&p);
+        assert_eq!(report.executions, 1);
+        assert!(!report.completed);
+    }
+}

@@ -1,0 +1,79 @@
+//! Thread identifiers.
+
+use std::fmt;
+
+/// Identifier of a thread (task) within one program under test.
+///
+/// Thread ids are small dense indices assigned in spawn order, with the
+/// initial (main) thread always being `Tid(0)`. They are stable across
+/// replays of the same program because thread creation is itself a
+/// scheduling-visible, deterministic event.
+///
+/// # Examples
+///
+/// ```
+/// use icb_core::Tid;
+/// let t = Tid(2);
+/// assert_eq!(t.index(), 2);
+/// assert_eq!(t.to_string(), "T2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub usize);
+
+impl Tid {
+    /// The main thread of every program under test.
+    pub const MAIN: Tid = Tid(0);
+
+    /// Returns the dense index of this thread id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<usize> for Tid {
+    fn from(ix: usize) -> Self {
+        Tid(ix)
+    }
+}
+
+impl From<Tid> for usize {
+    fn from(tid: Tid) -> Self {
+        tid.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Tid(7)), "T7");
+        assert_eq!(format!("{:?}", Tid(7)), "T7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t: Tid = 5usize.into();
+        assert_eq!(usize::from(t), 5);
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(Tid(1) < Tid(2));
+        assert_eq!(Tid::MAIN, Tid(0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Vector clocks over dense thread ids.
+
+use icb_core::Tid;
+use std::fmt;
+
+/// How two vector clocks relate in the happens-before partial order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockOrdering {
+    /// Componentwise equal.
+    Equal,
+    /// Strictly happens-before (`self < other`).
+    Before,
+    /// Strictly happens-after (`self > other`).
+    After,
+    /// Incomparable: the events are concurrent.
+    Concurrent,
+}
+
+/// A vector clock: one logical clock per thread, indexed by [`Tid`].
+///
+/// Missing entries are implicitly zero, so clocks over different thread
+/// counts compare and join naturally.
+///
+/// # Examples
+///
+/// ```
+/// use icb_race::{VectorClock, ClockOrdering, Tid};
+/// let mut a = VectorClock::new();
+/// a.tick(Tid(0));
+/// let mut b = a.clone();
+/// b.tick(Tid(1));
+/// assert!(a.le(&b));
+/// assert_eq!(a.compare(&b), ClockOrdering::Before);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The clock component for `tid` (zero if never set).
+    #[inline]
+    pub fn get(&self, tid: Tid) -> u32 {
+        self.entries.get(tid.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the clock component for `tid`.
+    pub fn set(&mut self, tid: Tid, value: u32) {
+        if self.entries.len() <= tid.index() {
+            self.entries.resize(tid.index() + 1, 0);
+        }
+        self.entries[tid.index()] = value;
+    }
+
+    /// Increments `tid`'s component, returning the new value.
+    pub fn tick(&mut self, tid: Tid) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Componentwise maximum: afterwards `self ⊒ other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if self.entries[i] < v {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// Componentwise `self ≤ other` (happens-before or equal).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.entries.get(i).copied().unwrap_or(0))
+    }
+
+    /// Full comparison in the happens-before order.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (false, false) => ClockOrdering::Concurrent,
+        }
+    }
+
+    /// Resets all components to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over `(tid, clock)` pairs with nonzero clocks.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (Tid(i), v))
+    }
+
+    /// Folds the clock into a stable 64-bit hash.
+    pub fn hash64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (tid, v) in self.iter() {
+            h ^= (tid.index() as u64) << 32 | u64::from(v);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        let mut first = true;
+        for (tid, v) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{tid}:{v}")?;
+            first = false;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<(Tid, u32)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (Tid, u32)>>(iter: I) -> Self {
+        let mut vc = VectorClock::new();
+        for (tid, v) in iter {
+            vc.set(tid, v);
+        }
+        vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(pairs: &[(usize, u32)]) -> VectorClock {
+        pairs.iter().map(|&(t, v)| (Tid(t), v)).collect()
+    }
+
+    #[test]
+    fn get_defaults_to_zero() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(Tid(3)), 0);
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.tick(Tid(1)), 1);
+        assert_eq!(c.tick(Tid(1)), 2);
+        assert_eq!(c.get(Tid(1)), 2);
+        assert_eq!(c.get(Tid(0)), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = vc(&[(0, 3), (1, 1)]);
+        let b = vc(&[(1, 5), (2, 2)]);
+        a.join(&b);
+        assert_eq!(a, vc(&[(0, 3), (1, 5), (2, 2)]));
+    }
+
+    #[test]
+    fn ordering_cases() {
+        let a = vc(&[(0, 1)]);
+        let b = vc(&[(0, 1), (1, 1)]);
+        let c = vc(&[(1, 2)]);
+        assert_eq!(a.compare(&a), ClockOrdering::Equal);
+        assert_eq!(a.compare(&b), ClockOrdering::Before);
+        assert_eq!(b.compare(&a), ClockOrdering::After);
+        assert_eq!(a.compare(&c), ClockOrdering::Concurrent);
+    }
+
+    #[test]
+    fn le_ignores_trailing_zeros() {
+        let a = vc(&[(0, 1), (5, 0)]);
+        let b = vc(&[(0, 1)]);
+        assert!(a.le(&b));
+        assert!(b.le(&a));
+        assert_eq!(a.compare(&b), ClockOrdering::Equal);
+    }
+
+    #[test]
+    fn hash_ignores_zero_padding() {
+        let a = vc(&[(0, 1), (4, 0)]);
+        let b = vc(&[(0, 1)]);
+        assert_eq!(a.hash64(), b.hash64());
+        assert_ne!(a.hash64(), vc(&[(0, 2)]).hash64());
+    }
+
+    #[test]
+    fn display_formats_nonzero_entries() {
+        let a = vc(&[(0, 1), (2, 7)]);
+        assert_eq!(a.to_string(), "⟨T0:1, T2:7⟩");
+    }
+}

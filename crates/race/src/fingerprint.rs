@@ -1,0 +1,142 @@
+//! Order-independent fingerprints of the happens-before relation.
+//!
+//! The paper's stateless checker (Section 4.3) cannot capture concrete
+//! program states, so it uses the happens-before relation of the executed
+//! prefix as the state representation. Two prefixes that reorder
+//! *independent* steps have equal happens-before relations, reach the same
+//! program state (Theorem 2's equivalence), and must count as one state
+//! for coverage.
+//!
+//! [`HbFingerprint`] realizes this incrementally: every event contributes
+//! `mix(tid, seq, op, vc)` where `vc` is the event's vector clock, and
+//! contributions are combined with a *commutative* operation
+//! (wrapping addition). Since the vector clock of each event is fully
+//! determined by the happens-before relation — not by the linearization —
+//! two HB-equivalent prefixes produce identical fingerprints regardless of
+//! the order in which the events were folded in.
+
+use crate::clock::VectorClock;
+use icb_core::coverage::mix64;
+use icb_core::Tid;
+
+/// Incremental happens-before fingerprint of an execution prefix.
+///
+/// # Examples
+///
+/// Reordering independent events does not change the fingerprint:
+///
+/// ```
+/// use icb_race::{HbFingerprint, VectorClock, Tid};
+/// let vc0: VectorClock = [(Tid(0), 1)].into_iter().collect();
+/// let vc1: VectorClock = [(Tid(1), 1)].into_iter().collect();
+///
+/// let mut a = HbFingerprint::new();
+/// a.record(Tid(0), 7, &vc0);
+/// a.record(Tid(1), 9, &vc1);
+///
+/// let mut b = HbFingerprint::new();
+/// b.record(Tid(1), 9, &vc1);
+/// b.record(Tid(0), 7, &vc0);
+///
+/// assert_eq!(a.current(), b.current());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HbFingerprint {
+    acc: u64,
+    seq: Vec<u64>,
+    events: usize,
+}
+
+impl HbFingerprint {
+    /// An empty fingerprint (no events).
+    pub fn new() -> Self {
+        HbFingerprint::default()
+    }
+
+    /// Folds in one event executed by `tid` with operation identity
+    /// `op_hash` (e.g. a hash of the accessed variable and access kind)
+    /// under vector clock `vc`, returning the fingerprint of the prefix
+    /// including this event.
+    pub fn record(&mut self, tid: Tid, op_hash: u64, vc: &VectorClock) -> u64 {
+        if self.seq.len() <= tid.index() {
+            self.seq.resize(tid.index() + 1, 0);
+        }
+        let seq = self.seq[tid.index()];
+        self.seq[tid.index()] += 1;
+        self.events += 1;
+        let mut h = mix64((tid.index() as u64) ^ seq.rotate_left(17));
+        h ^= mix64(op_hash);
+        h ^= mix64(vc.hash64());
+        self.acc = self.acc.wrapping_add(mix64(h));
+        self.acc
+    }
+
+    /// The fingerprint of the prefix folded in so far.
+    pub fn current(&self) -> u64 {
+        self.acc
+    }
+
+    /// Number of events folded in.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(pairs: &[(usize, u32)]) -> VectorClock {
+        pairs.iter().map(|&(t, v)| (Tid(t), v)).collect()
+    }
+
+    #[test]
+    fn empty_fingerprints_are_equal() {
+        assert_eq!(HbFingerprint::new().current(), HbFingerprint::new().current());
+    }
+
+    #[test]
+    fn commutes_over_independent_events() {
+        let e0 = (Tid(0), 100u64, vc(&[(0, 1)]));
+        let e1 = (Tid(1), 200u64, vc(&[(1, 1)]));
+        let mut a = HbFingerprint::new();
+        a.record(e0.0, e0.1, &e0.2);
+        a.record(e1.0, e1.1, &e1.2);
+        let mut b = HbFingerprint::new();
+        b.record(e1.0, e1.1, &e1.2);
+        b.record(e0.0, e0.1, &e0.2);
+        assert_eq!(a.current(), b.current());
+    }
+
+    #[test]
+    fn distinguishes_ordered_from_concurrent() {
+        // Same events, but in one history T1 saw T0 (vc includes T0's
+        // component) — different HB, different fingerprint.
+        let mut a = HbFingerprint::new();
+        a.record(Tid(0), 1, &vc(&[(0, 1)]));
+        a.record(Tid(1), 2, &vc(&[(1, 1)]));
+        let mut b = HbFingerprint::new();
+        b.record(Tid(0), 1, &vc(&[(0, 1)]));
+        b.record(Tid(1), 2, &vc(&[(0, 1), (1, 1)]));
+        assert_ne!(a.current(), b.current());
+    }
+
+    #[test]
+    fn repeated_identical_ops_advance_the_sequence() {
+        // Two identical ops by the same thread must both contribute.
+        let mut a = HbFingerprint::new();
+        let f1 = a.record(Tid(0), 5, &vc(&[(0, 1)]));
+        let f2 = a.record(Tid(0), 5, &vc(&[(0, 1)]));
+        assert_ne!(f1, f2);
+        assert_eq!(a.events(), 2);
+    }
+
+    #[test]
+    fn op_identity_matters() {
+        let mut a = HbFingerprint::new();
+        a.record(Tid(0), 1, &vc(&[(0, 1)]));
+        let mut b = HbFingerprint::new();
+        b.record(Tid(0), 2, &vc(&[(0, 1)]));
+        assert_ne!(a.current(), b.current());
+    }
+}

@@ -1,0 +1,38 @@
+//! Happens-before machinery for the stateless checker: vector clocks, a
+//! data-race detector, and order-independent fingerprints of the
+//! happens-before relation.
+//!
+//! Section 3.1 of the paper proves that a checker which preempts only at
+//! *synchronization-variable* accesses remains sound provided it verifies
+//! that every explored execution is free of data races: two accesses to
+//! the same data variable must be ordered by the happens-before relation
+//!
+//! ```text
+//! HB(α) = transitive closure of { (i, j) | i < j and
+//!            (α(i), α(j) same thread  or  same synchronization variable) }
+//! ```
+//!
+//! The paper's CHESS uses the Goldilocks lockset algorithm to compute
+//! this relation; this crate substitutes the classic vector-clock
+//! formulation (FastTrack-style epochs for data variables), which computes
+//! the *identical* relation — see DESIGN.md for the substitution note.
+//!
+//! The same clocks yield the paper's state representation for stateless
+//! coverage (Section 4.3): [`HbFingerprint`] folds each event and its
+//! clock into a commutative hash, so two execution prefixes with equal
+//! happens-before relations — i.e. reorderings of independent steps —
+//! receive the same fingerprint.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod detector;
+mod fingerprint;
+
+pub use clock::{ClockOrdering, VectorClock};
+pub use detector::{AccessKind, DataRaceInfo, RaceDetector};
+pub use fingerprint::HbFingerprint;
+
+/// Thread identifier, re-exported from `icb-core` for convenience.
+pub use icb_core::Tid;

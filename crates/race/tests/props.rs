@@ -1,0 +1,141 @@
+//! Property-based tests of the vector-clock lattice and the detector's
+//! happens-before semantics.
+
+use proptest::prelude::*;
+
+use icb_race::{AccessKind, ClockOrdering, RaceDetector, Tid, VectorClock};
+
+fn clock() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..8, 0..6).prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (Tid(i), v))
+            .collect()
+    })
+}
+
+fn join(a: &VectorClock, b: &VectorClock) -> VectorClock {
+    let mut out = a.clone();
+    out.join(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in clock(), b in clock()) {
+        prop_assert_eq!(join(&a, &b), join(&b, &a));
+    }
+
+    #[test]
+    fn join_is_associative(a in clock(), b in clock(), c in clock()) {
+        prop_assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in clock()) {
+        prop_assert_eq!(join(&a, &a), a);
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in clock(), b in clock()) {
+        let j = join(&a, &b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn join_is_the_least_upper_bound(a in clock(), b in clock(), c in clock()) {
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(join(&a, &b).le(&c));
+        }
+    }
+
+    #[test]
+    fn le_is_a_partial_order(a in clock(), b in clock(), c in clock()) {
+        prop_assert!(a.le(&a)); // reflexive
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a.compare(&b), ClockOrdering::Equal); // antisymmetric
+        }
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c)); // transitive
+        }
+    }
+
+    #[test]
+    fn compare_is_consistent_with_le(a in clock(), b in clock()) {
+        let cmp = a.compare(&b);
+        match cmp {
+            ClockOrdering::Equal => prop_assert!(a.le(&b) && b.le(&a)),
+            ClockOrdering::Before => prop_assert!(a.le(&b) && !b.le(&a)),
+            ClockOrdering::After => prop_assert!(!a.le(&b) && b.le(&a)),
+            ClockOrdering::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
+        }
+    }
+
+    #[test]
+    fn tick_strictly_advances(a in clock(), t in 0usize..6) {
+        let mut b = a.clone();
+        b.tick(Tid(t));
+        prop_assert!(a.le(&b));
+        prop_assert!(!b.le(&a));
+    }
+
+    #[test]
+    fn equal_clocks_hash_equal(a in clock()) {
+        let b = a.clone();
+        prop_assert_eq!(a.hash64(), b.hash64());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accesses fully serialized through one lock never race, regardless
+    /// of the access mix.
+    #[test]
+    fn lock_serialized_accesses_never_race(
+        ops in proptest::collection::vec((0usize..3, prop::bool::ANY), 1..20)
+    ) {
+        let mut d = RaceDetector::new();
+        let m = d.new_sync_object();
+        let x = d.new_data_var(None);
+        for (t, is_write) in ops {
+            let tid = Tid(t);
+            d.sync_acquire(tid, m);
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            prop_assert!(d.data_access(tid, x, kind).is_ok());
+            d.sync_release(tid, m);
+        }
+    }
+
+    /// Two writers with no synchronization at all always race.
+    #[test]
+    fn unsynchronized_writers_always_race(prefix in 0usize..5) {
+        let mut d = RaceDetector::new();
+        let noise = d.new_sync_object();
+        let x = d.new_data_var(None);
+        // Unrelated sync noise on one thread must not order the other.
+        for _ in 0..prefix {
+            d.sync_access(Tid(0), noise);
+        }
+        d.data_access(Tid(0), x, AccessKind::Write).unwrap();
+        prop_assert!(d.data_access(Tid(1), x, AccessKind::Write).is_err());
+    }
+
+    /// Any chain of sync accesses on a single variable totally orders
+    /// the participating threads' subsequent data accesses.
+    #[test]
+    fn sync_chains_transfer_order(threads in proptest::collection::vec(0usize..4, 1..12)) {
+        let mut d = RaceDetector::new();
+        let s = d.new_sync_object();
+        let x = d.new_data_var(None);
+        for &t in &threads {
+            d.sync_access(Tid(t), s);
+            // Write between this thread's accesses to the chain: ordered
+            // with every other participant's writes via the chain.
+            prop_assert!(d.data_access(Tid(t), x, AccessKind::Write).is_ok());
+            d.sync_access(Tid(t), s);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Runtime configuration.
+
+/// Options controlling how the runtime instruments and bounds one
+/// program under test.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Abort an execution after this many scheduling points with
+    /// [`ExecutionOutcome::StepLimitExceeded`](icb_core::ExecutionOutcome).
+    /// Guards against livelocks: the stateless checker requires
+    /// terminating programs.
+    pub max_steps: usize,
+    /// Make every [`DataVar`](crate::DataVar) access a scheduling point,
+    /// as in the basic algorithm of Section 3 of the paper.
+    ///
+    /// The default (`false`) is the sound reduction of Section 3.1:
+    /// scheduling points only at synchronization operations, with
+    /// data-race checking keeping the reduction honest. Enabling this
+    /// reproduces the unreduced search for the ablation experiment.
+    pub preempt_data_vars: bool,
+    /// Report data races as execution failures (default `true`). With
+    /// `false`, races are ignored — only useful for measuring how many
+    /// executions a detector-less checker would explore.
+    pub fail_on_race: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_steps: 20_000,
+            preempt_data_vars: false,
+            fail_on_race: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The unreduced configuration: preempt at data-variable accesses
+    /// too.
+    pub fn full_interleaving() -> Self {
+        RuntimeConfig {
+            preempt_data_vars: true,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sync_only_with_race_checking() {
+        let c = RuntimeConfig::default();
+        assert!(!c.preempt_data_vars);
+        assert!(c.fail_on_race);
+        assert!(c.max_steps > 0);
+    }
+
+    #[test]
+    fn full_interleaving_preempts_data() {
+        assert!(RuntimeConfig::full_interleaving().preempt_data_vars);
+    }
+}

@@ -1,0 +1,713 @@
+//! The execution engine: cooperative single-step scheduling of real OS
+//! threads under a model-checker-controlled baton.
+//!
+//! Exactly one thread of the program under test runs at any moment. Each
+//! task announces the synchronization operation it is about to perform
+//! and parks; the *controller* (the thread that called
+//! [`ControlledProgram::execute`](icb_core::ControlledProgram)) computes
+//! the enabled set, asks the search's [`Scheduler`] to pick, and hands the
+//! baton to the chosen task. The task applies the operation's effect,
+//! runs user code up to its next synchronization operation, and returns
+//! the baton.
+//!
+//! Aborts (assertion failure, data race, deadlock, step limit) unwind all
+//! parked tasks cooperatively via a private panic payload, so worker
+//! threads are always reclaimed.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use icb_core::{
+    ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid, Trace, TraceEntry,
+};
+use icb_race::{AccessKind, HbFingerprint, RaceDetector};
+
+use crate::config::RuntimeConfig;
+use crate::op::{CondWaiter, PendingOp, Resources};
+use crate::pool;
+
+/// Whose turn it is to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Task(usize),
+}
+
+/// Private panic payload used to unwind tasks on abort.
+struct AbortPayload;
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortPayload)
+}
+
+fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<AbortPayload>()
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+/// Result of applying a pending operation's effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EffectOut {
+    None,
+    /// `TryAcquire`: whether the lock was taken.
+    Acquired(bool),
+    /// `BarrierArrive`: the generation the arriving task must outwait.
+    Generation(u32),
+    /// `Spawn`: the new task's id.
+    Spawned(Tid),
+}
+
+#[derive(Debug)]
+struct TaskEntry {
+    finished: bool,
+    pending: Option<PendingOp>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ExecInner {
+    turn: Turn,
+    abort: bool,
+    outcome: Option<ExecutionOutcome>,
+    tasks: Vec<TaskEntry>,
+    alive: usize,
+    current: Option<Tid>,
+    trace: Trace,
+    pub(crate) resources: Resources,
+    pub(crate) detector: RaceDetector,
+    fingerprint: HbFingerprint,
+    pending_fp: Option<u64>,
+    steps: usize,
+}
+
+/// Shared state of one controlled execution.
+#[derive(Debug)]
+pub(crate) struct Execution {
+    inner: StdMutex<ExecInner>,
+    cv: StdCondvar,
+    pub(crate) config: RuntimeConfig,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Task panics are expected (they are how assertion failures surface and
+/// how aborts unwind); suppress their default backtrace spew while
+/// leaving panics of non-task threads untouched.
+fn install_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_task = CURRENT.with(|c| c.borrow().is_some());
+            if !in_task {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with the executing task's context.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not a task of a running execution —
+/// i.e. a runtime primitive was used outside a
+/// [`RuntimeProgram`](crate::RuntimeProgram) body.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, Tid) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (exec, tid) = borrow.as_ref().expect(
+            "icb-runtime primitives may only be used inside a running RuntimeProgram execution",
+        );
+        f(exec, *tid)
+    })
+}
+
+/// Like [`with_current`] but returns `None` outside an execution. Used by
+/// `Drop` impls, which must never panic.
+pub(crate) fn try_with_current<R>(f: impl FnOnce(&Arc<Execution>, Tid) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        borrow.as_ref().map(|(exec, tid)| f(exec, *tid))
+    })
+}
+
+impl Execution {
+    pub(crate) fn new(config: RuntimeConfig) -> Self {
+        Execution {
+            inner: StdMutex::new(ExecInner {
+                turn: Turn::Controller,
+                abort: false,
+                outcome: None,
+                tasks: Vec::new(),
+                alive: 0,
+                current: None,
+                trace: Trace::new(),
+                resources: Resources::default(),
+                detector: RaceDetector::new(),
+                fingerprint: HbFingerprint::new(),
+                pending_fp: None,
+                steps: 0,
+            }),
+            cv: StdCondvar::new(),
+            config,
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, guard: StdMutexGuard<'a, ExecInner>) -> StdMutexGuard<'a, ExecInner> {
+        self.cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Launches the root task and runs the controller loop to completion.
+    pub(crate) fn run(
+        self: &Arc<Self>,
+        body: Box<dyn FnOnce() + Send + 'static>,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+    ) -> ExecutionResult {
+        install_panic_hook();
+        {
+            let mut inner = self.lock();
+            inner.tasks.push(TaskEntry {
+                finished: false,
+                pending: Some(PendingOp::Start),
+            });
+            inner.alive = 1;
+        }
+        let exec = Arc::clone(self);
+        pool::run_on_worker(Box::new(move || task_main(exec, Tid::MAIN, body)));
+        self.control(scheduler, sink)
+    }
+
+    /// The controller loop: repeatedly compute the enabled set, consult
+    /// the scheduler, and hand the baton over.
+    fn control(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let max_steps = self.config.max_steps;
+        let mut inner = self.lock();
+        loop {
+            while inner.turn != Turn::Controller {
+                inner = self.wait(inner);
+            }
+            if let Some(fp) = inner.pending_fp.take() {
+                sink.visit(fp);
+            }
+            if inner.abort {
+                while inner.alive > 0 {
+                    inner = self.wait(inner);
+                }
+                break;
+            }
+            if inner.alive == 0 {
+                break;
+            }
+            if inner.steps >= max_steps {
+                inner
+                    .outcome
+                    .get_or_insert(ExecutionOutcome::StepLimitExceeded);
+                inner.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+
+            let enabled: Vec<Tid> = inner
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| {
+                    !t.finished
+                        && t.pending
+                            .as_ref()
+                            .is_some_and(|op| op_enabled(&inner, Tid(*i), op))
+                })
+                .map(|(i, _)| Tid(i))
+                .collect();
+
+            if enabled.is_empty() {
+                let blocked: Vec<Tid> = inner
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.finished)
+                    .map(|(i, _)| Tid(i))
+                    .collect();
+                inner
+                    .outcome
+                    .get_or_insert(ExecutionOutcome::Deadlock { blocked });
+                inner.abort = true;
+                self.cv.notify_all();
+                continue;
+            }
+
+            let current = inner.current;
+            let current_enabled = current.is_some_and(|c| enabled.contains(&c));
+            let point = SchedulePoint {
+                step_index: inner.steps,
+                current,
+                current_enabled,
+                enabled: &enabled,
+            };
+            let chosen = match catch_unwind(AssertUnwindSafe(|| scheduler.pick(point))) {
+                Ok(chosen) => chosen,
+                Err(payload) => {
+                    // Scheduler failure (e.g. replay divergence): drain
+                    // the tasks so workers are reclaimed, then re-raise.
+                    inner.abort = true;
+                    self.cv.notify_all();
+                    while inner.alive > 0 {
+                        inner = self.wait(inner);
+                    }
+                    drop(inner);
+                    resume_unwind(payload);
+                }
+            };
+            assert!(
+                enabled.contains(&chosen),
+                "scheduler chose {chosen}, which is not enabled",
+            );
+            let blocking = inner.tasks[chosen.index()]
+                .pending
+                .as_ref()
+                .expect("enabled task has a pending op")
+                .is_blocking();
+            inner
+                .trace
+                .push(TraceEntry::new(chosen, enabled, current, current_enabled, blocking));
+            inner.steps += 1;
+            inner.current = Some(chosen);
+            inner.turn = Turn::Task(chosen.index());
+            self.cv.notify_all();
+        }
+        if let Some(fp) = inner.pending_fp.take() {
+            sink.visit(fp);
+        }
+        let outcome = inner
+            .outcome
+            .take()
+            .unwrap_or(ExecutionOutcome::Terminated);
+        let trace = std::mem::take(&mut inner.trace);
+        drop(inner);
+        ExecutionResult::from_trace(outcome, trace)
+    }
+
+    /// Announces the next operation, parks until scheduled, then applies
+    /// the operation's effect. Called by the running task.
+    pub(crate) fn sched_point(&self, tid: Tid, op: PendingOp) -> EffectOut {
+        if std::thread::panicking() {
+            // Unwinding (abort or user panic): synchronization effects no
+            // longer matter; skip silently so Drop impls stay safe.
+            return EffectOut::None;
+        }
+        let mut inner = self.lock();
+        if inner.abort {
+            drop(inner);
+            panic_abort();
+        }
+        debug_assert_eq!(inner.turn, Turn::Task(tid.index()), "only the running task may announce");
+        let is_exit = matches!(op, PendingOp::Exit);
+        inner.tasks[tid.index()].pending = Some(op);
+        inner.turn = Turn::Controller;
+        self.cv.notify_all();
+        loop {
+            if inner.abort {
+                drop(inner);
+                panic_abort();
+            }
+            if inner.turn == Turn::Task(tid.index()) {
+                break;
+            }
+            inner = self.wait(inner);
+        }
+        let op = inner.tasks[tid.index()]
+            .pending
+            .take()
+            .expect("scheduled task has a pending op");
+        let out = apply_effect(&mut inner, tid, &op);
+        if is_exit {
+            inner.turn = Turn::Controller;
+            self.cv.notify_all();
+        }
+        out
+    }
+
+    /// Parks a freshly spawned task until its `Start` operation is
+    /// scheduled. The parent already installed the pending op.
+    fn park_initial(&self, tid: Tid) {
+        let mut inner = self.lock();
+        loop {
+            if inner.abort {
+                drop(inner);
+                panic_abort();
+            }
+            if inner.turn == Turn::Task(tid.index()) {
+                break;
+            }
+            inner = self.wait(inner);
+        }
+        let op = inner.tasks[tid.index()]
+            .pending
+            .take()
+            .expect("started task has the Start op pending");
+        debug_assert_eq!(op, PendingOp::Start);
+        apply_effect(&mut inner, tid, &op);
+    }
+
+    /// Records a task's unwinding (user panic or abort).
+    fn handle_task_panic(&self, tid: Tid, payload: Box<dyn std::any::Any + Send>) {
+        let mut inner = self.lock();
+        if !inner.tasks[tid.index()].finished {
+            inner.tasks[tid.index()].finished = true;
+            inner.alive -= 1;
+        }
+        if !is_abort(&*payload) {
+            if inner.outcome.is_none() {
+                inner.outcome = Some(ExecutionOutcome::AssertionFailure {
+                    thread: tid,
+                    message: payload_message(&*payload),
+                });
+            }
+            inner.abort = true;
+        }
+        inner.turn = Turn::Controller;
+        self.cv.notify_all();
+    }
+
+    /// Registers a mutex, returning `(lock id, detector sync id)`.
+    pub(crate) fn register_lock(&self) -> (usize, usize) {
+        let mut inner = self.lock();
+        (inner.resources.new_lock(), inner.detector.new_sync_object())
+    }
+
+    /// Registers a condition variable.
+    pub(crate) fn register_condvar(&self) -> (usize, usize) {
+        let mut inner = self.lock();
+        (
+            inner.resources.new_condvar(),
+            inner.detector.new_sync_object(),
+        )
+    }
+
+    /// Registers a semaphore with an initial count.
+    pub(crate) fn register_sem(&self, count: usize) -> (usize, usize) {
+        let mut inner = self.lock();
+        (
+            inner.resources.new_sem(count),
+            inner.detector.new_sync_object(),
+        )
+    }
+
+    /// Registers an event.
+    pub(crate) fn register_event(&self, set: bool, manual: bool) -> (usize, usize) {
+        let mut inner = self.lock();
+        (
+            inner.resources.new_event(set, manual),
+            inner.detector.new_sync_object(),
+        )
+    }
+
+    /// Registers an atomic variable (a pure sync object).
+    pub(crate) fn register_atomic(&self) -> usize {
+        self.lock().detector.new_sync_object()
+    }
+
+    /// Registers a reader-writer lock.
+    pub(crate) fn register_rwlock(&self) -> (usize, usize) {
+        let mut inner = self.lock();
+        (
+            inner.resources.new_rwlock(),
+            inner.detector.new_sync_object(),
+        )
+    }
+
+    /// Registers a barrier for `parties` tasks.
+    pub(crate) fn register_barrier(&self, parties: usize) -> (usize, usize) {
+        let mut inner = self.lock();
+        (
+            inner.resources.new_barrier(parties),
+            inner.detector.new_sync_object(),
+        )
+    }
+
+    /// Registers a data variable for race checking.
+    pub(crate) fn register_data(&self, name: Option<String>) -> usize {
+        self.lock().detector.new_data_var(name)
+    }
+
+    /// Checks (and in full-interleaving mode, schedules) a data-variable
+    /// access by the running task.
+    pub(crate) fn data_access(&self, tid: Tid, var: usize, kind: AccessKind) {
+        if self.config.preempt_data_vars {
+            self.sched_point(tid, PendingOp::DataAccess { var });
+        }
+        if std::thread::panicking() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Err(race) = inner.detector.data_access(tid, var, kind) {
+            if self.config.fail_on_race {
+                inner.outcome.get_or_insert(ExecutionOutcome::DataRace {
+                    description: race.to_string(),
+                });
+                inner.abort = true;
+                self.cv.notify_all();
+                drop(inner);
+                panic_abort();
+            }
+        }
+    }
+
+    /// Whether the lock is currently held by `tid` (for assertions in
+    /// the condvar API).
+    pub(crate) fn lock_held_by(&self, lock: usize, tid: Tid) -> bool {
+        self.lock().resources.locks[lock] == Some(tid)
+    }
+}
+
+/// Is the pending operation executable right now?
+fn op_enabled(inner: &ExecInner, tid: Tid, op: &PendingOp) -> bool {
+    match *op {
+        PendingOp::Acquire { lock, .. } => inner.resources.locks[lock].is_none(),
+        PendingOp::CondReacquire { cv, lock, .. } => {
+            let signaled = inner.resources.condvars[cv]
+                .iter()
+                .find(|w| w.tid == tid)
+                .is_some_and(|w| w.signaled);
+            signaled && inner.resources.locks[lock].is_none()
+        }
+        PendingOp::SemAcquire { sem, .. } => inner.resources.sems[sem] > 0,
+        PendingOp::EventWait { event, .. } => inner.resources.events[event].0,
+        PendingOp::Join { target } => inner.tasks[target.index()].finished,
+        PendingOp::RwAcquire { rw, write, .. } => {
+            let state = &inner.resources.rwlocks[rw];
+            if write {
+                state.readers == 0 && state.writer.is_none()
+            } else {
+                // Writer preference: a parked writer blocks new readers.
+                let writer_waiting = inner.tasks.iter().any(|t| {
+                    !t.finished
+                        && matches!(
+                            t.pending,
+                            Some(PendingOp::RwAcquire {
+                                rw: r,
+                                write: true,
+                                ..
+                            }) if r == rw
+                        )
+                });
+                state.writer.is_none() && !writer_waiting
+            }
+        }
+        PendingOp::BarrierWait { bar, gen, .. } => {
+            inner.resources.barriers[bar].generation > gen
+        }
+        _ => true,
+    }
+}
+
+/// Applies the state transition of `op`, records its happens-before
+/// edges, and stores the post-step fingerprint for the controller.
+fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
+    let mut out = EffectOut::None;
+    match *op {
+        PendingOp::Start | PendingOp::Yield => {}
+        PendingOp::Exit => {
+            inner.tasks[tid.index()].finished = true;
+            inner.alive -= 1;
+        }
+        PendingOp::Acquire { lock, sync } => {
+            debug_assert!(inner.resources.locks[lock].is_none());
+            inner.resources.locks[lock] = Some(tid);
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::Release { lock, sync } => {
+            debug_assert_eq!(inner.resources.locks[lock], Some(tid));
+            inner.resources.locks[lock] = None;
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::TryAcquire { lock, sync } => {
+            inner.detector.sync_access(tid, sync);
+            if inner.resources.locks[lock].is_none() {
+                inner.resources.locks[lock] = Some(tid);
+                out = EffectOut::Acquired(true);
+            } else {
+                out = EffectOut::Acquired(false);
+            }
+        }
+        PendingOp::CondWait {
+            cv,
+            cv_sync,
+            lock,
+            lock_sync,
+        } => {
+            debug_assert_eq!(inner.resources.locks[lock], Some(tid));
+            inner.resources.locks[lock] = None;
+            inner.resources.condvars[cv].push(CondWaiter {
+                tid,
+                signaled: false,
+            });
+            inner.detector.sync_access(tid, lock_sync);
+            inner.detector.sync_access(tid, cv_sync);
+        }
+        PendingOp::CondReacquire {
+            cv,
+            cv_sync,
+            lock,
+            lock_sync,
+        } => {
+            let pos = inner.resources.condvars[cv]
+                .iter()
+                .position(|w| w.tid == tid)
+                .expect("reacquiring task is a waiter");
+            let waiter = inner.resources.condvars[cv].remove(pos);
+            debug_assert!(waiter.signaled);
+            debug_assert!(inner.resources.locks[lock].is_none());
+            inner.resources.locks[lock] = Some(tid);
+            inner.detector.sync_access(tid, cv_sync);
+            inner.detector.sync_access(tid, lock_sync);
+        }
+        PendingOp::Notify { cv, cv_sync, all } => {
+            if all {
+                for w in inner.resources.condvars[cv].iter_mut() {
+                    w.signaled = true;
+                }
+            } else if let Some(w) = inner.resources.condvars[cv]
+                .iter_mut()
+                .find(|w| !w.signaled)
+            {
+                w.signaled = true;
+            }
+            inner.detector.sync_access(tid, cv_sync);
+        }
+        PendingOp::SemAcquire { sem, sync } => {
+            debug_assert!(inner.resources.sems[sem] > 0);
+            inner.resources.sems[sem] -= 1;
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::SemRelease { sem, sync } => {
+            inner.resources.sems[sem] += 1;
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::EventWait { event, sync } => {
+            debug_assert!(inner.resources.events[event].0);
+            if !inner.resources.events[event].1 {
+                // Auto-reset events consume the signal.
+                inner.resources.events[event].0 = false;
+            }
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::EventSet { event, sync } => {
+            inner.resources.events[event].0 = true;
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::EventReset { event, sync } => {
+            inner.resources.events[event].0 = false;
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::AtomicAccess { sync } => {
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::DataAccess { .. } => {}
+        PendingOp::Spawn => {
+            let child = Tid(inner.tasks.len());
+            inner.tasks.push(TaskEntry {
+                finished: false,
+                pending: Some(PendingOp::Start),
+            });
+            inner.alive += 1;
+            inner.detector.fork(tid, child);
+            out = EffectOut::Spawned(child);
+        }
+        PendingOp::Join { target } => {
+            debug_assert!(inner.tasks[target.index()].finished);
+            inner.detector.join(tid, target);
+        }
+        PendingOp::RwAcquire { rw, sync, write } => {
+            let state = &mut inner.resources.rwlocks[rw];
+            if write {
+                debug_assert!(state.readers == 0 && state.writer.is_none());
+                state.writer = Some(tid);
+            } else {
+                debug_assert!(state.writer.is_none());
+                state.readers += 1;
+            }
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::RwRelease { rw, sync, write } => {
+            let state = &mut inner.resources.rwlocks[rw];
+            if write {
+                debug_assert_eq!(state.writer, Some(tid));
+                state.writer = None;
+            } else {
+                debug_assert!(state.readers > 0);
+                state.readers -= 1;
+            }
+            inner.detector.sync_access(tid, sync);
+        }
+        PendingOp::BarrierArrive { bar, sync } => {
+            let state = &mut inner.resources.barriers[bar];
+            let gen = state.generation;
+            state.arrived += 1;
+            if state.arrived == state.parties {
+                state.arrived = 0;
+                state.generation += 1;
+            }
+            inner.detector.sync_access(tid, sync);
+            out = EffectOut::Generation(gen);
+        }
+        PendingOp::BarrierWait { sync, .. } => {
+            inner.detector.sync_access(tid, sync);
+        }
+    }
+    let vc = inner.detector.thread_clock(tid);
+    let fp = inner.fingerprint.record(tid, op.op_hash(), &vc);
+    inner.pending_fp = Some(fp);
+    out
+}
+
+/// The body every task runs on its worker thread.
+pub(crate) fn task_main(
+    exec: Arc<Execution>,
+    tid: Tid,
+    body: Box<dyn FnOnce() + Send + 'static>,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.park_initial(tid);
+        body();
+        exec.sched_point(tid, PendingOp::Exit);
+    }));
+    if let Err(payload) = result {
+        exec.handle_task_panic(tid, payload);
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Spawns a child task from the running task (used by
+/// [`crate::thread::spawn`]).
+pub(crate) fn spawn_task(body: Box<dyn FnOnce() + Send + 'static>) -> Tid {
+    with_current(|exec, tid| {
+        let out = exec.sched_point(tid, PendingOp::Spawn);
+        let child = match out {
+            EffectOut::Spawned(child) => child,
+            _ => unreachable!("Spawn effect yields a child tid"),
+        };
+        let exec = Arc::clone(exec);
+        pool::run_on_worker(Box::new(move || task_main(exec, child, body)));
+        child
+    })
+}

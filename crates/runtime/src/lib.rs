@@ -1,0 +1,71 @@
+//! A stateless controlled-concurrency runtime — the paper's CHESS
+//! analog.
+//!
+//! Programs under test are ordinary Rust closures written against this
+//! crate's [`sync`] primitives, [`thread`] API and [`DataVar`] cells.
+//! Wrapped in a [`RuntimeProgram`], they become a
+//! [`ControlledProgram`](icb_core::ControlledProgram) that any `icb-core`
+//! search strategy can drive: the runtime runs each task on a pooled OS
+//! thread, hands exactly one task the baton at a time, and calls back
+//! into the search's scheduler at every synchronization operation.
+//!
+//! Key properties, mirroring Sections 3 and 4 of the paper:
+//!
+//! * **Scheduling points only at synchronization operations.** Plain
+//!   shared memory ([`DataVar`]) is race-checked instead of interleaved;
+//!   Section 3.1 proves this reduction sound. Set
+//!   [`RuntimeConfig::preempt_data_vars`] for the unreduced search.
+//! * **Stateless exploration.** No program state is ever captured;
+//!   searches revisit states by replaying schedules. Coverage is counted
+//!   over happens-before fingerprints (`icb-race`).
+//! * **Deterministic replay.** Given the same schedule, an execution is
+//!   bit-for-bit identical — the foundation for reproducing every
+//!   reported bug.
+//!
+//! # Example: the paper's motivating pattern
+//!
+//! A thread checks a flag and then acts on it; a preemption between
+//! check and act violates the invariant:
+//!
+//! ```
+//! use icb_core::search::{IcbSearch, SearchConfig};
+//! use icb_runtime::{RuntimeProgram, sync::AtomicBool, thread};
+//! use std::sync::Arc;
+//!
+//! let program = RuntimeProgram::new(|| {
+//!     let stopped = Arc::new(AtomicBool::new(false));
+//!     let worker = {
+//!         let stopped = Arc::clone(&stopped);
+//!         thread::spawn(move || {
+//!             if !stopped.load() {
+//!                 // ... preempted here, the main thread stops the device ...
+//!                 assert!(!stopped.load(), "device used after stop");
+//!             }
+//!         })
+//!     };
+//!     stopped.store(true);
+//!     worker.join();
+//! });
+//!
+//! // The minimal failing interleaving preempts the worker between check
+//! // and act, and the main thread before its store: two preemptions —
+//! // every one of the paper's 9 new bugs needed at most that many.
+//! let bug = IcbSearch::find_minimal_bug(&program, 10_000).expect("found");
+//! assert_eq!(bug.preemptions, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod data;
+mod engine;
+mod op;
+mod pool;
+mod program;
+pub mod sync;
+pub mod thread;
+
+pub use config::RuntimeConfig;
+pub use data::DataVar;
+pub use program::RuntimeProgram;

@@ -1,0 +1,74 @@
+//! The [`RuntimeProgram`] adapter: a Rust closure as a
+//! [`ControlledProgram`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use icb_core::{ControlledProgram, ExecutionResult, Scheduler, StateSink};
+
+use crate::config::RuntimeConfig;
+use crate::engine::Execution;
+
+/// A multithreaded Rust program under model-checker control.
+///
+/// The body closure is executed once per explored schedule, as the main
+/// task (`Tid(0)`). It must:
+///
+/// * create all shared state inside the closure (primitives register
+///   themselves with the current execution);
+/// * synchronize exclusively through [`crate::sync`], [`crate::thread`]
+///   and [`crate::DataVar`] — touching `std::sync` would escape the
+///   model checker;
+/// * be deterministic apart from scheduling, and terminate under every
+///   schedule.
+///
+/// Assertion failures (any panic in any task) end the execution with
+/// [`ExecutionOutcome::AssertionFailure`](icb_core::ExecutionOutcome);
+/// the search reports them as bugs together with the replayable schedule.
+///
+/// # Examples
+///
+/// See the crate-level documentation.
+pub struct RuntimeProgram {
+    body: Arc<dyn Fn() + Send + Sync + 'static>,
+    config: RuntimeConfig,
+}
+
+impl RuntimeProgram {
+    /// Wraps a program body with the default configuration.
+    pub fn new(body: impl Fn() + Send + Sync + 'static) -> Self {
+        RuntimeProgram {
+            body: Arc::new(body),
+            config: RuntimeConfig::default(),
+        }
+    }
+
+    /// Wraps a program body with an explicit configuration.
+    pub fn with_config(config: RuntimeConfig, body: impl Fn() + Send + Sync + 'static) -> Self {
+        RuntimeProgram {
+            body: Arc::new(body),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+}
+
+impl ControlledProgram for RuntimeProgram {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let exec = Arc::new(Execution::new(self.config));
+        let body = Arc::clone(&self.body);
+        exec.run(Box::new(move || body()), scheduler, sink)
+    }
+}
+
+impl fmt::Debug for RuntimeProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeProgram")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}

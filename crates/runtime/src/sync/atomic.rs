@@ -1,0 +1,142 @@
+//! Model-checked atomic (interlocked) variables.
+//!
+//! Atomics are synchronization variables: every access is a scheduling
+//! point, every pair of accesses to the same atomic is ordered (the
+//! paper's dependence relation makes same-sync-variable steps dependent),
+//! and no access can block. This models sequentially consistent atomics,
+//! which is what Win32 interlocked operations provide; the work-stealing
+//! queue benchmark is built entirely on them.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+
+use crate::engine::with_current;
+use crate::op::PendingOp;
+
+macro_rules! atomic_type {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            sync_id: usize,
+            cell: UnsafeCell<$ty>,
+        }
+
+        // SAFETY: accesses happen only in the owning task's turn, after a
+        // scheduling point; at most one task runs at any time.
+        unsafe impl Sync for $name {}
+        unsafe impl Send for $name {}
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if called outside a running execution.
+            pub fn new(value: $ty) -> Self {
+                let sync_id = with_current(|exec, _| exec.register_atomic());
+                $name { sync_id, cell: UnsafeCell::new(value) }
+            }
+
+            fn point(&self) {
+                with_current(|exec, tid| {
+                    exec.sched_point(tid, PendingOp::AtomicAccess { sync: self.sync_id });
+                });
+            }
+
+            /// Atomically reads the value.
+            pub fn load(&self) -> $ty {
+                self.point();
+                // SAFETY: see the Sync impl.
+                unsafe { *self.cell.get() }
+            }
+
+            /// Atomically writes the value.
+            pub fn store(&self, value: $ty) {
+                self.point();
+                // SAFETY: see the Sync impl.
+                unsafe { *self.cell.get() = value }
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            pub fn swap(&self, value: $ty) -> $ty {
+                self.point();
+                // SAFETY: see the Sync impl.
+                unsafe { std::mem::replace(&mut *self.cell.get(), value) }
+            }
+
+            /// Atomically stores `new` if the current value equals
+            /// `expected`.
+            ///
+            /// # Errors
+            ///
+            /// Returns the actual value if it did not match.
+            pub fn compare_exchange(&self, expected: $ty, new: $ty) -> Result<$ty, $ty> {
+                self.point();
+                // SAFETY: see the Sync impl.
+                let slot = unsafe { &mut *self.cell.get() };
+                if *slot == expected {
+                    *slot = new;
+                    Ok(expected)
+                } else {
+                    Err(*slot)
+                }
+            }
+
+            /// Atomically applies `f`, returning the previous value.
+            pub fn fetch_update(&self, f: impl FnOnce($ty) -> $ty) -> $ty {
+                self.point();
+                // SAFETY: see the Sync impl.
+                let slot = unsafe { &mut *self.cell.get() };
+                let old = *slot;
+                *slot = f(old);
+                old
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_struct(stringify!($name)).field("id", &self.sync_id).finish()
+            }
+        }
+    };
+}
+
+atomic_type!(
+    /// A model-checked atomic `usize`.
+    AtomicUsize,
+    usize
+);
+atomic_type!(
+    /// A model-checked atomic `i64`.
+    AtomicI64,
+    i64
+);
+atomic_type!(
+    /// A model-checked atomic `bool`.
+    AtomicBool,
+    bool
+);
+
+impl AtomicUsize {
+    /// Atomically adds, returning the previous value.
+    pub fn fetch_add(&self, delta: usize) -> usize {
+        self.fetch_update(|v| v.wrapping_add(delta))
+    }
+
+    /// Atomically subtracts, returning the previous value.
+    pub fn fetch_sub(&self, delta: usize) -> usize {
+        self.fetch_update(|v| v.wrapping_sub(delta))
+    }
+}
+
+impl AtomicI64 {
+    /// Atomically adds, returning the previous value.
+    pub fn fetch_add(&self, delta: i64) -> i64 {
+        self.fetch_update(|v| v.wrapping_add(delta))
+    }
+
+    /// Atomically subtracts, returning the previous value.
+    pub fn fetch_sub(&self, delta: i64) -> i64 {
+        self.fetch_update(|v| v.wrapping_sub(delta))
+    }
+}

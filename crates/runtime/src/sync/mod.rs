@@ -1,0 +1,33 @@
+//! Mocked synchronization primitives — the `SyncVar` set of the paper.
+//!
+//! Every operation on these types is a *scheduling point*: the model
+//! checker regains control before the operation executes and may switch
+//! threads (incurring a preemption if the current thread stays enabled).
+//! Blocking operations (lock acquisition, waits, semaphore P, join)
+//! disable the thread until the resource is available, producing the
+//! nonpreempting context switches that ICB leaves unbounded.
+//!
+//! The set mirrors what CHESS intercepts of the Win32 API: mutexes
+//! ([`Mutex`]), condition variables ([`Condvar`]), semaphores
+//! ([`Semaphore`]), manual/auto-reset events ([`Event`]), atomic
+//! (interlocked) operations ([`AtomicBool`], [`AtomicUsize`],
+//! [`AtomicI64`]), reader-writer locks ([`RwLock`], SRW analog) and
+//! cyclic barriers ([`Barrier`]).
+
+mod atomic;
+mod barrier;
+mod channel;
+mod condvar;
+mod event;
+mod mutex;
+mod rwlock;
+mod semaphore;
+
+pub use atomic::{AtomicBool, AtomicI64, AtomicUsize};
+pub use barrier::Barrier;
+pub use channel::{Channel, Closed};
+pub use condvar::Condvar;
+pub use event::Event;
+pub use mutex::{Mutex, MutexGuard};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+pub use semaphore::Semaphore;

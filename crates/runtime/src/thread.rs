@@ -1,0 +1,70 @@
+//! Controlled task creation — the runtime's analog of `std::thread`.
+
+use icb_core::Tid;
+
+use crate::engine::{self, with_current};
+use crate::op::PendingOp;
+
+/// Spawns a new task of the program under test.
+///
+/// Spawning is a synchronization operation (a scheduling point): the
+/// model checker may run other threads before the child executes its
+/// first step. The parent's history happens-before everything the child
+/// does, exactly like the paper's per-thread start event `e_t`.
+///
+/// # Panics
+///
+/// Panics if called outside a running [`RuntimeProgram`](crate::RuntimeProgram)
+/// execution.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let tid = engine::spawn_task(Box::new(f));
+    JoinHandle { tid }
+}
+
+/// Handle to a spawned task; [`join`](JoinHandle::join) blocks until the
+/// task terminates.
+#[derive(Debug)]
+pub struct JoinHandle {
+    tid: Tid,
+}
+
+impl JoinHandle {
+    /// The id of the task this handle refers to.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Blocks the calling task until the target task terminates.
+    ///
+    /// Joining is a potentially blocking synchronization operation; the
+    /// joined task's entire history happens-before the join's return.
+    pub fn join(self) {
+        let target = self.tid;
+        with_current(|exec, tid| {
+            exec.sched_point(tid, PendingOp::Join { target });
+        });
+    }
+}
+
+/// The id of the calling task.
+///
+/// # Panics
+///
+/// Panics if called outside a running execution.
+pub fn current_tid() -> Tid {
+    with_current(|_, tid| tid)
+}
+
+/// A voluntary scheduling point with no synchronization effect.
+///
+/// Note that under the ICB scheduler a yield is *not* free for the other
+/// threads: scheduling a different enabled thread at the yield point
+/// still costs a preemption, because the yielding thread remains enabled.
+pub fn yield_now() {
+    with_current(|exec, tid| {
+        exec.sched_point(tid, PendingOp::Yield);
+    });
+}

@@ -1,0 +1,203 @@
+//! Driving a [`Model`] statelessly, as a
+//! [`ControlledProgram`](icb_core::ControlledProgram).
+//!
+//! This lets every `icb-core` search strategy (ICB, DFS, `db:N`, `idfs`,
+//! random) run over VM models by re-interpreting the model from its
+//! initial state under each schedule, with the *exact* concrete state
+//! hash as the coverage fingerprint. It is also the bridge for
+//! cross-validating the stateless searches against the explicit-state
+//! checker ([`crate::ExplicitIcb`]): both must see the same state space.
+
+use icb_core::{
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink,
+    Tid, Trace, TraceEntry,
+};
+
+use crate::model::{Model, StepError};
+
+impl ControlledProgram for Model {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        let mut state = match self.initial_state() {
+            Ok(s) => s,
+            Err(e) => {
+                return ExecutionResult::from_trace(step_error_outcome(e), trace);
+            }
+        };
+        sink.visit(state.fingerprint());
+        loop {
+            let enabled = self.enabled_set(&state);
+            if enabled.is_empty() {
+                let outcome = if self.all_finished(&state) {
+                    ExecutionOutcome::Terminated
+                } else {
+                    ExecutionOutcome::Deadlock {
+                        blocked: (0..self.thread_count())
+                            .map(Tid)
+                            .filter(|&t| !self.is_finished(&state, t))
+                            .collect(),
+                    }
+                };
+                return ExecutionResult::from_trace(outcome, trace);
+            }
+            if trace.len() >= self.max_steps() {
+                return ExecutionResult::from_trace(ExecutionOutcome::StepLimitExceeded, trace);
+            }
+            let current_enabled = current.is_some_and(|c| enabled.contains(&c));
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            assert!(
+                enabled.contains(&chosen),
+                "scheduler chose disabled thread {chosen}"
+            );
+            let blocking = self.next_is_blocking(&state, chosen);
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                blocking,
+            ));
+            current = Some(chosen);
+            if let Err(e) = self.step_in_place(&mut state, chosen) {
+                return ExecutionResult::from_trace(step_error_outcome(e), trace);
+            }
+            sink.visit(state.fingerprint());
+        }
+    }
+}
+
+fn step_error_outcome(e: StepError) -> ExecutionOutcome {
+    ExecutionOutcome::AssertionFailure {
+        thread: e.thread(),
+        message: e.message(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use icb_core::search::{DfsSearch, IcbSearch, SearchConfig};
+
+    #[test]
+    fn searches_find_the_lost_update() {
+        // The checker "joins" both incrementers by blocking until the
+        // completion counter reaches 2. (A spin loop here would livelock
+        // under the forced-continue policy of the nested ICB search and
+        // explode the step budget — blocking waits are the VM's join
+        // idiom.)
+        let mut m = ModelBuilder::new();
+        let counter = m.global("counter", 0);
+        let finished = m.global("finished", 0);
+        for _ in 0..2 {
+            m.thread("inc", |t| {
+                let tmp = t.local();
+                t.load(counter, tmp);
+                t.store(counter, tmp + 1);
+                t.fetch_add(finished, 1, tmp);
+            });
+        }
+        m.thread("check", |t| {
+            let v = t.local();
+            t.wait_eq(finished, 2);
+            t.load(counter, v);
+            t.assert(v.eq(2), "lost update");
+        });
+        let model = m.build();
+
+        let bug = IcbSearch::find_minimal_bug(&model, 1_000_000).expect("lost update found");
+        assert_eq!(bug.preemptions, 1);
+
+        let dfs = DfsSearch::new(SearchConfig {
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run(&model);
+        assert!(!dfs.bugs.is_empty());
+    }
+
+    #[test]
+    fn terminating_model_completes_under_icb() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        for _ in 0..2 {
+            m.thread("w", |t| {
+                let tmp = t.local();
+                t.fetch_add(g, 1, tmp);
+            });
+        }
+        let model = m.build();
+        let report = IcbSearch::new(SearchConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty());
+        // Two atomic increments: two schedules.
+        assert_eq!(report.executions, 2);
+    }
+
+    #[test]
+    fn deadlock_model_reports_deadlock() {
+        let mut m = ModelBuilder::new();
+        let a = m.lock("a");
+        let b = m.lock("b");
+        m.thread("t0", |t| {
+            t.acquire(a);
+            t.acquire(b);
+            t.release(b);
+            t.release(a);
+        });
+        m.thread("t1", |t| {
+            t.acquire(b);
+            t.acquire(a);
+            t.release(a);
+            t.release(b);
+        });
+        let model = m.build();
+        let bug = IcbSearch::find_minimal_bug(&model, 100_000).expect("deadlock");
+        assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
+        assert_eq!(bug.preemptions, 1);
+    }
+
+    #[test]
+    fn step_limit_reported_for_nonterminating_schedules() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        m.max_steps(32);
+        m.thread("spin", |t| {
+            let v = t.local();
+            let top = t.new_label();
+            t.place(top);
+            t.load(g, v); // spin forever on a shared read
+            t.jump(top);
+        });
+        let model = m.build();
+        let mut replay = icb_core::ReplayScheduler::new(Default::default());
+        let r = model.execute(&mut replay, &mut icb_core::NullSink);
+        assert_eq!(r.outcome, ExecutionOutcome::StepLimitExceeded);
+    }
+
+    #[test]
+    fn initial_assert_failure_is_an_immediate_bug() {
+        let mut m = ModelBuilder::new();
+        let _g = m.global("g", 0);
+        m.thread("t", |t| {
+            t.assert(Expr::konst(0), "always fails");
+            t.yield_point();
+        });
+        use crate::expr::Expr;
+        let model = m.build();
+        let mut replay = icb_core::ReplayScheduler::new(Default::default());
+        let r = model.execute(&mut replay, &mut icb_core::NullSink);
+        assert!(matches!(
+            r.outcome,
+            ExecutionOutcome::AssertionFailure { .. }
+        ));
+        assert_eq!(r.stats.steps, 0);
+    }
+
+}

@@ -1,0 +1,674 @@
+//! A builder DSL for writing models readably.
+//!
+//! # Examples
+//!
+//! A two-thread increment race (the canonical lost update):
+//!
+//! ```
+//! use icb_statevm::ModelBuilder;
+//!
+//! let mut m = ModelBuilder::new();
+//! let counter = m.global("counter", 0);
+//! let done = m.global("done", 0);
+//! for _ in 0..2 {
+//!     m.thread("incrementer", |t| {
+//!         let tmp = t.local();
+//!         t.load(counter, tmp);          // read
+//!         t.store(counter, tmp + 1);     // write — racy interleavings lose updates
+//!         t.fetch_add(done, 1, tmp);     // signal completion
+//!     });
+//! }
+//! m.thread("checker", |t| {
+//!     let v = t.local();
+//!     t.wait_eq(done, 2);                // join both incrementers
+//!     t.load(counter, v);
+//!     t.assert(v.eq(2), "lost update");
+//! });
+//! let model = m.build();
+//! assert_eq!(model.thread_count(), 3);
+//! ```
+
+use crate::expr::{Expr, Local};
+use crate::instr::{ArrayVar, BlockPred, Global, Instr, Lock, LockArray, RmwOp};
+use crate::model::{Model, ThreadCode};
+
+/// Builds a [`Model`] incrementally.
+#[derive(Debug, Default)]
+pub struct ModelBuilder {
+    globals: Vec<i64>,
+    global_names: Vec<String>,
+    arrays: Vec<Vec<i64>>,
+    array_names: Vec<String>,
+    locks: usize,
+    threads: Vec<ThreadCode>,
+    max_steps: usize,
+}
+
+impl ModelBuilder {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        ModelBuilder {
+            max_steps: 100_000,
+            ..ModelBuilder::default()
+        }
+    }
+
+    /// Declares a global scalar with an initial value.
+    pub fn global(&mut self, name: &str, init: i64) -> Global {
+        self.globals.push(init);
+        self.global_names.push(name.to_string());
+        Global(self.globals.len() - 1)
+    }
+
+    /// Declares a global array with initial contents.
+    pub fn array(&mut self, name: &str, init: Vec<i64>) -> ArrayVar {
+        self.arrays.push(init);
+        self.array_names.push(name.to_string());
+        ArrayVar(self.arrays.len() - 1)
+    }
+
+    /// Declares a lock.
+    pub fn lock(&mut self, _name: &str) -> Lock {
+        self.locks += 1;
+        Lock(self.locks - 1)
+    }
+
+    /// Declares `len` locks indexable by expression (per-bucket locks,
+    /// per-inode locks, …).
+    pub fn lock_array(&mut self, _name: &str, len: usize) -> LockArray {
+        let base = self.locks;
+        self.locks += len;
+        LockArray { base, len }
+    }
+
+    /// Declares a thread; `build` receives its [`ThreadBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread leaves a label unplaced.
+    pub fn thread(&mut self, name: &str, build: impl FnOnce(&mut ThreadBuilder)) {
+        let mut t = ThreadBuilder {
+            code: Vec::new(),
+            locals: 0,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        };
+        build(&mut t);
+        let code = t.finish(name);
+        self.threads.push(ThreadCode {
+            name: name.to_string(),
+            code,
+            locals: t.locals,
+        });
+    }
+
+    /// Overrides the stateless per-execution step budget (default
+    /// 100 000).
+    pub fn max_steps(&mut self, max_steps: usize) -> &mut Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Finalizes the model, validating every instruction: jump targets
+    /// in range, local slots within the thread's allocation, global and
+    /// array ids within the model, and constant lock indices within the
+    /// lock table (dynamic lock indices are checked at execution time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread was declared or any validation fails, naming
+    /// the offending thread and pc.
+    pub fn build(self) -> Model {
+        assert!(!self.threads.is_empty(), "a model needs at least one thread");
+        for thread in &self.threads {
+            validate_thread(thread, self.globals.len(), self.arrays.len(), self.locks);
+        }
+        Model {
+            globals: self.globals,
+            global_names: self.global_names,
+            arrays: self.arrays,
+            array_names: self.array_names,
+            locks: self.locks,
+            threads: self.threads,
+            max_steps: self.max_steps,
+        }
+    }
+}
+
+/// A forward-referenceable code position within one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Emits one thread's instructions.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    code: Vec<Instr>,
+    locals: usize,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ThreadBuilder {
+    /// Allocates a fresh local slot (initialized to 0).
+    pub fn local(&mut self) -> Local {
+        self.locals += 1;
+        Local(self.locals - 1)
+    }
+
+    /// Emits `dst := global` (one step).
+    pub fn load(&mut self, global: Global, dst: Local) {
+        self.code.push(Instr::LoadGlobal { global, dst });
+    }
+
+    /// Emits `global := src` (one step).
+    pub fn store(&mut self, global: Global, src: impl Into<Expr>) {
+        self.code.push(Instr::StoreGlobal {
+            global,
+            src: src.into(),
+        });
+    }
+
+    /// Emits `dst := arr[idx]` (one step).
+    pub fn load_arr(&mut self, arr: ArrayVar, idx: impl Into<Expr>, dst: Local) {
+        self.code.push(Instr::LoadArr {
+            arr,
+            idx: idx.into(),
+            dst,
+        });
+    }
+
+    /// Emits `arr[idx] := src` (one step).
+    pub fn store_arr(&mut self, arr: ArrayVar, idx: impl Into<Expr>, src: impl Into<Expr>) {
+        self.code.push(Instr::StoreArr {
+            arr,
+            idx: idx.into(),
+            src: src.into(),
+        });
+    }
+
+    /// Emits a blocking acquire of `lock` (one step).
+    pub fn acquire(&mut self, lock: Lock) {
+        self.code.push(Instr::Acquire {
+            lock: Expr::konst(lock.index() as i64),
+        });
+    }
+
+    /// Emits a blocking acquire of `locks[idx]` (one step).
+    pub fn acquire_idx(&mut self, locks: LockArray, idx: impl Into<Expr>) {
+        self.code.push(Instr::Acquire {
+            lock: Expr::konst(locks.base as i64) + idx.into(),
+        });
+    }
+
+    /// Emits a release of `lock` (one step).
+    pub fn release(&mut self, lock: Lock) {
+        self.code.push(Instr::Release {
+            lock: Expr::konst(lock.index() as i64),
+        });
+    }
+
+    /// Emits a release of `locks[idx]` (one step).
+    pub fn release_idx(&mut self, locks: LockArray, idx: impl Into<Expr>) {
+        self.code.push(Instr::Release {
+            lock: Expr::konst(locks.base as i64) + idx.into(),
+        });
+    }
+
+    /// Emits an atomic `dst := global; global := global + rhs` (one
+    /// step).
+    pub fn fetch_add(&mut self, global: Global, rhs: impl Into<Expr>, dst: Local) {
+        self.code.push(Instr::Rmw {
+            global,
+            op: RmwOp::Add,
+            rhs: rhs.into(),
+            dst,
+        });
+    }
+
+    /// Emits an atomic `dst := global; global := global - rhs` (one
+    /// step).
+    pub fn fetch_sub(&mut self, global: Global, rhs: impl Into<Expr>, dst: Local) {
+        self.code.push(Instr::Rmw {
+            global,
+            op: RmwOp::Sub,
+            rhs: rhs.into(),
+            dst,
+        });
+    }
+
+    /// Emits an atomic exchange `dst := global; global := rhs` (one
+    /// step).
+    pub fn exchange(&mut self, global: Global, rhs: impl Into<Expr>, dst: Local) {
+        self.code.push(Instr::Rmw {
+            global,
+            op: RmwOp::Xchg,
+            rhs: rhs.into(),
+            dst,
+        });
+    }
+
+    /// Emits an atomic compare-and-swap (one step): `dst := 1` and
+    /// `global := new` if `global == expected`, else `dst := 0`.
+    pub fn cas(
+        &mut self,
+        global: Global,
+        expected: impl Into<Expr>,
+        new: impl Into<Expr>,
+        dst: Local,
+    ) {
+        self.code.push(Instr::Cas {
+            global,
+            expected: expected.into(),
+            new: new.into(),
+            dst,
+        });
+    }
+
+    /// Emits a blocking wait until `global != 0` (one step) — an event
+    /// wait.
+    pub fn wait_nonzero(&mut self, global: Global) {
+        self.code.push(Instr::BlockUntil {
+            global,
+            pred: BlockPred::NonZero,
+        });
+    }
+
+    /// Emits a blocking wait until `global == 0` (one step).
+    pub fn wait_zero(&mut self, global: Global) {
+        self.code.push(Instr::BlockUntil {
+            global,
+            pred: BlockPred::Zero,
+        });
+    }
+
+    /// Emits a blocking wait until `global == value` (one step) — the
+    /// idiom for joining on a completion counter.
+    pub fn wait_eq(&mut self, global: Global, value: i64) {
+        self.code.push(Instr::BlockUntil {
+            global,
+            pred: BlockPred::Eq(value),
+        });
+    }
+
+    /// Emits a bare scheduling point (one step).
+    pub fn yield_point(&mut self) {
+        self.code.push(Instr::Yield);
+    }
+
+    /// Emits the local computation `dst := expr` (invisible).
+    pub fn compute(&mut self, dst: Local, expr: impl Into<Expr>) {
+        self.code.push(Instr::Compute {
+            dst,
+            expr: expr.into(),
+        });
+    }
+
+    /// Emits a local assertion (invisible; failing it fails the
+    /// execution).
+    pub fn assert(&mut self, cond: impl Into<Expr>, msg: &str) {
+        self.code.push(Instr::Assert {
+            cond: cond.into(),
+            msg: msg.to_string(),
+        });
+    }
+
+    /// Emits thread termination (invisible).
+    pub fn halt(&mut self) {
+        self.code.push(Instr::Halt);
+    }
+
+    /// Creates a label to be [`place`](ThreadBuilder::place)d later.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.code.len());
+    }
+
+    /// Emits an unconditional jump (invisible).
+    pub fn jump(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Jump { target: usize::MAX });
+    }
+
+    /// Emits a conditional jump (invisible): taken iff `cond != 0`.
+    pub fn jump_if(&mut self, cond: impl Into<Expr>, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::JumpIf {
+            cond: cond.into(),
+            target: usize::MAX,
+        });
+    }
+
+    /// Emits a conditional jump taken iff `cond == 0`.
+    pub fn jump_unless(&mut self, cond: impl Into<Expr>, label: Label) {
+        self.jump_if(!cond.into(), label);
+    }
+
+    fn finish(&mut self, name: &str) -> Vec<Instr> {
+        let mut code = std::mem::take(&mut self.code);
+        for (ix, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("thread {name}: unplaced label used at pc {ix}"));
+            match &mut code[ix] {
+                Instr::Jump { target: t } | Instr::JumpIf { target: t, .. } => *t = target,
+                other => unreachable!("fixup on non-jump {other:?}"),
+            }
+        }
+        code
+    }
+}
+
+/// Static validation of one thread's code (see [`ModelBuilder::build`]).
+fn validate_thread(thread: &ThreadCode, globals: usize, arrays: usize, locks: usize) {
+    let name = &thread.name;
+    let check_local = |l: &Local, pc: usize| {
+        assert!(
+            l.0 < thread.locals,
+            "thread {name}, pc {pc}: local l{} out of range (thread has {})",
+            l.0,
+            thread.locals
+        );
+    };
+    let check_expr = |e: &Expr, pc: usize| {
+        if let Some(max) = e.max_local() {
+            assert!(
+                max < thread.locals,
+                "thread {name}, pc {pc}: expression reads l{max}, thread has {} locals",
+                thread.locals
+            );
+        }
+    };
+    let check_global = |g: &Global, pc: usize| {
+        assert!(
+            g.index() < globals,
+            "thread {name}, pc {pc}: global g{} out of range",
+            g.index()
+        );
+    };
+    let check_arr = |a: &ArrayVar, pc: usize| {
+        assert!(
+            a.index() < arrays,
+            "thread {name}, pc {pc}: array a{} out of range",
+            a.index()
+        );
+    };
+    let check_target = |t: usize, pc: usize| {
+        assert!(
+            t <= thread.code.len(),
+            "thread {name}, pc {pc}: jump target {t} beyond code end"
+        );
+    };
+    for (pc, instr) in thread.code.iter().enumerate() {
+        match instr {
+            Instr::LoadGlobal { global, dst } => {
+                check_global(global, pc);
+                check_local(dst, pc);
+            }
+            Instr::StoreGlobal { global, src } => {
+                check_global(global, pc);
+                check_expr(src, pc);
+            }
+            Instr::LoadArr { arr, idx, dst } => {
+                check_arr(arr, pc);
+                check_expr(idx, pc);
+                check_local(dst, pc);
+            }
+            Instr::StoreArr { arr, idx, src } => {
+                check_arr(arr, pc);
+                check_expr(idx, pc);
+                check_expr(src, pc);
+            }
+            Instr::Acquire { lock } | Instr::Release { lock } => {
+                check_expr(lock, pc);
+                if let Expr::Const(ix) = lock {
+                    assert!(
+                        (*ix as usize) < locks,
+                        "thread {name}, pc {pc}: lock {ix} out of range ({locks} locks)"
+                    );
+                }
+            }
+            Instr::Rmw { global, rhs, dst, .. } => {
+                check_global(global, pc);
+                check_expr(rhs, pc);
+                check_local(dst, pc);
+            }
+            Instr::Cas {
+                global,
+                expected,
+                new,
+                dst,
+            } => {
+                check_global(global, pc);
+                check_expr(expected, pc);
+                check_expr(new, pc);
+                check_local(dst, pc);
+            }
+            Instr::BlockUntil { global, .. } => check_global(global, pc),
+            Instr::Yield | Instr::Halt => {}
+            Instr::Compute { dst, expr } => {
+                check_local(dst, pc);
+                check_expr(expr, pc);
+            }
+            Instr::Jump { target } => check_target(*target, pc),
+            Instr::JumpIf { cond, target } => {
+                check_expr(cond, pc);
+                check_target(*target, pc);
+            }
+            Instr::Assert { cond, .. } => check_expr(cond, pc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::Tid;
+
+    #[test]
+    fn counter_model_steps_sequentially() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        m.thread("t", |t| {
+            let tmp = t.local();
+            t.load(g, tmp);
+            t.store(g, tmp + 1);
+        });
+        let model = m.build();
+        let s0 = model.initial_state().unwrap();
+        assert!(model.enabled(&s0, Tid(0)));
+        let s1 = model.step(&s0, Tid(0)).unwrap();
+        let s2 = model.step(&s1, Tid(0)).unwrap();
+        assert_eq!(s2.globals[0], 1);
+        assert!(model.all_finished(&s2));
+        assert!(!model.enabled(&s2, Tid(0)));
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        // Sum 1..=3 into a global using a local loop counter.
+        let mut m = ModelBuilder::new();
+        let sum = m.global("sum", 0);
+        m.thread("summer", |t| {
+            let i = t.local();
+            let acc = t.local();
+            t.compute(i, 1);
+            let top = t.new_label();
+            let done = t.new_label();
+            t.place(top);
+            t.jump_if(i.gt(3), done);
+            t.compute(acc, acc + i);
+            t.store(sum, acc); // one shared access per iteration
+            t.compute(i, i + 1);
+            t.jump(top);
+            t.place(done);
+        });
+        let model = m.build();
+        let mut s = model.initial_state().unwrap();
+        while model.enabled(&s, Tid(0)) {
+            s = model.step(&s, Tid(0)).unwrap();
+        }
+        assert_eq!(s.globals[0], 6);
+    }
+
+    #[test]
+    fn lock_blocks_second_acquirer() {
+        let mut m = ModelBuilder::new();
+        let l = m.lock("m");
+        for _ in 0..2 {
+            m.thread("t", |t| {
+                t.acquire(l);
+                t.release(l);
+            });
+        }
+        let model = m.build();
+        let s0 = model.initial_state().unwrap();
+        let s1 = model.step(&s0, Tid(0)).unwrap(); // T0 acquires
+        assert!(!model.enabled(&s1, Tid(1)));
+        assert!(model.enabled(&s1, Tid(0)));
+        let s2 = model.step(&s1, Tid(0)).unwrap(); // T0 releases
+        assert!(model.enabled(&s2, Tid(1)));
+    }
+
+    #[test]
+    fn lock_array_indexes_by_expression() {
+        let mut m = ModelBuilder::new();
+        let locks = m.lock_array("bucket", 3);
+        m.thread("t", |t| {
+            let i = t.local();
+            t.compute(i, 2);
+            t.acquire_idx(locks, i);
+            t.release_idx(locks, i);
+        });
+        let model = m.build();
+        let s0 = model.initial_state().unwrap();
+        let s1 = model.step(&s0, Tid(0)).unwrap();
+        assert_eq!(s1.locks[2], Some(0));
+        assert_eq!(s1.locks[0], None);
+    }
+
+    #[test]
+    fn assert_failure_surfaces_as_step_error() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 41);
+        m.thread("t", |t| {
+            let v = t.local();
+            t.load(g, v);
+            t.assert(v.eq(42), "g must be 42");
+        });
+        let model = m.build();
+        let s0 = model.initial_state().unwrap();
+        let err = model.step(&s0, Tid(0)).unwrap_err();
+        assert_eq!(err.thread(), Tid(0));
+        assert_eq!(err.message(), "g must be 42");
+    }
+
+    #[test]
+    fn cas_and_rmw_semantics() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 5);
+        m.thread("t", |t| {
+            let old = t.local();
+            let ok = t.local();
+            t.fetch_add(g, 3, old); // g = 8, old = 5
+            t.cas(g, 8, 100, ok); // succeeds
+            t.assert(ok.eq(1), "cas 1 should succeed");
+            t.cas(g, 8, 200, ok); // fails (g = 100)
+            t.assert(ok.eq(0), "cas 2 should fail");
+            t.exchange(g, 7, old); // old = 100, g = 7
+            t.assert(old.eq(100), "xchg old value");
+            t.fetch_sub(g, 2, old); // g = 5
+        });
+        let model = m.build();
+        let mut s = model.initial_state().unwrap();
+        while model.enabled(&s, Tid(0)) {
+            s = model.step(&s, Tid(0)).unwrap();
+        }
+        assert_eq!(s.globals[0], 5);
+    }
+
+    #[test]
+    fn wait_nonzero_blocks_until_signaled() {
+        let mut m = ModelBuilder::new();
+        let ev = m.global("ev", 0);
+        m.thread("waiter", |t| t.wait_nonzero(ev));
+        m.thread("setter", |t| t.store(ev, 1));
+        let model = m.build();
+        let s0 = model.initial_state().unwrap();
+        assert!(!model.enabled(&s0, Tid(0)));
+        assert!(model.next_is_blocking(&s0, Tid(0)));
+        let s1 = model.step(&s0, Tid(1)).unwrap();
+        assert!(model.enabled(&s1, Tid(0)));
+    }
+
+    #[test]
+    fn local_loop_is_detected() {
+        let mut m = ModelBuilder::new();
+        let _g = m.global("g", 0);
+        m.thread("spinner", |t| {
+            let top = t.new_label();
+            t.place(top);
+            t.jump(top); // no shared access: illegal model
+        });
+        let model = m.build();
+        let err = model.initial_state().unwrap_err();
+        assert!(matches!(err, crate::model::StepError::LocalLoop { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "lock 3 out of range")]
+    fn out_of_range_lock_is_rejected_at_build() {
+        let mut m = ModelBuilder::new();
+        let _l = m.lock("only");
+        m.thread("bad", |t| {
+            t.acquire(crate::instr::Lock(3));
+        });
+        let _ = m.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_local_is_rejected_at_build() {
+        // A Local forged beyond the thread's allocation.
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        m.thread("bad", |t| {
+            let _a = t.local();
+            t.load(g, crate::expr::Local(7));
+        });
+        let _ = m.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced label")]
+    fn unplaced_label_panics() {
+        let mut m = ModelBuilder::new();
+        m.thread("bad", |t| {
+            let l = t.new_label();
+            t.jump(l);
+        });
+    }
+
+    #[test]
+    fn states_hash_and_compare() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        m.thread("t", |t| t.store(g, 1));
+        let model = m.build();
+        let a = model.initial_state().unwrap();
+        let b = model.initial_state().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = model.step(&a, Tid(0)).unwrap();
+        assert_ne!(a, c);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

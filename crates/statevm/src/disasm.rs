@@ -1,0 +1,206 @@
+//! Disassembly of models — debugging aid for the builder DSL.
+//!
+//! The builder's emitted instruction streams are not otherwise visible;
+//! [`Model::disasm`] renders them with resolved names, and
+//! [`Model::stats`] summarizes the shape the search will face.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::model::Model;
+
+/// Aggregate shape of a model, as the searches see it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Number of threads (`n`).
+    pub threads: usize,
+    /// Shared instructions across all threads (upper bound on `n·k`).
+    pub shared_instructions: usize,
+    /// Potentially blocking shared instructions (upper bound on `n·b`).
+    pub blocking_instructions: usize,
+    /// Local (invisible) instructions.
+    pub local_instructions: usize,
+    /// Global scalars.
+    pub globals: usize,
+    /// Global arrays.
+    pub arrays: usize,
+    /// Locks.
+    pub locks: usize,
+}
+
+impl Model {
+    /// Summarizes the model's static shape.
+    pub fn stats(&self) -> ModelStats {
+        let mut shared = 0;
+        let mut blocking = 0;
+        let mut local = 0;
+        for t in &self.threads {
+            for i in &t.code {
+                if i.is_shared() {
+                    shared += 1;
+                    if i.is_blocking() {
+                        blocking += 1;
+                    }
+                } else {
+                    local += 1;
+                }
+            }
+        }
+        ModelStats {
+            threads: self.threads.len(),
+            shared_instructions: shared,
+            blocking_instructions: blocking,
+            local_instructions: local,
+            globals: self.globals.len(),
+            arrays: self.arrays.len(),
+            locks: self.locks,
+        }
+    }
+
+    /// Renders the full program listing with named globals and arrays.
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "; {} globals, {} arrays, {} locks", self.globals.len(), self.arrays.len(), self.locks);
+        for (i, (name, init)) in self.global_names.iter().zip(&self.globals).enumerate() {
+            let _ = writeln!(out, "global g{i} \"{name}\" = {init}");
+        }
+        for (i, (name, init)) in self.array_names.iter().zip(&self.arrays).enumerate() {
+            let _ = writeln!(out, "array a{i} \"{name}\" = {init:?}");
+        }
+        for thread in &self.threads {
+            let _ = writeln!(out, "\nthread \"{}\" ({} locals):", thread.name, thread.locals);
+            for (pc, instr) in thread.code.iter().enumerate() {
+                let marker = if instr.is_shared() {
+                    if instr.is_blocking() {
+                        "B"
+                    } else {
+                        "S"
+                    }
+                } else {
+                    " "
+                };
+                let _ = writeln!(out, "  {pc:>3} {marker} {}", self.render_instr(instr));
+            }
+        }
+        out
+    }
+
+    fn render_instr(&self, instr: &Instr) -> String {
+        let g = |ix: usize| format!("g{ix}:{}", self.global_names[ix]);
+        let a = |ix: usize| format!("a{ix}:{}", self.array_names[ix]);
+        match instr {
+            Instr::LoadGlobal { global, dst } => {
+                format!("load   l{} <- {}", dst.index(), g(global.index()))
+            }
+            Instr::StoreGlobal { global, src } => {
+                format!("store  {} <- {src}", g(global.index()))
+            }
+            Instr::LoadArr { arr, idx, dst } => {
+                format!("load   l{} <- {}[{idx}]", dst.index(), a(arr.index()))
+            }
+            Instr::StoreArr { arr, idx, src } => {
+                format!("store  {}[{idx}] <- {src}", a(arr.index()))
+            }
+            Instr::Acquire { lock } => format!("acq    lock[{lock}]"),
+            Instr::Release { lock } => format!("rel    lock[{lock}]"),
+            Instr::Rmw {
+                global,
+                op,
+                rhs,
+                dst,
+            } => format!(
+                "rmw    l{} <- {} {op:?}= {rhs}",
+                dst.index(),
+                g(global.index())
+            ),
+            Instr::Cas {
+                global,
+                expected,
+                new,
+                dst,
+            } => format!(
+                "cas    l{} <- {} ({expected} -> {new})",
+                dst.index(),
+                g(global.index())
+            ),
+            Instr::BlockUntil { global, pred } => {
+                format!("wait   {} {pred:?}", g(global.index()))
+            }
+            Instr::Yield => "yield".to_string(),
+            Instr::Compute { dst, expr } => format!("let    l{} <- {expr}", dst.index()),
+            Instr::Jump { target } => format!("jmp    {target}"),
+            Instr::JumpIf { cond, target } => format!("jif    {cond} -> {target}"),
+            Instr::Assert { cond, msg } => format!("assert {cond} \"{msg}\""),
+            Instr::Halt => "halt".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+
+    fn sample() -> Model {
+        let mut m = ModelBuilder::new();
+        let g = m.global("counter", 0);
+        let arr = m.array("buf", vec![0, 0]);
+        let l = m.lock("m");
+        m.thread("worker", |t| {
+            let v = t.local();
+            t.acquire(l);
+            t.load(g, v);
+            t.store_arr(arr, 0, v + 1);
+            t.assert(v.ge(0), "nonnegative");
+            t.release(l);
+        });
+        m.build()
+    }
+
+    #[test]
+    fn stats_count_instruction_classes() {
+        let s = sample().stats();
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.shared_instructions, 4); // acq, load, store_arr, rel
+        assert_eq!(s.blocking_instructions, 1); // acq
+        assert_eq!(s.local_instructions, 1); // assert
+        assert_eq!(s.globals, 1);
+        assert_eq!(s.arrays, 1);
+        assert_eq!(s.locks, 1);
+    }
+
+    #[test]
+    fn disassembly_names_everything() {
+        let text = sample().disasm();
+        assert!(text.contains("global g0 \"counter\" = 0"), "{text}");
+        assert!(text.contains("thread \"worker\""), "{text}");
+        assert!(text.contains("acq    lock[0]"), "{text}");
+        assert!(text.contains("g0:counter"), "{text}");
+        assert!(text.contains("assert"), "{text}");
+        // Shared/blocking markers present.
+        assert!(text.contains(" B acq"), "{text}");
+        assert!(text.contains(" S load"), "{text}");
+    }
+
+    #[test]
+    fn disassembly_of_benchmarks_renders() {
+        // Smoke-test over a realistic model: no panics, plausible size.
+        let mut m = ModelBuilder::new();
+        let g = m.global("x", 0);
+        for _ in 0..2 {
+            m.thread("t", |t| {
+                let v = t.local();
+                let top = t.new_label();
+                t.compute(v, 0);
+                t.place(top);
+                t.fetch_add(g, 1, v);
+                t.jump_if(v.lt(2), top);
+            });
+        }
+        let model = m.build();
+        let text = model.disasm();
+        assert!(text.lines().count() > 10);
+        assert!(text.contains("jif"));
+        assert!(text.contains("rmw"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Pure expressions over a thread's local variables.
+//!
+//! Expressions are side-effect-free and touch no shared state, so
+//! evaluating them is *invisible* to other threads: the VM executes them
+//! as part of the enclosing step, never creating a scheduling point —
+//! each step performs exactly one shared-variable access (Section 2 of
+//! the paper).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Not, Rem, Sub};
+
+/// A local variable slot of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Local(pub(crate) usize);
+
+impl Local {
+    /// The slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A pure expression over locals and constants.
+///
+/// Booleans are represented as integers (`0` = false, nonzero = true),
+/// matching the ZING modeling language's C heritage.
+///
+/// # Examples
+///
+/// ```
+/// use icb_statevm::Expr;
+/// let e = (Expr::konst(2) + Expr::konst(3)).eq(Expr::konst(5));
+/// assert_eq!(e.eval(&[]), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(i64),
+    /// A local variable read.
+    Local(Local),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Euclidean remainder (always non-negative for positive modulus).
+    Mod(Box<Expr>, Box<Expr>),
+    /// Truncated division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Equality test (1/0).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality test (1/0).
+    Ne(Box<Expr>, Box<Expr>),
+    /// Less-than test (1/0).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less-or-equal test (1/0).
+    Le(Box<Expr>, Box<Expr>),
+    /// Logical and (short-circuit is unobservable: exprs are pure).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    NotE(Box<Expr>),
+    /// Arithmetic negation.
+    NegE(Box<Expr>),
+}
+
+impl Expr {
+    /// A constant expression.
+    pub fn konst(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Evaluates the expression over a thread's locals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Local`] is out of range for `locals` (a model
+    /// construction bug) or on division by zero.
+    pub fn eval(&self, locals: &[i64]) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Local(l) => locals[l.0],
+            Expr::Add(a, b) => a.eval(locals).wrapping_add(b.eval(locals)),
+            Expr::Sub(a, b) => a.eval(locals).wrapping_sub(b.eval(locals)),
+            Expr::Mul(a, b) => a.eval(locals).wrapping_mul(b.eval(locals)),
+            Expr::Mod(a, b) => a.eval(locals).rem_euclid(b.eval(locals)),
+            Expr::Div(a, b) => a.eval(locals) / b.eval(locals),
+            Expr::Eq(a, b) => (a.eval(locals) == b.eval(locals)) as i64,
+            Expr::Ne(a, b) => (a.eval(locals) != b.eval(locals)) as i64,
+            Expr::Lt(a, b) => (a.eval(locals) < b.eval(locals)) as i64,
+            Expr::Le(a, b) => (a.eval(locals) <= b.eval(locals)) as i64,
+            Expr::And(a, b) => ((a.eval(locals) != 0) && (b.eval(locals) != 0)) as i64,
+            Expr::Or(a, b) => ((a.eval(locals) != 0) || (b.eval(locals) != 0)) as i64,
+            Expr::NotE(a) => (a.eval(locals) == 0) as i64,
+            Expr::NegE(a) => a.eval(locals).wrapping_neg(),
+        }
+    }
+
+    /// `self == other` (1/0).
+    pub fn eq(self, other: impl Into<Expr>) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `self != other` (1/0).
+    pub fn ne(self, other: impl Into<Expr>) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `self < other` (1/0).
+    pub fn lt(self, other: impl Into<Expr>) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `self <= other` (1/0).
+    pub fn le(self, other: impl Into<Expr>) -> Expr {
+        Expr::Le(Box::new(self), Box::new(other.into()))
+    }
+
+    /// `self > other` (1/0).
+    pub fn gt(self, other: impl Into<Expr>) -> Expr {
+        other.into().lt(self)
+    }
+
+    /// `self >= other` (1/0).
+    pub fn ge(self, other: impl Into<Expr>) -> Expr {
+        other.into().le(self)
+    }
+
+    /// Logical and.
+    pub fn and(self, other: impl Into<Expr>) -> Expr {
+        Expr::And(Box::new(self), Box::new(other.into()))
+    }
+
+    /// Logical or.
+    pub fn or(self, other: impl Into<Expr>) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other.into()))
+    }
+
+    /// Euclidean remainder.
+    pub fn rem_euclid(self, other: impl Into<Expr>) -> Expr {
+        Expr::Mod(Box::new(self), Box::new(other.into()))
+    }
+
+    /// The highest local slot this expression reads, if any — used by
+    /// the model builder's validation.
+    pub fn max_local(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Local(l) => Some(l.0),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Mod(a, b)
+            | Expr::Div(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => a.max_local().max(b.max_local()),
+            Expr::NotE(a) | Expr::NegE(a) => a.max_local(),
+        }
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<Local> for Expr {
+    fn from(l: Local) -> Expr {
+        Expr::Local(l)
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl<R: Into<Expr>> $trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::$variant(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+        impl $trait<Expr> for Local {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::$variant(Box::new(self.into()), Box::new(rhs))
+            }
+        }
+        impl $trait<i64> for Local {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                Expr::$variant(Box::new(self.into()), Box::new(Expr::Const(rhs)))
+            }
+        }
+        impl $trait<Local> for Local {
+            type Output = Expr;
+            fn $method(self, rhs: Local) -> Expr {
+                Expr::$variant(Box::new(self.into()), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+binop!(Add, add, Add);
+binop!(Sub, sub, Sub);
+binop!(Mul, mul, Mul);
+binop!(Rem, rem, Mod);
+
+impl Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::NotE(Box::new(self))
+    }
+}
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::NegE(Box::new(self))
+    }
+}
+
+impl Local {
+    /// `self == other` (1/0).
+    pub fn eq(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).eq(other)
+    }
+
+    /// `self != other` (1/0).
+    pub fn ne(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).ne(other)
+    }
+
+    /// `self < other` (1/0).
+    pub fn lt(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).lt(other)
+    }
+
+    /// `self <= other` (1/0).
+    pub fn le(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).le(other)
+    }
+
+    /// `self > other` (1/0).
+    pub fn gt(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).gt(other)
+    }
+
+    /// `self >= other` (1/0).
+    pub fn ge(self, other: impl Into<Expr>) -> Expr {
+        Expr::from(self).ge(other)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Local(l) => write!(f, "l{}", l.0),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Mod(a, b) => write!(f, "({a} % {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Eq(a, b) => write!(f, "({a} == {b})"),
+            Expr::Ne(a, b) => write!(f, "({a} != {b})"),
+            Expr::Lt(a, b) => write!(f, "({a} < {b})"),
+            Expr::Le(a, b) => write!(f, "({a} <= {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::NotE(a) => write!(f, "!{a}"),
+            Expr::NegE(a) => write!(f, "-{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let l0 = Local(0);
+        let e = l0 + 3;
+        assert_eq!(e.eval(&[4]), 7);
+        let e = (Expr::from(l0) - 1) * Expr::konst(2);
+        assert_eq!(e.eval(&[4]), 6);
+        assert_eq!((Expr::konst(-7)).rem_euclid(3).eval(&[]), 2);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        let l = Local(0);
+        assert_eq!(l.lt(5).eval(&[4]), 1);
+        assert_eq!(l.lt(5).eval(&[5]), 0);
+        assert_eq!(l.ge(5).eval(&[5]), 1);
+        assert_eq!(l.eq(4).eval(&[4]), 1);
+        assert_eq!(l.ne(4).eval(&[4]), 0);
+        assert_eq!(l.gt(3).eval(&[4]), 1);
+        assert_eq!(l.le(4).eval(&[4]), 1);
+    }
+
+    #[test]
+    fn logic() {
+        let t = Expr::konst(1);
+        let f = Expr::konst(0);
+        assert_eq!(t.clone().and(f.clone()).eval(&[]), 0);
+        assert_eq!(t.clone().or(f.clone()).eval(&[]), 1);
+        assert_eq!((!f).eval(&[]), 1);
+        assert_eq!((-t).eval(&[]), -1);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let l = Local(1);
+        let e = (l + 1).eq(Expr::konst(2));
+        assert_eq!(e.to_string(), "((l1 + 1) == 2)");
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let e = Expr::konst(i64::MAX) + Expr::konst(1);
+        assert_eq!(e.eval(&[]), i64::MIN);
+    }
+}

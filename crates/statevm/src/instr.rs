@@ -1,0 +1,253 @@
+//! The VM's instruction set.
+//!
+//! Instructions split into *shared* instructions (exactly one
+//! shared-variable access each — the paper's notion of a step) and
+//! *local* instructions (pure control flow and computation, executed
+//! greedily as part of the surrounding step).
+
+use crate::expr::{Expr, Local};
+
+/// Handle to a global scalar variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Global(pub(crate) usize);
+
+impl Global {
+    /// The global's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a global array variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayVar(pub(crate) usize);
+
+impl ArrayVar {
+    /// The array's index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a single lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lock(pub(crate) usize);
+
+impl Lock {
+    /// The lock's index in the model's lock table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a contiguous range of locks, indexable by an expression
+/// (per-inode locks, per-bucket locks, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LockArray {
+    pub(crate) base: usize,
+    pub(crate) len: usize,
+}
+
+impl LockArray {
+    /// Number of locks in the range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Read-modify-write operators for [`Instr::Rmw`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `global += rhs`.
+    Add,
+    /// `global -= rhs`.
+    Sub,
+    /// `global = rhs` (an atomic exchange; the old value still lands in
+    /// `dst`).
+    Xchg,
+}
+
+/// Blocking predicates for [`Instr::BlockUntil`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockPred {
+    /// Enabled while the global is nonzero (event wait).
+    NonZero,
+    /// Enabled while the global is zero.
+    Zero,
+    /// Enabled while the global equals the given value.
+    Eq(i64),
+}
+
+/// One VM instruction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    // ---- shared instructions (one step each) ----
+    /// `dst := global`.
+    LoadGlobal {
+        /// Source global.
+        global: Global,
+        /// Destination local.
+        dst: Local,
+    },
+    /// `global := src`.
+    StoreGlobal {
+        /// Destination global.
+        global: Global,
+        /// Value expression (over locals).
+        src: Expr,
+    },
+    /// `dst := array[idx]`.
+    LoadArr {
+        /// Source array.
+        arr: ArrayVar,
+        /// Index expression.
+        idx: Expr,
+        /// Destination local.
+        dst: Local,
+    },
+    /// `array[idx] := src`.
+    StoreArr {
+        /// Destination array.
+        arr: ArrayVar,
+        /// Index expression.
+        idx: Expr,
+        /// Value expression.
+        src: Expr,
+    },
+    /// Acquire the lock at `base + idx`; blocks while held.
+    Acquire {
+        /// Lock index expression (into the model's flat lock table).
+        lock: Expr,
+    },
+    /// Release the lock at `base + idx`.
+    ///
+    /// The executing thread must hold it (model bug otherwise).
+    Release {
+        /// Lock index expression.
+        lock: Expr,
+    },
+    /// Atomically `dst := global; global := op(global, rhs)`.
+    Rmw {
+        /// The shared variable.
+        global: Global,
+        /// The operator.
+        op: RmwOp,
+        /// Right-hand side (over locals).
+        rhs: Expr,
+        /// Receives the previous value.
+        dst: Local,
+    },
+    /// Atomic compare-and-swap: if `global == expected` then
+    /// `global := new, dst := 1` else `dst := 0`.
+    Cas {
+        /// The shared variable.
+        global: Global,
+        /// Expected value.
+        expected: Expr,
+        /// Replacement value.
+        new: Expr,
+        /// Receives 1 on success, 0 on failure.
+        dst: Local,
+    },
+    /// Block until the predicate holds on the global, then read it (one
+    /// shared access). Models events / join flags.
+    BlockUntil {
+        /// The shared variable.
+        global: Global,
+        /// When the thread becomes enabled.
+        pred: BlockPred,
+    },
+    /// A shared no-op: a scheduling point without a variable access
+    /// (models a syscall boundary / explicit yield).
+    Yield,
+
+    // ---- local instructions (invisible) ----
+    /// `dst := expr` over locals only.
+    Compute {
+        /// Destination local.
+        dst: Local,
+        /// Pure expression.
+        expr: Expr,
+    },
+    /// Unconditional branch.
+    Jump {
+        /// Target pc.
+        target: usize,
+    },
+    /// Branch if `cond != 0`.
+    JumpIf {
+        /// Condition over locals.
+        cond: Expr,
+        /// Target pc.
+        target: usize,
+    },
+    /// Fail the execution if `cond == 0`.
+    Assert {
+        /// Condition over locals.
+        cond: Expr,
+        /// Failure message.
+        msg: String,
+    },
+    /// Terminate the thread.
+    Halt,
+}
+
+impl Instr {
+    /// Is this a shared instruction (i.e. its execution is one step)?
+    pub fn is_shared(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Compute { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpIf { .. }
+                | Instr::Assert { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// Is this a potentially blocking shared instruction (the paper's
+    /// `B`)?
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Instr::Acquire { .. } | Instr::BlockUntil { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_classification() {
+        assert!(Instr::Yield.is_shared());
+        assert!(Instr::LoadGlobal {
+            global: Global(0),
+            dst: Local(0)
+        }
+        .is_shared());
+        assert!(!Instr::Halt.is_shared());
+        assert!(!Instr::Jump { target: 0 }.is_shared());
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Instr::Acquire {
+            lock: Expr::konst(0)
+        }
+        .is_blocking());
+        assert!(Instr::BlockUntil {
+            global: Global(0),
+            pred: BlockPred::NonZero
+        }
+        .is_blocking());
+        assert!(!Instr::Yield.is_blocking());
+        assert!(!Instr::Release {
+            lock: Expr::konst(0)
+        }
+        .is_blocking());
+    }
+}

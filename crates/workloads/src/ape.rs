@@ -1,0 +1,339 @@
+//! The APE (Asynchronous Processing Environment) benchmark.
+//!
+//! APE is a Windows library of data structures and helpers that give
+//! logical structure and debugging support to asynchronous multithreaded
+//! code. Following the paper's description of its test: the main thread
+//! initializes APE's data structures, creates two worker threads, and
+//! waits for them to finish; the workers concurrently exercise the
+//! interface (3 threads total).
+//!
+//! This synthetic equivalent keeps APE's load-bearing pieces: a shared
+//! work queue (mutex + semaphore), a context reference count, a debug
+//! *tracking list* of in-flight work, and a completion counter the
+//! teardown validates.
+//!
+//! Four seeded bugs, matching the paper's Table 2 profile for APE
+//! (2 bugs at bound 0, 1 at bound 1, 1 at bound 2):
+//!
+//! * [`ApeVariant::MissingJoin`] (bound 0) — teardown validates
+//!   completions without waiting for the workers.
+//! * [`ApeVariant::PoisonShortcut`] (bound 0) — shutdown enqueues a
+//!   single poison item for two workers: the second worker blocks
+//!   forever and the join deadlocks.
+//! * [`ApeVariant::UntrackedInsert`] (bound 1) — the debug tracking
+//!   list is updated outside its lock: a data race.
+//! * [`ApeVariant::NonAtomicRelease`] (bound 2) — the context refcount
+//!   is decremented with a load/store pair instead of an atomic
+//!   decrement; two overlapping releases lose an update.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use icb_runtime::sync::{AtomicI64, Mutex, Semaphore};
+use icb_runtime::{thread, DataVar, RuntimeProgram};
+
+/// Which version of APE to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApeVariant {
+    /// Correct environment.
+    Correct,
+    /// Teardown does not join the workers before validating.
+    MissingJoin,
+    /// Shutdown enqueues one poison item for two workers.
+    PoisonShortcut,
+    /// Tracking list updated outside its lock.
+    UntrackedInsert,
+    /// Refcount released with a non-atomic load/store pair.
+    NonAtomicRelease,
+}
+
+const POISON: i64 = -1;
+
+/// APE's shared environment.
+struct ApeEnv {
+    queue: Mutex<VecDeque<i64>>,
+    available: Semaphore,
+    /// Debug tracking list of in-flight work items.
+    tracked: DataVar<Vec<i64>>,
+    track_lock: Mutex<()>,
+    /// Context reference count.
+    ctx_refs: AtomicI64,
+    completions: AtomicI64,
+    variant: ApeVariant,
+}
+
+impl ApeEnv {
+    fn new(variant: ApeVariant) -> Self {
+        ApeEnv {
+            queue: Mutex::new(VecDeque::new()),
+            available: Semaphore::new(0),
+            tracked: DataVar::new(Vec::new()),
+            track_lock: Mutex::new(()),
+            ctx_refs: AtomicI64::new(0),
+            completions: AtomicI64::new(0),
+            variant,
+        }
+    }
+
+    fn enqueue(&self, item: i64) {
+        self.queue.lock().push_back(item);
+        self.available.release();
+    }
+
+    /// Worker loop: drain items until poisoned.
+    fn worker_loop(&self) {
+        loop {
+            self.available.acquire();
+            let item = self
+                .queue
+                .lock()
+                .pop_front()
+                .expect("semaphore guarantees an item");
+            if item == POISON {
+                return;
+            }
+            self.process(item);
+        }
+    }
+
+    fn track(&self, item: i64) {
+        if self.variant == ApeVariant::UntrackedInsert {
+            // BUG: the debug list is touched without its lock.
+            self.tracked.with_mut(|t| t.push(item));
+        } else {
+            let _g = self.track_lock.lock();
+            self.tracked.with_mut(|t| t.push(item));
+        }
+    }
+
+    fn untrack(&self, item: i64) {
+        if self.variant == ApeVariant::UntrackedInsert {
+            // BUG: as in `track`.
+            self.tracked.with_mut(|t| t.retain(|&x| x != item));
+        } else {
+            let _g = self.track_lock.lock();
+            self.tracked.with_mut(|t| t.retain(|&x| x != item));
+        }
+    }
+
+    fn add_ref(&self) {
+        self.ctx_refs.fetch_add(1);
+    }
+
+    fn release_ref(&self) {
+        if self.variant == ApeVariant::NonAtomicRelease {
+            // BUG: load/store instead of an interlocked decrement.
+            let r = self.ctx_refs.load();
+            self.ctx_refs.store(r - 1);
+        } else {
+            self.ctx_refs.fetch_sub(1);
+        }
+    }
+
+    /// One asynchronous work item, with debug tracking around it.
+    fn process(&self, item: i64) {
+        self.add_ref();
+        self.track(item);
+        self.untrack(item);
+        self.release_ref();
+        self.completions.fetch_add(1);
+    }
+}
+
+/// The APE test driver: main initializes the environment, enqueues
+/// `items` work items, spawns two workers, shuts down, and validates the
+/// environment's invariants.
+pub fn ape_program(variant: ApeVariant, items: usize) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let env = Arc::new(ApeEnv::new(variant));
+        for i in 0..items {
+            env.enqueue((i + 1) as i64);
+        }
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let env = Arc::clone(&env);
+                thread::spawn(move || env.worker_loop())
+            })
+            .collect();
+        // Shutdown: one poison per worker — except in the buggy variant.
+        let poisons = if variant == ApeVariant::PoisonShortcut {
+            1
+        } else {
+            2
+        };
+        for _ in 0..poisons {
+            env.enqueue(POISON);
+        }
+        if variant != ApeVariant::MissingJoin {
+            for w in workers {
+                w.join();
+            }
+        }
+        // Teardown validation.
+        assert_eq!(
+            env.completions.load(),
+            items as i64,
+            "work items lost at teardown"
+        );
+        assert_eq!(env.ctx_refs.load(), 0, "context refcount leaked");
+        env.tracked
+            .with(|t| assert!(t.is_empty(), "tracking list not empty: {t:?}"));
+    })
+}
+
+
+/// The correct APE environment as an explicit-state VM model (driver +
+/// 2 workers, mirroring [`ape_program`]): a locked work queue with
+/// blocking waits, a context refcount, a tracking counter, and the
+/// teardown assertions. Used for exact state counting and cross-checker
+/// validation; the seeded bugs live in the runtime version, where the
+/// race detector can classify them.
+pub fn ape_model(items: usize) -> icb_statevm::Model {
+    use icb_statevm::ModelBuilder;
+    const POISON_V: i64 = -1;
+    let workers = 2usize;
+    let cap = items + workers;
+
+    let mut m = ModelBuilder::new();
+    let queue = m.array("queue", vec![0; cap]);
+    let q_head = m.global("q_head", 0);
+    let q_tail = m.global("q_tail", 0);
+    let q_count = m.global("q_count", 0);
+    let q_lock = m.lock("q_lock");
+    let track_lock = m.lock("track_lock");
+    let ctx_refs = m.global("ctx_refs", 0);
+    let tracked = m.global("tracked", 0);
+    let completions = m.global("completions", 0);
+    let workers_done = m.global("workers_done", 0);
+
+    m.thread("driver", |t| {
+        let tmp = t.local();
+        let v = t.local();
+        // Enqueue the work items, then one poison per worker.
+        for i in 0..(items + workers) {
+            let value = if i < items { (i + 1) as i64 } else { POISON_V };
+            t.acquire(q_lock);
+            t.load(q_tail, tmp);
+            t.store_arr(queue, icb_statevm::Expr::from(tmp), value);
+            t.store(q_tail, tmp + 1);
+            t.load(q_count, tmp);
+            t.store(q_count, tmp + 1);
+            t.release(q_lock);
+        }
+        // Teardown: join the workers, then validate the environment.
+        t.wait_eq(workers_done, workers as i64);
+        t.load(completions, v);
+        t.assert(v.eq(items as i64), "work items lost at teardown");
+        t.load(ctx_refs, v);
+        t.assert(v.eq(0), "context refcount leaked");
+        t.load(tracked, v);
+        t.assert(v.eq(0), "tracking list not empty");
+    });
+
+    for _ in 0..workers {
+        m.thread("worker", |t| {
+            let c = t.local();
+            let item = t.local();
+            let old = t.local();
+            let top = t.new_label();
+            let got = t.new_label();
+            let exit = t.new_label();
+            t.place(top);
+            // Blocking take with recheck (another worker may win the
+            // race between the wait and the lock).
+            t.wait_nonzero(q_count);
+            t.acquire(q_lock);
+            t.load(q_count, c);
+            t.jump_if(c.gt(0), got);
+            t.release(q_lock);
+            t.jump(top);
+            t.place(got);
+            t.load(q_head, c);
+            t.load_arr(queue, icb_statevm::Expr::from(c), item);
+            t.store(q_head, c + 1);
+            t.load(q_count, c);
+            t.store(q_count, c - 1);
+            t.release(q_lock);
+            t.jump_if(item.eq(POISON_V), exit);
+            // process(item)
+            t.fetch_add(ctx_refs, 1, old);
+            t.acquire(track_lock);
+            t.load(tracked, c);
+            t.store(tracked, c + 1);
+            t.release(track_lock);
+            t.acquire(track_lock);
+            t.load(tracked, c);
+            t.store(tracked, c - 1);
+            t.release(track_lock);
+            t.fetch_sub(ctx_refs, 1, old);
+            t.fetch_add(completions, 1, old);
+            t.jump(top);
+            t.place(exit);
+            t.fetch_add(workers_done, 1, old);
+        });
+    }
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::ExecutionOutcome;
+
+    fn minimal_bound(variant: ApeVariant) -> Option<(usize, ExecutionOutcome)> {
+        let program = ape_program(variant, 2);
+        IcbSearch::find_minimal_bug(&program, 500_000).map(|b| (b.preemptions, b.outcome))
+    }
+
+    #[test]
+    fn missing_join_fails_without_preemptions() {
+        let (bound, outcome) = minimal_bound(ApeVariant::MissingJoin).expect("bug");
+        assert_eq!(bound, 0);
+        assert!(matches!(outcome, ExecutionOutcome::AssertionFailure { .. }));
+    }
+
+    #[test]
+    fn poison_shortcut_deadlocks_without_preemptions() {
+        let (bound, outcome) = minimal_bound(ApeVariant::PoisonShortcut).expect("bug");
+        assert_eq!(bound, 0);
+        assert!(matches!(outcome, ExecutionOutcome::Deadlock { .. }));
+    }
+
+    #[test]
+    fn untracked_insert_races_with_one_preemption() {
+        let (bound, outcome) = minimal_bound(ApeVariant::UntrackedInsert).expect("bug");
+        assert_eq!(bound, 1);
+        assert!(matches!(outcome, ExecutionOutcome::DataRace { .. }));
+    }
+
+    #[test]
+    fn non_atomic_release_needs_two_preemptions() {
+        let (bound, outcome) = minimal_bound(ApeVariant::NonAtomicRelease).expect("bug");
+        assert_eq!(bound, 2);
+        assert!(matches!(outcome, ExecutionOutcome::AssertionFailure { .. }));
+    }
+
+    #[test]
+    fn vm_model_is_clean_and_matches_the_runtime_shape() {
+        use icb_statevm::{ExplicitConfig, ExplicitIcb};
+        let model = ape_model(2);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        assert!(report.distinct_states > 100);
+    }
+
+    #[test]
+    fn correct_ape_is_clean_up_to_bound_two() {
+        let program = ape_program(ApeVariant::Correct, 2);
+        let config = SearchConfig {
+            preemption_bound: Some(2),
+            max_executions: Some(500_000),
+            ..SearchConfig::default()
+        };
+        let report = IcbSearch::new(config).run(&program);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        assert_eq!(report.completed_bound, Some(2));
+    }
+}

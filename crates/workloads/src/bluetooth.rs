@@ -1,0 +1,253 @@
+//! The Bluetooth PnP driver benchmark.
+//!
+//! A sample Bluetooth Plug-and-Play driver stripped of hardware code,
+//! keeping the synchronization needed for PnP stop: a *pending I/O*
+//! counter biased by 1, a `stoppingFlag`, a `stoppingEvent`, and a
+//! `stopped` flag. Worker threads enter the driver by incrementing
+//! `pendingIo` (guarded by `stoppingFlag`); the stop thread raises the
+//! flag, releases its bias count, waits for in-flight I/O to drain, and
+//! marks the driver stopped.
+//!
+//! The known bug (Table 2: exposed at context bound 1): in
+//! `io_increment`, the flag check and the increment are not atomic —
+//!
+//! ```text
+//! if stoppingFlag: return stopped      // worker reads false
+//!      << preemption: stop thread runs to completion >>
+//! pendingIo++                          // driver already stopped!
+//! ```
+//!
+//! so a worker can operate on a stopped driver, asserting
+//! "driver used after stop".
+
+use std::sync::Arc;
+
+use icb_runtime::sync::{AtomicBool, AtomicI64, Event};
+use icb_runtime::{thread, RuntimeProgram};
+use icb_statevm::{Model, ModelBuilder};
+
+/// Which version of the driver to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BluetoothVariant {
+    /// The paper's buggy driver: non-atomic check-then-increment.
+    Buggy,
+    /// A corrected driver: the increment happens before the flag check
+    /// and is rolled back if the driver is stopping.
+    Fixed,
+}
+
+/// Driver state shared between the stopper and the workers.
+struct Driver {
+    stopping_flag: AtomicBool,
+    stopped: AtomicBool,
+    /// Biased by 1: the bias is released by the stop thread.
+    pending_io: AtomicI64,
+    stopping_event: Event,
+}
+
+impl Driver {
+    fn new() -> Self {
+        Driver {
+            stopping_flag: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            pending_io: AtomicI64::new(1),
+            stopping_event: Event::manual_reset(false),
+        }
+    }
+
+    /// Tries to enter the driver. Returns `true` on success.
+    fn io_increment(&self, variant: BluetoothVariant) -> bool {
+        match variant {
+            BluetoothVariant::Buggy => {
+                if self.stopping_flag.load() {
+                    return false;
+                }
+                // BUG: a preemption here lets the stop thread drain
+                // pendingIo and stop the driver.
+                self.pending_io.fetch_add(1);
+                true
+            }
+            BluetoothVariant::Fixed => {
+                // Increment first; the stop thread cannot observe zero
+                // while we are inside.
+                self.pending_io.fetch_add(1);
+                if self.stopping_flag.load() {
+                    self.io_decrement();
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    fn io_decrement(&self) {
+        if self.pending_io.fetch_sub(1) == 1 {
+            self.stopping_event.set();
+        }
+    }
+
+    /// A worker performing one driver operation (`BCSP_PnpAdd`).
+    fn pnp_add(&self, variant: BluetoothVariant) {
+        if self.io_increment(variant) {
+            // Inside the driver: it must not be stopped.
+            assert!(!self.stopped.load(), "driver used after stop");
+            self.io_decrement();
+        }
+    }
+
+    /// The stop routine (`BCSP_PnpStop`).
+    fn pnp_stop(&self) {
+        self.stopping_flag.store(true);
+        self.io_decrement(); // release the bias count
+        self.stopping_event.wait(); // wait for in-flight I/O
+        self.stopped.store(true);
+    }
+}
+
+/// The paper's test driver: `workers` threads perform operations while
+/// a stop thread stops the driver (3 threads total with the default
+/// `workers = 2`; the harness main thread only spawns and joins).
+pub fn bluetooth_program(variant: BluetoothVariant, workers: usize) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let driver = Arc::new(Driver::new());
+        let stopper = {
+            let driver = Arc::clone(&driver);
+            thread::spawn(move || driver.pnp_stop())
+        };
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let driver = Arc::clone(&driver);
+                thread::spawn(move || driver.pnp_add(variant))
+            })
+            .collect();
+        stopper.join();
+        for h in handles {
+            h.join();
+        }
+    })
+}
+
+/// The same driver as an explicit-state VM model (for exact state
+/// counting in the Figure 4 experiment).
+///
+/// Globals mirror the runtime version; the `stoppingEvent` is a plain
+/// global waited on with a blocking read.
+pub fn bluetooth_model(variant: BluetoothVariant, workers: usize) -> Model {
+    let mut m = ModelBuilder::new();
+    let stopping_flag = m.global("stoppingFlag", 0);
+    let stopped = m.global("stopped", 0);
+    let pending_io = m.global("pendingIo", 1);
+    let stopping_event = m.global("stoppingEvent", 0);
+
+    for _ in 0..workers {
+        m.thread("worker", |t| {
+            let flag = t.local();
+            let old = t.local();
+            let stop = t.local();
+            let skip = t.new_label();
+            let exit = t.new_label();
+            match variant {
+                BluetoothVariant::Buggy => {
+                    t.load(stopping_flag, flag);
+                    t.jump_if(flag.ne(0), exit);
+                    t.fetch_add(pending_io, 1, old);
+                }
+                BluetoothVariant::Fixed => {
+                    t.fetch_add(pending_io, 1, old);
+                    t.load(stopping_flag, flag);
+                    t.jump_unless(flag.ne(0), skip);
+                    // Roll back and leave.
+                    t.fetch_sub(pending_io, 1, old);
+                    t.jump_if(old.ne(1), exit);
+                    t.store(stopping_event, 1);
+                    t.jump(exit);
+                }
+            }
+            t.place(skip);
+            // Inside the driver: must not be stopped.
+            t.load(stopped, stop);
+            t.assert(stop.eq(0), "driver used after stop");
+            // io_decrement
+            t.fetch_sub(pending_io, 1, old);
+            t.jump_if(old.ne(1), exit);
+            t.store(stopping_event, 1);
+            t.place(exit);
+        });
+    }
+    m.thread("stopper", |t| {
+        let old = t.local();
+        let skip = t.new_label();
+        t.store(stopping_flag, 1);
+        // io_decrement (release the bias count)
+        t.fetch_sub(pending_io, 1, old);
+        t.jump_if(old.ne(1), skip);
+        t.store(stopping_event, 1);
+        t.place(skip);
+        t.wait_nonzero(stopping_event);
+        t.store(stopped, 1);
+    });
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_statevm::{ExplicitConfig, ExplicitIcb};
+
+    #[test]
+    fn buggy_driver_fails_with_one_preemption() {
+        let program = bluetooth_program(BluetoothVariant::Buggy, 2);
+        let bug = IcbSearch::find_minimal_bug(&program, 200_000).expect("known bug");
+        assert_eq!(bug.preemptions, 1);
+        match &bug.outcome {
+            icb_core::ExecutionOutcome::AssertionFailure { message, .. } => {
+                assert!(message.contains("after stop"), "got: {message}");
+            }
+            other => panic!("expected assertion failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fixed_driver_is_correct_up_to_bound_two() {
+        // Exhausting the runtime version unbounded is feasible but slow
+        // under the debug profile; bound 2 covers every execution the
+        // buggy variant needs to fail (the VM test below checks the
+        // fixed model exhaustively).
+        let program = bluetooth_program(BluetoothVariant::Fixed, 2);
+        let config = SearchConfig {
+            preemption_bound: Some(2),
+            ..SearchConfig::default()
+        };
+        let report = IcbSearch::new(config).run(&program);
+        assert_eq!(report.completed_bound, Some(2));
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn vm_model_agrees_on_the_bug_bound() {
+        let model = bluetooth_model(BluetoothVariant::Buggy, 2);
+        let report = ExplicitIcb::new(ExplicitConfig {
+            stop_on_first_bug: true,
+            ..ExplicitConfig::default()
+        })
+        .run(&model);
+        let bug = report.bugs.first().expect("bug in model");
+        assert_eq!(bug.bound, 1);
+    }
+
+    #[test]
+    fn vm_fixed_model_is_correct() {
+        let model = bluetooth_model(BluetoothVariant::Fixed, 2);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn single_worker_bug_still_needs_one_preemption() {
+        let program = bluetooth_program(BluetoothVariant::Buggy, 1);
+        let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("bug");
+        assert_eq!(bug.preemptions, 1);
+    }
+}

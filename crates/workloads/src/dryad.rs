@@ -1,0 +1,446 @@
+//! The Dryad channels benchmark.
+//!
+//! Dryad is a distributed execution engine whose vertices communicate
+//! through files, TCP pipes and shared-memory FIFOs. The paper's test
+//! (provided by Dryad's lead developer, 5 threads) exercises the
+//! shared-memory channel library, and ICB found 5 previously unknown
+//! bugs in it — 1 at bound 0 and 4 at bound 1 — including the
+//! use-after-free of Figure 3:
+//!
+//! ```text
+//! void RChannelReaderImpl::AlertApplication(RChannelItem* item) {
+//!     // XXX: Preempt here for the bug
+//!     EnterCriticalSection(&m_baseCS);
+//!     ...
+//! }
+//! // main thread:
+//! channel->Close();   // wrong assumption: Close waits for the workers
+//! delete channel;     // workers still hold a reference!
+//! ```
+//!
+//! This reimplementation models the channel as a FIFO of items consumed
+//! by worker threads; `Close` enqueues one STOP per worker and
+//! synchronizes with them through acknowledgement and completion
+//! semaphores. Deleting the channel clears an `alive` flag; entering the
+//! base critical section afterwards asserts `alive` — firing on exactly
+//! the interleavings where the original dereferenced freed memory
+//! (memory-safe Rust cannot express the actual UAF; see DESIGN.md).
+//!
+//! Seeded bugs:
+//!
+//! * [`DryadVariant::StopJumpsQueue`] (bound 0) — STOP messages jump to
+//!   the front of the FIFO, so workers exit with data items undelivered.
+//! * [`DryadVariant::CloseNoWait`] (bound 1) — Figure 3: `Close`
+//!   returns once the STOPs are acknowledged, without waiting for
+//!   `AlertApplication`; the delete races the workers' cleanup.
+//! * [`DryadVariant::AckBeforeAlert`] (bound 1) — the worker signals
+//!   completion *before* running `AlertApplication`.
+//! * [`DryadVariant::UnsyncStats`] (bound 1) — the channel's byte
+//!   statistics are updated outside the base critical section: a data
+//!   race between workers.
+//! * [`DryadVariant::UnlockedUntrack`] (bound 1) — the in-flight item
+//!   list is cleaned up outside its lock: a data race.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use icb_runtime::sync::{AtomicBool, AtomicI64, Mutex, Semaphore};
+use icb_runtime::{thread, DataVar, RuntimeProgram};
+
+/// Which version of the channel library to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DryadVariant {
+    /// Correct channel shutdown protocol.
+    Correct,
+    /// STOP messages overtake queued data items.
+    StopJumpsQueue,
+    /// `Close` does not wait for the workers' cleanup (Figure 3).
+    CloseNoWait,
+    /// Workers acknowledge completion before their cleanup.
+    AckBeforeAlert,
+    /// Byte statistics updated outside the base critical section.
+    UnsyncStats,
+    /// In-flight tracking list cleaned up outside its lock.
+    UnlockedUntrack,
+}
+
+const STOP: i64 = -1;
+
+/// The shared-memory channel (`RChannelReaderImpl` analog).
+struct Channel {
+    queue_lock: Mutex<()>,
+    items: DataVar<VecDeque<i64>>,
+    available: Semaphore,
+    /// `m_baseCS` of Figure 3.
+    base_cs: Mutex<()>,
+    /// Models the allocation status of the channel object.
+    alive: AtomicBool,
+    /// In-flight (debug-tracked) items.
+    pending: DataVar<Vec<i64>>,
+    pending_lock: Mutex<()>,
+    processed: AtomicI64,
+    /// Total payload "bytes" delivered (guarded by `base_cs`).
+    bytes: DataVar<i64>,
+    /// Workers acknowledge their STOP here.
+    acked: Semaphore,
+    /// Workers signal full completion here.
+    done: Semaphore,
+    variant: DryadVariant,
+}
+
+impl Channel {
+    fn new(variant: DryadVariant) -> Self {
+        Channel {
+            queue_lock: Mutex::new(()),
+            items: DataVar::new(VecDeque::new()),
+            available: Semaphore::new(0),
+            base_cs: Mutex::new(()),
+            alive: AtomicBool::new(true),
+            pending: DataVar::new(Vec::new()),
+            pending_lock: Mutex::new(()),
+            processed: AtomicI64::new(0),
+            bytes: DataVar::new(0),
+            acked: Semaphore::new(0),
+            done: Semaphore::new(0),
+            variant,
+        }
+    }
+
+    fn send(&self, item: i64) {
+        {
+            let _g = self.queue_lock.lock();
+            if item == STOP && self.variant == DryadVariant::StopJumpsQueue {
+                // BUG: control messages overtake unprocessed data.
+                self.items.with_mut(|q| q.push_front(item));
+            } else {
+                self.items.with_mut(|q| q.push_back(item));
+            }
+        }
+        self.available.release();
+    }
+
+    fn receive(&self) -> i64 {
+        self.available.acquire();
+        let _g = self.queue_lock.lock();
+        self.items
+            .with_mut(|q| q.pop_front().expect("semaphore guarantees an item"))
+    }
+
+    /// Figure 3's `AlertApplication`: the worker's cleanup notification.
+    /// Entering `base_cs` dereferences the channel object — modeled by
+    /// the `alive` assertion.
+    fn alert_application(&self) {
+        // XXX: Preempt here for the bug (Figure 3).
+        let _g = self.base_cs.lock();
+        assert!(
+            self.alive.load(),
+            "channel used after free in AlertApplication"
+        );
+    }
+
+    fn track(&self, item: i64) {
+        let _g = self.pending_lock.lock();
+        self.pending.with_mut(|p| p.push(item));
+    }
+
+    fn untrack(&self, item: i64) {
+        if self.variant == DryadVariant::UnlockedUntrack {
+            // BUG: cleanup without the tracking lock.
+            self.pending.with_mut(|p| p.retain(|&x| x != item));
+        } else {
+            let _g = self.pending_lock.lock();
+            self.pending.with_mut(|p| p.retain(|&x| x != item));
+        }
+    }
+
+    /// Worker loop: process data items until a STOP arrives.
+    fn worker_loop(&self) {
+        loop {
+            let item = self.receive();
+            if item == STOP {
+                self.acked.release();
+                if self.variant == DryadVariant::AckBeforeAlert {
+                    // BUG: completion signaled before the cleanup runs.
+                    self.done.release();
+                    self.alert_application();
+                } else {
+                    self.alert_application();
+                    self.done.release();
+                }
+                return;
+            }
+            self.track(item);
+            if self.variant == DryadVariant::UnsyncStats {
+                // BUG: the statistics update escaped the critical
+                // section during a refactoring.
+                let _g = self.base_cs.lock();
+                self.processed.fetch_add(1);
+                drop(_g);
+                self.bytes.with_mut(|b| *b += item);
+            } else {
+                let _g = self.base_cs.lock();
+                self.processed.fetch_add(1);
+                self.bytes.with_mut(|b| *b += item);
+            }
+            self.untrack(item);
+        }
+    }
+
+    /// `Close`: stop all workers and wait for them.
+    fn close(&self, workers: usize) {
+        for _ in 0..workers {
+            self.send(STOP);
+        }
+        for _ in 0..workers {
+            self.acked.acquire();
+        }
+        if self.variant != DryadVariant::CloseNoWait {
+            for _ in 0..workers {
+                self.done.acquire();
+            }
+        }
+        // BUG (CloseNoWait): returning here assumes the workers are
+        // finished — Figure 3's wrong assumption.
+    }
+
+    /// `delete channel`.
+    fn delete(&self) {
+        self.alive.store(false);
+    }
+}
+
+/// The Dryad channel test: `workers` worker threads consume `items`
+/// data items; the main thread closes and deletes the channel
+/// (Table 1's configuration is `workers = 4`: 5 threads).
+pub fn dryad_program(variant: DryadVariant, workers: usize, items: usize) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let ch = Arc::new(Channel::new(variant));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let ch = Arc::clone(&ch);
+                thread::spawn(move || ch.worker_loop())
+            })
+            .collect();
+        for i in 0..items {
+            ch.send((i + 1) as i64);
+        }
+        ch.close(workers);
+        ch.delete();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(
+            ch.processed.load(),
+            items as i64,
+            "channel lost data items"
+        );
+        let expected_bytes: i64 = (1..=items as i64).sum();
+        ch.bytes
+            .with(|b| assert_eq!(*b, expected_bytes, "byte statistics diverged"));
+        ch.pending
+            .with(|p| assert!(p.is_empty(), "in-flight items leaked: {p:?}"));
+    })
+}
+
+
+/// The correct Dryad channel as an explicit-state VM model (driver +
+/// `workers` worker threads, mirroring [`dryad_program`]): the item
+/// FIFO, the `m_baseCS` critical section, the acknowledge/complete
+/// handshake of `Close`, the `alive` flag, and the final accounting
+/// assertions. The default `workers = 2` keeps exhaustive reachability
+/// laptop-sized; the seeded bugs live in the runtime version.
+pub fn dryad_model(workers: usize, items: usize) -> icb_statevm::Model {
+    use icb_statevm::ModelBuilder;
+    const STOP_V: i64 = -1;
+    let cap = items + workers;
+
+    let mut m = ModelBuilder::new();
+    let queue = m.array("queue", vec![0; cap]);
+    let q_head = m.global("q_head", 0);
+    let q_tail = m.global("q_tail", 0);
+    let q_count = m.global("q_count", 0);
+    let q_lock = m.lock("q_lock");
+    let base_cs = m.lock("base_cs");
+    let pending_lock = m.lock("pending_lock");
+    let alive = m.global("alive", 1);
+    let pending = m.global("pending", 0);
+    let processed = m.global("processed", 0);
+    let bytes = m.global("bytes", 0);
+    let acked = m.global("acked", 0);
+    let done = m.global("done", 0);
+
+    m.thread("driver", |t| {
+        let tmp = t.local();
+        let v = t.local();
+        for i in 0..(items + workers) {
+            let value = if i < items { (i + 1) as i64 } else { STOP_V };
+            t.acquire(q_lock);
+            t.load(q_tail, tmp);
+            t.store_arr(queue, icb_statevm::Expr::from(tmp), value);
+            t.store(q_tail, tmp + 1);
+            t.load(q_count, tmp);
+            t.store(q_count, tmp + 1);
+            t.release(q_lock);
+        }
+        // Close: wait for the STOP acks, then for full completion.
+        t.wait_eq(acked, workers as i64);
+        t.wait_eq(done, workers as i64);
+        // delete channel
+        t.store(alive, 0);
+        // Validation.
+        t.load(processed, v);
+        t.assert(v.eq(items as i64), "channel lost data items");
+        t.load(pending, v);
+        t.assert(v.eq(0), "in-flight items leaked");
+        t.load(bytes, v);
+        let expected: i64 = (1..=items as i64).sum();
+        t.assert(v.eq(expected), "byte statistics diverged");
+    });
+
+    for _ in 0..workers {
+        m.thread("worker", |t| {
+            let c = t.local();
+            let item = t.local();
+            let old = t.local();
+            let top = t.new_label();
+            let got = t.new_label();
+            let stop = t.new_label();
+            t.place(top);
+            t.wait_nonzero(q_count);
+            t.acquire(q_lock);
+            t.load(q_count, c);
+            t.jump_if(c.gt(0), got);
+            t.release(q_lock);
+            t.jump(top);
+            t.place(got);
+            t.load(q_head, c);
+            t.load_arr(queue, icb_statevm::Expr::from(c), item);
+            t.store(q_head, c + 1);
+            t.load(q_count, c);
+            t.store(q_count, c - 1);
+            t.release(q_lock);
+            t.jump_if(item.eq(STOP_V), stop);
+            // Data path: track, process inside the critical section,
+            // untrack.
+            t.acquire(pending_lock);
+            t.load(pending, c);
+            t.store(pending, c + 1);
+            t.release(pending_lock);
+            t.acquire(base_cs);
+            t.fetch_add(processed, 1, old);
+            t.load(bytes, c);
+            t.store(bytes, c + item);
+            t.release(base_cs);
+            t.acquire(pending_lock);
+            t.load(pending, c);
+            t.store(pending, c - 1);
+            t.release(pending_lock);
+            t.jump(top);
+            // Stop path: acknowledge, AlertApplication, complete.
+            t.place(stop);
+            t.fetch_add(acked, 1, old);
+            t.acquire(base_cs);
+            t.load(alive, c);
+            t.assert(c.eq(1), "channel used after free in AlertApplication");
+            t.release(base_cs);
+            t.fetch_add(done, 1, old);
+        });
+    }
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::ExecutionOutcome;
+
+    /// Small configuration for exhaustive-by-bound searches: 2 workers.
+    fn minimal_bound(variant: DryadVariant) -> Option<(usize, ExecutionOutcome)> {
+        let program = dryad_program(variant, 2, 2);
+        IcbSearch::find_minimal_bug(&program, 500_000).map(|b| (b.preemptions, b.outcome))
+    }
+
+    #[test]
+    fn stop_jumps_queue_fails_without_preemptions() {
+        let (bound, outcome) = minimal_bound(DryadVariant::StopJumpsQueue).expect("bug");
+        assert_eq!(bound, 0);
+        assert!(matches!(outcome, ExecutionOutcome::AssertionFailure { .. }));
+    }
+
+    #[test]
+    fn figure_3_use_after_free_needs_one_preemption() {
+        let (bound, outcome) = minimal_bound(DryadVariant::CloseNoWait).expect("bug");
+        assert_eq!(bound, 1);
+        match outcome {
+            ExecutionOutcome::AssertionFailure { message, .. } => {
+                assert!(message.contains("after free"), "got: {message}");
+            }
+            other => panic!("expected use-after-free assert, got {other}"),
+        }
+    }
+
+    #[test]
+    fn figure_3_trace_has_nonpreempting_switches_too() {
+        // The paper highlights that the failing trace needs only one
+        // preemption but several nonpreempting switches.
+        let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
+        let bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("bug");
+        assert_eq!(bug.preemptions, 1);
+        let mut replay = icb_core::ReplayScheduler::new(bug.schedule.clone());
+        let result = icb_core::ControlledProgram::execute(
+            &program,
+            &mut replay,
+            &mut icb_core::NullSink,
+        );
+        let stats = result.stats;
+        assert!(
+            stats.context_switches > stats.preemptions + 2,
+            "expected several free switches, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn ack_before_alert_needs_one_preemption() {
+        let (bound, outcome) = minimal_bound(DryadVariant::AckBeforeAlert).expect("bug");
+        assert_eq!(bound, 1);
+        assert!(matches!(outcome, ExecutionOutcome::AssertionFailure { .. }));
+    }
+
+    #[test]
+    fn unsynchronized_stats_race_with_one_preemption() {
+        let (bound, outcome) = minimal_bound(DryadVariant::UnsyncStats).expect("bug");
+        assert_eq!(bound, 1);
+        assert!(matches!(outcome, ExecutionOutcome::DataRace { .. }));
+    }
+
+    #[test]
+    fn unlocked_untrack_races_with_one_preemption() {
+        let (bound, outcome) = minimal_bound(DryadVariant::UnlockedUntrack).expect("bug");
+        assert_eq!(bound, 1);
+        assert!(matches!(outcome, ExecutionOutcome::DataRace { .. }));
+    }
+
+    #[test]
+    fn vm_model_is_clean_over_its_full_space() {
+        use icb_statevm::{ExplicitConfig, ExplicitIcb};
+        let model = dryad_model(2, 2);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        assert!(report.distinct_states > 100);
+    }
+
+    #[test]
+    fn correct_channel_is_clean_up_to_bound_one() {
+        let program = dryad_program(DryadVariant::Correct, 2, 1);
+        let config = SearchConfig {
+            preemption_bound: Some(1),
+            max_executions: Some(500_000),
+            ..SearchConfig::default()
+        };
+        let report = IcbSearch::new(config).run(&program);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        assert_eq!(report.completed_bound, Some(1));
+    }
+}

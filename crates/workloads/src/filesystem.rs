@@ -1,0 +1,211 @@
+//! The file-system model benchmark.
+//!
+//! A simplified model of a file system derived from Figure 7 of
+//! Flanagan & Godefroid's dynamic partial-order reduction paper
+//! (POPL 2005), as used in the ICB paper's evaluation: processes create
+//! files, allocating an inode and a disk block, with a lock per inode
+//! and a lock per block.
+//!
+//! Each thread `tid` works on inode `tid % num_inodes`. If the inode is
+//! free, the thread searches for a free block starting at
+//! `(inode * 2) % num_blocks`, marks it busy under the block lock, and
+//! records it in the inode. The model is race-free and assertion-free;
+//! the paper uses it purely for state-coverage measurements (Figure 4:
+//! the entire state space is covered by executions with at most 4
+//! preemptions).
+//!
+//! The defaults here (`4` threads, `2` inodes, `4` blocks) shrink the
+//! paper's `NUMINODE = 32 / NUMBLOCKS = 26` so exhaustive exploration
+//! stays laptop-sized while keeping both contention patterns: two
+//! threads share each inode lock, and allocation scans share block
+//! locks.
+
+use std::sync::Arc;
+
+use icb_runtime::sync::Mutex;
+use icb_runtime::{thread, DataVar, RuntimeProgram};
+use icb_statevm::{Model, ModelBuilder};
+
+/// Parameters of the file-system model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsParams {
+    /// Number of creator threads.
+    pub threads: usize,
+    /// Number of inodes (each protected by its own lock).
+    pub inodes: usize,
+    /// Number of disk blocks (each protected by its own lock).
+    pub blocks: usize,
+}
+
+impl Default for FsParams {
+    fn default() -> Self {
+        FsParams {
+            threads: 4,
+            inodes: 2,
+            blocks: 4,
+        }
+    }
+}
+
+/// The file-system model as a native runtime program.
+///
+/// Shared state: `inode[i]` (0 = free, else block+1) under `locki[i]`;
+/// `busy[b]` under `lockb[b]`. The final consistency assertion checks
+/// that every allocated inode points at a busy block and no block is
+/// double-allocated.
+pub fn filesystem_program(params: FsParams) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let locki: Arc<Vec<Mutex<i64>>> =
+            Arc::new((0..params.inodes).map(|_| Mutex::new(0)).collect());
+        let lockb: Arc<Vec<Mutex<bool>>> =
+            Arc::new((0..params.blocks).map(|_| Mutex::new(false)).collect());
+        let handles: Vec<_> = (0..params.threads)
+            .map(|tid| {
+                let locki = Arc::clone(&locki);
+                let lockb = Arc::clone(&lockb);
+                thread::spawn(move || {
+                    let i = tid % params.inodes;
+                    let mut inode = locki[i].lock();
+                    if *inode == 0 {
+                        let mut b = (i * 2) % params.blocks;
+                        loop {
+                            let mut busy = lockb[b].lock();
+                            if !*busy {
+                                *busy = true;
+                                *inode = (b + 1) as i64;
+                                break;
+                            }
+                            drop(busy);
+                            b = (b + 1) % params.blocks;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // Consistency: allocated inodes point at distinct busy blocks.
+        let seen = DataVar::new(vec![false; params.blocks]);
+        for i in 0..params.inodes {
+            let v = *locki[i].lock();
+            if v != 0 {
+                let b = (v - 1) as usize;
+                assert!(*lockb[b].lock(), "inode {i} points at free block {b}");
+                seen.with_mut(|s| {
+                    assert!(!s[b], "block {b} allocated twice");
+                    s[b] = true;
+                });
+            }
+        }
+    })
+}
+
+/// The file-system model as an explicit-state VM model (for the exact
+/// coverage counts of Figures 1 and 4).
+pub fn filesystem_model(params: FsParams) -> Model {
+    let mut m = ModelBuilder::new();
+    let inode = m.array("inode", vec![0; params.inodes]);
+    let busy = m.array("busy", vec![0; params.blocks]);
+    let locki = m.lock_array("locki", params.inodes);
+    let lockb = m.lock_array("lockb", params.blocks);
+
+    for tid in 0..params.threads {
+        m.thread(&format!("creator{tid}"), |t| {
+            let i = (tid % params.inodes) as i64;
+            let v = t.local();
+            let b = t.local();
+            let busy_v = t.local();
+            let done = t.new_label();
+            t.acquire_idx(locki, i);
+            t.load_arr(inode, i, v);
+            t.jump_if(v.ne(0), done);
+            t.compute(b, (i * 2) % (params.blocks as i64));
+            let scan = t.new_label();
+            let found = t.new_label();
+            t.place(scan);
+            t.acquire_idx(lockb, b);
+            t.load_arr(busy, b, busy_v);
+            t.jump_if(busy_v.eq(0), found);
+            t.release_idx(lockb, b);
+            t.compute(b, (b + 1) % (params.blocks as i64));
+            t.jump(scan);
+            t.place(found);
+            t.store_arr(busy, b, 1);
+            t.store_arr(inode, i, b + 1);
+            t.release_idx(lockb, b);
+            t.place(done);
+            t.release_idx(locki, i);
+        });
+    }
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_statevm::{reachable_states, ExplicitConfig, ExplicitIcb};
+
+    #[test]
+    fn model_is_bug_free_over_the_full_space() {
+        let model = filesystem_model(FsParams::default());
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        assert!(report.distinct_states > 100);
+    }
+
+    #[test]
+    fn small_bounds_cover_most_states() {
+        // The Figure 4 claim: a handful of preemptions covers the whole
+        // space of this model.
+        let model = filesystem_model(FsParams::default());
+        let total = reachable_states(&model, 10_000_000);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert_eq!(report.distinct_states, total);
+        let at_bound = |b: usize| {
+            report
+                .bound_history
+                .iter()
+                .find(|s| s.bound == b)
+                .map(|s| s.cumulative_states)
+                .unwrap_or(total)
+        };
+        assert!(
+            at_bound(4) as f64 >= 0.8 * total as f64,
+            "bound 4 covers {} of {}",
+            at_bound(4),
+            total
+        );
+    }
+
+    #[test]
+    fn runtime_version_has_no_bugs_up_to_bound_one() {
+        let program = filesystem_program(FsParams {
+            threads: 2,
+            inodes: 1,
+            blocks: 2,
+        });
+        let config = SearchConfig {
+            preemption_bound: Some(1),
+            ..SearchConfig::default()
+        };
+        let report = IcbSearch::new(config).run(&program);
+        assert_eq!(report.completed_bound, Some(1));
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn contended_inode_skips_second_allocation() {
+        // With 1 inode and 2 threads, exactly one thread allocates.
+        let model = filesystem_model(FsParams {
+            threads: 2,
+            inodes: 1,
+            blocks: 2,
+        });
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty());
+    }
+}

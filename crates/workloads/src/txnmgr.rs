@@ -1,0 +1,229 @@
+//! The transaction manager benchmark.
+//!
+//! Models the transaction component of a web-services authoring system
+//! (the paper's benchmark was a ~7000-line ZING model built from the C#
+//! sources): in-flight transactions live in a hashtable synchronized
+//! with fine-grained (per-bucket) locking. One thread performs
+//! transaction operations (create, commit); a timer thread periodically
+//! flushes timed-out transactions from the table. Following the paper,
+//! this benchmark exists only as an explicit-state VM model.
+//!
+//! State per bucket: an occupancy counter `count[b]` and per-transaction
+//! states `state[tx]` (0 = absent, 1 = in-flight, 2 = committed,
+//! 3 = aborted by the timer). Program invariants, asserted inline:
+//!
+//! * occupancy never underflows (every decrement checks `count > 0`);
+//! * on insert, the bucket counter equals the number of in-flight
+//!   transactions hashed to the bucket.
+//!
+//! Three seeded bugs (Table 2 reports the originals at bounds 2, 2, 3;
+//! the measured bounds for these analogs are asserted in the tests and
+//! recorded in `EXPERIMENTS.md`):
+//!
+//! * [`TxnVariant::CommitToctou`] — commit checks the transaction state
+//!   *before* taking the bucket lock and does not recheck, so a timer
+//!   flush in between double-decrements the bucket.
+//! * [`TxnVariant::UnlockedScan`] — the timer scans transaction states
+//!   without the bucket lock and aborts based on the stale answer.
+//! * [`TxnVariant::TornFlush`] — the timer decrements the bucket
+//!   counter, drops the lock, and only then (re-acquiring it) marks the
+//!   transaction aborted; an insert in the window observes
+//!   `count != #in-flight`.
+
+use icb_statevm::{Expr, Model, ModelBuilder};
+
+/// Which version of the transaction manager to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnVariant {
+    /// Correct fine-grained locking.
+    Correct,
+    /// Commit checks state outside the lock without rechecking.
+    CommitToctou,
+    /// Timer scans states without holding the bucket lock.
+    UnlockedScan,
+    /// Timer tears its flush across two critical sections.
+    TornFlush,
+}
+
+/// Number of transactions the mutator runs through the table.
+const NT: i64 = 2;
+
+/// Builds the transaction-manager model: one mutator thread
+/// (create + commit for each transaction, all hashing to one bucket, as
+/// in a collision-heavy test) and one timer thread (flush pass over the
+/// bucket), 2 threads as in the paper's tests.
+pub fn txnmgr_model(variant: TxnVariant) -> Model {
+    let mut m = ModelBuilder::new();
+    let state = m.array("state", vec![0; NT as usize]);
+    let count = m.global("count", 0);
+    let lock = m.lock("bucket");
+
+    m.thread("mutator", |t| {
+        let c = t.local();
+        let s0 = t.local();
+        let s1 = t.local();
+        let inflight = t.local();
+
+        for tx in 0..NT {
+            // ---- insert(tx) ----
+            t.acquire(lock);
+            // Invariant check: count == #in-flight in this bucket.
+            t.load_arr(state, 0, s0);
+            t.load_arr(state, 1, s1);
+            t.compute(inflight, s0.eq(1) + s1.eq(1));
+            t.load(count, c);
+            t.assert(
+                c.eq(Expr::from(inflight)),
+                "bucket count diverged from in-flight set",
+            );
+            t.store_arr(state, tx, 1);
+            t.store(count, c + 1);
+            t.release(lock);
+
+            // ---- commit(tx) ----
+            match variant {
+                TxnVariant::CommitToctou => {
+                    // BUG: state checked before locking, no recheck.
+                    t.load_arr(state, tx, s0);
+                    let skip = t.new_label();
+                    t.jump_if(s0.ne(1), skip);
+                    t.acquire(lock);
+                    t.store_arr(state, tx, 2);
+                    t.load(count, c);
+                    t.assert(c.ge(1), "bucket count underflow");
+                    t.store(count, c - 1);
+                    t.release(lock);
+                    t.place(skip);
+                }
+                _ => {
+                    t.acquire(lock);
+                    t.load_arr(state, tx, s0);
+                    let skip = t.new_label();
+                    t.jump_if(s0.ne(1), skip);
+                    t.store_arr(state, tx, 2);
+                    t.load(count, c);
+                    t.assert(c.ge(1), "bucket count underflow");
+                    t.store(count, c - 1);
+                    t.place(skip);
+                    t.release(lock);
+                }
+            }
+        }
+    });
+
+    m.thread("timer", |t| {
+        let c = t.local();
+        let s = t.local();
+        for tx in 0..NT {
+            match variant {
+                TxnVariant::UnlockedScan => {
+                    // BUG: the staleness check happens outside the lock.
+                    t.load_arr(state, tx, s);
+                    let skip = t.new_label();
+                    t.jump_if(s.ne(1), skip);
+                    t.acquire(lock);
+                    t.store_arr(state, tx, 3);
+                    t.load(count, c);
+                    t.assert(c.ge(1), "bucket count underflow");
+                    t.store(count, c - 1);
+                    t.release(lock);
+                    t.place(skip);
+                }
+                TxnVariant::TornFlush => {
+                    // BUG: decrement and state transition live in two
+                    // separate critical sections.
+                    let skip = t.new_label();
+                    let out = t.new_label();
+                    t.acquire(lock);
+                    t.load_arr(state, tx, s);
+                    t.jump_if(s.ne(1), skip);
+                    t.load(count, c);
+                    t.assert(c.ge(1), "bucket count underflow");
+                    t.store(count, c - 1);
+                    t.release(lock);
+                    // <- an insert here sees count != #in-flight
+                    t.acquire(lock);
+                    t.store_arr(state, tx, 3);
+                    t.release(lock);
+                    t.jump(out);
+                    t.place(skip);
+                    t.release(lock);
+                    t.place(out);
+                }
+                _ => {
+                    t.acquire(lock);
+                    t.load_arr(state, tx, s);
+                    let skip = t.new_label();
+                    t.jump_if(s.ne(1), skip);
+                    t.store_arr(state, tx, 3);
+                    t.load(count, c);
+                    t.assert(c.ge(1), "bucket count underflow");
+                    t.store(count, c - 1);
+                    t.place(skip);
+                    t.release(lock);
+                }
+            }
+        }
+    });
+
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_statevm::{ExplicitConfig, ExplicitIcb};
+
+    fn minimal_bound(variant: TxnVariant) -> Option<usize> {
+        let report = ExplicitIcb::new(ExplicitConfig {
+            stop_on_first_bug: true,
+            ..ExplicitConfig::default()
+        })
+        .run(&txnmgr_model(variant));
+        report.bugs.first().map(|b| b.bound)
+    }
+
+    #[test]
+    fn correct_manager_is_clean_over_the_full_space() {
+        let report =
+            ExplicitIcb::new(ExplicitConfig::default()).run(&txnmgr_model(TxnVariant::Correct));
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn commit_toctou_needs_one_wedge() {
+        let bound = minimal_bound(TxnVariant::CommitToctou).expect("bug");
+        assert!((1..=2).contains(&bound), "found at {bound}");
+    }
+
+    #[test]
+    fn unlocked_scan_needs_one_wedge() {
+        let bound = minimal_bound(TxnVariant::UnlockedScan).expect("bug");
+        assert!((1..=2).contains(&bound), "found at {bound}");
+    }
+
+    #[test]
+    fn torn_flush_needs_two_wedges() {
+        // Both windows must interleave: the timer inside the mutator's
+        // insert sequence AND the insert inside the timer's torn flush.
+        let bound = minimal_bound(TxnVariant::TornFlush).expect("bug");
+        assert_eq!(bound, 2);
+    }
+
+    #[test]
+    fn no_variant_fails_at_bound_zero() {
+        for v in [
+            TxnVariant::CommitToctou,
+            TxnVariant::UnlockedScan,
+            TxnVariant::TornFlush,
+        ] {
+            let report = ExplicitIcb::new(ExplicitConfig {
+                preemption_bound: Some(0),
+                ..ExplicitConfig::default()
+            })
+            .run(&txnmgr_model(v));
+            assert!(report.bugs.is_empty(), "{v:?} failed at bound 0");
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The work-stealing queue benchmark.
+//!
+//! An implementation of the Cilk-style work-stealing deque (after
+//! Frigo–Leiserson–Randall's THE protocol, via Leijen's C# futures
+//! library, the implementation the paper tested): a bounded circular
+//! buffer accessed concurrently by a *victim* (push/pop at the tail) and
+//! a *thief* (steal at the head), synchronized without blocking through
+//! atomic loads, stores and compare-and-swap.
+//!
+//! The implementor of the paper's version seeded three subtle bugs, each
+//! found within a context bound of 2 (Table 2: one at bound 1, two at
+//! bound 2). This module seeds three bugs of the same species:
+//!
+//! * [`WsqVariant::TailPublishFirst`] — `push` publishes the new tail
+//!   before writing the item into the buffer, letting the thief steal an
+//!   uninitialized slot.
+//! * [`WsqVariant::MissingTailRestore`] — `pop` forgets to restore the
+//!   tail after losing the last-element race to the thief, corrupting
+//!   the queue's accounting.
+//! * [`WsqVariant::NonAtomicSteal`] — `steal` advances the head with a
+//!   plain store instead of compare-and-swap, so the same item can be
+//!   consumed twice.
+//!
+//! The invariants checked in every interleaving: no item is consumed
+//! twice, no uninitialized slot is consumed, and consumed + remaining
+//! equals pushed.
+
+use std::sync::Arc;
+
+use icb_runtime::sync::AtomicI64;
+use icb_runtime::{thread, DataVar, RuntimeProgram};
+use icb_statevm::{Model, ModelBuilder, ThreadBuilder};
+
+/// Which version of the queue to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WsqVariant {
+    /// The correct THE-style protocol.
+    Correct,
+    /// Bug: `push` bumps the tail before writing the buffer slot.
+    TailPublishFirst,
+    /// Bug: `pop` does not restore the tail after losing the race for
+    /// the last element.
+    MissingTailRestore,
+    /// Bug: `steal` uses load-then-store instead of compare-and-swap.
+    NonAtomicSteal,
+}
+
+const CAPACITY: usize = 4;
+const MASK: i64 = (CAPACITY as i64) - 1;
+
+/// The bounded work-stealing deque.
+struct WorkStealQueue {
+    head: AtomicI64,
+    tail: AtomicI64,
+    buf: Vec<DataVar<i64>>,
+    variant: WsqVariant,
+}
+
+impl WorkStealQueue {
+    fn new(variant: WsqVariant) -> Self {
+        WorkStealQueue {
+            head: AtomicI64::new(0),
+            tail: AtomicI64::new(0),
+            buf: (0..CAPACITY).map(|_| DataVar::new(0)).collect(),
+            variant,
+        }
+    }
+
+    /// Victim-only: push at the tail. The driver never overfills the
+    /// bounded buffer.
+    fn push(&self, item: i64) {
+        let t = self.tail.load();
+        if self.variant == WsqVariant::TailPublishFirst {
+            // BUG: the new tail is visible before the item is written.
+            self.tail.store(t + 1);
+            self.buf[(t & MASK) as usize].write(item);
+        } else {
+            self.buf[(t & MASK) as usize].write(item);
+            self.tail.store(t + 1);
+        }
+    }
+
+    /// Victim-only: pop at the tail (the THE protocol).
+    fn pop(&self) -> Option<i64> {
+        let t = self.tail.load() - 1;
+        self.tail.store(t);
+        let h = self.head.load();
+        if t < h {
+            // Queue empty: undo the speculative decrement.
+            self.tail.store(h);
+            return None;
+        }
+        let item = self.buf[(t & MASK) as usize].read();
+        if t > h {
+            return Some(item);
+        }
+        // Last element: race the thief for it.
+        let won = self.head.compare_exchange(h, h + 1).is_ok();
+        if self.variant != WsqVariant::MissingTailRestore {
+            self.tail.store(h + 1);
+        }
+        // BUG (MissingTailRestore): tail is left at h while head moved
+        // to h + 1, corrupting the size accounting.
+        if won {
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    /// Thief-only: steal at the head.
+    fn steal(&self) -> Option<i64> {
+        let h = self.head.load();
+        let t = self.tail.load();
+        if h >= t {
+            return None;
+        }
+        let item = self.buf[(h & MASK) as usize].read();
+        match self.variant {
+            WsqVariant::NonAtomicSteal => {
+                // BUG: check-then-act; the victim may have taken the
+                // same item in between.
+                self.head.store(h + 1);
+                Some(item)
+            }
+            _ => {
+                if self.head.compare_exchange(h, h + 1).is_ok() {
+                    Some(item)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Entries currently accounted for (valid once both roles are done).
+    fn len(&self) -> i64 {
+        self.tail.load() - self.head.load()
+    }
+}
+
+/// The paper's test driver: a victim pushing and popping `items` work
+/// items and a thief attempting `steals` steals (2 threads; the harness
+/// main thread only spawns, joins and checks).
+pub fn wsq_program(variant: WsqVariant, items: usize, steals: usize) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let q = Arc::new(WorkStealQueue::new(variant));
+        let victim_got = Arc::new(DataVar::new(Vec::new()));
+        let thief_got = Arc::new(DataVar::new(Vec::new()));
+
+        let victim = {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&victim_got);
+            thread::spawn(move || {
+                // Push everything, popping once midway — the mix the
+                // paper's harness uses to exercise both tail paths.
+                for i in 0..items {
+                    q.push((i + 1) as i64);
+                    if i == items / 2 {
+                        if let Some(v) = q.pop() {
+                            got.with_mut(|g| g.push(v));
+                        }
+                    }
+                }
+                if let Some(v) = q.pop() {
+                    got.with_mut(|g| g.push(v));
+                }
+            })
+        };
+        let thief = {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&thief_got);
+            thread::spawn(move || {
+                for _ in 0..steals {
+                    if let Some(v) = q.steal() {
+                        got.with_mut(|g| g.push(v));
+                    }
+                }
+            })
+        };
+        victim.join();
+        thief.join();
+
+        // Drain the queue (single-threaded now) and check conservation.
+        let mut consumed: Vec<i64> = Vec::new();
+        victim_got.with(|g| consumed.extend_from_slice(g));
+        thief_got.with(|g| consumed.extend_from_slice(g));
+        assert!(q.len() >= 0, "negative queue size: accounting corrupted");
+        while let Some(v) = q.pop() {
+            consumed.push(v);
+        }
+        let mut seen = vec![false; items + 1];
+        for v in &consumed {
+            assert!(
+                *v >= 1 && *v <= items as i64,
+                "consumed uninitialized or corrupt item {v}"
+            );
+            let ix = *v as usize;
+            assert!(!seen[ix], "item {v} consumed twice");
+            seen[ix] = true;
+        }
+        assert_eq!(
+            consumed.len(),
+            items,
+            "items lost: consumed {consumed:?} of {items}"
+        );
+    })
+}
+
+/// Emits `push(value)` into a VM thread (victim side).
+fn vm_push(
+    t: &mut ThreadBuilder,
+    q: &VmQueue,
+    value: i64,
+    tl: icb_statevm::Local,
+    variant: WsqVariant,
+) {
+    t.load(q.tail, tl);
+    if variant == WsqVariant::TailPublishFirst {
+        t.store(q.tail, tl + 1);
+        t.store_arr(q.buf, tl % MASK_PLUS_1, value);
+    } else {
+        t.store_arr(q.buf, tl % MASK_PLUS_1, value);
+        t.store(q.tail, tl + 1);
+    }
+}
+
+const MASK_PLUS_1: i64 = CAPACITY as i64;
+
+/// Handles to the VM queue's shared state.
+struct VmQueue {
+    head: icb_statevm::Global,
+    tail: icb_statevm::Global,
+    buf: icb_statevm::ArrayVar,
+    seen: icb_statevm::ArrayVar,
+    consumed: icb_statevm::Global,
+}
+
+/// Emits "record consumption of the item in `v`" with the double-consume
+/// and initialization assertions.
+fn vm_consume(t: &mut ThreadBuilder, q: &VmQueue, v: icb_statevm::Local, old: icb_statevm::Local) {
+    t.assert(v.ge(1), "consumed uninitialized item");
+    t.load_arr(q.seen, icb_statevm::Expr::from(v), old);
+    t.assert(old.eq(0), "item consumed twice");
+    t.store_arr(q.seen, icb_statevm::Expr::from(v), 1);
+    let tmp = old;
+    t.fetch_add(q.consumed, 1, tmp);
+}
+
+/// The work-stealing queue as an explicit-state VM model — the program
+/// behind Figures 1 and 2. `items` are pushed (interleaved with one pop)
+/// by the victim; the thief attempts `steals` steals; a checker thread
+/// validates conservation at the end.
+pub fn wsq_model(variant: WsqVariant, items: usize, steals: usize) -> Model {
+    let mut m = ModelBuilder::new();
+    let head = m.global("head", 0);
+    let tail = m.global("tail", 0);
+    let buf = m.array("buf", vec![0; CAPACITY]);
+    let seen = m.array("seen", vec![0; items + 1]);
+    let consumed = m.global("consumed", 0);
+    let done = m.global("done", 0);
+    let q = VmQueue {
+        head,
+        tail,
+        buf,
+        seen,
+        consumed,
+    };
+
+    m.thread("victim", |t| {
+        let tl = t.local();
+        let h = t.local();
+        let v = t.local();
+        let ok = t.local();
+        let old = t.local();
+        for i in 0..items {
+            vm_push(t, &q, (i + 1) as i64, tl, variant);
+            if i == items / 2 {
+                vm_pop(t, &q, tl, h, v, ok, old, variant);
+            }
+        }
+        vm_pop(t, &q, tl, h, v, ok, old, variant);
+        t.fetch_add(done, 1, old);
+    });
+
+    m.thread("thief", |t| {
+        let h = t.local();
+        let tl = t.local();
+        let v = t.local();
+        let ok = t.local();
+        let old = t.local();
+        for _ in 0..steals {
+            let give_up = t.new_label();
+            t.load(q.head, h);
+            t.load(q.tail, tl);
+            t.jump_if(h.ge(tl), give_up);
+            t.load_arr(q.buf, h % MASK_PLUS_1, v);
+            match variant {
+                WsqVariant::NonAtomicSteal => {
+                    t.store(q.head, h + 1);
+                    vm_consume(t, &q, v, old);
+                }
+                _ => {
+                    t.cas(q.head, h, h + 1, ok);
+                    let lost = t.new_label();
+                    t.jump_if(ok.eq(0), lost);
+                    vm_consume(t, &q, v, old);
+                    t.place(lost);
+                }
+            }
+            t.place(give_up);
+        }
+        t.fetch_add(done, 1, old);
+    });
+
+    m.thread("checker", |t| {
+        let h = t.local();
+        let tl = t.local();
+        let c = t.local();
+        t.wait_eq(done, 2);
+        t.load(q.head, h);
+        t.load(q.tail, tl);
+        t.load(q.consumed, c);
+        t.assert(tl.ge(icb_statevm::Expr::from(h)), "negative queue size");
+        // consumed + remaining == pushed
+        t.assert(
+            (c + (tl - h)).eq(items as i64),
+            "items lost or duplicated",
+        );
+    });
+    m.build()
+}
+
+/// Emits `pop()` into a VM victim thread.
+#[allow(clippy::too_many_arguments)]
+fn vm_pop(
+    t: &mut ThreadBuilder,
+    q: &VmQueue,
+    tl: icb_statevm::Local,
+    h: icb_statevm::Local,
+    v: icb_statevm::Local,
+    ok: icb_statevm::Local,
+    old: icb_statevm::Local,
+    variant: WsqVariant,
+) {
+    let out = t.new_label();
+    let empty = t.new_label();
+    t.load(q.tail, tl);
+    t.compute(tl, tl - 1);
+    t.store(q.tail, icb_statevm::Expr::from(tl));
+    t.load(q.head, h);
+    t.jump_if(tl.lt(icb_statevm::Expr::from(h)), empty);
+    t.load_arr(q.buf, tl % MASK_PLUS_1, v);
+    let last = t.new_label();
+    t.jump_unless(tl.gt(icb_statevm::Expr::from(h)), last);
+    vm_consume(t, q, v, old);
+    t.jump(out);
+    t.place(last);
+    // Last element: race the thief via CAS on head.
+    t.cas(q.head, icb_statevm::Expr::from(h), h + 1, ok);
+    if variant != WsqVariant::MissingTailRestore {
+        t.store(q.tail, h + 1);
+    }
+    let lost = t.new_label();
+    t.jump_if(ok.eq(0), lost);
+    vm_consume(t, q, v, old);
+    t.place(lost);
+    t.jump(out);
+    t.place(empty);
+    t.store(q.tail, icb_statevm::Expr::from(h));
+    t.place(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::ExecutionOutcome;
+    use icb_statevm::{ExplicitConfig, ExplicitIcb};
+
+    fn minimal_bound_vm(variant: WsqVariant) -> Option<usize> {
+        let model = wsq_model(variant, 3, 2);
+        let report = ExplicitIcb::new(ExplicitConfig {
+            stop_on_first_bug: true,
+            ..ExplicitConfig::default()
+        })
+        .run(&model);
+        report.bugs.first().map(|b| b.bound)
+    }
+
+    #[test]
+    fn correct_vm_queue_is_bug_free_everywhere() {
+        let model = wsq_model(WsqVariant::Correct, 3, 2);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn seeded_vm_bugs_need_at_most_two_preemptions() {
+        for variant in [
+            WsqVariant::TailPublishFirst,
+            WsqVariant::MissingTailRestore,
+            WsqVariant::NonAtomicSteal,
+        ] {
+            let bound = minimal_bound_vm(variant)
+                .unwrap_or_else(|| panic!("{variant:?} not found"));
+            assert!(
+                (1..=2).contains(&bound),
+                "{variant:?} found at bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_tail_publish_bug_found_quickly() {
+        let program = wsq_program(WsqVariant::TailPublishFirst, 3, 2);
+        let bug = IcbSearch::find_minimal_bug(&program, 300_000).expect("bug");
+        assert!(bug.preemptions <= 2, "found at {}", bug.preemptions);
+        assert!(matches!(
+            bug.outcome,
+            ExecutionOutcome::AssertionFailure { .. } | ExecutionOutcome::DataRace { .. }
+        ));
+    }
+
+    #[test]
+    fn runtime_correct_queue_clean_up_to_bound_one() {
+        let program = wsq_program(WsqVariant::Correct, 3, 2);
+        let config = SearchConfig {
+            preemption_bound: Some(1),
+            ..SearchConfig::default()
+        };
+        let report = IcbSearch::new(config).run(&program);
+        assert_eq!(report.completed_bound, Some(1));
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn sequential_queue_semantics() {
+        // No thief at all: the queue must behave like a plain stack on
+        // the tail end (pop returns the most recent push).
+        let model = wsq_model(WsqVariant::Correct, 3, 0);
+        let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+}

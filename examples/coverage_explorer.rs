@@ -1,0 +1,48 @@
+//! Compare how fast each search strategy covers the state space of the
+//! work-stealing queue — a miniature of the paper's Figure 2.
+//!
+//! ```sh
+//! cargo run --release --example coverage_explorer
+//! ```
+
+use icb::core::search::{
+    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy,
+};
+use icb::statevm::reachable_states;
+use icb::workloads::wsq::{wsq_model, WsqVariant};
+
+fn main() {
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    let total = reachable_states(&model, 10_000_000);
+    println!("work-stealing queue: {total} reachable states");
+    println!();
+
+    let budget = 5_000;
+    let config = SearchConfig::with_max_executions(budget);
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(IcbSearch::new(config.clone())),
+        Box::new(RandomSearch::new(config.clone(), 42)),
+        Box::new(DfsSearch::new(config.clone())),
+        Box::new(DfsSearch::with_depth_bound(config.clone(), 20)),
+        Box::new(BestFirstSearch::new(config.clone())),
+    ];
+
+    println!("{:<10} {:>12} {:>12} {:>10}", "strategy", "executions", "states", "% covered");
+    for strategy in &strategies {
+        let report = strategy.search(&model);
+        println!(
+            "{:<10} {:>12} {:>12} {:>9.1}%",
+            report.strategy,
+            report.executions,
+            report.distinct_states,
+            100.0 * report.distinct_states as f64 / total as f64
+        );
+    }
+
+    println!();
+    println!(
+        "iterative context bounding reaches the most states per execution \
+         because it spends its budget on the polynomially-many schedules \
+         with few preemptions instead of re-exploring deep interleavings."
+    );
+}

@@ -1,0 +1,77 @@
+//! Writing your own explicit-state model: a flag-based mutual-exclusion
+//! protocol, one correct and one broken version.
+//!
+//! The broken version checks the other thread's flag *before* raising
+//! its own — the window between check and raise lets both threads into
+//! the critical section, but only if *both* threads are preempted inside
+//! their windows: a bound-2 bug that bound-1 search certifies away.
+//!
+//! ```sh
+//! cargo run --release --example custom_model
+//! ```
+
+use icb::statevm::{ExplicitConfig, ExplicitIcb, Model, ModelBuilder};
+
+/// `check_first = false`: raise own flag, then check the other's
+/// (correct under sequential consistency).
+/// `check_first = true`: check, then raise (broken).
+fn mutex_protocol(check_first: bool) -> Model {
+    let mut m = ModelBuilder::new();
+    let flags = [m.global("flag0", 0), m.global("flag1", 0)];
+    let critical = m.global("critical", 0);
+    for me in 0..2 {
+        m.thread(&format!("t{me}"), |t| {
+            let seen = t.local();
+            let old = t.local();
+            let skip = t.new_label();
+            if check_first {
+                // BUG: the guard races with the announcement.
+                t.load(flags[1 - me], seen);
+                t.jump_if(seen.eq(1), skip);
+                t.store(flags[me], 1);
+            } else {
+                t.store(flags[me], 1);
+                t.load(flags[1 - me], seen);
+                t.jump_if(seen.eq(1), skip);
+            }
+            // Critical section.
+            t.fetch_add(critical, 1, old);
+            t.assert(old.eq(0), "mutual exclusion violated");
+            t.fetch_sub(critical, 1, old);
+            t.place(skip);
+        });
+    }
+    m.build()
+}
+
+fn main() {
+    println!("== correct protocol: raise flag, then check ==");
+    let report = ExplicitIcb::new(ExplicitConfig::default()).run(&mutex_protocol(false));
+    println!(
+        "explored the full state space ({} states, completed = {}): {} bugs",
+        report.distinct_states,
+        report.completed,
+        report.bugs.len()
+    );
+    assert!(report.bugs.is_empty());
+
+    println!();
+    println!("== broken protocol: check flag, then raise ==");
+    let report = ExplicitIcb::new(ExplicitConfig {
+        stop_on_first_bug: true,
+        ..ExplicitConfig::default()
+    })
+    .run(&mutex_protocol(true));
+    let bug = report.bugs.first().expect("violation is reachable");
+    println!("{} — minimal context bound {}", bug.message, bug.bound);
+    println!(
+        "witness schedule: {:?}",
+        bug.schedule.iter().map(|t| t.index()).collect::<Vec<_>>()
+    );
+    assert_eq!(bug.bound, 2, "both check-then-raise windows must interleave");
+    println!();
+    println!(
+        "the violation needs 2 preemptions: each thread must be wedged \
+         between its check and its raise."
+    );
+}

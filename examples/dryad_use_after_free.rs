@@ -1,0 +1,44 @@
+//! Figure 3 of the paper: the Dryad channel use-after-free.
+//!
+//! `Close()` returns once the workers acknowledged their STOP message —
+//! but a worker still has cleanup (`AlertApplication`) to run against
+//! the channel. One preemption right before `EnterCriticalSection` lets
+//! the main thread delete the channel under the worker's feet. Depth-
+//! first search drowns here (the paper ran it for hours without finding
+//! the bug); ICB spends its single budgeted preemption at every step and
+//! finds the window.
+//!
+//! ```sh
+//! cargo run --release --example dryad_use_after_free
+//! ```
+
+use icb::core::search::IcbSearch;
+use icb::core::{ControlledProgram, NullSink, ReplayScheduler};
+use icb::workloads::dryad::{dryad_program, DryadVariant};
+
+fn main() {
+    let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
+
+    println!("hunting the Figure 3 use-after-free…");
+    let bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("Figure 3 bug is reachable");
+
+    println!();
+    println!("found: {}", bug.outcome);
+    println!("executions explored: {}", bug.execution_index);
+    println!("preemptions in the witness: {}", bug.preemptions);
+
+    // The paper highlights that the failing trace has one preempting and
+    // several nonpreempting context switches; count both by replaying.
+    let mut replay = ReplayScheduler::new(bug.schedule.clone());
+    let result = program.execute(&mut replay, &mut NullSink);
+    println!(
+        "context switches: {} total = {} preempting + {} nonpreempting",
+        result.stats.context_switches,
+        result.stats.preemptions,
+        result.stats.context_switches - result.stats.preemptions
+    );
+    println!("steps in the failing execution: {}", result.stats.steps);
+    println!();
+    println!("schedule: {}", bug.schedule);
+    assert_eq!(result.stats.preemptions, 1);
+}

@@ -1,0 +1,66 @@
+//! Partial-order reduction in action — the paper's future-work item.
+//!
+//! Sleep sets prune interleavings that only reorder independent steps.
+//! On the file-system model (whose threads mostly touch disjoint inodes
+//! and blocks), the reduction shrinks the explored tree dramatically
+//! while preserving every bug verdict.
+//!
+//! ```sh
+//! cargo run --release --example por_reduction
+//! ```
+
+use icb::statevm::por::{sleep_set_dfs, PorConfig};
+use icb::workloads::filesystem::{filesystem_model, FsParams};
+use icb::workloads::txnmgr::{txnmgr_model, TxnVariant};
+
+fn main() {
+    let model = filesystem_model(FsParams {
+        threads: 3,
+        inodes: 2,
+        blocks: 2,
+    });
+
+    println!("file-system model, 3 threads:");
+    let plain = sleep_set_dfs(
+        &model,
+        &PorConfig {
+            sleep_sets: false,
+            ..PorConfig::default()
+        },
+    );
+    let reduced = sleep_set_dfs(&model, &PorConfig::default());
+    println!(
+        "  plain DFS:   {:>8} transitions, {:>6} executions",
+        plain.transitions, plain.executions
+    );
+    println!(
+        "  sleep sets:  {:>8} transitions, {:>6} executions  ({:.1}x fewer)",
+        reduced.transitions,
+        reduced.executions,
+        plain.transitions as f64 / reduced.transitions as f64
+    );
+    assert_eq!(plain.has_bug(), reduced.has_bug());
+
+    println!();
+    println!("and the reduction never hides a bug — transaction manager, torn flush:");
+    let buggy = txnmgr_model(TxnVariant::TornFlush);
+    let plain = sleep_set_dfs(
+        &buggy,
+        &PorConfig {
+            sleep_sets: false,
+            ..PorConfig::default()
+        },
+    );
+    let reduced = sleep_set_dfs(&buggy, &PorConfig::default());
+    println!(
+        "  plain DFS:  {} failing executions in {} transitions",
+        plain.assertion_failures.len(),
+        plain.transitions
+    );
+    println!(
+        "  sleep sets: {} failing executions in {} transitions",
+        reduced.assertion_failures.len(),
+        reduced.transitions
+    );
+    assert!(plain.has_bug() && reduced.has_bug());
+}

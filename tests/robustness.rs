@@ -1,0 +1,144 @@
+//! Robustness: no false positives on the correct benchmark variants
+//! under any strategy, and honest failures on contract violations.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use icb::core::search::{BestFirstSearch, IcbSearch, RandomSearch, SearchConfig};
+use icb::core::{
+    ControlledProgram, ExecStats, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler,
+    StateSink, Tid, Trace, TraceEntry,
+};
+use icb::workloads::registry::all_benchmarks;
+
+#[test]
+fn no_strategy_reports_false_positives_on_correct_variants() {
+    for bench in all_benchmarks() {
+        let program = (bench.correct)();
+        let budget = 400;
+        let random = RandomSearch::new(SearchConfig::with_max_executions(budget), 99).run(&program);
+        assert!(
+            random.bugs.is_empty(),
+            "{}: random search false positive: {:?}",
+            bench.name,
+            random.bugs.first().map(|b| &b.outcome)
+        );
+        let icb = IcbSearch::new(SearchConfig::with_max_executions(budget)).run(&program);
+        assert!(
+            icb.bugs.is_empty(),
+            "{}: icb false positive: {:?}",
+            bench.name,
+            icb.bugs.first().map(|b| &b.outcome)
+        );
+        let bf = BestFirstSearch::new(SearchConfig::with_max_executions(budget)).run(&program);
+        assert!(
+            bf.bugs.is_empty(),
+            "{}: best-first false positive: {:?}",
+            bench.name,
+            bf.bugs.first().map(|b| &b.outcome)
+        );
+    }
+}
+
+#[test]
+fn every_seeded_bug_is_found_by_icb_at_its_expected_bound() {
+    for bench in all_benchmarks() {
+        for bug in &bench.bugs {
+            let program = (bug.build)();
+            let found = IcbSearch::find_minimal_bug(&program, 500_000)
+                .unwrap_or_else(|| panic!("{}/{} not found", bench.name, bug.name));
+            assert_eq!(
+                found.preemptions, bug.expected_bound,
+                "{}/{}: bound drifted",
+                bench.name, bug.name
+            );
+        }
+    }
+}
+
+/// A program that violates the determinism contract: its enabled sets
+/// depend on how often it has run.
+struct FlipFlop {
+    runs: AtomicUsize,
+}
+
+impl ControlledProgram for FlipFlop {
+    fn execute(&self, scheduler: &mut dyn Scheduler, _sink: &mut dyn StateSink) -> ExecutionResult {
+        let run = self.runs.fetch_add(1, Ordering::Relaxed);
+        let mut trace = Trace::new();
+        // Thread count flips between runs: any schedule recorded on one
+        // run diverges on the next.
+        let threads = if run.is_multiple_of(2) { 2 } else { 1 };
+        let mut done = vec![false; threads];
+        let mut current: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..threads).filter(|&i| !done[i]).map(Tid).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|c| !done[c.index()]);
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            trace.push(TraceEntry::new(chosen, enabled, current, current_enabled, false));
+            done[chosen.index()] = true;
+            current = Some(chosen);
+        }
+        ExecutionResult {
+            outcome: ExecutionOutcome::Terminated,
+            stats: ExecStats::from_trace(&trace),
+            trace,
+        }
+    }
+}
+
+#[test]
+fn replay_divergence_is_a_loud_failure_not_a_wrong_answer() {
+    // Nondeterministic programs violate the ControlledProgram contract;
+    // the search must panic with a divergence message rather than
+    // silently exploring garbage.
+    let program = FlipFlop {
+        runs: AtomicUsize::new(0),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        IcbSearch::new(SearchConfig::with_max_executions(100)).run(&program)
+    }));
+    let payload = result.expect_err("divergence must panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("divergence") || message.contains("not enabled"),
+        "unexpected panic message: {message}"
+    );
+}
+
+#[test]
+fn bug_report_cap_limits_memory_not_detection() {
+    // A program failing in many interleavings: the report keeps at most
+    // `max_bug_reports` but counts every buggy execution.
+    use icb::statevm::ModelBuilder;
+    let mut m = ModelBuilder::new();
+    let g = m.global("g", 0);
+    for _ in 0..2 {
+        m.thread("w", |t| {
+            let v = t.local();
+            t.fetch_add(g, 1, v);
+            t.load(g, v);
+            t.assert(v.eq(1), "observes the other writer"); // fails often
+        });
+    }
+    let model = m.build();
+    let report = IcbSearch::new(SearchConfig {
+        max_bug_reports: 2,
+        ..SearchConfig::default()
+    })
+    .run(&model);
+    assert_eq!(report.bugs.len(), 2);
+    assert!(report.buggy_executions > 2);
+}

@@ -1,0 +1,129 @@
+//! Shape-regression tests: the paper's *qualitative* evaluation claims,
+//! locked in as assertions. All inputs are deterministic (fixed seeds,
+//! fixed budgets), so these are stable regression tests, not flaky
+//! statistics.
+
+use icb::core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig};
+use icb::statevm::{reachable_states, ExplicitConfig, ExplicitIcb};
+use icb::workloads::wsq::{wsq_model, WsqVariant};
+
+/// Figure 2's ordering: at a fixed execution budget on the
+/// work-stealing queue, icb > random ≫ dfs ≈ db:40 > db:20 in distinct
+/// states covered.
+#[test]
+fn figure2_strategy_ordering_holds() {
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    let budget = 5_000;
+    let config = SearchConfig::with_max_executions(budget);
+    let icb = IcbSearch::new(config.clone()).run(&model);
+    let random = RandomSearch::new(config.clone(), 0x1cb).run(&model);
+    let dfs = DfsSearch::new(config.clone()).run(&model);
+    let db20 = DfsSearch::with_depth_bound(config, 20).run(&model);
+
+    assert!(
+        icb.distinct_states > random.distinct_states,
+        "icb {} !> random {}",
+        icb.distinct_states,
+        random.distinct_states
+    );
+    assert!(
+        random.distinct_states > 4 * dfs.distinct_states,
+        "random {} !≫ dfs {}",
+        random.distinct_states,
+        dfs.distinct_states
+    );
+    // dfs and db:20 cluster together far below the others (their
+    // pairwise order flips with the budget, as in the paper's tangle of
+    // bottom curves).
+    let dfs_family_best = dfs.distinct_states.max(db20.distinct_states);
+    assert!(
+        random.distinct_states > 4 * dfs_family_best,
+        "random {} !≫ best dfs-family {}",
+        random.distinct_states,
+        dfs_family_best
+    );
+}
+
+/// Figure 1's saturation: ≥ 90 % of the WSQ state space is covered by a
+/// small preemption bound, and 100 % before the maximum preemption count
+/// observed in the space.
+#[test]
+fn figure1_small_bounds_cover_most_states() {
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    let total = reachable_states(&model, 50_000_000);
+    let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+    assert!(report.completed);
+    assert_eq!(report.distinct_states, total);
+
+    let coverage_at = |bound: usize| {
+        report
+            .bound_history
+            .iter()
+            .find(|b| b.bound == bound)
+            .map_or(total, |b| b.cumulative_states)
+    };
+    assert!(
+        coverage_at(4) as f64 >= 0.90 * total as f64,
+        "bound 4 covers {} of {total}",
+        coverage_at(4)
+    );
+    // Full coverage strictly before the deepest bound the queue-based
+    // search had to visit would be reached by naive preemption counts
+    // (the paper: covered by 13 while 35-preemption executions exist).
+    let full_at = report
+        .bound_history
+        .iter()
+        .find(|b| b.cumulative_states == total)
+        .expect("reaches full coverage")
+        .bound;
+    assert!(full_at <= 8, "full coverage only at bound {full_at}");
+}
+
+/// Section 2's headline: per-bound execution counts grow polynomially
+/// (each bound multiplies work by a bounded factor), while the total
+/// schedule count is astronomically larger than what ICB needs for full
+/// state coverage.
+#[test]
+fn growth_per_bound_is_tame() {
+    let model = wsq_model(WsqVariant::Correct, 2, 1);
+    let report = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+    assert!(report.completed);
+    let mut prev = 0usize;
+    for b in &report.bound_history {
+        if prev > 100 {
+            // Work per bound grows by a modest factor, not explosively.
+            assert!(
+                b.work_items < prev * 12,
+                "bound {}: {} work items after {}",
+                b.bound,
+                b.work_items,
+                prev
+            );
+        }
+        prev = b.work_items;
+    }
+}
+
+/// The headline bug-finding claim: every seeded bug in the suite is
+/// reachable within a context bound of 2 — and bound-1 search alone
+/// (cheap!) already finds more than half of them.
+#[test]
+fn small_bounds_find_most_bugs() {
+    use icb::workloads::registry::all_benchmarks;
+    let mut found_at_or_below_1 = 0;
+    let mut total = 0;
+    for bench in all_benchmarks() {
+        for bug in &bench.bugs {
+            total += 1;
+            if bug.expected_bound <= 1 {
+                found_at_or_below_1 += 1;
+            }
+            assert!(bug.expected_bound <= 2, "{}: bound > 2", bug.name);
+        }
+    }
+    assert_eq!(total, 16);
+    assert!(
+        found_at_or_below_1 * 2 > total,
+        "only {found_at_or_below_1}/{total} within bound 1"
+    );
+}
