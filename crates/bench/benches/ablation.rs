@@ -8,9 +8,9 @@
 //! * the ICB work-queue formulation against plain DFS when both must
 //!   exhaust the same small space.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
+use icb_bench::harness::Harness;
 use icb_core::search::{DfsSearch, IcbSearch, SearchConfig};
 use icb_runtime::sync::Mutex;
 use icb_runtime::{thread, DataVar, RuntimeConfig, RuntimeProgram};
@@ -40,54 +40,50 @@ fn locked_counter(config: RuntimeConfig) -> RuntimeProgram {
 /// Section 3.1's reduction: same program, scheduling points at sync ops
 /// only vs. at every shared access. The reduced search must exhaust a
 /// far smaller (yet sound) space.
-fn reduction_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_only_reduction");
+fn reduction_ablation(c: &mut Harness) {
+    let mut group = c.group("sync_only_reduction");
     group.sample_size(10);
-    group.bench_function("reduced_bound1", |b| {
-        let program = locked_counter(RuntimeConfig::default());
-        b.iter(|| IcbSearch::up_to_bound(1).run(&program))
-    });
-    group.bench_function("full_interleaving_bound1", |b| {
-        let program = locked_counter(RuntimeConfig::full_interleaving());
-        b.iter(|| IcbSearch::up_to_bound(1).run(&program))
+    let reduced = locked_counter(RuntimeConfig::default());
+    group.bench_function("reduced_bound1", || IcbSearch::up_to_bound(1).run(&reduced));
+    let full = locked_counter(RuntimeConfig::full_interleaving());
+    group.bench_function("full_interleaving_bound1", || {
+        IcbSearch::up_to_bound(1).run(&full)
     });
     group.finish();
 }
 
 /// Algorithm 1's `table`: state caching on vs. off on the explicit
 /// checker.
-fn caching_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("state_caching");
+fn caching_ablation(c: &mut Harness) {
+    let mut group = c.group("state_caching");
     group.sample_size(10);
     // The Bluetooth model: ~6k schedules uncached, ~1.2k work items
     // cached — big enough to show the effect, small enough to sample.
     let model = bluetooth_model(BluetoothVariant::Fixed, 2);
-    group.bench_function("cached", |b| {
-        b.iter(|| ExplicitIcb::new(ExplicitConfig::default()).run(&model))
+    group.bench_function("cached", || {
+        ExplicitIcb::new(ExplicitConfig::default()).run(&model)
     });
-    group.bench_function("uncached", |b| {
-        b.iter(|| {
-            ExplicitIcb::new(ExplicitConfig {
-                state_caching: false,
-                ..ExplicitConfig::default()
-            })
-            .run(&model)
+    group.bench_function("uncached", || {
+        ExplicitIcb::new(ExplicitConfig {
+            state_caching: false,
+            ..ExplicitConfig::default()
         })
+        .run(&model)
     });
     group.finish();
 }
 
 /// Exhausting a small space: the ICB queue formulation pays bookkeeping
 /// over DFS but keeps the preemption-ordering guarantee.
-fn exhaustion_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaust_small_space");
+fn exhaustion_ablation(c: &mut Harness) {
+    let mut group = c.group("exhaust_small_space");
     group.sample_size(10);
     let model = bluetooth_model(BluetoothVariant::Fixed, 2);
-    group.bench_function("icb", |b| {
-        b.iter(|| IcbSearch::new(SearchConfig::default()).run(&model))
+    group.bench_function("icb", || {
+        IcbSearch::new(SearchConfig::default()).run(&model)
     });
-    group.bench_function("dfs", |b| {
-        b.iter(|| DfsSearch::new(SearchConfig::default()).run(&model))
+    group.bench_function("dfs", || {
+        DfsSearch::new(SearchConfig::default()).run(&model)
     });
     group.finish();
 }
@@ -95,38 +91,35 @@ fn exhaustion_ablation(c: &mut Criterion) {
 /// The paper's future-work item: partial-order reduction is
 /// complementary to context bounding. Sleep sets vs. plain DFS on the
 /// file-system model (the benchmark with the most independence).
-fn por_ablation(c: &mut Criterion) {
+fn por_ablation(c: &mut Harness) {
     use icb_statevm::por::{sleep_set_dfs, PorConfig};
     use icb_workloads::filesystem::{filesystem_model, FsParams};
-    let mut group = c.benchmark_group("partial_order_reduction");
+    let mut group = c.group("partial_order_reduction");
     group.sample_size(10);
     let model = filesystem_model(FsParams {
         threads: 3,
         inodes: 2,
         blocks: 2,
     });
-    group.bench_function("sleep_sets", |b| {
-        b.iter(|| sleep_set_dfs(&model, &PorConfig::default()))
+    group.bench_function("sleep_sets", || {
+        sleep_set_dfs(&model, &PorConfig::default())
     });
-    group.bench_function("plain_dfs", |b| {
-        b.iter(|| {
-            sleep_set_dfs(
-                &model,
-                &PorConfig {
-                    sleep_sets: false,
-                    ..PorConfig::default()
-                },
-            )
-        })
+    group.bench_function("plain_dfs", || {
+        sleep_set_dfs(
+            &model,
+            &PorConfig {
+                sleep_sets: false,
+                ..PorConfig::default()
+            },
+        )
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    reduction_ablation,
-    caching_ablation,
-    exhaustion_ablation,
-    por_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    reduction_ablation(&mut harness);
+    caching_ablation(&mut harness);
+    exhaustion_ablation(&mut harness);
+    por_ablation(&mut harness);
+}

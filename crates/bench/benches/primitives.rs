@@ -1,86 +1,74 @@
-//! Criterion benchmarks of the substrate primitives: vector clocks,
-//! happens-before fingerprints, VM stepping and the controlled runtime's
-//! per-execution overhead.
+//! Benchmarks of the substrate primitives: vector clocks, happens-before
+//! fingerprints, VM stepping and the controlled runtime's per-execution
+//! overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use icb_bench::harness::Harness;
 use icb_core::{ControlledProgram, NullSink, ReplayScheduler, Tid};
 use icb_race::{AccessKind, HbFingerprint, RaceDetector, VectorClock};
 use icb_workloads::bluetooth::{bluetooth_model, bluetooth_program, BluetoothVariant};
 
-fn vector_clocks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vector_clock");
+fn vector_clocks(c: &mut Harness) {
+    let mut group = c.group("vector_clock");
     let mut a = VectorClock::new();
     let mut b = VectorClock::new();
     for i in 0..8 {
         a.set(Tid(i), (i * 3) as u32);
         b.set(Tid(i), (i * 2 + 5) as u32);
     }
-    group.bench_function("join_8_threads", |bench| {
-        bench.iter(|| {
-            let mut x = a.clone();
-            x.join(&b);
-            x
-        })
+    group.bench_function("join_8_threads", || {
+        let mut x = a.clone();
+        x.join(&b);
+        x
     });
-    group.bench_function("compare_8_threads", |bench| bench.iter(|| a.compare(&b)));
-    group.bench_function("hash64", |bench| bench.iter(|| a.hash64()));
+    group.bench_function("compare_8_threads", || a.compare(&b));
+    group.bench_function("hash64", || a.hash64());
     group.finish();
 }
 
-fn fingerprints(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hb_fingerprint");
+fn fingerprints(c: &mut Harness) {
+    let mut group = c.group("hb_fingerprint");
     let vc: VectorClock = (0..4).map(|i| (Tid(i), i as u32 + 1)).collect();
-    group.bench_function("record", |bench| {
-        let mut fp = HbFingerprint::new();
-        bench.iter(|| fp.record(Tid(1), 0xfeed, &vc))
+    let mut fp = HbFingerprint::new();
+    group.bench_function("record", || fp.record(Tid(1), 0xfeed, &vc));
+    group.finish();
+}
+
+fn race_detection(c: &mut Harness) {
+    let mut group = c.group("race_detector");
+    group.bench_function("locked_access_cycle", || {
+        let mut d = RaceDetector::new();
+        let m = d.new_sync_object();
+        let x = d.new_data_var(None);
+        for t in [Tid(0), Tid(1), Tid(0), Tid(1)] {
+            d.sync_acquire(t, m);
+            d.data_access(t, x, AccessKind::Write).unwrap();
+            d.sync_release(t, m);
+        }
+        d
     });
     group.finish();
 }
 
-fn race_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("race_detector");
-    group.bench_function("locked_access_cycle", |bench| {
-        bench.iter(|| {
-            let mut d = RaceDetector::new();
-            let m = d.new_sync_object();
-            let x = d.new_data_var(None);
-            for t in [Tid(0), Tid(1), Tid(0), Tid(1)] {
-                d.sync_acquire(t, m);
-                d.data_access(t, x, AccessKind::Write).unwrap();
-                d.sync_release(t, m);
-            }
-            d
-        })
-    });
-    group.finish();
-}
-
-fn execution_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_execution");
+fn execution_overhead(c: &mut Harness) {
+    let mut group = c.group("single_execution");
     group.sample_size(20);
     let model = bluetooth_model(BluetoothVariant::Fixed, 2);
-    group.bench_function("statevm_bluetooth", |bench| {
-        bench.iter(|| {
-            let mut sched = ReplayScheduler::new(Default::default());
-            model.execute(&mut sched, &mut NullSink)
-        })
+    group.bench_function("statevm_bluetooth", || {
+        let mut sched = ReplayScheduler::new(Default::default());
+        model.execute(&mut sched, &mut NullSink)
     });
     let program = bluetooth_program(BluetoothVariant::Fixed, 2);
-    group.bench_function("runtime_bluetooth", |bench| {
-        bench.iter(|| {
-            let mut sched = ReplayScheduler::new(Default::default());
-            program.execute(&mut sched, &mut NullSink)
-        })
+    group.bench_function("runtime_bluetooth", || {
+        let mut sched = ReplayScheduler::new(Default::default());
+        program.execute(&mut sched, &mut NullSink)
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    vector_clocks,
-    fingerprints,
-    race_detection,
-    execution_overhead
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    vector_clocks(&mut harness);
+    fingerprints(&mut harness);
+    race_detection(&mut harness);
+    execution_overhead(&mut harness);
+}

@@ -1,15 +1,17 @@
-//! Criterion benchmarks of the search strategies: executions per second
-//! and cost per explored execution for ICB against the baselines, on the
-//! paper's two smallest benchmarks.
+//! Benchmarks of the search strategies: executions per second and cost
+//! per explored execution for ICB against the baselines, on the paper's
+//! two smallest benchmarks — plus the telemetry overhead check (a
+//! `NoopObserver` search against one carrying a full `MetricsRecorder`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use icb_bench::harness::Harness;
 use icb_core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy};
+use icb_core::NoopObserver;
+use icb_telemetry::MetricsRecorder;
 use icb_workloads::bluetooth::{bluetooth_model, BluetoothVariant};
 use icb_workloads::wsq::{wsq_model, WsqVariant};
 
-fn strategy_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("strategy_throughput_wsq");
+fn strategy_throughput(c: &mut Harness) {
+    let mut group = c.group("strategy_throughput_wsq");
     group.sample_size(10);
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     let budget = 500;
@@ -21,53 +23,63 @@ fn strategy_throughput(c: &mut Criterion) {
         Box::new(RandomSearch::new(config.clone(), 7)),
     ];
     for strategy in &strategies {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            strategy,
-            |b, s| b.iter(|| s.search(&model)),
-        );
+        group.bench_function(&strategy.name(), || strategy.search(&model));
     }
     group.finish();
 }
 
-fn icb_bug_hunt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bug_hunt_bluetooth_vm");
+fn icb_bug_hunt(c: &mut Harness) {
+    let mut group = c.group("bug_hunt_bluetooth_vm");
     group.sample_size(10);
     let model = bluetooth_model(BluetoothVariant::Buggy, 2);
-    group.bench_function("icb_find_minimal_bug", |b| {
-        b.iter(|| {
-            IcbSearch::find_minimal_bug(&model, 100_000).expect("bug exists");
-        })
+    group.bench_function("icb_find_minimal_bug", || {
+        IcbSearch::find_minimal_bug(&model, 100_000).expect("bug exists")
     });
-    group.bench_function("dfs_find_any_bug", |b| {
-        b.iter(|| {
-            let report = DfsSearch::new(SearchConfig {
-                stop_on_first_bug: true,
-                ..SearchConfig::default()
-            })
-            .run(&model);
-            assert!(!report.bugs.is_empty());
+    group.bench_function("dfs_find_any_bug", || {
+        let report = DfsSearch::new(SearchConfig {
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
         })
+        .run(&model);
+        assert!(!report.bugs.is_empty());
+        report
     });
     group.finish();
 }
 
-fn icb_exhaustive_by_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("icb_exhaust_wsq_by_bound");
+fn icb_exhaustive_by_bound(c: &mut Harness) {
+    let mut group = c.group("icb_exhaust_wsq_by_bound");
     group.sample_size(10);
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     for bound in [0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
-            b.iter(|| IcbSearch::up_to_bound(bound).run(&model))
+        group.bench_function(&bound.to_string(), || {
+            IcbSearch::up_to_bound(bound).run(&model)
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    strategy_throughput,
-    icb_bug_hunt,
-    icb_exhaustive_by_bound
-);
-criterion_main!(benches);
+/// The tentpole's zero-cost claim: a search driven through the
+/// `NoopObserver` must cost the same as the plain `search()` path, and a
+/// full `MetricsRecorder` should stay within a few percent.
+fn observer_overhead(c: &mut Harness) {
+    let mut group = c.group("observer_overhead");
+    group.sample_size(10);
+    let model = wsq_model(WsqVariant::Correct, 3, 2);
+    let search = IcbSearch::new(SearchConfig::with_max_executions(500));
+    group.bench_function("noop", || search.search_observed(&model, &mut NoopObserver));
+    group.bench_function("metrics_recorder", || {
+        let mut metrics = MetricsRecorder::new();
+        search.search_observed(&model, &mut metrics);
+        metrics
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut harness = Harness::from_args();
+    strategy_throughput(&mut harness);
+    icb_bug_hunt(&mut harness);
+    icb_exhaustive_by_bound(&mut harness);
+    observer_overhead(&mut harness);
+}

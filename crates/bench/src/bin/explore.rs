@@ -4,9 +4,14 @@
 //! explore list
 //! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]
 //!             [--bound N] [--budget N] [--shrink]
+//!             [--telemetry jsonl:<path>] [--progress]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //! explore disasm <benchmark>
 //! ```
+//!
+//! `--telemetry jsonl:<path>` streams every search event as one JSON
+//! object per line to `<path>`; `--progress` prints a rate-limited live
+//! status line (with a Theorem-1 ETA) to stderr. Both can be combined.
 //!
 //! Examples:
 //!
@@ -14,15 +19,18 @@
 //! cargo run --release -p icb-bench --bin explore -- list
 //! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --bug check-then-increment
 //! cargo run --release -p icb-bench --bin explore -- run "Work Stealing Q." --strategy random --budget 5000
+//! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --telemetry jsonl:events.jsonl --progress
 //! cargo run --release -p icb-bench --bin explore -- disasm "Transaction Manager"
 //! ```
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use icb_core::search::{
     BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy,
 };
 use icb_core::{render, shrink, ControlledProgram, NullSink, ReplayScheduler, Schedule};
+use icb_telemetry::{JsonlSink, MultiObserver, ProgressReporter};
 use icb_workloads::registry::{all_benchmarks, AnyProgram, BenchmarkInfo};
 
 fn main() -> ExitCode {
@@ -38,6 +46,7 @@ fn main() -> ExitCode {
                 "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]"
             );
             eprintln!("              [--bound N] [--budget N] [--shrink]");
+            eprintln!("              [--telemetry jsonl:<path>] [--progress]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("  explore disasm <benchmark>");
             ExitCode::FAILURE
@@ -65,7 +74,10 @@ fn list() {
     for bench in all_benchmarks() {
         println!("{} ({} threads)", bench.name, bench.paper_threads);
         for bug in &bench.bugs {
-            println!("    --bug \"{}\" (expected bound {})", bug.name, bug.expected_bound);
+            println!(
+                "    --bug \"{}\" (expected bound {})",
+                bug.name, bug.expected_bound
+            );
         }
     }
 }
@@ -123,8 +135,41 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown strategy `{other}`")),
     };
 
+    // Optional observers: a JSONL event stream and/or live progress.
+    let mut jsonl = match flag_value(args, "--telemetry") {
+        Some(spec) => {
+            let path = spec
+                .strip_prefix("jsonl:")
+                .ok_or("unsupported --telemetry sink (expected jsonl:<path>)")?;
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some(JsonlSink::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let mut progress = args.iter().any(|a| a == "--progress").then(|| {
+        // n from the registry; b ≈ one blocking step (termination) per
+        // thread — good enough for an order-of-magnitude ETA.
+        let n = bench.paper_threads as u64;
+        ProgressReporter::stderr().with_theorem1(n, n)
+    });
+    let mut observers = MultiObserver::new();
+    if let Some(sink) = jsonl.as_mut() {
+        observers.push(sink);
+    }
+    if let Some(reporter) = progress.as_mut() {
+        observers.push(reporter);
+    }
+
     println!("exploring {} with {}…", bench.name, strategy.name());
-    let report = strategy.search(&program);
+    let report = strategy.search_observed(&program, &mut observers);
+    drop(observers);
+    if let Some(sink) = jsonl {
+        if sink.failed() {
+            eprintln!("warning: telemetry stream hit a write error; events were dropped");
+        }
+        drop(sink.into_inner()); // flush the BufWriter
+    }
     println!("{report}");
     if let Some(bug) = report.first_bug() {
         println!();

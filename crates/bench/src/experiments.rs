@@ -158,8 +158,8 @@ pub fn fig2() {
     let curves: Vec<(String, Vec<(usize, usize)>)> = strategies
         .iter()
         .map(|s| {
-            let report = run_timed(s.as_ref(), &model);
-            (s.name(), report.coverage_curve)
+            let (_, metrics) = run_timed(s.as_ref(), &model);
+            (s.name(), metrics.coverage_curve().to_vec())
         })
         .collect();
     print_curves_csv(&curves, 40);
@@ -205,7 +205,12 @@ fn probe_len(program: &dyn ControlledProgram) -> usize {
     program.execute(&mut sched, &mut NullSink).stats.steps
 }
 
-fn coverage_growth(title: &str, program: &dyn ControlledProgram, budget: usize, depth_fracs: &[f64]) {
+fn coverage_growth(
+    title: &str,
+    program: &dyn ControlledProgram,
+    budget: usize,
+    depth_fracs: &[f64],
+) {
     banner(title);
     let k = probe_len(program);
     println!("probe execution length: {k} steps; budget: {budget} executions");
@@ -227,8 +232,8 @@ fn coverage_growth(title: &str, program: &dyn ControlledProgram, budget: usize, 
     let curves: Vec<(String, Vec<(usize, usize)>)> = strategies
         .iter()
         .map(|s| {
-            let report = run_timed(s.as_ref(), program);
-            (s.name(), report.coverage_curve)
+            let (_, metrics) = run_timed(s.as_ref(), program);
+            (s.name(), metrics.coverage_curve().to_vec())
         })
         .collect();
     print_curves_csv(&curves, 40);
@@ -280,7 +285,10 @@ pub fn theorem1() {
     for (n, k) in [(2usize, 4usize), (3, 3)] {
         let model = counter_model(n, k);
         let report = IcbSearch::new(SearchConfig::default()).run(&model);
-        println!("{n} threads x {k} steps (completed = {}):", report.completed);
+        println!(
+            "{n} threads x {k} steps (completed = {}):",
+            report.completed
+        );
         header(&["c", "Executions (measured)", "Theorem 1 ceiling"]);
         for b in &report.bound_history {
             let ceiling =
@@ -290,7 +298,10 @@ pub fn theorem1() {
                         format!(
                             "e^{:.1}",
                             bounds::ln_executions_with_preemptions(
-                                n as u64, k as u64, 1, b.bound as u64
+                                n as u64,
+                                k as u64,
+                                1,
+                                b.bound as u64
                             )
                         )
                     });
@@ -325,8 +336,8 @@ pub fn all() {
 pub fn fig3() {
     banner("Figure 3 — the Dryad use-after-free witness");
     let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
-    let bug = IcbSearch::find_minimal_bug(&program, 500_000)
-        .expect("the Figure 3 bug is reachable");
+    let bug =
+        IcbSearch::find_minimal_bug(&program, 500_000).expect("the Figure 3 bug is reachable");
     println!("outcome: {}", bug.outcome);
     println!(
         "found after {} executions; witness has {} preemption(s)",

@@ -18,11 +18,11 @@
 //! Run with `cargo run --release -p icb-bench --bin <name>`.
 
 pub mod experiments;
-
-use std::time::Instant;
+pub mod harness;
 
 use icb_core::search::{SearchReport, SearchStrategy};
 use icb_core::ControlledProgram;
+use icb_telemetry::MetricsRecorder;
 
 /// Prints a markdown-style table row.
 pub fn row(cells: &[String]) {
@@ -45,19 +45,26 @@ pub fn banner(title: &str) {
     println!();
 }
 
-/// Runs a strategy against a program, logging wall-clock time to stderr.
-pub fn run_timed(strategy: &dyn SearchStrategy, program: &dyn ControlledProgram) -> SearchReport {
-    let start = Instant::now();
-    let report = strategy.search(program);
+/// Runs a strategy against a program with a [`MetricsRecorder`]
+/// attached, logging a one-line summary (from the recorder, not ad-hoc
+/// timers) to stderr. The figures draw their curves from the returned
+/// recorder, so what they plot is exactly what the telemetry layer saw.
+pub fn run_timed(
+    strategy: &dyn SearchStrategy,
+    program: &dyn ControlledProgram,
+) -> (SearchReport, MetricsRecorder) {
+    let mut metrics = MetricsRecorder::new();
+    let report = strategy.search_observed(program, &mut metrics);
     eprintln!(
-        "  [{}] {} executions, {} states, completed={} in {:.2?}",
+        "  [{}] {} executions ({:.0}/s), {} states, completed={} in {:.2?}",
         report.strategy,
-        report.executions,
-        report.distinct_states,
+        metrics.executions(),
+        metrics.executions_per_sec().unwrap_or(0.0),
+        metrics.distinct_states(),
         report.completed,
-        start.elapsed()
+        metrics.elapsed()
     );
-    report
+    (report, metrics)
 }
 
 /// Downsamples a coverage curve to at most `points` samples, keeping the

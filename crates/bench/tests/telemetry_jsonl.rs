@@ -1,0 +1,120 @@
+//! End-to-end check of `explore --telemetry jsonl:<path>`: the emitted
+//! JSONL must be parseable and its per-bound rows must agree exactly
+//! with the `SearchReport::bound_stats` of an identical library-level
+//! search.
+
+use std::process::Command;
+
+use icb_core::search::{IcbSearch, SearchConfig};
+use icb_workloads::registry::all_benchmarks;
+
+/// Extracts an unsigned integer field from one JSON line. The sink
+/// writes flat objects with unique keys, so a textual scan suffices.
+fn json_usize(line: &str, key: &str) -> usize {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no key {key} in {line}"));
+    line[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {line}"))
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no key {key} in {line}"));
+    let rest = &line[at + pat.len()..];
+    &rest[..rest.find('"').expect("terminated string")]
+}
+
+const BUDGET: usize = 400;
+
+#[test]
+fn explore_jsonl_matches_bound_stats() {
+    let path =
+        std::env::temp_dir().join(format!("icb-telemetry-test-{}.jsonl", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_explore"))
+        .args([
+            "run",
+            "Bluetooth",
+            "--budget",
+            &BUDGET.to_string(),
+            "--telemetry",
+            &format!("jsonl:{}", path.display()),
+        ])
+        .output()
+        .expect("explore runs");
+    assert!(
+        output.status.success(),
+        "explore failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&path).expect("telemetry file written");
+    let _ = std::fs::remove_file(&path);
+
+    // Structural parseability: flat one-object-per-line JSON, each with
+    // an "event" tag; the stream is bracketed by started/finished.
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line {line}"
+        );
+        assert!(!json_str(line, "event").is_empty());
+    }
+    assert_eq!(json_str(lines[0], "event"), "search-started");
+    assert_eq!(json_str(lines.last().unwrap(), "event"), "search-finished");
+
+    // The same search through the library, with explore's `run` config.
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Bluetooth")
+        .expect("registered");
+    let program = (bench.correct)();
+    let report = IcbSearch::new(SearchConfig {
+        max_executions: Some(BUDGET),
+        stop_on_first_bug: true,
+        ..SearchConfig::default()
+    })
+    .run(&program);
+
+    // Per-bound execution counts and distinct-state totals match
+    // SearchReport::bound_stats exactly, row for row.
+    let rows: Vec<(usize, usize, usize)> = lines
+        .iter()
+        .filter(|l| json_str(l, "event") == "bound-completed")
+        .map(|l| {
+            (
+                json_usize(l, "bound"),
+                json_usize(l, "executions"),
+                json_usize(l, "cumulative_states"),
+            )
+        })
+        .collect();
+    let expected: Vec<(usize, usize, usize)> = report
+        .bound_stats()
+        .iter()
+        .map(|s| (s.bound, s.executions, s.cumulative_states))
+        .collect();
+    assert!(!expected.is_empty(), "at least one bound completed");
+    assert_eq!(rows, expected);
+
+    // The stream-level totals agree with the report as well.
+    let finished = lines.last().unwrap();
+    assert_eq!(json_usize(finished, "executions"), report.executions);
+    assert_eq!(
+        json_usize(finished, "distinct_states"),
+        report.distinct_states
+    );
+    let execution_finishes = lines
+        .iter()
+        .filter(|l| json_str(l, "event") == "execution-finished")
+        .count();
+    assert_eq!(execution_finishes, report.executions);
+}

@@ -93,13 +93,16 @@ pub mod coverage;
 pub mod program;
 pub mod render;
 pub mod replay;
+pub mod rng;
 pub mod search;
 pub mod shrink;
+pub mod telemetry;
 pub mod tid;
 pub mod trace;
 
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
+pub use telemetry::{AbortReason, NoopObserver, SearchObserver};
 pub use tid::Tid;
 pub use trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule, Trace, TraceEntry};

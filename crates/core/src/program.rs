@@ -1,6 +1,7 @@
 //! The interface between programs under test and search strategies.
 
 use crate::coverage::StateSink;
+use crate::telemetry::SearchObserver;
 use crate::tid::Tid;
 use crate::trace::ExecutionResult;
 
@@ -92,6 +93,23 @@ pub trait ControlledProgram {
     /// visited state fingerprint to `sink`.
     fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult;
 
+    /// Like [`execute`](ControlledProgram::execute), additionally
+    /// reporting in-execution telemetry (currently: data races, through
+    /// [`SearchObserver::race_detected`]) to `observer`.
+    ///
+    /// The default implementation ignores the observer; hosts with an
+    /// in-execution event source (the controlled runtime's race detector)
+    /// override it.
+    fn execute_observed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
+        let _ = observer;
+        self.execute(scheduler, sink)
+    }
+
     /// Number of executions to charge per `execute` call when accounting
     /// against execution budgets. Always 1 for real programs; exists so
     /// wrappers (e.g. multi-replay reducers) can be honest about cost.
@@ -103,6 +121,15 @@ pub trait ControlledProgram {
 impl<P: ControlledProgram + ?Sized> ControlledProgram for &P {
     fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
         (**self).execute(scheduler, sink)
+    }
+
+    fn execute_observed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
+        (**self).execute_observed(scheduler, sink, observer)
     }
 
     fn executions_per_run(&self) -> usize {

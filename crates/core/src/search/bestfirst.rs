@@ -18,6 +18,7 @@ use std::collections::BinaryHeap;
 
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::telemetry::{NoopObserver, SearchObserver};
 use crate::tid::Tid;
 use crate::trace::Schedule;
 
@@ -37,7 +38,17 @@ impl BestFirstSearch {
 
     /// Runs the search.
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        let mut ctx = SearchCtx::new(self.config.clone());
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Runs the search, streaming telemetry events to `observer`.
+    pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        observer.search_started(&self.name());
+        let mut ctx = SearchCtx::new(self.config.clone(), observer);
         // Max-heap on (score, insertion age): older first among equals
         // via Reverse(seq) for stable, deterministic order.
         let mut frontier: BinaryHeap<(usize, Reverse<usize>, Schedule)> = BinaryHeap::new();
@@ -53,7 +64,8 @@ impl BestFirstSearch {
                 prefix: &prefix,
                 frontier_enabled: Vec::new(),
             };
-            let result = program.execute(&mut sched, &mut ctx.coverage);
+            ctx.begin_execution();
+            let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
             // A prefix as long as the execution has no frontier point
             // was a leaf; otherwise each enabled thread is a child.
             for &t in &sched.frontier_enabled {
@@ -73,8 +85,12 @@ impl BestFirstSearch {
 }
 
 impl SearchStrategy for BestFirstSearch {
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run(program)
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.run_observed(program, observer)
     }
 
     fn name(&self) -> String {

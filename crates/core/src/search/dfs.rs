@@ -5,6 +5,7 @@
 use crate::coverage::StateSink;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::telemetry::{NoopObserver, SearchObserver};
 use crate::tid::Tid;
 
 /// Stateless depth-first search over the schedule tree.
@@ -42,7 +43,17 @@ impl DfsSearch {
 
     /// Runs the search.
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        let mut ctx = SearchCtx::new(self.config.clone());
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Runs the search, streaming telemetry events to `observer`.
+    pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        observer.search_started(&self.name());
+        let mut ctx = SearchCtx::new(self.config.clone(), observer);
         let completed = run_dfs(program, self.depth_bound, &mut ctx, &mut None);
         ctx.into_report(self.name(), completed, None, Vec::new(), false)
     }
@@ -54,8 +65,12 @@ impl DfsSearch {
 }
 
 impl SearchStrategy for DfsSearch {
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run(program)
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.run_observed(program, observer)
     }
 
     fn name(&self) -> String {
@@ -96,7 +111,17 @@ impl IterativeDeepeningSearch {
 
     /// Runs the search.
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        let mut ctx = SearchCtx::new(self.config.clone());
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Runs the search, streaming telemetry events to `observer`.
+    pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        observer.search_started(&self.name());
+        let mut ctx = SearchCtx::new(self.config.clone(), observer);
         let mut completed = false;
         let mut bound = self.start;
         loop {
@@ -120,8 +145,12 @@ impl IterativeDeepeningSearch {
 }
 
 impl SearchStrategy for IterativeDeepeningSearch {
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run(program)
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.run_observed(program, observer)
     }
 
     fn name(&self) -> String {
@@ -135,7 +164,7 @@ impl SearchStrategy for IterativeDeepeningSearch {
 fn run_dfs(
     program: &dyn ControlledProgram,
     depth_bound: Option<usize>,
-    ctx: &mut SearchCtx,
+    ctx: &mut SearchCtx<'_>,
     track_max_len: &mut Option<usize>,
 ) -> bool {
     let bound = depth_bound.unwrap_or(usize::MAX);
@@ -146,11 +175,12 @@ fn run_dfs(
             cursor: 0,
             bound,
         };
+        ctx.begin_execution();
         let mut sink = GatedSink {
             inner: &mut ctx.coverage,
             remaining: bound,
         };
-        let result = program.execute(&mut sched, &mut sink);
+        let result = program.execute_observed(&mut sched, &mut sink, ctx.observer);
         stack = sched.stack;
 
         if let Some(m) = track_max_len {
@@ -330,8 +360,7 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report =
-            IterativeDeepeningSearch::new(SearchConfig::default(), 2, 2, 100).run(&p);
+        let report = IterativeDeepeningSearch::new(SearchConfig::default(), 2, 2, 100).run(&p);
         assert!(report.completed);
         // All states eventually covered.
         let full = DfsSearch::new(SearchConfig::default()).run(&p);
@@ -345,13 +374,8 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IterativeDeepeningSearch::new(
-            SearchConfig::with_max_executions(10),
-            2,
-            2,
-            50,
-        )
-        .run(&p);
+        let report =
+            IterativeDeepeningSearch::new(SearchConfig::with_max_executions(10), 2, 2, 50).run(&p);
         assert_eq!(report.executions, 10);
         assert!(!report.completed);
     }

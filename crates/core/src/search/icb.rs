@@ -25,6 +25,7 @@ use std::collections::VecDeque;
 
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::search::{BoundStats, BugReport, SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
 use crate::tid::Tid;
 use crate::trace::Schedule;
 
@@ -85,7 +86,17 @@ impl IcbSearch {
 
     /// Runs the search.
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        let mut ctx = SearchCtx::new(self.config.clone());
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Runs the search, streaming telemetry events to `observer`.
+    pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        observer.search_started("icb");
+        let mut ctx = SearchCtx::new(self.config.clone(), observer);
         let mut work: VecDeque<Schedule> = VecDeque::new();
         work.push_back(Schedule::new());
         let mut next: VecDeque<Schedule> = VecDeque::new();
@@ -98,24 +109,38 @@ impl IcbSearch {
         'outer: loop {
             let execs_before = ctx.executions;
             let bugs_before = ctx.buggy_executions;
+            ctx.observer.bound_started(bound, work.len());
+            let bound_began = std::time::Instant::now();
             while let Some(prefix) = work.pop_front() {
-                self.search_item(program, prefix, &mut ctx, &mut next, &mut truncated);
+                self.search_item(program, prefix, bound, &mut ctx, &mut next, &mut truncated);
+                ctx.observer.work_queue_depth(next.len());
                 if ctx.stop {
                     break 'outer;
                 }
             }
-            bound_history.push(BoundStats {
+            let stats = BoundStats {
                 bound,
                 executions: ctx.executions - execs_before,
                 cumulative_states: ctx.coverage.distinct_states(),
                 bugs_found: ctx.buggy_executions - bugs_before,
-            });
+            };
+            ctx.observer.bound_completed(&stats, bound_began.elapsed());
+            bound_history.push(stats);
             completed_bound = Some(bound);
             if next.is_empty() {
                 completed = !truncated;
                 break;
             }
             if self.config.preemption_bound.is_some_and(|pb| bound >= pb) {
+                break;
+            }
+            // Re-check the wall-clock budget between bound iterations:
+            // `record` only checks after each execution, so without this a
+            // deadline expiring exactly at a bound boundary would start
+            // (and fully time) another bound's first execution.
+            if ctx.over_deadline() {
+                ctx.halt(AbortReason::Timeout);
+                truncated = true;
                 break;
             }
             bound += 1;
@@ -137,7 +162,8 @@ impl IcbSearch {
         &self,
         program: &dyn ControlledProgram,
         prefix: Schedule,
-        ctx: &mut SearchCtx,
+        bound: usize,
+        ctx: &mut SearchCtx<'_>,
         next: &mut VecDeque<Schedule>,
         truncated: &mut bool,
     ) {
@@ -165,7 +191,8 @@ impl IcbSearch {
                 fresh_from,
                 emitted: Vec::new(),
             };
-            let result = program.execute(&mut sched, &mut ctx.coverage);
+            ctx.begin_execution();
+            let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
             stack = sched.stack;
 
             let queue_cap = self
@@ -176,6 +203,7 @@ impl IcbSearch {
             for item in sched.emitted {
                 if next.len() < queue_cap {
                     next.push_back(item);
+                    ctx.observer.work_item_deferred(bound + 1);
                 } else {
                     *truncated = true;
                 }
@@ -205,8 +233,12 @@ impl IcbSearch {
 }
 
 impl SearchStrategy for IcbSearch {
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run(program)
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.run_observed(program, observer)
     }
 
     fn name(&self) -> String {

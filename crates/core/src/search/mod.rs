@@ -29,6 +29,7 @@ pub use random::RandomSearch;
 
 use crate::coverage::CoverageTracker;
 use crate::program::ControlledProgram;
+use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
 use crate::trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule};
 
 /// Limits and options common to all search strategies.
@@ -150,6 +151,12 @@ impl SearchReport {
     pub fn first_bug(&self) -> Option<&BugReport> {
         self.bugs.first()
     }
+
+    /// The per-bound statistics ([`IcbSearch`] only) — the rows streamed
+    /// through [`SearchObserver::bound_completed`] during the search.
+    pub fn bound_stats(&self) -> &[BoundStats] {
+        &self.bound_history
+    }
 }
 
 impl std::fmt::Display for SearchReport {
@@ -173,7 +180,11 @@ impl std::fmt::Display for SearchReport {
             n => {
                 write!(f, ", {n} failing execution(s)")?;
                 if let Some(bug) = self.first_bug() {
-                    write!(f, "; first: {} ({} preemptions)", bug.outcome, bug.preemptions)?;
+                    write!(
+                        f,
+                        "; first: {} ({} preemptions)",
+                        bug.outcome, bug.preemptions
+                    )?;
                 }
             }
         }
@@ -183,14 +194,25 @@ impl std::fmt::Display for SearchReport {
 
 /// Object-safe interface over all search strategies.
 pub trait SearchStrategy {
-    /// Runs the search against `program`.
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport;
+    /// Runs the search against `program`, streaming telemetry events to
+    /// `observer`.
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport;
+
+    /// Runs the search without telemetry (a [`NoopObserver`]).
+    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
+        self.search_observed(program, &mut NoopObserver)
+    }
+
     /// Short label for reports and plots (`icb`, `dfs`, `db:40`, …).
     fn name(&self) -> String;
 }
 
-/// Shared bookkeeping: budget, coverage, bug collection.
-pub(crate) struct SearchCtx {
+/// Shared bookkeeping: budget, coverage, bug collection, telemetry.
+pub(crate) struct SearchCtx<'o> {
     pub(crate) config: SearchConfig,
     pub(crate) started: std::time::Instant,
     pub(crate) coverage: CoverageTracker,
@@ -199,10 +221,12 @@ pub(crate) struct SearchCtx {
     pub(crate) buggy_executions: usize,
     pub(crate) max_stats: ExecStats,
     pub(crate) stop: bool,
+    pub(crate) abort: Option<AbortReason>,
+    pub(crate) observer: &'o mut dyn SearchObserver,
 }
 
-impl SearchCtx {
-    pub(crate) fn new(config: SearchConfig) -> Self {
+impl<'o> SearchCtx<'o> {
+    pub(crate) fn new(config: SearchConfig, observer: &'o mut dyn SearchObserver) -> Self {
         SearchCtx {
             config,
             started: std::time::Instant::now(),
@@ -212,6 +236,8 @@ impl SearchCtx {
             buggy_executions: 0,
             max_stats: ExecStats::default(),
             stop: false,
+            abort: None,
+            observer,
         }
     }
 
@@ -223,59 +249,92 @@ impl SearchCtx {
         }
     }
 
+    /// Announces the next execution to the observer. Call immediately
+    /// before `execute`; every call must be paired with one `record`.
+    pub(crate) fn begin_execution(&mut self) {
+        self.observer.execution_started(self.executions + 1);
+    }
+
+    /// Stops the search, reporting the (first) reason to the observer.
+    pub(crate) fn halt(&mut self, reason: AbortReason) {
+        if !self.stop {
+            self.stop = true;
+            self.abort = Some(reason);
+            self.observer.search_aborted(reason);
+        }
+    }
+
+    /// Whether the wall-clock budget is exhausted.
+    pub(crate) fn over_deadline(&self) -> bool {
+        self.config
+            .max_duration
+            .is_some_and(|limit| self.started.elapsed() >= limit)
+    }
+
     /// Records a finished execution; sets `stop` when a limit is hit.
     pub(crate) fn record(&mut self, result: &ExecutionResult, cost: usize) {
         self.executions += cost;
         self.coverage.end_execution();
         self.max_stats = self.max_stats.max(result.stats);
+        self.observer.execution_finished(
+            self.executions,
+            &result.stats,
+            &result.outcome,
+            self.coverage.distinct_states(),
+        );
         if result.outcome.is_bug() {
             self.buggy_executions += 1;
             if self.bugs.len() < self.config.max_bug_reports {
-                self.bugs.push(BugReport {
+                let bug = BugReport {
                     outcome: result.outcome.clone(),
                     schedule: result.trace.schedule(),
                     preemptions: result.stats.preemptions,
                     execution_index: self.executions,
                     steps: result.stats.steps,
-                });
+                };
+                self.observer.bug_found(&bug);
+                self.bugs.push(bug);
             }
             if self.config.stop_on_first_bug {
-                self.stop = true;
+                self.halt(AbortReason::FirstBug);
             }
         }
         if self.remaining_budget() == 0 {
-            self.stop = true;
+            self.halt(AbortReason::ExecutionBudget);
         }
-        if let Some(limit) = self.config.max_duration {
-            if self.started.elapsed() >= limit {
-                self.stop = true;
-            }
+        if self.over_deadline() {
+            self.halt(AbortReason::Timeout);
         }
     }
 
-    /// Converts the context into a report. `completed` must reflect
-    /// whether the strategy exhausted its search space.
+    /// Converts the context into a report (emitting `search_finished`).
+    /// `completed` must reflect whether the strategy exhausted its
+    /// search space. A timed-out search is additionally marked truncated
+    /// so it is distinguishable from an exhausted one.
     pub(crate) fn into_report(
-        self,
+        mut self,
         strategy: String,
         completed: bool,
         completed_bound: Option<usize>,
         bound_history: Vec<BoundStats>,
         truncated: bool,
     ) -> SearchReport {
-        SearchReport {
+        let coverage = std::mem::take(&mut self.coverage);
+        let report = SearchReport {
             strategy,
             executions: self.executions,
-            distinct_states: self.coverage.distinct_states(),
-            coverage_curve: self.coverage.into_curve(),
-            bugs: self.bugs,
+            distinct_states: coverage.distinct_states(),
+            coverage_curve: coverage.into_curve(),
+            bugs: std::mem::take(&mut self.bugs),
             buggy_executions: self.buggy_executions,
             completed,
             completed_bound,
             bound_history,
             max_stats: self.max_stats,
-            truncated,
-        }
+            truncated: truncated || self.abort == Some(AbortReason::Timeout),
+        };
+        self.observer.search_finished(&report);
+        report
     }
 }
 
@@ -313,10 +372,7 @@ pub(crate) mod testprog {
             let mut current: Option<Tid> = None;
             let mut failure: Option<Tid> = None;
             loop {
-                let enabled: Vec<Tid> = (0..self.n)
-                    .filter(|&i| pos[i] < self.k)
-                    .map(Tid)
-                    .collect();
+                let enabled: Vec<Tid> = (0..self.n).filter(|&i| pos[i] < self.k).map(Tid).collect();
                 if enabled.is_empty() {
                     break;
                 }

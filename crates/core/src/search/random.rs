@@ -1,11 +1,10 @@
 //! Random-walk baseline (the paper's `random` strategy, after Sivaraj &
 //! Gopalakrishnan).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+use crate::rng::SplitMix64;
 use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::telemetry::{NoopObserver, SearchObserver};
 use crate::tid::Tid;
 
 /// Repeated executions under a uniformly random scheduler.
@@ -35,11 +34,22 @@ impl RandomSearch {
 
     /// Runs the search.
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        let mut ctx = SearchCtx::new(self.config.clone());
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Runs the search, streaming telemetry events to `observer`.
+    pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        observer.search_started(&self.name());
+        let mut ctx = SearchCtx::new(self.config.clone(), observer);
+        let mut rng = SplitMix64::new(self.seed);
         while !ctx.stop {
             let mut sched = RandomScheduler { rng: &mut rng };
-            let result = program.execute(&mut sched, &mut ctx.coverage);
+            ctx.begin_execution();
+            let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
             ctx.record(&result, program.executions_per_run());
         }
         ctx.into_report(self.name(), false, None, Vec::new(), false)
@@ -47,8 +57,12 @@ impl RandomSearch {
 }
 
 impl SearchStrategy for RandomSearch {
-    fn search(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run(program)
+    fn search_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.run_observed(program, observer)
     }
 
     fn name(&self) -> String {
@@ -59,12 +73,12 @@ impl SearchStrategy for RandomSearch {
 /// Chooses uniformly among the enabled threads.
 #[derive(Debug)]
 pub struct RandomScheduler<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut SplitMix64,
 }
 
 impl Scheduler for RandomScheduler<'_> {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
-        point.enabled[self.rng.gen_range(0..point.enabled.len())]
+        point.enabled[self.rng.gen_index(point.enabled.len())]
     }
 }
 

@@ -1,0 +1,203 @@
+//! Search telemetry: the [`SearchObserver`] hook interface.
+//!
+//! Every search strategy reports its progress through an observer —
+//! execution lifecycles, per-bound statistics, bug discoveries, work-queue
+//! movements and race reports all flow through the same object-safe
+//! trait. The paper's entire evaluation (Figures 1–6, Tables 1–2) is
+//! built from exactly this data; exposing it as a first-class stream lets
+//! the CLI watch a long search live, lets the benchmark harness source
+//! its figures without duplicated tallies, and lets downstream users
+//! export per-bound timing for offline analysis.
+//!
+//! The default implementation of every hook is a no-op, so
+//! [`NoopObserver`] costs nothing beyond a virtual call per event — and
+//! strategies batch their hot-path events (one `execution_started` /
+//! `execution_finished` pair per execution) so the overhead is
+//! unmeasurable next to the execution itself.
+//!
+//! Concrete observers (an in-memory metrics recorder, a JSONL event
+//! sink, a rate-limited progress reporter) live in the `icb-telemetry`
+//! crate; this module only defines the interface so that `icb-core`,
+//! `icb-runtime` and `icb-race` can emit events without depending on any
+//! sink implementation.
+
+use std::time::Duration;
+
+use crate::search::{BoundStats, BugReport, SearchReport};
+use crate::trace::{ExecStats, ExecutionOutcome};
+
+/// Why a search stopped before exhausting its schedule space.
+///
+/// Reported through [`SearchObserver::search_aborted`] so a consumer can
+/// distinguish a timed-out search from an exhausted one — the
+/// [`SearchReport`](crate::search::SearchReport) of a timed-out search
+/// additionally has `truncated` set, because its coverage numbers are
+/// lower bounds only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// [`SearchConfig::max_duration`](crate::search::SearchConfig) elapsed.
+    Timeout,
+    /// [`SearchConfig::max_executions`](crate::search::SearchConfig) was
+    /// reached.
+    ExecutionBudget,
+    /// A bug was found under
+    /// [`SearchConfig::stop_on_first_bug`](crate::search::SearchConfig).
+    FirstBug,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Timeout => write!(f, "timeout"),
+            AbortReason::ExecutionBudget => write!(f, "execution-budget"),
+            AbortReason::FirstBug => write!(f, "first-bug"),
+        }
+    }
+}
+
+/// Receiver of structured search events.
+///
+/// All hooks have no-op defaults: implement only what you need. The
+/// trait is object-safe — strategies hold a `&mut dyn SearchObserver` —
+/// and the event grammar obeys these invariants, which the test suite
+/// asserts:
+///
+/// * `search_started` is the first event and `search_finished` the last;
+/// * every `execution_started` is matched by exactly one
+///   `execution_finished` with the same 1-based index;
+/// * `bound_started`/`bound_completed` pairs nest between executions and
+///   arrive in increasing bound order (ICB only);
+/// * `bug_found` fires exactly once per *reported* bug, i.e. at most
+///   [`SearchConfig::max_bug_reports`](crate::search::SearchConfig)
+///   times, and the reported values equal the final
+///   [`SearchReport::bugs`](crate::search::SearchReport);
+/// * `bound_completed` values equal the final
+///   [`SearchReport::bound_stats`](crate::search::SearchReport::bound_stats).
+#[allow(unused_variables)]
+pub trait SearchObserver {
+    /// The search is starting; `strategy` is its report label.
+    fn search_started(&mut self, strategy: &str) {}
+
+    /// Execution number `index` (1-based) is about to run.
+    fn execution_started(&mut self, index: usize) {}
+
+    /// Execution number `index` finished with the given statistics and
+    /// outcome; `distinct_states` is the cumulative coverage after it.
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+    }
+
+    /// ICB is starting preemption bound `bound` with `work_items` queued
+    /// schedule prefixes to process.
+    fn bound_started(&mut self, bound: usize, work_items: usize) {}
+
+    /// ICB completed a preemption bound; `stats` is the row that will
+    /// appear in [`SearchReport::bound_stats`], `wall_time` the time
+    /// spent inside this bound.
+    ///
+    /// [`SearchReport::bound_stats`]: crate::search::SearchReport::bound_stats
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {}
+
+    /// A bug report was recorded (bounded by `max_bug_reports`; further
+    /// buggy executions only increment the report's counter).
+    fn bug_found(&mut self, bug: &BugReport) {}
+
+    /// ICB deferred one work item (a schedule prefix whose exploration
+    /// requires one more preemption) to the queue for `next_bound`.
+    fn work_item_deferred(&mut self, next_bound: usize) {}
+
+    /// The deferred work queue reached `depth` items (sampled after each
+    /// processed work item; track the maximum for the high-water mark).
+    fn work_queue_depth(&mut self, depth: usize) {}
+
+    /// The happens-before race detector flagged a data race. Fires even
+    /// when the runtime is configured to tolerate races
+    /// (`fail_on_race = false`), which is what makes detector-silenced
+    /// runs auditable.
+    fn race_detected(&mut self, description: &str) {}
+
+    /// The search is stopping before exhausting its space.
+    fn search_aborted(&mut self, reason: AbortReason) {}
+
+    /// The search is over; `report` is the final report about to be
+    /// returned to the caller.
+    fn search_finished(&mut self, report: &SearchReport) {}
+}
+
+/// The zero-cost default observer: ignores every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl SearchObserver for NoopObserver {}
+
+impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
+    fn search_started(&mut self, strategy: &str) {
+        (**self).search_started(strategy)
+    }
+    fn execution_started(&mut self, index: usize) {
+        (**self).execution_started(index)
+    }
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        (**self).execution_finished(index, stats, outcome, distinct_states)
+    }
+    fn bound_started(&mut self, bound: usize, work_items: usize) {
+        (**self).bound_started(bound, work_items)
+    }
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        (**self).bound_completed(stats, wall_time)
+    }
+    fn bug_found(&mut self, bug: &BugReport) {
+        (**self).bug_found(bug)
+    }
+    fn work_item_deferred(&mut self, next_bound: usize) {
+        (**self).work_item_deferred(next_bound)
+    }
+    fn work_queue_depth(&mut self, depth: usize) {
+        (**self).work_queue_depth(depth)
+    }
+    fn race_detected(&mut self, description: &str) {
+        (**self).race_detected(description)
+    }
+    fn search_aborted(&mut self, reason: AbortReason) {
+        (**self).search_aborted(reason)
+    }
+    fn search_finished(&mut self, report: &SearchReport) {
+        (**self).search_finished(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_accepts_every_event() {
+        let mut o = NoopObserver;
+        o.search_started("x");
+        o.execution_started(1);
+        o.execution_finished(1, &ExecStats::default(), &ExecutionOutcome::Terminated, 0);
+        o.bound_started(0, 1);
+        o.work_item_deferred(1);
+        o.work_queue_depth(3);
+        o.race_detected("r/w on x");
+        o.search_aborted(AbortReason::Timeout);
+    }
+
+    #[test]
+    fn abort_reason_displays() {
+        assert_eq!(AbortReason::Timeout.to_string(), "timeout");
+        assert_eq!(AbortReason::ExecutionBudget.to_string(), "execution-budget");
+        assert_eq!(AbortReason::FirstBug.to_string(), "first-bug");
+    }
+}

@@ -175,7 +175,10 @@ impl Trace {
 
     /// Number of context switches of either kind.
     pub fn context_switches(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_context_switch()).count()
+        self.entries
+            .iter()
+            .filter(|e| e.is_context_switch())
+            .count()
     }
 
     /// Number of nonpreempting context switches.

@@ -1,12 +1,15 @@
 //! Property tests of the trace algebra against an independent
 //! implementation of Appendix A's definitions.
+//!
+//! Inputs are generated from seeded [`SplitMix64`] streams (the
+//! repository builds without external crates, so there is no proptest);
+//! every case is deterministic and reproducible from its seed.
 
-use proptest::prelude::*;
-
+use icb_core::rng::SplitMix64;
 use icb_core::search::{DfsSearch, SearchConfig};
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink,
-    Tid, Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
+    Trace, TraceEntry,
 };
 
 /// A deterministic little interpreter over `steps[i] = thread of step i`
@@ -35,7 +38,13 @@ impl ControlledProgram for Planned {
                 current_enabled,
                 enabled: &enabled,
             });
-            trace.push(TraceEntry::new(chosen, enabled, current, current_enabled, false));
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
             left[chosen.index()] -= 1;
             current = Some(chosen);
         }
@@ -63,49 +72,60 @@ fn np_appendix_a(steps_per_thread: &[usize], schedule: &[Tid]) -> usize {
     np
 }
 
-fn plans() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..4, 2..4)
+/// A generated plan: 2–3 threads, each with 1–3 steps.
+fn gen_plan(rng: &mut SplitMix64) -> Vec<usize> {
+    let threads = rng.gen_range(2, 4);
+    (0..threads).map(|_| rng.gen_range(1, 4)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Random schedules through a planned program yield traces that
-    /// satisfy the Appendix-A preemption recurrence, the switch
-    /// accounting identity, and the schedule-length invariant.
-    #[test]
-    fn traces_satisfy_appendix_a(steps in plans()) {
-        let program = Planned { steps_per_thread: steps.clone() };
+/// Random schedules through a planned program yield traces that satisfy
+/// the Appendix-A preemption recurrence, the switch accounting identity,
+/// and the schedule-length invariant.
+#[test]
+fn traces_satisfy_appendix_a() {
+    let mut gen = SplitMix64::new(0xA11CE);
+    for _case in 0..32 {
+        let steps = gen_plan(&mut gen);
+        let program = Planned {
+            steps_per_thread: steps.clone(),
+        };
         for seed in 0..20u64 {
-            let mut rng = RecordingScheduler::random(seed);
+            let mut rng = RandomScheduler::new(seed);
             let result = program.execute(&mut rng, &mut icb_core::NullSink);
             let trace = &result.trace;
             let schedule: Vec<Tid> = trace.schedule().iter().collect();
-            prop_assert_eq!(
+            assert_eq!(
                 trace.preemptions(),
                 np_appendix_a(&steps, &schedule),
-                "schedule {:?}", schedule
+                "schedule {schedule:?}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 trace.context_switches(),
                 trace.preemptions() + trace.nonpreempting_switches()
             );
-            prop_assert_eq!(schedule.len(), steps.iter().sum::<usize>());
+            assert_eq!(schedule.len(), steps.iter().sum::<usize>());
         }
     }
+}
 
-    /// Exhaustive DFS over the planned program never records a trace
-    /// violating the recurrence either (systematic rather than sampled
-    /// coverage of the small plans).
-    #[test]
-    fn dfs_bug_free_and_complete(steps in plans()) {
-        let program = Planned { steps_per_thread: steps.clone() };
+/// Exhaustive DFS over the planned program never records a trace
+/// violating the recurrence either (systematic rather than sampled
+/// coverage of the small plans).
+#[test]
+fn dfs_bug_free_and_complete() {
+    let mut gen = SplitMix64::new(0xDF5);
+    for _case in 0..32 {
+        let steps = gen_plan(&mut gen);
+        let program = Planned {
+            steps_per_thread: steps.clone(),
+        };
         let report = DfsSearch::new(SearchConfig {
             max_executions: Some(100_000),
             ..SearchConfig::default()
-        }).run(&program);
-        prop_assert!(report.completed);
-        prop_assert_eq!(report.buggy_executions, 0);
+        })
+        .run(&program);
+        assert!(report.completed);
+        assert_eq!(report.buggy_executions, 0);
         // The multinomial count of distinct schedules.
         let mut expected = 1f64;
         let mut acc = 1usize;
@@ -115,34 +135,29 @@ proptest! {
                 acc += 1;
             }
         }
-        prop_assert_eq!(report.executions, expected.round() as usize);
+        assert_eq!(
+            report.executions,
+            expected.round() as usize,
+            "plan {steps:?}"
+        );
     }
 }
 
-/// A tiny deterministic pseudo-random scheduler (no rand dependency in
-/// the hot loop; SplitMix-based).
-struct RecordingScheduler {
-    state: u64,
+/// A uniformly random scheduler over the enabled set.
+struct RandomScheduler {
+    rng: SplitMix64,
 }
 
-impl RecordingScheduler {
-    fn random(seed: u64) -> Self {
-        RecordingScheduler {
-            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+impl RandomScheduler {
+    fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SplitMix64::new(seed),
         }
     }
-
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
 }
 
-impl Scheduler for RecordingScheduler {
+impl Scheduler for RandomScheduler {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
-        point.enabled[(self.next() as usize) % point.enabled.len()]
+        point.enabled[self.rng.gen_index(point.enabled.len())]
     }
 }

@@ -97,6 +97,7 @@ pub struct RaceDetector {
     threads: Vec<VectorClock>,
     sync: Vec<VectorClock>,
     data: Vec<DataVarState>,
+    races_detected: usize,
 }
 
 impl RaceDetector {
@@ -112,8 +113,7 @@ impl RaceDetector {
     fn ensure_thread(&mut self, tid: Tid) {
         if self.threads.len() <= tid.index() {
             let old = self.threads.len();
-            self.threads
-                .resize_with(tid.index() + 1, VectorClock::new);
+            self.threads.resize_with(tid.index() + 1, VectorClock::new);
             for (i, clock) in self.threads.iter_mut().enumerate().skip(old) {
                 clock.set(Tid(i), 1);
             }
@@ -200,6 +200,19 @@ impl RaceDetector {
         var: usize,
         kind: AccessKind,
     ) -> Result<(), DataRaceInfo> {
+        let result = self.check_data_access(tid, var, kind);
+        if result.is_err() {
+            self.races_detected += 1;
+        }
+        result
+    }
+
+    fn check_data_access(
+        &mut self,
+        tid: Tid,
+        var: usize,
+        kind: AccessKind,
+    ) -> Result<(), DataRaceInfo> {
         self.ensure_thread(tid);
         let clock = &self.threads[tid.index()];
         let epoch = clock.get(tid);
@@ -249,6 +262,13 @@ impl RaceDetector {
     pub fn data_vars(&self) -> usize {
         self.data.len()
     }
+
+    /// Number of racy accesses flagged so far in this execution — the
+    /// count of [`data_access`](RaceDetector::data_access) calls that
+    /// returned an error, whether or not the host chose to abort on them.
+    pub fn races_detected(&self) -> usize {
+        self.races_detected
+    }
 }
 
 #[cfg(test)]
@@ -296,7 +316,8 @@ mod tests {
         let x = d.new_data_var(None);
         d.data_access(Tid(0), x, AccessKind::Write).unwrap();
         d.fork(Tid(0), Tid(1));
-        d.data_access(Tid(1), x, AccessKind::Write).expect("ordered by fork");
+        d.data_access(Tid(1), x, AccessKind::Write)
+            .expect("ordered by fork");
     }
 
     #[test]
@@ -306,7 +327,8 @@ mod tests {
         d.fork(Tid(0), Tid(1));
         d.data_access(Tid(1), x, AccessKind::Write).unwrap();
         d.join(Tid(0), Tid(1));
-        d.data_access(Tid(0), x, AccessKind::Read).expect("ordered by join");
+        d.data_access(Tid(0), x, AccessKind::Read)
+            .expect("ordered by join");
     }
 
     #[test]
@@ -318,7 +340,8 @@ mod tests {
         d.data_access(Tid(0), x, AccessKind::Write).unwrap();
         d.sync_release(Tid(0), m);
         d.sync_acquire(Tid(1), m);
-        d.data_access(Tid(1), x, AccessKind::Write).expect("ordered by lock");
+        d.data_access(Tid(1), x, AccessKind::Write)
+            .expect("ordered by lock");
     }
 
     #[test]
@@ -344,7 +367,8 @@ mod tests {
         d.data_access(Tid(0), x, AccessKind::Write).unwrap();
         d.sync_access(Tid(0), a);
         d.sync_access(Tid(1), a);
-        d.data_access(Tid(1), x, AccessKind::Read).expect("published");
+        d.data_access(Tid(1), x, AccessKind::Read)
+            .expect("published");
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn empty_fingerprints_are_equal() {
-        assert_eq!(HbFingerprint::new().current(), HbFingerprint::new().current());
+        assert_eq!(
+            HbFingerprint::new().current(),
+            HbFingerprint::new().current()
+        );
     }
 
     #[test]

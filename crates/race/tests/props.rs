@@ -1,18 +1,18 @@
 //! Property-based tests of the vector-clock lattice and the detector's
 //! happens-before semantics.
+//!
+//! Cases are generated from seeded [`SplitMix64`] streams (the workspace
+//! builds offline, so there is no proptest); every case is deterministic.
 
-use proptest::prelude::*;
-
+use icb_core::rng::SplitMix64;
 use icb_race::{AccessKind, ClockOrdering, RaceDetector, Tid, VectorClock};
 
-fn clock() -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0u32..8, 0..6).prop_map(|entries| {
-        entries
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| (Tid(i), v))
-            .collect()
-    })
+/// A random clock: up to 6 threads, components in `0..8`.
+fn clock(rng: &mut SplitMix64) -> VectorClock {
+    let len = rng.gen_index(6);
+    (0..len)
+        .map(|i| (Tid(i), rng.next_u64() as u32 % 8))
+        .collect()
 }
 
 fn join(a: &VectorClock, b: &VectorClock) -> VectorClock {
@@ -21,97 +21,137 @@ fn join(a: &VectorClock, b: &VectorClock) -> VectorClock {
     out
 }
 
-proptest! {
-    #[test]
-    fn join_is_commutative(a in clock(), b in clock()) {
-        prop_assert_eq!(join(&a, &b), join(&b, &a));
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn join_is_associative(a in clock(), b in clock(), c in clock()) {
-        prop_assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
-    }
-
-    #[test]
-    fn join_is_idempotent(a in clock()) {
-        prop_assert_eq!(join(&a, &a), a);
-    }
-
-    #[test]
-    fn join_is_an_upper_bound(a in clock(), b in clock()) {
-        let j = join(&a, &b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
-    }
-
-    #[test]
-    fn join_is_the_least_upper_bound(a in clock(), b in clock(), c in clock()) {
-        if a.le(&c) && b.le(&c) {
-            prop_assert!(join(&a, &b).le(&c));
-        }
-    }
-
-    #[test]
-    fn le_is_a_partial_order(a in clock(), b in clock(), c in clock()) {
-        prop_assert!(a.le(&a)); // reflexive
-        if a.le(&b) && b.le(&a) {
-            prop_assert_eq!(a.compare(&b), ClockOrdering::Equal); // antisymmetric
-        }
-        if a.le(&b) && b.le(&c) {
-            prop_assert!(a.le(&c)); // transitive
-        }
-    }
-
-    #[test]
-    fn compare_is_consistent_with_le(a in clock(), b in clock()) {
-        let cmp = a.compare(&b);
-        match cmp {
-            ClockOrdering::Equal => prop_assert!(a.le(&b) && b.le(&a)),
-            ClockOrdering::Before => prop_assert!(a.le(&b) && !b.le(&a)),
-            ClockOrdering::After => prop_assert!(!a.le(&b) && b.le(&a)),
-            ClockOrdering::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
-        }
-    }
-
-    #[test]
-    fn tick_strictly_advances(a in clock(), t in 0usize..6) {
-        let mut b = a.clone();
-        b.tick(Tid(t));
-        prop_assert!(a.le(&b));
-        prop_assert!(!b.le(&a));
-    }
-
-    #[test]
-    fn equal_clocks_hash_equal(a in clock()) {
-        let b = a.clone();
-        prop_assert_eq!(a.hash64(), b.hash64());
+#[test]
+fn join_is_commutative() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..CASES {
+        let (a, b) = (clock(&mut rng), clock(&mut rng));
+        assert_eq!(join(&a, &b), join(&b, &a));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn join_is_associative() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (clock(&mut rng), clock(&mut rng), clock(&mut rng));
+        assert_eq!(join(&join(&a, &b), &c), join(&a, &join(&b, &c)));
+    }
+}
 
-    /// Accesses fully serialized through one lock never race, regardless
-    /// of the access mix.
-    #[test]
-    fn lock_serialized_accesses_never_race(
-        ops in proptest::collection::vec((0usize..3, prop::bool::ANY), 1..20)
-    ) {
+#[test]
+fn join_is_idempotent() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..CASES {
+        let a = clock(&mut rng);
+        assert_eq!(join(&a, &a), a);
+    }
+}
+
+#[test]
+fn join_is_an_upper_bound() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..CASES {
+        let (a, b) = (clock(&mut rng), clock(&mut rng));
+        let j = join(&a, &b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+    }
+}
+
+#[test]
+fn join_is_the_least_upper_bound() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..CASES {
+        let (a, b, c) = (clock(&mut rng), clock(&mut rng), clock(&mut rng));
+        if a.le(&c) && b.le(&c) {
+            assert!(join(&a, &b).le(&c));
+        }
+    }
+}
+
+#[test]
+fn le_is_a_partial_order() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..CASES {
+        let (a, b, c) = (clock(&mut rng), clock(&mut rng), clock(&mut rng));
+        assert!(a.le(&a)); // reflexive
+        if a.le(&b) && b.le(&a) {
+            assert_eq!(a.compare(&b), ClockOrdering::Equal); // antisymmetric
+        }
+        if a.le(&b) && b.le(&c) {
+            assert!(a.le(&c)); // transitive
+        }
+    }
+}
+
+#[test]
+fn compare_is_consistent_with_le() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..CASES {
+        let (a, b) = (clock(&mut rng), clock(&mut rng));
+        match a.compare(&b) {
+            ClockOrdering::Equal => assert!(a.le(&b) && b.le(&a)),
+            ClockOrdering::Before => assert!(a.le(&b) && !b.le(&a)),
+            ClockOrdering::After => assert!(!a.le(&b) && b.le(&a)),
+            ClockOrdering::Concurrent => assert!(!a.le(&b) && !b.le(&a)),
+        }
+    }
+}
+
+#[test]
+fn tick_strictly_advances() {
+    let mut rng = SplitMix64::new(8);
+    for _ in 0..CASES {
+        let a = clock(&mut rng);
+        let t = rng.gen_index(6);
+        let mut b = a.clone();
+        b.tick(Tid(t));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+    }
+}
+
+#[test]
+fn equal_clocks_hash_equal() {
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..CASES {
+        let a = clock(&mut rng);
+        let b = a.clone();
+        assert_eq!(a.hash64(), b.hash64());
+    }
+}
+
+/// Accesses fully serialized through one lock never race, regardless of
+/// the access mix.
+#[test]
+fn lock_serialized_accesses_never_race() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..64 {
         let mut d = RaceDetector::new();
         let m = d.new_sync_object();
         let x = d.new_data_var(None);
-        for (t, is_write) in ops {
-            let tid = Tid(t);
+        let ops = 1 + rng.gen_index(19);
+        for _ in 0..ops {
+            let tid = Tid(rng.gen_index(3));
             d.sync_acquire(tid, m);
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
-            prop_assert!(d.data_access(tid, x, kind).is_ok());
+            let kind = if rng.gen_bool() {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            assert!(d.data_access(tid, x, kind).is_ok());
             d.sync_release(tid, m);
         }
     }
+}
 
-    /// Two writers with no synchronization at all always race.
-    #[test]
-    fn unsynchronized_writers_always_race(prefix in 0usize..5) {
+/// Two writers with no synchronization at all always race.
+#[test]
+fn unsynchronized_writers_always_race() {
+    for prefix in 0..5 {
         let mut d = RaceDetector::new();
         let noise = d.new_sync_object();
         let x = d.new_data_var(None);
@@ -120,22 +160,41 @@ proptest! {
             d.sync_access(Tid(0), noise);
         }
         d.data_access(Tid(0), x, AccessKind::Write).unwrap();
-        prop_assert!(d.data_access(Tid(1), x, AccessKind::Write).is_err());
+        assert!(d.data_access(Tid(1), x, AccessKind::Write).is_err());
     }
+}
 
-    /// Any chain of sync accesses on a single variable totally orders
-    /// the participating threads' subsequent data accesses.
-    #[test]
-    fn sync_chains_transfer_order(threads in proptest::collection::vec(0usize..4, 1..12)) {
+/// Any chain of sync accesses on a single variable totally orders the
+/// participating threads' subsequent data accesses.
+#[test]
+fn sync_chains_transfer_order() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..64 {
         let mut d = RaceDetector::new();
         let s = d.new_sync_object();
         let x = d.new_data_var(None);
-        for &t in &threads {
-            d.sync_access(Tid(t), s);
+        let len = 1 + rng.gen_index(11);
+        for _ in 0..len {
+            let t = Tid(rng.gen_index(4));
+            d.sync_access(t, s);
             // Write between this thread's accesses to the chain: ordered
             // with every other participant's writes via the chain.
-            prop_assert!(d.data_access(Tid(t), x, AccessKind::Write).is_ok());
-            d.sync_access(Tid(t), s);
+            assert!(d.data_access(t, x, AccessKind::Write).is_ok());
+            d.sync_access(t, s);
         }
     }
+}
+
+/// The detector counts every race it diagnoses.
+#[test]
+fn detector_counts_races() {
+    let mut d = RaceDetector::new();
+    let x = d.new_data_var(None);
+    let y = d.new_data_var(None);
+    assert_eq!(d.races_detected(), 0);
+    d.data_access(Tid(0), x, AccessKind::Write).unwrap();
+    d.data_access(Tid(0), y, AccessKind::Write).unwrap();
+    assert!(d.data_access(Tid(1), x, AccessKind::Write).is_err());
+    assert!(d.data_access(Tid(2), y, AccessKind::Read).is_err());
+    assert_eq!(d.races_detected(), 2);
 }

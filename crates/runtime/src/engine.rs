@@ -19,7 +19,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 use icb_core::{
-    ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid, Trace, TraceEntry,
+    ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, SearchObserver, StateSink, Tid,
+    Trace, TraceEntry,
 };
 use icb_race::{AccessKind, HbFingerprint, RaceDetector};
 
@@ -86,6 +87,9 @@ pub(crate) struct ExecInner {
     pub(crate) detector: RaceDetector,
     fingerprint: HbFingerprint,
     pending_fp: Option<u64>,
+    /// Race descriptions queued by task threads for the controller to
+    /// forward to the observer (tasks cannot reach the `&mut` observer).
+    pending_races: Vec<String>,
     steps: usize,
 }
 
@@ -159,6 +163,7 @@ impl Execution {
                 detector: RaceDetector::new(),
                 fingerprint: HbFingerprint::new(),
                 pending_fp: None,
+                pending_races: Vec::new(),
                 steps: 0,
             }),
             cv: StdCondvar::new(),
@@ -180,6 +185,7 @@ impl Execution {
         body: Box<dyn FnOnce() + Send + 'static>,
         scheduler: &mut dyn Scheduler,
         sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
     ) -> ExecutionResult {
         install_panic_hook();
         {
@@ -192,12 +198,17 @@ impl Execution {
         }
         let exec = Arc::clone(self);
         pool::run_on_worker(Box::new(move || task_main(exec, Tid::MAIN, body)));
-        self.control(scheduler, sink)
+        self.control(scheduler, sink, observer)
     }
 
     /// The controller loop: repeatedly compute the enabled set, consult
     /// the scheduler, and hand the baton over.
-    fn control(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+    fn control(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
         let max_steps = self.config.max_steps;
         let mut inner = self.lock();
         loop {
@@ -206,6 +217,9 @@ impl Execution {
             }
             if let Some(fp) = inner.pending_fp.take() {
                 sink.visit(fp);
+            }
+            for race in inner.pending_races.drain(..) {
+                observer.race_detected(&race);
             }
             if inner.abort {
                 while inner.alive > 0 {
@@ -285,9 +299,13 @@ impl Execution {
                 .as_ref()
                 .expect("enabled task has a pending op")
                 .is_blocking();
-            inner
-                .trace
-                .push(TraceEntry::new(chosen, enabled, current, current_enabled, blocking));
+            inner.trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                blocking,
+            ));
             inner.steps += 1;
             inner.current = Some(chosen);
             inner.turn = Turn::Task(chosen.index());
@@ -296,10 +314,10 @@ impl Execution {
         if let Some(fp) = inner.pending_fp.take() {
             sink.visit(fp);
         }
-        let outcome = inner
-            .outcome
-            .take()
-            .unwrap_or(ExecutionOutcome::Terminated);
+        for race in inner.pending_races.drain(..) {
+            observer.race_detected(&race);
+        }
+        let outcome = inner.outcome.take().unwrap_or(ExecutionOutcome::Terminated);
         let trace = std::mem::take(&mut inner.trace);
         drop(inner);
         ExecutionResult::from_trace(outcome, trace)
@@ -318,7 +336,11 @@ impl Execution {
             drop(inner);
             panic_abort();
         }
-        debug_assert_eq!(inner.turn, Turn::Task(tid.index()), "only the running task may announce");
+        debug_assert_eq!(
+            inner.turn,
+            Turn::Task(tid.index()),
+            "only the running task may announce"
+        );
         let is_exit = matches!(op, PendingOp::Exit);
         inner.tasks[tid.index()].pending = Some(op);
         inner.turn = Turn::Controller;
@@ -459,10 +481,12 @@ impl Execution {
         }
         let mut inner = self.lock();
         if let Err(race) = inner.detector.data_access(tid, var, kind) {
+            let description = race.to_string();
+            inner.pending_races.push(description.clone());
             if self.config.fail_on_race {
-                inner.outcome.get_or_insert(ExecutionOutcome::DataRace {
-                    description: race.to_string(),
-                });
+                inner
+                    .outcome
+                    .get_or_insert(ExecutionOutcome::DataRace { description });
                 inner.abort = true;
                 self.cv.notify_all();
                 drop(inner);
@@ -512,9 +536,7 @@ fn op_enabled(inner: &ExecInner, tid: Tid, op: &PendingOp) -> bool {
                 state.writer.is_none() && !writer_waiting
             }
         }
-        PendingOp::BarrierWait { bar, gen, .. } => {
-            inner.resources.barriers[bar].generation > gen
-        }
+        PendingOp::BarrierWait { bar, gen, .. } => inner.resources.barriers[bar].generation > gen,
         _ => true,
     }
 }
@@ -680,11 +702,7 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
 }
 
 /// The body every task runs on its worker thread.
-pub(crate) fn task_main(
-    exec: Arc<Execution>,
-    tid: Tid,
-    body: Box<dyn FnOnce() + Send + 'static>,
-) {
+pub(crate) fn task_main(exec: Arc<Execution>, tid: Tid, body: Box<dyn FnOnce() + Send + 'static>) {
     CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
     let result = catch_unwind(AssertUnwindSafe(|| {
         exec.park_initial(tid);

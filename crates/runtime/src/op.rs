@@ -42,7 +42,11 @@ pub(crate) enum PendingOp {
         lock_sync: usize,
     },
     /// Signal one or all waiters. Always enabled.
-    Notify { cv: usize, cv_sync: usize, all: bool },
+    Notify {
+        cv: usize,
+        cv_sync: usize,
+        all: bool,
+    },
     /// Semaphore P. Enabled iff the count is positive.
     SemAcquire { sem: usize, sync: usize },
     /// Semaphore V. Always enabled.

@@ -68,7 +68,9 @@ mod tests {
             }));
         }
         for _ in 0..16 {
-            done_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
         }
         assert_eq!(counter.load(Ordering::SeqCst), 16);
     }

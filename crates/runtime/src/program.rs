@@ -4,7 +4,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use icb_core::{ControlledProgram, ExecutionResult, Scheduler, StateSink};
+use icb_core::{
+    ControlledProgram, ExecutionResult, NoopObserver, Scheduler, SearchObserver, StateSink,
+};
 
 use crate::config::RuntimeConfig;
 use crate::engine::Execution;
@@ -59,9 +61,18 @@ impl RuntimeProgram {
 
 impl ControlledProgram for RuntimeProgram {
     fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        self.execute_observed(scheduler, sink, &mut NoopObserver)
+    }
+
+    fn execute_observed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
         let exec = Arc::new(Execution::new(self.config));
         let body = Arc::clone(&self.body);
-        exec.run(Box::new(move || body()), scheduler, sink)
+        exec.run(Box::new(move || body()), scheduler, sink, observer)
     }
 }
 

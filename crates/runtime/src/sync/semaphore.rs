@@ -75,6 +75,8 @@ impl Semaphore {
 
 impl fmt::Debug for Semaphore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Semaphore").field("id", &self.sem_id).finish()
+        f.debug_struct("Semaphore")
+            .field("id", &self.sem_id)
+            .finish()
     }
 }

@@ -117,9 +117,7 @@ fn forgetting_to_close_deadlocks_receivers() {
         let ch: Arc<Channel<i32>> = Arc::new(Channel::bounded(1));
         let consumer = {
             let ch = Arc::clone(&ch);
-            thread::spawn(move || {
-                while ch.recv().is_some() {}
-            })
+            thread::spawn(move || while ch.recv().is_some() {})
         };
         // BUG: producer finishes without close().
         ch.send(1);

@@ -63,8 +63,11 @@ fn two_readers_can_be_inside_simultaneously() {
         let both_seen = Arc::new(AtomicUsize::new(0));
         let ts: Vec<_> = (0..2)
             .map(|_| {
-                let (lock, inside, both) =
-                    (Arc::clone(&lock), Arc::clone(&inside), Arc::clone(&both_seen));
+                let (lock, inside, both) = (
+                    Arc::clone(&lock),
+                    Arc::clone(&inside),
+                    Arc::clone(&both_seen),
+                );
                 thread::spawn(move || {
                     let _g = lock.read();
                     let n = inside.fetch_add(1) + 1;

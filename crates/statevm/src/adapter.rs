@@ -9,8 +9,8 @@
 //! checker ([`crate::ExplicitIcb`]): both must see the same state space.
 
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink,
-    Tid, Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
+    Trace, TraceEntry,
 };
 
 use crate::model::{Model, StepError};
@@ -199,5 +199,4 @@ mod tests {
         ));
         assert_eq!(r.stats.steps, 0);
     }
-
 }

@@ -119,7 +119,10 @@ impl ModelBuilder {
     /// Panics if no thread was declared or any validation fails, naming
     /// the offending thread and pc.
     pub fn build(self) -> Model {
-        assert!(!self.threads.is_empty(), "a model needs at least one thread");
+        assert!(
+            !self.threads.is_empty(),
+            "a model needs at least one thread"
+        );
         for thread in &self.threads {
             validate_thread(thread, self.globals.len(), self.arrays.len(), self.locks);
         }
@@ -436,7 +439,9 @@ fn validate_thread(thread: &ThreadCode, globals: usize, arrays: usize, locks: us
                     );
                 }
             }
-            Instr::Rmw { global, rhs, dst, .. } => {
+            Instr::Rmw {
+                global, rhs, dst, ..
+            } => {
                 check_global(global, pc);
                 check_expr(rhs, pc);
                 check_local(dst, pc);

@@ -60,7 +60,13 @@ impl Model {
     /// Renders the full program listing with named globals and arrays.
     pub fn disasm(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "; {} globals, {} arrays, {} locks", self.globals.len(), self.arrays.len(), self.locks);
+        let _ = writeln!(
+            out,
+            "; {} globals, {} arrays, {} locks",
+            self.globals.len(),
+            self.arrays.len(),
+            self.locks
+        );
         for (i, (name, init)) in self.global_names.iter().zip(&self.globals).enumerate() {
             let _ = writeln!(out, "global g{i} \"{name}\" = {init}");
         }
@@ -68,7 +74,11 @@ impl Model {
             let _ = writeln!(out, "array a{i} \"{name}\" = {init:?}");
         }
         for thread in &self.threads {
-            let _ = writeln!(out, "\nthread \"{}\" ({} locals):", thread.name, thread.locals);
+            let _ = writeln!(
+                out,
+                "\nthread \"{}\" ({} locals):",
+                thread.name, thread.locals
+            );
             for (pc, instr) in thread.code.iter().enumerate() {
                 let marker = if instr.is_shared() {
                     if instr.is_blocking() {

@@ -201,7 +201,11 @@ impl PorSearch<'_> {
             return;
         }
         let explorable: Vec<Tid> = if self.config.sleep_sets {
-            enabled.iter().copied().filter(|t| !sleep.contains(t)).collect()
+            enabled
+                .iter()
+                .copied()
+                .filter(|t| !sleep.contains(t))
+                .collect()
         } else {
             enabled.clone()
         };

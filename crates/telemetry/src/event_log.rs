@@ -1,0 +1,191 @@
+//! An observer that records every event as an owned value.
+
+use std::time::Duration;
+
+use icb_core::search::{BoundStats, BugReport, SearchReport};
+use icb_core::telemetry::AbortReason;
+use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+
+/// One recorded search event (an owned mirror of the
+/// [`SearchObserver`] hook arguments).
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// `search_started(strategy)`.
+    SearchStarted {
+        /// The strategy label.
+        strategy: String,
+    },
+    /// `execution_started(index)`.
+    ExecutionStarted {
+        /// 1-based execution index.
+        index: usize,
+    },
+    /// `execution_finished(index, stats, outcome, distinct_states)`.
+    ExecutionFinished {
+        /// 1-based execution index.
+        index: usize,
+        /// Per-execution statistics.
+        stats: ExecStats,
+        /// How the execution ended.
+        outcome: ExecutionOutcome,
+        /// Cumulative distinct states after this execution.
+        distinct_states: usize,
+    },
+    /// `bound_started(bound, work_items)`.
+    BoundStarted {
+        /// The preemption bound.
+        bound: usize,
+        /// Work items queued for it.
+        work_items: usize,
+    },
+    /// `bound_completed(stats, wall_time)`.
+    BoundCompleted {
+        /// The per-bound statistics row.
+        stats: BoundStats,
+        /// Wall time spent inside the bound.
+        wall_time: Duration,
+    },
+    /// `bug_found(bug)`.
+    BugFound {
+        /// The recorded bug report.
+        bug: BugReport,
+    },
+    /// `work_item_deferred(next_bound)`.
+    WorkItemDeferred {
+        /// The bound the item was deferred to.
+        next_bound: usize,
+    },
+    /// `work_queue_depth(depth)`.
+    WorkQueueDepth {
+        /// Current depth of the deferred queue.
+        depth: usize,
+    },
+    /// `race_detected(description)`.
+    RaceDetected {
+        /// The detector's description of the racing accesses.
+        description: String,
+    },
+    /// `search_aborted(reason)`.
+    SearchAborted {
+        /// Why the search stopped early.
+        reason: AbortReason,
+    },
+    /// `search_finished(report)`.
+    SearchFinished {
+        /// The final report.
+        report: SearchReport,
+    },
+}
+
+impl Event {
+    /// Short kebab-case tag naming the event kind (the same tags
+    /// [`JsonlSink`](crate::JsonlSink) writes in its `"event"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SearchStarted { .. } => "search-started",
+            Event::ExecutionStarted { .. } => "execution-started",
+            Event::ExecutionFinished { .. } => "execution-finished",
+            Event::BoundStarted { .. } => "bound-started",
+            Event::BoundCompleted { .. } => "bound-completed",
+            Event::BugFound { .. } => "bug-found",
+            Event::WorkItemDeferred { .. } => "work-item-deferred",
+            Event::WorkQueueDepth { .. } => "work-queue-depth",
+            Event::RaceDetected { .. } => "race-detected",
+            Event::SearchAborted { .. } => "search-aborted",
+            Event::SearchFinished { .. } => "search-finished",
+        }
+    }
+}
+
+/// Records the full event stream in memory.
+///
+/// Used by the test suite to assert the observer event grammar; also
+/// convenient for ad-hoc tooling that wants to replay or inspect a
+/// search after the fact.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The recorded events, in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the recorded events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl SearchObserver for EventLog {
+    fn search_started(&mut self, strategy: &str) {
+        self.events.push(Event::SearchStarted {
+            strategy: strategy.to_string(),
+        });
+    }
+
+    fn execution_started(&mut self, index: usize) {
+        self.events.push(Event::ExecutionStarted { index });
+    }
+
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        self.events.push(Event::ExecutionFinished {
+            index,
+            stats: *stats,
+            outcome: outcome.clone(),
+            distinct_states,
+        });
+    }
+
+    fn bound_started(&mut self, bound: usize, work_items: usize) {
+        self.events.push(Event::BoundStarted { bound, work_items });
+    }
+
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        self.events.push(Event::BoundCompleted {
+            stats: *stats,
+            wall_time,
+        });
+    }
+
+    fn bug_found(&mut self, bug: &BugReport) {
+        self.events.push(Event::BugFound { bug: bug.clone() });
+    }
+
+    fn work_item_deferred(&mut self, next_bound: usize) {
+        self.events.push(Event::WorkItemDeferred { next_bound });
+    }
+
+    fn work_queue_depth(&mut self, depth: usize) {
+        self.events.push(Event::WorkQueueDepth { depth });
+    }
+
+    fn race_detected(&mut self, description: &str) {
+        self.events.push(Event::RaceDetected {
+            description: description.to_string(),
+        });
+    }
+
+    fn search_aborted(&mut self, reason: AbortReason) {
+        self.events.push(Event::SearchAborted { reason });
+    }
+
+    fn search_finished(&mut self, report: &SearchReport) {
+        self.events.push(Event::SearchFinished {
+            report: report.clone(),
+        });
+    }
+}

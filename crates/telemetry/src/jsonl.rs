@@ -1,0 +1,266 @@
+//! Streaming JSONL (one JSON object per line) event sink.
+
+use std::io::Write;
+use std::time::Duration;
+
+use icb_core::search::{BoundStats, BugReport, SearchReport};
+use icb_core::telemetry::AbortReason;
+use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+
+/// Writes every search event as one JSON object per line.
+///
+/// The encoding is hand-rolled (the repository builds without external
+/// crates) but standard: every line is a flat object with an `"event"`
+/// tag matching [`Event::kind`](crate::Event::kind), and the remaining
+/// fields mirror the hook arguments. Durations are reported in integer
+/// nanoseconds, schedules as arrays of thread ids.
+///
+/// Write errors are recorded in [`failed`](JsonlSink::failed) and
+/// subsequent events are dropped — telemetry must never abort a search.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    failed: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink writing to `out`. Wrap files in a
+    /// [`std::io::BufWriter`]: searches emit thousands of events per
+    /// second.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, failed: false }
+    }
+
+    /// Returns `true` if a write failed (later events were discarded).
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    fn emit(&mut self, line: &str) {
+        if self.failed {
+            return;
+        }
+        if writeln!(self.out, "{line}").is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+/// Escapes `s` into a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn outcome_fields(outcome: &ExecutionOutcome) -> String {
+    let kind = match outcome {
+        ExecutionOutcome::Terminated => "terminated",
+        ExecutionOutcome::AssertionFailure { .. } => "assertion-failure",
+        ExecutionOutcome::Deadlock { .. } => "deadlock",
+        ExecutionOutcome::DataRace { .. } => "data-race",
+        ExecutionOutcome::StepLimitExceeded => "step-limit-exceeded",
+    };
+    match outcome {
+        ExecutionOutcome::Terminated | ExecutionOutcome::StepLimitExceeded => {
+            format!("\"outcome\":\"{kind}\"")
+        }
+        other => format!(
+            "\"outcome\":\"{kind}\",\"detail\":{}",
+            json_string(&other.to_string())
+        ),
+    }
+}
+
+fn stats_fields(stats: &ExecStats) -> String {
+    format!(
+        "\"steps\":{},\"blocking_steps\":{},\"preemptions\":{},\"context_switches\":{}",
+        stats.steps, stats.blocking_steps, stats.preemptions, stats.context_switches
+    )
+}
+
+fn schedule_array(bug: &BugReport) -> String {
+    let ids: Vec<String> = bug.schedule.iter().map(|t| t.index().to_string()).collect();
+    format!("[{}]", ids.join(","))
+}
+
+impl<W: Write> SearchObserver for JsonlSink<W> {
+    fn search_started(&mut self, strategy: &str) {
+        let line = format!(
+            "{{\"event\":\"search-started\",\"strategy\":{}}}",
+            json_string(strategy)
+        );
+        self.emit(&line);
+    }
+
+    fn execution_started(&mut self, index: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"execution-started\",\"index\":{index}}}"
+        ));
+    }
+
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        let line = format!(
+            "{{\"event\":\"execution-finished\",\"index\":{index},{},{},\
+             \"distinct_states\":{distinct_states}}}",
+            stats_fields(stats),
+            outcome_fields(outcome),
+        );
+        self.emit(&line);
+    }
+
+    fn bound_started(&mut self, bound: usize, work_items: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"bound-started\",\"bound\":{bound},\"work_items\":{work_items}}}"
+        ));
+    }
+
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        let line = format!(
+            "{{\"event\":\"bound-completed\",\"bound\":{},\"executions\":{},\
+             \"cumulative_states\":{},\"bugs_found\":{},\"wall_time_ns\":{}}}",
+            stats.bound,
+            stats.executions,
+            stats.cumulative_states,
+            stats.bugs_found,
+            wall_time.as_nanos(),
+        );
+        self.emit(&line);
+    }
+
+    fn bug_found(&mut self, bug: &BugReport) {
+        let line = format!(
+            "{{\"event\":\"bug-found\",\"execution_index\":{},\"preemptions\":{},\
+             \"steps\":{},{},\"schedule\":{}}}",
+            bug.execution_index,
+            bug.preemptions,
+            bug.steps,
+            outcome_fields(&bug.outcome),
+            schedule_array(bug),
+        );
+        self.emit(&line);
+    }
+
+    fn work_item_deferred(&mut self, next_bound: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"work-item-deferred\",\"next_bound\":{next_bound}}}"
+        ));
+    }
+
+    fn work_queue_depth(&mut self, depth: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"work-queue-depth\",\"depth\":{depth}}}"
+        ));
+    }
+
+    fn race_detected(&mut self, description: &str) {
+        let line = format!(
+            "{{\"event\":\"race-detected\",\"description\":{}}}",
+            json_string(description)
+        );
+        self.emit(&line);
+    }
+
+    fn search_aborted(&mut self, reason: AbortReason) {
+        self.emit(&format!(
+            "{{\"event\":\"search-aborted\",\"reason\":\"{reason}\"}}"
+        ));
+    }
+
+    fn search_finished(&mut self, report: &SearchReport) {
+        let line = format!(
+            "{{\"event\":\"search-finished\",\"strategy\":{},\"executions\":{},\
+             \"distinct_states\":{},\"buggy_executions\":{},\"bugs_reported\":{},\
+             \"completed\":{},\"completed_bound\":{},\"truncated\":{}}}",
+            json_string(&report.strategy),
+            report.executions,
+            report.distinct_states,
+            report.buggy_executions,
+            report.bugs.len(),
+            report.completed,
+            match report.completed_bound {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
+            report.truncated,
+        );
+        self.emit(&line);
+        if !self.failed && self.out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\t"), "\"line\\nbreak\\t\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn writes_one_object_per_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.search_started("icb");
+        sink.execution_started(1);
+        sink.execution_finished(1, &ExecStats::default(), &ExecutionOutcome::Terminated, 3);
+        sink.search_aborted(AbortReason::FirstBug);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"event\":\"search-started\""));
+        assert!(lines[2].contains("\"distinct_states\":3"));
+        assert!(lines[3].contains("\"reason\":\"first-bug\""));
+    }
+
+    #[test]
+    fn failed_writer_drops_later_events() {
+        struct Fail;
+        impl Write for Fail {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("down"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Fail);
+        sink.execution_started(1);
+        assert!(sink.failed());
+        sink.execution_started(2); // must not panic
+    }
+}

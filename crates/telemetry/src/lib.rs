@@ -1,0 +1,36 @@
+//! Concrete [`SearchObserver`] implementations for the ICB checker.
+//!
+//! `icb-core` defines the observer *interface* (`icb_core::telemetry`);
+//! this crate ships the sinks that make it useful:
+//!
+//! * [`MetricsRecorder`] — in-memory counters and histograms: executions
+//!   per second, steps-per-execution distribution, preemption
+//!   distribution, work-queue high-water mark, per-bound wall time and
+//!   the coverage curve. The benchmark harness sources its figures from
+//!   here instead of re-tallying reports.
+//! * [`JsonlSink`] — streams every event as one JSON object per line to
+//!   any `io::Write`, for offline analysis of long searches.
+//! * [`ProgressReporter`] — rate-limited live status line (current
+//!   bound, executions, distinct states, and an ETA derived from the
+//!   paper's Theorem 1 ceiling).
+//! * [`EventLog`] — records events as owned [`Event`] values; the test
+//!   suite uses it to assert the observer event grammar, and it doubles
+//!   as a scriptable sink for ad-hoc tooling.
+//! * [`MultiObserver`] — fans one event stream out to several observers.
+//!
+//! [`SearchObserver`]: icb_core::SearchObserver
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event_log;
+mod jsonl;
+mod metrics;
+mod multi;
+mod progress;
+
+pub use event_log::{Event, EventLog};
+pub use jsonl::JsonlSink;
+pub use metrics::{Histogram, MetricsRecorder};
+pub use multi::MultiObserver;
+pub use progress::ProgressReporter;

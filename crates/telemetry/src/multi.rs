@@ -1,0 +1,147 @@
+//! Fan one event stream out to several observers.
+
+use std::time::Duration;
+
+use icb_core::search::{BoundStats, BugReport, SearchReport};
+use icb_core::telemetry::AbortReason;
+use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+
+/// Forwards every event to each contained observer, in insertion order.
+///
+/// This is what lets the CLI attach a [`JsonlSink`](crate::JsonlSink)
+/// and a [`ProgressReporter`](crate::ProgressReporter) to the same
+/// search.
+#[derive(Default)]
+pub struct MultiObserver<'a> {
+    observers: Vec<&'a mut dyn SearchObserver>,
+}
+
+impl std::fmt::Debug for MultiObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiObserver")
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<'a> MultiObserver<'a> {
+    /// An empty fan-out (equivalent to a no-op observer).
+    pub fn new() -> Self {
+        MultiObserver::default()
+    }
+
+    /// Adds an observer to the fan-out.
+    pub fn push(&mut self, observer: &'a mut dyn SearchObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Builder-style [`push`](MultiObserver::push).
+    pub fn with(mut self, observer: &'a mut dyn SearchObserver) -> Self {
+        self.push(observer);
+        self
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Returns `true` if no observer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl SearchObserver for MultiObserver<'_> {
+    fn search_started(&mut self, strategy: &str) {
+        for o in &mut self.observers {
+            o.search_started(strategy);
+        }
+    }
+
+    fn execution_started(&mut self, index: usize) {
+        for o in &mut self.observers {
+            o.execution_started(index);
+        }
+    }
+
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        for o in &mut self.observers {
+            o.execution_finished(index, stats, outcome, distinct_states);
+        }
+    }
+
+    fn bound_started(&mut self, bound: usize, work_items: usize) {
+        for o in &mut self.observers {
+            o.bound_started(bound, work_items);
+        }
+    }
+
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        for o in &mut self.observers {
+            o.bound_completed(stats, wall_time);
+        }
+    }
+
+    fn bug_found(&mut self, bug: &BugReport) {
+        for o in &mut self.observers {
+            o.bug_found(bug);
+        }
+    }
+
+    fn work_item_deferred(&mut self, next_bound: usize) {
+        for o in &mut self.observers {
+            o.work_item_deferred(next_bound);
+        }
+    }
+
+    fn work_queue_depth(&mut self, depth: usize) {
+        for o in &mut self.observers {
+            o.work_queue_depth(depth);
+        }
+    }
+
+    fn race_detected(&mut self, description: &str) {
+        for o in &mut self.observers {
+            o.race_detected(description);
+        }
+    }
+
+    fn search_aborted(&mut self, reason: AbortReason) {
+        for o in &mut self.observers {
+            o.search_aborted(reason);
+        }
+    }
+
+    fn search_finished(&mut self, report: &SearchReport) {
+        for o in &mut self.observers {
+            o.search_finished(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventLog;
+
+    #[test]
+    fn forwards_to_every_observer() {
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        {
+            let mut multi = MultiObserver::new().with(&mut a).with(&mut b);
+            assert_eq!(multi.len(), 2);
+            multi.search_started("icb");
+            multi.execution_started(1);
+        }
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events().len(), 2);
+    }
+}

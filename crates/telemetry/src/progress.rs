@@ -1,0 +1,284 @@
+//! Rate-limited live progress reporting.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use icb_core::bounds;
+use icb_core::search::{BoundStats, SearchReport};
+use icb_core::telemetry::AbortReason;
+use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+
+/// Prints a live status line while a search runs.
+///
+/// Output is rate-limited (default: at most one line per 250 ms), so
+/// attaching the reporter to a search running tens of thousands of
+/// executions per second costs almost nothing. Bound transitions and the
+/// final summary are always printed.
+///
+/// When the program's parameters are supplied via
+/// [`with_theorem1`](ProgressReporter::with_theorem1), the reporter
+/// estimates the remaining work of the current bound from the paper's
+/// Theorem 1 ceiling — the number of executions with `c` preemptions is
+/// at most `C(nk, c) · (nb + c)!` — and the observed execution rate,
+/// and prints an ETA. The ceiling is loose (it counts infeasible
+/// schedules), so the ETA is an upper bound and is capped at 10⁶
+/// seconds before the reporter gives up and prints `eta >1e6s`.
+#[derive(Debug)]
+pub struct ProgressReporter<W: Write> {
+    out: W,
+    min_interval: Duration,
+    last_line: Option<Instant>,
+    started: Option<Instant>,
+    strategy: String,
+    bound: Option<usize>,
+    bound_executions: usize,
+    executions: usize,
+    distinct_states: usize,
+    bugs: usize,
+    queue_depth: usize,
+    max_steps: usize,
+    /// `(threads, blocking ops per thread)` for the Theorem 1 ETA.
+    theorem1: Option<(u64, u64)>,
+}
+
+impl ProgressReporter<std::io::Stderr> {
+    /// A reporter printing to standard error.
+    pub fn stderr() -> Self {
+        ProgressReporter::to_writer(std::io::stderr())
+    }
+}
+
+impl<W: Write> ProgressReporter<W> {
+    /// A reporter printing to `out`.
+    pub fn to_writer(out: W) -> Self {
+        ProgressReporter {
+            out,
+            min_interval: Duration::from_millis(250),
+            last_line: None,
+            started: None,
+            strategy: String::new(),
+            bound: None,
+            bound_executions: 0,
+            executions: 0,
+            distinct_states: 0,
+            bugs: 0,
+            queue_depth: 0,
+            max_steps: 0,
+            theorem1: None,
+        }
+    }
+
+    /// Sets the minimum interval between status lines.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.min_interval = interval;
+        self
+    }
+
+    /// Enables the Theorem-1 ETA for a program with `threads` threads,
+    /// each executing at most `blocking` potentially blocking operations.
+    /// The per-thread step count `k` is estimated from the longest
+    /// execution observed so far.
+    pub fn with_theorem1(mut self, threads: u64, blocking: u64) -> Self {
+        self.theorem1 = Some((threads, blocking));
+        self
+    }
+
+    fn due(&self) -> bool {
+        self.last_line
+            .is_none_or(|t| t.elapsed() >= self.min_interval)
+    }
+
+    /// Upper bound on the seconds left in the current bound, from
+    /// Theorem 1's ceiling and the observed execution rate.
+    fn eta_secs(&self) -> Option<f64> {
+        let (n, b) = self.theorem1?;
+        let c = self.bound? as u64;
+        let k = ((self.max_steps as u64) / n.max(1)).max(1);
+        let secs = self.started?.elapsed().as_secs_f64();
+        if secs <= 0.0 || self.executions == 0 {
+            return None;
+        }
+        let rate = self.executions as f64 / secs;
+        // Log-space first: the ceiling overflows u128 long before the
+        // search becomes infeasible to *estimate*.
+        let ln_ceiling = bounds::ln_executions_with_preemptions(n, k, b, c);
+        if ln_ceiling > 60.0 {
+            return Some(f64::INFINITY);
+        }
+        let ceiling = ln_ceiling.exp();
+        let remaining = (ceiling - self.bound_executions as f64).max(0.0);
+        Some(remaining / rate)
+    }
+
+    fn status_line(&mut self, force: bool) {
+        if !force && !self.due() {
+            return;
+        }
+        self.last_line = Some(Instant::now());
+        let rate = match self.started {
+            Some(s) if s.elapsed().as_secs_f64() > 0.0 => {
+                self.executions as f64 / s.elapsed().as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        let mut line = format!(
+            "[{}] {} execs ({:.0}/s), {} states",
+            self.strategy, self.executions, rate, self.distinct_states
+        );
+        if let Some(b) = self.bound {
+            line.push_str(&format!(", bound {b} (queue {})", self.queue_depth));
+        }
+        if self.bugs > 0 {
+            line.push_str(&format!(", {} bugs", self.bugs));
+        }
+        match self.eta_secs() {
+            Some(eta) if eta.is_finite() && eta <= 1e6 => {
+                line.push_str(&format!(", eta {eta:.1}s"));
+            }
+            Some(_) => line.push_str(", eta >1e6s"),
+            None => {}
+        }
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write> SearchObserver for ProgressReporter<W> {
+    fn search_started(&mut self, strategy: &str) {
+        self.strategy = strategy.to_string();
+        self.started = Some(Instant::now());
+    }
+
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        stats: &ExecStats,
+        _outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        self.executions = index;
+        self.bound_executions += 1;
+        self.distinct_states = distinct_states;
+        self.max_steps = self.max_steps.max(stats.steps);
+        self.status_line(false);
+    }
+
+    fn bound_started(&mut self, bound: usize, work_items: usize) {
+        self.bound = Some(bound);
+        self.bound_executions = 0;
+        self.queue_depth = 0;
+        let _ = writeln!(
+            self.out,
+            "[{}] entering bound {bound} ({work_items} work items)",
+            self.strategy
+        );
+        let _ = self.out.flush();
+    }
+
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        let _ = writeln!(
+            self.out,
+            "[{}] bound {} done: {} execs in {:.2}s, {} states, {} bugs",
+            self.strategy,
+            stats.bound,
+            stats.executions,
+            wall_time.as_secs_f64(),
+            stats.cumulative_states,
+            stats.bugs_found
+        );
+        let _ = self.out.flush();
+    }
+
+    fn bug_found(&mut self, bug: &icb_core::search::BugReport) {
+        self.bugs += 1;
+        let _ = writeln!(
+            self.out,
+            "[{}] bug #{} at execution {}: {} ({} preemptions)",
+            self.strategy, self.bugs, bug.execution_index, bug.outcome, bug.preemptions
+        );
+        let _ = self.out.flush();
+    }
+
+    fn work_queue_depth(&mut self, depth: usize) {
+        self.queue_depth = depth;
+    }
+
+    fn search_aborted(&mut self, reason: AbortReason) {
+        let _ = writeln!(self.out, "[{}] stopping: {reason}", self.strategy);
+        let _ = self.out.flush();
+    }
+
+    fn search_finished(&mut self, report: &SearchReport) {
+        self.executions = report.executions;
+        self.distinct_states = report.distinct_states;
+        // A forced final status line; rendering the report itself is the
+        // caller's business (explore already prints it to stdout).
+        self.status_line(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_bound_transitions_and_summary() {
+        let mut p = ProgressReporter::to_writer(Vec::new());
+        p.search_started("icb");
+        p.bound_started(0, 1);
+        p.execution_finished(1, &ExecStats::default(), &ExecutionOutcome::Terminated, 2);
+        p.bound_completed(
+            &BoundStats {
+                bound: 0,
+                executions: 1,
+                cumulative_states: 2,
+                bugs_found: 0,
+            },
+            Duration::from_millis(5),
+        );
+        p.search_finished(&SearchReport {
+            strategy: "icb".into(),
+            executions: 1,
+            distinct_states: 2,
+            ..SearchReport::default()
+        });
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("entering bound 0"), "{text}");
+        assert!(text.contains("bound 0 done"), "{text}");
+        assert!(text.contains("[icb] 1 execs"), "{text}");
+    }
+
+    #[test]
+    fn rate_limit_suppresses_spam() {
+        let mut p =
+            ProgressReporter::to_writer(Vec::new()).with_interval(Duration::from_secs(3600));
+        p.search_started("dfs");
+        for i in 1..=100 {
+            p.execution_finished(i, &ExecStats::default(), &ExecutionOutcome::Terminated, i);
+        }
+        let text = String::from_utf8(p.out).unwrap();
+        // Only the very first status line makes it through the limiter.
+        assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn eta_appears_with_theorem1_params() {
+        let mut p = ProgressReporter::to_writer(Vec::new())
+            .with_interval(Duration::ZERO)
+            .with_theorem1(2, 1);
+        p.search_started("icb");
+        p.bound_started(0, 1);
+        std::thread::sleep(Duration::from_millis(2));
+        p.execution_finished(
+            1,
+            &ExecStats {
+                steps: 4,
+                ..ExecStats::default()
+            },
+            &ExecutionOutcome::Terminated,
+            2,
+        );
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("eta"), "{text}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Event-grammar tests: the invariants documented on
+//! [`SearchObserver`](icb_core::SearchObserver) hold for real searches,
+//! as recorded by an [`EventLog`].
+
+use icb_core::search::{DfsSearch, IcbSearch, SearchConfig, SearchStrategy};
+use icb_core::{
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
+    Trace, TraceEntry,
+};
+use icb_telemetry::{Event, EventLog};
+
+/// Two threads of two steps each. When `buggy`, every execution whose
+/// first step belongs to thread 1 fails an assertion — three of the six
+/// schedules, so bug caps and counters are exercised.
+struct TwoByTwo {
+    buggy: bool,
+}
+
+impl ControlledProgram for TwoByTwo {
+    fn execute(&self, scheduler: &mut dyn Scheduler, _sink: &mut dyn StateSink) -> ExecutionResult {
+        let mut left = [2usize, 2];
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        let mut first: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..2).filter(|&i| left[i] > 0).map(Tid).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|c| left[c.index()] > 0);
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
+            left[chosen.index()] -= 1;
+            first.get_or_insert(chosen);
+            current = Some(chosen);
+        }
+        let outcome = if self.buggy && first == Some(Tid(1)) {
+            ExecutionOutcome::AssertionFailure {
+                thread: Tid(1),
+                message: "thread 1 ran first".to_string(),
+            }
+        } else {
+            ExecutionOutcome::Terminated
+        };
+        ExecutionResult::from_trace(outcome, trace)
+    }
+}
+
+/// Replays an event log against the grammar: `search-started` first,
+/// `search-finished` last, every `execution-started` paired with the
+/// matching `execution-finished`, indices 1-based and consecutive.
+fn check_execution_pairing(log: &EventLog) {
+    let events = log.events();
+    assert!(matches!(events.first(), Some(Event::SearchStarted { .. })));
+    assert!(matches!(events.last(), Some(Event::SearchFinished { .. })));
+    let mut open: Option<usize> = None;
+    let mut finished = 0usize;
+    for event in events {
+        match event {
+            Event::ExecutionStarted { index } => {
+                assert_eq!(open, None, "execution {index} started while one is open");
+                assert_eq!(*index, finished + 1, "indices are 1-based and consecutive");
+                open = Some(*index);
+            }
+            Event::ExecutionFinished { index, .. } => {
+                assert_eq!(open, Some(*index), "finish pairs with the open start");
+                open = None;
+                finished += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(open, None, "no execution left open at search end");
+}
+
+fn final_report(log: &EventLog) -> &icb_core::search::SearchReport {
+    match log.events().last() {
+        Some(Event::SearchFinished { report }) => report,
+        other => panic!("expected search-finished last, got {other:?}"),
+    }
+}
+
+#[test]
+fn icb_events_pair_and_count() {
+    let mut log = EventLog::new();
+    let report = IcbSearch::new(SearchConfig::default())
+        .search_observed(&TwoByTwo { buggy: false }, &mut log);
+    check_execution_pairing(&log);
+    let starts = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::ExecutionStarted { .. }))
+        .count();
+    assert_eq!(starts, report.executions);
+    assert_eq!(final_report(&log).executions, report.executions);
+}
+
+#[test]
+fn dfs_events_pair_too() {
+    let mut log = EventLog::new();
+    let report = DfsSearch::new(SearchConfig::default())
+        .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    check_execution_pairing(&log);
+    assert_eq!(report.executions, 6);
+    assert_eq!(report.buggy_executions, 3);
+}
+
+/// `bound-completed` events carry exactly the rows of the final
+/// `SearchReport::bound_stats`, in increasing bound order.
+#[test]
+fn bound_completed_matches_bound_stats() {
+    let mut log = EventLog::new();
+    let report = IcbSearch::new(SearchConfig::default())
+        .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    let from_events: Vec<_> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::BoundCompleted { stats, .. } => Some(*stats),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(from_events, report.bound_stats());
+    assert!(
+        from_events.windows(2).all(|w| w[0].bound < w[1].bound),
+        "bounds strictly increase"
+    );
+    assert_eq!(
+        from_events.iter().map(|s| s.executions).sum::<usize>(),
+        report.executions,
+        "per-bound executions sum to the total"
+    );
+}
+
+/// `bug-found` fires once per *recorded* report: all buggy executions
+/// when under the cap, exactly `max_bug_reports` when over it, and once
+/// under `stop_on_first_bug`.
+#[test]
+fn bug_found_respects_the_report_cap() {
+    let bug_events = |config: SearchConfig| {
+        let mut log = EventLog::new();
+        let report = IcbSearch::new(config).search_observed(&TwoByTwo { buggy: true }, &mut log);
+        let fired = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::BugFound { .. }))
+            .count();
+        assert_eq!(fired, report.bugs.len());
+        (fired, report)
+    };
+
+    let (fired, report) = bug_events(SearchConfig::default());
+    assert_eq!(report.buggy_executions, 3);
+    assert_eq!(fired, 3);
+
+    let (fired, report) = bug_events(SearchConfig {
+        max_bug_reports: 2,
+        ..SearchConfig::default()
+    });
+    assert_eq!(report.buggy_executions, 3);
+    assert_eq!(fired, 2, "capped at max_bug_reports");
+
+    let (fired, report) = bug_events(SearchConfig {
+        stop_on_first_bug: true,
+        ..SearchConfig::default()
+    });
+    assert_eq!(fired, 1);
+    assert!(report.buggy_executions >= 1);
+}
+
+/// Aborting on the first bug emits `search-aborted` exactly once, after
+/// the `bug-found` and before `search-finished`.
+#[test]
+fn abort_is_emitted_once_and_ordered() {
+    let mut log = EventLog::new();
+    IcbSearch::new(SearchConfig {
+        stop_on_first_bug: true,
+        ..SearchConfig::default()
+    })
+    .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    let positions: Vec<usize> = log
+        .events()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Event::SearchAborted { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(positions.len(), 1, "aborted exactly once");
+    let bug_at = log
+        .events()
+        .iter()
+        .position(|e| matches!(e, Event::BugFound { .. }))
+        .expect("a bug is found");
+    assert!(bug_at < positions[0]);
+    // Only bound/queue bookkeeping for the current bound may follow the
+    // abort — never another execution or bug.
+    for event in &log.events()[positions[0] + 1..log.events().len() - 1] {
+        assert!(
+            matches!(
+                event,
+                Event::BoundCompleted { .. } | Event::WorkQueueDepth { .. }
+            ),
+            "unexpected event after abort: {event:?}"
+        );
+    }
+}

@@ -181,7 +181,6 @@ pub fn ape_program(variant: ApeVariant, items: usize) -> RuntimeProgram {
     })
 }
 
-
 /// The correct APE environment as an explicit-state VM model (driver +
 /// 2 workers, mirroring [`ape_program`]): a locked work queue with
 /// blocking waits, a context refcount, a tracking counter, and the

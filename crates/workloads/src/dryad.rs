@@ -229,11 +229,7 @@ pub fn dryad_program(variant: DryadVariant, workers: usize, items: usize) -> Run
         for h in handles {
             h.join();
         }
-        assert_eq!(
-            ch.processed.load(),
-            items as i64,
-            "channel lost data items"
-        );
+        assert_eq!(ch.processed.load(), items as i64, "channel lost data items");
         let expected_bytes: i64 = (1..=items as i64).sum();
         ch.bytes
             .with(|b| assert_eq!(*b, expected_bytes, "byte statistics diverged"));
@@ -241,7 +237,6 @@ pub fn dryad_program(variant: DryadVariant, workers: usize, items: usize) -> Run
             .with(|p| assert!(p.is_empty(), "in-flight items leaked: {p:?}"));
     })
 }
-
 
 /// The correct Dryad channel as an explicit-state VM model (driver +
 /// `workers` worker threads, mirroring [`dryad_program`]): the item
@@ -388,11 +383,8 @@ mod tests {
         let bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("bug");
         assert_eq!(bug.preemptions, 1);
         let mut replay = icb_core::ReplayScheduler::new(bug.schedule.clone());
-        let result = icb_core::ControlledProgram::execute(
-            &program,
-            &mut replay,
-            &mut icb_core::NullSink,
-        );
+        let result =
+            icb_core::ControlledProgram::execute(&program, &mut replay, &mut icb_core::NullSink);
         let stats = result.stats;
         assert!(
             stats.context_switches > stats.preemptions + 2,

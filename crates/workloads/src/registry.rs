@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use icb_core::{ControlledProgram, ExecutionResult, Scheduler, StateSink};
+use icb_core::{ControlledProgram, ExecutionResult, Scheduler, SearchObserver, StateSink};
 use icb_runtime::RuntimeProgram;
 use icb_statevm::Model;
 
@@ -27,6 +27,18 @@ impl ControlledProgram for AnyProgram {
         match self {
             AnyProgram::Runtime(p) => p.execute(scheduler, sink),
             AnyProgram::Vm(m) => m.execute(scheduler, sink),
+        }
+    }
+
+    fn execute_observed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
+        match self {
+            AnyProgram::Runtime(p) => p.execute_observed(scheduler, sink, observer),
+            AnyProgram::Vm(m) => m.execute_observed(scheduler, sink, observer),
         }
     }
 }
@@ -182,7 +194,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "stop-jumps-queue",
                     expected_bound: 0,
-                    build: || AnyProgram::Runtime(dryad_program(DryadVariant::StopJumpsQueue, 2, 2)),
+                    build: || {
+                        AnyProgram::Runtime(dryad_program(DryadVariant::StopJumpsQueue, 2, 2))
+                    },
                 },
                 BugSpec {
                     name: "close-no-wait (Fig. 3 UAF)",
@@ -192,7 +206,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "ack-before-alert",
                     expected_bound: 1,
-                    build: || AnyProgram::Runtime(dryad_program(DryadVariant::AckBeforeAlert, 2, 2)),
+                    build: || {
+                        AnyProgram::Runtime(dryad_program(DryadVariant::AckBeforeAlert, 2, 2))
+                    },
                 },
                 BugSpec {
                     name: "unsync-stats",
@@ -202,7 +218,9 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "unlocked-untrack",
                     expected_bound: 1,
-                    build: || AnyProgram::Runtime(dryad_program(DryadVariant::UnlockedUntrack, 2, 2)),
+                    build: || {
+                        AnyProgram::Runtime(dryad_program(DryadVariant::UnlockedUntrack, 2, 2))
+                    },
                 },
             ],
         },

@@ -323,10 +323,7 @@ pub fn wsq_model(variant: WsqVariant, items: usize, steals: usize) -> Model {
         t.load(q.consumed, c);
         t.assert(tl.ge(icb_statevm::Expr::from(h)), "negative queue size");
         // consumed + remaining == pushed
-        t.assert(
-            (c + (tl - h)).eq(items as i64),
-            "items lost or duplicated",
-        );
+        t.assert((c + (tl - h)).eq(items as i64), "items lost or duplicated");
     });
     m.build()
 }
@@ -403,8 +400,8 @@ mod tests {
             WsqVariant::MissingTailRestore,
             WsqVariant::NonAtomicSteal,
         ] {
-            let bound = minimal_bound_vm(variant)
-                .unwrap_or_else(|| panic!("{variant:?} not found"));
+            let bound =
+                minimal_bound_vm(variant).unwrap_or_else(|| panic!("{variant:?} not found"));
             assert!(
                 (1..=2).contains(&bound),
                 "{variant:?} found at bound {bound}"

@@ -11,8 +11,7 @@ use icb::workloads::bluetooth::{bluetooth_program, BluetoothVariant};
 fn main() {
     println!("== the buggy driver ==");
     let buggy = bluetooth_program(BluetoothVariant::Buggy, 2);
-    let bug = IcbSearch::find_minimal_bug(&buggy, 200_000)
-        .expect("the driver bug is reachable");
+    let bug = IcbSearch::find_minimal_bug(&buggy, 200_000).expect("the driver bug is reachable");
     println!("bug: {}", bug.outcome);
     println!(
         "minimal preemptions: {} (the paper found it at context bound 1)",

@@ -27,7 +27,10 @@ fn main() {
         Box::new(BestFirstSearch::new(config.clone())),
     ];
 
-    println!("{:<10} {:>12} {:>12} {:>10}", "strategy", "executions", "states", "% covered");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "strategy", "executions", "states", "% covered"
+    );
     for strategy in &strategies {
         let report = strategy.search(&model);
         println!(

@@ -68,7 +68,10 @@ fn main() {
         "witness schedule: {:?}",
         bug.schedule.iter().map(|t| t.index()).collect::<Vec<_>>()
     );
-    assert_eq!(bug.bound, 2, "both check-then-raise windows must interleave");
+    assert_eq!(
+        bug.bound, 2,
+        "both check-then-raise windows must interleave"
+    );
     println!();
     println!(
         "the violation needs 2 preemptions: each thread must be wedged \

@@ -59,7 +59,10 @@ fn main() {
 
     println!();
     println!("the failing interleaving, lane by lane (`!` = preemption):");
-    println!("{}", icb::core::render::lanes(&last_trace.expect("replayed")));
+    println!(
+        "{}",
+        icb::core::render::lanes(&last_trace.expect("replayed"))
+    );
     println!();
     println!("deterministic reproduction confirmed.");
 }

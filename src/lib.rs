@@ -13,6 +13,8 @@
 //!   detection.
 //! * [`workloads`] — the six benchmark programs of the paper's
 //!   evaluation, with their seeded bugs.
+//! * [`telemetry`] — concrete [`SearchObserver`](core::SearchObserver)
+//!   sinks: in-memory metrics, JSONL event streams, live progress.
 //!
 //! # Quickstart
 //!
@@ -47,4 +49,5 @@ pub use icb_core as core;
 pub use icb_race as race;
 pub use icb_runtime as runtime;
 pub use icb_statevm as statevm;
+pub use icb_telemetry as telemetry;
 pub use icb_workloads as workloads;

@@ -115,8 +115,7 @@ fn minimal_bug_bounds_agree_across_checkers() {
         })
         .run(&model);
         let explicit_bound = explicit.bugs.first().map(|b| b.bound);
-        let stateless_bound =
-            IcbSearch::find_minimal_bug(&model, 2_000_000).map(|b| b.preemptions);
+        let stateless_bound = IcbSearch::find_minimal_bug(&model, 2_000_000).map(|b| b.preemptions);
         assert_eq!(
             explicit_bound, stateless_bound,
             "{name}: checkers disagree on the minimal bound"

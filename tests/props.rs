@@ -1,10 +1,13 @@
 //! Property-based tests: random small VM models are generated and the
 //! core invariants of the search algorithms are checked against brute
 //! force.
-
-use proptest::prelude::*;
+//!
+//! Models are generated from seeded [`SplitMix64`] streams (the
+//! workspace builds offline, so there is no proptest); every case is
+//! deterministic and reproducible from its seed.
 
 use icb::core::bounds;
+use icb::core::rng::SplitMix64;
 use icb::core::search::{DfsSearch, IcbSearch, SearchConfig};
 use icb::core::{ControlledProgram, NullSink, ReplayScheduler};
 use icb::statevm::{reachable_states, ExplicitConfig, ExplicitIcb, Model, ModelBuilder};
@@ -30,23 +33,26 @@ enum SimpleOp {
 const GLOBALS: usize = 2;
 const LOCKS: usize = 2;
 
-fn simple_op() -> impl Strategy<Value = SimpleOp> {
-    prop_oneof![
-        (0..GLOBALS).prop_map(SimpleOp::Load),
-        ((0..GLOBALS), (0..4i64)).prop_map(|(g, v)| SimpleOp::Store(g, v)),
-        ((0..GLOBALS), (1..3i64)).prop_map(|(g, v)| SimpleOp::FetchAdd(g, v)),
-    ]
+fn simple_op(rng: &mut SplitMix64) -> SimpleOp {
+    match rng.gen_index(3) {
+        0 => SimpleOp::Load(rng.gen_index(GLOBALS)),
+        1 => SimpleOp::Store(rng.gen_index(GLOBALS), rng.gen_index(4) as i64),
+        _ => SimpleOp::FetchAdd(rng.gen_index(GLOBALS), rng.gen_range(1, 3) as i64),
+    }
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (0..GLOBALS).prop_map(GenOp::Load),
-        ((0..GLOBALS), (0..4i64)).prop_map(|(g, v)| GenOp::Store(g, v)),
-        ((0..GLOBALS), (1..3i64)).prop_map(|(g, v)| GenOp::FetchAdd(g, v)),
-        Just(GenOp::Yield),
-        ((0..LOCKS), proptest::collection::vec(simple_op(), 0..2))
-            .prop_map(|(l, body)| GenOp::Critical(l, body)),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> GenOp {
+    match rng.gen_index(5) {
+        0 => GenOp::Load(rng.gen_index(GLOBALS)),
+        1 => GenOp::Store(rng.gen_index(GLOBALS), rng.gen_index(4) as i64),
+        2 => GenOp::FetchAdd(rng.gen_index(GLOBALS), rng.gen_range(1, 3) as i64),
+        3 => GenOp::Yield,
+        _ => {
+            let lock = rng.gen_index(LOCKS);
+            let body = (0..rng.gen_index(2)).map(|_| simple_op(rng)).collect();
+            GenOp::Critical(lock, body)
+        }
+    }
 }
 
 /// A generated program: 2 main threads plus an optional third thread,
@@ -57,23 +63,24 @@ struct GenModel {
     assert_g0_eq: Option<i64>,
 }
 
-fn gen_model() -> impl Strategy<Value = GenModel> {
-    (
-        proptest::collection::vec(gen_op(), 1..4),
-        proptest::collection::vec(gen_op(), 1..4),
-        proptest::option::of(proptest::collection::vec(gen_op(), 1..2)),
-        proptest::option::of(0..5i64),
-    )
-        .prop_map(|(t0, t1, t2, assert_g0_eq)| {
-            let mut threads = vec![t0, t1];
-            if let Some(t2) = t2 {
-                threads.push(t2);
-            }
-            GenModel {
-                threads,
-                assert_g0_eq,
-            }
-        })
+fn gen_ops(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<GenOp> {
+    (0..rng.gen_range(lo, hi)).map(|_| gen_op(rng)).collect()
+}
+
+fn gen_model(rng: &mut SplitMix64) -> GenModel {
+    let mut threads = vec![gen_ops(rng, 1, 4), gen_ops(rng, 1, 4)];
+    if rng.gen_bool() {
+        threads.push(gen_ops(rng, 1, 2));
+    }
+    let assert_g0_eq = if rng.gen_bool() {
+        Some(rng.gen_index(5) as i64)
+    } else {
+        None
+    };
+    GenModel {
+        threads,
+        assert_g0_eq,
+    }
 }
 
 fn build(gen: &GenModel) -> Model {
@@ -97,9 +104,7 @@ fn build(gen: &GenModel) -> Model {
                             match s {
                                 SimpleOp::Load(g) => t.load(globals[*g], scratch),
                                 SimpleOp::Store(g, v) => t.store(globals[*g], *v),
-                                SimpleOp::FetchAdd(g, v) => {
-                                    t.fetch_add(globals[*g], *v, scratch)
-                                }
+                                SimpleOp::FetchAdd(g, v) => t.fetch_add(globals[*g], *v, scratch),
                             }
                         }
                         t.release(locks[*l]);
@@ -125,149 +130,180 @@ fn unbounded() -> SearchConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: usize = 24;
 
-    /// Exhaustive ICB, exhaustive DFS and plain BFS reachability all
-    /// visit exactly the same state set; ICB and DFS run exactly the
-    /// same number of executions.
-    #[test]
-    fn icb_dfs_bfs_agree(gen in gen_model()) {
+/// Runs `CASES` generated models through a checker closure. The seed
+/// stream is per-test so each property sees a distinct model population.
+fn for_generated_models(seed: u64, mut check: impl FnMut(&GenModel, Model)) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..CASES {
+        let gen = gen_model(&mut rng);
         let model = build(&gen);
+        check(&gen, model);
+    }
+}
+
+/// Exhaustive ICB, exhaustive DFS and plain BFS reachability all visit
+/// exactly the same state set; ICB and DFS run exactly the same number
+/// of executions.
+#[test]
+fn icb_dfs_bfs_agree() {
+    for_generated_models(0x1CB0, |gen, model| {
         let icb = IcbSearch::new(unbounded()).run(&model);
         let dfs = DfsSearch::new(unbounded()).run(&model);
-        prop_assert!(icb.completed && dfs.completed);
-        prop_assert_eq!(icb.executions, dfs.executions);
-        prop_assert_eq!(icb.distinct_states, dfs.distinct_states);
+        assert!(icb.completed && dfs.completed);
+        assert_eq!(icb.executions, dfs.executions, "model {gen:?}");
+        assert_eq!(icb.distinct_states, dfs.distinct_states);
         if gen.assert_g0_eq.is_none() {
             let total = reachable_states(&model, 10_000_000);
-            prop_assert_eq!(icb.distinct_states, total);
+            assert_eq!(icb.distinct_states, total);
         }
-    }
+    });
+}
 
-    /// The first bug ICB reports has the minimal preemption count over
-    /// ALL failing executions (validated against an exhaustive DFS).
-    #[test]
-    fn icb_first_bug_is_minimal(gen in gen_model()) {
-        let model = build(&gen);
+/// The first bug ICB reports has the minimal preemption count over ALL
+/// failing executions (validated against an exhaustive DFS).
+#[test]
+fn icb_first_bug_is_minimal() {
+    for_generated_models(0x1CB1, |gen, model| {
         let icb = IcbSearch::new(unbounded()).run(&model);
         let dfs = DfsSearch::new(unbounded()).run(&model);
-        prop_assert!(icb.completed && dfs.completed);
+        assert!(icb.completed && dfs.completed);
         let dfs_min = dfs.bugs.iter().map(|b| b.preemptions).min();
         let icb_first = icb.first_bug().map(|b| b.preemptions);
-        prop_assert_eq!(icb_first, dfs_min);
-    }
+        assert_eq!(icb_first, dfs_min, "model {gen:?}");
+    });
+}
 
-    /// Per-bound execution counts respect Theorem 1's ceiling
-    /// `C(nk, c) · (nb + c)!` (using conservative totals for k and b).
-    #[test]
-    fn theorem1_ceiling_holds(gen in gen_model()) {
-        let model = build(&gen);
+/// Per-bound execution counts respect Theorem 1's ceiling
+/// `C(nk, c) · (nb + c)!` (using conservative totals for k and b).
+#[test]
+fn theorem1_ceiling_holds() {
+    for_generated_models(0x1CB2, |gen, model| {
         let report = IcbSearch::new(unbounded()).run(&model);
-        prop_assert!(report.completed);
+        assert!(report.completed);
         let n = gen.threads.len() as u64;
         let k = report.max_stats.steps as u64; // ≥ per-thread max
         let b = report.max_stats.blocking_steps as u64 + n; // + terminations
         for bh in &report.bound_history {
             if let Some(ceiling) = bounds::executions_with_preemptions(n, k, b, bh.bound as u64) {
-                prop_assert!(
+                assert!(
                     (bh.executions as u128) <= ceiling,
-                    "bound {}: {} > {}", bh.bound, bh.executions, ceiling
+                    "bound {}: {} > {}",
+                    bh.bound,
+                    bh.executions,
+                    ceiling
                 );
             }
         }
-    }
+    });
+}
 
-    /// Coverage curves are nondecreasing and end at the reported total.
-    #[test]
-    fn coverage_curves_are_monotone(gen in gen_model()) {
-        let model = build(&gen);
+/// Coverage curves are nondecreasing and end at the reported total.
+#[test]
+fn coverage_curves_are_monotone() {
+    for_generated_models(0x1CB3, |_gen, model| {
         let report = IcbSearch::new(unbounded()).run(&model);
         let mut prev = 0;
         for &(x, y) in &report.coverage_curve {
-            prop_assert!(x >= 1);
-            prop_assert!(y >= prev);
+            assert!(x >= 1);
+            assert!(y >= prev);
             prev = y;
         }
-        prop_assert_eq!(prev, report.distinct_states);
-    }
+        assert_eq!(prev, report.distinct_states);
+    });
+}
 
-    /// Every reported bug schedule replays to the same outcome.
-    #[test]
-    fn bug_schedules_replay(gen in gen_model()) {
-        let model = build(&gen);
+/// Every reported bug schedule replays to the same outcome.
+#[test]
+fn bug_schedules_replay() {
+    for_generated_models(0x1CB4, |_gen, model| {
         let report = IcbSearch::new(SearchConfig {
             stop_on_first_bug: true,
             ..unbounded()
-        }).run(&model);
+        })
+        .run(&model);
         if let Some(bug) = report.first_bug() {
             let mut replay = ReplayScheduler::new(bug.schedule.clone());
             let result = model.execute(&mut replay, &mut NullSink);
-            prop_assert_eq!(&result.outcome, &bug.outcome);
-            prop_assert_eq!(result.stats.preemptions, bug.preemptions);
+            assert_eq!(&result.outcome, &bug.outcome);
+            assert_eq!(result.stats.preemptions, bug.preemptions);
         }
-    }
+    });
+}
 
-    /// The explicit-state checker agrees with the stateless one on the
-    /// minimal bug bound.
-    #[test]
-    fn explicit_minimal_bound_matches(gen in gen_model()) {
-        let model = build(&gen);
+/// The explicit-state checker agrees with the stateless one on the
+/// minimal bug bound.
+#[test]
+fn explicit_minimal_bound_matches() {
+    for_generated_models(0x1CB5, |gen, model| {
         let stateless = IcbSearch::new(SearchConfig {
             stop_on_first_bug: true,
             ..unbounded()
-        }).run(&model);
+        })
+        .run(&model);
         let explicit = ExplicitIcb::new(ExplicitConfig {
             stop_on_first_bug: true,
             ..ExplicitConfig::default()
-        }).run(&model);
+        })
+        .run(&model);
         let a = stateless.first_bug().map(|b| b.preemptions);
         let b = explicit.bugs.first().map(|b| b.bound);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b, "model {gen:?}");
+    });
+}
 
-    /// Sleep-set partial-order reduction never changes the bug verdict
-    /// and never explores more transitions than plain DFS.
-    #[test]
-    fn por_preserves_bug_verdicts(gen in gen_model()) {
-        use icb::statevm::por::{sleep_set_dfs, PorConfig};
-        let model = build(&gen);
-        let plain = sleep_set_dfs(&model, &PorConfig {
-            sleep_sets: false,
-            ..PorConfig::default()
-        });
+/// Sleep-set partial-order reduction never changes the bug verdict and
+/// never explores more transitions than plain DFS.
+#[test]
+fn por_preserves_bug_verdicts() {
+    use icb::statevm::por::{sleep_set_dfs, PorConfig};
+    for_generated_models(0x1CB6, |_gen, model| {
+        let plain = sleep_set_dfs(
+            &model,
+            &PorConfig {
+                sleep_sets: false,
+                ..PorConfig::default()
+            },
+        );
         let reduced = sleep_set_dfs(&model, &PorConfig::default());
-        prop_assert!(plain.completed && reduced.completed);
-        prop_assert_eq!(plain.has_bug(), reduced.has_bug());
-        prop_assert!(reduced.transitions <= plain.transitions);
+        assert!(plain.completed && reduced.completed);
+        assert_eq!(plain.has_bug(), reduced.has_bug());
+        assert!(reduced.transitions <= plain.transitions);
         // Distinct assertion messages must coincide (same bugs, maybe
         // fewer witnesses).
         let msgs = |r: &icb::statevm::por::PorReport| {
-            let mut v: Vec<&str> = r.assertion_failures.iter().map(|(m, _)| m.as_str()).collect();
+            let mut v: Vec<&str> = r
+                .assertion_failures
+                .iter()
+                .map(|(m, _)| m.as_str())
+                .collect();
             v.sort_unstable();
             v.dedup();
             v.into_iter().map(String::from).collect::<Vec<_>>()
         };
-        prop_assert_eq!(msgs(&plain), msgs(&reduced));
-        prop_assert_eq!(plain.deadlocks.is_empty(), reduced.deadlocks.is_empty());
-    }
+        assert_eq!(msgs(&plain), msgs(&reduced));
+        assert_eq!(plain.deadlocks.is_empty(), reduced.deadlocks.is_empty());
+    });
+}
 
-    /// Completing bound c at bound-limited search explores a subset of
-    /// what bound c+1 explores, and coverage is monotone in the bound.
-    #[test]
-    fn coverage_monotone_in_bound(gen in gen_model()) {
-        let model = build(&gen);
+/// Completing bound c at bound-limited search explores a subset of what
+/// bound c+1 explores, and coverage is monotone in the bound.
+#[test]
+fn coverage_monotone_in_bound() {
+    for_generated_models(0x1CB7, |_gen, model| {
         let mut prev_states = 0;
         let mut prev_execs = 0;
         for bound in 0..3 {
             let report = IcbSearch::new(SearchConfig {
                 preemption_bound: Some(bound),
                 ..unbounded()
-            }).run(&model);
-            prop_assert!(report.distinct_states >= prev_states);
-            prop_assert!(report.executions >= prev_execs);
+            })
+            .run(&model);
+            assert!(report.distinct_states >= prev_states);
+            assert!(report.executions >= prev_execs);
             prev_states = report.distinct_states;
             prev_execs = report.executions;
         }
-    }
+    });
 }

@@ -83,7 +83,13 @@ impl ControlledProgram for FlipFlop {
                 current_enabled,
                 enabled: &enabled,
             });
-            trace.push(TraceEntry::new(chosen, enabled, current, current_enabled, false));
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
             done[chosen.index()] = true;
             current = Some(chosen);
         }

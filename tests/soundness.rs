@@ -40,11 +40,9 @@ fn reduced_search_finds_the_same_bug_as_full_interleaving() {
     // full-interleaving search.
     let reduced = IcbSearch::find_minimal_bug(&lost_update(RuntimeConfig::default()), 500_000)
         .expect("reduced search finds the bug");
-    let full = IcbSearch::find_minimal_bug(
-        &lost_update(RuntimeConfig::full_interleaving()),
-        500_000,
-    )
-    .expect("full search finds the bug");
+    let full =
+        IcbSearch::find_minimal_bug(&lost_update(RuntimeConfig::full_interleaving()), 500_000)
+            .expect("full search finds the bug");
     assert_eq!(reduced.preemptions, full.preemptions);
     assert_eq!(reduced.preemptions, 1);
 }
