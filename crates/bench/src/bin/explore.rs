@@ -4,14 +4,22 @@
 //! explore list
 //! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]
 //!             [--bound N] [--budget N] [--shrink]
-//!             [--telemetry jsonl:<path>] [--progress]
+//!             [--telemetry jsonl:<path>] [--progress] [--profile]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
+//!                [--telemetry jsonl:<path>]
+//! explore report <run.jsonl>... [--markdown] [--top N]
 //! explore disasm <benchmark>
 //! ```
 //!
 //! `--telemetry jsonl:<path>` streams every search event as one JSON
 //! object per line to `<path>`; `--progress` prints a rate-limited live
-//! status line (with a Theorem-1 ETA) to stderr. Both can be combined.
+//! status line (with a Theorem-1 ETA) to stderr; `--profile` attaches
+//! the exploration profiler and prints a paper-style report (per-bound
+//! results, hottest preemption sites, phase timing) when the search
+//! ends. All three can be combined — with `--profile`, the JSONL stream
+//! also carries the per-step `choice-point` / `preemption-taken` /
+//! `phase-time` events, so `explore report` can rebuild the same tables
+//! offline.
 //!
 //! Examples:
 //!
@@ -19,7 +27,8 @@
 //! cargo run --release -p icb-bench --bin explore -- list
 //! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --bug check-then-increment
 //! cargo run --release -p icb-bench --bin explore -- run "Work Stealing Q." --strategy random --budget 5000
-//! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --telemetry jsonl:events.jsonl --progress
+//! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --telemetry jsonl:events.jsonl --profile
+//! cargo run --release -p icb-bench --bin explore -- report events.jsonl --markdown
 //! cargo run --release -p icb-bench --bin explore -- disasm "Transaction Manager"
 //! ```
 
@@ -27,10 +36,16 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 
 use icb_core::search::{
-    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy,
+    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchReport, SearchStrategy,
 };
-use icb_core::{render, shrink, ControlledProgram, NullSink, ReplayScheduler, Schedule};
-use icb_telemetry::{JsonlSink, MultiObserver, ProgressReporter};
+use icb_core::NullSink;
+use icb_core::{
+    render, shrink, ControlledProgram, CoverageTracker, ReplayScheduler, Schedule, SearchObserver,
+};
+use icb_telemetry::{
+    render_markdown, render_text, ExplorationProfiler, JsonlSink, MultiObserver, ProgressReporter,
+    RunReport,
+};
 use icb_workloads::registry::{all_benchmarks, AnyProgram, BenchmarkInfo};
 
 fn main() -> ExitCode {
@@ -46,8 +61,10 @@ fn main() -> ExitCode {
                 "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]"
             );
             eprintln!("              [--bound N] [--budget N] [--shrink]");
-            eprintln!("              [--telemetry jsonl:<path>] [--progress]");
+            eprintln!("              [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
+            eprintln!("                 [--telemetry jsonl:<path>]");
+            eprintln!("  explore report <run.jsonl>... [--markdown] [--top N]");
             eprintln!("  explore disasm <benchmark>");
             ExitCode::FAILURE
         }
@@ -62,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         other => Err(match other {
             Some(cmd) => format!("unknown command `{cmd}`"),
@@ -108,6 +126,34 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Opens the `--telemetry jsonl:<path>` sink, when requested.
+fn open_jsonl(
+    args: &[String],
+    profile: bool,
+) -> Result<Option<JsonlSink<BufWriter<std::fs::File>>>, String> {
+    match flag_value(args, "--telemetry") {
+        Some(spec) => {
+            let path = spec
+                .strip_prefix("jsonl:")
+                .ok_or("unsupported --telemetry sink (expected jsonl:<path>)")?;
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Ok(Some(
+                JsonlSink::new(BufWriter::new(file)).with_profile_events(profile),
+            ))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Drains a finished JSONL sink, warning if events were lost.
+fn close_jsonl(sink: JsonlSink<BufWriter<std::fs::File>>) {
+    if sink.failed() {
+        eprintln!("warning: telemetry stream hit a write error; events were dropped");
+    }
+    drop(sink.into_inner()); // flush the BufWriter
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("missing benchmark name")?;
     let bench = find_benchmark(name)?;
@@ -135,24 +181,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown strategy `{other}`")),
     };
 
-    // Optional observers: a JSONL event stream and/or live progress.
-    let mut jsonl = match flag_value(args, "--telemetry") {
-        Some(spec) => {
-            let path = spec
-                .strip_prefix("jsonl:")
-                .ok_or("unsupported --telemetry sink (expected jsonl:<path>)")?;
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            Some(JsonlSink::new(BufWriter::new(file)))
-        }
-        None => None,
+    // Optional observers: a JSONL event stream, live progress, and/or
+    // the exploration profiler. With both --telemetry and --profile the
+    // JSONL stream carries the per-step profiler events too.
+    let profile = args.iter().any(|a| a == "--profile");
+    let top: usize = match flag_value(args, "--top") {
+        Some(v) => v.parse().map_err(|_| "invalid --top")?,
+        None => 10,
     };
+    let mut jsonl = open_jsonl(args, profile)?;
     let mut progress = args.iter().any(|a| a == "--progress").then(|| {
         // n from the registry; b ≈ one blocking step (termination) per
         // thread — good enough for an order-of-magnitude ETA.
         let n = bench.paper_threads as u64;
         ProgressReporter::stderr().with_theorem1(n, n)
     });
+    let mut profiler = profile.then(ExplorationProfiler::new);
     let mut observers = MultiObserver::new();
     if let Some(sink) = jsonl.as_mut() {
         observers.push(sink);
@@ -160,17 +204,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(reporter) = progress.as_mut() {
         observers.push(reporter);
     }
+    if let Some(p) = profiler.as_mut() {
+        observers.push(p);
+    }
 
     println!("exploring {} with {}…", bench.name, strategy.name());
     let report = strategy.search_observed(&program, &mut observers);
     drop(observers);
     if let Some(sink) = jsonl {
-        if sink.failed() {
-            eprintln!("warning: telemetry stream hit a write error; events were dropped");
-        }
-        drop(sink.into_inner()); // flush the BufWriter
+        close_jsonl(sink);
     }
     println!("{report}");
+    if let Some(profiler) = &profiler {
+        println!();
+        print!("{}", render_text(&[profiler.run_report()], top));
+    }
     if let Some(bug) = report.first_bug() {
         println!();
         println!("witness: {}", bug.schedule);
@@ -203,7 +251,39 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("{e}"))?;
     let mut replay = ReplayScheduler::new(schedule);
-    let result = program.execute(&mut replay, &mut NullSink);
+
+    // A replay is a one-execution "search": when --telemetry is given,
+    // wrap the execution in the usual event grammar so `explore report`
+    // can digest the log like any other run. Profile events are always
+    // on — a single replay is exactly when per-step detail is cheap.
+    let result = match open_jsonl(args, true)? {
+        Some(mut sink) => {
+            let mut coverage = CoverageTracker::new();
+            sink.search_started("replay");
+            sink.execution_started(1);
+            let result = program.execute_observed(&mut replay, &mut coverage, &mut sink);
+            coverage.end_execution();
+            sink.execution_finished(
+                1,
+                &result.stats,
+                &result.outcome,
+                coverage.distinct_states(),
+            );
+            let buggy = result.outcome.is_bug();
+            sink.search_finished(&SearchReport {
+                strategy: "replay".to_string(),
+                executions: 1,
+                distinct_states: coverage.distinct_states(),
+                coverage_curve: coverage.into_curve(),
+                buggy_executions: usize::from(buggy),
+                max_stats: result.stats,
+                ..SearchReport::default()
+            });
+            close_jsonl(sink);
+            result
+        }
+        None => program.execute(&mut replay, &mut NullSink),
+    };
     println!("outcome: {}", result.outcome);
     println!(
         "steps: {}, preemptions: {}",
@@ -211,6 +291,43 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     );
     println!();
     println!("{}", render::lanes(&result.trace));
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let top: usize = match flag_value(args, "--top") {
+        Some(v) => v.parse().map_err(|_| "invalid --top")?,
+        None => 10,
+    };
+    // Everything that is not a flag (or a flag's value) is a log path.
+    let mut paths: Vec<&str> = Vec::new();
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--markdown" => {}
+            "--top" => skip = true,
+            other => paths.push(other),
+        }
+    }
+    if paths.is_empty() {
+        return Err("missing telemetry log path (expected `explore report <run.jsonl>...`)".into());
+    }
+    let mut runs: Vec<RunReport> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        runs.push(RunReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let rendered = if markdown {
+        render_markdown(&runs, top)
+    } else {
+        render_text(&runs, top)
+    };
+    print!("{rendered}");
     Ok(())
 }
 

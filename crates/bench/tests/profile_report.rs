@@ -1,0 +1,150 @@
+//! End-to-end checks of the exploration profiler: `explore report` on a
+//! JSONL log reproduces the per-bound table of an identical library-level
+//! search exactly, and the phase timers partition the search wall-clock.
+
+use std::process::Command;
+use std::time::Duration;
+
+use icb_core::search::{IcbSearch, SearchConfig};
+use icb_telemetry::ExplorationProfiler;
+use icb_workloads::registry::all_benchmarks;
+
+const BUDGET: usize = 2000;
+const BOUND: usize = 1;
+
+fn bluetooth_config() -> SearchConfig {
+    // Mirrors what `explore run --bound 1 --budget 2000` builds.
+    SearchConfig {
+        max_executions: Some(BUDGET),
+        preemption_bound: Some(BOUND),
+        stop_on_first_bug: true,
+        ..SearchConfig::default()
+    }
+}
+
+/// Runs a bounded Bluetooth search through the `explore` binary with a
+/// JSONL sink, renders the log with `explore report --markdown`, and
+/// asserts the per-bound table matches `SearchReport::bound_stats` of the
+/// identical library search, row for row.
+#[test]
+fn explore_report_reproduces_bound_stats() {
+    let path = std::env::temp_dir().join(format!("icb-profile-test-{}.jsonl", std::process::id()));
+    let run = Command::new(env!("CARGO_BIN_EXE_explore"))
+        .args([
+            "run",
+            "Bluetooth",
+            "--bound",
+            &BOUND.to_string(),
+            "--budget",
+            &BUDGET.to_string(),
+            "--profile",
+            "--telemetry",
+            &format!("jsonl:{}", path.display()),
+        ])
+        .output()
+        .expect("explore runs");
+    assert!(
+        run.status.success(),
+        "explore run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let report_out = Command::new(env!("CARGO_BIN_EXE_explore"))
+        .args(["report", &path.display().to_string(), "--markdown"])
+        .output()
+        .expect("explore report runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        report_out.status.success(),
+        "explore report failed: {}",
+        String::from_utf8_lossy(&report_out.stderr)
+    );
+    let rendered = String::from_utf8(report_out.stdout).expect("utf-8 report");
+
+    // Pull the data rows of the "Per-bound results" markdown table:
+    // | bound | executions | cumulative states | bugs | wall time |
+    let mut rows: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut in_table = false;
+    for line in rendered.lines() {
+        if line.starts_with("## Per-bound results") {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if line.starts_with("## ") {
+            break;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 5 || cells[0].parse::<usize>().is_err() {
+            continue; // header, separator, or blank
+        }
+        rows.push((
+            cells[0].parse().unwrap(),
+            cells[1].parse().unwrap(),
+            cells[2].parse().unwrap(),
+            cells[3].parse().unwrap(),
+        ));
+    }
+
+    // The same search through the library.
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Bluetooth")
+        .expect("registered");
+    let program = (bench.correct)();
+    let report = IcbSearch::new(bluetooth_config()).run(&program);
+    let expected: Vec<(usize, usize, usize, usize)> = report
+        .bound_stats()
+        .iter()
+        .map(|s| (s.bound, s.executions, s.cumulative_states, s.bugs_found))
+        .collect();
+
+    assert!(
+        expected.len() >= 2,
+        "bounds 0 and 1 both complete within the budget"
+    );
+    assert_eq!(rows, expected, "rendered table mirrors bound_stats exactly");
+
+    // Headline totals survive the JSONL round trip too.
+    assert!(
+        rendered.contains(&format!(
+            "{} executions, {} distinct states",
+            report.executions, report.distinct_states
+        )),
+        "summary line carries the report totals:\n{rendered}"
+    );
+}
+
+/// The wall-clock phase timers partition the search: each phase accrues
+/// real time, and replay + selection + race detection never exceeds the
+/// total elapsed wall-clock (the remainder is the report's explicit
+/// "other" row, so the four together account for 100% of the run).
+#[test]
+fn phase_timers_partition_wall_clock() {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Bluetooth")
+        .expect("registered");
+    let program = (bench.correct)();
+    let mut profiler = ExplorationProfiler::new();
+    IcbSearch::new(bluetooth_config()).run_observed(&program, &mut profiler);
+
+    let phases = profiler.phase_totals();
+    let elapsed = profiler.elapsed().expect("search finished");
+    assert!(phases.replay > Duration::ZERO, "replay time accrued");
+    assert!(
+        phases.race_detection > Duration::ZERO,
+        "detector time accrued"
+    );
+    assert!(phases.sum() > Duration::ZERO);
+    // Partition property: the timers are disjoint slices of the run, so
+    // their sum can never exceed the wall-clock that contains them.
+    assert!(
+        phases.sum() <= elapsed,
+        "phases sum to {:?} > elapsed {:?}",
+        phases.sum(),
+        elapsed
+    );
+}

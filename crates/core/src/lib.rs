@@ -103,6 +103,6 @@ pub mod trace;
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
-pub use telemetry::{AbortReason, NoopObserver, SearchObserver};
+pub use telemetry::{AbortReason, ChoiceKind, NoopObserver, Phase, SearchObserver, SiteId};
 pub use tid::Tid;
 pub use trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule, Trace, TraceEntry};

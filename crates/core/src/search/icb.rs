@@ -109,6 +109,7 @@ impl IcbSearch {
         'outer: loop {
             let execs_before = ctx.executions;
             let bugs_before = ctx.buggy_executions;
+            ctx.current_bound = bound;
             ctx.observer.bound_started(bound, work.len());
             let bound_began = std::time::Instant::now();
             while let Some(prefix) = work.pop_front() {

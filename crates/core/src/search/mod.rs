@@ -29,7 +29,7 @@ pub use random::RandomSearch;
 
 use crate::coverage::CoverageTracker;
 use crate::program::ControlledProgram;
-use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
+use crate::telemetry::{AbortReason, ChoiceKind, NoopObserver, SearchObserver, SiteId};
 use crate::trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule};
 
 /// Limits and options common to all search strategies.
@@ -222,6 +222,10 @@ pub(crate) struct SearchCtx<'o> {
     pub(crate) max_stats: ExecStats,
     pub(crate) stop: bool,
     pub(crate) abort: Option<AbortReason>,
+    /// The preemption bound the strategy is currently exploring, used to
+    /// attribute `choice_point` events. Strategies without bounds leave
+    /// it at 0.
+    pub(crate) current_bound: usize,
     pub(crate) observer: &'o mut dyn SearchObserver,
 }
 
@@ -237,6 +241,7 @@ impl<'o> SearchCtx<'o> {
             max_stats: ExecStats::default(),
             stop: false,
             abort: None,
+            current_bound: 0,
             observer,
         }
     }
@@ -271,11 +276,43 @@ impl<'o> SearchCtx<'o> {
             .is_some_and(|limit| self.started.elapsed() >= limit)
     }
 
+    /// Streams the attributed per-decision events of a finished
+    /// execution — one `choice_point` per trace entry, plus a
+    /// `preemption_taken` charged to the victim's most recent operation.
+    /// One batched pass, entered only when an observer asked for it, so
+    /// the hot path of an unprofiled search is a single branch.
+    fn emit_choice_points(&mut self, result: &ExecutionResult) {
+        let entries = result.trace.entries();
+        for (i, entry) in entries.iter().enumerate() {
+            let kind = if entry.is_preemption() {
+                ChoiceKind::Preemption
+            } else if entry.is_context_switch() {
+                ChoiceKind::Switch
+            } else {
+                ChoiceKind::Continue
+            };
+            self.observer
+                .choice_point(entry.site, self.current_bound, kind);
+            if kind == ChoiceKind::Preemption {
+                // `entry.current == entries[i - 1].chosen`, so the
+                // previous entry's site is the last op the preempted
+                // thread executed.
+                let victim = i
+                    .checked_sub(1)
+                    .map_or(SiteId::UNKNOWN, |p| entries[p].site);
+                self.observer.preemption_taken(victim);
+            }
+        }
+    }
+
     /// Records a finished execution; sets `stop` when a limit is hit.
     pub(crate) fn record(&mut self, result: &ExecutionResult, cost: usize) {
         self.executions += cost;
         self.coverage.end_execution();
         self.max_stats = self.max_stats.max(result.stats);
+        if self.observer.wants_choice_points() {
+            self.emit_choice_points(result);
+        }
         self.observer.execution_finished(
             self.executions,
             &result.stats,
@@ -460,6 +497,97 @@ mod config_tests {
         let text = report.to_string();
         assert!(text.contains("no bugs"), "{text}");
         assert!(text.contains("space exhausted"), "{text}");
+    }
+
+    #[test]
+    fn choice_points_batch_per_execution_and_count_preemptions() {
+        use crate::telemetry::{ChoiceKind, SiteId};
+
+        #[derive(Default)]
+        struct Counting {
+            choices: usize,
+            preemptions: usize,
+            max_bound: usize,
+            open_execution: bool,
+            out_of_band: bool,
+        }
+        impl SearchObserver for Counting {
+            fn wants_choice_points(&self) -> bool {
+                true
+            }
+            fn execution_started(&mut self, _index: usize) {
+                self.open_execution = true;
+            }
+            fn execution_finished(
+                &mut self,
+                _index: usize,
+                _stats: &ExecStats,
+                _outcome: &ExecutionOutcome,
+                _distinct_states: usize,
+            ) {
+                self.open_execution = false;
+            }
+            fn choice_point(&mut self, _site: SiteId, bound: usize, kind: ChoiceKind) {
+                self.choices += 1;
+                self.max_bound = self.max_bound.max(bound);
+                self.out_of_band |= !self.open_execution;
+                if kind == ChoiceKind::Preemption {
+                    // `preemption_taken` must follow; counted there.
+                }
+            }
+            fn preemption_taken(&mut self, _site: SiteId) {
+                self.preemptions += 1;
+                self.out_of_band |= !self.open_execution;
+            }
+        }
+
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: None,
+        };
+        let mut obs = Counting::default();
+        let report = IcbSearch::new(SearchConfig::default()).run_observed(&p, &mut obs);
+        // One choice_point per step of every execution: 6 executions
+        // of 4 steps each for the 2×2 counter program.
+        assert_eq!(obs.choices, report.executions * 4);
+        // Preemption events across the whole search equal the per-bound
+        // totals: bounds 0/1/2 contribute 0, 2·1 and 2·2 preemptions.
+        assert_eq!(obs.preemptions, 6);
+        assert_eq!(obs.max_bound, 2, "bound attribution follows ICB's bounds");
+        assert!(
+            !obs.out_of_band,
+            "attributed events arrive inside an open execution"
+        );
+    }
+
+    #[test]
+    fn choice_points_are_not_emitted_unrequested() {
+        #[derive(Default)]
+        struct Refusing {
+            attributed: usize,
+        }
+        impl SearchObserver for Refusing {
+            fn choice_point(
+                &mut self,
+                _site: crate::telemetry::SiteId,
+                _bound: usize,
+                _kind: crate::telemetry::ChoiceKind,
+            ) {
+                self.attributed += 1;
+            }
+            fn preemption_taken(&mut self, _site: crate::telemetry::SiteId) {
+                self.attributed += 1;
+            }
+        }
+        let p = Counters {
+            n: 2,
+            k: 2,
+            bug: None,
+        };
+        let mut obs = Refusing::default();
+        IcbSearch::new(SearchConfig::default()).run_observed(&p, &mut obs);
+        assert_eq!(obs.attributed, 0, "gate defaults to off");
     }
 
     #[test]

@@ -26,6 +26,150 @@ use std::time::Duration;
 use crate::search::{BoundStats, BugReport, SearchReport};
 use crate::trace::{ExecStats, ExecutionOutcome};
 
+/// A program location / synchronization-operation label, the unit of
+/// attribution for the exploration profiler.
+///
+/// Sites are resolved by the program host at every scheduling point —
+/// the runtime engine labels the pending synchronization operation of
+/// the chosen task (`acquire#3` = acquire of lock 3, from any thread),
+/// the VM adapter labels the chosen thread's next shared instruction
+/// (`t1:load@14` = thread 1's load at pc 14). Aggregating executions,
+/// preemptions and coverage gains per site is what tells you *which*
+/// preemption points dominate a search (the question behind the paper's
+/// Figures 7–9 and behind thread/variable-bounding heuristics).
+///
+/// The type is plain-old-data (`Copy`, `Eq`, `Hash`, `Ord`) so it can be
+/// carried on every [`TraceEntry`](crate::TraceEntry) and used directly
+/// as a histogram key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId {
+    /// Operation class (`"acquire"`, `"load"`, …). Interned as a static
+    /// string by the resolving host.
+    pub class: &'static str,
+    /// The resource index or program counter the class refers to.
+    pub object: u32,
+    /// Owning thread for per-thread locations, [`SiteId::ANY_THREAD`]
+    /// for sites shared by all threads (e.g. a lock).
+    pub thread: u32,
+}
+
+impl SiteId {
+    /// Marker for sites not tied to one thread.
+    pub const ANY_THREAD: u32 = u32::MAX;
+
+    /// The site of an operation whose location could not be resolved.
+    pub const UNKNOWN: SiteId = SiteId {
+        class: "?",
+        object: 0,
+        thread: SiteId::ANY_THREAD,
+    };
+
+    /// A thread-agnostic site: an operation `class` on resource `object`.
+    pub const fn op(class: &'static str, object: u32) -> Self {
+        SiteId {
+            class,
+            object,
+            thread: SiteId::ANY_THREAD,
+        }
+    }
+
+    /// A per-thread program location: `thread` about to execute the
+    /// instruction `class` at program counter `pc`.
+    pub const fn at(thread: u32, class: &'static str, pc: u32) -> Self {
+        SiteId {
+            class,
+            object: pc,
+            thread,
+        }
+    }
+
+    /// Returns `true` for the [`SiteId::UNKNOWN`] placeholder.
+    pub fn is_unknown(&self) -> bool {
+        *self == SiteId::UNKNOWN
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_unknown() {
+            write!(f, "?")
+        } else if self.thread == SiteId::ANY_THREAD {
+            write!(f, "{}#{}", self.class, self.object)
+        } else {
+            write!(f, "t{}:{}@{}", self.thread, self.class, self.object)
+        }
+    }
+}
+
+/// How a scheduling decision relates to the previously running thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChoiceKind {
+    /// The scheduler kept the running thread (or this is the initial
+    /// point of an execution with no previous thread).
+    Continue,
+    /// A nonpreempting context switch: the previous thread blocked or
+    /// terminated, so the switch is free.
+    Switch,
+    /// A preempting context switch: the previous thread was still
+    /// enabled — the quantity ICB bounds.
+    Preemption,
+}
+
+impl ChoiceKind {
+    /// Kebab-case tag (`continue` / `switch` / `preemption`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChoiceKind::Continue => "continue",
+            ChoiceKind::Switch => "switch",
+            ChoiceKind::Preemption => "preemption",
+        }
+    }
+}
+
+impl std::fmt::Display for ChoiceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The wall-clock phases a profiled execution divides into.
+///
+/// Reported through [`SearchObserver::phase_time`] once per phase per
+/// execution (by hosts that support timing), so a profiler can answer
+/// "where does the time go": re-running the program under a schedule
+/// ([`Phase::Replay`]), asking the strategy's scheduler to pick
+/// ([`Phase::Selection`]), or checking happens-before races
+/// ([`Phase::RaceDetection`]). Whatever the three phases do not cover is
+/// the host's own bookkeeping ("accounted-other" in the report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Executing the program under test (task execution / VM stepping),
+    /// minus the race-detection time spent inside it.
+    Replay,
+    /// Time spent inside `Scheduler::pick` — the strategy's decision
+    /// logic.
+    Selection,
+    /// Time spent in the happens-before race detector.
+    RaceDetection,
+}
+
+impl Phase {
+    /// Kebab-case tag (`replay` / `selection` / `race-detection`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::Replay => "replay",
+            Phase::Selection => "selection",
+            Phase::RaceDetection => "race-detection",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Why a search stopped before exhausting its schedule space.
 ///
 /// Reported through [`SearchObserver::search_aborted`] so a consumer can
@@ -121,6 +265,47 @@ pub trait SearchObserver {
     /// runs auditable.
     fn race_detected(&mut self, description: &str) {}
 
+    /// Opt-in gate for the per-step [`choice_point`] /
+    /// [`preemption_taken`] events. Strategies batch these like
+    /// `execution_started`: one pass over the finished execution's trace,
+    /// and only when an attached observer returns `true` here — so a
+    /// [`NoopObserver`] search never pays for attribution.
+    ///
+    /// [`choice_point`]: SearchObserver::choice_point
+    /// [`preemption_taken`]: SearchObserver::preemption_taken
+    fn wants_choice_points(&self) -> bool {
+        false
+    }
+
+    /// Opt-in gate for [`phase_time`](SearchObserver::phase_time):
+    /// program hosts only start their phase timers when an attached
+    /// observer returns `true` here.
+    fn wants_phase_timing(&self) -> bool {
+        false
+    }
+
+    /// One scheduling decision of the just-finished execution: the op at
+    /// `site` was chosen while the search was exploring preemption bound
+    /// `bound` (0 for strategies without bounds), and the decision was a
+    /// continuation, free switch or preemption per `kind`.
+    ///
+    /// Gated by [`wants_choice_points`](SearchObserver::wants_choice_points);
+    /// emitted in trace order between the execution's `execution_started`
+    /// and `execution_finished`.
+    fn choice_point(&mut self, site: SiteId, bound: usize, kind: ChoiceKind) {}
+
+    /// A preemption was taken against the thread whose most recent
+    /// operation ran at `site` — the victim's location, which is what a
+    /// per-site preemption histogram wants to count. Fires immediately
+    /// after the corresponding `choice_point` with
+    /// [`ChoiceKind::Preemption`].
+    fn preemption_taken(&mut self, site: SiteId) {}
+
+    /// The just-finished execution spent `elapsed` inside `phase`.
+    /// Gated by [`wants_phase_timing`](SearchObserver::wants_phase_timing);
+    /// hosts emit at most one event per phase per execution.
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {}
+
     /// The search is stopping before exhausting its space.
     fn search_aborted(&mut self, reason: AbortReason) {}
 
@@ -169,6 +354,21 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     fn race_detected(&mut self, description: &str) {
         (**self).race_detected(description)
     }
+    fn wants_choice_points(&self) -> bool {
+        (**self).wants_choice_points()
+    }
+    fn wants_phase_timing(&self) -> bool {
+        (**self).wants_phase_timing()
+    }
+    fn choice_point(&mut self, site: SiteId, bound: usize, kind: ChoiceKind) {
+        (**self).choice_point(site, bound, kind)
+    }
+    fn preemption_taken(&mut self, site: SiteId) {
+        (**self).preemption_taken(site)
+    }
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+        (**self).phase_time(phase, elapsed)
+    }
     fn search_aborted(&mut self, reason: AbortReason) {
         (**self).search_aborted(reason)
     }
@@ -199,5 +399,48 @@ mod tests {
         assert_eq!(AbortReason::Timeout.to_string(), "timeout");
         assert_eq!(AbortReason::ExecutionBudget.to_string(), "execution-budget");
         assert_eq!(AbortReason::FirstBug.to_string(), "first-bug");
+    }
+
+    #[test]
+    fn site_ids_display_by_kind() {
+        assert_eq!(SiteId::op("acquire", 3).to_string(), "acquire#3");
+        assert_eq!(SiteId::at(1, "load", 14).to_string(), "t1:load@14");
+        assert_eq!(SiteId::UNKNOWN.to_string(), "?");
+        assert!(SiteId::UNKNOWN.is_unknown());
+        assert!(!SiteId::op("acquire", 3).is_unknown());
+    }
+
+    #[test]
+    fn choice_kind_and_phase_tags() {
+        assert_eq!(ChoiceKind::Continue.as_str(), "continue");
+        assert_eq!(ChoiceKind::Switch.as_str(), "switch");
+        assert_eq!(ChoiceKind::Preemption.to_string(), "preemption");
+        assert_eq!(Phase::Replay.as_str(), "replay");
+        assert_eq!(Phase::Selection.as_str(), "selection");
+        assert_eq!(Phase::RaceDetection.to_string(), "race-detection");
+    }
+
+    #[test]
+    fn profiling_gates_default_off_and_forward_through_references() {
+        struct Wanting;
+        impl SearchObserver for Wanting {
+            fn wants_choice_points(&self) -> bool {
+                true
+            }
+            fn wants_phase_timing(&self) -> bool {
+                true
+            }
+        }
+        assert!(!NoopObserver.wants_choice_points());
+        assert!(!NoopObserver.wants_phase_timing());
+        // The blanket `&mut O` impl must forward the gates — a default
+        // there would silently disable profiling behind references.
+        let mut w = Wanting;
+        let via_ref: &mut dyn SearchObserver = &mut w;
+        assert!(via_ref.wants_choice_points());
+        assert!(via_ref.wants_phase_timing());
+        via_ref.choice_point(SiteId::UNKNOWN, 0, ChoiceKind::Continue);
+        via_ref.preemption_taken(SiteId::op("acquire", 0));
+        via_ref.phase_time(Phase::Replay, Duration::ZERO);
     }
 }

@@ -12,6 +12,7 @@
 //!           = NP(a) + 1  otherwise
 //! ```
 
+use crate::telemetry::SiteId;
 use crate::tid::Tid;
 use std::fmt;
 
@@ -98,10 +99,17 @@ pub struct TraceEntry {
     /// potentially blocking (lock acquire, wait, join, …). This is the
     /// `b` of Theorem 1.
     pub blocking: bool,
+    /// The program location / sync-op label of the operation the chosen
+    /// thread executed at this step, as resolved by the program host
+    /// ([`SiteId::UNKNOWN`] for hosts that do not resolve sites). This
+    /// is what the exploration profiler attributes preemptions to.
+    pub site: SiteId,
 }
 
 impl TraceEntry {
-    /// Creates a trace entry.
+    /// Creates a trace entry with an unresolved ([`SiteId::UNKNOWN`])
+    /// site. Hosts that know the executing operation's location attach
+    /// it with [`with_site`](TraceEntry::with_site).
     pub fn new(
         chosen: Tid,
         enabled: Vec<Tid>,
@@ -115,7 +123,14 @@ impl TraceEntry {
             current,
             current_enabled,
             blocking,
+            site: SiteId::UNKNOWN,
         }
+    }
+
+    /// Attaches the resolved site of the executed operation.
+    pub fn with_site(mut self, site: SiteId) -> Self {
+        self.site = site;
+        self
     }
 
     /// Returns `true` if this decision was a context switch (the chosen

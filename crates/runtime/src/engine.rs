@@ -17,10 +17,11 @@
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
 
 use icb_core::{
-    ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, SearchObserver, StateSink, Tid,
-    Trace, TraceEntry,
+    ExecutionOutcome, ExecutionResult, Phase, SchedulePoint, Scheduler, SearchObserver, StateSink,
+    Tid, Trace, TraceEntry,
 };
 use icb_race::{AccessKind, HbFingerprint, RaceDetector};
 
@@ -91,6 +92,26 @@ pub(crate) struct ExecInner {
     /// forward to the observer (tasks cannot reach the `&mut` observer).
     pending_races: Vec<String>,
     steps: usize,
+    /// Whether the observer asked for wall-clock phase attribution.
+    time_phases: bool,
+    /// Wall-clock spent inside the race detector, accrued under the
+    /// execution mutex by whichever thread performs the detector call.
+    detector_time: Duration,
+}
+
+impl ExecInner {
+    /// Runs a race-detector operation, attributing its wall-clock to the
+    /// race-detection phase when phase timing is on.
+    fn with_detector<R>(&mut self, f: impl FnOnce(&mut RaceDetector) -> R) -> R {
+        if self.time_phases {
+            let t0 = Instant::now();
+            let out = f(&mut self.detector);
+            self.detector_time += t0.elapsed();
+            out
+        } else {
+            f(&mut self.detector)
+        }
+    }
 }
 
 /// Shared state of one controlled execution.
@@ -165,6 +186,8 @@ impl Execution {
                 pending_fp: None,
                 pending_races: Vec::new(),
                 steps: 0,
+                time_phases: false,
+                detector_time: Duration::ZERO,
             }),
             cv: StdCondvar::new(),
             config,
@@ -195,6 +218,7 @@ impl Execution {
                 pending: Some(PendingOp::Start),
             });
             inner.alive = 1;
+            inner.time_phases = observer.wants_phase_timing();
         }
         let exec = Arc::clone(self);
         pool::run_on_worker(Box::new(move || task_main(exec, Tid::MAIN, body)));
@@ -211,9 +235,16 @@ impl Execution {
     ) -> ExecutionResult {
         let max_steps = self.config.max_steps;
         let mut inner = self.lock();
+        let time_phases = inner.time_phases;
+        let mut replay_time = Duration::ZERO;
+        let mut selection_time = Duration::ZERO;
         loop {
+            let t0 = time_phases.then(Instant::now);
             while inner.turn != Turn::Controller {
                 inner = self.wait(inner);
+            }
+            if let Some(t0) = t0 {
+                replay_time += t0.elapsed();
             }
             if let Some(fp) = inner.pending_fp.take() {
                 sink.visit(fp);
@@ -222,8 +253,12 @@ impl Execution {
                 observer.race_detected(&race);
             }
             if inner.abort {
+                let t0 = time_phases.then(Instant::now);
                 while inner.alive > 0 {
                     inner = self.wait(inner);
+                }
+                if let Some(t0) = t0 {
+                    replay_time += t0.elapsed();
                 }
                 break;
             }
@@ -276,7 +311,15 @@ impl Execution {
                 current_enabled,
                 enabled: &enabled,
             };
-            let chosen = match catch_unwind(AssertUnwindSafe(|| scheduler.pick(point))) {
+            let picked = {
+                let t0 = time_phases.then(Instant::now);
+                let picked = catch_unwind(AssertUnwindSafe(|| scheduler.pick(point)));
+                if let Some(t0) = t0 {
+                    selection_time += t0.elapsed();
+                }
+                picked
+            };
+            let chosen = match picked {
                 Ok(chosen) => chosen,
                 Err(payload) => {
                     // Scheduler failure (e.g. replay divergence): drain
@@ -294,18 +337,16 @@ impl Execution {
                 enabled.contains(&chosen),
                 "scheduler chose {chosen}, which is not enabled",
             );
-            let blocking = inner.tasks[chosen.index()]
+            let pending = inner.tasks[chosen.index()]
                 .pending
                 .as_ref()
-                .expect("enabled task has a pending op")
-                .is_blocking();
-            inner.trace.push(TraceEntry::new(
-                chosen,
-                enabled,
-                current,
-                current_enabled,
-                blocking,
-            ));
+                .expect("enabled task has a pending op");
+            let blocking = pending.is_blocking();
+            let site = pending.site();
+            inner.trace.push(
+                TraceEntry::new(chosen, enabled, current, current_enabled, blocking)
+                    .with_site(site),
+            );
             inner.steps += 1;
             inner.current = Some(chosen);
             inner.turn = Turn::Task(chosen.index());
@@ -316,6 +357,15 @@ impl Execution {
         }
         for race in inner.pending_races.drain(..) {
             observer.race_detected(&race);
+        }
+        if time_phases {
+            // The replay wait covers everything task threads did while the
+            // controller was parked, including detector work; subtract it so
+            // the three phases partition the controller's wall-clock.
+            let detector_time = inner.detector_time;
+            observer.phase_time(Phase::Selection, selection_time);
+            observer.phase_time(Phase::RaceDetection, detector_time);
+            observer.phase_time(Phase::Replay, replay_time.saturating_sub(detector_time));
         }
         let outcome = inner.outcome.take().unwrap_or(ExecutionOutcome::Terminated);
         let trace = std::mem::take(&mut inner.trace);
@@ -480,7 +530,7 @@ impl Execution {
             return;
         }
         let mut inner = self.lock();
-        if let Err(race) = inner.detector.data_access(tid, var, kind) {
+        if let Err(race) = inner.with_detector(|d| d.data_access(tid, var, kind)) {
             let description = race.to_string();
             inner.pending_races.push(description.clone());
             if self.config.fail_on_race {
@@ -554,15 +604,15 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
         PendingOp::Acquire { lock, sync } => {
             debug_assert!(inner.resources.locks[lock].is_none());
             inner.resources.locks[lock] = Some(tid);
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::Release { lock, sync } => {
             debug_assert_eq!(inner.resources.locks[lock], Some(tid));
             inner.resources.locks[lock] = None;
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::TryAcquire { lock, sync } => {
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
             if inner.resources.locks[lock].is_none() {
                 inner.resources.locks[lock] = Some(tid);
                 out = EffectOut::Acquired(true);
@@ -582,8 +632,8 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 tid,
                 signaled: false,
             });
-            inner.detector.sync_access(tid, lock_sync);
-            inner.detector.sync_access(tid, cv_sync);
+            inner.with_detector(|d| d.sync_access(tid, lock_sync));
+            inner.with_detector(|d| d.sync_access(tid, cv_sync));
         }
         PendingOp::CondReacquire {
             cv,
@@ -599,8 +649,8 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
             debug_assert!(waiter.signaled);
             debug_assert!(inner.resources.locks[lock].is_none());
             inner.resources.locks[lock] = Some(tid);
-            inner.detector.sync_access(tid, cv_sync);
-            inner.detector.sync_access(tid, lock_sync);
+            inner.with_detector(|d| d.sync_access(tid, cv_sync));
+            inner.with_detector(|d| d.sync_access(tid, lock_sync));
         }
         PendingOp::Notify { cv, cv_sync, all } => {
             if all {
@@ -613,16 +663,16 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
             {
                 w.signaled = true;
             }
-            inner.detector.sync_access(tid, cv_sync);
+            inner.with_detector(|d| d.sync_access(tid, cv_sync));
         }
         PendingOp::SemAcquire { sem, sync } => {
             debug_assert!(inner.resources.sems[sem] > 0);
             inner.resources.sems[sem] -= 1;
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::SemRelease { sem, sync } => {
             inner.resources.sems[sem] += 1;
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::EventWait { event, sync } => {
             debug_assert!(inner.resources.events[event].0);
@@ -630,18 +680,18 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 // Auto-reset events consume the signal.
                 inner.resources.events[event].0 = false;
             }
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::EventSet { event, sync } => {
             inner.resources.events[event].0 = true;
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::EventReset { event, sync } => {
             inner.resources.events[event].0 = false;
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::AtomicAccess { sync } => {
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::DataAccess { .. } => {}
         PendingOp::Spawn => {
@@ -651,12 +701,12 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 pending: Some(PendingOp::Start),
             });
             inner.alive += 1;
-            inner.detector.fork(tid, child);
+            inner.with_detector(|d| d.fork(tid, child));
             out = EffectOut::Spawned(child);
         }
         PendingOp::Join { target } => {
             debug_assert!(inner.tasks[target.index()].finished);
-            inner.detector.join(tid, target);
+            inner.with_detector(|d| d.join(tid, target));
         }
         PendingOp::RwAcquire { rw, sync, write } => {
             let state = &mut inner.resources.rwlocks[rw];
@@ -667,7 +717,7 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 debug_assert!(state.writer.is_none());
                 state.readers += 1;
             }
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::RwRelease { rw, sync, write } => {
             let state = &mut inner.resources.rwlocks[rw];
@@ -678,7 +728,7 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 debug_assert!(state.readers > 0);
                 state.readers -= 1;
             }
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
         PendingOp::BarrierArrive { bar, sync } => {
             let state = &mut inner.resources.barriers[bar];
@@ -688,11 +738,11 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
                 state.arrived = 0;
                 state.generation += 1;
             }
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
             out = EffectOut::Generation(gen);
         }
         PendingOp::BarrierWait { sync, .. } => {
-            inner.detector.sync_access(tid, sync);
+            inner.with_detector(|d| d.sync_access(tid, sync));
         }
     }
     let vc = inner.detector.thread_clock(tid);

@@ -8,7 +8,7 @@
 //! blocks only on accesses to synchronization variables" model of
 //! Section 3.1.
 
-use icb_core::Tid;
+use icb_core::{SiteId, Tid};
 
 /// A synchronization operation a task is about to execute.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,6 +98,49 @@ impl PendingOp {
                 | PendingOp::RwAcquire { .. }
                 | PendingOp::BarrierWait { .. }
         )
+    }
+
+    /// The profiler site of this operation: its kind plus the resource
+    /// it targets, shared across threads (`acquire#3` is the same site
+    /// whichever task acquires lock 3). Mirrors [`op_hash`]'s identity
+    /// structure in human-readable form.
+    ///
+    /// [`op_hash`]: PendingOp::op_hash
+    pub(crate) fn site(&self) -> SiteId {
+        match *self {
+            PendingOp::Start => SiteId::op("start", 0),
+            PendingOp::Exit => SiteId::op("exit", 0),
+            PendingOp::Acquire { lock, .. } => SiteId::op("acquire", lock as u32),
+            PendingOp::Release { lock, .. } => SiteId::op("release", lock as u32),
+            PendingOp::TryAcquire { lock, .. } => SiteId::op("try-acquire", lock as u32),
+            PendingOp::CondWait { cv, .. } => SiteId::op("cond-wait", cv as u32),
+            PendingOp::CondReacquire { cv, .. } => SiteId::op("cond-reacquire", cv as u32),
+            PendingOp::Notify { cv, .. } => SiteId::op("notify", cv as u32),
+            PendingOp::SemAcquire { sem, .. } => SiteId::op("sem-acquire", sem as u32),
+            PendingOp::SemRelease { sem, .. } => SiteId::op("sem-release", sem as u32),
+            PendingOp::EventWait { event, .. } => SiteId::op("event-wait", event as u32),
+            PendingOp::EventSet { event, .. } => SiteId::op("event-set", event as u32),
+            PendingOp::EventReset { event, .. } => SiteId::op("event-reset", event as u32),
+            PendingOp::AtomicAccess { sync } => SiteId::op("atomic", sync as u32),
+            PendingOp::DataAccess { var } => SiteId::op("data", var as u32),
+            PendingOp::Spawn => SiteId::op("spawn", 0),
+            PendingOp::Join { target } => SiteId::op("join", target.index() as u32),
+            PendingOp::Yield => SiteId::op("yield", 0),
+            PendingOp::RwAcquire {
+                rw, write: true, ..
+            } => SiteId::op("rw-acquire-w", rw as u32),
+            PendingOp::RwAcquire {
+                rw, write: false, ..
+            } => SiteId::op("rw-acquire-r", rw as u32),
+            PendingOp::RwRelease {
+                rw, write: true, ..
+            } => SiteId::op("rw-release-w", rw as u32),
+            PendingOp::RwRelease {
+                rw, write: false, ..
+            } => SiteId::op("rw-release-r", rw as u32),
+            PendingOp::BarrierArrive { bar, .. } => SiteId::op("barrier-arrive", bar as u32),
+            PendingOp::BarrierWait { bar, .. } => SiteId::op("barrier-wait", bar as u32),
+        }
     }
 
     /// A stable hash of the operation's identity (kind + resources) for
@@ -218,6 +261,32 @@ mod tests {
         assert!(!PendingOp::Start.is_blocking());
         assert!(!PendingOp::Exit.is_blocking());
         assert!(!PendingOp::AtomicAccess { sync: 0 }.is_blocking());
+    }
+
+    #[test]
+    fn sites_label_kind_and_resource() {
+        assert_eq!(
+            PendingOp::Acquire { lock: 3, sync: 0 }.site().to_string(),
+            "acquire#3"
+        );
+        assert_eq!(
+            PendingOp::RwAcquire {
+                rw: 1,
+                sync: 0,
+                write: true
+            }
+            .site()
+            .to_string(),
+            "rw-acquire-w#1"
+        );
+        assert_eq!(
+            PendingOp::Join { target: Tid(2) }.site().to_string(),
+            "join#2"
+        );
+        assert_ne!(
+            PendingOp::Acquire { lock: 0, sync: 0 }.site(),
+            PendingOp::Release { lock: 0, sync: 0 }.site()
+        );
     }
 
     #[test]

@@ -8,67 +8,99 @@
 //! cross-validating the stateless searches against the explicit-state
 //! checker ([`crate::ExplicitIcb`]): both must see the same state space.
 
+use std::time::{Duration, Instant};
+
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
-    Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, NoopObserver, Phase, SchedulePoint,
+    Scheduler, SearchObserver, SiteId, StateSink, Tid, Trace, TraceEntry,
 };
 
 use crate::model::{Model, StepError};
 
 impl ControlledProgram for Model {
     fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        self.execute_observed(scheduler, sink, &mut NoopObserver)
+    }
+
+    fn execute_observed(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        sink: &mut dyn StateSink,
+        observer: &mut dyn SearchObserver,
+    ) -> ExecutionResult {
+        let time_phases = observer.wants_phase_timing();
+        let t_start = time_phases.then(Instant::now);
+        let mut selection = Duration::ZERO;
         let mut trace = Trace::new();
         let mut current: Option<Tid> = None;
-        let mut state = match self.initial_state() {
-            Ok(s) => s,
-            Err(e) => {
-                return ExecutionResult::from_trace(step_error_outcome(e), trace);
+        let outcome = 'run: {
+            let mut state = match self.initial_state() {
+                Ok(s) => s,
+                Err(e) => break 'run step_error_outcome(e),
+            };
+            sink.visit(state.fingerprint());
+            loop {
+                let enabled = self.enabled_set(&state);
+                if enabled.is_empty() {
+                    break 'run if self.all_finished(&state) {
+                        ExecutionOutcome::Terminated
+                    } else {
+                        ExecutionOutcome::Deadlock {
+                            blocked: (0..self.thread_count())
+                                .map(Tid)
+                                .filter(|&t| !self.is_finished(&state, t))
+                                .collect(),
+                        }
+                    };
+                }
+                if trace.len() >= self.max_steps() {
+                    break 'run ExecutionOutcome::StepLimitExceeded;
+                }
+                let current_enabled = current.is_some_and(|c| enabled.contains(&c));
+                let point = SchedulePoint {
+                    step_index: trace.len(),
+                    current,
+                    current_enabled,
+                    enabled: &enabled,
+                };
+                let chosen = {
+                    let t0 = time_phases.then(Instant::now);
+                    let chosen = scheduler.pick(point);
+                    if let Some(t0) = t0 {
+                        selection += t0.elapsed();
+                    }
+                    chosen
+                };
+                assert!(
+                    enabled.contains(&chosen),
+                    "scheduler chose disabled thread {chosen}"
+                );
+                let blocking = self.next_is_blocking(&state, chosen);
+                let site = self
+                    .next_shared(&state, chosen)
+                    .map_or(SiteId::UNKNOWN, |i| {
+                        let pc = state.threads[chosen.index()].pc as u32;
+                        SiteId::at(chosen.index() as u32, i.mnemonic(), pc)
+                    });
+                trace.push(
+                    TraceEntry::new(chosen, enabled, current, current_enabled, blocking)
+                        .with_site(site),
+                );
+                current = Some(chosen);
+                if let Err(e) = self.step_in_place(&mut state, chosen) {
+                    break 'run step_error_outcome(e);
+                }
+                sink.visit(state.fingerprint());
             }
         };
-        sink.visit(state.fingerprint());
-        loop {
-            let enabled = self.enabled_set(&state);
-            if enabled.is_empty() {
-                let outcome = if self.all_finished(&state) {
-                    ExecutionOutcome::Terminated
-                } else {
-                    ExecutionOutcome::Deadlock {
-                        blocked: (0..self.thread_count())
-                            .map(Tid)
-                            .filter(|&t| !self.is_finished(&state, t))
-                            .collect(),
-                    }
-                };
-                return ExecutionResult::from_trace(outcome, trace);
-            }
-            if trace.len() >= self.max_steps() {
-                return ExecutionResult::from_trace(ExecutionOutcome::StepLimitExceeded, trace);
-            }
-            let current_enabled = current.is_some_and(|c| enabled.contains(&c));
-            let chosen = scheduler.pick(SchedulePoint {
-                step_index: trace.len(),
-                current,
-                current_enabled,
-                enabled: &enabled,
-            });
-            assert!(
-                enabled.contains(&chosen),
-                "scheduler chose disabled thread {chosen}"
-            );
-            let blocking = self.next_is_blocking(&state, chosen);
-            trace.push(TraceEntry::new(
-                chosen,
-                enabled,
-                current,
-                current_enabled,
-                blocking,
-            ));
-            current = Some(chosen);
-            if let Err(e) = self.step_in_place(&mut state, chosen) {
-                return ExecutionResult::from_trace(step_error_outcome(e), trace);
-            }
-            sink.visit(state.fingerprint());
+        if let Some(t_start) = t_start {
+            // The VM has no replay/race-detection machinery: everything
+            // that is not schedule selection is re-interpretation (replay).
+            observer.phase_time(Phase::Selection, selection);
+            observer.phase_time(Phase::RaceDetection, Duration::ZERO);
+            observer.phase_time(Phase::Replay, t_start.elapsed().saturating_sub(selection));
         }
+        ExecutionResult::from_trace(outcome, trace)
     }
 }
 
@@ -179,6 +211,72 @@ mod tests {
         let mut replay = icb_core::ReplayScheduler::new(Default::default());
         let r = model.execute(&mut replay, &mut icb_core::NullSink);
         assert_eq!(r.outcome, ExecutionOutcome::StepLimitExceeded);
+    }
+
+    #[test]
+    fn observed_execution_resolves_sites_and_emits_phase_times() {
+        #[derive(Default)]
+        struct PhaseCatcher {
+            phases: Vec<(Phase, Duration)>,
+        }
+        impl SearchObserver for PhaseCatcher {
+            fn wants_phase_timing(&self) -> bool {
+                true
+            }
+            fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+                self.phases.push((phase, elapsed));
+            }
+        }
+
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        for _ in 0..2 {
+            m.thread("w", |t| {
+                let tmp = t.local();
+                t.fetch_add(g, 1, tmp);
+            });
+        }
+        let model = m.build();
+        let mut replay = icb_core::ReplayScheduler::new(Default::default());
+        let mut obs = PhaseCatcher::default();
+        let r = model.execute_observed(&mut replay, &mut icb_core::NullSink, &mut obs);
+        assert_eq!(r.outcome, ExecutionOutcome::Terminated);
+        // Every step carries a resolved per-thread site: "t{tid}:rmw@pc".
+        for entry in r.trace.entries() {
+            assert!(!entry.site.is_unknown());
+            assert_eq!(entry.site.class, "rmw");
+            assert_eq!(entry.site.thread, entry.chosen.index() as u32);
+        }
+        // Exactly one report per phase, race detection pinned to zero.
+        let kinds: Vec<Phase> = obs.phases.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            kinds,
+            vec![Phase::Selection, Phase::RaceDetection, Phase::Replay]
+        );
+        assert_eq!(obs.phases[1].1, Duration::ZERO);
+    }
+
+    #[test]
+    fn execute_and_execute_observed_agree() {
+        let mut m = ModelBuilder::new();
+        let g = m.global("g", 0);
+        for _ in 0..2 {
+            m.thread("w", |t| {
+                let tmp = t.local();
+                t.load(g, tmp);
+                t.store(g, tmp + 1);
+            });
+        }
+        let model = m.build();
+        let schedule: icb_core::Schedule = "0 1 0 1".parse().unwrap();
+        let mut replay = icb_core::ReplayScheduler::new(schedule.clone());
+        let plain = model.execute(&mut replay, &mut icb_core::NullSink);
+        let mut replay = icb_core::ReplayScheduler::new(schedule);
+        let observed =
+            model.execute_observed(&mut replay, &mut icb_core::NullSink, &mut NoopObserver);
+        assert_eq!(plain.outcome, observed.outcome);
+        assert_eq!(plain.trace.schedule(), observed.trace.schedule());
+        assert_eq!(plain.stats, observed.stats);
     }
 
     #[test]

@@ -215,6 +215,28 @@ impl Instr {
     pub fn is_blocking(&self) -> bool {
         matches!(self, Instr::Acquire { .. } | Instr::BlockUntil { .. })
     }
+
+    /// A short static name for the instruction, used as the class of
+    /// profiler [`SiteId`](icb_core::SiteId)s.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::LoadGlobal { .. } => "load",
+            Instr::StoreGlobal { .. } => "store",
+            Instr::LoadArr { .. } => "load-arr",
+            Instr::StoreArr { .. } => "store-arr",
+            Instr::Acquire { .. } => "acquire",
+            Instr::Release { .. } => "release",
+            Instr::Rmw { .. } => "rmw",
+            Instr::Cas { .. } => "cas",
+            Instr::BlockUntil { .. } => "block-until",
+            Instr::Yield => "yield",
+            Instr::Compute { .. } => "compute",
+            Instr::Jump { .. } => "jump",
+            Instr::JumpIf { .. } => "jump-if",
+            Instr::Assert { .. } => "assert",
+            Instr::Halt => "halt",
+        }
+    }
 }
 
 #[cfg(test)]

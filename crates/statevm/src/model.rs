@@ -182,7 +182,7 @@ impl Model {
     }
 
     /// The shared instruction `tid` will execute next, if any.
-    fn next_shared<'a>(&'a self, state: &VmState, tid: Tid) -> Option<&'a Instr> {
+    pub(crate) fn next_shared<'a>(&'a self, state: &VmState, tid: Tid) -> Option<&'a Instr> {
         let ts = &state.threads[tid.index()];
         self.threads[tid.index()].code.get(ts.pc)
     }

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use icb_core::search::{BoundStats, BugReport, SearchReport};
 use icb_core::telemetry::AbortReason;
-use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// One recorded search event (an owned mirror of the
 /// [`SearchObserver`] hook arguments).
@@ -65,6 +65,27 @@ pub enum Event {
         /// The detector's description of the racing accesses.
         description: String,
     },
+    /// `choice_point(site, bound, kind)`.
+    ChoicePoint {
+        /// The program site the chosen step executed.
+        site: SiteId,
+        /// The active preemption bound (0 for non-ICB strategies).
+        bound: usize,
+        /// How the scheduler's choice relates to the running thread.
+        kind: ChoiceKind,
+    },
+    /// `preemption_taken(site)`.
+    PreemptionTaken {
+        /// The site of the preempted thread's interrupted operation.
+        site: SiteId,
+    },
+    /// `phase_time(phase, elapsed)`.
+    PhaseTime {
+        /// Which phase the time belongs to.
+        phase: Phase,
+        /// Wall-clock attributed to it.
+        elapsed: Duration,
+    },
     /// `search_aborted(reason)`.
     SearchAborted {
         /// Why the search stopped early.
@@ -91,6 +112,9 @@ impl Event {
             Event::WorkItemDeferred { .. } => "work-item-deferred",
             Event::WorkQueueDepth { .. } => "work-queue-depth",
             Event::RaceDetected { .. } => "race-detected",
+            Event::ChoicePoint { .. } => "choice-point",
+            Event::PreemptionTaken { .. } => "preemption-taken",
+            Event::PhaseTime { .. } => "phase-time",
             Event::SearchAborted { .. } => "search-aborted",
             Event::SearchFinished { .. } => "search-finished",
         }
@@ -177,6 +201,26 @@ impl SearchObserver for EventLog {
         self.events.push(Event::RaceDetected {
             description: description.to_string(),
         });
+    }
+
+    fn wants_choice_points(&self) -> bool {
+        true
+    }
+
+    fn wants_phase_timing(&self) -> bool {
+        true
+    }
+
+    fn choice_point(&mut self, site: SiteId, bound: usize, kind: ChoiceKind) {
+        self.events.push(Event::ChoicePoint { site, bound, kind });
+    }
+
+    fn preemption_taken(&mut self, site: SiteId) {
+        self.events.push(Event::PreemptionTaken { site });
+    }
+
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+        self.events.push(Event::PhaseTime { phase, elapsed });
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {

@@ -1,11 +1,11 @@
 //! Streaming JSONL (one JSON object per line) event sink.
 
 use std::io::Write;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use icb_core::search::{BoundStats, BugReport, SearchReport};
 use icb_core::telemetry::AbortReason;
-use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// Writes every search event as one JSON object per line.
 ///
@@ -13,14 +13,27 @@ use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
 /// crates) but standard: every line is a flat object with an `"event"`
 /// tag matching [`Event::kind`](crate::Event::kind), and the remaining
 /// fields mirror the hook arguments. Durations are reported in integer
-/// nanoseconds, schedules as arrays of thread ids.
+/// nanoseconds, schedules as arrays of thread ids, preemption sites as
+/// their [`SiteId`] display strings.
+///
+/// Profiler events (choice points, preemptions taken, phase times) are
+/// off by default — they multiply the line count by the execution
+/// length. Enable them with [`with_profile_events`]
+/// (JsonlSink::with_profile_events); `explore report` then reconstructs
+/// site attribution from the stream.
 ///
 /// Write errors are recorded in [`failed`](JsonlSink::failed) and
 /// subsequent events are dropped — telemetry must never abort a search.
+/// The stream is flushed on `search_finished`, on `search_aborted`, and
+/// on drop, so a run killed mid-search still leaves a readable log.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    /// `None` only after `into_inner` moved the writer out (the `Drop`
+    /// impl must not flush a moved writer).
+    out: Option<W>,
     failed: bool,
+    profile: bool,
+    started: Option<Instant>,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -28,7 +41,19 @@ impl<W: Write> JsonlSink<W> {
     /// [`std::io::BufWriter`]: searches emit thousands of events per
     /// second.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, failed: false }
+        JsonlSink {
+            out: Some(out),
+            failed: false,
+            profile: false,
+            started: None,
+        }
+    }
+
+    /// Enables (or disables) the per-step profiler events:
+    /// `choice-point`, `preemption-taken`, and `phase-time` lines.
+    pub fn with_profile_events(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// Returns `true` if a write failed (later events were discarded).
@@ -38,17 +63,39 @@ impl<W: Write> JsonlSink<W> {
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> W {
-        let _ = self.out.flush();
-        self.out
+        let mut out = self.out.take().expect("writer present until into_inner");
+        let _ = out.flush();
+        out
     }
 
     fn emit(&mut self, line: &str) {
         if self.failed {
             return;
         }
-        if writeln!(self.out, "{line}").is_err() {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        if writeln!(out, "{line}").is_err() {
             self.failed = true;
         }
+    }
+
+    fn flush(&mut self) {
+        if self.failed {
+            return;
+        }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        if out.flush().is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -106,9 +153,53 @@ fn schedule_array(bug: &BugReport) -> String {
 
 impl<W: Write> SearchObserver for JsonlSink<W> {
     fn search_started(&mut self, strategy: &str) {
+        self.started = Some(Instant::now());
         let line = format!(
             "{{\"event\":\"search-started\",\"strategy\":{}}}",
             json_string(strategy)
+        );
+        self.emit(&line);
+    }
+
+    fn wants_choice_points(&self) -> bool {
+        self.profile
+    }
+
+    fn wants_phase_timing(&self) -> bool {
+        self.profile
+    }
+
+    fn choice_point(&mut self, site: SiteId, bound: usize, kind: ChoiceKind) {
+        if !self.profile {
+            return;
+        }
+        let line = format!(
+            "{{\"event\":\"choice-point\",\"site\":{},\"bound\":{bound},\"kind\":\"{}\"}}",
+            json_string(&site.to_string()),
+            kind.as_str(),
+        );
+        self.emit(&line);
+    }
+
+    fn preemption_taken(&mut self, site: SiteId) {
+        if !self.profile {
+            return;
+        }
+        let line = format!(
+            "{{\"event\":\"preemption-taken\",\"site\":{}}}",
+            json_string(&site.to_string())
+        );
+        self.emit(&line);
+    }
+
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+        if !self.profile {
+            return;
+        }
+        let line = format!(
+            "{{\"event\":\"phase-time\",\"phase\":\"{}\",\"elapsed_ns\":{}}}",
+            phase.as_str(),
+            elapsed.as_nanos(),
         );
         self.emit(&line);
     }
@@ -191,13 +282,19 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
         self.emit(&format!(
             "{{\"event\":\"search-aborted\",\"reason\":\"{reason}\"}}"
         ));
+        // An abort may be the last event the process lives to write
+        // (ctrl-C handlers, budget exhaustion before teardown): persist.
+        self.flush();
     }
 
     fn search_finished(&mut self, report: &SearchReport) {
+        let elapsed_ns = self
+            .started
+            .map_or("null".to_string(), |t| t.elapsed().as_nanos().to_string());
         let line = format!(
             "{{\"event\":\"search-finished\",\"strategy\":{},\"executions\":{},\
              \"distinct_states\":{},\"buggy_executions\":{},\"bugs_reported\":{},\
-             \"completed\":{},\"completed_bound\":{},\"truncated\":{}}}",
+             \"completed\":{},\"completed_bound\":{},\"truncated\":{},\"elapsed_ns\":{}}}",
             json_string(&report.strategy),
             report.executions,
             report.distinct_states,
@@ -209,11 +306,10 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
                 None => "null".to_string(),
             },
             report.truncated,
+            elapsed_ns,
         );
         self.emit(&line);
-        if !self.failed && self.out.flush().is_err() {
-            self.failed = true;
-        }
+        self.flush();
     }
 }
 
@@ -262,5 +358,105 @@ mod tests {
         sink.execution_started(1);
         assert!(sink.failed());
         sink.execution_started(2); // must not panic
+    }
+
+    #[test]
+    fn profile_events_are_gated() {
+        let mut sink = JsonlSink::new(Vec::new());
+        assert!(!sink.wants_choice_points());
+        sink.choice_point(SiteId::op("acquire", 3), 1, ChoiceKind::Preemption);
+        sink.preemption_taken(SiteId::UNKNOWN);
+        sink.phase_time(Phase::Replay, Duration::from_nanos(7));
+        assert!(String::from_utf8(sink.into_inner()).unwrap().is_empty());
+
+        let mut sink = JsonlSink::new(Vec::new()).with_profile_events(true);
+        assert!(sink.wants_choice_points());
+        assert!(sink.wants_phase_timing());
+        sink.choice_point(SiteId::op("acquire", 3), 1, ChoiceKind::Preemption);
+        sink.preemption_taken(SiteId::at(0, "load", 14));
+        sink.phase_time(Phase::Replay, Duration::from_nanos(7));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"site\":\"acquire#3\""));
+        assert!(lines[0].contains("\"kind\":\"preemption\""));
+        assert!(lines[1].contains("\"site\":\"t0:load@14\""));
+        assert!(lines[2].contains("\"phase\":\"replay\""));
+        assert!(lines[2].contains("\"elapsed_ns\":7"));
+    }
+
+    #[test]
+    fn abort_flushes_through_a_buffered_writer() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        /// Shares its buffer so we can observe what reached the "file"
+        /// even while the sink (and its BufWriter) are still alive.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::new(BufWriter::with_capacity(64 * 1024, buf.clone()));
+        sink.search_started("icb");
+        sink.execution_started(1);
+        // Nothing has reached the backing store yet (64 KiB buffer).
+        assert!(buf.0.lock().unwrap().is_empty());
+        sink.search_aborted(AbortReason::FirstBug);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.lines().count() == 3, "abort must flush: {text:?}");
+        assert!(text.contains("\"event\":\"search-aborted\""));
+    }
+
+    #[test]
+    fn drop_flushes_a_killed_run() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut sink = JsonlSink::new(BufWriter::with_capacity(64 * 1024, buf.clone()));
+            sink.search_started("icb");
+            sink.execution_started(1);
+            // Simulated kill mid-run: the sink is dropped without ever
+            // seeing search_finished or search_aborted.
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "drop must flush: {text:?}");
+        assert!(text.contains("\"event\":\"execution-started\""));
+    }
+
+    #[test]
+    fn search_finished_reports_elapsed() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.search_started("icb");
+        sink.search_finished(&SearchReport {
+            strategy: "icb".to_string(),
+            ..SearchReport::default()
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(last.contains("\"elapsed_ns\":"));
+        assert!(!last.contains("\"elapsed_ns\":null"));
     }
 }

@@ -17,6 +17,13 @@
 //!   suite uses it to assert the observer event grammar, and it doubles
 //!   as a scriptable sink for ad-hoc tooling.
 //! * [`MultiObserver`] — fans one event stream out to several observers.
+//! * [`ExplorationProfiler`] — per-site preemption attribution, per-bound
+//!   coverage rows, and wall-clock phase totals, aggregated live into a
+//!   [`RunReport`].
+//! * [`RunReport`] — the plain-data run summary behind `explore report`:
+//!   built live by the profiler or reconstructed from a [`JsonlSink`] log
+//!   via [`RunReport::from_jsonl`], rendered with [`render_text`] /
+//!   [`render_markdown`] into the paper's Figure 7/8-style tables.
 //!
 //! [`SearchObserver`]: icb_core::SearchObserver
 
@@ -27,10 +34,14 @@ mod event_log;
 mod jsonl;
 mod metrics;
 mod multi;
+mod profiler;
 mod progress;
+mod report;
 
 pub use event_log::{Event, EventLog};
 pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder};
 pub use multi::MultiObserver;
+pub use profiler::ExplorationProfiler;
 pub use progress::ProgressReporter;
+pub use report::{render_markdown, render_text, BoundRow, PhaseTotals, RunReport, SiteRow};

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use icb_core::search::{BoundStats, BugReport, SearchReport};
 use icb_core::telemetry::AbortReason;
-use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// Forwards every event to each contained observer, in insertion order.
 ///
@@ -113,6 +113,32 @@ impl SearchObserver for MultiObserver<'_> {
         }
     }
 
+    fn wants_choice_points(&self) -> bool {
+        self.observers.iter().any(|o| o.wants_choice_points())
+    }
+
+    fn wants_phase_timing(&self) -> bool {
+        self.observers.iter().any(|o| o.wants_phase_timing())
+    }
+
+    fn choice_point(&mut self, site: SiteId, bound: usize, kind: ChoiceKind) {
+        for o in &mut self.observers {
+            o.choice_point(site, bound, kind);
+        }
+    }
+
+    fn preemption_taken(&mut self, site: SiteId) {
+        for o in &mut self.observers {
+            o.preemption_taken(site);
+        }
+    }
+
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+        for o in &mut self.observers {
+            o.phase_time(phase, elapsed);
+        }
+    }
+
     fn search_aborted(&mut self, reason: AbortReason) {
         for o in &mut self.observers {
             o.search_aborted(reason);
@@ -143,5 +169,26 @@ mod tests {
         }
         assert_eq!(a.events().len(), 2);
         assert_eq!(b.events().len(), 2);
+    }
+
+    #[test]
+    fn profiling_gates_are_any_over_members() {
+        use icb_core::NoopObserver;
+
+        let mut quiet = NoopObserver;
+        let multi = MultiObserver::new().with(&mut quiet);
+        assert!(!multi.wants_choice_points());
+        assert!(!multi.wants_phase_timing());
+
+        let mut quiet = NoopObserver;
+        let mut log = EventLog::new(); // wants everything
+        let mut multi = MultiObserver::new().with(&mut quiet).with(&mut log);
+        assert!(multi.wants_choice_points());
+        assert!(multi.wants_phase_timing());
+        multi.choice_point(SiteId::op("acquire", 0), 1, ChoiceKind::Switch);
+        multi.preemption_taken(SiteId::UNKNOWN);
+        multi.phase_time(Phase::Selection, Duration::from_nanos(1));
+        drop(multi);
+        assert_eq!(log.events().len(), 3);
     }
 }

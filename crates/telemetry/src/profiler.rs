@@ -1,0 +1,245 @@
+//! Live exploration profiler: per-site preemption attribution, per-bound
+//! coverage frontier, and wall-clock phase timing.
+//!
+//! Attach an [`ExplorationProfiler`] to a search (directly or through a
+//! [`MultiObserver`](crate::MultiObserver)) and call
+//! [`run_report`](ExplorationProfiler::run_report) afterwards: the result
+//! is the same [`RunReport`] that `explore report` reconstructs from a
+//! JSONL log, rendered by [`render_text`](crate::render_text) /
+//! [`render_markdown`](crate::render_markdown).
+//!
+//! The profiler opts into the attributed per-step events
+//! (`wants_choice_points`) and phase timers (`wants_phase_timing`); hosts
+//! skip both entirely for observers that do not, so a search without a
+//! profiler pays nothing for this machinery.
+
+use std::time::{Duration, Instant};
+
+use icb_core::search::{BoundStats, BugReport, SearchReport};
+use icb_core::telemetry::AbortReason;
+use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
+
+use crate::report::{Attribution, BoundRow, PhaseTotals, RunReport};
+
+/// Aggregates attributed search events into a [`RunReport`].
+#[derive(Debug)]
+pub struct ExplorationProfiler {
+    strategy: String,
+    started: Option<Instant>,
+    elapsed: Option<Duration>,
+    attribution: Attribution<SiteId>,
+    bounds: Vec<BoundRow>,
+    phases: PhaseTotals,
+    executions: usize,
+    distinct_states: usize,
+    buggy_executions: usize,
+    bugs_reported: usize,
+    completed: bool,
+    truncated: bool,
+    aborted: Option<String>,
+}
+
+impl Default for ExplorationProfiler {
+    fn default() -> Self {
+        ExplorationProfiler::new()
+    }
+}
+
+impl ExplorationProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        ExplorationProfiler {
+            strategy: String::new(),
+            started: None,
+            elapsed: None,
+            attribution: Attribution::new(),
+            bounds: Vec::new(),
+            phases: PhaseTotals::default(),
+            executions: 0,
+            distinct_states: 0,
+            buggy_executions: 0,
+            bugs_reported: 0,
+            completed: false,
+            truncated: false,
+            aborted: None,
+        }
+    }
+
+    /// The wall-clock phase totals accumulated so far.
+    pub fn phase_totals(&self) -> PhaseTotals {
+        self.phases
+    }
+
+    /// Total search wall time, once the search finished.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.elapsed
+    }
+
+    /// The accumulated run report.
+    pub fn run_report(&self) -> RunReport {
+        RunReport {
+            strategy: self.strategy.clone(),
+            executions: self.executions,
+            distinct_states: self.distinct_states,
+            buggy_executions: self.buggy_executions,
+            bugs_reported: self.bugs_reported,
+            completed: self.completed,
+            truncated: self.truncated,
+            aborted: self.aborted.clone(),
+            elapsed: self.elapsed,
+            bounds: self.bounds.clone(),
+            sites: self.attribution.rows(),
+            phases: self.phases,
+        }
+    }
+}
+
+impl SearchObserver for ExplorationProfiler {
+    fn search_started(&mut self, strategy: &str) {
+        self.strategy = strategy.to_string();
+        self.started = Some(Instant::now());
+    }
+
+    fn execution_finished(
+        &mut self,
+        index: usize,
+        _stats: &ExecStats,
+        outcome: &ExecutionOutcome,
+        distinct_states: usize,
+    ) {
+        self.executions = self.executions.max(index);
+        self.distinct_states = self.distinct_states.max(distinct_states);
+        if !matches!(
+            outcome,
+            ExecutionOutcome::Terminated | ExecutionOutcome::StepLimitExceeded
+        ) {
+            self.buggy_executions += 1;
+        }
+        self.attribution.execution_finished(distinct_states);
+    }
+
+    fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        self.bounds.push(BoundRow {
+            bound: stats.bound,
+            executions: stats.executions,
+            cumulative_states: stats.cumulative_states,
+            bugs_found: stats.bugs_found,
+            wall_time: Some(wall_time),
+        });
+    }
+
+    fn bug_found(&mut self, _bug: &BugReport) {
+        self.bugs_reported += 1;
+    }
+
+    fn wants_choice_points(&self) -> bool {
+        true
+    }
+
+    fn wants_phase_timing(&self) -> bool {
+        true
+    }
+
+    fn choice_point(&mut self, site: SiteId, _bound: usize, _kind: ChoiceKind) {
+        self.attribution.choice(site);
+    }
+
+    fn preemption_taken(&mut self, site: SiteId) {
+        self.attribution.preemption(site);
+    }
+
+    fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
+        self.phases.add(phase, elapsed);
+    }
+
+    fn search_aborted(&mut self, reason: AbortReason) {
+        self.aborted = Some(reason.to_string());
+    }
+
+    fn search_finished(&mut self, report: &SearchReport) {
+        self.elapsed = self.started.map(|t| t.elapsed());
+        self.executions = report.executions;
+        self.distinct_states = report.distinct_states;
+        self.buggy_executions = report.buggy_executions;
+        self.bugs_reported = report.bugs.len();
+        self.completed = report.completed;
+        self.truncated = report.truncated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::{
+        ControlledProgram, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid, Trace,
+        TraceEntry,
+    };
+
+    /// Two threads, two lock-protected steps each — every step carries a
+    /// distinct op site so attribution is observable.
+    struct TwoSites;
+
+    impl ControlledProgram for TwoSites {
+        fn execute(
+            &self,
+            scheduler: &mut dyn Scheduler,
+            sink: &mut dyn StateSink,
+        ) -> ExecutionResult {
+            let mut trace = Trace::new();
+            let mut current: Option<Tid> = None;
+            let mut left = [2usize, 2usize];
+            let mut fp = 0u64;
+            loop {
+                let enabled: Vec<Tid> = (0..2).filter(|&i| left[i] > 0).map(Tid).collect();
+                if enabled.is_empty() {
+                    break;
+                }
+                let current_enabled = current.is_some_and(|c| left[c.index()] > 0);
+                let chosen = scheduler.pick(SchedulePoint {
+                    step_index: trace.len(),
+                    current,
+                    current_enabled,
+                    enabled: &enabled,
+                });
+                let site = SiteId::at(chosen.index() as u32, "step", left[chosen.index()] as u32);
+                trace.push(
+                    TraceEntry::new(chosen, enabled, current, current_enabled, false)
+                        .with_site(site),
+                );
+                left[chosen.index()] -= 1;
+                fp = fp.wrapping_mul(31).wrapping_add(chosen.index() as u64 + 1);
+                sink.visit(fp);
+                current = Some(chosen);
+            }
+            ExecutionResult::from_trace(icb_core::ExecutionOutcome::Terminated, trace)
+        }
+    }
+
+    #[test]
+    fn profiles_a_full_icb_run() {
+        let mut profiler = ExplorationProfiler::new();
+        let report = IcbSearch::new(SearchConfig::default()).run_observed(&TwoSites, &mut profiler);
+        let run = profiler.run_report();
+        assert_eq!(run.strategy, "icb");
+        assert_eq!(run.executions, report.executions);
+        assert_eq!(run.distinct_states, report.distinct_states);
+        assert!(run.completed);
+        assert!(run.elapsed.is_some());
+        // Per-bound rows mirror the library report exactly.
+        assert_eq!(run.bounds.len(), report.bound_stats().len());
+        for (row, stats) in run.bounds.iter().zip(report.bound_stats()) {
+            assert_eq!(row.bound, stats.bound);
+            assert_eq!(row.executions, stats.executions);
+            assert_eq!(row.cumulative_states, stats.cumulative_states);
+            assert_eq!(row.bugs_found, stats.bugs_found);
+        }
+        // Sites were attributed: every one of the 4 per-thread steps
+        // appears, and preemptions landed somewhere.
+        assert_eq!(run.sites.len(), 4);
+        let total_preemptions: usize = run.sites.iter().map(|s| s.preemptions).sum();
+        assert!(total_preemptions > 0);
+        let total_choices: usize = run.sites.iter().map(|s| s.choices).sum();
+        assert_eq!(total_choices, report.executions * 4);
+    }
+}

@@ -77,9 +77,11 @@ impl<W: Write> ProgressReporter<W> {
     /// Enables the Theorem-1 ETA for a program with `threads` threads,
     /// each executing at most `blocking` potentially blocking operations.
     /// The per-thread step count `k` is estimated from the longest
-    /// execution observed so far.
+    /// execution observed so far. `threads` is clamped to at least 1 so
+    /// a degenerate parameterization cannot poison the estimate with
+    /// divisions by zero.
     pub fn with_theorem1(mut self, threads: u64, blocking: u64) -> Self {
-        self.theorem1 = Some((threads, blocking));
+        self.theorem1 = Some((threads.max(1), blocking));
         self
     }
 
@@ -99,15 +101,27 @@ impl<W: Write> ProgressReporter<W> {
             return None;
         }
         let rate = self.executions as f64 / secs;
+        if !rate.is_finite() || rate <= 0.0 {
+            return None;
+        }
         // Log-space first: the ceiling overflows u128 long before the
         // search becomes infeasible to *estimate*.
         let ln_ceiling = bounds::ln_executions_with_preemptions(n, k, b, c);
+        if ln_ceiling.is_nan() {
+            return None;
+        }
         if ln_ceiling > 60.0 {
             return Some(f64::INFINITY);
         }
         let ceiling = ln_ceiling.exp();
+        // At bound 0 (or once a bound overruns its loose ceiling) the
+        // remaining work clamps to zero rather than going negative.
         let remaining = (ceiling - self.bound_executions as f64).max(0.0);
-        Some(remaining / rate)
+        let eta = remaining / rate;
+        if eta.is_nan() {
+            return None;
+        }
+        Some(eta)
     }
 
     fn status_line(&mut self, force: bool) {
@@ -280,5 +294,65 @@ mod tests {
         );
         let text = String::from_utf8(p.out).unwrap();
         assert!(text.contains("eta"), "{text}");
+    }
+
+    #[test]
+    fn eta_at_bound_zero_clamps_instead_of_going_negative() {
+        let mut p = ProgressReporter::to_writer(Vec::new())
+            .with_interval(Duration::ZERO)
+            .with_theorem1(2, 1);
+        p.search_started("icb");
+        p.bound_started(0, 1);
+        std::thread::sleep(Duration::from_millis(2));
+        // Far more executions than bound 0's tiny ceiling: remaining
+        // work must clamp to 0, not print a negative ETA.
+        for i in 1..=50 {
+            p.execution_finished(
+                i,
+                &ExecStats {
+                    steps: 4,
+                    ..ExecStats::default()
+                },
+                &ExecutionOutcome::Terminated,
+                i,
+            );
+        }
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(!text.contains("eta -"), "{text}");
+        assert!(text.contains("eta 0.0s"), "{text}");
+    }
+
+    #[test]
+    fn degenerate_theorem1_params_never_print_nan() {
+        let mut p = ProgressReporter::to_writer(Vec::new())
+            .with_interval(Duration::ZERO)
+            .with_theorem1(0, 0);
+        p.search_started("icb");
+        p.bound_started(0, 0);
+        std::thread::sleep(Duration::from_millis(2));
+        p.execution_finished(1, &ExecStats::default(), &ExecutionOutcome::Terminated, 1);
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("eta -"), "{text}");
+    }
+
+    #[test]
+    fn empty_bound_is_reported_without_an_eta_blowup() {
+        let mut p = ProgressReporter::to_writer(Vec::new())
+            .with_interval(Duration::ZERO)
+            .with_theorem1(2, 1);
+        p.search_started("icb");
+        // A bound can legitimately start with zero deferred work items
+        // (everything at the previous bound completed without deferral).
+        p.bound_started(3, 0);
+        p.search_finished(&SearchReport {
+            strategy: "icb".into(),
+            ..SearchReport::default()
+        });
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("entering bound 3 (0 work items)"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        // No executions happened: the ETA must be absent, not infinite.
+        assert!(!text.contains("eta"), "{text}");
     }
 }

@@ -1,0 +1,702 @@
+//! Paper-style run reports: reconstruction from JSONL telemetry and
+//! text/Markdown rendering.
+//!
+//! A [`RunReport`] is the plain-data summary of one search run — totals,
+//! per-bound rows (the shape of the paper's Figure 7), per-site
+//! preemption attribution, and wall-clock phase totals. It can be built
+//! two ways:
+//!
+//! * live, by attaching an
+//!   [`ExplorationProfiler`](crate::ExplorationProfiler) to the search;
+//! * after the fact, by [`RunReport::from_jsonl`] over a log written by
+//!   [`JsonlSink`](crate::JsonlSink) — including logs of runs that were
+//!   aborted or killed mid-search.
+//!
+//! [`render_text`] and [`render_markdown`] turn one or more reports into
+//! the tables `explore report` prints; multiple reports additionally get
+//! a strategy-comparison table (the shape of Figure 8).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Display;
+use std::time::Duration;
+
+/// One preemption bound's results — the row shape of the paper's
+/// Figure 7 (executions, cumulative distinct states, bugs per bound).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundRow {
+    /// The preemption bound.
+    pub bound: usize,
+    /// Executions explored at this bound.
+    pub executions: usize,
+    /// Cumulative distinct states after completing this bound.
+    pub cumulative_states: usize,
+    /// Bugs first observed at this bound.
+    pub bugs_found: usize,
+    /// Wall time spent inside the bound, when recorded.
+    pub wall_time: Option<Duration>,
+}
+
+/// Exploration counters attributed to one program site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteRow {
+    /// The site's display label (see [`icb_core::SiteId`]).
+    pub site: String,
+    /// Scheduling choices that executed an operation of this site.
+    pub choices: usize,
+    /// Executions in which the site appeared at least once.
+    pub executions: usize,
+    /// Preemptions that interrupted an operation of this site.
+    pub preemptions: usize,
+    /// Distinct states newly discovered by executions that preempted
+    /// this site (each such execution's coverage delta is credited to
+    /// every site it preempted).
+    pub states_unlocked: usize,
+}
+
+/// Wall-clock totals by search phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Re-executing the program (the stateless checker's dominant cost).
+    pub replay: Duration,
+    /// Inside the strategy's `Scheduler::pick`.
+    pub selection: Duration,
+    /// Inside the happens-before race detector.
+    pub race_detection: Duration,
+}
+
+impl PhaseTotals {
+    /// Sum of the three phases.
+    pub fn sum(&self) -> Duration {
+        self.replay + self.selection + self.race_detection
+    }
+
+    /// Adds `elapsed` to the phase's total.
+    pub fn add(&mut self, phase: icb_core::Phase, elapsed: Duration) {
+        match phase {
+            icb_core::Phase::Replay => self.replay += elapsed,
+            icb_core::Phase::Selection => self.selection += elapsed,
+            icb_core::Phase::RaceDetection => self.race_detection += elapsed,
+        }
+    }
+}
+
+/// Everything `explore report` knows about one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Strategy label (`icb`, `dfs`, `db:40`, …).
+    pub strategy: String,
+    /// Total executions performed.
+    pub executions: usize,
+    /// Distinct state fingerprints visited.
+    pub distinct_states: usize,
+    /// Executions that ended in a bug.
+    pub buggy_executions: usize,
+    /// Bug reports recorded (capped by the search config).
+    pub bugs_reported: usize,
+    /// Whether the schedule space was exhausted within the limits.
+    pub completed: bool,
+    /// Whether work was dropped (queue cap) — coverage is a lower bound.
+    pub truncated: bool,
+    /// Why the search stopped early, if it did.
+    pub aborted: Option<String>,
+    /// Total search wall time, when recorded.
+    pub elapsed: Option<Duration>,
+    /// Per-bound rows (ICB only; empty for other strategies).
+    pub bounds: Vec<BoundRow>,
+    /// Per-site attribution, hottest (most preempted) first.
+    pub sites: Vec<SiteRow>,
+    /// Wall-clock phase totals (all zero when profiling was off).
+    pub phases: PhaseTotals,
+}
+
+/// Incremental per-site attribution, shared between the live profiler
+/// (keyed by [`icb_core::SiteId`]) and JSONL reconstruction (keyed by
+/// the site display string).
+#[derive(Clone, Debug)]
+pub(crate) struct Attribution<K: Ord> {
+    sites: BTreeMap<K, Counters>,
+    exec_sites: BTreeSet<K>,
+    exec_preemptions: Vec<K>,
+    last_states: usize,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    choices: usize,
+    executions: usize,
+    preemptions: usize,
+    states_unlocked: usize,
+}
+
+impl<K: Ord + Clone> Attribution<K> {
+    pub(crate) fn new() -> Self {
+        Attribution {
+            sites: BTreeMap::new(),
+            exec_sites: BTreeSet::new(),
+            exec_preemptions: Vec::new(),
+            last_states: 0,
+        }
+    }
+
+    /// A scheduling choice executed an operation of `site`.
+    pub(crate) fn choice(&mut self, site: K) {
+        self.sites.entry(site.clone()).or_default().choices += 1;
+        self.exec_sites.insert(site);
+    }
+
+    /// A preemption interrupted an operation of `site`.
+    pub(crate) fn preemption(&mut self, site: K) {
+        self.sites.entry(site.clone()).or_default().preemptions += 1;
+        self.exec_preemptions.push(site);
+    }
+
+    /// Closes the current execution: attributes it to every site it
+    /// touched, and credits its coverage delta to the sites it preempted.
+    pub(crate) fn execution_finished(&mut self, distinct_states: usize) {
+        let delta = distinct_states.saturating_sub(self.last_states);
+        self.last_states = distinct_states;
+        for site in std::mem::take(&mut self.exec_sites) {
+            self.sites
+                .get_mut(&site)
+                .expect("touched site is registered")
+                .executions += 1;
+        }
+        for site in std::mem::take(&mut self.exec_preemptions) {
+            self.sites
+                .get_mut(&site)
+                .expect("preempted site is registered")
+                .states_unlocked += delta;
+        }
+    }
+
+    /// All sites as rows, hottest (most preempted, then most chosen)
+    /// first.
+    pub(crate) fn rows(&self) -> Vec<SiteRow>
+    where
+        K: Display,
+    {
+        let mut rows: Vec<SiteRow> = self
+            .sites
+            .iter()
+            .map(|(site, c)| SiteRow {
+                site: site.to_string(),
+                choices: c.choices,
+                executions: c.executions,
+                preemptions: c.preemptions,
+                states_unlocked: c.states_unlocked,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.preemptions
+                .cmp(&a.preemptions)
+                .then(b.choices.cmp(&a.choices))
+                .then(a.site.cmp(&b.site))
+        });
+        rows
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL reconstruction
+// ---------------------------------------------------------------------
+
+/// Extracts the raw (unquoted, unescaped) value of `"key":` from a flat
+/// JSON object line, when the value is a string literal.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the value of `"key":` when it is an unsigned integer.
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn field_usize(line: &str, key: &str) -> Option<usize> {
+    field_u128(line, key).map(|v| v as usize)
+}
+
+fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    if line[start..].starts_with("true") {
+        Some(true)
+    } else if line[start..].starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+impl RunReport {
+    /// Reconstructs a run from the JSONL event log written by
+    /// [`JsonlSink`](crate::JsonlSink).
+    ///
+    /// Works on complete logs and on logs cut short by an abort or a
+    /// killed process: totals then fall back to the per-execution events
+    /// seen so far. Lines that are not recognized events are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the text contains no `search-started` event
+    /// — i.e. it is not a JSONL telemetry log at all.
+    pub fn from_jsonl(text: &str) -> Result<RunReport, String> {
+        let mut report = RunReport::default();
+        let mut attribution: Attribution<String> = Attribution::new();
+        let mut started = false;
+        let mut finished = false;
+        for line in text.lines() {
+            let Some(event) = field_str(line, "event") else {
+                continue;
+            };
+            match event.as_str() {
+                "search-started" => {
+                    started = true;
+                    if let Some(s) = field_str(line, "strategy") {
+                        report.strategy = s;
+                    }
+                }
+                "execution-finished" => {
+                    if let Some(i) = field_usize(line, "index") {
+                        report.executions = report.executions.max(i);
+                    }
+                    let states = field_usize(line, "distinct_states").unwrap_or(0);
+                    report.distinct_states = report.distinct_states.max(states);
+                    if let Some(outcome) = field_str(line, "outcome") {
+                        if outcome != "terminated" && outcome != "step-limit-exceeded" {
+                            report.buggy_executions += 1;
+                        }
+                    }
+                    attribution.execution_finished(states);
+                }
+                "choice-point" => {
+                    if let Some(site) = field_str(line, "site") {
+                        attribution.choice(site);
+                    }
+                }
+                "preemption-taken" => {
+                    if let Some(site) = field_str(line, "site") {
+                        attribution.preemption(site);
+                    }
+                }
+                "phase-time" => {
+                    if let (Some(phase), Some(ns)) =
+                        (field_str(line, "phase"), field_u128(line, "elapsed_ns"))
+                    {
+                        let elapsed = Duration::from_nanos(ns as u64);
+                        match phase.as_str() {
+                            "replay" => report.phases.replay += elapsed,
+                            "selection" => report.phases.selection += elapsed,
+                            "race-detection" => report.phases.race_detection += elapsed,
+                            _ => {}
+                        }
+                    }
+                }
+                "bound-completed" => {
+                    report.bounds.push(BoundRow {
+                        bound: field_usize(line, "bound").unwrap_or(0),
+                        executions: field_usize(line, "executions").unwrap_or(0),
+                        cumulative_states: field_usize(line, "cumulative_states").unwrap_or(0),
+                        bugs_found: field_usize(line, "bugs_found").unwrap_or(0),
+                        wall_time: field_u128(line, "wall_time_ns")
+                            .map(|ns| Duration::from_nanos(ns as u64)),
+                    });
+                }
+                "search-aborted" => {
+                    report.aborted = field_str(line, "reason");
+                }
+                "search-finished" => {
+                    finished = true;
+                    if let Some(v) = field_usize(line, "executions") {
+                        report.executions = v;
+                    }
+                    if let Some(v) = field_usize(line, "distinct_states") {
+                        report.distinct_states = v;
+                    }
+                    if let Some(v) = field_usize(line, "buggy_executions") {
+                        report.buggy_executions = v;
+                    }
+                    if let Some(v) = field_usize(line, "bugs_reported") {
+                        report.bugs_reported = v;
+                    }
+                    report.completed = field_bool(line, "completed").unwrap_or(false);
+                    report.truncated = field_bool(line, "truncated").unwrap_or(false);
+                    report.elapsed =
+                        field_u128(line, "elapsed_ns").map(|ns| Duration::from_nanos(ns as u64));
+                }
+                _ => {}
+            }
+        }
+        if !started {
+            return Err("not a telemetry log: no search-started event".to_string());
+        }
+        if !finished && report.aborted.is_none() {
+            report.aborted = Some("log ends mid-run".to_string());
+        }
+        report.sites = attribution.rows();
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+struct Table {
+    header: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    fn new(header: Vec<&'static str>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    fn render(&self, out: &mut String, markdown: bool) {
+        if markdown {
+            out.push('|');
+            for h in &self.header {
+                out.push_str(&format!(" {h} |"));
+            }
+            out.push_str("\n|");
+            for _ in &self.header {
+                out.push_str("---|");
+            }
+            out.push('\n');
+            for row in &self.rows {
+                out.push('|');
+                for cell in row {
+                    out.push_str(&format!(" {cell} |"));
+                }
+                out.push('\n');
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{h:<w$}", w = widths[i]));
+        }
+        out.push('\n');
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // First column (labels) left-aligned, numbers right.
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}", w = widths[i]));
+                } else {
+                    out.push_str(&format!("{cell:>w$}", w = widths[i]));
+                }
+            }
+            out.push('\n');
+        }
+    }
+}
+
+fn heading(out: &mut String, text: &str, markdown: bool) {
+    if markdown {
+        out.push_str(&format!("## {text}\n\n"));
+    } else {
+        out.push_str(&format!("{text}\n"));
+        out.push_str(&format!("{}\n", "=".repeat(text.len())));
+    }
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
+    let mut out = String::new();
+    if runs.len() > 1 {
+        heading(&mut out, "Strategy comparison", markdown);
+        let mut t = Table::new(vec![
+            "strategy",
+            "executions",
+            "distinct states",
+            "buggy execs",
+            "completed",
+        ]);
+        for run in runs {
+            t.row(vec![
+                run.strategy.clone(),
+                run.executions.to_string(),
+                run.distinct_states.to_string(),
+                run.buggy_executions.to_string(),
+                run.completed.to_string(),
+            ]);
+        }
+        t.render(&mut out, markdown);
+        out.push('\n');
+    }
+    for run in runs {
+        heading(&mut out, &format!("Run: {}", run.strategy), markdown);
+        let mut summary = format!(
+            "{} executions, {} distinct states, {} buggy",
+            run.executions, run.distinct_states, run.buggy_executions
+        );
+        if run.completed {
+            summary.push_str(", space exhausted");
+        }
+        if run.truncated {
+            summary.push_str(", TRUNCATED");
+        }
+        if let Some(elapsed) = run.elapsed {
+            summary.push_str(&format!(", {}", secs(elapsed)));
+        }
+        if let Some(reason) = &run.aborted {
+            summary.push_str(&format!(" (stopped: {reason})"));
+        }
+        out.push_str(&summary);
+        out.push_str("\n\n");
+
+        if !run.bounds.is_empty() {
+            heading(&mut out, "Per-bound results", markdown);
+            let mut t = Table::new(vec![
+                "bound",
+                "executions",
+                "cumulative states",
+                "bugs",
+                "wall time",
+            ]);
+            for row in &run.bounds {
+                t.row(vec![
+                    row.bound.to_string(),
+                    row.executions.to_string(),
+                    row.cumulative_states.to_string(),
+                    row.bugs_found.to_string(),
+                    row.wall_time.map_or("-".to_string(), secs),
+                ]);
+            }
+            t.render(&mut out, markdown);
+            out.push('\n');
+        }
+
+        let hot: Vec<&SiteRow> = run
+            .sites
+            .iter()
+            .filter(|s| s.preemptions > 0)
+            .take(top)
+            .collect();
+        if !hot.is_empty() {
+            heading(
+                &mut out,
+                &format!("Hottest preemption sites (top {})", hot.len()),
+                markdown,
+            );
+            let mut t = Table::new(vec![
+                "site",
+                "preemptions",
+                "choice points",
+                "executions",
+                "states unlocked",
+            ]);
+            for s in hot {
+                t.row(vec![
+                    s.site.clone(),
+                    s.preemptions.to_string(),
+                    s.choices.to_string(),
+                    s.executions.to_string(),
+                    s.states_unlocked.to_string(),
+                ]);
+            }
+            t.render(&mut out, markdown);
+            out.push('\n');
+        }
+
+        if run.phases.sum() > Duration::ZERO {
+            heading(&mut out, "Phase timing", markdown);
+            let mut t = Table::new(vec!["phase", "time", "share"]);
+            let reference = run.elapsed.unwrap_or_else(|| run.phases.sum());
+            let share = |d: Duration| {
+                if reference > Duration::ZERO {
+                    format!("{:.1}%", 100.0 * d.as_secs_f64() / reference.as_secs_f64())
+                } else {
+                    "-".to_string()
+                }
+            };
+            t.row(vec![
+                "replay".to_string(),
+                secs(run.phases.replay),
+                share(run.phases.replay),
+            ]);
+            t.row(vec![
+                "selection".to_string(),
+                secs(run.phases.selection),
+                share(run.phases.selection),
+            ]);
+            t.row(vec![
+                "race detection".to_string(),
+                secs(run.phases.race_detection),
+                share(run.phases.race_detection),
+            ]);
+            if let Some(elapsed) = run.elapsed {
+                let other = elapsed.saturating_sub(run.phases.sum());
+                t.row(vec!["other".to_string(), secs(other), share(other)]);
+            }
+            t.render(&mut out, markdown);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the reports as plain-text tables.
+pub fn render_text(runs: &[RunReport], top: usize) -> String {
+    render(runs, top, false)
+}
+
+/// Renders the reports as GitHub-flavored Markdown.
+pub fn render_markdown(runs: &[RunReport], top: usize) -> String {
+    render(runs, top, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"bound-started","bound":0,"work_items":1}
+{"event":"execution-started","index":1}
+{"event":"choice-point","site":"acquire#0","bound":0,"kind":"continue"}
+{"event":"choice-point","site":"release#0","bound":0,"kind":"switch"}
+{"event":"execution-finished","index":1,"steps":2,"blocking_steps":1,"preemptions":0,"context_switches":1,"outcome":"terminated","distinct_states":2}
+{"event":"bound-completed","bound":0,"executions":1,"cumulative_states":2,"bugs_found":0,"wall_time_ns":1000}
+{"event":"bound-started","bound":1,"work_items":2}
+{"event":"execution-started","index":2}
+{"event":"choice-point","site":"acquire#0","bound":1,"kind":"continue"}
+{"event":"choice-point","site":"release#0","bound":1,"kind":"preemption"}
+{"event":"preemption-taken","site":"acquire#0"}
+{"event":"execution-finished","index":2,"steps":2,"blocking_steps":1,"preemptions":1,"context_switches":1,"outcome":"assertion-failure","detail":"boom","distinct_states":5}
+{"event":"phase-time","phase":"replay","elapsed_ns":600}
+{"event":"phase-time","phase":"selection","elapsed_ns":300}
+{"event":"phase-time","phase":"race-detection","elapsed_ns":100}
+{"event":"bound-completed","bound":1,"executions":1,"cumulative_states":5,"bugs_found":1,"wall_time_ns":2000}
+{"event":"search-finished","strategy":"icb","executions":2,"distinct_states":5,"buggy_executions":1,"bugs_reported":1,"completed":true,"completed_bound":1,"truncated":false,"elapsed_ns":5000}
+"#;
+
+    #[test]
+    fn reconstructs_totals_bounds_and_sites() {
+        let r = RunReport::from_jsonl(LOG).unwrap();
+        assert_eq!(r.strategy, "icb");
+        assert_eq!(r.executions, 2);
+        assert_eq!(r.distinct_states, 5);
+        assert_eq!(r.buggy_executions, 1);
+        assert!(r.completed);
+        assert_eq!(r.elapsed, Some(Duration::from_nanos(5000)));
+        assert_eq!(r.bounds.len(), 2);
+        assert_eq!(r.bounds[1].bound, 1);
+        assert_eq!(r.bounds[1].cumulative_states, 5);
+        assert_eq!(r.bounds[1].bugs_found, 1);
+
+        // acquire#0 was preempted once; the second execution unlocked
+        // 5 - 2 = 3 states, all credited to it.
+        let hot = &r.sites[0];
+        assert_eq!(hot.site, "acquire#0");
+        assert_eq!(hot.preemptions, 1);
+        assert_eq!(hot.choices, 2);
+        assert_eq!(hot.executions, 2);
+        assert_eq!(hot.states_unlocked, 3);
+
+        assert_eq!(r.phases.replay, Duration::from_nanos(600));
+        assert_eq!(r.phases.selection, Duration::from_nanos(300));
+        assert_eq!(r.phases.race_detection, Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn truncated_log_still_reconstructs() {
+        // Cut the log right after the second execution-started: the run
+        // was killed mid-execution.
+        let cut = LOG.lines().take(9).collect::<Vec<_>>().join("\n");
+        let r = RunReport::from_jsonl(&cut).unwrap();
+        assert_eq!(r.executions, 1);
+        assert_eq!(r.distinct_states, 2);
+        assert_eq!(r.bounds.len(), 1);
+        assert!(r.aborted.is_some());
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn rejects_non_telemetry_text() {
+        assert!(RunReport::from_jsonl("hello\nworld\n").is_err());
+        assert!(RunReport::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn text_and_markdown_render_the_same_numbers() {
+        let r = RunReport::from_jsonl(LOG).unwrap();
+        let text = render_text(std::slice::from_ref(&r), 10);
+        let md = render_markdown(std::slice::from_ref(&r), 10);
+        for needle in ["Per-bound results", "acquire#0", "Phase timing"] {
+            assert!(text.contains(needle), "text missing {needle}:\n{text}");
+            assert!(md.contains(needle), "markdown missing {needle}:\n{md}");
+        }
+        // Markdown tables are pipe-delimited.
+        assert!(md.contains("| 1 | 1 | 5 | 1 |"), "{md}");
+        // Two runs get a comparison table; one run does not.
+        assert!(!text.contains("Strategy comparison"));
+        let both = render_text(&[r.clone(), r], 10);
+        assert!(both.contains("Strategy comparison"), "{both}");
+    }
+
+    #[test]
+    fn unescapes_string_fields() {
+        assert_eq!(
+            field_str(r#"{"event":"x","msg":"a\"b\\c\nd"}"#, "msg").as_deref(),
+            Some("a\"b\\c\nd")
+        );
+        assert_eq!(field_str(r#"{"msg":"A"}"#, "msg").as_deref(), Some("A"));
+        assert_eq!(field_str(r#"{"other":1}"#, "msg"), None);
+    }
+}

@@ -2,12 +2,15 @@
 //! [`SearchObserver`](icb_core::SearchObserver) hold for real searches,
 //! as recorded by an [`EventLog`].
 
-use icb_core::search::{DfsSearch, IcbSearch, SearchConfig, SearchStrategy};
-use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
-    Trace, TraceEntry,
+use icb_core::search::{
+    BestFirstSearch, DfsSearch, IcbSearch, IterativeDeepeningSearch, RandomSearch, SearchConfig,
+    SearchStrategy,
 };
-use icb_telemetry::{Event, EventLog};
+use icb_core::{
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, SiteId,
+    StateSink, Tid, Trace, TraceEntry,
+};
+use icb_telemetry::{Event, EventLog, MultiObserver};
 
 /// Two threads of two steps each. When `buggy`, every execution whose
 /// first step belongs to thread 1 fails an assertion — three of the six
@@ -34,13 +37,10 @@ impl ControlledProgram for TwoByTwo {
                 current_enabled,
                 enabled: &enabled,
             });
-            trace.push(TraceEntry::new(
-                chosen,
-                enabled,
-                current,
-                current_enabled,
-                false,
-            ));
+            let site = SiteId::at(chosen.index() as u32, "step", left[chosen.index()] as u32);
+            trace.push(
+                TraceEntry::new(chosen, enabled, current, current_enabled, false).with_site(site),
+            );
             left[chosen.index()] -= 1;
             first.get_or_insert(chosen);
             current = Some(chosen);
@@ -177,6 +177,91 @@ fn bug_found_respects_the_report_cap() {
     });
     assert_eq!(fired, 1);
     assert!(report.buggy_executions >= 1);
+}
+
+/// Attributed events are batched per execution: every `choice-point` and
+/// `preemption-taken` falls between an `execution-started` and its
+/// `execution-finished`, with one choice point per step and one
+/// preemption-taken per counted preemption.
+fn check_choice_point_batching(log: &EventLog, name: &str) {
+    let mut open = false;
+    let mut choices = 0usize;
+    let mut preemptions = 0usize;
+    let mut saw_any = false;
+    for event in log.events() {
+        match event {
+            Event::ExecutionStarted { .. } => {
+                open = true;
+                choices = 0;
+                preemptions = 0;
+            }
+            Event::ChoicePoint { site, .. } => {
+                assert!(open, "{name}: choice-point outside an execution");
+                assert!(!site.is_unknown(), "{name}: host resolved the site");
+                choices += 1;
+                saw_any = true;
+            }
+            Event::PreemptionTaken { site } => {
+                assert!(open, "{name}: preemption-taken outside an execution");
+                assert!(!site.is_unknown(), "{name}: victim site resolved");
+                preemptions += 1;
+            }
+            Event::ExecutionFinished { stats, .. } => {
+                assert!(open, "{name}: finish without start");
+                assert_eq!(choices, stats.steps, "{name}: one choice-point per step");
+                assert_eq!(
+                    preemptions, stats.preemptions,
+                    "{name}: preemption-taken mirrors the preemption count"
+                );
+                open = false;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_any, "{name}: attributed events were emitted");
+}
+
+/// `MultiObserver` fan-out delivers the identical, identically-ordered
+/// event stream to every member, under all five search strategies — and
+/// the attributed events obey the per-execution batching grammar in each.
+#[test]
+fn multi_observer_fans_out_identically_under_every_strategy() {
+    let budget = SearchConfig {
+        max_executions: Some(40),
+        ..SearchConfig::default()
+    };
+    let strategies: Vec<(&str, Box<dyn SearchStrategy>)> = vec![
+        ("icb", Box::new(IcbSearch::new(SearchConfig::default()))),
+        ("dfs", Box::new(DfsSearch::new(SearchConfig::default()))),
+        (
+            "idfs",
+            Box::new(IterativeDeepeningSearch::new(
+                SearchConfig::default(),
+                2,
+                2,
+                6,
+            )),
+        ),
+        ("random", Box::new(RandomSearch::new(budget, 0x1cb))),
+        (
+            "best-first",
+            Box::new(BestFirstSearch::new(SearchConfig::default())),
+        ),
+    ];
+    for (name, strategy) in strategies {
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        let mut multi = MultiObserver::new().with(&mut a).with(&mut b);
+        strategy.search_observed(&TwoByTwo { buggy: true }, &mut multi);
+        drop(multi);
+        assert_eq!(a.events().len(), b.events().len(), "{name}: equal length");
+        assert!(!a.events().is_empty(), "{name}: events were recorded");
+        for (ea, eb) in a.events().iter().zip(b.events()) {
+            assert_eq!(ea.kind(), eb.kind(), "{name}: same order in both logs");
+        }
+        check_choice_point_batching(&a, name);
+        check_choice_point_batching(&b, name);
+    }
 }
 
 /// Aborting on the first bug emits `search-aborted` exactly once, after
