@@ -4,10 +4,13 @@
 //! explore list
 //! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]
 //!             [--bound N] [--budget N] [--shrink]
+//!             [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]
 //!             [--telemetry jsonl:<path>] [--progress] [--profile]
+//! explore resume <checkpoint> [--checkpoint-every N]
+//!                [--telemetry jsonl:<path>] [--progress] [--profile]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
-//! explore report <run.jsonl>... [--markdown] [--top N]
+//! explore report <run.jsonl>... [--markdown] [--top N] [--stitch]
 //! explore disasm <benchmark>
 //! ```
 //!
@@ -21,6 +24,17 @@
 //! `phase-time` events, so `explore report` can rebuild the same tables
 //! offline.
 //!
+//! `--checkpoint <path>` makes the search crash-resilient: a snapshot of
+//! the full search state is written atomically every `--checkpoint-every`
+//! executions (default 1000) and on any abort, including Ctrl-C. After a
+//! crash, `explore resume <checkpoint>` rebuilds the benchmark from the
+//! snapshot's metadata and continues the search; because snapshots sit
+//! at execution boundaries and replay is deterministic, the final report
+//! matches the uninterrupted run's. `--max-wall-time-ms` arms a
+//! per-execution watchdog so a hung execution becomes a recoverable
+//! outcome instead of a wedged search. `explore report --stitch` merges
+//! the per-segment JSONL logs of a resumed run into one report.
+//!
 //! Examples:
 //!
 //! ```sh
@@ -33,15 +47,19 @@
 //! ```
 
 use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use icb_core::search::{
     BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchReport, SearchStrategy,
 };
-use icb_core::NullSink;
+use icb_core::snapshot::interrupt;
 use icb_core::{
-    render, shrink, ControlledProgram, CoverageTracker, ReplayScheduler, Schedule, SearchObserver,
+    render, shrink, Checkpointer, ControlledProgram, CoverageTracker, ReplayScheduler, Schedule,
+    SearchObserver, SearchSnapshot,
 };
+use icb_core::{NullSink, SnapshotError};
 use icb_telemetry::{
     render_markdown, render_text, ExplorationProfiler, JsonlSink, MultiObserver, ProgressReporter,
     RunReport,
@@ -61,10 +79,15 @@ fn main() -> ExitCode {
                 "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]"
             );
             eprintln!("              [--bound N] [--budget N] [--shrink]");
+            eprintln!(
+                "              [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]"
+            );
             eprintln!("              [--telemetry jsonl:<path>] [--progress] [--profile]");
+            eprintln!("  explore resume <checkpoint> [--checkpoint-every N]");
+            eprintln!("                 [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
-            eprintln!("  explore report <run.jsonl>... [--markdown] [--top N]");
+            eprintln!("  explore report <run.jsonl>... [--markdown] [--top N] [--stitch]");
             eprintln!("  explore disasm <benchmark>");
             ExitCode::FAILURE
         }
@@ -78,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
@@ -154,10 +178,112 @@ fn close_jsonl(sink: JsonlSink<BufWriter<std::fs::File>>) {
     drop(sink.into_inner()); // flush the BufWriter
 }
 
+/// Parses `--checkpoint-every`, defaulting to one snapshot per 1000
+/// executions.
+fn checkpoint_every(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--checkpoint-every") {
+        Some(v) => v.parse().map_err(|_| "invalid --checkpoint-every".into()),
+        None => Ok(1000),
+    }
+}
+
+/// Arms the per-execution watchdog on a runtime benchmark, so a hung
+/// execution becomes a recoverable `watchdog-timeout` outcome.
+fn arm_watchdog(program: &mut AnyProgram, ms: u64) -> Result<(), String> {
+    match program {
+        AnyProgram::Runtime(p) => {
+            p.config_mut().max_wall_time = Some(Duration::from_millis(ms));
+            Ok(())
+        }
+        AnyProgram::Vm(_) => Err(
+            "--max-wall-time-ms applies to runtime benchmarks only (VM models cannot hang)".into(),
+        ),
+    }
+}
+
+/// The observer bundle shared by `run` and `resume`: an optional JSONL
+/// event stream, a live progress line, and the exploration profiler.
+struct Observers {
+    jsonl: Option<JsonlSink<BufWriter<std::fs::File>>>,
+    progress: Option<ProgressReporter<std::io::Stderr>>,
+    profiler: Option<ExplorationProfiler>,
+}
+
+impl Observers {
+    fn from_args(args: &[String], paper_threads: usize) -> Result<Self, String> {
+        let profile = args.iter().any(|a| a == "--profile");
+        Ok(Observers {
+            jsonl: open_jsonl(args, profile)?,
+            progress: args.iter().any(|a| a == "--progress").then(|| {
+                // n from the registry; b ≈ one blocking step
+                // (termination) per thread — good enough for an
+                // order-of-magnitude ETA.
+                let n = paper_threads as u64;
+                ProgressReporter::stderr().with_theorem1(n, n)
+            }),
+            profiler: profile.then(ExplorationProfiler::new),
+        })
+    }
+
+    fn fan_out(&mut self) -> MultiObserver<'_> {
+        let mut observers = MultiObserver::new();
+        if let Some(sink) = self.jsonl.as_mut() {
+            observers.push(sink);
+        }
+        if let Some(reporter) = self.progress.as_mut() {
+            observers.push(reporter);
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            observers.push(p);
+        }
+        observers
+    }
+
+    /// Flushes the JSONL stream and prints the report, the profiler
+    /// tables, and — when a bug was found — the witness.
+    fn finish(
+        self,
+        report: &SearchReport,
+        program: &AnyProgram,
+        args: &[String],
+    ) -> Result<(), String> {
+        let top: usize = match flag_value(args, "--top") {
+            Some(v) => v.parse().map_err(|_| "invalid --top")?,
+            None => 10,
+        };
+        if let Some(sink) = self.jsonl {
+            close_jsonl(sink);
+        }
+        println!("{report}");
+        if let Some(profiler) = &self.profiler {
+            println!();
+            print!("{}", render_text(&[profiler.run_report()], top));
+        }
+        if let Some(bug) = report.first_bug() {
+            println!();
+            println!("witness: {}", bug.schedule);
+            if args.iter().any(|a| a == "--shrink") {
+                let shrunk = shrink::minimize_witness(program, &bug.schedule);
+                println!(
+                    "shrunk to {} forced choice(s) in {} replays: {}",
+                    shrunk.schedule.len(),
+                    shrunk.replays,
+                    shrunk.schedule
+                );
+            }
+            let mut replay = ReplayScheduler::new(bug.schedule.clone());
+            let result = program.execute(&mut replay, &mut NullSink);
+            println!();
+            println!("{}", render::lanes(&result.trace));
+        }
+        Ok(())
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("missing benchmark name")?;
     let bench = find_benchmark(name)?;
-    let program = build_program(&bench, flag_value(args, "--bug"))?;
+    let mut program = build_program(&bench, flag_value(args, "--bug"))?;
 
     let budget: usize = match flag_value(args, "--budget") {
         Some(v) => v.parse().map_err(|_| "invalid --budget")?,
@@ -173,73 +299,109 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         stop_on_first_bug: true,
         ..SearchConfig::default()
     };
-    let strategy: Box<dyn SearchStrategy> = match flag_value(args, "--strategy").unwrap_or("icb") {
-        "icb" => Box::new(IcbSearch::new(config)),
-        "dfs" => Box::new(DfsSearch::new(config)),
-        "random" => Box::new(RandomSearch::new(config, 0x1cb)),
-        "best-first" => Box::new(BestFirstSearch::new(config)),
-        other => return Err(format!("unknown strategy `{other}`")),
-    };
-
-    // Optional observers: a JSONL event stream, live progress, and/or
-    // the exploration profiler. With both --telemetry and --profile the
-    // JSONL stream carries the per-step profiler events too.
-    let profile = args.iter().any(|a| a == "--profile");
-    let top: usize = match flag_value(args, "--top") {
-        Some(v) => v.parse().map_err(|_| "invalid --top")?,
-        None => 10,
-    };
-    let mut jsonl = open_jsonl(args, profile)?;
-    let mut progress = args.iter().any(|a| a == "--progress").then(|| {
-        // n from the registry; b ≈ one blocking step (termination) per
-        // thread — good enough for an order-of-magnitude ETA.
-        let n = bench.paper_threads as u64;
-        ProgressReporter::stderr().with_theorem1(n, n)
-    });
-    let mut profiler = profile.then(ExplorationProfiler::new);
-    let mut observers = MultiObserver::new();
-    if let Some(sink) = jsonl.as_mut() {
-        observers.push(sink);
-    }
-    if let Some(reporter) = progress.as_mut() {
-        observers.push(reporter);
-    }
-    if let Some(p) = profiler.as_mut() {
-        observers.push(p);
+    let strat = flag_value(args, "--strategy").unwrap_or("icb");
+    if let Some(ms) = flag_value(args, "--max-wall-time-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "invalid --max-wall-time-ms")?;
+        arm_watchdog(&mut program, ms)?;
     }
 
-    println!("exploring {} with {}…", bench.name, strategy.name());
-    let report = strategy.search_observed(&program, &mut observers);
+    let mut obs = Observers::from_args(args, bench.paper_threads)?;
+    println!("exploring {} with {strat}…", bench.name);
+
+    let report = match flag_value(args, "--checkpoint") {
+        Some(path) => {
+            // Snapshot metadata carries everything `resume` needs to
+            // rebuild the same program with the same flags.
+            let mut meta = vec![("benchmark".to_string(), bench.name.to_string())];
+            for flag in ["--bug", "--max-wall-time-ms"] {
+                if let Some(v) = flag_value(args, flag) {
+                    meta.push((flag.trim_start_matches('-').to_string(), v.to_string()));
+                }
+            }
+            let mut ckpt = Checkpointer::new(path, checkpoint_every(args)?).with_meta(meta);
+            interrupt::install();
+            let mut observers = obs.fan_out();
+            match strat {
+                "icb" => {
+                    IcbSearch::new(config).run_checkpointed(&program, &mut observers, &mut ckpt)
+                }
+                "dfs" => {
+                    DfsSearch::new(config).run_checkpointed(&program, &mut observers, &mut ckpt)
+                }
+                "random" => RandomSearch::new(config, 0x1cb).run_checkpointed(
+                    &program,
+                    &mut observers,
+                    &mut ckpt,
+                ),
+                "best-first" => {
+                    return Err("--checkpoint is not supported for best-first \
+                         (its priority queue holds non-serializable live state)"
+                        .into())
+                }
+                other => return Err(format!("unknown strategy `{other}`")),
+            }
+        }
+        None => {
+            let strategy: Box<dyn SearchStrategy> = match strat {
+                "icb" => Box::new(IcbSearch::new(config)),
+                "dfs" => Box::new(DfsSearch::new(config)),
+                "random" => Box::new(RandomSearch::new(config, 0x1cb)),
+                "best-first" => Box::new(BestFirstSearch::new(config)),
+                other => return Err(format!("unknown strategy `{other}`")),
+            };
+            let mut observers = obs.fan_out();
+            strategy.search_observed(&program, &mut observers)
+        }
+    };
+    obs.finish(&report, &program, args)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing checkpoint path")?;
+    let snapshot = SearchSnapshot::read_from(Path::new(path))
+        .map_err(|e| format!("cannot resume from {path}: {e}"))?;
+
+    // Rebuild the program from the snapshot's metadata.
+    let bench_name = snapshot
+        .meta_value("benchmark")
+        .ok_or("checkpoint carries no benchmark metadata (not written by `explore run`?)")?
+        .to_string();
+    let bug = snapshot.meta_value("bug").map(str::to_string);
+    let max_wall_time_ms = snapshot.meta_value("max-wall-time-ms").map(str::to_string);
+    let bench = find_benchmark(&bench_name)?;
+    let mut program = build_program(&bench, bug.as_deref())?;
+    if let Some(ms) = max_wall_time_ms {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "corrupt max-wall-time-ms metadata in checkpoint")?;
+        arm_watchdog(&mut program, ms)?;
+    }
+
+    // Keep checkpointing to the same file; the first new snapshot is due
+    // `--checkpoint-every` executions past the one we resumed from.
+    let mut ckpt =
+        Checkpointer::new(path, checkpoint_every(args)?).with_meta(snapshot.meta.clone());
+    ckpt.mark_written(snapshot.base.executions);
+    interrupt::install();
+
+    let mut obs = Observers::from_args(args, bench.paper_threads)?;
+    let strat = snapshot.strategy.clone();
+    println!(
+        "resuming {} with {strat} from {path} ({} executions done)…",
+        bench.name, snapshot.base.executions
+    );
+    let mut observers = obs.fan_out();
+    let resumed: Result<SearchReport, SnapshotError> = match strat.as_str() {
+        "icb" => IcbSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt)),
+        "random" => RandomSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt)),
+        s if s == "dfs" || s.starts_with("db:") => {
+            DfsSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt))
+        }
+        other => return Err(format!("cannot resume strategy `{other}`")),
+    };
     drop(observers);
-    if let Some(sink) = jsonl {
-        close_jsonl(sink);
-    }
-    println!("{report}");
-    if let Some(profiler) = &profiler {
-        println!();
-        print!("{}", render_text(&[profiler.run_report()], top));
-    }
-    if let Some(bug) = report.first_bug() {
-        println!();
-        println!("witness: {}", bug.schedule);
-        let schedule = if args.iter().any(|a| a == "--shrink") {
-            let shrunk = shrink::minimize_witness(&program, &bug.schedule);
-            println!(
-                "shrunk to {} forced choice(s) in {} replays: {}",
-                shrunk.schedule.len(),
-                shrunk.replays,
-                shrunk.schedule
-            );
-            bug.schedule.clone()
-        } else {
-            bug.schedule.clone()
-        };
-        let mut replay = ReplayScheduler::new(schedule);
-        let result = program.execute(&mut replay, &mut NullSink);
-        println!();
-        println!("{}", render::lanes(&result.trace));
-    }
-    Ok(())
+    let report = resumed.map_err(|e| format!("cannot resume from {path}: {e}"))?;
+    obs.finish(&report, &program, args)
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -296,6 +458,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let markdown = args.iter().any(|a| a == "--markdown");
+    let stitch = args.iter().any(|a| a == "--stitch");
     let top: usize = match flag_value(args, "--top") {
         Some(v) => v.parse().map_err(|_| "invalid --top")?,
         None => 10,
@@ -309,7 +472,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             continue;
         }
         match arg.as_str() {
-            "--markdown" => {}
+            "--markdown" | "--stitch" => {}
             "--top" => skip = true,
             other => paths.push(other),
         }
@@ -321,6 +484,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     for path in paths {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         runs.push(RunReport::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if stitch {
+        // Segments are passed oldest-first; the stitched report covers
+        // the whole resumed run as if it had never been interrupted.
+        let merged = RunReport::stitch(&runs).ok_or("nothing to stitch")?;
+        runs = vec![merged];
     }
     let rendered = if markdown {
         render_markdown(&runs, top)

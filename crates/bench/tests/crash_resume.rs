@@ -1,0 +1,227 @@
+//! Process-level crash resilience: a checkpointing `explore run` killed
+//! with SIGKILL mid-search must be resumable with `explore resume`, and
+//! the resumed run's final report must match an uninterrupted reference
+//! byte for byte. A corrupted checkpoint must be rejected with a clear
+//! error, not a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const EXPLORE: &str = env!("CARGO_BIN_EXE_explore");
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("icb-crash-{}-{name}", std::process::id()))
+}
+
+/// The report body: stdout minus the first status line (`exploring …`
+/// for a fresh run, `resuming …` for a resumed one), which legitimately
+/// differs between the two.
+fn report_body(output: &Output) -> String {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    stdout
+        .lines()
+        .filter(|l| !l.starts_with("exploring ") && !l.starts_with("resuming "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn run_explore(args: &[&str]) -> Output {
+    Command::new(EXPLORE)
+        .args(args)
+        .output()
+        .expect("spawn explore")
+}
+
+/// The first `N executions` count appearing in a report.
+fn executions_in(report: &str) -> usize {
+    for line in report.lines() {
+        if let Some(at) = line.find(" executions") {
+            let digits: String = line[..at]
+                .chars()
+                .rev()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if !digits.is_empty() {
+                return digits.chars().rev().collect::<String>().parse().unwrap();
+            }
+        }
+    }
+    panic!("no execution count in: {report}");
+}
+
+/// Runs the full crash drill for one workload: reference run, killed
+/// checkpointing run, resume, report comparison, and a stitch of the
+/// two telemetry segments.
+fn crash_drill(benchmark: &str, bug: &str, strategy: &str, budget: &str) {
+    let ckpt = scratch(&format!("{strategy}.ckpt"));
+    let seg1 = scratch(&format!("{strategy}-seg1.jsonl"));
+    let seg2 = scratch(&format!("{strategy}-seg2.jsonl"));
+    for p in [&ckpt, &seg1, &seg2] {
+        let _ = std::fs::remove_file(p);
+    }
+    let ckpt_str = ckpt.to_str().unwrap();
+    let jsonl1 = format!("jsonl:{}", seg1.display());
+    let jsonl2 = format!("jsonl:{}", seg2.display());
+
+    // Uninterrupted reference.
+    let reference = run_explore(&[
+        "run",
+        benchmark,
+        "--bug",
+        bug,
+        "--strategy",
+        strategy,
+        "--budget",
+        budget,
+    ]);
+    assert!(reference.status.success(), "reference run failed");
+
+    // Checkpointing run, killed with SIGKILL once the first snapshot is
+    // on disk. `--checkpoint-every 1` both maximizes the snapshots at
+    // risk and slows the child enough to kill it mid-flight.
+    let mut child = Command::new(EXPLORE)
+        .args([
+            "run",
+            benchmark,
+            "--bug",
+            bug,
+            "--strategy",
+            strategy,
+            "--budget",
+            budget,
+            "--checkpoint",
+            ckpt_str,
+            "--checkpoint-every",
+            "1",
+            "--telemetry",
+            &jsonl1,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn checkpointing child");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut finished = false;
+    loop {
+        if ckpt.exists() {
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            finished = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoint appeared in 60s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if !finished {
+        child.kill().expect("SIGKILL the child"); // SIGKILL on unix
+    }
+    let status = child.wait().expect("reap the child");
+    assert!(
+        ckpt.exists(),
+        "no checkpoint survived the crash (child exit: {status})"
+    );
+
+    // Resume must converge on the reference report exactly. (If the
+    // child happened to finish before the kill, the snapshot holds the
+    // final aborted state and resuming still reproduces the report.)
+    let resumed = run_explore(&["resume", ckpt_str, "--telemetry", &jsonl2]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        report_body(&reference),
+        report_body(&resumed),
+        "resumed report diverged from the uninterrupted reference"
+    );
+
+    // Stitching the crashed segment's log (flushed at every checkpoint,
+    // possibly ending mid-line) with the resumed segment's must yield
+    // one report covering the whole run.
+    let total = executions_in(&report_body(&resumed));
+    let stitched = run_explore(&[
+        "report",
+        seg1.to_str().unwrap(),
+        seg2.to_str().unwrap(),
+        "--stitch",
+    ]);
+    assert!(
+        stitched.status.success(),
+        "stitch failed: {}",
+        String::from_utf8_lossy(&stitched.stderr)
+    );
+    let text = String::from_utf8_lossy(&stitched.stdout).into_owned();
+    assert_eq!(
+        executions_in(&text),
+        total,
+        "stitched report does not cover the whole run: {text}"
+    );
+
+    for p in [&ckpt, &seg1, &seg2] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn killed_dfs_search_resumes_to_the_reference_report() {
+    crash_drill("Work Stealing Q.", "tail-publish-first", "dfs", "3000");
+}
+
+#[test]
+fn killed_icb_search_resumes_to_the_reference_report() {
+    crash_drill("Bluetooth", "check-then-increment", "icb", "3000");
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_cleanly() {
+    // A valid checkpoint, produced by an interrupt-free but
+    // budget-limited run (a budget abort writes a final snapshot).
+    let ckpt = scratch("corrupt.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let ckpt_str = ckpt.to_str().unwrap();
+    let seeded = run_explore(&[
+        "run",
+        "Bluetooth",
+        "--bug",
+        "check-then-increment",
+        "--strategy",
+        "dfs",
+        "--budget",
+        "5",
+        "--checkpoint",
+        ckpt_str,
+    ]);
+    assert!(seeded.status.success());
+    let bytes = std::fs::read(&ckpt).expect("read checkpoint");
+
+    let reject = |name: &str, bytes: &[u8], expect: &str| {
+        let bad = scratch(name);
+        std::fs::write(&bad, bytes).unwrap();
+        let out = run_explore(&["resume", bad.to_str().unwrap()]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{name}: resume must fail");
+        assert!(
+            stderr.contains(expect),
+            "{name}: expected `{expect}` in stderr, got: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{name}: panicked: {stderr}");
+        let _ = std::fs::remove_file(&bad);
+    };
+
+    // Flip one payload byte: checksum mismatch.
+    let mut flipped = bytes.clone();
+    let at = flipped.len() / 2;
+    flipped[at] ^= 0xff;
+    reject("flip.ckpt", &flipped, "corrupted");
+
+    // Cut the file short: truncation.
+    reject("trunc.ckpt", &bytes[..bytes.len() / 3], "truncated");
+
+    // Not a checkpoint at all.
+    reject("noise.ckpt", b"definitely not a snapshot", "");
+
+    let _ = std::fs::remove_file(&ckpt);
+}

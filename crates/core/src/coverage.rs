@@ -92,6 +92,26 @@ impl CoverageTracker {
     pub fn into_curve(self) -> Vec<(usize, usize)> {
         self.curve
     }
+
+    /// The distinct state fingerprints seen so far, sorted — the
+    /// serializable complement of [`restore`](CoverageTracker::restore)
+    /// for checkpointing (sorting makes snapshots byte-deterministic).
+    pub fn state_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self.seen.iter().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
+    /// Rebuilds a tracker from checkpointed parts: the distinct state
+    /// fingerprints, the completed-execution count, and the growth
+    /// curve.
+    pub fn restore(states: Vec<u64>, executions: usize, curve: Vec<(usize, usize)>) -> Self {
+        CoverageTracker {
+            seen: states.into_iter().collect(),
+            executions,
+            curve,
+        }
+    }
 }
 
 impl StateSink for CoverageTracker {

@@ -96,6 +96,7 @@ pub mod replay;
 pub mod rng;
 pub mod search;
 pub mod shrink;
+pub mod snapshot;
 pub mod telemetry;
 pub mod tid;
 pub mod trace;
@@ -103,6 +104,9 @@ pub mod trace;
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
+pub use snapshot::{Checkpointer, ResumeBase, SearchSnapshot, SnapshotError, StrategyState};
 pub use telemetry::{AbortReason, ChoiceKind, NoopObserver, Phase, SearchObserver, SiteId};
 pub use tid::Tid;
-pub use trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule, Trace, TraceEntry};
+pub use trace::{
+    DivergencePayload, ExecStats, ExecutionOutcome, ExecutionResult, Schedule, Trace, TraceEntry,
+};

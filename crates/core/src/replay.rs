@@ -2,7 +2,7 @@
 
 use crate::program::{SchedulePoint, Scheduler};
 use crate::tid::Tid;
-use crate::trace::Schedule;
+use crate::trace::{DivergencePayload, Schedule};
 
 /// A scheduler that first replays a fixed schedule prefix verbatim and
 /// then falls back to a deterministic policy.
@@ -13,10 +13,13 @@ use crate::trace::Schedule;
 ///
 /// # Panics
 ///
-/// `pick` panics if the program diverges from the recorded schedule (a
-/// prefix choice names a thread that is not currently enabled). Divergence
-/// means the program under test is not deterministic, which violates the
-/// [`crate::ControlledProgram`] contract.
+/// `pick` unwinds with a [`DivergencePayload`] if the program diverges
+/// from the recorded schedule (a prefix choice names a thread that is
+/// not currently enabled). Divergence means the program under test is
+/// not deterministic, which violates the [`crate::ControlledProgram`]
+/// contract; hosts and strategies catch the payload and convert it into
+/// a recoverable
+/// [`ExecutionOutcome::ReplayDivergence`](crate::ExecutionOutcome::ReplayDivergence).
 #[derive(Clone, Debug)]
 pub struct ReplayScheduler {
     prefix: Schedule,
@@ -60,12 +63,9 @@ impl ReplayScheduler {
 impl Scheduler for ReplayScheduler {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
         if let Some(tid) = self.prefix.get(point.step_index) {
-            assert!(
-                point.is_enabled(tid),
-                "replay divergence at step {}: {tid} not enabled (enabled: {:?})",
-                point.step_index,
-                point.enabled,
-            );
+            if !point.is_enabled(tid) {
+                DivergencePayload::new(point.step_index, tid, point.enabled.to_vec()).raise();
+            }
             return tid;
         }
         match self.policy {
@@ -112,10 +112,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "replay divergence")]
-    fn divergence_panics() {
-        let mut s = ReplayScheduler::new(Schedule::from(vec![Tid(5)]));
-        let enabled = [Tid(0), Tid(1)];
-        s.pick(point(0, None, false, &enabled));
+    fn divergence_unwinds_with_a_typed_payload() {
+        let err = std::panic::catch_unwind(|| {
+            let mut s = ReplayScheduler::new(Schedule::from(vec![Tid(5)]));
+            let enabled = [Tid(0), Tid(1)];
+            s.pick(point(0, None, false, &enabled));
+        })
+        .unwrap_err();
+        let payload = err
+            .downcast::<DivergencePayload>()
+            .expect("divergence raises a DivergencePayload");
+        assert_eq!(
+            *payload,
+            DivergencePayload::new(0, Tid(5), vec![Tid(0), Tid(1)])
+        );
     }
 }

@@ -17,10 +17,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
-use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::search::{
+    execute_recovering, QuarantinedTrace, SearchConfig, SearchCtx, SearchReport, SearchStrategy,
+};
 use crate::telemetry::{NoopObserver, SearchObserver};
 use crate::tid::Tid;
-use crate::trace::Schedule;
+use crate::trace::{DivergencePayload, ExecutionOutcome, Schedule};
 
 /// Best-first search prioritizing points with many enabled threads.
 #[derive(Clone, Debug, Default)]
@@ -65,15 +67,31 @@ impl BestFirstSearch {
                 frontier_enabled: Vec::new(),
             };
             ctx.begin_execution();
-            let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
-            // A prefix as long as the execution has no frontier point
-            // was a leaf; otherwise each enabled thread is a child.
-            for &t in &sched.frontier_enabled {
-                let mut child = prefix.clone();
-                child.push(t);
-                seq += 1;
-                let score = sched.frontier_enabled.len();
-                frontier.push((score, Reverse(seq), child));
+            let result = execute_recovering(program, &mut sched, &mut ctx.coverage, ctx.observer);
+            if let ExecutionOutcome::ReplayDivergence {
+                step,
+                expected,
+                ref actual,
+            } = result.outcome
+            {
+                // The prefix no longer replays: forfeit its subtree (no
+                // children are expanded) and keep draining the frontier.
+                ctx.quarantine(QuarantinedTrace {
+                    schedule: prefix.clone(),
+                    step,
+                    expected,
+                    actual: actual.clone(),
+                });
+            } else {
+                // A prefix as long as the execution has no frontier point
+                // was a leaf; otherwise each enabled thread is a child.
+                for &t in &sched.frontier_enabled {
+                    let mut child = prefix.clone();
+                    child.push(t);
+                    seq += 1;
+                    let score = sched.frontier_enabled.len();
+                    frontier.push((score, Reverse(seq), child));
+                }
             }
             ctx.record(&result, program.executions_per_run());
         }
@@ -108,7 +126,9 @@ struct FrontierScheduler<'a> {
 impl Scheduler for FrontierScheduler<'_> {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
         if let Some(tid) = self.prefix.get(point.step_index) {
-            assert!(point.is_enabled(tid), "replay divergence in best-first");
+            if !point.is_enabled(tid) {
+                DivergencePayload::new(point.step_index, tid, point.enabled.to_vec()).raise();
+            }
             return tid;
         }
         if point.step_index == self.prefix.len() {

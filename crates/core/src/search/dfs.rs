@@ -4,9 +4,15 @@
 
 use crate::coverage::StateSink;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
-use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
-use crate::telemetry::{NoopObserver, SearchObserver};
+use crate::search::icb::validate_branches;
+use crate::search::{QuarantinedTrace, SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::snapshot::{
+    interrupt, BranchSnapshot, Checkpointer, DfsState, ResumeBase, SearchSnapshot, SnapshotError,
+    StrategyState,
+};
+use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
 use crate::tid::Tid;
+use crate::trace::{DivergencePayload, ExecutionOutcome, Schedule};
 
 /// Stateless depth-first search over the schedule tree.
 ///
@@ -52,9 +58,86 @@ impl DfsSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
+        self.drive(program, observer, None, Vec::new(), None)
+    }
+
+    /// Runs the search with periodic checkpointing (see
+    /// [`IcbSearch::run_checkpointed`](crate::search::IcbSearch::run_checkpointed)
+    /// for the contract).
+    pub fn run_checkpointed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        ckpt: &mut Checkpointer,
+    ) -> SearchReport {
+        self.drive(program, observer, Some(ckpt), Vec::new(), None)
+    }
+
+    /// Resumes a search from a checkpoint written by
+    /// [`run_checkpointed`](DfsSearch::run_checkpointed); the final
+    /// report matches the uninterrupted run's.
+    pub fn resume(
+        program: &dyn ControlledProgram,
+        snapshot: SearchSnapshot,
+        observer: &mut dyn SearchObserver,
+        ckpt: Option<&mut Checkpointer>,
+    ) -> Result<SearchReport, SnapshotError> {
+        let state = match snapshot.state {
+            StrategyState::Dfs(state) => state,
+            _ => {
+                return Err(SnapshotError::WrongStrategy {
+                    expected: "dfs".to_string(),
+                    found: snapshot.strategy,
+                })
+            }
+        };
+        validate_branches(&state.stack)?;
+        let search = match state.depth_bound {
+            Some(b) => DfsSearch::with_depth_bound(snapshot.config, b),
+            None => DfsSearch::new(snapshot.config),
+        };
+        let stack = state.stack.into_iter().map(Branch::from).collect();
+        Ok(search.drive(program, observer, ckpt, stack, Some(snapshot.base)))
+    }
+
+    fn drive(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        mut ckpt: Option<&mut Checkpointer>,
+        initial_stack: Vec<Branch>,
+        base: Option<ResumeBase>,
+    ) -> SearchReport {
         observer.search_started(&self.name());
         let mut ctx = SearchCtx::new(self.config.clone(), observer);
-        let completed = run_dfs(program, self.depth_bound, &mut ctx, &mut None);
+        if let Some(base) = base {
+            let executions = base.executions;
+            ctx.restore(base, 0, executions);
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.mark_written(ctx.executions);
+            }
+            if ctx.remaining_budget() == 0 {
+                ctx.halt(AbortReason::ExecutionBudget);
+            }
+        }
+        let completed = if ctx.stop {
+            false
+        } else {
+            run_dfs(
+                program,
+                self.depth_bound,
+                &mut ctx,
+                &mut None,
+                initial_stack,
+                &mut ckpt,
+                &self.name(),
+            )
+        };
+        if completed {
+            if let Some(ck) = ckpt {
+                ck.finish();
+            }
+        }
         ctx.into_report(self.name(), completed, None, Vec::new(), false)
     }
 
@@ -126,7 +209,15 @@ impl IterativeDeepeningSearch {
         let mut bound = self.start;
         loop {
             let mut max_len: Option<usize> = Some(0);
-            let exhausted = run_dfs(program, Some(bound), &mut ctx, &mut max_len);
+            let exhausted = run_dfs(
+                program,
+                Some(bound),
+                &mut ctx,
+                &mut max_len,
+                Vec::new(),
+                &mut None,
+                "idfs",
+            );
             if ctx.stop {
                 break;
             }
@@ -160,19 +251,27 @@ impl SearchStrategy for IterativeDeepeningSearch {
 
 /// Shared DFS engine. Returns `true` if the (possibly depth-bounded)
 /// branch tree was exhausted. When `track_max_len` is `Some`, the longest
-/// observed execution length is written into it.
+/// observed execution length is written into it. A non-empty
+/// `initial_stack` continues a checkpointed search at the next
+/// unexplored schedule; `ckpt`, when present, receives periodic and
+/// final snapshots labelled `strategy_label`.
+#[allow(clippy::too_many_arguments)]
 fn run_dfs(
     program: &dyn ControlledProgram,
     depth_bound: Option<usize>,
     ctx: &mut SearchCtx<'_>,
     track_max_len: &mut Option<usize>,
+    initial_stack: Vec<Branch>,
+    ckpt: &mut Option<&mut Checkpointer>,
+    strategy_label: &str,
 ) -> bool {
     let bound = depth_bound.unwrap_or(usize::MAX);
-    let mut stack: Vec<Branch> = Vec::new();
+    let mut stack = initial_stack;
     loop {
         let mut sched = DfsScheduler {
             stack,
             cursor: 0,
+            path: Schedule::new(),
             bound,
         };
         ctx.begin_execution();
@@ -180,11 +279,25 @@ fn run_dfs(
             inner: &mut ctx.coverage,
             remaining: bound,
         };
-        let result = program.execute_observed(&mut sched, &mut sink, ctx.observer);
+        let result = execute_recovering_gated(program, &mut sched, &mut sink, ctx.observer);
         stack = sched.stack;
 
         if let Some(m) = track_max_len {
             *m = (*m).max(result.stats.steps);
+        }
+
+        if let ExecutionOutcome::ReplayDivergence {
+            step,
+            expected,
+            ref actual,
+        } = result.outcome
+        {
+            ctx.quarantine(QuarantinedTrace {
+                schedule: sched.path,
+                step,
+                expected,
+                actual: actual.clone(),
+            });
         }
 
         // Within the depth bound the result stands; beyond it the run is
@@ -193,26 +306,91 @@ fn run_dfs(
             result
         } else {
             let mut r = result;
-            r.outcome = crate::trace::ExecutionOutcome::Terminated;
+            r.outcome = ExecutionOutcome::Terminated;
             r
         };
         ctx.record(&effective, program.executions_per_run());
-        if ctx.stop {
-            return false;
-        }
 
-        loop {
+        // Backtrack before checkpointing, so a resumed run starts at the
+        // next unexplored schedule instead of repeating the last one.
+        let done = loop {
             match stack.last_mut() {
                 Some(top) if top.next_ix + 1 < top.options.len() => {
                     top.next_ix += 1;
-                    break;
+                    break false;
                 }
                 Some(_) => {
                     stack.pop();
                 }
-                None => return true,
+                None => break true,
             }
+        };
+
+        if ckpt.is_some() && interrupt::interrupted() {
+            ctx.halt(AbortReason::Interrupted);
         }
+        let due = ckpt.as_deref().is_some_and(|ck| ck.due(ctx.executions));
+        if !done && (due || (ctx.stop && ckpt.is_some())) {
+            write_dfs_checkpoint(ctx, ckpt, strategy_label, depth_bound, &stack);
+        }
+        if done {
+            return true;
+        }
+        if ctx.stop {
+            return false;
+        }
+    }
+}
+
+/// [`execute_recovering`] with a [`GatedSink`] instead of the raw
+/// coverage tracker (the depth-bounded search must not count states past
+/// the bound even on a diverging run).
+fn execute_recovering_gated(
+    program: &dyn ControlledProgram,
+    scheduler: &mut DfsScheduler,
+    sink: &mut GatedSink<'_, crate::coverage::CoverageTracker>,
+    observer: &mut dyn SearchObserver,
+) -> crate::trace::ExecutionResult {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        program.execute_observed(scheduler, sink, observer)
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast::<DivergencePayload>() {
+            Ok(d) => crate::trace::ExecutionResult::from_trace(
+                d.into_outcome(),
+                crate::trace::Trace::new(),
+            ),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+fn write_dfs_checkpoint(
+    ctx: &mut SearchCtx<'_>,
+    ckpt: &mut Option<&mut Checkpointer>,
+    strategy_label: &str,
+    depth_bound: Option<usize>,
+    stack: &[Branch],
+) {
+    let Some(ck) = ckpt.as_deref_mut() else {
+        return;
+    };
+    let base = ctx.snapshot_base();
+    let executions = base.executions;
+    let snapshot = SearchSnapshot {
+        strategy: strategy_label.to_string(),
+        meta: ck.meta().to_vec(),
+        config: ctx.config.clone(),
+        base,
+        state: StrategyState::Dfs(DfsState {
+            depth_bound,
+            stack: stack.iter().map(Branch::to_snapshot).collect(),
+        }),
+    };
+    match ck.write(&snapshot) {
+        Ok(()) => ctx.observer.checkpoint_written(executions),
+        Err(e) => eprintln!("warning: checkpoint write failed: {e}"),
     }
 }
 
@@ -222,9 +400,30 @@ struct Branch {
     next_ix: usize,
 }
 
+impl Branch {
+    fn to_snapshot(&self) -> BranchSnapshot {
+        BranchSnapshot {
+            step: 0,
+            options: self.options.clone(),
+            next_ix: self.next_ix,
+        }
+    }
+}
+
+impl From<BranchSnapshot> for Branch {
+    fn from(b: BranchSnapshot) -> Self {
+        Branch {
+            options: b.options,
+            next_ix: b.next_ix,
+        }
+    }
+}
+
 struct DfsScheduler {
     stack: Vec<Branch>,
     cursor: usize,
+    /// Full schedule chosen so far in this run, for quarantine reports.
+    path: Schedule,
     bound: usize,
 }
 
@@ -232,17 +431,18 @@ impl Scheduler for DfsScheduler {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
         if point.step_index >= self.bound {
             // Truncated region: complete the run without branching.
-            return point.default_choice();
+            let choice = point.default_choice();
+            self.path.push(choice);
+            return choice;
         }
-        if self.cursor < self.stack.len() {
+        let choice = if self.cursor < self.stack.len() {
             let b = &self.stack[self.cursor];
             let tid = b.options[b.next_ix];
-            assert!(
-                point.is_enabled(tid),
-                "replay divergence at step {}: {tid} not enabled \
-                 (the program is not deterministic)",
-                point.step_index
-            );
+            if !point.is_enabled(tid) {
+                // The program is not deterministic: a previously recorded
+                // branch option is no longer enabled.
+                DivergencePayload::new(point.step_index, tid, point.enabled.to_vec()).raise();
+            }
             self.cursor += 1;
             tid
         } else {
@@ -252,7 +452,9 @@ impl Scheduler for DfsScheduler {
             });
             self.cursor += 1;
             point.enabled[0]
-        }
+        };
+        self.path.push(choice);
+        choice
     }
 }
 

@@ -24,10 +24,16 @@
 use std::collections::VecDeque;
 
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
-use crate::search::{BoundStats, BugReport, SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::search::{
+    execute_recovering, BoundStats, BugReport, QuarantinedTrace, SearchConfig, SearchCtx,
+    SearchReport, SearchStrategy,
+};
+use crate::snapshot::{
+    interrupt, BranchSnapshot, Checkpointer, IcbState, SearchSnapshot, SnapshotError, StrategyState,
+};
 use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
 use crate::tid::Tid;
-use crate::trace::Schedule;
+use crate::trace::{DivergencePayload, ExecutionOutcome, Schedule};
 
 /// The iterative context-bounding search.
 ///
@@ -95,81 +101,239 @@ impl IcbSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
+        self.drive(program, observer, None, None)
+    }
+
+    /// Runs the search with periodic checkpointing: a [`SearchSnapshot`]
+    /// is written atomically through `ckpt` every
+    /// [`Checkpointer`]-configured number of executions, on any abort
+    /// (budget, timeout, first bug, Ctrl-C), and removed on clean
+    /// completion. When checkpointing, the search also polls
+    /// [`interrupt::interrupted`] between executions and halts with
+    /// [`AbortReason::Interrupted`] after writing a final snapshot.
+    pub fn run_checkpointed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        ckpt: &mut Checkpointer,
+    ) -> SearchReport {
+        self.drive(program, observer, Some(ckpt), None)
+    }
+
+    /// Resumes a search from a checkpoint written by
+    /// [`run_checkpointed`](IcbSearch::run_checkpointed).
+    ///
+    /// Because snapshots are taken at execution boundaries and replay is
+    /// deterministic, the resumed search produces a final report
+    /// identical to the uninterrupted run's. Pass a [`Checkpointer`] to
+    /// keep checkpointing the resumed segment.
+    pub fn resume(
+        program: &dyn ControlledProgram,
+        snapshot: SearchSnapshot,
+        observer: &mut dyn SearchObserver,
+        ckpt: Option<&mut Checkpointer>,
+    ) -> Result<SearchReport, SnapshotError> {
+        let state = match snapshot.state {
+            StrategyState::Icb(state) => state,
+            _ => {
+                return Err(SnapshotError::WrongStrategy {
+                    expected: "icb".to_string(),
+                    found: snapshot.strategy,
+                })
+            }
+        };
+        if let Some((_, stack)) = &state.in_progress {
+            validate_branches(stack)?;
+        }
+        let search = IcbSearch::new(snapshot.config);
+        Ok(search.drive(program, observer, ckpt, Some((snapshot.base, state))))
+    }
+
+    /// The single engine behind fresh, checkpointed and resumed runs.
+    fn drive(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        mut ckpt: Option<&mut Checkpointer>,
+        resume: Option<(crate::snapshot::ResumeBase, IcbState)>,
+    ) -> SearchReport {
         observer.search_started("icb");
         let mut ctx = SearchCtx::new(self.config.clone(), observer);
-        let mut work: VecDeque<Schedule> = VecDeque::new();
-        work.push_back(Schedule::new());
-        let mut next: VecDeque<Schedule> = VecDeque::new();
-        let mut bound = 0usize;
-        let mut truncated = false;
-        let mut bound_history = Vec::new();
-        let mut completed = false;
-        let mut completed_bound = None;
+        let mut driver;
+        let mut pending: Option<(Schedule, Vec<Branch>)> = None;
+        match resume {
+            None => {
+                let mut work = VecDeque::new();
+                work.push_back(Schedule::new());
+                driver = Driver {
+                    program,
+                    ctx,
+                    work,
+                    next: VecDeque::new(),
+                    bound: 0,
+                    truncated: false,
+                    bound_history: Vec::new(),
+                    completed: false,
+                    completed_bound: None,
+                    execs_base: 0,
+                    bugs_base: 0,
+                };
+            }
+            Some((base, state)) => {
+                let bound_executions = base.executions - state.bound_executions_base;
+                let truncated = base.truncated;
+                ctx.restore(base, state.bound, bound_executions);
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    // The snapshot itself is durable; the next periodic
+                    // write is one full interval after it.
+                    ck.mark_written(ctx.executions);
+                }
+                pending = state
+                    .in_progress
+                    .map(|(prefix, stack)| (prefix, stack.into_iter().map(Branch::from).collect()));
+                driver = Driver {
+                    program,
+                    ctx,
+                    work: state.work.into(),
+                    next: state.next.into(),
+                    bound: state.bound,
+                    truncated,
+                    bound_history: state.bound_history,
+                    completed: false,
+                    completed_bound: state.completed_bound,
+                    execs_base: state.bound_executions_base,
+                    bugs_base: state.bound_bugs_base,
+                };
+                // A snapshot written right at an exhausted budget must
+                // not run one more execution after resume.
+                if driver.ctx.remaining_budget() == 0 {
+                    driver.ctx.halt(AbortReason::ExecutionBudget);
+                }
+            }
+        }
+        driver.run(pending, &mut ckpt);
+        driver.finish()
+    }
+}
 
+/// Loop state of one ICB run, shared between the outer bound loop and
+/// the per-work-item nested DFS so checkpoints can be written from
+/// either.
+struct Driver<'p, 'o> {
+    program: &'p dyn ControlledProgram,
+    ctx: SearchCtx<'o>,
+    work: VecDeque<Schedule>,
+    next: VecDeque<Schedule>,
+    bound: usize,
+    truncated: bool,
+    bound_history: Vec<BoundStats>,
+    completed: bool,
+    completed_bound: Option<usize>,
+    /// `ctx.executions` when the current bound started.
+    execs_base: usize,
+    /// `ctx.buggy_executions` when the current bound started.
+    bugs_base: usize,
+}
+
+impl Driver<'_, '_> {
+    fn run(
+        &mut self,
+        mut pending: Option<(Schedule, Vec<Branch>)>,
+        ckpt: &mut Option<&mut Checkpointer>,
+    ) {
         'outer: loop {
-            let execs_before = ctx.executions;
-            let bugs_before = ctx.buggy_executions;
-            ctx.current_bound = bound;
-            ctx.observer.bound_started(bound, work.len());
+            self.ctx.current_bound = self.bound;
+            let depth = self.work.len() + usize::from(pending.is_some());
+            self.ctx.observer.bound_started(self.bound, depth);
             let bound_began = std::time::Instant::now();
-            while let Some(prefix) = work.pop_front() {
-                self.search_item(program, prefix, bound, &mut ctx, &mut next, &mut truncated);
-                ctx.observer.work_queue_depth(next.len());
-                if ctx.stop {
+            loop {
+                if ckpt.is_some() && interrupt::interrupted() {
+                    self.ctx.halt(AbortReason::Interrupted);
+                }
+                if self.ctx.stop {
+                    self.write_checkpoint(ckpt, None);
+                    break 'outer;
+                }
+                let (prefix, stack) = match pending.take() {
+                    Some(item) => item,
+                    None => match self.work.pop_front() {
+                        Some(prefix) => (prefix, Vec::new()),
+                        None => break,
+                    },
+                };
+                self.search_item(prefix, stack, ckpt);
+                self.ctx.observer.work_queue_depth(self.next.len());
+                if self.ctx.stop {
                     break 'outer;
                 }
             }
             let stats = BoundStats {
-                bound,
-                executions: ctx.executions - execs_before,
-                cumulative_states: ctx.coverage.distinct_states(),
-                bugs_found: ctx.buggy_executions - bugs_before,
+                bound: self.bound,
+                executions: self.ctx.executions - self.execs_base,
+                cumulative_states: self.ctx.coverage.distinct_states(),
+                bugs_found: self.ctx.buggy_executions - self.bugs_base,
             };
-            ctx.observer.bound_completed(&stats, bound_began.elapsed());
-            bound_history.push(stats);
-            completed_bound = Some(bound);
-            if next.is_empty() {
-                completed = !truncated;
+            self.ctx
+                .observer
+                .bound_completed(&stats, bound_began.elapsed());
+            self.bound_history.push(stats);
+            self.completed_bound = Some(self.bound);
+            if self.next.is_empty() {
+                self.completed = !self.truncated;
                 break;
             }
-            if self.config.preemption_bound.is_some_and(|pb| bound >= pb) {
+            if self
+                .ctx
+                .config
+                .preemption_bound
+                .is_some_and(|pb| self.bound >= pb)
+            {
                 break;
             }
             // Re-check the wall-clock budget between bound iterations:
             // `record` only checks after each execution, so without this a
             // deadline expiring exactly at a bound boundary would start
             // (and fully time) another bound's first execution.
-            if ctx.over_deadline() {
-                ctx.halt(AbortReason::Timeout);
-                truncated = true;
+            if self.ctx.over_deadline() {
+                self.ctx.halt(AbortReason::Timeout);
+                self.truncated = true;
+                self.write_checkpoint(ckpt, None);
                 break;
             }
-            bound += 1;
-            std::mem::swap(&mut work, &mut next);
+            self.bound += 1;
+            self.execs_base = self.ctx.executions;
+            self.bugs_base = self.ctx.buggy_executions;
+            std::mem::swap(&mut self.work, &mut self.next);
         }
+        if !self.ctx.stop {
+            // Clean completion (space exhausted or the configured bound
+            // fully explored): nothing is left to resume.
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.finish();
+            }
+        }
+    }
 
-        ctx.into_report(
+    fn finish(self) -> SearchReport {
+        self.ctx.into_report(
             "icb".to_string(),
-            completed,
-            completed_bound,
-            bound_history,
-            truncated,
+            self.completed,
+            self.completed_bound,
+            self.bound_history,
+            self.truncated,
         )
     }
 
     /// Processes one work item: nested DFS over the preemption-free
-    /// extensions of `prefix`.
+    /// extensions of `prefix`. A non-empty `stack` continues a
+    /// checkpointed item exactly where its last run left off.
     fn search_item(
-        &self,
-        program: &dyn ControlledProgram,
+        &mut self,
         prefix: Schedule,
-        bound: usize,
-        ctx: &mut SearchCtx<'_>,
-        next: &mut VecDeque<Schedule>,
-        truncated: &mut bool,
+        mut stack: Vec<Branch>,
+        ckpt: &mut Option<&mut Checkpointer>,
     ) {
-        let mut stack: Vec<Branch> = Vec::new();
-        let mut first_run = true;
+        let mut first_run = stack.is_empty();
         loop {
             // Points at or beyond `fresh_from` are visited for the first
             // time in this run; preemption work items are emitted only for
@@ -178,13 +342,14 @@ impl IcbSearch {
             let fresh_from = if first_run {
                 prefix.len()
             } else {
-                // After backtracking, the deepest branch point took a new
+                // After backtracking (or a checkpointed stack, saved
+                // post-backtrack), the deepest branch point takes a new
                 // option; everything strictly after it is fresh.
                 stack.last().map_or(prefix.len(), |b| b.step + 1)
             };
             first_run = false;
 
-            let mut sched = ItemScheduler {
+            let sched = ItemScheduler {
                 prefix: &prefix,
                 stack,
                 cursor: 0,
@@ -192,45 +357,146 @@ impl IcbSearch {
                 fresh_from,
                 emitted: Vec::new(),
             };
-            ctx.begin_execution();
-            let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
-            stack = sched.stack;
+            self.ctx.begin_execution();
+            let mut sched = sched;
+            let result = execute_recovering(
+                self.program,
+                &mut sched,
+                &mut self.ctx.coverage,
+                self.ctx.observer,
+            );
+            let ItemScheduler {
+                stack: run_stack,
+                path,
+                emitted,
+                ..
+            } = sched;
+            stack = run_stack;
 
-            let queue_cap = self
-                .config
-                .max_work_queue
-                .unwrap_or(usize::MAX)
-                .min(ctx.remaining_budget());
-            for item in sched.emitted {
-                if next.len() < queue_cap {
-                    next.push_back(item);
-                    ctx.observer.work_item_deferred(bound + 1);
-                } else {
-                    *truncated = true;
+            if let ExecutionOutcome::ReplayDivergence {
+                step,
+                expected,
+                ref actual,
+            } = result.outcome
+            {
+                // The program broke the determinism contract on this
+                // path: enabled sets observed during the run cannot be
+                // trusted, so forfeit the work items it emitted and
+                // quarantine the diverging path. Backtracking still
+                // advances, so the rest of the item's subtree is
+                // explored.
+                self.ctx.quarantine(QuarantinedTrace {
+                    schedule: path,
+                    step,
+                    expected,
+                    actual: actual.clone(),
+                });
+            } else {
+                let queue_cap = self
+                    .ctx
+                    .config
+                    .max_work_queue
+                    .unwrap_or(usize::MAX)
+                    .min(self.ctx.remaining_budget());
+                for item in emitted {
+                    if self.next.len() < queue_cap {
+                        self.next.push_back(item);
+                        self.ctx.observer.work_item_deferred(self.bound + 1);
+                    } else {
+                        self.truncated = true;
+                    }
                 }
             }
 
-            ctx.record(&result, program.executions_per_run());
-            if ctx.stop {
-                return;
-            }
+            self.ctx.record(&result, self.program.executions_per_run());
 
             // Backtrack: advance the deepest branch point with options
-            // left; drop exhausted ones.
-            loop {
+            // left; drop exhausted ones. Done *before* checkpointing so a
+            // resumed run starts at the next unexplored schedule instead
+            // of repeating the one just recorded.
+            let item_done = loop {
                 match stack.last_mut() {
                     Some(top) if top.next_ix + 1 < top.options.len() => {
                         top.next_ix += 1;
-                        break;
+                        break false;
                     }
                     Some(_) => {
                         stack.pop();
                     }
-                    None => return,
+                    None => break true,
                 }
+            };
+
+            if ckpt.is_some() && interrupt::interrupted() {
+                self.ctx.halt(AbortReason::Interrupted);
+            }
+            let due = ckpt
+                .as_deref()
+                .is_some_and(|ck| ck.due(self.ctx.executions));
+            if due || (self.ctx.stop && ckpt.is_some()) {
+                let in_progress = if item_done {
+                    None
+                } else {
+                    Some((&prefix, &stack[..]))
+                };
+                self.write_checkpoint(ckpt, in_progress);
+            }
+            if item_done || self.ctx.stop {
+                return;
             }
         }
     }
+
+    /// Builds and atomically writes a snapshot of the current loop
+    /// state. `in_progress` carries the partially explored work item, if
+    /// the checkpoint falls inside one.
+    fn write_checkpoint(
+        &mut self,
+        ckpt: &mut Option<&mut Checkpointer>,
+        in_progress: Option<(&Schedule, &[Branch])>,
+    ) {
+        let Some(ck) = ckpt.as_deref_mut() else {
+            return;
+        };
+        let mut base = self.ctx.snapshot_base();
+        base.truncated = self.truncated;
+        let executions = base.executions;
+        let snapshot = SearchSnapshot {
+            strategy: "icb".to_string(),
+            meta: ck.meta().to_vec(),
+            config: self.ctx.config.clone(),
+            base,
+            state: StrategyState::Icb(IcbState {
+                bound: self.bound,
+                bound_executions_base: self.execs_base,
+                bound_bugs_base: self.bugs_base,
+                completed_bound: self.completed_bound,
+                work: self.work.iter().cloned().collect(),
+                next: self.next.iter().cloned().collect(),
+                bound_history: self.bound_history.clone(),
+                in_progress: in_progress
+                    .map(|(p, s)| (p.clone(), s.iter().map(Branch::to_snapshot).collect())),
+            }),
+        };
+        match ck.write(&snapshot) {
+            Ok(()) => self.ctx.observer.checkpoint_written(executions),
+            Err(e) => eprintln!("warning: checkpoint write failed: {e}"),
+        }
+    }
+}
+
+/// Rejects branch stacks a checksum-valid but hand-damaged snapshot
+/// could smuggle in (an out-of-range `next_ix` would otherwise panic
+/// deep inside the scheduler).
+pub(crate) fn validate_branches(stack: &[BranchSnapshot]) -> Result<(), SnapshotError> {
+    for b in stack {
+        if b.options.is_empty() || b.next_ix >= b.options.len() {
+            return Err(SnapshotError::Corrupt(
+                "branch stack entry with out-of-range option index".to_string(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 impl SearchStrategy for IcbSearch {
@@ -258,6 +524,26 @@ struct Branch {
     next_ix: usize,
 }
 
+impl Branch {
+    fn to_snapshot(&self) -> BranchSnapshot {
+        BranchSnapshot {
+            step: self.step,
+            options: self.options.clone(),
+            next_ix: self.next_ix,
+        }
+    }
+}
+
+impl From<BranchSnapshot> for Branch {
+    fn from(b: BranchSnapshot) -> Self {
+        Branch {
+            step: b.step,
+            options: b.options,
+            next_ix: b.next_ix,
+        }
+    }
+}
+
 /// The scheduler driving one run within a work item.
 struct ItemScheduler<'a> {
     prefix: &'a Schedule,
@@ -279,11 +565,9 @@ impl Scheduler for ItemScheduler<'_> {
                 .prefix
                 .get(point.step_index)
                 .expect("prefix indexed in range");
-            assert!(
-                point.is_enabled(tid),
-                "replay divergence at step {}: {tid} not enabled",
-                point.step_index
-            );
+            if !point.is_enabled(tid) {
+                DivergencePayload::new(point.step_index, tid, point.enabled.to_vec()).raise();
+            }
             tid
         } else if point.current_enabled {
             // Forced: continuing the current thread is free; switching to
@@ -313,12 +597,11 @@ impl Scheduler for ItemScheduler<'_> {
                     "branch stack out of sync with execution"
                 );
                 let tid = b.options[b.next_ix];
-                assert!(
-                    point.is_enabled(tid),
-                    "replay divergence at step {}: {tid} not enabled \
-                     (the program is not deterministic)",
-                    point.step_index
-                );
+                if !point.is_enabled(tid) {
+                    // The program is not deterministic: a previously
+                    // recorded branch option is no longer enabled.
+                    DivergencePayload::new(point.step_index, tid, point.enabled.to_vec()).raise();
+                }
                 self.cursor += 1;
                 tid
             } else {

@@ -28,12 +28,16 @@ pub use icb::IcbSearch;
 pub use random::RandomSearch;
 
 use crate::coverage::CoverageTracker;
-use crate::program::ControlledProgram;
-use crate::telemetry::{AbortReason, ChoiceKind, NoopObserver, SearchObserver, SiteId};
-use crate::trace::{ExecStats, ExecutionOutcome, ExecutionResult, Schedule};
+use crate::program::{ControlledProgram, Scheduler};
+use crate::snapshot::ResumeBase;
+use crate::telemetry::{AbortReason, ChoiceKind, NoopObserver, ResumeInfo, SearchObserver, SiteId};
+use crate::tid::Tid;
+use crate::trace::{
+    DivergencePayload, ExecStats, ExecutionOutcome, ExecutionResult, Schedule, Trace,
+};
 
 /// Limits and options common to all search strategies.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SearchConfig {
     /// Stop after this many executions (`None` = unlimited; prefer a
     /// limit for programs whose schedule space you have not measured).
@@ -87,7 +91,7 @@ impl SearchConfig {
 }
 
 /// A bug found by a search.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BugReport {
     /// What went wrong.
     pub outcome: ExecutionOutcome,
@@ -101,6 +105,26 @@ pub struct BugReport {
     pub execution_index: usize,
     /// Length of the failing execution in steps.
     pub steps: usize,
+}
+
+/// A schedule prefix whose subtree the search forfeited because replay
+/// diverged there (the program under test is not deterministic).
+///
+/// Quarantined prefixes are *not* bugs in the program's logic — they are
+/// failures of the testing infrastructure's determinism contract. The
+/// search skips the diverging subtree and keeps going; the final
+/// [`SearchReport`] lists what was forfeited so coverage claims can be
+/// qualified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedTrace {
+    /// The schedule prefix identifying the forfeited subtree.
+    pub schedule: Schedule,
+    /// The step index at which replay diverged.
+    pub step: usize,
+    /// The thread the recorded schedule expected to run.
+    pub expected: Tid,
+    /// The threads actually enabled at the diverging point.
+    pub actual: Vec<Tid>,
 }
 
 /// Statistics for one completed preemption bound of [`IcbSearch`].
@@ -144,6 +168,14 @@ pub struct SearchReport {
     /// Work had to be dropped (queue cap) — coverage claims are lower
     /// bounds only.
     pub truncated: bool,
+    /// Schedule prefixes whose subtrees were forfeited because replay
+    /// diverged (capped like bug reports; see `quarantined_total` for
+    /// the full count).
+    pub quarantined: Vec<QuarantinedTrace>,
+    /// Total number of quarantined (forfeited) subtrees.
+    pub quarantined_total: usize,
+    /// Executions abandoned by the per-execution wall-clock watchdog.
+    pub watchdog_trips: usize,
 }
 
 impl SearchReport {
@@ -188,6 +220,16 @@ impl std::fmt::Display for SearchReport {
                 }
             }
         }
+        if self.quarantined_total > 0 {
+            write!(
+                f,
+                ", {} subtree(s) quarantined (replay diverged; space forfeited)",
+                self.quarantined_total
+            )?;
+        }
+        if self.watchdog_trips > 0 {
+            write!(f, ", {} watchdog trip(s)", self.watchdog_trips)?;
+        }
         Ok(())
     }
 }
@@ -226,6 +268,9 @@ pub(crate) struct SearchCtx<'o> {
     /// attribute `choice_point` events. Strategies without bounds leave
     /// it at 0.
     pub(crate) current_bound: usize,
+    pub(crate) quarantined: Vec<QuarantinedTrace>,
+    pub(crate) quarantined_total: usize,
+    pub(crate) watchdog_trips: usize,
     pub(crate) observer: &'o mut dyn SearchObserver,
 }
 
@@ -242,7 +287,66 @@ impl<'o> SearchCtx<'o> {
             stop: false,
             abort: None,
             current_bound: 0,
+            quarantined: Vec::new(),
+            quarantined_total: 0,
+            watchdog_trips: 0,
             observer,
+        }
+    }
+
+    /// Seeds the context's cumulative counters, coverage and findings
+    /// from a checkpoint, then announces the resume to the observer.
+    /// `bound_executions` is the number of executions already spent at
+    /// the bound being resumed (0 for unbounded strategies).
+    pub(crate) fn restore(&mut self, base: ResumeBase, bound: usize, bound_executions: usize) {
+        self.executions = base.executions;
+        self.buggy_executions = base.buggy_executions;
+        self.bugs = base.bugs;
+        self.max_stats = base.max_stats;
+        self.quarantined = base.quarantined;
+        self.quarantined_total = base.quarantined_total;
+        self.watchdog_trips = base.watchdog_trips;
+        self.coverage = CoverageTracker::restore(
+            base.coverage_states,
+            base.coverage_executions,
+            base.coverage_curve,
+        );
+        self.current_bound = bound;
+        let info = ResumeInfo {
+            executions: self.executions,
+            distinct_states: self.coverage.distinct_states(),
+            bound,
+            bound_executions,
+        };
+        self.observer.search_resumed(&info);
+    }
+
+    /// Extracts the cumulative counters, coverage and findings into the
+    /// strategy-independent half of a checkpoint.
+    pub(crate) fn snapshot_base(&self) -> ResumeBase {
+        ResumeBase {
+            executions: self.executions,
+            buggy_executions: self.buggy_executions,
+            bugs: self.bugs.clone(),
+            max_stats: self.max_stats,
+            quarantined: self.quarantined.clone(),
+            quarantined_total: self.quarantined_total,
+            watchdog_trips: self.watchdog_trips,
+            coverage_states: self.coverage.state_hashes(),
+            coverage_executions: self.coverage.executions(),
+            coverage_curve: self.coverage.curve().to_vec(),
+            truncated: false,
+        }
+    }
+
+    /// Quarantines a diverging schedule prefix: counts it, keeps a
+    /// capped list for the report, and notifies the observer. The
+    /// search forfeits the prefix's subtree and keeps going.
+    pub(crate) fn quarantine(&mut self, q: QuarantinedTrace) {
+        self.quarantined_total += 1;
+        self.observer.trace_quarantined(&q);
+        if self.quarantined.len() < self.config.max_bug_reports {
+            self.quarantined.push(q);
         }
     }
 
@@ -319,6 +423,9 @@ impl<'o> SearchCtx<'o> {
             &result.outcome,
             self.coverage.distinct_states(),
         );
+        if result.outcome == ExecutionOutcome::WatchdogTimeout {
+            self.watchdog_trips += 1;
+        }
         if result.outcome.is_bug() {
             self.buggy_executions += 1;
             if self.bugs.len() < self.config.max_bug_reports {
@@ -369,9 +476,39 @@ impl<'o> SearchCtx<'o> {
             bound_history,
             max_stats: self.max_stats,
             truncated: truncated || self.abort == Some(AbortReason::Timeout),
+            quarantined: std::mem::take(&mut self.quarantined),
+            quarantined_total: self.quarantined_total,
+            watchdog_trips: self.watchdog_trips,
         };
         self.observer.search_finished(&report);
         report
+    }
+}
+
+/// Runs one execution, converting a [`DivergencePayload`] unwind coming
+/// out of an *in-process* program host (the state VM, test programs)
+/// into a recoverable [`ExecutionOutcome::ReplayDivergence`] result. The
+/// threaded runtime catches the payload inside its engine and returns
+/// the same outcome with the partial trace attached; either way the
+/// strategies see divergence as an outcome, never as a panic. Any other
+/// payload is a genuine panic and is re-raised.
+pub(crate) fn execute_recovering(
+    program: &dyn ControlledProgram,
+    scheduler: &mut dyn Scheduler,
+    coverage: &mut CoverageTracker,
+    observer: &mut dyn SearchObserver,
+) -> ExecutionResult {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        program.execute_observed(scheduler, coverage, observer)
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast::<DivergencePayload>() {
+            // The host's trace died with the unwind; the quarantine
+            // entry (recorded by the caller) identifies the subtree.
+            Ok(d) => ExecutionResult::from_trace(d.into_outcome(), Trace::new()),
+            Err(other) => std::panic::resume_unwind(other),
+        },
     }
 }
 

@@ -4,7 +4,10 @@
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::rng::SplitMix64;
 use crate::search::{SearchConfig, SearchCtx, SearchReport, SearchStrategy};
-use crate::telemetry::{NoopObserver, SearchObserver};
+use crate::snapshot::{
+    interrupt, Checkpointer, RandomState, ResumeBase, SearchSnapshot, SnapshotError, StrategyState,
+};
+use crate::telemetry::{AbortReason, NoopObserver, SearchObserver};
 use crate::tid::Tid;
 
 /// Repeated executions under a uniformly random scheduler.
@@ -43,16 +46,109 @@ impl RandomSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
+        self.drive(program, observer, None, None)
+    }
+
+    /// Runs the search with periodic checkpointing (see
+    /// [`IcbSearch::run_checkpointed`](crate::search::IcbSearch::run_checkpointed)
+    /// for the contract). The snapshot stores the raw generator state,
+    /// so the resumed walk continues the exact random stream.
+    pub fn run_checkpointed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        ckpt: &mut Checkpointer,
+    ) -> SearchReport {
+        self.drive(program, observer, Some(ckpt), None)
+    }
+
+    /// Resumes a walk from a checkpoint written by
+    /// [`run_checkpointed`](RandomSearch::run_checkpointed); the final
+    /// report matches the uninterrupted run's.
+    pub fn resume(
+        program: &dyn ControlledProgram,
+        snapshot: SearchSnapshot,
+        observer: &mut dyn SearchObserver,
+        ckpt: Option<&mut Checkpointer>,
+    ) -> Result<SearchReport, SnapshotError> {
+        let state = match snapshot.state {
+            StrategyState::Random(state) => state,
+            _ => {
+                return Err(SnapshotError::WrongStrategy {
+                    expected: "random".to_string(),
+                    found: snapshot.strategy,
+                })
+            }
+        };
+        let search = RandomSearch {
+            config: snapshot.config,
+            seed: 0, // unused: the walk continues from the raw state
+        };
+        Ok(search.drive(program, observer, ckpt, Some((snapshot.base, state))))
+    }
+
+    fn drive(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+        mut ckpt: Option<&mut Checkpointer>,
+        resume: Option<(ResumeBase, RandomState)>,
+    ) -> SearchReport {
         observer.search_started(&self.name());
         let mut ctx = SearchCtx::new(self.config.clone(), observer);
-        let mut rng = SplitMix64::new(self.seed);
+        let mut rng = match resume {
+            None => SplitMix64::new(self.seed),
+            Some((base, state)) => {
+                let executions = base.executions;
+                ctx.restore(base, 0, executions);
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    ck.mark_written(ctx.executions);
+                }
+                if ctx.remaining_budget() == 0 {
+                    ctx.halt(AbortReason::ExecutionBudget);
+                }
+                SplitMix64::from_state(state.rng_state)
+            }
+        };
         while !ctx.stop {
             let mut sched = RandomScheduler { rng: &mut rng };
             ctx.begin_execution();
             let result = program.execute_observed(&mut sched, &mut ctx.coverage, ctx.observer);
             ctx.record(&result, program.executions_per_run());
+            if ckpt.is_some() && interrupt::interrupted() {
+                ctx.halt(AbortReason::Interrupted);
+            }
+            let due = ckpt.as_deref().is_some_and(|ck| ck.due(ctx.executions));
+            if due || (ctx.stop && ckpt.is_some()) {
+                write_random_checkpoint(&mut ctx, &mut ckpt, &rng);
+            }
         }
         ctx.into_report(self.name(), false, None, Vec::new(), false)
+    }
+}
+
+fn write_random_checkpoint(
+    ctx: &mut SearchCtx<'_>,
+    ckpt: &mut Option<&mut Checkpointer>,
+    rng: &SplitMix64,
+) {
+    let Some(ck) = ckpt.as_deref_mut() else {
+        return;
+    };
+    let base = ctx.snapshot_base();
+    let executions = base.executions;
+    let snapshot = SearchSnapshot {
+        strategy: "random".to_string(),
+        meta: ck.meta().to_vec(),
+        config: ctx.config.clone(),
+        base,
+        state: StrategyState::Random(RandomState {
+            rng_state: rng.state(),
+        }),
+    };
+    match ck.write(&snapshot) {
+        Ok(()) => ctx.observer.checkpoint_written(executions),
+        Err(e) => eprintln!("warning: checkpoint write failed: {e}"),
     }
 }
 

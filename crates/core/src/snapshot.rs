@@ -1,0 +1,1046 @@
+//! Crash-resilient search state: serializable checkpoints and resume.
+//!
+//! The paper's Algorithm 1 is a resumable work queue by construction — a
+//! work item is just a schedule prefix, and replay determinism means
+//! re-running a lost partial work item reproduces it exactly. This
+//! module makes that property durable: [`SearchSnapshot`] captures the
+//! complete state of an interrupted search (remaining work queues,
+//! branch stacks, RNG state, coverage summary and cumulative report
+//! counters) in a versioned, checksummed on-disk format. Snapshots are
+//! written atomically (temp file + rename), so a `SIGKILL` mid-write
+//! leaves the previous checkpoint intact, and a resumed run produces a
+//! final report identical to an uninterrupted one.
+//!
+//! The format is a hand-rolled little-endian binary codec (the workspace
+//! builds hermetically, with no serialization crates): an 8-byte magic,
+//! a format version, the payload length, an FNV-1a checksum of the
+//! payload, then the payload. Corrupted or truncated files are rejected
+//! with a structured [`SnapshotError`], never a panic.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::coverage::fingerprint_bytes;
+use crate::search::{BoundStats, BugReport, QuarantinedTrace, SearchConfig};
+use crate::tid::Tid;
+use crate::trace::{ExecStats, ExecutionOutcome, Schedule};
+
+/// Magic bytes opening every snapshot file.
+const MAGIC: &[u8; 8] = b"ICBSNAPv";
+/// Current format version. Bump on any layout change.
+const VERSION: u32 = 1;
+/// Fixed header size: magic + version + payload length + checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The file uses a format version this build does not understand.
+    UnsupportedVersion(u32),
+    /// The file ends before the declared payload does.
+    Truncated,
+    /// The payload checksum does not match its contents.
+    ChecksumMismatch,
+    /// The payload decodes to structurally invalid data.
+    Corrupt(String),
+    /// The snapshot belongs to a different strategy than the caller.
+    WrongStrategy {
+        /// The strategy the caller tried to resume.
+        expected: String,
+        /// The strategy recorded in the snapshot.
+        found: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            SnapshotError::BadMagic => {
+                write!(f, "not a checkpoint file (bad magic)")
+            }
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            SnapshotError::Truncated => {
+                write!(f, "checkpoint file is truncated")
+            }
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "checkpoint file is corrupted (checksum mismatch)")
+            }
+            SnapshotError::Corrupt(what) => {
+                write!(f, "checkpoint file is corrupted ({what})")
+            }
+            SnapshotError::WrongStrategy { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint was written by strategy '{found}', not '{expected}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The strategy-independent half of a checkpoint: cumulative counters,
+/// findings and the coverage summary of everything explored so far.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResumeBase {
+    /// Executions completed.
+    pub executions: usize,
+    /// Executions that ended in a bug.
+    pub buggy_executions: usize,
+    /// Bug reports recorded so far (capped by `max_bug_reports`).
+    pub bugs: Vec<BugReport>,
+    /// Pointwise maxima of the per-execution statistics.
+    pub max_stats: ExecStats,
+    /// Quarantined (replay-diverged) prefixes recorded so far.
+    pub quarantined: Vec<QuarantinedTrace>,
+    /// Total quarantined subtrees (including beyond the stored cap).
+    pub quarantined_total: usize,
+    /// Executions abandoned by the per-execution watchdog.
+    pub watchdog_trips: usize,
+    /// Whether work was already dropped (queue cap) before the
+    /// checkpoint.
+    pub truncated: bool,
+    /// The distinct state fingerprints seen, sorted.
+    pub coverage_states: Vec<u64>,
+    /// Completed executions as counted by the coverage tracker.
+    pub coverage_executions: usize,
+    /// The coverage growth curve samples.
+    pub coverage_curve: Vec<(usize, usize)>,
+}
+
+/// One suspended branch point of a nested DFS, serialized.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchSnapshot {
+    /// Step index of the scheduling point (0 for strategies that do not
+    /// record it).
+    pub step: usize,
+    /// The enabled threads at that point.
+    pub options: Vec<Tid>,
+    /// Index of the option to take on the next run.
+    pub next_ix: usize,
+}
+
+/// ICB-specific checkpoint state: the two work queues, per-bound
+/// baselines and the optionally suspended (mid-item) nested DFS.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IcbState {
+    /// The preemption bound being explored.
+    pub bound: usize,
+    /// `executions` counter value when this bound started (for the
+    /// per-bound statistics row).
+    pub bound_executions_base: usize,
+    /// `buggy_executions` counter value when this bound started.
+    pub bound_bugs_base: usize,
+    /// Highest bound fully explored before the checkpoint.
+    pub completed_bound: Option<usize>,
+    /// Remaining work items (schedule prefixes) of the current bound.
+    pub work: Vec<Schedule>,
+    /// Work items already deferred to the next bound.
+    pub next: Vec<Schedule>,
+    /// Per-bound statistics of the bounds completed so far.
+    pub bound_history: Vec<BoundStats>,
+    /// A work item interrupted mid-exploration: its prefix and the
+    /// branch stack positioned for the next run of its nested DFS.
+    pub in_progress: Option<(Schedule, Vec<BranchSnapshot>)>,
+}
+
+/// DFS-specific checkpoint state: the branch stack positioned for the
+/// next run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DfsState {
+    /// The depth bound (`db:N`), if any.
+    pub depth_bound: Option<usize>,
+    /// The suspended branch stack.
+    pub stack: Vec<BranchSnapshot>,
+}
+
+/// Random-walk checkpoint state: the generator mid-stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RandomState {
+    /// The raw SplitMix64 state (not the seed: the stream continues).
+    pub rng_state: u64,
+}
+
+/// The strategy-specific half of a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StrategyState {
+    /// An [`IcbSearch`](crate::search::IcbSearch) checkpoint.
+    Icb(IcbState),
+    /// A [`DfsSearch`](crate::search::DfsSearch) checkpoint.
+    Dfs(DfsState),
+    /// A [`RandomSearch`](crate::search::RandomSearch) checkpoint.
+    Random(RandomState),
+}
+
+/// A complete, serializable snapshot of an in-flight search.
+///
+/// Snapshots are taken at execution boundaries, where replay determinism
+/// guarantees that resuming reproduces the uninterrupted run exactly:
+/// same executions, same distinct states, same bugs, same final report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchSnapshot {
+    /// The strategy label (`icb`, `dfs`, `db:N`, `random`).
+    pub strategy: String,
+    /// Caller-owned key/value metadata (the CLI stores the benchmark,
+    /// bug and flags here so `resume` can rebuild the program).
+    pub meta: Vec<(String, String)>,
+    /// The search configuration the run was started with.
+    pub config: SearchConfig,
+    /// Cumulative counters, findings and coverage.
+    pub base: ResumeBase,
+    /// Strategy-specific queue/stack state.
+    pub state: StrategyState,
+}
+
+impl SearchSnapshot {
+    /// Looks up a metadata value by key.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the snapshot and writes it to `path` atomically: the
+    /// bytes go to a sibling temp file which is fsynced and renamed over
+    /// `path`, so a crash mid-write never destroys the previous
+    /// checkpoint.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let payload = self.encode();
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fingerprint_bytes(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let mut tmp_os = path.as_os_str().to_owned();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        let io = |e: std::io::Error| SnapshotError::Io(e.to_string());
+        let mut file = fs::File::create(&tmp).map_err(io)?;
+        file.write_all(&bytes).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Decodes a snapshot from its on-disk byte representation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != payload_len {
+            return Err(SnapshotError::Truncated);
+        }
+        if fingerprint_bytes(payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let snap = Self::decode(&mut r)?;
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes".into()));
+        }
+        Ok(snap)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.str(&self.strategy);
+        w.len(self.meta.len());
+        for (k, v) in &self.meta {
+            w.str(k);
+            w.str(v);
+        }
+        encode_config(&mut w, &self.config);
+        encode_base(&mut w, &self.base);
+        match &self.state {
+            StrategyState::Icb(s) => {
+                w.u8(0);
+                w.usize(s.bound);
+                w.usize(s.bound_executions_base);
+                w.usize(s.bound_bugs_base);
+                w.opt_usize(s.completed_bound);
+                w.schedules(&s.work);
+                w.schedules(&s.next);
+                w.len(s.bound_history.len());
+                for b in &s.bound_history {
+                    w.usize(b.bound);
+                    w.usize(b.executions);
+                    w.usize(b.cumulative_states);
+                    w.usize(b.bugs_found);
+                }
+                match &s.in_progress {
+                    None => w.bool(false),
+                    Some((prefix, stack)) => {
+                        w.bool(true);
+                        w.schedule(prefix);
+                        w.branches(stack);
+                    }
+                }
+            }
+            StrategyState::Dfs(s) => {
+                w.u8(1);
+                w.opt_usize(s.depth_bound);
+                w.branches(&s.stack);
+            }
+            StrategyState::Random(s) => {
+                w.u8(2);
+                w.u64(s.rng_state);
+            }
+        }
+        w.buf
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let strategy = r.str()?;
+        let n_meta = r.len()?;
+        let mut meta = Vec::with_capacity(n_meta.min(1024));
+        for _ in 0..n_meta {
+            meta.push((r.str()?, r.str()?));
+        }
+        let config = decode_config(r)?;
+        let base = decode_base(r)?;
+        let state = match r.u8()? {
+            0 => {
+                let bound = r.usize()?;
+                let bound_executions_base = r.usize()?;
+                let bound_bugs_base = r.usize()?;
+                let completed_bound = r.opt_usize()?;
+                let work = r.schedules()?;
+                let next = r.schedules()?;
+                let n = r.len()?;
+                let mut bound_history = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    bound_history.push(BoundStats {
+                        bound: r.usize()?,
+                        executions: r.usize()?,
+                        cumulative_states: r.usize()?,
+                        bugs_found: r.usize()?,
+                    });
+                }
+                let in_progress = if r.bool()? {
+                    Some((r.schedule()?, r.branches()?))
+                } else {
+                    None
+                };
+                StrategyState::Icb(IcbState {
+                    bound,
+                    bound_executions_base,
+                    bound_bugs_base,
+                    completed_bound,
+                    work,
+                    next,
+                    bound_history,
+                    in_progress,
+                })
+            }
+            1 => StrategyState::Dfs(DfsState {
+                depth_bound: r.opt_usize()?,
+                stack: r.branches()?,
+            }),
+            2 => StrategyState::Random(RandomState {
+                rng_state: r.u64()?,
+            }),
+            tag => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unknown strategy state tag {tag}"
+                )))
+            }
+        };
+        Ok(SearchSnapshot {
+            strategy,
+            meta,
+            config,
+            base,
+            state,
+        })
+    }
+}
+
+fn encode_config(w: &mut Writer, c: &SearchConfig) {
+    w.opt_usize(c.max_executions);
+    w.opt_usize(c.preemption_bound);
+    w.bool(c.stop_on_first_bug);
+    w.usize(c.max_bug_reports);
+    w.opt_usize(c.max_work_queue);
+    match c.max_duration {
+        None => w.bool(false),
+        Some(d) => {
+            w.bool(true);
+            w.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<SearchConfig, SnapshotError> {
+    Ok(SearchConfig {
+        max_executions: r.opt_usize()?,
+        preemption_bound: r.opt_usize()?,
+        stop_on_first_bug: r.bool()?,
+        max_bug_reports: r.usize()?,
+        max_work_queue: r.opt_usize()?,
+        max_duration: if r.bool()? {
+            Some(std::time::Duration::from_nanos(r.u64()?))
+        } else {
+            None
+        },
+    })
+}
+
+fn encode_base(w: &mut Writer, b: &ResumeBase) {
+    w.usize(b.executions);
+    w.usize(b.buggy_executions);
+    w.len(b.bugs.len());
+    for bug in &b.bugs {
+        encode_outcome(w, &bug.outcome);
+        w.schedule(&bug.schedule);
+        w.usize(bug.preemptions);
+        w.usize(bug.execution_index);
+        w.usize(bug.steps);
+    }
+    encode_stats(w, &b.max_stats);
+    w.len(b.quarantined.len());
+    for q in &b.quarantined {
+        w.schedule(&q.schedule);
+        w.usize(q.step);
+        w.tid(q.expected);
+        w.tids(&q.actual);
+    }
+    w.usize(b.quarantined_total);
+    w.usize(b.watchdog_trips);
+    w.bool(b.truncated);
+    w.len(b.coverage_states.len());
+    for &s in &b.coverage_states {
+        w.u64(s);
+    }
+    w.usize(b.coverage_executions);
+    w.len(b.coverage_curve.len());
+    for &(x, y) in &b.coverage_curve {
+        w.usize(x);
+        w.usize(y);
+    }
+}
+
+fn decode_base(r: &mut Reader<'_>) -> Result<ResumeBase, SnapshotError> {
+    let executions = r.usize()?;
+    let buggy_executions = r.usize()?;
+    let n_bugs = r.len()?;
+    let mut bugs = Vec::with_capacity(n_bugs.min(1024));
+    for _ in 0..n_bugs {
+        bugs.push(BugReport {
+            outcome: decode_outcome(r)?,
+            schedule: r.schedule()?,
+            preemptions: r.usize()?,
+            execution_index: r.usize()?,
+            steps: r.usize()?,
+        });
+    }
+    let max_stats = decode_stats(r)?;
+    let n_q = r.len()?;
+    let mut quarantined = Vec::with_capacity(n_q.min(1024));
+    for _ in 0..n_q {
+        quarantined.push(QuarantinedTrace {
+            schedule: r.schedule()?,
+            step: r.usize()?,
+            expected: r.tid()?,
+            actual: r.tids()?,
+        });
+    }
+    let quarantined_total = r.usize()?;
+    let watchdog_trips = r.usize()?;
+    let truncated = r.bool()?;
+    let n_states = r.len()?;
+    let mut coverage_states = Vec::with_capacity(n_states.min(1 << 20));
+    for _ in 0..n_states {
+        coverage_states.push(r.u64()?);
+    }
+    let coverage_executions = r.usize()?;
+    let n_curve = r.len()?;
+    let mut coverage_curve = Vec::with_capacity(n_curve.min(1 << 20));
+    for _ in 0..n_curve {
+        coverage_curve.push((r.usize()?, r.usize()?));
+    }
+    Ok(ResumeBase {
+        executions,
+        buggy_executions,
+        bugs,
+        max_stats,
+        quarantined,
+        quarantined_total,
+        watchdog_trips,
+        truncated,
+        coverage_states,
+        coverage_executions,
+        coverage_curve,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &ExecStats) {
+    w.usize(s.steps);
+    w.usize(s.blocking_steps);
+    w.usize(s.preemptions);
+    w.usize(s.context_switches);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<ExecStats, SnapshotError> {
+    Ok(ExecStats {
+        steps: r.usize()?,
+        blocking_steps: r.usize()?,
+        preemptions: r.usize()?,
+        context_switches: r.usize()?,
+    })
+}
+
+fn encode_outcome(w: &mut Writer, o: &ExecutionOutcome) {
+    match o {
+        ExecutionOutcome::Terminated => w.u8(0),
+        ExecutionOutcome::AssertionFailure { thread, message } => {
+            w.u8(1);
+            w.tid(*thread);
+            w.str(message);
+        }
+        ExecutionOutcome::Deadlock { blocked } => {
+            w.u8(2);
+            w.tids(blocked);
+        }
+        ExecutionOutcome::DataRace { description } => {
+            w.u8(3);
+            w.str(description);
+        }
+        ExecutionOutcome::StepLimitExceeded => w.u8(4),
+        ExecutionOutcome::ReplayDivergence {
+            step,
+            expected,
+            actual,
+        } => {
+            w.u8(5);
+            w.usize(*step);
+            w.tid(*expected);
+            w.tids(actual);
+        }
+        ExecutionOutcome::WatchdogTimeout => w.u8(6),
+    }
+}
+
+fn decode_outcome(r: &mut Reader<'_>) -> Result<ExecutionOutcome, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => ExecutionOutcome::Terminated,
+        1 => ExecutionOutcome::AssertionFailure {
+            thread: r.tid()?,
+            message: r.str()?,
+        },
+        2 => ExecutionOutcome::Deadlock { blocked: r.tids()? },
+        3 => ExecutionOutcome::DataRace {
+            description: r.str()?,
+        },
+        4 => ExecutionOutcome::StepLimitExceeded,
+        5 => ExecutionOutcome::ReplayDivergence {
+            step: r.usize()?,
+            expected: r.tid()?,
+            actual: r.tids()?,
+        },
+        6 => ExecutionOutcome::WatchdogTimeout,
+        tag => return Err(SnapshotError::Corrupt(format!("unknown outcome tag {tag}"))),
+    })
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn len(&mut self, v: usize) {
+        self.usize(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            None => self.bool(false),
+            Some(x) => {
+                self.bool(true);
+                self.usize(x);
+            }
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn tid(&mut self, t: Tid) {
+        self.usize(t.0);
+    }
+    fn tids(&mut self, ts: &[Tid]) {
+        self.len(ts.len());
+        for &t in ts {
+            self.tid(t);
+        }
+    }
+    fn schedule(&mut self, s: &Schedule) {
+        self.tids(s.as_slice());
+    }
+    fn schedules(&mut self, ss: &[Schedule]) {
+        self.len(ss.len());
+        for s in ss {
+            self.schedule(s);
+        }
+    }
+    fn branches(&mut self, bs: &[BranchSnapshot]) {
+        self.len(bs.len());
+        for b in bs {
+            self.usize(b.step);
+            self.tids(&b.options);
+            self.usize(b.next_ix);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| SnapshotError::Corrupt("value exceeds usize".into()))
+    }
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        self.usize()
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("invalid bool byte {b}"))),
+        }
+    }
+    fn opt_usize(&mut self) -> Result<Option<usize>, SnapshotError> {
+        if self.bool()? {
+            Ok(Some(self.usize()?))
+        } else {
+            Ok(None)
+        }
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("invalid UTF-8 string".into()))
+    }
+    fn tid(&mut self) -> Result<Tid, SnapshotError> {
+        Ok(Tid(self.usize()?))
+    }
+    fn tids(&mut self) -> Result<Vec<Tid>, SnapshotError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(self.tid()?);
+        }
+        Ok(out)
+    }
+    fn schedule(&mut self) -> Result<Schedule, SnapshotError> {
+        Ok(Schedule::from(self.tids()?))
+    }
+    fn schedules(&mut self) -> Result<Vec<Schedule>, SnapshotError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(self.schedule()?);
+        }
+        Ok(out)
+    }
+    fn branches(&mut self) -> Result<Vec<BranchSnapshot>, SnapshotError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(BranchSnapshot {
+                step: self.usize()?,
+                options: self.tids()?,
+                next_ix: self.usize()?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Writes periodic checkpoints of a search to one path.
+///
+/// A checkpointer is handed to `run_checkpointed` / `resume` on the
+/// strategies; they consult [`due`](Checkpointer::due) at execution
+/// boundaries and [`write`](Checkpointer::write) atomically. On clean
+/// completion the strategy calls [`finish`](Checkpointer::finish) to
+/// remove the file — a completed search has nothing to resume.
+#[derive(Debug)]
+pub struct Checkpointer {
+    path: PathBuf,
+    every: usize,
+    last_at: usize,
+    meta: Vec<(String, String)>,
+}
+
+impl Checkpointer {
+    /// Creates a checkpointer writing to `path` every `every` executions
+    /// (clamped to at least 1).
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        Checkpointer {
+            path: path.into(),
+            every: every.max(1),
+            last_at: 0,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Attaches caller-owned metadata recorded in every snapshot (the
+    /// CLI stores the benchmark name, bug and flags so `resume` can
+    /// rebuild the program).
+    pub fn with_meta(mut self, meta: Vec<(String, String)>) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// The path checkpoints are written to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The metadata attached to every snapshot.
+    pub fn meta(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Marks `executions` as already durable (call when resuming so the
+    /// next write is `every` executions after the snapshot, not after
+    /// zero).
+    pub fn mark_written(&mut self, executions: usize) {
+        self.last_at = executions;
+    }
+
+    /// Whether a checkpoint is due at cumulative execution count
+    /// `executions`.
+    pub fn due(&self, executions: usize) -> bool {
+        executions.saturating_sub(self.last_at) >= self.every
+    }
+
+    /// Writes `snapshot` atomically to the checkpoint path.
+    pub fn write(&mut self, snapshot: &SearchSnapshot) -> Result<(), SnapshotError> {
+        snapshot.write_to(&self.path)?;
+        self.last_at = snapshot.base.executions;
+        Ok(())
+    }
+
+    /// Removes the checkpoint file after a clean completion (a finished
+    /// search has nothing to resume). Missing files are fine.
+    pub fn finish(&self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Cooperative interrupt (Ctrl-C / SIGTERM) support for checkpointing
+/// searches.
+///
+/// The handler only sets an atomic flag; checkpointing strategies poll
+/// [`interrupted`] at execution boundaries, write a final snapshot and
+/// halt with [`AbortReason::Interrupted`](crate::AbortReason). The
+/// workspace links no signal-handling crate, so the handler is installed
+/// through the C `signal` function that libc already provides to every
+/// Rust binary.
+pub mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work is allowed here.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT/SIGTERM handler (idempotent). On platforms
+    /// without POSIX signals this is a no-op and [`interrupted`] only
+    /// reflects [`request`] calls.
+    pub fn install() {
+        #[cfg(unix)]
+        {
+            static ONCE: std::sync::Once = std::sync::Once::new();
+            ONCE.call_once(|| unsafe {
+                signal(2, on_signal); // SIGINT
+                signal(15, on_signal); // SIGTERM
+            });
+        }
+    }
+
+    /// Whether an interrupt was requested since the last [`reset`].
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    /// Requests an interrupt programmatically (what the signal handler
+    /// does; useful in tests).
+    pub fn request() {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears the interrupt flag.
+    pub fn reset() {
+        INTERRUPTED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SearchSnapshot {
+        SearchSnapshot {
+            strategy: "icb".into(),
+            meta: vec![("benchmark".into(), "Bluetooth".into())],
+            config: SearchConfig {
+                max_executions: Some(5000),
+                preemption_bound: Some(2),
+                stop_on_first_bug: true,
+                max_bug_reports: 7,
+                max_work_queue: None,
+                max_duration: Some(std::time::Duration::from_millis(1500)),
+            },
+            base: ResumeBase {
+                executions: 42,
+                buggy_executions: 1,
+                bugs: vec![BugReport {
+                    outcome: ExecutionOutcome::AssertionFailure {
+                        thread: Tid(1),
+                        message: "lost \"update\"".into(),
+                    },
+                    schedule: vec![Tid(0), Tid(1), Tid(0)].into(),
+                    preemptions: 1,
+                    execution_index: 17,
+                    steps: 3,
+                }],
+                max_stats: ExecStats {
+                    steps: 12,
+                    blocking_steps: 2,
+                    preemptions: 2,
+                    context_switches: 4,
+                },
+                quarantined: vec![QuarantinedTrace {
+                    schedule: vec![Tid(1)].into(),
+                    step: 0,
+                    expected: Tid(1),
+                    actual: vec![Tid(0)],
+                }],
+                quarantined_total: 3,
+                watchdog_trips: 2,
+                truncated: false,
+                coverage_states: vec![1, 5, 9],
+                coverage_executions: 42,
+                coverage_curve: vec![(1, 1), (42, 3)],
+            },
+            state: StrategyState::Icb(IcbState {
+                bound: 1,
+                bound_executions_base: 30,
+                bound_bugs_base: 0,
+                completed_bound: Some(0),
+                work: vec![vec![Tid(0), Tid(1)].into()],
+                next: vec![vec![Tid(1)].into(), vec![Tid(0)].into()],
+                bound_history: vec![BoundStats {
+                    bound: 0,
+                    executions: 30,
+                    cumulative_states: 2,
+                    bugs_found: 0,
+                }],
+                in_progress: Some((
+                    vec![Tid(0)].into(),
+                    vec![BranchSnapshot {
+                        step: 2,
+                        options: vec![Tid(0), Tid(1)],
+                        next_ix: 1,
+                    }],
+                )),
+            }),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("icb-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ck");
+        let snap = sample();
+        snap.write_to(&path).unwrap();
+        let back = SearchSnapshot::read_from(&path).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.meta_value("benchmark"), Some("Bluetooth"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dfs_and_random_states_round_trip() {
+        let mut snap = sample();
+        snap.strategy = "dfs".into();
+        snap.state = StrategyState::Dfs(DfsState {
+            depth_bound: Some(40),
+            stack: vec![BranchSnapshot {
+                step: 0,
+                options: vec![Tid(0), Tid(1), Tid(2)],
+                next_ix: 2,
+            }],
+        });
+        let back = SearchSnapshot::from_bytes(&to_bytes(&snap)).unwrap();
+        assert_eq!(back, snap);
+
+        snap.strategy = "random".into();
+        snap.state = StrategyState::Random(RandomState {
+            rng_state: 0xdead_beef,
+        });
+        let back = SearchSnapshot::from_bytes(&to_bytes(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    fn to_bytes(snap: &SearchSnapshot) -> Vec<u8> {
+        let payload = snap.encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fingerprint_bytes(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_panicked() {
+        let mut bytes = to_bytes(&sample());
+        // Flip one payload byte: checksum must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert_eq!(
+            SearchSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicked() {
+        let bytes = to_bytes(&sample());
+        for cut in [0, 4, 8, HEADER_LEN, bytes.len() - 1] {
+            let err = SearchSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, SnapshotError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert_eq!(
+            SearchSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut bytes = to_bytes(&sample());
+        bytes[8] = 99;
+        assert_eq!(
+            SearchSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn checkpointer_paces_writes_by_executions() {
+        let ck = Checkpointer::new("/tmp/nonexistent.ck", 10);
+        assert!(!ck.due(9));
+        assert!(ck.due(10));
+        let mut ck = Checkpointer::new("/tmp/nonexistent.ck", 10);
+        ck.mark_written(25);
+        assert!(!ck.due(30));
+        assert!(ck.due(35));
+    }
+
+    #[test]
+    fn errors_render_clear_messages() {
+        assert!(SnapshotError::ChecksumMismatch
+            .to_string()
+            .contains("corrupted"));
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+        let e = SnapshotError::WrongStrategy {
+            expected: "icb".into(),
+            found: "dfs".into(),
+        };
+        assert!(e.to_string().contains("dfs"));
+        assert!(e.to_string().contains("icb"));
+    }
+
+    #[test]
+    fn interrupt_flag_sets_and_resets() {
+        interrupt::reset();
+        assert!(!interrupt::interrupted());
+        interrupt::request();
+        assert!(interrupt::interrupted());
+        interrupt::reset();
+        assert!(!interrupt::interrupted());
+        interrupt::install(); // must not crash or reorder the flag
+        assert!(!interrupt::interrupted());
+    }
+}

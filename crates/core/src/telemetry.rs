@@ -23,8 +23,30 @@
 
 use std::time::Duration;
 
-use crate::search::{BoundStats, BugReport, SearchReport};
+use crate::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
 use crate::trace::{ExecStats, ExecutionOutcome};
+
+/// The cumulative counters a resumed search starts from, reported once
+/// through [`SearchObserver::search_resumed`] right after
+/// `search_started`, before any execution of the new segment.
+///
+/// Consumers that extrapolate from counters (progress reporters, report
+/// stitchers) use this to distinguish "work done in this segment" from
+/// "work inherited from the checkpoint" — an ETA computed as
+/// `executions / elapsed` would otherwise count inherited executions
+/// against this segment's wall clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// Executions completed before the checkpoint was taken.
+    pub executions: usize,
+    /// Distinct states covered before the checkpoint was taken.
+    pub distinct_states: usize,
+    /// The preemption bound the search resumes into (0 for strategies
+    /// without bounds).
+    pub bound: usize,
+    /// Executions already spent at that bound before the checkpoint.
+    pub bound_executions: usize,
+}
 
 /// A program location / synchronization-operation label, the unit of
 /// attribution for the exploration profiler.
@@ -187,6 +209,10 @@ pub enum AbortReason {
     /// A bug was found under
     /// [`SearchConfig::stop_on_first_bug`](crate::search::SearchConfig).
     FirstBug,
+    /// The operator interrupted the search (Ctrl-C); a checkpointing
+    /// search writes a final snapshot before stopping, so the run can be
+    /// continued with `resume`.
+    Interrupted,
 }
 
 impl std::fmt::Display for AbortReason {
@@ -195,6 +221,7 @@ impl std::fmt::Display for AbortReason {
             AbortReason::Timeout => write!(f, "timeout"),
             AbortReason::ExecutionBudget => write!(f, "execution-budget"),
             AbortReason::FirstBug => write!(f, "first-bug"),
+            AbortReason::Interrupted => write!(f, "interrupted"),
         }
     }
 }
@@ -309,6 +336,22 @@ pub trait SearchObserver {
     /// The search is stopping before exhausting its space.
     fn search_aborted(&mut self, reason: AbortReason) {}
 
+    /// The search resumed from a checkpoint whose cumulative counters
+    /// are in `info`. Fires at most once, immediately after
+    /// `search_started` and before any `execution_started` of the new
+    /// segment.
+    fn search_resumed(&mut self, info: &ResumeInfo) {}
+
+    /// A checkpoint covering everything up to (cumulative) execution
+    /// number `executions` was durably written.
+    fn checkpoint_written(&mut self, executions: usize) {}
+
+    /// Replay diverged; the search forfeits the subtree under
+    /// `quarantined.schedule` and keeps going. Fires once per
+    /// quarantined prefix, after the diverging execution's
+    /// `execution_finished`.
+    fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {}
+
     /// The search is over; `report` is the final report about to be
     /// returned to the caller.
     fn search_finished(&mut self, report: &SearchReport) {}
@@ -371,6 +414,15 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     }
     fn search_aborted(&mut self, reason: AbortReason) {
         (**self).search_aborted(reason)
+    }
+    fn search_resumed(&mut self, info: &ResumeInfo) {
+        (**self).search_resumed(info)
+    }
+    fn checkpoint_written(&mut self, executions: usize) {
+        (**self).checkpoint_written(executions)
+    }
+    fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
+        (**self).trace_quarantined(quarantined)
     }
     fn search_finished(&mut self, report: &SearchReport) {
         (**self).search_finished(report)

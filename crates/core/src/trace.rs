@@ -45,6 +45,28 @@ pub enum ExecutionOutcome {
     /// limit usually indicates a livelock or an unbounded loop in the
     /// program under test.
     StepLimitExceeded,
+    /// Replay of a recorded schedule diverged: at `step` the schedule
+    /// demanded `expected`, but the program offered a different enabled
+    /// set (`actual`). This means the program under test is not
+    /// deterministic under the controlled scheduler — a *testing
+    /// infrastructure* problem, not a program bug. Strategies quarantine
+    /// the diverging prefix and forfeit its subtree instead of aborting.
+    ReplayDivergence {
+        /// The step index at which the replay diverged.
+        step: usize,
+        /// The thread the recorded schedule expected to run.
+        expected: Tid,
+        /// The threads that were actually enabled at that point.
+        actual: Vec<Tid>,
+    },
+    /// The execution exceeded the configured per-execution wall-clock
+    /// budget (the runtime's `max_wall_time`) and was abandoned by the
+    /// watchdog.
+    ///
+    /// Like [`StepLimitExceeded`](ExecutionOutcome::StepLimitExceeded)
+    /// this is recoverable: the search records the trip and moves on to
+    /// the next schedule instead of hanging forever.
+    WatchdogTimeout,
 }
 
 impl ExecutionOutcome {
@@ -78,7 +100,97 @@ impl fmt::Display for ExecutionOutcome {
                 write!(f, "data race: {description}")
             }
             ExecutionOutcome::StepLimitExceeded => write!(f, "step limit exceeded"),
+            ExecutionOutcome::ReplayDivergence {
+                step,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "replay divergence at step {step}: expected {expected}, enabled:"
+                )?;
+                for t in actual {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+            ExecutionOutcome::WatchdogTimeout => write!(f, "watchdog timeout"),
         }
+    }
+}
+
+/// The panic payload schedulers raise when a recorded schedule cannot be
+/// replayed (the program under test is not deterministic).
+///
+/// Schedulers run *inside* the program host's execution loop and have no
+/// error channel of their own, so divergence is signalled by unwinding
+/// with this payload via [`DivergencePayload::raise`]. Hosts and
+/// strategies that catch the unwind downcast to this type and convert it
+/// into a recoverable [`ExecutionOutcome::ReplayDivergence`] via
+/// [`DivergencePayload::into_outcome`]; any other payload is a genuine
+/// panic and must be re-raised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DivergencePayload {
+    /// The step index at which the replay diverged.
+    pub step: usize,
+    /// The thread the recorded schedule expected to run.
+    pub expected: Tid,
+    /// The threads that were actually enabled at that point.
+    pub actual: Vec<Tid>,
+}
+
+impl DivergencePayload {
+    /// Creates a payload describing a divergence at `step`.
+    pub fn new(step: usize, expected: Tid, actual: Vec<Tid>) -> Self {
+        DivergencePayload {
+            step,
+            expected,
+            actual,
+        }
+    }
+
+    /// Unwinds with this payload.
+    ///
+    /// Every catcher (the runtime engine, the search strategies)
+    /// downcasts and recovers, so the first raise quietly chains a panic
+    /// hook that suppresses the default "thread panicked" spew for this
+    /// payload type — a search over a nondeterministic program would
+    /// otherwise print one backtrace banner per quarantined subtree.
+    /// All other payloads still reach the previously installed hook.
+    pub fn raise(self) -> ! {
+        static SILENCE: std::sync::Once = std::sync::Once::new();
+        SILENCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<DivergencePayload>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+        std::panic::panic_any(self)
+    }
+
+    /// Converts the payload into its recoverable execution outcome.
+    pub fn into_outcome(self) -> ExecutionOutcome {
+        ExecutionOutcome::ReplayDivergence {
+            step: self.step,
+            expected: self.expected,
+            actual: self.actual,
+        }
+    }
+}
+
+impl fmt::Display for DivergencePayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay divergence at step {}: expected {}, enabled:",
+            self.step, self.expected
+        )?;
+        for t in &self.actual {
+            write!(f, " {t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -526,6 +638,28 @@ mod tests {
             description: "r/w".into()
         }
         .is_bug());
+        // Infrastructure outcomes are recoverable, not program bugs.
+        assert!(!ExecutionOutcome::ReplayDivergence {
+            step: 3,
+            expected: Tid(1),
+            actual: vec![Tid(0)],
+        }
+        .is_bug());
+        assert!(!ExecutionOutcome::WatchdogTimeout.is_bug());
+    }
+
+    #[test]
+    fn divergence_payload_round_trips_into_an_outcome() {
+        let err = std::panic::catch_unwind(|| {
+            DivergencePayload::new(4, Tid(2), vec![Tid(0), Tid(1)]).raise()
+        })
+        .unwrap_err();
+        let payload = err
+            .downcast::<DivergencePayload>()
+            .expect("payload survives the unwind");
+        let outcome = payload.into_outcome();
+        assert!(!outcome.is_bug());
+        assert!(outcome.to_string().contains("replay divergence at step 4"));
     }
 
     #[test]

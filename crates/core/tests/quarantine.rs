@@ -1,0 +1,142 @@
+//! Divergence quarantine: a program that breaks the determinism
+//! contract must not bring the search down (the pre-quarantine behavior
+//! was a panic that unwound through the whole run), must not be reported
+//! as a program bug, and must be called out in the final report.
+
+use std::cell::Cell;
+
+use icb_core::search::{BestFirstSearch, DfsSearch, IcbSearch, SearchConfig};
+use icb_core::{
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
+    Trace, TraceEntry,
+};
+
+/// Two threads × `k` steps, deliberately nondeterministic: on every
+/// odd-numbered run, thread 1 is blocked until thread 0 finishes. A
+/// schedule recorded on an even run (thread 1 free to go first) diverges
+/// when replayed on an odd run — exactly the failure mode quarantine
+/// exists for.
+struct FlakyCounters {
+    k: usize,
+    runs: Cell<usize>,
+}
+
+impl FlakyCounters {
+    fn new(k: usize) -> Self {
+        FlakyCounters {
+            k,
+            runs: Cell::new(0),
+        }
+    }
+}
+
+impl ControlledProgram for FlakyCounters {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let run = self.runs.get();
+        self.runs.set(run + 1);
+        let constrained = run % 2 == 1;
+        let mut pos = [0usize; 2];
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..2)
+                .filter(|&i| pos[i] < self.k && !(constrained && i == 1 && pos[0] < self.k))
+                .map(Tid)
+                .collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|t| enabled.contains(&t));
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
+            pos[chosen.index()] += 1;
+            current = Some(chosen);
+            let fp = (pos[0] as u64) << 32 | pos[1] as u64;
+            sink.visit(icb_core::coverage::mix64(fp));
+        }
+        ExecutionResult::from_trace(ExecutionOutcome::Terminated, trace)
+    }
+}
+
+#[test]
+fn icb_quarantines_diverging_subtrees_and_keeps_searching() {
+    let program = FlakyCounters::new(2);
+    let report = IcbSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    assert!(
+        report.quarantined_total > 0,
+        "nondeterministic workload must trip quarantine: {report}"
+    );
+    assert!(
+        !report.quarantined.is_empty(),
+        "quarantined traces must be listed"
+    );
+    // Divergence is an infrastructure failure, not a program bug.
+    assert_eq!(report.buggy_executions, 0, "{report}");
+    assert!(report.bugs.is_empty());
+    // The search survived and kept exploring past the divergence.
+    assert!(report.executions > 1);
+    // The final report states the forfeited space.
+    let text = report.to_string();
+    assert!(text.contains("quarantined"), "{text}");
+    assert!(text.contains("forfeited"), "{text}");
+}
+
+#[test]
+fn quarantined_traces_carry_the_divergence_details() {
+    let program = FlakyCounters::new(2);
+    let report = IcbSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    let q = report
+        .quarantined
+        .first()
+        .expect("at least one quarantined trace");
+    assert!(
+        !q.actual.contains(&q.expected),
+        "the expected thread must be missing from the enabled set"
+    );
+}
+
+#[test]
+fn dfs_quarantines_instead_of_crashing() {
+    let program = FlakyCounters::new(2);
+    let report = DfsSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    assert!(report.quarantined_total > 0, "{report}");
+    assert_eq!(report.buggy_executions, 0);
+}
+
+#[test]
+fn best_first_quarantines_instead_of_crashing() {
+    let program = FlakyCounters::new(2);
+    let report = BestFirstSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    assert!(report.quarantined_total > 0, "{report}");
+    assert_eq!(report.buggy_executions, 0);
+}
+
+#[test]
+fn divergence_count_is_capped_but_total_is_not() {
+    let program = FlakyCounters::new(3);
+    let config = SearchConfig {
+        max_executions: Some(2000),
+        max_bug_reports: 2,
+        ..SearchConfig::default()
+    };
+    let report = IcbSearch::new(config).run(&program);
+    if report.quarantined_total > 2 {
+        assert_eq!(
+            report.quarantined.len(),
+            2,
+            "list capped at max_bug_reports"
+        );
+    }
+    assert!(report.quarantined_total >= report.quarantined.len());
+}

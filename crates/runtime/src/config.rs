@@ -21,6 +21,16 @@ pub struct RuntimeConfig {
     /// `false`, races are ignored — only useful for measuring how many
     /// executions a detector-less checker would explore.
     pub fail_on_race: bool,
+    /// Per-execution wall-clock watchdog (default `None` = disabled).
+    ///
+    /// [`max_steps`](RuntimeConfig::max_steps) catches livelocks that
+    /// keep hitting scheduling points, but a task stuck *between* points
+    /// (an unbounded uninstrumented loop, a blocking syscall) hangs the
+    /// execution forever. With a budget set, the engine abandons such an
+    /// execution and reports the recoverable
+    /// [`ExecutionOutcome::WatchdogTimeout`](icb_core::ExecutionOutcome)
+    /// instead of hanging the search.
+    pub max_wall_time: Option<std::time::Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -29,6 +39,7 @@ impl Default for RuntimeConfig {
             max_steps: 20_000,
             preempt_data_vars: false,
             fail_on_race: true,
+            max_wall_time: None,
         }
     }
 }

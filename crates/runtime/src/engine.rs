@@ -20,8 +20,8 @@ use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as Std
 use std::time::{Duration, Instant};
 
 use icb_core::{
-    ExecutionOutcome, ExecutionResult, Phase, SchedulePoint, Scheduler, SearchObserver, StateSink,
-    Tid, Trace, TraceEntry,
+    DivergencePayload, ExecutionOutcome, ExecutionResult, Phase, SchedulePoint, Scheduler,
+    SearchObserver, StateSink, Tid, Trace, TraceEntry,
 };
 use icb_race::{AccessKind, HbFingerprint, RaceDetector};
 
@@ -234,6 +234,10 @@ impl Execution {
         observer: &mut dyn SearchObserver,
     ) -> ExecutionResult {
         let max_steps = self.config.max_steps;
+        let deadline = self
+            .config
+            .max_wall_time
+            .map(|budget| Instant::now() + budget);
         let mut inner = self.lock();
         let time_phases = inner.time_phases;
         let mut replay_time = Duration::ZERO;
@@ -241,10 +245,43 @@ impl Execution {
         loop {
             let t0 = time_phases.then(Instant::now);
             while inner.turn != Turn::Controller {
-                inner = self.wait(inner);
+                match deadline {
+                    None => inner = self.wait(inner),
+                    Some(dl) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            break;
+                        }
+                        inner = self
+                            .cv
+                            .wait_timeout(inner, dl - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
             }
             if let Some(t0) = t0 {
                 replay_time += t0.elapsed();
+            }
+            if inner.turn != Turn::Controller {
+                // Watchdog expiry: the baton holder is stuck *between*
+                // scheduling points (uninstrumented loop, blocking call),
+                // where max_steps cannot see it. Abandon the task — mark
+                // it finished so the abort drain below doesn't wait for
+                // it; if it ever wakes it unwinds via the abort flag, and
+                // handle_task_panic's finished-guard skips the recount.
+                if let Turn::Task(i) = inner.turn {
+                    if !inner.tasks[i].finished {
+                        inner.tasks[i].finished = true;
+                        inner.alive -= 1;
+                    }
+                }
+                inner
+                    .outcome
+                    .get_or_insert(ExecutionOutcome::WatchdogTimeout);
+                inner.abort = true;
+                inner.turn = Turn::Controller;
+                self.cv.notify_all();
             }
             if let Some(fp) = inner.pending_fp.take() {
                 sink.visit(fp);
@@ -322,15 +359,26 @@ impl Execution {
             let chosen = match picked {
                 Ok(chosen) => chosen,
                 Err(payload) => {
-                    // Scheduler failure (e.g. replay divergence): drain
-                    // the tasks so workers are reclaimed, then re-raise.
+                    // Scheduler failure: drain the tasks so workers are
+                    // reclaimed.
                     inner.abort = true;
                     self.cv.notify_all();
                     while inner.alive > 0 {
                         inner = self.wait(inner);
                     }
-                    drop(inner);
-                    resume_unwind(payload);
+                    match payload.downcast::<DivergencePayload>() {
+                        Ok(divergence) => {
+                            // Replay divergence is recoverable: surface it
+                            // as the outcome (with the partial trace) so
+                            // the search can quarantine instead of crash.
+                            inner.outcome.get_or_insert(divergence.into_outcome());
+                            break;
+                        }
+                        Err(payload) => {
+                            drop(inner);
+                            resume_unwind(payload);
+                        }
+                    }
                 }
             };
             assert!(

@@ -57,6 +57,13 @@ impl RuntimeProgram {
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
     }
+
+    /// Mutable access to the configuration — e.g. to arm the
+    /// [`max_wall_time`](RuntimeConfig::max_wall_time) watchdog on a
+    /// program built by a helper.
+    pub fn config_mut(&mut self) -> &mut RuntimeConfig {
+        &mut self.config
+    }
 }
 
 impl ControlledProgram for RuntimeProgram {

@@ -1,0 +1,106 @@
+//! Crash-resilience behavior of the engine itself: replay divergence
+//! surfaces as a recoverable outcome (not a process-killing panic), and
+//! the wall-clock watchdog reclaims executions whose tasks get stuck
+//! *between* scheduling points, where `max_steps` cannot see them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::{ControlledProgram, ExecutionOutcome, NullSink, ReplayScheduler, Schedule, Tid};
+use icb_runtime::sync::Mutex;
+use icb_runtime::{thread, RuntimeConfig, RuntimeProgram};
+
+#[test]
+fn engine_divergence_is_a_recoverable_outcome() {
+    let program = RuntimeProgram::new(|| {
+        let t = thread::spawn(|| {});
+        t.join();
+    });
+    // Two valid steps, then a thread id that can never be enabled.
+    let schedule = Schedule::from(vec![Tid(0), Tid(0), Tid(7)]);
+    let mut replay = ReplayScheduler::new(schedule);
+    let result = program.execute(&mut replay, &mut NullSink);
+    match result.outcome {
+        ExecutionOutcome::ReplayDivergence {
+            step,
+            expected,
+            ref actual,
+        } => {
+            assert_eq!(step, 2);
+            assert_eq!(expected, Tid(7));
+            assert!(!actual.contains(&expected));
+        }
+        ref other => panic!("expected ReplayDivergence, got {other:?}"),
+    }
+    // The partial trace up to the divergence point is preserved.
+    assert_eq!(result.trace.len(), 2);
+
+    // Workers were reclaimed: the engine runs normally afterwards.
+    let report = IcbSearch::new(SearchConfig::default()).run(&program);
+    assert!(report.completed);
+    assert!(report.bugs.is_empty());
+}
+
+#[test]
+fn watchdog_times_out_a_stuck_task() {
+    let config = RuntimeConfig {
+        max_wall_time: Some(Duration::from_millis(25)),
+        ..RuntimeConfig::default()
+    };
+    let program = RuntimeProgram::with_config(config, || {
+        // Stuck between scheduling points: no yield, no sync op.
+        std::thread::sleep(Duration::from_millis(250));
+    });
+    let mut replay = ReplayScheduler::new(Schedule::new());
+    let result = program.execute(&mut replay, &mut NullSink);
+    assert_eq!(result.outcome, ExecutionOutcome::WatchdogTimeout);
+}
+
+#[test]
+fn watchdog_drains_the_other_tasks() {
+    // The stuck task holds the baton while another task is parked; the
+    // watchdog must abandon the former and cleanly unwind the latter.
+    let config = RuntimeConfig {
+        max_wall_time: Some(Duration::from_millis(25)),
+        ..RuntimeConfig::default()
+    };
+    let program = RuntimeProgram::with_config(config, || {
+        let lock = Arc::new(Mutex::new(0u32));
+        let l2 = Arc::clone(&lock);
+        let t = thread::spawn(move || {
+            *l2.lock() += 1;
+            std::thread::sleep(Duration::from_millis(250));
+        });
+        t.join();
+    });
+    let mut replay = ReplayScheduler::new(Schedule::new());
+    let result = program.execute(&mut replay, &mut NullSink);
+    assert_eq!(result.outcome, ExecutionOutcome::WatchdogTimeout);
+
+    // And the engine is reusable for a healthy program afterwards.
+    let healthy = RuntimeProgram::new(|| {
+        let t = thread::spawn(|| {});
+        t.join();
+    });
+    let report = IcbSearch::new(SearchConfig::default()).run(&healthy);
+    assert!(report.completed);
+}
+
+#[test]
+fn search_survives_a_livelocking_workload_and_reports_trips() {
+    let config = RuntimeConfig {
+        max_wall_time: Some(Duration::from_millis(20)),
+        ..RuntimeConfig::default()
+    };
+    let program = RuntimeProgram::with_config(config, || {
+        std::thread::sleep(Duration::from_millis(200));
+    });
+    let report = IcbSearch::new(SearchConfig::default()).run(&program);
+    // The hung execution became a recoverable timeout, not a hang or a
+    // bug report, and the search ran to completion.
+    assert!(report.watchdog_trips >= 1, "{report}");
+    assert!(report.bugs.is_empty());
+    assert_eq!(report.buggy_executions, 0);
+    assert!(report.to_string().contains("watchdog"), "{report}");
+}

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use icb_core::search::{BoundStats, BugReport, SearchReport};
-use icb_core::telemetry::AbortReason;
+use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
+use icb_core::telemetry::{AbortReason, ResumeInfo};
 use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// One recorded search event (an owned mirror of the
@@ -86,6 +86,21 @@ pub enum Event {
         /// Wall-clock attributed to it.
         elapsed: Duration,
     },
+    /// `search_resumed(info)`.
+    SearchResumed {
+        /// The checkpoint's cumulative counters.
+        info: ResumeInfo,
+    },
+    /// `checkpoint_written(executions)`.
+    CheckpointWritten {
+        /// Cumulative executions covered by the snapshot.
+        executions: usize,
+    },
+    /// `trace_quarantined(quarantined)`.
+    TraceQuarantined {
+        /// The forfeited schedule prefix and divergence details.
+        quarantined: QuarantinedTrace,
+    },
     /// `search_aborted(reason)`.
     SearchAborted {
         /// Why the search stopped early.
@@ -115,6 +130,9 @@ impl Event {
             Event::ChoicePoint { .. } => "choice-point",
             Event::PreemptionTaken { .. } => "preemption-taken",
             Event::PhaseTime { .. } => "phase-time",
+            Event::SearchResumed { .. } => "search-resumed",
+            Event::CheckpointWritten { .. } => "checkpoint-written",
+            Event::TraceQuarantined { .. } => "trace-quarantined",
             Event::SearchAborted { .. } => "search-aborted",
             Event::SearchFinished { .. } => "search-finished",
         }
@@ -221,6 +239,20 @@ impl SearchObserver for EventLog {
 
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
         self.events.push(Event::PhaseTime { phase, elapsed });
+    }
+
+    fn search_resumed(&mut self, info: &ResumeInfo) {
+        self.events.push(Event::SearchResumed { info: *info });
+    }
+
+    fn checkpoint_written(&mut self, executions: usize) {
+        self.events.push(Event::CheckpointWritten { executions });
+    }
+
+    fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
+        self.events.push(Event::TraceQuarantined {
+            quarantined: quarantined.clone(),
+        });
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {

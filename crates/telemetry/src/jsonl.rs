@@ -3,8 +3,8 @@
 use std::io::Write;
 use std::time::{Duration, Instant};
 
-use icb_core::search::{BoundStats, BugReport, SearchReport};
-use icb_core::telemetry::AbortReason;
+use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
+use icb_core::telemetry::{AbortReason, ResumeInfo};
 use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// Writes every search event as one JSON object per line.
@@ -127,9 +127,13 @@ fn outcome_fields(outcome: &ExecutionOutcome) -> String {
         ExecutionOutcome::Deadlock { .. } => "deadlock",
         ExecutionOutcome::DataRace { .. } => "data-race",
         ExecutionOutcome::StepLimitExceeded => "step-limit-exceeded",
+        ExecutionOutcome::ReplayDivergence { .. } => "replay-divergence",
+        ExecutionOutcome::WatchdogTimeout => "watchdog-timeout",
     };
     match outcome {
-        ExecutionOutcome::Terminated | ExecutionOutcome::StepLimitExceeded => {
+        ExecutionOutcome::Terminated
+        | ExecutionOutcome::StepLimitExceeded
+        | ExecutionOutcome::WatchdogTimeout => {
             format!("\"outcome\":\"{kind}\"")
         }
         other => format!(
@@ -146,8 +150,13 @@ fn stats_fields(stats: &ExecStats) -> String {
     )
 }
 
-fn schedule_array(bug: &BugReport) -> String {
-    let ids: Vec<String> = bug.schedule.iter().map(|t| t.index().to_string()).collect();
+fn schedule_array(schedule: &icb_core::Schedule) -> String {
+    let ids: Vec<String> = schedule.iter().map(|t| t.index().to_string()).collect();
+    format!("[{}]", ids.join(","))
+}
+
+fn tid_array(tids: &[icb_core::Tid]) -> String {
+    let ids: Vec<String> = tids.iter().map(|t| t.index().to_string()).collect();
     format!("[{}]", ids.join(","))
 }
 
@@ -253,7 +262,37 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
             bug.preemptions,
             bug.steps,
             outcome_fields(&bug.outcome),
-            schedule_array(bug),
+            schedule_array(&bug.schedule),
+        );
+        self.emit(&line);
+    }
+
+    fn search_resumed(&mut self, info: &ResumeInfo) {
+        let line = format!(
+            "{{\"event\":\"search-resumed\",\"executions\":{},\"distinct_states\":{},\
+             \"bound\":{},\"bound_executions\":{}}}",
+            info.executions, info.distinct_states, info.bound, info.bound_executions,
+        );
+        self.emit(&line);
+    }
+
+    fn checkpoint_written(&mut self, executions: usize) {
+        self.emit(&format!(
+            "{{\"event\":\"checkpoint-written\",\"executions\":{executions}}}"
+        ));
+        // A checkpoint marks a moment the process may not outlive; make
+        // sure the log on disk covers at least as much as the snapshot.
+        self.flush();
+    }
+
+    fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
+        let line = format!(
+            "{{\"event\":\"trace-quarantined\",\"step\":{},\"expected\":{},\
+             \"actual\":{},\"schedule\":{}}}",
+            quarantined.step,
+            quarantined.expected.index(),
+            tid_array(&quarantined.actual),
+            schedule_array(&quarantined.schedule),
         );
         self.emit(&line);
     }
@@ -444,6 +483,91 @@ mod tests {
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 2, "drop must flush: {text:?}");
         assert!(text.contains("\"event\":\"execution-started\""));
+    }
+
+    #[test]
+    fn resilience_events_are_encoded() {
+        use icb_core::{Schedule, Tid};
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.search_resumed(&ResumeInfo {
+            executions: 120,
+            distinct_states: 37,
+            bound: 2,
+            bound_executions: 20,
+        });
+        sink.checkpoint_written(150);
+        sink.trace_quarantined(&QuarantinedTrace {
+            schedule: Schedule::from(vec![Tid(0), Tid(1)]),
+            step: 1,
+            expected: Tid(1),
+            actual: vec![Tid(0)],
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"search-resumed\""), "{text}");
+        assert!(lines[0].contains("\"executions\":120"));
+        assert!(lines[0].contains("\"bound\":2"));
+        assert!(lines[1].contains("\"event\":\"checkpoint-written\""));
+        assert!(lines[1].contains("\"executions\":150"));
+        assert!(lines[2].contains("\"event\":\"trace-quarantined\""));
+        assert!(lines[2].contains("\"expected\":1"));
+        assert!(lines[2].contains("\"schedule\":[0,1]"));
+    }
+
+    #[test]
+    fn checkpoint_written_flushes_the_stream() {
+        use std::io::BufWriter;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::new(BufWriter::with_capacity(64 * 1024, buf.clone()));
+        sink.search_started("icb");
+        sink.checkpoint_written(10);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("\"event\":\"checkpoint-written\""),
+            "the log must cover at least as much as the snapshot: {text:?}"
+        );
+    }
+
+    #[test]
+    fn new_outcomes_have_kebab_kinds() {
+        use icb_core::Tid;
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.execution_finished(
+            1,
+            &ExecStats::default(),
+            &ExecutionOutcome::ReplayDivergence {
+                step: 3,
+                expected: Tid(1),
+                actual: vec![Tid(0)],
+            },
+            1,
+        );
+        sink.execution_finished(
+            2,
+            &ExecStats::default(),
+            &ExecutionOutcome::WatchdogTimeout,
+            1,
+        );
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"outcome\":\"replay-divergence\""), "{text}");
+        assert!(text.contains("\"outcome\":\"watchdog-timeout\""), "{text}");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use icb_core::search::{BoundStats, BugReport, SearchReport};
-use icb_core::telemetry::AbortReason;
+use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
+use icb_core::telemetry::{AbortReason, ResumeInfo};
 use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
 
 /// Forwards every event to each contained observer, in insertion order.
@@ -136,6 +136,24 @@ impl SearchObserver for MultiObserver<'_> {
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
         for o in &mut self.observers {
             o.phase_time(phase, elapsed);
+        }
+    }
+
+    fn search_resumed(&mut self, info: &ResumeInfo) {
+        for o in &mut self.observers {
+            o.search_resumed(info);
+        }
+    }
+
+    fn checkpoint_written(&mut self, executions: usize) {
+        for o in &mut self.observers {
+            o.checkpoint_written(executions);
+        }
+    }
+
+    fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
+        for o in &mut self.observers {
+            o.trace_quarantined(quarantined);
         }
     }
 

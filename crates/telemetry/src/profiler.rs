@@ -37,6 +37,10 @@ pub struct ExplorationProfiler {
     completed: bool,
     truncated: bool,
     aborted: Option<String>,
+    quarantined: usize,
+    watchdog_trips: usize,
+    checkpoints: usize,
+    resumed_from: Option<usize>,
 }
 
 impl Default for ExplorationProfiler {
@@ -62,6 +66,10 @@ impl ExplorationProfiler {
             completed: false,
             truncated: false,
             aborted: None,
+            quarantined: 0,
+            watchdog_trips: 0,
+            checkpoints: 0,
+            resumed_from: None,
         }
     }
 
@@ -90,6 +98,10 @@ impl ExplorationProfiler {
             bounds: self.bounds.clone(),
             sites: self.attribution.rows(),
             phases: self.phases,
+            quarantined: self.quarantined,
+            watchdog_trips: self.watchdog_trips,
+            checkpoints: self.checkpoints,
+            resumed_from: self.resumed_from,
         }
     }
 }
@@ -109,11 +121,12 @@ impl SearchObserver for ExplorationProfiler {
     ) {
         self.executions = self.executions.max(index);
         self.distinct_states = self.distinct_states.max(distinct_states);
-        if !matches!(
-            outcome,
-            ExecutionOutcome::Terminated | ExecutionOutcome::StepLimitExceeded
-        ) {
-            self.buggy_executions += 1;
+        match outcome {
+            ExecutionOutcome::Terminated
+            | ExecutionOutcome::StepLimitExceeded
+            | ExecutionOutcome::ReplayDivergence { .. } => {}
+            ExecutionOutcome::WatchdogTimeout => self.watchdog_trips += 1,
+            _ => self.buggy_executions += 1,
         }
         self.attribution.execution_finished(distinct_states);
     }
@@ -156,6 +169,18 @@ impl SearchObserver for ExplorationProfiler {
         self.aborted = Some(reason.to_string());
     }
 
+    fn search_resumed(&mut self, info: &icb_core::telemetry::ResumeInfo) {
+        self.resumed_from = Some(info.executions);
+    }
+
+    fn checkpoint_written(&mut self, _executions: usize) {
+        self.checkpoints += 1;
+    }
+
+    fn trace_quarantined(&mut self, _quarantined: &icb_core::search::QuarantinedTrace) {
+        self.quarantined += 1;
+    }
+
     fn search_finished(&mut self, report: &SearchReport) {
         self.elapsed = self.started.map(|t| t.elapsed());
         self.executions = report.executions;
@@ -164,6 +189,8 @@ impl SearchObserver for ExplorationProfiler {
         self.bugs_reported = report.bugs.len();
         self.completed = report.completed;
         self.truncated = report.truncated;
+        self.quarantined = report.quarantined_total;
+        self.watchdog_trips = report.watchdog_trips;
     }
 }
 

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use icb_core::bounds;
 use icb_core::search::{BoundStats, SearchReport};
-use icb_core::telemetry::AbortReason;
+use icb_core::telemetry::{AbortReason, ResumeInfo};
 use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
 
 /// Prints a live status line while a search runs.
@@ -39,6 +39,9 @@ pub struct ProgressReporter<W: Write> {
     max_steps: usize,
     /// `(threads, blocking ops per thread)` for the Theorem 1 ETA.
     theorem1: Option<(u64, u64)>,
+    /// Executions inherited from a checkpoint: they predate this
+    /// segment's wall clock, so rate and ETA must not count them.
+    resumed_base: usize,
 }
 
 impl ProgressReporter<std::io::Stderr> {
@@ -65,6 +68,7 @@ impl<W: Write> ProgressReporter<W> {
             queue_depth: 0,
             max_steps: 0,
             theorem1: None,
+            resumed_base: 0,
         }
     }
 
@@ -97,10 +101,11 @@ impl<W: Write> ProgressReporter<W> {
         let c = self.bound? as u64;
         let k = ((self.max_steps as u64) / n.max(1)).max(1);
         let secs = self.started?.elapsed().as_secs_f64();
-        if secs <= 0.0 || self.executions == 0 {
+        let fresh = self.executions.saturating_sub(self.resumed_base);
+        if secs <= 0.0 || fresh == 0 {
             return None;
         }
-        let rate = self.executions as f64 / secs;
+        let rate = fresh as f64 / secs;
         if !rate.is_finite() || rate <= 0.0 {
             return None;
         }
@@ -131,7 +136,7 @@ impl<W: Write> ProgressReporter<W> {
         self.last_line = Some(Instant::now());
         let rate = match self.started {
             Some(s) if s.elapsed().as_secs_f64() > 0.0 => {
-                self.executions as f64 / s.elapsed().as_secs_f64()
+                self.executions.saturating_sub(self.resumed_base) as f64 / s.elapsed().as_secs_f64()
             }
             _ => 0.0,
         };
@@ -161,6 +166,23 @@ impl<W: Write> SearchObserver for ProgressReporter<W> {
     fn search_started(&mut self, strategy: &str) {
         self.strategy = strategy.to_string();
         self.started = Some(Instant::now());
+    }
+
+    fn search_resumed(&mut self, info: &ResumeInfo) {
+        // Seed the cumulative counters from the snapshot so the status
+        // line is truthful, but base the rate (and thus the ETA) on the
+        // executions this segment actually performs.
+        self.resumed_base = info.executions;
+        self.executions = info.executions;
+        self.distinct_states = info.distinct_states;
+        self.bound = Some(info.bound);
+        self.bound_executions = info.bound_executions;
+        let _ = writeln!(
+            self.out,
+            "[{}] resumed from checkpoint: {} execs, {} states, bound {}",
+            self.strategy, info.executions, info.distinct_states, info.bound
+        );
+        let _ = self.out.flush();
     }
 
     fn execution_finished(
@@ -273,6 +295,50 @@ mod tests {
         let text = String::from_utf8(p.out).unwrap();
         // Only the very first status line makes it through the limiter.
         assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn resume_seeds_counters_but_not_the_rate() {
+        let mut p = ProgressReporter::to_writer(Vec::new()).with_interval(Duration::ZERO);
+        p.search_started("icb");
+        p.search_resumed(&ResumeInfo {
+            executions: 1_000_000,
+            distinct_states: 5000,
+            bound: 2,
+            bound_executions: 10,
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        p.execution_finished(
+            1_000_001,
+            &ExecStats::default(),
+            &ExecutionOutcome::Terminated,
+            5001,
+        );
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(
+            text.contains("resumed from checkpoint: 1000000 execs"),
+            "{text}"
+        );
+        // The status line shows the cumulative count…
+        assert!(text.contains("1000001 execs"), "{text}");
+        // …but the rate reflects only this segment's single execution
+        // over ≥5 ms of wall clock, so it cannot reach inherited scale.
+        let rate_part = text
+            .lines()
+            .last()
+            .and_then(|l| l.split('(').nth(1))
+            .unwrap()
+            .to_string();
+        let rate: f64 = rate_part
+            .split("/s")
+            .next()
+            .unwrap()
+            .parse()
+            .expect("rate number");
+        assert!(
+            rate < 10_000.0,
+            "inherited executions leaked into rate: {text}"
+        );
     }
 
     #[test]

@@ -107,6 +107,16 @@ pub struct RunReport {
     pub sites: Vec<SiteRow>,
     /// Wall-clock phase totals (all zero when profiling was off).
     pub phases: PhaseTotals,
+    /// Schedule prefixes quarantined in this segment after replay
+    /// diverged (infrastructure failures, not program bugs).
+    pub quarantined: usize,
+    /// Executions abandoned by the per-execution wall-clock watchdog.
+    pub watchdog_trips: usize,
+    /// Checkpoints durably written during this segment.
+    pub checkpoints: usize,
+    /// Cumulative executions inherited from a checkpoint, when this
+    /// segment started with `explore resume`.
+    pub resumed_from: Option<usize>,
 }
 
 /// Incremental per-site attribution, shared between the live profiler
@@ -290,11 +300,26 @@ impl RunReport {
                     let states = field_usize(line, "distinct_states").unwrap_or(0);
                     report.distinct_states = report.distinct_states.max(states);
                     if let Some(outcome) = field_str(line, "outcome") {
-                        if outcome != "terminated" && outcome != "step-limit-exceeded" {
-                            report.buggy_executions += 1;
+                        match outcome.as_str() {
+                            // Non-bug outcomes: normal termination, the
+                            // livelock guards, and infrastructure
+                            // failures (divergence is quarantined, not
+                            // reported as a program bug).
+                            "terminated" | "step-limit-exceeded" | "replay-divergence" => {}
+                            "watchdog-timeout" => report.watchdog_trips += 1,
+                            _ => report.buggy_executions += 1,
                         }
                     }
                     attribution.execution_finished(states);
+                }
+                "trace-quarantined" => {
+                    report.quarantined += 1;
+                }
+                "checkpoint-written" => {
+                    report.checkpoints += 1;
+                }
+                "search-resumed" => {
+                    report.resumed_from = field_usize(line, "executions");
                 }
                 "choice-point" => {
                     if let Some(site) = field_str(line, "site") {
@@ -362,6 +387,73 @@ impl RunReport {
         }
         report.sites = attribution.rows();
         Ok(report)
+    }
+
+    /// Merges the reports of consecutive segments of one
+    /// checkpoint/resume chain into a single logical run.
+    ///
+    /// Pass segments oldest-first (`explore run --checkpoint` first,
+    /// each `explore resume` after it). Cumulative quantities
+    /// (executions, states, bug counts, per-bound rows) come from the
+    /// latest segment that reports them — a resumed search's counters
+    /// already include everything inherited through the checkpoint, so
+    /// per-bound rows merge keep-last per bound. Per-segment quantities
+    /// (phase times, site attribution, checkpoints, quarantined
+    /// prefixes, watchdog trips, wall time) are summed.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn stitch(segments: &[RunReport]) -> Option<RunReport> {
+        let last = segments.last()?;
+        let mut out = last.clone();
+
+        let mut bounds: BTreeMap<usize, BoundRow> = BTreeMap::new();
+        let mut sites: BTreeMap<String, SiteRow> = BTreeMap::new();
+        let mut phases = PhaseTotals::default();
+        let mut elapsed: Option<Duration> = None;
+        out.quarantined = 0;
+        out.watchdog_trips = 0;
+        out.checkpoints = 0;
+        for seg in segments {
+            for row in &seg.bounds {
+                bounds.insert(row.bound, row.clone());
+            }
+            for site in &seg.sites {
+                let entry = sites.entry(site.site.clone()).or_insert_with(|| SiteRow {
+                    site: site.site.clone(),
+                    choices: 0,
+                    executions: 0,
+                    preemptions: 0,
+                    states_unlocked: 0,
+                });
+                entry.choices += site.choices;
+                entry.executions += site.executions;
+                entry.preemptions += site.preemptions;
+                entry.states_unlocked += site.states_unlocked;
+            }
+            phases.replay += seg.phases.replay;
+            phases.selection += seg.phases.selection;
+            phases.race_detection += seg.phases.race_detection;
+            if let Some(e) = seg.elapsed {
+                elapsed = Some(elapsed.unwrap_or(Duration::ZERO) + e);
+            }
+            out.quarantined += seg.quarantined;
+            out.watchdog_trips += seg.watchdog_trips;
+            out.checkpoints += seg.checkpoints;
+        }
+        out.bounds = bounds.into_values().collect();
+        let mut site_rows: Vec<SiteRow> = sites.into_values().collect();
+        site_rows.sort_by(|a, b| {
+            b.preemptions
+                .cmp(&a.preemptions)
+                .then(b.choices.cmp(&a.choices))
+                .then(a.site.cmp(&b.site))
+        });
+        out.sites = site_rows;
+        out.phases = phases;
+        out.elapsed = elapsed;
+        // The stitched run starts where the *first* segment did.
+        out.resumed_from = segments[0].resumed_from;
+        Some(out)
     }
 }
 
@@ -491,6 +583,21 @@ fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
         }
         if run.truncated {
             summary.push_str(", TRUNCATED");
+        }
+        if let Some(base) = run.resumed_from {
+            summary.push_str(&format!(", resumed from {base} execs"));
+        }
+        if run.checkpoints > 0 {
+            summary.push_str(&format!(", {} checkpoints", run.checkpoints));
+        }
+        if run.quarantined > 0 {
+            summary.push_str(&format!(
+                ", {} quarantined (space forfeited)",
+                run.quarantined
+            ));
+        }
+        if run.watchdog_trips > 0 {
+            summary.push_str(&format!(", {} watchdog trips", run.watchdog_trips));
         }
         if let Some(elapsed) = run.elapsed {
             summary.push_str(&format!(", {}", secs(elapsed)));
@@ -688,6 +795,72 @@ mod tests {
         assert!(!text.contains("Strategy comparison"));
         let both = render_text(&[r.clone(), r], 10);
         assert!(both.contains("Strategy comparison"), "{both}");
+    }
+
+    const SEGMENT1: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"bound-started","bound":0,"work_items":1}
+{"event":"execution-finished","index":1,"steps":2,"blocking_steps":1,"preemptions":0,"context_switches":0,"outcome":"terminated","distinct_states":2}
+{"event":"bound-completed","bound":0,"executions":1,"cumulative_states":2,"bugs_found":0,"wall_time_ns":1000}
+{"event":"bound-started","bound":1,"work_items":2}
+{"event":"execution-finished","index":2,"steps":2,"blocking_steps":1,"preemptions":1,"context_switches":1,"outcome":"replay-divergence","detail":"diverged","distinct_states":3}
+{"event":"trace-quarantined","step":1,"expected":1,"actual":[0],"schedule":[0,1]}
+{"event":"execution-finished","index":3,"steps":2,"blocking_steps":1,"preemptions":1,"context_switches":1,"outcome":"watchdog-timeout","distinct_states":4}
+{"event":"checkpoint-written","executions":3}
+"#;
+
+    const SEGMENT2: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"search-resumed","executions":3,"distinct_states":4,"bound":1,"bound_executions":2}
+{"event":"execution-finished","index":4,"steps":2,"blocking_steps":1,"preemptions":1,"context_switches":1,"outcome":"assertion-failure","detail":"boom","distinct_states":6}
+{"event":"bound-completed","bound":1,"executions":3,"cumulative_states":6,"bugs_found":1,"wall_time_ns":2000}
+{"event":"search-finished","strategy":"icb","executions":4,"distinct_states":6,"buggy_executions":1,"bugs_reported":1,"completed":true,"completed_bound":1,"truncated":false,"elapsed_ns":4000}
+"#;
+
+    #[test]
+    fn infrastructure_outcomes_are_not_program_bugs() {
+        let r = RunReport::from_jsonl(SEGMENT1).unwrap();
+        assert_eq!(r.buggy_executions, 0);
+        assert_eq!(r.quarantined, 1);
+        assert_eq!(r.watchdog_trips, 1);
+        assert_eq!(r.checkpoints, 1);
+        assert!(r.aborted.is_some(), "killed segment reads as aborted");
+    }
+
+    #[test]
+    fn stitches_segments_into_one_per_bound_table() {
+        let a = RunReport::from_jsonl(SEGMENT1).unwrap();
+        let b = RunReport::from_jsonl(SEGMENT2).unwrap();
+        assert_eq!(b.resumed_from, Some(3));
+
+        let stitched = RunReport::stitch(&[a, b]).unwrap();
+        // Cumulative totals come from the final segment.
+        assert_eq!(stitched.executions, 4);
+        assert_eq!(stitched.distinct_states, 6);
+        assert_eq!(stitched.buggy_executions, 1);
+        assert!(stitched.completed);
+        // Per-bound rows merge keep-last: bound 0 from segment 1,
+        // bound 1 from segment 2 (whose counters are cumulative).
+        assert_eq!(stitched.bounds.len(), 2);
+        assert_eq!(stitched.bounds[0].bound, 0);
+        assert_eq!(stitched.bounds[0].executions, 1);
+        assert_eq!(stitched.bounds[1].bound, 1);
+        assert_eq!(stitched.bounds[1].executions, 3);
+        assert_eq!(stitched.bounds[1].cumulative_states, 6);
+        // Per-segment counters are summed.
+        assert_eq!(stitched.quarantined, 1);
+        assert_eq!(stitched.watchdog_trips, 1);
+        assert_eq!(stitched.checkpoints, 1);
+        // The chain started fresh.
+        assert_eq!(stitched.resumed_from, None);
+
+        let text = render_text(std::slice::from_ref(&stitched), 10);
+        assert!(text.contains("1 quarantined"), "{text}");
+        assert!(text.contains("1 watchdog trips"), "{text}");
+        assert!(text.contains("1 checkpoints"), "{text}");
+    }
+
+    #[test]
+    fn stitch_of_nothing_is_none() {
+        assert!(RunReport::stitch(&[]).is_none());
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Robustness: no false positives on the correct benchmark variants
 //! under any strategy, and honest failures on contract violations.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use icb::core::search::{BestFirstSearch, IcbSearch, RandomSearch, SearchConfig};
@@ -102,25 +101,27 @@ impl ControlledProgram for FlipFlop {
 }
 
 #[test]
-fn replay_divergence_is_a_loud_failure_not_a_wrong_answer() {
+fn replay_divergence_is_quarantined_not_a_wrong_answer() {
     // Nondeterministic programs violate the ControlledProgram contract;
-    // the search must panic with a divergence message rather than
-    // silently exploring garbage.
+    // the search quarantines each diverging trace and forfeits the
+    // subtree rooted there instead of crashing or silently exploring
+    // garbage — and never reports the divergence as a program bug.
     let program = FlipFlop {
         runs: AtomicUsize::new(0),
     };
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        IcbSearch::new(SearchConfig::with_max_executions(100)).run(&program)
-    }));
-    let payload = result.expect_err("divergence must panic");
-    let message = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
+    let report = IcbSearch::new(SearchConfig::with_max_executions(100)).run(&program);
     assert!(
-        message.contains("divergence") || message.contains("not enabled"),
-        "unexpected panic message: {message}"
+        report.bugs.is_empty() && report.buggy_executions == 0,
+        "divergence is not a program bug: {report:?}"
+    );
+    assert!(
+        report.quarantined_total >= 1,
+        "the diverging trace must be quarantined: {report:?}"
+    );
+    let text = report.to_string();
+    assert!(
+        text.contains("quarantined") && text.contains("forfeited"),
+        "the report must state the forfeited space: {text}"
     );
 }
 
