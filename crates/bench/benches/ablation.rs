@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use icb_bench::harness::Harness;
-use icb_core::search::{DfsSearch, IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_runtime::sync::Mutex;
 use icb_runtime::{thread, DataVar, RuntimeConfig, RuntimeProgram};
 use icb_statevm::{ExplicitConfig, ExplicitIcb};
@@ -44,10 +44,16 @@ fn reduction_ablation(c: &mut Harness) {
     let mut group = c.group("sync_only_reduction");
     group.sample_size(10);
     let reduced = locked_counter(RuntimeConfig::default());
-    group.bench_function("reduced_bound1", || IcbSearch::up_to_bound(1).run(&reduced));
+    let bound1 = SearchConfig {
+        preemption_bound: Some(1),
+        ..SearchConfig::default()
+    };
+    group.bench_function("reduced_bound1", || {
+        Search::over(&reduced).config(bound1.clone()).run().unwrap()
+    });
     let full = locked_counter(RuntimeConfig::full_interleaving());
     group.bench_function("full_interleaving_bound1", || {
-        IcbSearch::up_to_bound(1).run(&full)
+        Search::over(&full).config(bound1.clone()).run().unwrap()
     });
     group.finish();
 }
@@ -80,10 +86,17 @@ fn exhaustion_ablation(c: &mut Harness) {
     group.sample_size(10);
     let model = bluetooth_model(BluetoothVariant::Fixed, 2);
     group.bench_function("icb", || {
-        IcbSearch::new(SearchConfig::default()).run(&model)
+        Search::over(&model)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap()
     });
     group.bench_function("dfs", || {
-        DfsSearch::new(SearchConfig::default()).run(&model)
+        Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap()
     });
     group.finish();
 }

@@ -4,8 +4,7 @@
 //! `NoopObserver` search against one carrying a full `MetricsRecorder`).
 
 use icb_bench::harness::Harness;
-use icb_core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy};
-use icb_core::NoopObserver;
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_telemetry::MetricsRecorder;
 use icb_workloads::bluetooth::{bluetooth_model, BluetoothVariant};
 use icb_workloads::wsq::{wsq_model, WsqVariant};
@@ -16,14 +15,20 @@ fn strategy_throughput(c: &mut Harness) {
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     let budget = 500;
     let config = SearchConfig::with_max_executions(budget);
-    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(IcbSearch::new(config.clone())),
-        Box::new(DfsSearch::new(config.clone())),
-        Box::new(DfsSearch::with_depth_bound(config.clone(), 20)),
-        Box::new(RandomSearch::new(config.clone(), 7)),
+    let strategies = [
+        Strategy::Icb,
+        Strategy::Dfs,
+        Strategy::DepthBounded(20),
+        Strategy::Random { seed: 7 },
     ];
-    for strategy in &strategies {
-        group.bench_function(&strategy.name(), || strategy.search(&model));
+    for strategy in strategies {
+        group.bench_function(&strategy.label(), || {
+            Search::over(&model)
+                .strategy(strategy.clone())
+                .config(config.clone())
+                .run()
+                .unwrap()
+        });
     }
     group.finish();
 }
@@ -33,14 +38,28 @@ fn icb_bug_hunt(c: &mut Harness) {
     group.sample_size(10);
     let model = bluetooth_model(BluetoothVariant::Buggy, 2);
     group.bench_function("icb_find_minimal_bug", || {
-        IcbSearch::find_minimal_bug(&model, 100_000).expect("bug exists")
+        Search::over(&model)
+            .config(SearchConfig {
+                max_executions: Some(100_000),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+            .expect("bug exists")
     });
     group.bench_function("dfs_find_any_bug", || {
-        let report = DfsSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..SearchConfig::default()
-        })
-        .run(&model);
+        let report = Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(!report.bugs.is_empty());
         report
     });
@@ -53,7 +72,13 @@ fn icb_exhaustive_by_bound(c: &mut Harness) {
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     for bound in [0usize, 1, 2] {
         group.bench_function(&bound.to_string(), || {
-            IcbSearch::up_to_bound(bound).run(&model)
+            Search::over(&model)
+                .config(SearchConfig {
+                    preemption_bound: Some(bound),
+                    ..SearchConfig::default()
+                })
+                .run()
+                .unwrap()
         });
     }
     group.finish();
@@ -66,11 +91,17 @@ fn observer_overhead(c: &mut Harness) {
     let mut group = c.group("observer_overhead");
     group.sample_size(10);
     let model = wsq_model(WsqVariant::Correct, 3, 2);
-    let search = IcbSearch::new(SearchConfig::with_max_executions(500));
-    group.bench_function("noop", || search.search_observed(&model, &mut NoopObserver));
+    let config = SearchConfig::with_max_executions(500);
+    group.bench_function("noop", || {
+        Search::over(&model).config(config.clone()).run().unwrap()
+    });
     group.bench_function("metrics_recorder", || {
         let mut metrics = MetricsRecorder::new();
-        search.search_observed(&model, &mut metrics);
+        Search::over(&model)
+            .config(config.clone())
+            .observer(&mut metrics)
+            .run()
+            .unwrap();
         metrics
     });
     group.finish();

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! explore list
-//! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]
-//!             [--bound N] [--budget N] [--shrink]
+//! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]
+//!             [--bound N] [--budget N] [--jobs N] [--shrink]
 //!             [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]
 //!             [--telemetry jsonl:<path>] [--progress] [--profile]
-//! explore resume <checkpoint> [--checkpoint-every N]
+//! explore resume <checkpoint> [--jobs N] [--checkpoint-every N]
 //!                [--telemetry jsonl:<path>] [--progress] [--profile]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
@@ -23,6 +23,13 @@
 //! also carries the per-step `choice-point` / `preemption-taken` /
 //! `phase-time` events, so `explore report` can rebuild the same tables
 //! offline.
+//!
+//! `--jobs N` shards the exploration over `N` worker threads, each with
+//! its own runtime engine and race detector, pulling work from a shared
+//! frontier with work-stealing rebalance. Results are merged
+//! deterministically: the same report at any `N >= 2`, and `--jobs 1`
+//! (the default) stays byte-identical to the sequential checker.
+//! Checkpoints taken under `--jobs N` resume at any other `--jobs M`.
 //!
 //! `--checkpoint <path>` makes the search crash-resilient: a snapshot of
 //! the full search state is written atomically every `--checkpoint-every`
@@ -51,15 +58,13 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use icb_core::search::{
-    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchReport, SearchStrategy,
-};
+use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::interrupt;
+use icb_core::NullSink;
 use icb_core::{
     render, shrink, Checkpointer, ControlledProgram, CoverageTracker, ReplayScheduler, Schedule,
     SearchObserver, SearchSnapshot,
 };
-use icb_core::{NullSink, SnapshotError};
 use icb_telemetry::{
     render_markdown, render_text, ExplorationProfiler, JsonlSink, MultiObserver, ProgressReporter,
     RunReport,
@@ -76,14 +81,14 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  explore list");
             eprintln!(
-                "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|random|best-first]"
+                "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]"
             );
-            eprintln!("              [--bound N] [--budget N] [--shrink]");
+            eprintln!("              [--bound N] [--budget N] [--jobs N] [--shrink]");
             eprintln!(
                 "              [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]"
             );
             eprintln!("              [--telemetry jsonl:<path>] [--progress] [--profile]");
-            eprintln!("  explore resume <checkpoint> [--checkpoint-every N]");
+            eprintln!("  explore resume <checkpoint> [--jobs N] [--checkpoint-every N]");
             eprintln!("                 [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
@@ -176,6 +181,28 @@ fn close_jsonl(sink: JsonlSink<BufWriter<std::fs::File>>) {
         eprintln!("warning: telemetry stream hit a write error; events were dropped");
     }
     drop(sink.into_inner()); // flush the BufWriter
+}
+
+/// Parses `--jobs`, defaulting to one (sequential) worker.
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        Some(v) => v.parse().map_err(|_| "invalid --jobs".into()),
+        None => Ok(1),
+    }
+}
+
+/// Maps a `--strategy` name to the session [`Strategy`].
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    match name {
+        "icb" => Ok(Strategy::Icb),
+        "dfs" => Ok(Strategy::Dfs),
+        "random" => Ok(Strategy::Random { seed: 0x1cb }),
+        "best-first" => Ok(Strategy::BestFirst),
+        other => match other.strip_prefix("db:").map(str::parse) {
+            Some(Ok(bound)) => Ok(Strategy::DepthBounded(bound)),
+            _ => Err(format!("unknown strategy `{other}`")),
+        },
+    }
 }
 
 /// Parses `--checkpoint-every`, defaulting to one snapshot per 1000
@@ -300,6 +327,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ..SearchConfig::default()
     };
     let strat = flag_value(args, "--strategy").unwrap_or("icb");
+    let strategy = parse_strategy(strat)?;
+    let jobs = parse_jobs(args)?;
     if let Some(ms) = flag_value(args, "--max-wall-time-ms") {
         let ms: u64 = ms.parse().map_err(|_| "invalid --max-wall-time-ms")?;
         arm_watchdog(&mut program, ms)?;
@@ -308,8 +337,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut obs = Observers::from_args(args, bench.paper_threads)?;
     println!("exploring {} with {strat}…", bench.name);
 
-    let report = match flag_value(args, "--checkpoint") {
-        Some(path) => {
+    let report = {
+        let mut observers = obs.fan_out();
+        let mut search = Search::over(&program)
+            .strategy(strategy)
+            .config(config)
+            .jobs(jobs)
+            .observer(&mut observers);
+        if let Some(path) = flag_value(args, "--checkpoint") {
             // Snapshot metadata carries everything `resume` needs to
             // rebuild the same program with the same flags.
             let mut meta = vec![("benchmark".to_string(), bench.name.to_string())];
@@ -318,40 +353,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     meta.push((flag.trim_start_matches('-').to_string(), v.to_string()));
                 }
             }
-            let mut ckpt = Checkpointer::new(path, checkpoint_every(args)?).with_meta(meta);
+            let ckpt = Checkpointer::new(path, checkpoint_every(args)?).with_meta(meta);
             interrupt::install();
-            let mut observers = obs.fan_out();
-            match strat {
-                "icb" => {
-                    IcbSearch::new(config).run_checkpointed(&program, &mut observers, &mut ckpt)
-                }
-                "dfs" => {
-                    DfsSearch::new(config).run_checkpointed(&program, &mut observers, &mut ckpt)
-                }
-                "random" => RandomSearch::new(config, 0x1cb).run_checkpointed(
-                    &program,
-                    &mut observers,
-                    &mut ckpt,
-                ),
-                "best-first" => {
-                    return Err("--checkpoint is not supported for best-first \
-                         (its priority queue holds non-serializable live state)"
-                        .into())
-                }
-                other => return Err(format!("unknown strategy `{other}`")),
-            }
+            search = search.checkpoint(ckpt);
         }
-        None => {
-            let strategy: Box<dyn SearchStrategy> = match strat {
-                "icb" => Box::new(IcbSearch::new(config)),
-                "dfs" => Box::new(DfsSearch::new(config)),
-                "random" => Box::new(RandomSearch::new(config, 0x1cb)),
-                "best-first" => Box::new(BestFirstSearch::new(config)),
-                other => return Err(format!("unknown strategy `{other}`")),
-            };
-            let mut observers = obs.fan_out();
-            strategy.search_observed(&program, &mut observers)
-        }
+        search.run().map_err(|e| e.to_string())?
     };
     obs.finish(&report, &program, args)
 }
@@ -378,29 +384,28 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     }
 
     // Keep checkpointing to the same file; the first new snapshot is due
-    // `--checkpoint-every` executions past the one we resumed from.
-    let mut ckpt =
-        Checkpointer::new(path, checkpoint_every(args)?).with_meta(snapshot.meta.clone());
-    ckpt.mark_written(snapshot.base.executions);
+    // `--checkpoint-every` executions past the one we resumed from (the
+    // resumed drive re-arms the checkpointer from the snapshot).
+    let ckpt = Checkpointer::new(path, checkpoint_every(args)?).with_meta(snapshot.meta.clone());
     interrupt::install();
 
+    let jobs = parse_jobs(args)?;
     let mut obs = Observers::from_args(args, bench.paper_threads)?;
     let strat = snapshot.strategy.clone();
     println!(
         "resuming {} with {strat} from {path} ({} executions done)…",
         bench.name, snapshot.base.executions
     );
-    let mut observers = obs.fan_out();
-    let resumed: Result<SearchReport, SnapshotError> = match strat.as_str() {
-        "icb" => IcbSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt)),
-        "random" => RandomSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt)),
-        s if s == "dfs" || s.starts_with("db:") => {
-            DfsSearch::resume(&program, snapshot, &mut observers, Some(&mut ckpt))
-        }
-        other => return Err(format!("cannot resume strategy `{other}`")),
+    let report = {
+        let mut observers = obs.fan_out();
+        Search::over(&program)
+            .resume_from(snapshot)
+            .jobs(jobs)
+            .observer(&mut observers)
+            .checkpoint(ckpt)
+            .run()
+            .map_err(|e| format!("cannot resume from {path}: {e}"))?
     };
-    drop(observers);
-    let report = resumed.map_err(|e| format!("cannot resume from {path}: {e}"))?;
     obs.finish(&report, &program, args)
 }
 

@@ -1,0 +1,106 @@
+//! `parallel_bench` — measures the parallel driver's throughput on the
+//! clean Bluetooth driver at preemption bound 2 (a finite ~3.1k-execution
+//! space every worker count explores identically), at `--jobs 1` vs.
+//! `--jobs $(nproc)`, and appends the result to
+//! `results/BENCH_parallel.json`.
+//!
+//! Rates come from a [`MetricsRecorder`] attached to each run, so the
+//! numbers are the same ones the figure binaries use. The sanity checks
+//! assert the determinism contract (identical order-independent reports)
+//! before any rate is reported.
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin parallel_bench
+//! ```
+
+use std::io::Write;
+
+use icb_core::search::{Search, SearchConfig, SearchReport};
+use icb_telemetry::MetricsRecorder;
+use icb_workloads::registry::all_benchmarks;
+
+const BOUND: usize = 2;
+
+fn measure(jobs: usize) -> (SearchReport, f64, f64) {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Bluetooth")
+        .expect("Bluetooth benchmark");
+    let program = (bench.correct)();
+    let mut metrics = MetricsRecorder::new();
+    let report = Search::over(&program)
+        .config(SearchConfig {
+            preemption_bound: Some(BOUND),
+            ..SearchConfig::default()
+        })
+        .jobs(jobs)
+        .observer(&mut metrics)
+        .run()
+        .expect("search");
+    let rate = metrics.executions_per_sec().expect("finished run");
+    (report, metrics.elapsed().as_secs_f64(), rate)
+}
+
+fn main() {
+    let nproc = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let (seq_report, seq_secs, seq_rate) = measure(1);
+    let (par_report, par_secs, par_rate) = measure(nproc.max(2));
+    let speedup = par_rate / seq_rate;
+
+    // The rates are only comparable if both runs did the same work.
+    assert_eq!(seq_report.executions, par_report.executions);
+    assert_eq!(seq_report.distinct_states, par_report.distinct_states);
+    assert_eq!(seq_report.bound_history, par_report.bound_history);
+
+    println!(
+        "bluetooth bound {BOUND}: {} executions, {} states",
+        seq_report.executions, seq_report.distinct_states
+    );
+    println!("  jobs 1:  {seq_rate:>10.0} exec/s ({seq_secs:.2}s)");
+    println!(
+        "  jobs {}: {par_rate:>10.0} exec/s ({par_secs:.2}s)  —  {speedup:.2}x",
+        nproc.max(2)
+    );
+    if nproc == 1 {
+        println!("  note: nproc=1 on this machine; the parallel run timeshares one core");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_driver\",\n",
+            "  \"workload\": \"Bluetooth (correct)\",\n",
+            "  \"preemption_bound\": {bound},\n",
+            "  \"executions\": {execs},\n",
+            "  \"distinct_states\": {states},\n",
+            "  \"nproc\": {nproc},\n",
+            "  \"jobs_1\": {{ \"exec_per_sec\": {seq_rate:.1}, \"seconds\": {seq_secs:.3} }},\n",
+            "  \"jobs_{par_jobs}\": {{ \"exec_per_sec\": {par_rate:.1}, \"seconds\": {par_secs:.3} }},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"reports_match\": true\n",
+            "}}\n"
+        ),
+        bound = BOUND,
+        execs = seq_report.executions,
+        states = seq_report.distinct_states,
+        nproc = nproc,
+        seq_rate = seq_rate,
+        seq_secs = seq_secs,
+        par_jobs = nproc.max(2),
+        par_rate = par_rate,
+        par_secs = par_secs,
+        speedup = speedup,
+    );
+    let path = "results/BENCH_parallel.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

@@ -1,9 +1,7 @@
 //! The experiments: one function per table/figure of the paper.
 
 use icb_core::bounds;
-use icb_core::search::{
-    DfsSearch, IcbSearch, IterativeDeepeningSearch, RandomSearch, SearchConfig, SearchStrategy,
-};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{ControlledProgram, NullSink, ReplayScheduler};
 use icb_statevm::{reachable_states, ExplicitConfig, ExplicitIcb, Model, ModelBuilder};
 use icb_workloads::ape::{ape_program, ApeVariant};
@@ -46,8 +44,11 @@ pub fn table1() {
         // Unbounded DFS maximizes observed preemptions; a budget keeps
         // the pass fast. K and B are schedule-independent maxima in
         // practice.
-        let dfs = DfsSearch::new(SearchConfig::with_max_executions(3_000));
-        let report = dfs.run(&program);
+        let report = Search::over(&program)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::with_max_executions(3_000))
+            .run()
+            .expect("valid configuration");
         row(&[
             bench.name.to_string(),
             bench.paper_loc.to_string(),
@@ -77,7 +78,17 @@ pub fn table2() {
         let mut counts = [0usize; 4];
         for bug in &bench.bugs {
             let program = (bug.build)();
-            let found = IcbSearch::find_minimal_bug(&program, 500_000);
+            let found = Search::over(&program)
+                .config(SearchConfig {
+                    max_executions: Some(500_000),
+                    stop_on_first_bug: true,
+                    ..SearchConfig::default()
+                })
+                .run()
+                .expect("valid configuration")
+                .bugs
+                .into_iter()
+                .next();
             match found {
                 Some(report) => {
                     counts[report.preemptions.min(3)] += 1;
@@ -148,18 +159,18 @@ pub fn fig2() {
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     let budget = 25_000;
     let config = SearchConfig::with_max_executions(budget);
-    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(IcbSearch::new(config.clone())),
-        Box::new(DfsSearch::new(config.clone())),
-        Box::new(RandomSearch::new(config.clone(), 0x1cb)),
-        Box::new(DfsSearch::with_depth_bound(config.clone(), 40)),
-        Box::new(DfsSearch::with_depth_bound(config.clone(), 20)),
+    let strategies = [
+        Strategy::Icb,
+        Strategy::Dfs,
+        Strategy::Random { seed: 0x1cb },
+        Strategy::DepthBounded(40),
+        Strategy::DepthBounded(20),
     ];
     let curves: Vec<(String, Vec<(usize, usize)>)> = strategies
         .iter()
-        .map(|s| {
-            let (_, metrics) = run_timed(s.as_ref(), &model);
-            (s.name(), metrics.coverage_curve().to_vec())
+        .map(|&s| {
+            let (_, metrics) = run_timed(s, &config, 1, &model);
+            (s.label(), metrics.coverage_curve().to_vec())
         })
         .collect();
     print_curves_csv(&curves, 40);
@@ -207,7 +218,7 @@ fn probe_len(program: &dyn ControlledProgram) -> usize {
 
 fn coverage_growth(
     title: &str,
-    program: &dyn ControlledProgram,
+    program: &(dyn ControlledProgram + Sync),
     budget: usize,
     depth_fracs: &[f64],
 ) {
@@ -216,24 +227,20 @@ fn coverage_growth(
     println!("probe execution length: {k} steps; budget: {budget} executions");
     println!();
     let config = SearchConfig::with_max_executions(budget);
-    let mut strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(IcbSearch::new(config.clone())),
-        Box::new(DfsSearch::new(config.clone())),
-    ];
+    let mut strategies = vec![Strategy::Icb, Strategy::Dfs];
     for &frac in depth_fracs {
         let max = ((k as f64 * frac) as usize).max(4);
-        strategies.push(Box::new(IterativeDeepeningSearch::new(
-            config.clone(),
-            max / 4,
-            max / 4,
+        strategies.push(Strategy::IterativeDeepening {
+            start: max / 4,
+            step: max / 4,
             max,
-        )));
+        });
     }
     let curves: Vec<(String, Vec<(usize, usize)>)> = strategies
         .iter()
-        .map(|s| {
-            let (_, metrics) = run_timed(s.as_ref(), program);
-            (s.name(), metrics.coverage_curve().to_vec())
+        .map(|&s| {
+            let (_, metrics) = run_timed(s, &config, 1, program);
+            (s.label(), metrics.coverage_curve().to_vec())
         })
         .collect();
     print_curves_csv(&curves, 40);
@@ -284,7 +291,7 @@ pub fn theorem1() {
     banner("Theorem 1 — executions per preemption bound vs. the bound");
     for (n, k) in [(2usize, 4usize), (3, 3)] {
         let model = counter_model(n, k);
-        let report = IcbSearch::new(SearchConfig::default()).run(&model);
+        let report = Search::over(&model).run().expect("valid configuration");
         println!(
             "{n} threads x {k} steps (completed = {}):",
             report.completed
@@ -336,8 +343,18 @@ pub fn all() {
 pub fn fig3() {
     banner("Figure 3 — the Dryad use-after-free witness");
     let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
-    let bug =
-        IcbSearch::find_minimal_bug(&program, 500_000).expect("the Figure 3 bug is reachable");
+    let bug = Search::over(&program)
+        .config(SearchConfig {
+            max_executions: Some(500_000),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .expect("valid configuration")
+        .bugs
+        .into_iter()
+        .next()
+        .expect("the Figure 3 bug is reachable");
     println!("outcome: {}", bug.outcome);
     println!(
         "found after {} executions; witness has {} preemption(s)",

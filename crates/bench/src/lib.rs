@@ -20,7 +20,7 @@
 pub mod experiments;
 pub mod harness;
 
-use icb_core::search::{SearchReport, SearchStrategy};
+use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::ControlledProgram;
 use icb_telemetry::MetricsRecorder;
 
@@ -50,11 +50,19 @@ pub fn banner(title: &str) {
 /// timers) to stderr. The figures draw their curves from the returned
 /// recorder, so what they plot is exactly what the telemetry layer saw.
 pub fn run_timed(
-    strategy: &dyn SearchStrategy,
-    program: &dyn ControlledProgram,
+    strategy: Strategy,
+    config: &SearchConfig,
+    jobs: usize,
+    program: &(dyn ControlledProgram + Sync),
 ) -> (SearchReport, MetricsRecorder) {
     let mut metrics = MetricsRecorder::new();
-    let report = strategy.search_observed(program, &mut metrics);
+    let report = Search::over(program)
+        .strategy(strategy)
+        .config(config.clone())
+        .jobs(jobs)
+        .observer(&mut metrics)
+        .run()
+        .expect("experiment configurations are valid");
     eprintln!(
         "  [{}] {} executions ({:.0}/s), {} states, completed={} in {:.2?}",
         report.strategy,

@@ -50,53 +50,87 @@ fn executions_in(report: &str) -> usize {
     panic!("no execution count in: {report}");
 }
 
+/// One crash-drill configuration. The reference run is always an
+/// uninterrupted `--jobs 1` search; the checkpointing run is killed at
+/// `kill_jobs` workers and resumed at `resume_jobs` — exercising the
+/// contract that a snapshot taken under any worker count resumes at any
+/// other.
+struct Drill<'a> {
+    benchmark: &'a str,
+    strategy: &'a str,
+    budget: &'a str,
+    /// `None` runs the correct (bug-free) workload variant. Parallel
+    /// drills must be bug-free: with `stop_on_first_bug`, the
+    /// sequential reference legitimately stops mid-bound at the first
+    /// bug while the parallel driver finishes the bound, so the
+    /// execution counts would differ by design, not by defect.
+    bug: Option<&'a str>,
+    /// `--bound N` (ICB only). Parallel drills need a *finite* explored
+    /// space — a preemption bound or `db:N` — because a bare budget
+    /// cutoff truncates sequential and parallel runs at different
+    /// (equally valid) subsets of the space.
+    bound: Option<&'a str>,
+    kill_jobs: &'a str,
+    resume_jobs: &'a str,
+}
+
 /// Runs the full crash drill for one workload: reference run, killed
 /// checkpointing run, resume, report comparison, and a stitch of the
 /// two telemetry segments.
-fn crash_drill(benchmark: &str, bug: &str, strategy: &str, budget: &str) {
-    let ckpt = scratch(&format!("{strategy}.ckpt"));
-    let seg1 = scratch(&format!("{strategy}-seg1.jsonl"));
-    let seg2 = scratch(&format!("{strategy}-seg2.jsonl"));
+fn crash_drill(d: Drill<'_>) {
+    let tag = format!("{}-j{}", d.strategy, d.kill_jobs);
+    let ckpt = scratch(&format!("{tag}.ckpt"));
+    let seg1 = scratch(&format!("{tag}-seg1.jsonl"));
+    let seg2 = scratch(&format!("{tag}-seg2.jsonl"));
     for p in [&ckpt, &seg1, &seg2] {
         let _ = std::fs::remove_file(p);
     }
     let ckpt_str = ckpt.to_str().unwrap();
     let jsonl1 = format!("jsonl:{}", seg1.display());
     let jsonl2 = format!("jsonl:{}", seg2.display());
+    let mut bug_args: Vec<&str> = match d.bug {
+        Some(bug) => vec!["--bug", bug],
+        None => Vec::new(),
+    };
+    if let Some(bound) = d.bound {
+        bug_args.extend_from_slice(&["--bound", bound]);
+    }
 
     // Uninterrupted reference.
-    let reference = run_explore(&[
-        "run",
-        benchmark,
-        "--bug",
-        bug,
+    let mut ref_args = vec!["run", d.benchmark];
+    ref_args.extend_from_slice(&bug_args);
+    ref_args.extend_from_slice(&[
         "--strategy",
-        strategy,
+        d.strategy,
         "--budget",
-        budget,
+        d.budget,
+        "--jobs",
+        "1",
     ]);
+    let reference = run_explore(&ref_args);
     assert!(reference.status.success(), "reference run failed");
 
     // Checkpointing run, killed with SIGKILL once the first snapshot is
     // on disk. `--checkpoint-every 1` both maximizes the snapshots at
     // risk and slows the child enough to kill it mid-flight.
+    let mut kill_args = vec!["run", d.benchmark];
+    kill_args.extend_from_slice(&bug_args);
+    kill_args.extend_from_slice(&[
+        "--strategy",
+        d.strategy,
+        "--budget",
+        d.budget,
+        "--jobs",
+        d.kill_jobs,
+        "--checkpoint",
+        ckpt_str,
+        "--checkpoint-every",
+        "1",
+        "--telemetry",
+        &jsonl1,
+    ]);
     let mut child = Command::new(EXPLORE)
-        .args([
-            "run",
-            benchmark,
-            "--bug",
-            bug,
-            "--strategy",
-            strategy,
-            "--budget",
-            budget,
-            "--checkpoint",
-            ckpt_str,
-            "--checkpoint-every",
-            "1",
-            "--telemetry",
-            &jsonl1,
-        ])
+        .args(&kill_args)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -126,7 +160,14 @@ fn crash_drill(benchmark: &str, bug: &str, strategy: &str, budget: &str) {
     // Resume must converge on the reference report exactly. (If the
     // child happened to finish before the kill, the snapshot holds the
     // final aborted state and resuming still reproduces the report.)
-    let resumed = run_explore(&["resume", ckpt_str, "--telemetry", &jsonl2]);
+    let resumed = run_explore(&[
+        "resume",
+        ckpt_str,
+        "--jobs",
+        d.resume_jobs,
+        "--telemetry",
+        &jsonl2,
+    ]);
     assert!(
         resumed.status.success(),
         "resume failed: {}",
@@ -167,12 +208,61 @@ fn crash_drill(benchmark: &str, bug: &str, strategy: &str, budget: &str) {
 
 #[test]
 fn killed_dfs_search_resumes_to_the_reference_report() {
-    crash_drill("Work Stealing Q.", "tail-publish-first", "dfs", "3000");
+    crash_drill(Drill {
+        benchmark: "Work Stealing Q.",
+        strategy: "dfs",
+        budget: "3000",
+        bug: Some("tail-publish-first"),
+        bound: None,
+        kill_jobs: "1",
+        resume_jobs: "1",
+    });
 }
 
 #[test]
 fn killed_icb_search_resumes_to_the_reference_report() {
-    crash_drill("Bluetooth", "check-then-increment", "icb", "3000");
+    crash_drill(Drill {
+        benchmark: "Bluetooth",
+        strategy: "icb",
+        budget: "3000",
+        bug: Some("check-then-increment"),
+        bound: None,
+        kill_jobs: "1",
+        resume_jobs: "1",
+    });
+}
+
+#[test]
+fn killed_parallel_icb_search_resumes_at_a_smaller_worker_count() {
+    // The parallel drill from the issue: kill a `--jobs 4` run after a
+    // checkpoint lands, resume it at `--jobs 2`, and demand the report
+    // of the uninterrupted `--jobs 1` reference. Bound 2 keeps the
+    // explored space finite (~3.1k executions on clean Bluetooth), so
+    // every worker count visits the same set.
+    crash_drill(Drill {
+        benchmark: "Bluetooth",
+        strategy: "icb",
+        budget: "200000",
+        bug: None,
+        bound: Some("2"),
+        kill_jobs: "4",
+        resume_jobs: "2",
+    });
+}
+
+#[test]
+fn killed_parallel_dfs_search_resumes_at_a_smaller_worker_count() {
+    // Depth-bounded DFS for the same reason the ICB drill uses
+    // `--bound`: `db:10` exhausts ~3.2k executions on clean Bluetooth.
+    crash_drill(Drill {
+        benchmark: "Bluetooth",
+        strategy: "db:10",
+        budget: "100000",
+        bug: None,
+        bound: None,
+        kill_jobs: "4",
+        resume_jobs: "2",
+    });
 }
 
 #[test]

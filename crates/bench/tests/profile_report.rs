@@ -5,7 +5,7 @@
 use std::process::Command;
 use std::time::Duration;
 
-use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig};
 use icb_telemetry::ExplorationProfiler;
 use icb_workloads::registry::all_benchmarks;
 
@@ -94,7 +94,10 @@ fn explore_report_reproduces_bound_stats() {
         .find(|b| b.name == "Bluetooth")
         .expect("registered");
     let program = (bench.correct)();
-    let report = IcbSearch::new(bluetooth_config()).run(&program);
+    let report = Search::over(&program)
+        .config(bluetooth_config())
+        .run()
+        .unwrap();
     let expected: Vec<(usize, usize, usize, usize)> = report
         .bound_stats()
         .iter()
@@ -129,7 +132,11 @@ fn phase_timers_partition_wall_clock() {
         .expect("registered");
     let program = (bench.correct)();
     let mut profiler = ExplorationProfiler::new();
-    IcbSearch::new(bluetooth_config()).run_observed(&program, &mut profiler);
+    Search::over(&program)
+        .config(bluetooth_config())
+        .observer(&mut profiler)
+        .run()
+        .unwrap();
 
     let phases = profiler.phase_totals();
     let elapsed = profiler.elapsed().expect("search finished");

@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig};
 use icb_workloads::registry::all_benchmarks;
 
 /// Extracts an unsigned integer field from one JSON line. The sink
@@ -77,12 +77,14 @@ fn explore_jsonl_matches_bound_stats() {
         .find(|b| b.name == "Bluetooth")
         .expect("registered");
     let program = (bench.correct)();
-    let report = IcbSearch::new(SearchConfig {
-        max_executions: Some(BUDGET),
-        stop_on_first_bug: true,
-        ..SearchConfig::default()
-    })
-    .run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig {
+            max_executions: Some(BUDGET),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
 
     // Per-bound execution counts and distinct-state totals match
     // SearchReport::bound_stats exactly, row for row.

@@ -104,6 +104,7 @@ pub mod trace;
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
+pub use search::{Search, SearchError, Strategy};
 pub use snapshot::{Checkpointer, ResumeBase, SearchSnapshot, SnapshotError, StrategyState};
 pub use telemetry::{AbortReason, ChoiceKind, NoopObserver, Phase, SearchObserver, SiteId};
 pub use tid::Tid;

@@ -39,12 +39,26 @@ impl BestFirstSearch {
     }
 
     /// Runs the search.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::BestFirst).run()"
+    )]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run_observed(program, &mut NoopObserver)
+        self.drive(program, &mut NoopObserver)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::BestFirst).observer(obs).run()"
+    )]
     pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.drive(program, observer)
+    }
+
+    pub(crate) fn drive(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
@@ -103,12 +117,13 @@ impl BestFirstSearch {
 }
 
 impl SearchStrategy for BestFirstSearch {
+    #[allow(deprecated)]
     fn search_observed(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.run_observed(program, observer)
+        self.drive(program, observer)
     }
 
     fn name(&self) -> String {
@@ -146,7 +161,7 @@ impl Scheduler for FrontierScheduler<'_> {
 mod tests {
     use super::*;
     use crate::search::testprog::{schedule_count, Counters};
-    use crate::search::IcbSearch;
+    use crate::search::{Search, Strategy};
 
     #[test]
     fn expands_the_whole_tree_eventually() {
@@ -155,14 +170,21 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let report = BestFirstSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         // One execution per tree node expansion: at least every distinct
         // schedule appears (each leaf is reached by exactly one
         // expansion whose default tail walks it).
         assert!(report.executions as u128 >= schedule_count(2, 2));
         // And coverage matches the exhaustive search.
-        let icb = IcbSearch::new(SearchConfig::default()).run(&p);
+        let icb = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert_eq!(report.distinct_states, icb.distinct_states);
     }
 
@@ -173,11 +195,14 @@ mod tests {
             k: 2,
             bug: Some((1, 0, 1)),
         };
-        let report = BestFirstSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..SearchConfig::default()
-        })
-        .run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(!report.bugs.is_empty());
     }
 
@@ -188,7 +213,11 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = BestFirstSearch::new(SearchConfig::with_max_executions(9)).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig::with_max_executions(9))
+            .run()
+            .unwrap();
         assert_eq!(report.executions, 9);
         assert!(!report.completed);
     }
@@ -200,8 +229,16 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let a = BestFirstSearch::new(SearchConfig::with_max_executions(20)).run(&p);
-        let b = BestFirstSearch::new(SearchConfig::with_max_executions(20)).run(&p);
+        let a = Search::over(&p)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig::with_max_executions(20))
+            .run()
+            .unwrap();
+        let b = Search::over(&p)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig::with_max_executions(20))
+            .run()
+            .unwrap();
         assert_eq!(a.coverage_curve, b.coverage_curve);
     }
 }

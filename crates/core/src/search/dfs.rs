@@ -5,7 +5,9 @@
 use crate::coverage::StateSink;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::search::icb::validate_branches;
-use crate::search::{QuarantinedTrace, SearchConfig, SearchCtx, SearchReport, SearchStrategy};
+use crate::search::{
+    execute_recovering, QuarantinedTrace, SearchConfig, SearchCtx, SearchReport, SearchStrategy,
+};
 use crate::snapshot::{
     interrupt, BranchSnapshot, Checkpointer, DfsState, ResumeBase, SearchSnapshot, SnapshotError,
     StrategyState,
@@ -48,11 +50,17 @@ impl DfsSearch {
     }
 
     /// Runs the search.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Dfs).run()"
+    )]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run_observed(program, &mut NoopObserver)
+        self.drive(program, &mut NoopObserver, None, Vec::new(), None)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Dfs).observer(obs).run()"
+    )]
     pub fn run_observed(
         &self,
         program: &dyn ControlledProgram,
@@ -64,6 +72,9 @@ impl DfsSearch {
     /// Runs the search with periodic checkpointing (see
     /// [`IcbSearch::run_checkpointed`](crate::search::IcbSearch::run_checkpointed)
     /// for the contract).
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Dfs).observer(obs).checkpoint(ck).run()"
+    )]
     pub fn run_checkpointed(
         &self,
         program: &dyn ControlledProgram,
@@ -76,6 +87,9 @@ impl DfsSearch {
     /// Resumes a search from a checkpoint written by
     /// [`run_checkpointed`](DfsSearch::run_checkpointed); the final
     /// report matches the uninterrupted run's.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).resume_from(snapshot).run()"
+    )]
     pub fn resume(
         program: &dyn ControlledProgram,
         snapshot: SearchSnapshot,
@@ -100,7 +114,7 @@ impl DfsSearch {
         Ok(search.drive(program, observer, ckpt, stack, Some(snapshot.base)))
     }
 
-    fn drive(
+    pub(crate) fn drive(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
@@ -148,12 +162,13 @@ impl DfsSearch {
 }
 
 impl SearchStrategy for DfsSearch {
+    #[allow(deprecated)]
     fn search_observed(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.run_observed(program, observer)
+        self.drive(program, observer, None, Vec::new(), None)
     }
 
     fn name(&self) -> String {
@@ -193,12 +208,26 @@ impl IterativeDeepeningSearch {
     }
 
     /// Runs the search.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::IterativeDeepening { .. }).run()"
+    )]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run_observed(program, &mut NoopObserver)
+        self.drive(program, &mut NoopObserver)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::IterativeDeepening { .. }).observer(obs).run()"
+    )]
     pub fn run_observed(
+        &self,
+        program: &dyn ControlledProgram,
+        observer: &mut dyn SearchObserver,
+    ) -> SearchReport {
+        self.drive(program, observer)
+    }
+
+    pub(crate) fn drive(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
@@ -236,12 +265,13 @@ impl IterativeDeepeningSearch {
 }
 
 impl SearchStrategy for IterativeDeepeningSearch {
+    #[allow(deprecated)]
     fn search_observed(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.run_observed(program, observer)
+        self.drive(program, observer)
     }
 
     fn name(&self) -> String {
@@ -279,7 +309,7 @@ fn run_dfs(
             inner: &mut ctx.coverage,
             remaining: bound,
         };
-        let result = execute_recovering_gated(program, &mut sched, &mut sink, ctx.observer);
+        let result = execute_recovering(program, &mut sched, &mut sink, ctx.observer);
         stack = sched.stack;
 
         if let Some(m) = track_max_len {
@@ -342,30 +372,6 @@ fn run_dfs(
     }
 }
 
-/// [`execute_recovering`] with a [`GatedSink`] instead of the raw
-/// coverage tracker (the depth-bounded search must not count states past
-/// the bound even on a diverging run).
-fn execute_recovering_gated(
-    program: &dyn ControlledProgram,
-    scheduler: &mut DfsScheduler,
-    sink: &mut GatedSink<'_, crate::coverage::CoverageTracker>,
-    observer: &mut dyn SearchObserver,
-) -> crate::trace::ExecutionResult {
-    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        program.execute_observed(scheduler, sink, observer)
-    }));
-    match run {
-        Ok(result) => result,
-        Err(payload) => match payload.downcast::<DivergencePayload>() {
-            Ok(d) => crate::trace::ExecutionResult::from_trace(
-                d.into_outcome(),
-                crate::trace::Trace::new(),
-            ),
-            Err(other) => std::panic::resume_unwind(other),
-        },
-    }
-}
-
 fn write_dfs_checkpoint(
     ctx: &mut SearchCtx<'_>,
     ckpt: &mut Option<&mut Checkpointer>,
@@ -395,13 +401,13 @@ fn write_dfs_checkpoint(
 }
 
 #[derive(Clone, Debug)]
-struct Branch {
-    options: Vec<Tid>,
-    next_ix: usize,
+pub(crate) struct Branch {
+    pub(crate) options: Vec<Tid>,
+    pub(crate) next_ix: usize,
 }
 
 impl Branch {
-    fn to_snapshot(&self) -> BranchSnapshot {
+    pub(crate) fn to_snapshot(&self) -> BranchSnapshot {
         BranchSnapshot {
             step: 0,
             options: self.options.clone(),
@@ -460,9 +466,9 @@ impl Scheduler for DfsScheduler {
 
 /// Forwards at most `remaining` fingerprints, dropping the rest — states
 /// past the depth bound do not count as covered.
-struct GatedSink<'a, S: StateSink> {
-    inner: &'a mut S,
-    remaining: usize,
+pub(crate) struct GatedSink<'a, S: StateSink> {
+    pub(crate) inner: &'a mut S,
+    pub(crate) remaining: usize,
 }
 
 impl<S: StateSink> StateSink for GatedSink<'_, S> {
@@ -478,7 +484,7 @@ impl<S: StateSink> StateSink for GatedSink<'_, S> {
 mod tests {
     use super::*;
     use crate::search::testprog::{schedule_count, Counters};
-    use crate::search::IcbSearch;
+    use crate::search::{Search, Strategy};
 
     #[test]
     fn unbounded_dfs_exhausts_the_space() {
@@ -487,7 +493,11 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = DfsSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         assert_eq!(report.executions as u128, schedule_count(2, 3));
     }
@@ -499,8 +509,15 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let dfs = DfsSearch::new(SearchConfig::default()).run(&p);
-        let icb = IcbSearch::new(SearchConfig::default()).run(&p);
+        let dfs = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
+        let icb = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(dfs.completed && icb.completed);
         assert_eq!(dfs.distinct_states, icb.distinct_states);
         assert_eq!(dfs.executions, icb.executions);
@@ -513,8 +530,16 @@ mod tests {
             k: 4,
             bug: None,
         };
-        let full = DfsSearch::new(SearchConfig::default()).run(&p);
-        let bounded = DfsSearch::with_depth_bound(SearchConfig::default(), 3).run(&p);
+        let full = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
+        let bounded = Search::over(&p)
+            .strategy(Strategy::DepthBounded(3))
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(bounded.completed);
         assert!(
             bounded.distinct_states < full.distinct_states,
@@ -534,9 +559,17 @@ mod tests {
             k: 3,
             bug: Some((1, 2, 5)),
         };
-        let shallow = DfsSearch::with_depth_bound(SearchConfig::default(), 2).run(&p);
+        let shallow = Search::over(&p)
+            .strategy(Strategy::DepthBounded(2))
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(shallow.bugs.is_empty());
-        let deep = DfsSearch::new(SearchConfig::default()).run(&p);
+        let deep = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(!deep.bugs.is_empty());
     }
 
@@ -547,11 +580,14 @@ mod tests {
             k: 2,
             bug: Some((1, 0, 1)),
         };
-        let report = DfsSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..SearchConfig::default()
-        })
-        .run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(!report.bugs.is_empty());
     }
 
@@ -562,10 +598,22 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IterativeDeepeningSearch::new(SearchConfig::default(), 2, 2, 100).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::IterativeDeepening {
+                start: 2,
+                step: 2,
+                max: 100,
+            })
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         // All states eventually covered.
-        let full = DfsSearch::new(SearchConfig::default()).run(&p);
+        let full = Search::over(&p)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert_eq!(report.distinct_states, full.distinct_states);
     }
 
@@ -576,8 +624,15 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report =
-            IterativeDeepeningSearch::new(SearchConfig::with_max_executions(10), 2, 2, 50).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::IterativeDeepening {
+                start: 2,
+                step: 2,
+                max: 50,
+            })
+            .config(SearchConfig::with_max_executions(10))
+            .run()
+            .unwrap();
         assert_eq!(report.executions, 10);
         assert!(!report.completed);
     }

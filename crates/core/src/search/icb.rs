@@ -78,6 +78,9 @@ impl IcbSearch {
     /// Minimality holds because ICB completes every bound before starting
     /// the next: if the returned bug has `c` preemptions, every execution
     /// with fewer preemptions was explored and found correct.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).config(..).run() plus bug selection"
+    )]
     pub fn find_minimal_bug(
         program: &dyn ControlledProgram,
         max_executions: usize,
@@ -87,15 +90,23 @@ impl IcbSearch {
             stop_on_first_bug: true,
             ..SearchConfig::default()
         });
-        search.run(program).bugs.into_iter().next()
+        search
+            .drive(program, &mut NoopObserver, None, None)
+            .bugs
+            .into_iter()
+            .next()
     }
 
     /// Runs the search.
+    #[deprecated(note = "superseded by the unified builder: Search::over(program).run()")]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run_observed(program, &mut NoopObserver)
+        self.drive(program, &mut NoopObserver, None, None)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).observer(obs).run()"
+    )]
     pub fn run_observed(
         &self,
         program: &dyn ControlledProgram,
@@ -111,6 +122,9 @@ impl IcbSearch {
     /// completion. When checkpointing, the search also polls
     /// [`interrupt::interrupted`] between executions and halts with
     /// [`AbortReason::Interrupted`] after writing a final snapshot.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).observer(obs).checkpoint(ck).run()"
+    )]
     pub fn run_checkpointed(
         &self,
         program: &dyn ControlledProgram,
@@ -127,6 +141,9 @@ impl IcbSearch {
     /// deterministic, the resumed search produces a final report
     /// identical to the uninterrupted run's. Pass a [`Checkpointer`] to
     /// keep checkpointing the resumed segment.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).resume_from(snapshot).run()"
+    )]
     pub fn resume(
         program: &dyn ControlledProgram,
         snapshot: SearchSnapshot,
@@ -150,7 +167,7 @@ impl IcbSearch {
     }
 
     /// The single engine behind fresh, checkpointed and resumed runs.
-    fn drive(
+    pub(crate) fn drive(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
@@ -500,12 +517,13 @@ pub(crate) fn validate_branches(stack: &[BranchSnapshot]) -> Result<(), Snapshot
 }
 
 impl SearchStrategy for IcbSearch {
+    #[allow(deprecated)]
     fn search_observed(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.run_observed(program, observer)
+        self.drive(program, observer, None, None)
     }
 
     fn name(&self) -> String {
@@ -515,17 +533,17 @@ impl SearchStrategy for IcbSearch {
 
 /// A nonpreempting branch point within one work item's nested DFS.
 #[derive(Clone, Debug)]
-struct Branch {
+pub(crate) struct Branch {
     /// Step index of the scheduling point.
-    step: usize,
+    pub(crate) step: usize,
     /// The enabled threads at that point.
-    options: Vec<Tid>,
+    pub(crate) options: Vec<Tid>,
     /// Index of the option taken in the current run.
-    next_ix: usize,
+    pub(crate) next_ix: usize,
 }
 
 impl Branch {
-    fn to_snapshot(&self) -> BranchSnapshot {
+    pub(crate) fn to_snapshot(&self) -> BranchSnapshot {
         BranchSnapshot {
             step: self.step,
             options: self.options.clone(),
@@ -544,18 +562,19 @@ impl From<BranchSnapshot> for Branch {
     }
 }
 
-/// The scheduler driving one run within a work item.
-struct ItemScheduler<'a> {
-    prefix: &'a Schedule,
-    stack: Vec<Branch>,
+/// The scheduler driving one run within a work item (shared with the
+/// parallel driver, whose workers run the same nested DFS per item).
+pub(crate) struct ItemScheduler<'a> {
+    pub(crate) prefix: &'a Schedule,
+    pub(crate) stack: Vec<Branch>,
     /// Position in `stack` during the current run.
-    cursor: usize,
+    pub(crate) cursor: usize,
     /// Full schedule chosen so far in this run (prefix included).
-    path: Schedule,
+    pub(crate) path: Schedule,
     /// First step index considered fresh for work-item emission.
-    fresh_from: usize,
+    pub(crate) fresh_from: usize,
     /// Deferred work items (`path-so-far · t`) discovered in this run.
-    emitted: Vec<Schedule>,
+    pub(crate) emitted: Vec<Schedule>,
 }
 
 impl Scheduler for ItemScheduler<'_> {
@@ -624,6 +643,7 @@ mod tests {
     use super::*;
     use crate::bounds;
     use crate::search::testprog::{schedule_count, Counters};
+    use crate::search::Search;
 
     #[test]
     fn exhausts_two_by_two_counter_program() {
@@ -632,7 +652,10 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         assert_eq!(report.executions as u128, schedule_count(2, 2));
         assert_eq!(report.completed_bound, Some(2));
@@ -649,7 +672,10 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         assert_eq!(report.executions as u128, schedule_count(3, 2));
     }
@@ -661,7 +687,10 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         for b in &report.bound_history {
             // Non-blocking program: each thread's only blocking action is
@@ -687,6 +716,7 @@ mod tests {
             k: 2,
             bug: Some((1, 0, 1)),
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 10_000).expect("bug must be found");
         assert_eq!(bug.preemptions, 1);
     }
@@ -700,6 +730,7 @@ mod tests {
             k: 2,
             bug: Some((1, 0, 2)),
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 10_000).expect("bug must be found");
         assert_eq!(bug.preemptions, 0);
     }
@@ -711,6 +742,7 @@ mod tests {
             k: 3,
             bug: Some((1, 1, 3)),
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 100_000).expect("bug must be found");
         let mut replay = crate::replay::ReplayScheduler::new(bug.schedule.clone());
         let result =
@@ -726,7 +758,10 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig::with_max_executions(7)).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig::with_max_executions(7))
+            .run()
+            .unwrap();
         assert_eq!(report.executions, 7);
         assert!(!report.completed);
     }
@@ -738,7 +773,13 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IcbSearch::up_to_bound(1).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig {
+                preemption_bound: Some(1),
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert_eq!(report.completed_bound, Some(1));
         assert!(!report.completed); // deeper bounds exist but were skipped
         assert!(report.bound_history.len() == 2);
@@ -755,7 +796,13 @@ mod tests {
             k: 5,
             bug: None,
         };
-        let report = IcbSearch::up_to_bound(0).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig {
+                preemption_bound: Some(0),
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert_eq!(report.max_stats.steps, 10);
         assert_eq!(report.max_stats.preemptions, 0);
         assert_eq!(report.executions, 2); // 0^5 1^5 and 1^5 0^5
@@ -768,11 +815,13 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig {
-            max_work_queue: Some(1),
-            ..SearchConfig::default()
-        })
-        .run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig {
+                max_work_queue: Some(1),
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(report.truncated);
         assert!(!report.completed);
     }
@@ -787,7 +836,10 @@ mod tests {
             k: 4,
             bug: None,
         };
-        let report = IcbSearch::new(SearchConfig::default()).run(&p);
+        let report = Search::over(&p)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert_eq!(report.executions as u128, schedule_count(2, 4));
     }
 }

@@ -36,11 +36,17 @@ impl RandomSearch {
     }
 
     /// Runs the search.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Random { seed }).run()"
+    )]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.run_observed(program, &mut NoopObserver)
+        self.drive(program, &mut NoopObserver, None, None)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Random { seed }).observer(obs).run()"
+    )]
     pub fn run_observed(
         &self,
         program: &dyn ControlledProgram,
@@ -53,6 +59,9 @@ impl RandomSearch {
     /// [`IcbSearch::run_checkpointed`](crate::search::IcbSearch::run_checkpointed)
     /// for the contract). The snapshot stores the raw generator state,
     /// so the resumed walk continues the exact random stream.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Random { seed }).observer(obs).checkpoint(ck).run()"
+    )]
     pub fn run_checkpointed(
         &self,
         program: &dyn ControlledProgram,
@@ -65,6 +74,9 @@ impl RandomSearch {
     /// Resumes a walk from a checkpoint written by
     /// [`run_checkpointed`](RandomSearch::run_checkpointed); the final
     /// report matches the uninterrupted run's.
+    #[deprecated(
+        note = "superseded by the unified builder: Search::over(program).resume_from(snapshot).run()"
+    )]
     pub fn resume(
         program: &dyn ControlledProgram,
         snapshot: SearchSnapshot,
@@ -87,7 +99,7 @@ impl RandomSearch {
         Ok(search.drive(program, observer, ckpt, Some((snapshot.base, state))))
     }
 
-    fn drive(
+    pub(crate) fn drive(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
@@ -153,12 +165,13 @@ fn write_random_checkpoint(
 }
 
 impl SearchStrategy for RandomSearch {
+    #[allow(deprecated)]
     fn search_observed(
         &self,
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.run_observed(program, observer)
+        self.drive(program, observer, None, None)
     }
 
     fn name(&self) -> String {
@@ -182,6 +195,7 @@ impl Scheduler for RandomScheduler<'_> {
 mod tests {
     use super::*;
     use crate::search::testprog::Counters;
+    use crate::search::{Search, Strategy};
 
     #[test]
     fn runs_exactly_the_budget() {
@@ -190,7 +204,11 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let report = RandomSearch::new(SearchConfig::with_max_executions(25), 42).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::Random { seed: 42 })
+            .config(SearchConfig::with_max_executions(25))
+            .run()
+            .unwrap();
         assert_eq!(report.executions, 25);
         assert!(!report.completed);
         assert!(report.distinct_states > 0);
@@ -203,8 +221,16 @@ mod tests {
             k: 2,
             bug: None,
         };
-        let a = RandomSearch::new(SearchConfig::with_max_executions(50), 7).run(&p);
-        let b = RandomSearch::new(SearchConfig::with_max_executions(50), 7).run(&p);
+        let a = Search::over(&p)
+            .strategy(Strategy::Random { seed: 7 })
+            .config(SearchConfig::with_max_executions(50))
+            .run()
+            .unwrap();
+        let b = Search::over(&p)
+            .strategy(Strategy::Random { seed: 7 })
+            .config(SearchConfig::with_max_executions(50))
+            .run()
+            .unwrap();
         assert_eq!(a.distinct_states, b.distinct_states);
         assert_eq!(a.coverage_curve, b.coverage_curve);
     }
@@ -216,8 +242,16 @@ mod tests {
             k: 3,
             bug: None,
         };
-        let a = RandomSearch::new(SearchConfig::with_max_executions(5), 1).run(&p);
-        let b = RandomSearch::new(SearchConfig::with_max_executions(5), 2).run(&p);
+        let a = Search::over(&p)
+            .strategy(Strategy::Random { seed: 1 })
+            .config(SearchConfig::with_max_executions(5))
+            .run()
+            .unwrap();
+        let b = Search::over(&p)
+            .strategy(Strategy::Random { seed: 2 })
+            .config(SearchConfig::with_max_executions(5))
+            .run()
+            .unwrap();
         // Curves are overwhelmingly likely to differ for 5 walks over
         // hundreds of schedules; equality would indicate a seeding bug.
         assert_ne!(a.coverage_curve, b.coverage_curve);
@@ -230,7 +264,11 @@ mod tests {
             k: 2,
             bug: Some((1, 0, 1)),
         };
-        let report = RandomSearch::new(SearchConfig::with_max_executions(200), 3).run(&p);
+        let report = Search::over(&p)
+            .strategy(Strategy::Random { seed: 3 })
+            .config(SearchConfig::with_max_executions(200))
+            .run()
+            .unwrap();
         assert!(report.buggy_executions > 0);
     }
 

@@ -74,6 +74,7 @@ mod tests {
             k: 4,
             bug: Some((1, 0, 1)),
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 1_000_000).expect("bug");
         let shrunk = minimize_witness(&p, &bug.schedule);
         assert!(shrunk.schedule.len() <= bug.schedule.len());
@@ -92,6 +93,7 @@ mod tests {
             k: 2,
             bug: Some((0, 0, 0)), // thread 0's first step sees 0: immediate
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 10_000).expect("bug");
         let shrunk = minimize_witness(&p, &bug.schedule);
         assert_eq!(shrunk.schedule.len(), 0);
@@ -117,6 +119,7 @@ mod tests {
             k: 3,
             bug: Some((1, 0, 1)),
         };
+        #[allow(deprecated)] // shim regression: the convenience entry point
         let bug = IcbSearch::find_minimal_bug(&p, 100_000).expect("bug");
         let shrunk = minimize_witness(&p, &bug.schedule);
         assert!(shrunk.replays <= bug.schedule.len() + 1);

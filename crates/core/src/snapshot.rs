@@ -171,15 +171,49 @@ pub struct RandomState {
     pub rng_state: u64,
 }
 
+/// Parallel DFS checkpoint state: the union of all shard frontiers at a
+/// quiesce point. Each frontier entry is a schedule prefix whose subtree
+/// is entirely unexplored, so the snapshot is resumable at any worker
+/// count.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParallelDfsState {
+    /// The depth bound (`db:N`), if any.
+    pub depth_bound: Option<usize>,
+    /// Unexplored schedule prefixes (sorted lexicographically so the
+    /// snapshot bytes are independent of worker scheduling).
+    pub frontier: Vec<Schedule>,
+    /// At most one partially explored item inherited from a *sequential*
+    /// checkpoint that no worker had picked up yet: its prefix and
+    /// suspended branch stack.
+    pub pending: Option<(Schedule, Vec<BranchSnapshot>)>,
+}
+
+/// Parallel random-walk checkpoint state. Parallel walks derive one
+/// independent stream per execution index from `seed`, so the only
+/// cursor is the next unclaimed index — resumable at any worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelRandomState {
+    /// The base seed the per-index streams are derived from.
+    pub seed: u64,
+    /// The next unclaimed execution index (0-based).
+    pub next_index: u64,
+}
+
 /// The strategy-specific half of a checkpoint.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StrategyState {
-    /// An [`IcbSearch`](crate::search::IcbSearch) checkpoint.
+    /// An ICB checkpoint (sequential and parallel runs share this
+    /// layout: a parallel quiesce dissolves in-flight items back into
+    /// plain work-queue prefixes, so either driver can resume it).
     Icb(IcbState),
-    /// A [`DfsSearch`](crate::search::DfsSearch) checkpoint.
+    /// A sequential DFS checkpoint.
     Dfs(DfsState),
-    /// A [`RandomSearch`](crate::search::RandomSearch) checkpoint.
+    /// A sequential random-walk checkpoint.
     Random(RandomState),
+    /// A parallel DFS checkpoint.
+    ParallelDfs(ParallelDfsState),
+    /// A parallel random-walk checkpoint.
+    ParallelRandom(ParallelRandomState),
 }
 
 /// A complete, serializable snapshot of an in-flight search.
@@ -320,6 +354,24 @@ impl SearchSnapshot {
                 w.u8(2);
                 w.u64(s.rng_state);
             }
+            StrategyState::ParallelDfs(s) => {
+                w.u8(3);
+                w.opt_usize(s.depth_bound);
+                w.schedules(&s.frontier);
+                match &s.pending {
+                    None => w.bool(false),
+                    Some((prefix, stack)) => {
+                        w.bool(true);
+                        w.schedule(prefix);
+                        w.branches(stack);
+                    }
+                }
+            }
+            StrategyState::ParallelRandom(s) => {
+                w.u8(4);
+                w.u64(s.seed);
+                w.u64(s.next_index);
+            }
         }
         w.buf
     }
@@ -373,6 +425,24 @@ impl SearchSnapshot {
             }),
             2 => StrategyState::Random(RandomState {
                 rng_state: r.u64()?,
+            }),
+            3 => {
+                let depth_bound = r.opt_usize()?;
+                let frontier = r.schedules()?;
+                let pending = if r.bool()? {
+                    Some((r.schedule()?, r.branches()?))
+                } else {
+                    None
+                };
+                StrategyState::ParallelDfs(ParallelDfsState {
+                    depth_bound,
+                    frontier,
+                    pending,
+                })
+            }
+            4 => StrategyState::ParallelRandom(ParallelRandomState {
+                seed: r.u64()?,
+                next_index: r.u64()?,
             }),
             tag => {
                 return Err(SnapshotError::Corrupt(format!(
@@ -738,15 +808,26 @@ pub struct Checkpointer {
 }
 
 impl Checkpointer {
-    /// Creates a checkpointer writing to `path` every `every` executions
-    /// (clamped to at least 1).
+    /// Creates a checkpointer writing to `path` every `every` executions.
+    ///
+    /// The raw interval is kept so [`Search`](crate::search::Search) can
+    /// reject `every == 0` at build time with a typed error; the
+    /// deprecated per-strategy entry points clamp it to 1 at use, as
+    /// previous releases did.
     pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
         Checkpointer {
             path: path.into(),
-            every: every.max(1),
+            every,
             last_at: 0,
             meta: Vec::new(),
         }
+    }
+
+    /// The configured checkpoint interval, as passed to
+    /// [`new`](Checkpointer::new) (0 is representable but rejected by
+    /// the `Search` builder).
+    pub fn every(&self) -> usize {
+        self.every
     }
 
     /// Attaches caller-owned metadata recorded in every snapshot (the
@@ -777,7 +858,7 @@ impl Checkpointer {
     /// Whether a checkpoint is due at cumulative execution count
     /// `executions`.
     pub fn due(&self, executions: usize) -> bool {
-        executions.saturating_sub(self.last_at) >= self.every
+        executions.saturating_sub(self.last_at) >= self.every.max(1)
     }
 
     /// Writes `snapshot` atomically to the checkpoint path.

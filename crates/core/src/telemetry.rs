@@ -292,6 +292,16 @@ pub trait SearchObserver {
     /// runs auditable.
     fn race_detected(&mut self, description: &str) {}
 
+    /// A parallel search is about to replay the events of one worker
+    /// execution: everything from the next `execution_started` through
+    /// its `execution_finished` was produced by worker `worker`, where it
+    /// was that worker's `seq`-th execution (1-based, contiguous per
+    /// worker). Sequential searches (`jobs = 1`) never emit this, which
+    /// keeps their event streams byte-identical to previous releases;
+    /// sinks that persist it can prove a merged parallel log lost or
+    /// duplicated nothing by checking per-worker contiguity.
+    fn worker_stamp(&mut self, worker: usize, seq: u64) {}
+
     /// Opt-in gate for the per-step [`choice_point`] /
     /// [`preemption_taken`] events. Strategies batch these like
     /// `execution_started`: one pass over the finished execution's trace,
@@ -396,6 +406,9 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     }
     fn race_detected(&mut self, description: &str) {
         (**self).race_detected(description)
+    }
+    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+        (**self).worker_stamp(worker, seq)
     }
     fn wants_choice_points(&self) -> bool {
         (**self).wants_choice_points()

@@ -11,7 +11,7 @@
 
 use std::path::{Path, PathBuf};
 
-use icb_core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchReport};
+use icb_core::search::{IcbSearch, Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::{Checkpointer, SearchSnapshot, SnapshotError, StrategyState};
 use icb_core::telemetry::SearchObserver;
 use icb_core::{
@@ -151,16 +151,16 @@ fn assert_reports_identical(resumed: &SearchReport, reference: &SearchReport) {
 
 fn freeze_mid_search<F>(live: &Path, frozen: &Path, every: usize, at: usize, run: F) -> SearchReport
 where
-    F: FnOnce(&mut CrashCopier, &mut Checkpointer) -> SearchReport,
+    F: FnOnce(&mut CrashCopier, Checkpointer) -> SearchReport,
 {
-    let mut ck = Checkpointer::new(live, every);
+    let ck = Checkpointer::new(live, every);
     let mut copier = CrashCopier {
         live: live.to_path_buf(),
         frozen: frozen.to_path_buf(),
         at,
         seen: 0,
     };
-    let report = run(&mut copier, &mut ck);
+    let report = run(&mut copier, ck);
     assert!(
         copier.seen >= at,
         "search wrote only {} checkpoints, test wanted to freeze the {at}-th",
@@ -177,7 +177,7 @@ fn icb_resume_reproduces_the_uninterrupted_report() {
         bug: Some((1, 1, 3)),
     };
     let config = SearchConfig::default();
-    let reference = IcbSearch::new(config.clone()).run(&program);
+    let reference = Search::over(&program).config(config.clone()).run().unwrap();
     assert!(reference.completed, "test workload must be exhaustible");
     assert!(!reference.bugs.is_empty(), "test workload must have a bug");
 
@@ -185,7 +185,12 @@ fn icb_resume_reproduces_the_uninterrupted_report() {
     let live = dir.path("live.ck");
     let frozen = dir.path("frozen.ck");
     let checkpointed = freeze_mid_search(&live, &frozen, 3, 2, |copier, ck| {
-        IcbSearch::new(config.clone()).run_checkpointed(&program, copier, ck)
+        Search::over(&program)
+            .config(config.clone())
+            .observer(copier)
+            .checkpoint(ck)
+            .run()
+            .unwrap()
     });
     // Checkpointing must not perturb the search itself…
     assert_reports_identical(&checkpointed, &reference);
@@ -195,8 +200,10 @@ fn icb_resume_reproduces_the_uninterrupted_report() {
     // "Crash" after the 2nd write: resume from the frozen snapshot.
     let snapshot = SearchSnapshot::read_from(&frozen).expect("read frozen checkpoint");
     assert!(matches!(snapshot.state, StrategyState::Icb(_)));
-    let resumed =
-        IcbSearch::resume(&program, snapshot, &mut NoopObserver, None).expect("resume icb");
+    let resumed = Search::over(&program)
+        .resume_from(snapshot)
+        .run()
+        .expect("resume icb");
     assert_reports_identical(&resumed, &reference);
 }
 
@@ -211,16 +218,23 @@ fn icb_resume_from_every_checkpoint_matches() {
         bug: None,
     };
     let config = SearchConfig::default();
-    let reference = IcbSearch::new(config.clone()).run(&program);
+    let reference = Search::over(&program).config(config.clone()).run().unwrap();
     for at in 1..=6 {
         let dir = TempDir::new(&format!("icb-all-{at}"));
         let live = dir.path("live.ck");
         let frozen = dir.path("frozen.ck");
         freeze_mid_search(&live, &frozen, 1, at, |copier, ck| {
-            IcbSearch::new(config.clone()).run_checkpointed(&program, copier, ck)
+            Search::over(&program)
+                .config(config.clone())
+                .observer(copier)
+                .checkpoint(ck)
+                .run()
+                .unwrap()
         });
         let snapshot = SearchSnapshot::read_from(&frozen).unwrap();
-        let resumed = IcbSearch::resume(&program, snapshot, &mut NoopObserver, None)
+        let resumed = Search::over(&program)
+            .resume_from(snapshot)
+            .run()
             .unwrap_or_else(|e| panic!("resume from write {at}: {e}"));
         assert_reports_identical(&resumed, &reference);
     }
@@ -234,21 +248,33 @@ fn dfs_resume_reproduces_the_uninterrupted_report() {
         bug: Some((1, 1, 3)),
     };
     let config = SearchConfig::default();
-    let reference = DfsSearch::new(config.clone()).run(&program);
+    let reference = Search::over(&program)
+        .strategy(Strategy::Dfs)
+        .config(config.clone())
+        .run()
+        .unwrap();
     assert!(reference.completed);
 
     let dir = TempDir::new("dfs");
     let live = dir.path("live.ck");
     let frozen = dir.path("frozen.ck");
     let checkpointed = freeze_mid_search(&live, &frozen, 4, 2, |copier, ck| {
-        DfsSearch::new(config.clone()).run_checkpointed(&program, copier, ck)
+        Search::over(&program)
+            .strategy(Strategy::Dfs)
+            .config(config.clone())
+            .observer(copier)
+            .checkpoint(ck)
+            .run()
+            .unwrap()
     });
     assert_reports_identical(&checkpointed, &reference);
     assert!(!live.exists());
 
     let snapshot = SearchSnapshot::read_from(&frozen).unwrap();
-    let resumed =
-        DfsSearch::resume(&program, snapshot, &mut NoopObserver, None).expect("resume dfs");
+    let resumed = Search::over(&program)
+        .resume_from(snapshot)
+        .run()
+        .expect("resume dfs");
     assert_reports_identical(&resumed, &reference);
 }
 
@@ -260,18 +286,30 @@ fn random_resume_continues_the_exact_stream() {
         bug: None,
     };
     let config = SearchConfig::with_max_executions(40);
-    let reference = RandomSearch::new(config.clone(), 7).run(&program);
+    let reference = Search::over(&program)
+        .strategy(Strategy::Random { seed: 7 })
+        .config(config.clone())
+        .run()
+        .unwrap();
 
     let dir = TempDir::new("random");
     let live = dir.path("live.ck");
     let frozen = dir.path("frozen.ck");
     freeze_mid_search(&live, &frozen, 5, 3, |copier, ck| {
-        RandomSearch::new(config.clone(), 7).run_checkpointed(&program, copier, ck)
+        Search::over(&program)
+            .strategy(Strategy::Random { seed: 7 })
+            .config(config.clone())
+            .observer(copier)
+            .checkpoint(ck)
+            .run()
+            .unwrap()
     });
 
     let snapshot = SearchSnapshot::read_from(&frozen).unwrap();
-    let resumed =
-        RandomSearch::resume(&program, snapshot, &mut NoopObserver, None).expect("resume random");
+    let resumed = Search::over(&program)
+        .resume_from(snapshot)
+        .run()
+        .expect("resume random");
     // Identical stream ⇒ identical walk ⇒ identical curve.
     assert_eq!(resumed.executions, reference.executions);
     assert_eq!(resumed.distinct_states, reference.distinct_states);
@@ -280,6 +318,8 @@ fn random_resume_continues_the_exact_stream() {
 
 #[test]
 fn resume_rejects_a_snapshot_from_another_strategy() {
+    // The builder derives the strategy from the snapshot itself, so this
+    // mismatch can only arise on the legacy per-strategy resume surface.
     let program = Counters {
         n: 2,
         k: 2,
@@ -289,10 +329,16 @@ fn resume_rejects_a_snapshot_from_another_strategy() {
     let live = dir.path("live.ck");
     let frozen = dir.path("frozen.ck");
     freeze_mid_search(&live, &frozen, 2, 1, |copier, ck| {
-        RandomSearch::new(SearchConfig::with_max_executions(10), 3)
-            .run_checkpointed(&program, copier, ck)
+        Search::over(&program)
+            .strategy(Strategy::Random { seed: 3 })
+            .config(SearchConfig::with_max_executions(10))
+            .observer(copier)
+            .checkpoint(ck)
+            .run()
+            .unwrap()
     });
     let snapshot = SearchSnapshot::read_from(&frozen).unwrap();
+    #[allow(deprecated)] // shim regression: the legacy resume still validates
     let err = IcbSearch::resume(&program, snapshot, &mut NoopObserver, None).unwrap_err();
     assert!(
         matches!(err, SnapshotError::WrongStrategy { .. }),
@@ -317,14 +363,16 @@ fn resumed_budget_stopped_run_does_not_overrun_the_budget() {
     let config = SearchConfig::with_max_executions(9);
     let dir = TempDir::new("budget");
     let live = dir.path("live.ck");
-    let mut ck = Checkpointer::new(&live, 4);
-    let stopped =
-        IcbSearch::new(config.clone()).run_checkpointed(&program, &mut NoopObserver, &mut ck);
+    let stopped = Search::over(&program)
+        .config(config.clone())
+        .checkpoint(Checkpointer::new(&live, 4))
+        .run()
+        .unwrap();
     assert_eq!(stopped.executions, 9);
     assert!(live.exists(), "aborted run must leave a final checkpoint");
 
     let snapshot = SearchSnapshot::read_from(&live).unwrap();
-    let resumed = IcbSearch::resume(&program, snapshot, &mut NoopObserver, None).unwrap();
+    let resumed = Search::over(&program).resume_from(snapshot).run().unwrap();
     assert_eq!(resumed.executions, 9, "resume must not exceed the budget");
     assert_eq!(resumed.distinct_states, stopped.distinct_states);
 }

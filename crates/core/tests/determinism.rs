@@ -1,0 +1,248 @@
+//! The parallel driver's determinism contract, exercised through the
+//! public `Search` builder:
+//!
+//! * the same workload at any `jobs >= 2` yields the *identical*
+//!   `SearchReport` — bugs, bound stats, coverage counts, curve — no
+//!   matter how the OS schedules the workers;
+//! * `jobs = 1` and `jobs >= 2` agree on every order-independent field
+//!   (the parallel driver renumbers executions in arrival order, so
+//!   per-execution indices may differ);
+//! * the stitched telemetry stream carries a `worker_stamp` for every
+//!   parallel execution, with per-worker sequence numbers that are
+//!   1-based and contiguous — no stamp lost, none duplicated;
+//! * sequential searches emit no stamps at all, keeping their event
+//!   streams byte-identical to the pre-parallel releases.
+
+use std::collections::BTreeMap;
+
+use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
+use icb_core::telemetry::SearchObserver;
+use icb_core::{
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
+    Trace, TraceEntry,
+};
+
+/// `n` threads × `k` increments of a shared counter; an optional bug
+/// fires when `bug_thread`'s step `bug_step` observes `counter ==
+/// bug_value`. Fully deterministic.
+struct Counters {
+    n: usize,
+    k: usize,
+    bug: Option<(usize, usize, u32)>,
+}
+
+impl ControlledProgram for Counters {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let mut counter: u32 = 0;
+        let mut pos = vec![0usize; self.n];
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        let mut failure: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..self.n).filter(|&i| pos[i] < self.k).map(Tid).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|t| pos[t.index()] < self.k);
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
+            if let Some((bt, bs, bv)) = self.bug {
+                if chosen.index() == bt && pos[bt] == bs && counter == bv {
+                    failure = Some(chosen);
+                }
+            }
+            counter += 1;
+            pos[chosen.index()] += 1;
+            current = Some(chosen);
+            let mut bytes = Vec::with_capacity(4 + self.n * 8);
+            bytes.extend_from_slice(&counter.to_le_bytes());
+            for p in &pos {
+                bytes.extend_from_slice(&(*p as u64).to_le_bytes());
+            }
+            sink.visit(icb_core::coverage::fingerprint_bytes(&bytes));
+            if failure.is_some() {
+                break;
+            }
+        }
+        let outcome = match failure {
+            Some(thread) => ExecutionOutcome::AssertionFailure {
+                thread,
+                message: "bug pattern hit".into(),
+            },
+            None => ExecutionOutcome::Terminated,
+        };
+        ExecutionResult::from_trace(outcome, trace)
+    }
+}
+
+fn buggy() -> Counters {
+    Counters {
+        n: 2,
+        k: 3,
+        bug: Some((1, 1, 3)),
+    }
+}
+
+fn clean() -> Counters {
+    Counters {
+        n: 3,
+        k: 2,
+        bug: None,
+    }
+}
+
+fn run(program: &Counters, strategy: Strategy, config: SearchConfig, jobs: usize) -> SearchReport {
+    Search::over(program)
+        .strategy(strategy)
+        .config(config)
+        .jobs(jobs)
+        .run()
+        .unwrap()
+}
+
+/// The order-independent slice of the contract: everything except
+/// per-execution numbering.
+fn assert_order_independent_match(par: &SearchReport, seq: &SearchReport) {
+    assert_eq!(par.executions, seq.executions, "executions");
+    assert_eq!(par.distinct_states, seq.distinct_states, "distinct states");
+    assert_eq!(par.buggy_executions, seq.buggy_executions, "buggy count");
+    assert_eq!(par.completed, seq.completed, "completed");
+    assert_eq!(par.completed_bound, seq.completed_bound, "completed bound");
+    assert_eq!(par.bound_history, seq.bound_history, "bound history");
+    assert_eq!(par.max_stats, seq.max_stats, "max stats");
+    // Sequential drivers report bugs in discovery order; the parallel
+    // merge canonicalizes to (preemptions, schedule). Compare the sets.
+    let canonical = |r: &SearchReport| {
+        let mut bugs: Vec<_> = r
+            .bugs
+            .iter()
+            .map(|b| (b.preemptions, b.schedule.clone()))
+            .collect();
+        bugs.sort();
+        bugs
+    };
+    assert_eq!(canonical(par), canonical(seq), "bug sets");
+}
+
+#[test]
+fn icb_same_report_at_jobs_1_2_8() {
+    for program in [buggy(), clean()] {
+        let seq = run(&program, Strategy::Icb, SearchConfig::default(), 1);
+        let par2 = run(&program, Strategy::Icb, SearchConfig::default(), 2);
+        let par8 = run(&program, Strategy::Icb, SearchConfig::default(), 8);
+        // Any two parallel worker counts: full report equality.
+        assert_eq!(par2, par8, "parallel reports must be worker-count-free");
+        // Sequential vs parallel: all order-independent fields.
+        assert_order_independent_match(&par2, &seq);
+    }
+}
+
+#[test]
+fn dfs_same_report_at_jobs_1_2_8() {
+    for program in [buggy(), clean()] {
+        let seq = run(&program, Strategy::Dfs, SearchConfig::default(), 1);
+        let par2 = run(&program, Strategy::Dfs, SearchConfig::default(), 2);
+        let par8 = run(&program, Strategy::Dfs, SearchConfig::default(), 8);
+        assert_eq!(par2, par8, "parallel reports must be worker-count-free");
+        assert_order_independent_match(&par2, &seq);
+    }
+}
+
+#[test]
+fn random_same_report_at_any_parallel_worker_count() {
+    // Parallel random walk derives one RNG stream per walk *index*, so
+    // the sampled set — and therefore the whole report — is a function
+    // of (seed, budget) alone, not of the worker count. (The sequential
+    // driver threads a single RNG through the walks and samples a
+    // different — equally valid — set; the two are not comparable.)
+    let program = clean();
+    let config = SearchConfig::with_max_executions(64);
+    let strategy = Strategy::Random { seed: 0x1cb };
+    let par2 = run(&program, strategy.clone(), config.clone(), 2);
+    let par8 = run(&program, strategy, config, 8);
+    assert_eq!(par2, par8, "parallel random must be worker-count-free");
+    assert_eq!(par2.executions, 64);
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    // Same jobs count twice: the merge must not leak scheduling noise.
+    let program = buggy();
+    let a = run(&program, Strategy::Icb, SearchConfig::default(), 4);
+    let b = run(&program, Strategy::Icb, SearchConfig::default(), 4);
+    assert_eq!(a, b);
+}
+
+/// Records every `worker_stamp` and counts executions, to prove the
+/// stitched stream lost and duplicated nothing.
+#[derive(Default)]
+struct StampAudit {
+    stamps: Vec<(usize, u64)>,
+    executions: usize,
+}
+
+impl SearchObserver for StampAudit {
+    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+        self.stamps.push((worker, seq));
+    }
+    fn execution_started(&mut self, _index: usize) {
+        self.executions += 1;
+    }
+}
+
+#[test]
+fn worker_stamps_are_contiguous_per_worker() {
+    for jobs in [2usize, 4, 8] {
+        let program = clean();
+        let mut audit = StampAudit::default();
+        let report = Search::over(&program)
+            .jobs(jobs)
+            .observer(&mut audit)
+            .run()
+            .unwrap();
+        assert_eq!(
+            audit.stamps.len(),
+            report.executions,
+            "jobs={jobs}: one stamp per merged execution"
+        );
+        assert_eq!(audit.executions, report.executions, "jobs={jobs}");
+        // Group by worker: each worker's sequence must be exactly
+        // 1..=n with no gaps and no duplicates.
+        let mut per_worker: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for (worker, seq) in &audit.stamps {
+            assert!(*worker < jobs, "jobs={jobs}: worker id {worker} in range");
+            per_worker.entry(*worker).or_default().push(*seq);
+        }
+        for (worker, mut seqs) in per_worker {
+            seqs.sort_unstable();
+            let expect: Vec<u64> = (1..=seqs.len() as u64).collect();
+            assert_eq!(
+                seqs, expect,
+                "jobs={jobs}: worker {worker} stamps are 1-based and contiguous"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_runs_emit_no_worker_stamps() {
+    let program = clean();
+    let mut audit = StampAudit::default();
+    let report = Search::over(&program).observer(&mut audit).run().unwrap();
+    assert!(
+        audit.stamps.is_empty(),
+        "jobs=1 streams must stay byte-identical to pre-parallel output"
+    );
+    assert_eq!(audit.executions, report.executions);
+}

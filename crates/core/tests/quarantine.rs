@@ -3,9 +3,9 @@
 //! was a panic that unwound through the whole run), must not be reported
 //! as a program bug, and must be called out in the final report.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use icb_core::search::{BestFirstSearch, DfsSearch, IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{
     ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
     Trace, TraceEntry,
@@ -18,22 +18,21 @@ use icb_core::{
 /// exists for.
 struct FlakyCounters {
     k: usize,
-    runs: Cell<usize>,
+    runs: AtomicUsize,
 }
 
 impl FlakyCounters {
     fn new(k: usize) -> Self {
         FlakyCounters {
             k,
-            runs: Cell::new(0),
+            runs: AtomicUsize::new(0),
         }
     }
 }
 
 impl ControlledProgram for FlakyCounters {
     fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
-        let run = self.runs.get();
-        self.runs.set(run + 1);
+        let run = self.runs.fetch_add(1, Ordering::Relaxed);
         let constrained = run % 2 == 1;
         let mut pos = [0usize; 2];
         let mut trace = Trace::new();
@@ -72,7 +71,10 @@ impl ControlledProgram for FlakyCounters {
 #[test]
 fn icb_quarantines_diverging_subtrees_and_keeps_searching() {
     let program = FlakyCounters::new(2);
-    let report = IcbSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::with_max_executions(500))
+        .run()
+        .unwrap();
     assert!(
         report.quarantined_total > 0,
         "nondeterministic workload must trip quarantine: {report}"
@@ -95,7 +97,10 @@ fn icb_quarantines_diverging_subtrees_and_keeps_searching() {
 #[test]
 fn quarantined_traces_carry_the_divergence_details() {
     let program = FlakyCounters::new(2);
-    let report = IcbSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::with_max_executions(500))
+        .run()
+        .unwrap();
     let q = report
         .quarantined
         .first()
@@ -109,7 +114,11 @@ fn quarantined_traces_carry_the_divergence_details() {
 #[test]
 fn dfs_quarantines_instead_of_crashing() {
     let program = FlakyCounters::new(2);
-    let report = DfsSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    let report = Search::over(&program)
+        .strategy(Strategy::Dfs)
+        .config(SearchConfig::with_max_executions(500))
+        .run()
+        .unwrap();
     assert!(report.quarantined_total > 0, "{report}");
     assert_eq!(report.buggy_executions, 0);
 }
@@ -117,7 +126,11 @@ fn dfs_quarantines_instead_of_crashing() {
 #[test]
 fn best_first_quarantines_instead_of_crashing() {
     let program = FlakyCounters::new(2);
-    let report = BestFirstSearch::new(SearchConfig::with_max_executions(500)).run(&program);
+    let report = Search::over(&program)
+        .strategy(Strategy::BestFirst)
+        .config(SearchConfig::with_max_executions(500))
+        .run()
+        .unwrap();
     assert!(report.quarantined_total > 0, "{report}");
     assert_eq!(report.buggy_executions, 0);
 }
@@ -130,7 +143,7 @@ fn divergence_count_is_capped_but_total_is_not() {
         max_bug_reports: 2,
         ..SearchConfig::default()
     };
-    let report = IcbSearch::new(config).run(&program);
+    let report = Search::over(&program).config(config).run().unwrap();
     if report.quarantined_total > 2 {
         assert_eq!(
             report.quarantined.len(),

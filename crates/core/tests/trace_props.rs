@@ -6,7 +6,7 @@
 //! every case is deterministic and reproducible from its seed.
 
 use icb_core::rng::SplitMix64;
-use icb_core::search::{DfsSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{
     ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
     Trace, TraceEntry,
@@ -119,11 +119,14 @@ fn dfs_bug_free_and_complete() {
         let program = Planned {
             steps_per_thread: steps.clone(),
         };
-        let report = DfsSearch::new(SearchConfig {
-            max_executions: Some(100_000),
-            ..SearchConfig::default()
-        })
-        .run(&program);
+        let report = Search::over(&program)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig {
+                max_executions: Some(100_000),
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(report.completed);
         assert_eq!(report.buggy_executions, 0);
         // The multinomial count of distinct schedules.

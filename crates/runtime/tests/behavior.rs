@@ -4,13 +4,30 @@
 
 use std::sync::Arc;
 
-use icb_core::search::{DfsSearch, IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{ControlledProgram, ExecutionOutcome, NullSink, ReplayScheduler};
 use icb_runtime::sync::{AtomicUsize, Condvar, Event, Mutex, Semaphore};
 use icb_runtime::{thread, DataVar, RuntimeConfig, RuntimeProgram};
 
 fn exhaustive(program: &RuntimeProgram) -> icb_core::search::SearchReport {
-    IcbSearch::new(SearchConfig::default()).run(program)
+    Search::over(program)
+        .config(SearchConfig::default())
+        .run()
+        .unwrap()
+}
+
+fn minimal_bug(program: &RuntimeProgram, budget: usize) -> Option<icb_core::search::BugReport> {
+    Search::over(program)
+        .config(SearchConfig {
+            max_executions: Some(budget),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
 }
 
 #[test]
@@ -71,7 +88,7 @@ fn lost_update_found_with_one_preemption() {
         }
         assert_eq!(*counter.lock(), 2, "lost update");
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("lost update is reachable");
+    let bug = minimal_bug(&program, 100_000).expect("lost update is reachable");
     assert_eq!(bug.preemptions, 1);
     assert!(matches!(
         bug.outcome,
@@ -97,7 +114,7 @@ fn ab_ba_deadlock_is_detected() {
         }
         t.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("deadlock is reachable");
+    let bug = minimal_bug(&program, 100_000).expect("deadlock is reachable");
     match &bug.outcome {
         ExecutionOutcome::Deadlock { blocked } => assert_eq!(blocked.len(), 2),
         other => panic!("expected deadlock, got {other}"),
@@ -176,7 +193,7 @@ fn missed_signal_without_predicate_recheck_deadlocks() {
         drop(g);
         t.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("missed signal");
+    let bug = minimal_bug(&program, 100_000).expect("missed signal");
     assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
     // One preemption: the notifier must run between the waiter's spawn
     // and its wait, which requires preempting the main thread once.
@@ -414,7 +431,7 @@ fn replaying_a_bug_schedule_reproduces_it_exactly() {
         }
         assert_eq!(*c.lock(), 2, "lost update");
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("bug");
+    let bug = minimal_bug(&program, 100_000).expect("bug");
     for _ in 0..3 {
         let mut replay = ReplayScheduler::new(bug.schedule.clone());
         let result = program.execute(&mut replay, &mut NullSink);
@@ -560,7 +577,12 @@ fn dfs_and_icb_agree_on_runtime_programs() {
         }
     };
     let icb = exhaustive(&RuntimeProgram::new(body));
-    let dfs = DfsSearch::new(SearchConfig::default()).run(&RuntimeProgram::new(body));
+    let dfs_prog = RuntimeProgram::new(body);
+    let dfs = Search::over(&dfs_prog)
+        .strategy(Strategy::Dfs)
+        .config(SearchConfig::default())
+        .run()
+        .unwrap();
     assert!(icb.completed && dfs.completed);
     assert_eq!(icb.executions, dfs.executions);
     assert_eq!(icb.distinct_states, dfs.distinct_states);

@@ -4,18 +4,34 @@
 
 use std::sync::Arc;
 
-use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig};
 use icb_core::ExecutionOutcome;
 use icb_runtime::sync::{Channel, Mutex};
 use icb_runtime::{thread, RuntimeProgram};
 
+fn minimal_bug(program: &RuntimeProgram, budget: usize) -> Option<icb_core::search::BugReport> {
+    Search::over(program)
+        .config(SearchConfig {
+            max_executions: Some(budget),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+}
+
 fn bounded(program: &RuntimeProgram, bound: usize) -> icb_core::search::SearchReport {
-    let report = IcbSearch::new(SearchConfig {
-        preemption_bound: Some(bound),
-        max_executions: Some(400_000),
-        ..SearchConfig::default()
-    })
-    .run(program);
+    let report = Search::over(program)
+        .config(SearchConfig {
+            preemption_bound: Some(bound),
+            max_executions: Some(400_000),
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert!(
         report.completed || report.completed_bound == Some(bound),
         "budget exhausted before completing bound {bound}: {:?}",
@@ -123,7 +139,7 @@ fn forgetting_to_close_deadlocks_receivers() {
         ch.send(1);
         consumer.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 200_000).expect("deadlock");
+    let bug = minimal_bug(&program, 200_000).expect("deadlock");
     assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
     assert_eq!(bug.preemptions, 0);
 }
@@ -140,7 +156,7 @@ fn send_after_close_is_reported() {
         closer.join();
         let _ = ch.try_recv();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 200_000).expect("protocol bug");
+    let bug = minimal_bug(&program, 200_000).expect("protocol bug");
     match &bug.outcome {
         ExecutionOutcome::AssertionFailure { message, .. } => {
             assert!(message.contains("closed channel"), "got: {message}");

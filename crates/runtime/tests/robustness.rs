@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig};
 use icb_core::{ControlledProgram, ExecutionOutcome, NullSink, ReplayScheduler, Schedule, Tid};
 use icb_runtime::sync::Mutex;
 use icb_runtime::{thread, RuntimeConfig, RuntimeProgram};
@@ -37,7 +37,10 @@ fn engine_divergence_is_a_recoverable_outcome() {
     assert_eq!(result.trace.len(), 2);
 
     // Workers were reclaimed: the engine runs normally afterwards.
-    let report = IcbSearch::new(SearchConfig::default()).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::default())
+        .run()
+        .unwrap();
     assert!(report.completed);
     assert!(report.bugs.is_empty());
 }
@@ -83,7 +86,10 @@ fn watchdog_drains_the_other_tasks() {
         let t = thread::spawn(|| {});
         t.join();
     });
-    let report = IcbSearch::new(SearchConfig::default()).run(&healthy);
+    let report = Search::over(&healthy)
+        .config(SearchConfig::default())
+        .run()
+        .unwrap();
     assert!(report.completed);
 }
 
@@ -96,7 +102,10 @@ fn search_survives_a_livelocking_workload_and_reports_trips() {
     let program = RuntimeProgram::with_config(config, || {
         std::thread::sleep(Duration::from_millis(200));
     });
-    let report = IcbSearch::new(SearchConfig::default()).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::default())
+        .run()
+        .unwrap();
     // The hung execution became a recoverable timeout, not a hang or a
     // bug report, and the search ran to completion.
     assert!(report.watchdog_trips >= 1, "{report}");

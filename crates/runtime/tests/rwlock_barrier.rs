@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use icb_core::search::{IcbSearch, SearchConfig};
+use icb_core::search::{Search, SearchConfig};
 use icb_core::ExecutionOutcome;
 use icb_runtime::sync::{AtomicUsize, Barrier, RwLock};
 use icb_runtime::{thread, DataVar, RuntimeProgram};
@@ -11,13 +11,29 @@ use icb_runtime::{thread, DataVar, RuntimeProgram};
 /// which all of this crate's primitive-protocol bugs manifest — instead
 /// of the full space, which for the multi-round barrier programs has
 /// millions of schedules.
+fn minimal_bug(program: &RuntimeProgram, budget: usize) -> Option<icb_core::search::BugReport> {
+    Search::over(program)
+        .config(SearchConfig {
+            max_executions: Some(budget),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+}
+
 fn bounded(program: &RuntimeProgram) -> icb_core::search::SearchReport {
-    let report = IcbSearch::new(SearchConfig {
-        preemption_bound: Some(2),
-        max_executions: Some(300_000),
-        ..SearchConfig::default()
-    })
-    .run(program);
+    let report = Search::over(program)
+        .config(SearchConfig {
+            preemption_bound: Some(2),
+            max_executions: Some(300_000),
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert_eq!(report.completed_bound, Some(2), "budget exhausted early");
     report
 }
@@ -139,7 +155,7 @@ fn rwlock_deadlock_on_read_then_write_upgrade() {
         };
         t.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("deadlock");
+    let bug = minimal_bug(&program, 100_000).expect("deadlock");
     assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
     assert_eq!(bug.preemptions, 0);
 }
@@ -204,7 +220,7 @@ fn missing_party_deadlocks_at_bound_zero() {
         };
         t.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("deadlock");
+    let bug = minimal_bug(&program, 100_000).expect("deadlock");
     assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
     assert_eq!(bug.preemptions, 0);
 }

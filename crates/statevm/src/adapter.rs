@@ -115,7 +115,7 @@ fn step_error_outcome(e: StepError) -> ExecutionOutcome {
 mod tests {
     use super::*;
     use crate::builder::ModelBuilder;
-    use icb_core::search::{DfsSearch, IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig, Strategy};
 
     #[test]
     fn searches_find_the_lost_update() {
@@ -143,14 +143,28 @@ mod tests {
         });
         let model = m.build();
 
-        let bug = IcbSearch::find_minimal_bug(&model, 1_000_000).expect("lost update found");
+        let bug = Search::over(&model)
+            .config(SearchConfig {
+                max_executions: Some(1_000_000),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+            .expect("lost update found");
         assert_eq!(bug.preemptions, 1);
 
-        let dfs = DfsSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..SearchConfig::default()
-        })
-        .run(&model);
+        let dfs = Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(!dfs.bugs.is_empty());
     }
 
@@ -165,7 +179,10 @@ mod tests {
             });
         }
         let model = m.build();
-        let report = IcbSearch::new(SearchConfig::default()).run(&model);
+        let report = Search::over(&model)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(report.completed);
         assert!(report.bugs.is_empty());
         // Two atomic increments: two schedules.
@@ -190,7 +207,18 @@ mod tests {
             t.release(b);
         });
         let model = m.build();
-        let bug = IcbSearch::find_minimal_bug(&model, 100_000).expect("deadlock");
+        let bug = Search::over(&model)
+            .config(SearchConfig {
+                max_executions: Some(100_000),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+            .expect("deadlock");
         assert!(matches!(bug.outcome, ExecutionOutcome::Deadlock { .. }));
         assert_eq!(bug.preemptions, 1);
     }

@@ -310,7 +310,7 @@ pub fn reachable_states(model: &Model, max_states: usize) -> usize {
 mod tests {
     use super::*;
     use crate::builder::ModelBuilder;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
 
     fn two_increments() -> Model {
         let mut m = ModelBuilder::new();
@@ -338,7 +338,10 @@ mod tests {
     fn explicit_and_stateless_agree_on_state_counts() {
         let model = two_increments();
         let explicit = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
-        let stateless = IcbSearch::new(SearchConfig::default()).run(&model);
+        let stateless = Search::over(&model)
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
         assert!(explicit.completed && stateless.completed);
         assert_eq!(explicit.distinct_states, stateless.distinct_states);
     }

@@ -297,6 +297,12 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
         self.emit(&line);
     }
 
+    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+        self.emit(&format!(
+            "{{\"event\":\"worker-stamp\",\"worker\":{worker},\"seq\":{seq}}}"
+        ));
+    }
+
     fn work_item_deferred(&mut self, next_bound: usize) {
         self.emit(&format!(
             "{{\"event\":\"work-item-deferred\",\"next_bound\":{next_bound}}}"

@@ -151,6 +151,12 @@ impl SearchObserver for MultiObserver<'_> {
         }
     }
 
+    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+        for o in &mut self.observers {
+            o.worker_stamp(worker, seq);
+        }
+    }
+
     fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
         for o in &mut self.observers {
             o.trace_quarantined(quarantined);

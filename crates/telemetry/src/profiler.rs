@@ -197,7 +197,7 @@ impl SearchObserver for ExplorationProfiler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
     use icb_core::{
         ControlledProgram, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid, Trace,
         TraceEntry,
@@ -246,7 +246,11 @@ mod tests {
     #[test]
     fn profiles_a_full_icb_run() {
         let mut profiler = ExplorationProfiler::new();
-        let report = IcbSearch::new(SearchConfig::default()).run_observed(&TwoSites, &mut profiler);
+        let report = Search::over(&TwoSites)
+            .config(SearchConfig::default())
+            .observer(&mut profiler)
+            .run()
+            .unwrap();
         let run = profiler.run_report();
         assert_eq!(run.strategy, "icb");
         assert_eq!(run.executions, report.executions);

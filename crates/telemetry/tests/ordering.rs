@@ -2,10 +2,7 @@
 //! [`SearchObserver`](icb_core::SearchObserver) hold for real searches,
 //! as recorded by an [`EventLog`].
 
-use icb_core::search::{
-    BestFirstSearch, DfsSearch, IcbSearch, IterativeDeepeningSearch, RandomSearch, SearchConfig,
-    SearchStrategy,
-};
+use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{
     ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, SiteId,
     StateSink, Tid, Trace, TraceEntry,
@@ -94,8 +91,12 @@ fn final_report(log: &EventLog) -> &icb_core::search::SearchReport {
 #[test]
 fn icb_events_pair_and_count() {
     let mut log = EventLog::new();
-    let report = IcbSearch::new(SearchConfig::default())
-        .search_observed(&TwoByTwo { buggy: false }, &mut log);
+    let program = TwoByTwo { buggy: false };
+    let report = Search::over(&program)
+        .config(SearchConfig::default())
+        .observer(&mut log)
+        .run()
+        .unwrap();
     check_execution_pairing(&log);
     let starts = log
         .events()
@@ -109,8 +110,13 @@ fn icb_events_pair_and_count() {
 #[test]
 fn dfs_events_pair_too() {
     let mut log = EventLog::new();
-    let report = DfsSearch::new(SearchConfig::default())
-        .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    let program = TwoByTwo { buggy: true };
+    let report = Search::over(&program)
+        .strategy(Strategy::Dfs)
+        .config(SearchConfig::default())
+        .observer(&mut log)
+        .run()
+        .unwrap();
     check_execution_pairing(&log);
     assert_eq!(report.executions, 6);
     assert_eq!(report.buggy_executions, 3);
@@ -121,8 +127,12 @@ fn dfs_events_pair_too() {
 #[test]
 fn bound_completed_matches_bound_stats() {
     let mut log = EventLog::new();
-    let report = IcbSearch::new(SearchConfig::default())
-        .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    let program = TwoByTwo { buggy: true };
+    let report = Search::over(&program)
+        .config(SearchConfig::default())
+        .observer(&mut log)
+        .run()
+        .unwrap();
     let from_events: Vec<_> = log
         .events()
         .iter()
@@ -150,7 +160,12 @@ fn bound_completed_matches_bound_stats() {
 fn bug_found_respects_the_report_cap() {
     let bug_events = |config: SearchConfig| {
         let mut log = EventLog::new();
-        let report = IcbSearch::new(config).search_observed(&TwoByTwo { buggy: true }, &mut log);
+        let program = TwoByTwo { buggy: true };
+        let report = Search::over(&program)
+            .config(config)
+            .observer(&mut log)
+            .run()
+            .unwrap();
         let fired = log
             .events()
             .iter()
@@ -230,29 +245,32 @@ fn multi_observer_fans_out_identically_under_every_strategy() {
         max_executions: Some(40),
         ..SearchConfig::default()
     };
-    let strategies: Vec<(&str, Box<dyn SearchStrategy>)> = vec![
-        ("icb", Box::new(IcbSearch::new(SearchConfig::default()))),
-        ("dfs", Box::new(DfsSearch::new(SearchConfig::default()))),
+    let strategies: Vec<(&str, Strategy, SearchConfig)> = vec![
+        ("icb", Strategy::Icb, SearchConfig::default()),
+        ("dfs", Strategy::Dfs, SearchConfig::default()),
         (
             "idfs",
-            Box::new(IterativeDeepeningSearch::new(
-                SearchConfig::default(),
-                2,
-                2,
-                6,
-            )),
+            Strategy::IterativeDeepening {
+                start: 2,
+                step: 2,
+                max: 6,
+            },
+            SearchConfig::default(),
         ),
-        ("random", Box::new(RandomSearch::new(budget, 0x1cb))),
-        (
-            "best-first",
-            Box::new(BestFirstSearch::new(SearchConfig::default())),
-        ),
+        ("random", Strategy::Random { seed: 0x1cb }, budget),
+        ("best-first", Strategy::BestFirst, SearchConfig::default()),
     ];
-    for (name, strategy) in strategies {
+    for (name, strategy, config) in strategies {
         let mut a = EventLog::new();
         let mut b = EventLog::new();
         let mut multi = MultiObserver::new().with(&mut a).with(&mut b);
-        strategy.search_observed(&TwoByTwo { buggy: true }, &mut multi);
+        let program = TwoByTwo { buggy: true };
+        Search::over(&program)
+            .strategy(strategy)
+            .config(config)
+            .observer(&mut multi)
+            .run()
+            .unwrap();
         drop(multi);
         assert_eq!(a.events().len(), b.events().len(), "{name}: equal length");
         assert!(!a.events().is_empty(), "{name}: events were recorded");
@@ -269,11 +287,15 @@ fn multi_observer_fans_out_identically_under_every_strategy() {
 #[test]
 fn abort_is_emitted_once_and_ordered() {
     let mut log = EventLog::new();
-    IcbSearch::new(SearchConfig {
-        stop_on_first_bug: true,
-        ..SearchConfig::default()
-    })
-    .search_observed(&TwoByTwo { buggy: true }, &mut log);
+    let program = TwoByTwo { buggy: true };
+    Search::over(&program)
+        .config(SearchConfig {
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .observer(&mut log)
+        .run()
+        .unwrap();
     let positions: Vec<usize> = log
         .events()
         .iter()

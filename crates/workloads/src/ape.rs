@@ -277,12 +277,29 @@ pub fn ape_model(items: usize) -> icb_statevm::Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
+
+    fn minimal_bug_report(
+        program: &(dyn icb_core::ControlledProgram + Sync),
+        budget: usize,
+    ) -> Option<icb_core::search::BugReport> {
+        Search::over(program)
+            .config(SearchConfig {
+                max_executions: Some(budget),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+    }
     use icb_core::ExecutionOutcome;
 
     fn minimal_bound(variant: ApeVariant) -> Option<(usize, ExecutionOutcome)> {
         let program = ape_program(variant, 2);
-        IcbSearch::find_minimal_bug(&program, 500_000).map(|b| (b.preemptions, b.outcome))
+        minimal_bug_report(&program, 500_000).map(|b| (b.preemptions, b.outcome))
     }
 
     #[test]
@@ -331,7 +348,7 @@ mod tests {
             max_executions: Some(500_000),
             ..SearchConfig::default()
         };
-        let report = IcbSearch::new(config).run(&program);
+        let report = Search::over(&program).config(config).run().unwrap();
         assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
         assert_eq!(report.completed_bound, Some(2));
     }

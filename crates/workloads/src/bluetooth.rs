@@ -192,13 +192,30 @@ pub fn bluetooth_model(variant: BluetoothVariant, workers: usize) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
+
+    fn minimal_bug_report(
+        program: &(dyn icb_core::ControlledProgram + Sync),
+        budget: usize,
+    ) -> Option<icb_core::search::BugReport> {
+        Search::over(program)
+            .config(SearchConfig {
+                max_executions: Some(budget),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+    }
     use icb_statevm::{ExplicitConfig, ExplicitIcb};
 
     #[test]
     fn buggy_driver_fails_with_one_preemption() {
         let program = bluetooth_program(BluetoothVariant::Buggy, 2);
-        let bug = IcbSearch::find_minimal_bug(&program, 200_000).expect("known bug");
+        let bug = minimal_bug_report(&program, 200_000).expect("known bug");
         assert_eq!(bug.preemptions, 1);
         match &bug.outcome {
             icb_core::ExecutionOutcome::AssertionFailure { message, .. } => {
@@ -219,7 +236,7 @@ mod tests {
             preemption_bound: Some(2),
             ..SearchConfig::default()
         };
-        let report = IcbSearch::new(config).run(&program);
+        let report = Search::over(&program).config(config).run().unwrap();
         assert_eq!(report.completed_bound, Some(2));
         assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
     }
@@ -247,7 +264,7 @@ mod tests {
     #[test]
     fn single_worker_bug_still_needs_one_preemption() {
         let program = bluetooth_program(BluetoothVariant::Buggy, 1);
-        let bug = IcbSearch::find_minimal_bug(&program, 100_000).expect("bug");
+        let bug = minimal_bug_report(&program, 100_000).expect("bug");
         assert_eq!(bug.preemptions, 1);
     }
 }

@@ -347,13 +347,30 @@ pub fn dryad_model(workers: usize, items: usize) -> icb_statevm::Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
     use icb_core::ExecutionOutcome;
+
+    fn minimal_bug_report(
+        program: &(dyn icb_core::ControlledProgram + Sync),
+        budget: usize,
+    ) -> Option<icb_core::search::BugReport> {
+        Search::over(program)
+            .config(SearchConfig {
+                max_executions: Some(budget),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+    }
 
     /// Small configuration for exhaustive-by-bound searches: 2 workers.
     fn minimal_bound(variant: DryadVariant) -> Option<(usize, ExecutionOutcome)> {
         let program = dryad_program(variant, 2, 2);
-        IcbSearch::find_minimal_bug(&program, 500_000).map(|b| (b.preemptions, b.outcome))
+        minimal_bug_report(&program, 500_000).map(|b| (b.preemptions, b.outcome))
     }
 
     #[test]
@@ -380,7 +397,7 @@ mod tests {
         // The paper highlights that the failing trace needs only one
         // preemption but several nonpreempting switches.
         let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
-        let bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("bug");
+        let bug = minimal_bug_report(&program, 500_000).expect("bug");
         assert_eq!(bug.preemptions, 1);
         let mut replay = icb_core::ReplayScheduler::new(bug.schedule.clone());
         let result =
@@ -431,7 +448,7 @@ mod tests {
             max_executions: Some(500_000),
             ..SearchConfig::default()
         };
-        let report = IcbSearch::new(config).run(&program);
+        let report = Search::over(&program).config(config).run().unwrap();
         assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
         assert_eq!(report.completed_bound, Some(1));
     }

@@ -144,7 +144,7 @@ pub fn filesystem_model(params: FsParams) -> Model {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
     use icb_statevm::{reachable_states, ExplicitConfig, ExplicitIcb};
 
     #[test]
@@ -191,7 +191,7 @@ mod tests {
             preemption_bound: Some(1),
             ..SearchConfig::default()
         };
-        let report = IcbSearch::new(config).run(&program);
+        let report = Search::over(&program).config(config).run().unwrap();
         assert_eq!(report.completed_bound, Some(1));
         assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
     }

@@ -371,7 +371,24 @@ fn vm_pop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icb_core::search::{IcbSearch, SearchConfig};
+    use icb_core::search::{Search, SearchConfig};
+
+    fn minimal_bug_report(
+        program: &(dyn icb_core::ControlledProgram + Sync),
+        budget: usize,
+    ) -> Option<icb_core::search::BugReport> {
+        Search::over(program)
+            .config(SearchConfig {
+                max_executions: Some(budget),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .bugs
+            .into_iter()
+            .next()
+    }
     use icb_core::ExecutionOutcome;
     use icb_statevm::{ExplicitConfig, ExplicitIcb};
 
@@ -412,7 +429,7 @@ mod tests {
     #[test]
     fn runtime_tail_publish_bug_found_quickly() {
         let program = wsq_program(WsqVariant::TailPublishFirst, 3, 2);
-        let bug = IcbSearch::find_minimal_bug(&program, 300_000).expect("bug");
+        let bug = minimal_bug_report(&program, 300_000).expect("bug");
         assert!(bug.preemptions <= 2, "found at {}", bug.preemptions);
         assert!(matches!(
             bug.outcome,
@@ -427,7 +444,7 @@ mod tests {
             preemption_bound: Some(1),
             ..SearchConfig::default()
         };
-        let report = IcbSearch::new(config).run(&program);
+        let report = Search::over(&program).config(config).run().unwrap();
         assert_eq!(report.completed_bound, Some(1));
         assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
     }

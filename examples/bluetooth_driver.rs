@@ -5,13 +5,24 @@
 //! cargo run --release --example bluetooth_driver
 //! ```
 
-use icb::core::search::{IcbSearch, SearchConfig};
 use icb::workloads::bluetooth::{bluetooth_program, BluetoothVariant};
+use icb::{Search, SearchConfig};
 
 fn main() {
     println!("== the buggy driver ==");
     let buggy = bluetooth_program(BluetoothVariant::Buggy, 2);
-    let bug = IcbSearch::find_minimal_bug(&buggy, 200_000).expect("the driver bug is reachable");
+    let bug = Search::over(&buggy)
+        .config(SearchConfig {
+            max_executions: Some(200_000),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+        .expect("the driver bug is reachable");
     println!("bug: {}", bug.outcome);
     println!(
         "minimal preemptions: {} (the paper found it at context bound 1)",
@@ -26,7 +37,7 @@ fn main() {
         preemption_bound: Some(2),
         ..SearchConfig::default()
     };
-    let report = IcbSearch::new(config).run(&fixed);
+    let report = Search::over(&fixed).config(config).run().unwrap();
     assert!(report.bugs.is_empty());
     println!(
         "explored {} executions, every execution with ≤ {} preemptions",

@@ -5,11 +5,9 @@
 //! cargo run --release --example coverage_explorer
 //! ```
 
-use icb::core::search::{
-    BestFirstSearch, DfsSearch, IcbSearch, RandomSearch, SearchConfig, SearchStrategy,
-};
 use icb::statevm::reachable_states;
 use icb::workloads::wsq::{wsq_model, WsqVariant};
+use icb::{Search, SearchConfig, Strategy};
 
 fn main() {
     let model = wsq_model(WsqVariant::Correct, 3, 2);
@@ -19,20 +17,24 @@ fn main() {
 
     let budget = 5_000;
     let config = SearchConfig::with_max_executions(budget);
-    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(IcbSearch::new(config.clone())),
-        Box::new(RandomSearch::new(config.clone(), 42)),
-        Box::new(DfsSearch::new(config.clone())),
-        Box::new(DfsSearch::with_depth_bound(config.clone(), 20)),
-        Box::new(BestFirstSearch::new(config.clone())),
+    let strategies = [
+        Strategy::Icb,
+        Strategy::Random { seed: 42 },
+        Strategy::Dfs,
+        Strategy::DepthBounded(20),
+        Strategy::BestFirst,
     ];
 
     println!(
         "{:<10} {:>12} {:>12} {:>10}",
         "strategy", "executions", "states", "% covered"
     );
-    for strategy in &strategies {
-        let report = strategy.search(&model);
+    for strategy in strategies {
+        let report = Search::over(&model)
+            .strategy(strategy)
+            .config(config.clone())
+            .run()
+            .unwrap();
         println!(
             "{:<10} {:>12} {:>12} {:>9.1}%",
             report.strategy,

@@ -8,9 +8,9 @@
 use std::sync::Arc;
 
 use icb::core::render;
-use icb::core::search::{IcbSearch, SearchConfig};
 use icb::core::{ControlledProgram, ExecutionOutcome, NullSink, ReplayScheduler};
 use icb::runtime::{sync::Mutex, thread, RuntimeProgram};
+use icb::{Search, SearchConfig};
 
 fn philosophers(n: usize, ordered: bool) -> RuntimeProgram {
     RuntimeProgram::new(move || {
@@ -42,7 +42,18 @@ fn main() {
 
     println!("== naive protocol: everyone grabs the left fork first ==");
     let naive = philosophers(n, false);
-    let bug = IcbSearch::find_minimal_bug(&naive, 500_000).expect("the classic deadlock");
+    let bug = Search::over(&naive)
+        .config(SearchConfig {
+            max_executions: Some(500_000),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+        .expect("the classic deadlock");
     match &bug.outcome {
         ExecutionOutcome::Deadlock { blocked } => {
             println!(
@@ -64,12 +75,14 @@ fn main() {
     println!();
     println!("== ordered protocol: forks acquired in global order ==");
     let fixed = philosophers(n, true);
-    let report = IcbSearch::new(SearchConfig {
-        preemption_bound: Some(2),
-        max_executions: Some(500_000),
-        ..SearchConfig::default()
-    })
-    .run(&fixed);
+    let report = Search::over(&fixed)
+        .config(SearchConfig {
+            preemption_bound: Some(2),
+            max_executions: Some(500_000),
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert!(report.bugs.is_empty());
     println!(
         "no deadlock in any of the {} executions with ≤ {} preemptions",

@@ -12,15 +12,26 @@
 //! cargo run --release --example dryad_use_after_free
 //! ```
 
-use icb::core::search::IcbSearch;
 use icb::core::{ControlledProgram, NullSink, ReplayScheduler};
 use icb::workloads::dryad::{dryad_program, DryadVariant};
+use icb::{Search, SearchConfig};
 
 fn main() {
     let program = dryad_program(DryadVariant::CloseNoWait, 2, 2);
 
     println!("hunting the Figure 3 use-after-free…");
-    let bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("Figure 3 bug is reachable");
+    let bug = Search::over(&program)
+        .config(SearchConfig {
+            max_executions: Some(500_000),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+        .expect("Figure 3 bug is reachable");
 
     println!();
     println!("found: {}", bug.outcome);

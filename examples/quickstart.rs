@@ -7,9 +7,9 @@
 
 use std::sync::Arc;
 
-use icb::core::search::{IcbSearch, SearchConfig};
 use icb::core::{ControlledProgram, NullSink, ReplayScheduler};
 use icb::runtime::{sync::Mutex, thread, RuntimeProgram};
+use icb::{Search, SearchConfig};
 
 fn main() {
     // A racy bank account: both threads read the balance, then write the
@@ -33,7 +33,10 @@ fn main() {
     });
 
     println!("searching for the bug in preemption order…");
-    let report = IcbSearch::new(SearchConfig::bug_hunt()).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::bug_hunt())
+        .run()
+        .unwrap();
     let bug = report.first_bug().expect("the lost update is reachable");
 
     println!();

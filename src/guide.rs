@@ -32,7 +32,7 @@
 /// without any annotation. Then pick a search:
 ///
 /// ```
-/// use icb::core::search::{IcbSearch, SearchConfig};
+/// use icb::{Search, SearchConfig};
 /// use icb::runtime::{RuntimeProgram, sync::Mutex, thread};
 /// use std::sync::Arc;
 ///
@@ -48,7 +48,10 @@
 /// });
 ///
 /// // Hunt: stop at the first bug, minimal preemptions guaranteed.
-/// let hunt = IcbSearch::new(SearchConfig::bug_hunt()).run(&program);
+/// let hunt = Search::over(&program)
+///     .config(SearchConfig::bug_hunt())
+///     .run()
+///     .unwrap();
 /// assert!(hunt.bugs.is_empty());
 ///
 /// // Certify: exhaust every execution with at most 2 preemptions.
@@ -56,7 +59,7 @@
 ///     preemption_bound: Some(2),
 ///     ..SearchConfig::default()
 /// };
-/// let cert = IcbSearch::new(config).run(&program);
+/// let cert = Search::over(&program).config(config).run().unwrap();
 /// assert!(cert.bugs.is_empty());
 /// assert_eq!(cert.completed_bound, Some(2));
 /// ```

@@ -19,7 +19,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use icb::core::search::{IcbSearch, SearchConfig};
+//! use icb::{Search, SearchConfig};
 //! use icb::runtime::{RuntimeProgram, sync::Mutex, thread};
 //! use std::sync::Arc;
 //!
@@ -38,10 +38,18 @@
 //!     assert_eq!(*counter.lock(), 2, "lost update");
 //! });
 //!
-//! let report = IcbSearch::new(SearchConfig::bug_hunt()).run(&program);
+//! let report = Search::over(&program)
+//!     .config(SearchConfig::bug_hunt())
+//!     .run()
+//!     .unwrap();
 //! let bug = report.first_bug().expect("lost update found");
 //! assert_eq!(bug.preemptions, 1); // minimal: one preemption suffices
 //! ```
+//!
+//! Every exploration — ICB, DFS, random walk, parallel (`.jobs(n)`),
+//! checkpointed, resumed — goes through the same [`Search`] builder;
+//! see [`core::search::Search`] for the full surface and the migration
+//! table from the pre-builder entry points.
 
 pub mod guide;
 
@@ -51,3 +59,5 @@ pub use icb_runtime as runtime;
 pub use icb_statevm as statevm;
 pub use icb_telemetry as telemetry;
 pub use icb_workloads as workloads;
+
+pub use icb_core::search::{Frontier, Search, SearchConfig, SearchError, SearchReport, Strategy};

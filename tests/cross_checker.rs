@@ -3,7 +3,7 @@
 //! analog, replay) must agree on state spaces and minimal bug bounds
 //! when run over the same VM models.
 
-use icb::core::search::{DfsSearch, IcbSearch, SearchConfig};
+use icb::core::search::{Search, SearchConfig, Strategy};
 use icb::statevm::{reachable_states, ExplicitConfig, ExplicitIcb, Model};
 use icb::workloads::ape::ape_model;
 use icb::workloads::bluetooth::{bluetooth_model, BluetoothVariant};
@@ -53,11 +53,13 @@ fn clean_models() -> Vec<(&'static str, Model)> {
 fn explicit_and_stateless_state_counts_agree() {
     for (name, model) in clean_models_stateless() {
         let explicit = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
-        let stateless = IcbSearch::new(SearchConfig {
-            max_executions: None,
-            ..SearchConfig::default()
-        })
-        .run(&model);
+        let stateless = Search::over(&model)
+            .config(SearchConfig {
+                max_executions: None,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(explicit.completed, "{name}: explicit did not complete");
         assert!(stateless.completed, "{name}: stateless did not complete");
         assert_eq!(
@@ -82,16 +84,21 @@ fn reachability_is_the_common_denominator() {
 #[test]
 fn stateless_dfs_agrees_with_stateless_icb() {
     for (name, model) in clean_models_stateless() {
-        let icb = IcbSearch::new(SearchConfig {
-            max_executions: None,
-            ..SearchConfig::default()
-        })
-        .run(&model);
-        let dfs = DfsSearch::new(SearchConfig {
-            max_executions: None,
-            ..SearchConfig::default()
-        })
-        .run(&model);
+        let icb = Search::over(&model)
+            .config(SearchConfig {
+                max_executions: None,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
+        let dfs = Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(SearchConfig {
+                max_executions: None,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
         assert!(icb.completed && dfs.completed, "{name} did not complete");
         assert_eq!(icb.executions, dfs.executions, "{name}: execution counts");
         assert_eq!(icb.distinct_states, dfs.distinct_states, "{name}: states");
@@ -115,7 +122,16 @@ fn minimal_bug_bounds_agree_across_checkers() {
         })
         .run(&model);
         let explicit_bound = explicit.bugs.first().map(|b| b.bound);
-        let stateless_bound = IcbSearch::find_minimal_bug(&model, 2_000_000).map(|b| b.preemptions);
+        let stateless_bound = Search::over(&model)
+            .config(SearchConfig {
+                max_executions: Some(2_000_000),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+            .first_bug()
+            .map(|b| b.preemptions);
         assert_eq!(
             explicit_bound, stateless_bound,
             "{name}: checkers disagree on the minimal bound"

@@ -8,7 +8,7 @@
 
 use icb::core::bounds;
 use icb::core::rng::SplitMix64;
-use icb::core::search::{DfsSearch, IcbSearch, SearchConfig};
+use icb::core::search::{Search, SearchConfig, Strategy};
 use icb::core::{ControlledProgram, NullSink, ReplayScheduler};
 use icb::statevm::{reachable_states, ExplicitConfig, ExplicitIcb, Model, ModelBuilder};
 
@@ -149,8 +149,12 @@ fn for_generated_models(seed: u64, mut check: impl FnMut(&GenModel, Model)) {
 #[test]
 fn icb_dfs_bfs_agree() {
     for_generated_models(0x1CB0, |gen, model| {
-        let icb = IcbSearch::new(unbounded()).run(&model);
-        let dfs = DfsSearch::new(unbounded()).run(&model);
+        let icb = Search::over(&model).config(unbounded()).run().unwrap();
+        let dfs = Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(unbounded())
+            .run()
+            .unwrap();
         assert!(icb.completed && dfs.completed);
         assert_eq!(icb.executions, dfs.executions, "model {gen:?}");
         assert_eq!(icb.distinct_states, dfs.distinct_states);
@@ -166,8 +170,12 @@ fn icb_dfs_bfs_agree() {
 #[test]
 fn icb_first_bug_is_minimal() {
     for_generated_models(0x1CB1, |gen, model| {
-        let icb = IcbSearch::new(unbounded()).run(&model);
-        let dfs = DfsSearch::new(unbounded()).run(&model);
+        let icb = Search::over(&model).config(unbounded()).run().unwrap();
+        let dfs = Search::over(&model)
+            .strategy(Strategy::Dfs)
+            .config(unbounded())
+            .run()
+            .unwrap();
         assert!(icb.completed && dfs.completed);
         let dfs_min = dfs.bugs.iter().map(|b| b.preemptions).min();
         let icb_first = icb.first_bug().map(|b| b.preemptions);
@@ -180,7 +188,7 @@ fn icb_first_bug_is_minimal() {
 #[test]
 fn theorem1_ceiling_holds() {
     for_generated_models(0x1CB2, |gen, model| {
-        let report = IcbSearch::new(unbounded()).run(&model);
+        let report = Search::over(&model).config(unbounded()).run().unwrap();
         assert!(report.completed);
         let n = gen.threads.len() as u64;
         let k = report.max_stats.steps as u64; // ≥ per-thread max
@@ -203,7 +211,7 @@ fn theorem1_ceiling_holds() {
 #[test]
 fn coverage_curves_are_monotone() {
     for_generated_models(0x1CB3, |_gen, model| {
-        let report = IcbSearch::new(unbounded()).run(&model);
+        let report = Search::over(&model).config(unbounded()).run().unwrap();
         let mut prev = 0;
         for &(x, y) in &report.coverage_curve {
             assert!(x >= 1);
@@ -218,11 +226,13 @@ fn coverage_curves_are_monotone() {
 #[test]
 fn bug_schedules_replay() {
     for_generated_models(0x1CB4, |_gen, model| {
-        let report = IcbSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..unbounded()
-        })
-        .run(&model);
+        let report = Search::over(&model)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..unbounded()
+            })
+            .run()
+            .unwrap();
         if let Some(bug) = report.first_bug() {
             let mut replay = ReplayScheduler::new(bug.schedule.clone());
             let result = model.execute(&mut replay, &mut NullSink);
@@ -237,11 +247,13 @@ fn bug_schedules_replay() {
 #[test]
 fn explicit_minimal_bound_matches() {
     for_generated_models(0x1CB5, |gen, model| {
-        let stateless = IcbSearch::new(SearchConfig {
-            stop_on_first_bug: true,
-            ..unbounded()
-        })
-        .run(&model);
+        let stateless = Search::over(&model)
+            .config(SearchConfig {
+                stop_on_first_bug: true,
+                ..unbounded()
+            })
+            .run()
+            .unwrap();
         let explicit = ExplicitIcb::new(ExplicitConfig {
             stop_on_first_bug: true,
             ..ExplicitConfig::default()
@@ -295,11 +307,13 @@ fn coverage_monotone_in_bound() {
         let mut prev_states = 0;
         let mut prev_execs = 0;
         for bound in 0..3 {
-            let report = IcbSearch::new(SearchConfig {
-                preemption_bound: Some(bound),
-                ..unbounded()
-            })
-            .run(&model);
+            let report = Search::over(&model)
+                .config(SearchConfig {
+                    preemption_bound: Some(bound),
+                    ..unbounded()
+                })
+                .run()
+                .unwrap();
             assert!(report.distinct_states >= prev_states);
             assert!(report.executions >= prev_execs);
             prev_states = report.distinct_states;

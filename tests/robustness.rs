@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use icb::core::search::{BestFirstSearch, IcbSearch, RandomSearch, SearchConfig};
+use icb::core::search::{Search, SearchConfig, Strategy};
 use icb::core::{
     ControlledProgram, ExecStats, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler,
     StateSink, Tid, Trace, TraceEntry,
@@ -15,21 +15,32 @@ fn no_strategy_reports_false_positives_on_correct_variants() {
     for bench in all_benchmarks() {
         let program = (bench.correct)();
         let budget = 400;
-        let random = RandomSearch::new(SearchConfig::with_max_executions(budget), 99).run(&program);
+        let random = Search::over(&program)
+            .strategy(Strategy::Random { seed: 99 })
+            .config(SearchConfig::with_max_executions(budget))
+            .run()
+            .unwrap();
         assert!(
             random.bugs.is_empty(),
             "{}: random search false positive: {:?}",
             bench.name,
             random.bugs.first().map(|b| &b.outcome)
         );
-        let icb = IcbSearch::new(SearchConfig::with_max_executions(budget)).run(&program);
+        let icb = Search::over(&program)
+            .config(SearchConfig::with_max_executions(budget))
+            .run()
+            .unwrap();
         assert!(
             icb.bugs.is_empty(),
             "{}: icb false positive: {:?}",
             bench.name,
             icb.bugs.first().map(|b| &b.outcome)
         );
-        let bf = BestFirstSearch::new(SearchConfig::with_max_executions(budget)).run(&program);
+        let bf = Search::over(&program)
+            .strategy(Strategy::BestFirst)
+            .config(SearchConfig::with_max_executions(budget))
+            .run()
+            .unwrap();
         assert!(
             bf.bugs.is_empty(),
             "{}: best-first false positive: {:?}",
@@ -44,7 +55,17 @@ fn every_seeded_bug_is_found_by_icb_at_its_expected_bound() {
     for bench in all_benchmarks() {
         for bug in &bench.bugs {
             let program = (bug.build)();
-            let found = IcbSearch::find_minimal_bug(&program, 500_000)
+            let found = Search::over(&program)
+                .config(SearchConfig {
+                    max_executions: Some(500_000),
+                    stop_on_first_bug: true,
+                    ..SearchConfig::default()
+                })
+                .run()
+                .unwrap()
+                .bugs
+                .into_iter()
+                .next()
                 .unwrap_or_else(|| panic!("{}/{} not found", bench.name, bug.name));
             assert_eq!(
                 found.preemptions, bug.expected_bound,
@@ -109,7 +130,10 @@ fn replay_divergence_is_quarantined_not_a_wrong_answer() {
     let program = FlipFlop {
         runs: AtomicUsize::new(0),
     };
-    let report = IcbSearch::new(SearchConfig::with_max_executions(100)).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig::with_max_executions(100))
+        .run()
+        .unwrap();
     assert!(
         report.bugs.is_empty() && report.buggy_executions == 0,
         "divergence is not a program bug: {report:?}"
@@ -141,11 +165,13 @@ fn bug_report_cap_limits_memory_not_detection() {
         });
     }
     let model = m.build();
-    let report = IcbSearch::new(SearchConfig {
-        max_bug_reports: 2,
-        ..SearchConfig::default()
-    })
-    .run(&model);
+    let report = Search::over(&model)
+        .config(SearchConfig {
+            max_bug_reports: 2,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert_eq!(report.bugs.len(), 2);
     assert!(report.buggy_executions > 2);
 }

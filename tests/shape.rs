@@ -3,7 +3,7 @@
 //! fixed budgets), so these are stable regression tests, not flaky
 //! statistics.
 
-use icb::core::search::{DfsSearch, IcbSearch, RandomSearch, SearchConfig};
+use icb::core::search::{Search, SearchConfig, Strategy};
 use icb::statevm::{reachable_states, ExplicitConfig, ExplicitIcb};
 use icb::workloads::wsq::{wsq_model, WsqVariant};
 
@@ -15,10 +15,17 @@ fn figure2_strategy_ordering_holds() {
     let model = wsq_model(WsqVariant::Correct, 3, 2);
     let budget = 5_000;
     let config = SearchConfig::with_max_executions(budget);
-    let icb = IcbSearch::new(config.clone()).run(&model);
-    let random = RandomSearch::new(config.clone(), 0x1cb).run(&model);
-    let dfs = DfsSearch::new(config.clone()).run(&model);
-    let db20 = DfsSearch::with_depth_bound(config, 20).run(&model);
+    let run = |strategy: Strategy| {
+        Search::over(&model)
+            .strategy(strategy)
+            .config(config.clone())
+            .run()
+            .unwrap()
+    };
+    let icb = run(Strategy::Icb);
+    let random = run(Strategy::Random { seed: 0x1cb });
+    let dfs = run(Strategy::Dfs);
+    let db20 = run(Strategy::DepthBounded(20));
 
     assert!(
         icb.distinct_states > random.distinct_states,

@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use icb::core::search::{IcbSearch, SearchConfig};
+use icb::core::search::{BugReport, Search, SearchConfig, Strategy};
+use icb::core::ControlledProgram;
 use icb::core::ExecutionOutcome;
 use icb::runtime::{
     sync::{AtomicUsize, Mutex},
@@ -33,16 +34,31 @@ fn lost_update(config: RuntimeConfig) -> RuntimeProgram {
     })
 }
 
+/// Minimal-preemption bug hunt via the builder (the old
+/// `IcbSearch::find_minimal_bug` convenience).
+fn minimal_bug(program: &(dyn ControlledProgram + Sync), budget: usize) -> Option<BugReport> {
+    Search::over(program)
+        .config(SearchConfig {
+            max_executions: Some(budget),
+            stop_on_first_bug: true,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+        .bugs
+        .into_iter()
+        .next()
+}
+
 #[test]
 fn reduced_search_finds_the_same_bug_as_full_interleaving() {
     // Theorem 2/3 in practice: the sync-only reduction must expose the
     // lost update at the same minimal preemption count as the unreduced
     // full-interleaving search.
-    let reduced = IcbSearch::find_minimal_bug(&lost_update(RuntimeConfig::default()), 500_000)
+    let reduced = minimal_bug(&lost_update(RuntimeConfig::default()), 500_000)
         .expect("reduced search finds the bug");
-    let full =
-        IcbSearch::find_minimal_bug(&lost_update(RuntimeConfig::full_interleaving()), 500_000)
-            .expect("full search finds the bug");
+    let full = minimal_bug(&lost_update(RuntimeConfig::full_interleaving()), 500_000)
+        .expect("full search finds the bug");
     assert_eq!(reduced.preemptions, full.preemptions);
     assert_eq!(reduced.preemptions, 1);
 }
@@ -78,8 +94,13 @@ fn reduced_search_explores_fewer_executions() {
         preemption_bound: Some(1),
         ..SearchConfig::default()
     };
-    let reduced = IcbSearch::new(config.clone()).run(&data_var_program(RuntimeConfig::default()));
-    let full = IcbSearch::new(config).run(&data_var_program(RuntimeConfig::full_interleaving()));
+    let reduced_prog = data_var_program(RuntimeConfig::default());
+    let full_prog = data_var_program(RuntimeConfig::full_interleaving());
+    let reduced = Search::over(&reduced_prog)
+        .config(config.clone())
+        .run()
+        .unwrap();
+    let full = Search::over(&full_prog).config(config).run().unwrap();
     assert!(
         reduced.executions < full.executions,
         "reduced {} !< full {}",
@@ -104,7 +125,7 @@ fn races_invalidate_the_reduction_and_are_reported() {
         x.write(2);
         t.join();
     });
-    let bug = IcbSearch::find_minimal_bug(&racy, 100_000).expect("race reported");
+    let bug = minimal_bug(&racy, 100_000).expect("race reported");
     assert!(matches!(bug.outcome, ExecutionOutcome::DataRace { .. }));
 }
 
@@ -135,7 +156,7 @@ fn race_free_verdict_holds_for_sync_only_scheduling() {
         preemption_bound: Some(2),
         ..SearchConfig::default()
     };
-    let report = IcbSearch::new(config).run(&program);
+    let report = Search::over(&program).config(config).run().unwrap();
     assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
 }
 
@@ -145,13 +166,16 @@ fn icb_enumerates_in_preemption_order() {
     // ICB reports carries the globally minimal preemption count. Verify
     // against an exhaustive DFS that collects every failing execution.
     let program = lost_update(RuntimeConfig::default());
-    let icb_bug = IcbSearch::find_minimal_bug(&program, 500_000).expect("bug");
-    let dfs = icb::core::search::DfsSearch::new(SearchConfig {
-        max_executions: Some(500_000),
-        max_bug_reports: 1024,
-        ..SearchConfig::default()
-    })
-    .run(&program);
+    let icb_bug = minimal_bug(&program, 500_000).expect("bug");
+    let dfs = Search::over(&program)
+        .strategy(Strategy::Dfs)
+        .config(SearchConfig {
+            max_executions: Some(500_000),
+            max_bug_reports: 1024,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert!(dfs.completed, "DFS must exhaust this small program");
     let dfs_min = dfs
         .bugs
@@ -168,7 +192,13 @@ fn bound_zero_reaches_terminating_executions() {
     // completion without incurring a preemption": bound 0 must produce
     // complete executions, not truncated ones.
     let program = lost_update(RuntimeConfig::default());
-    let report = IcbSearch::up_to_bound(0).run(&program);
+    let report = Search::over(&program)
+        .config(SearchConfig {
+            preemption_bound: Some(0),
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap();
     assert!(report.executions > 0);
     assert_eq!(report.max_stats.preemptions, 0);
     // Every bound-0 execution ran to completion (termination, not limit).
