@@ -24,7 +24,7 @@ fn strategy_throughput(c: &mut Harness) {
     for strategy in strategies {
         group.bench_function(&strategy.label(), || {
             Search::over(&model)
-                .strategy(strategy.clone())
+                .strategy(strategy)
                 .config(config.clone())
                 .run()
                 .unwrap()

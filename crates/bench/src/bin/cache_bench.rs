@@ -1,0 +1,257 @@
+//! `cache_bench` — the cached-vs-uncached ablation for the fingerprint
+//! cache subsystem, written to `results/BENCH_cache.json`.
+//!
+//! For each explicit-state (VM-modeled) workload it runs the same ICB
+//! search three ways:
+//!
+//! 1. **uncached** — the baseline `Search` with no cache attached;
+//! 2. **cold cache** — a fresh on-disk cache directory: the run pays
+//!    store traffic and, on completion, certifies its bound into the
+//!    ledger;
+//! 3. **warm cache** — the same directory again: the certification
+//!    ledger answers the whole search without executing anything.
+//!
+//! The report shows executions pruned by the warm run, the wall-clock
+//! delta, and the in-run table hit rate of the cold run. Because these
+//! workloads use exact VM fingerprints, every run must agree on final
+//! coverage and bug verdict — asserted before anything is reported.
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin cache_bench
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use icb_cache::CacheStore;
+use icb_core::search::{Search, SearchConfig, SearchReport};
+use icb_core::ControlledProgram;
+use icb_workloads::registry::{all_benchmarks, program_identity, AnyProgram};
+
+const BOUND: usize = 2;
+const WORKLOADS: [&str; 2] = ["Transaction Manager", "Work Stealing Q."];
+
+struct Row {
+    workload: &'static str,
+    uncached: (SearchReport, f64),
+    cold: (SearchReport, f64),
+    warm: (SearchReport, f64),
+}
+
+fn vm_program(name: &str) -> AnyProgram {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("{name} benchmark"));
+    let model = bench
+        .vm_model
+        .unwrap_or_else(|| panic!("{name} has no VM model"))();
+    AnyProgram::Vm(model)
+}
+
+fn run(program: &AnyProgram, cache: Option<&CacheStore>) -> (SearchReport, f64) {
+    let start = Instant::now();
+    let mut search = Search::over(program).config(SearchConfig {
+        preemption_bound: Some(BOUND),
+        ..SearchConfig::default()
+    });
+    if let Some(store) = cache {
+        search = search
+            .cache(store)
+            .cache_heuristic(!program.fingerprints_are_exact());
+    }
+    let report = search.run().expect("search");
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn measure(workload: &'static str) -> Row {
+    let program = vm_program(workload);
+    let dir = std::env::temp_dir().join(format!("icb-cache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let id = program_identity(workload, None, &program);
+
+    let uncached = run(&program, None);
+    let cold_store = CacheStore::open(&dir, id).expect("open cold cache");
+    let cold = run(&program, Some(&cold_store));
+    drop(cold_store);
+    let warm_store = CacheStore::open(&dir, id).expect("open warm cache");
+    let warm = run(&program, Some(&warm_store));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The ablation is only meaningful if every mode agrees on the answer.
+    assert_eq!(uncached.0.distinct_states, cold.0.distinct_states);
+    assert_eq!(uncached.0.bugs.len(), cold.0.bugs.len());
+    assert_eq!(uncached.0.bugs.len(), warm.0.bugs.len());
+    assert!(cold.0.cache.as_ref().is_some_and(|c| c.stores > 0));
+    assert!(warm.0.cache.as_ref().is_some_and(|c| c.certified));
+    assert_eq!(
+        warm.0.executions, 0,
+        "warm run must be answered by the ledger"
+    );
+
+    Row {
+        workload,
+        uncached,
+        cold,
+        warm,
+    }
+}
+
+/// The runtime (happens-before hash) counterpart: heuristic fingerprints
+/// never certify or persist, so the interesting number is the *in-run*
+/// table hit rate and the executions it prunes against the uncached
+/// baseline.
+fn measure_heuristic(workload: &'static str) -> (SearchReport, f64, SearchReport, f64) {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == workload)
+        .unwrap_or_else(|| panic!("{workload} benchmark"));
+    let program = (bench.correct)();
+    assert!(!program.fingerprints_are_exact());
+    let dir = std::env::temp_dir().join(format!("icb-cache-bench-h-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let id = program_identity(workload, None, &program);
+
+    let (uncached, uncached_secs) = run(&program, None);
+    let store = CacheStore::open(&dir, id).expect("open heuristic cache");
+    let (cached, cached_secs) = run(&program, Some(&store));
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(uncached.bugs.len(), cached.bugs.len());
+    assert!(cached
+        .cache
+        .as_ref()
+        .is_some_and(|c| c.heuristic && !c.certified));
+
+    (uncached, uncached_secs, cached, cached_secs)
+}
+
+fn hit_rate(report: &SearchReport) -> f64 {
+    let Some(cache) = &report.cache else {
+        return 0.0;
+    };
+    let probes = cache.hits + cache.stores;
+    if probes == 0 {
+        0.0
+    } else {
+        100.0 * cache.hits as f64 / probes as f64
+    }
+}
+
+fn main() {
+    let rows: Vec<Row> = WORKLOADS.into_iter().map(measure).collect();
+
+    let mut entries = Vec::new();
+    for row in &rows {
+        let (uncached, uncached_secs) = &row.uncached;
+        let (cold, cold_secs) = &row.cold;
+        let (warm, warm_secs) = &row.warm;
+        let cold_cache = cold.cache.as_ref().expect("cold run had a cache");
+        let pruned = uncached.executions - warm.executions;
+        let pruned_pct = 100.0 * pruned as f64 / uncached.executions.max(1) as f64;
+        let delta = uncached_secs - warm_secs;
+
+        println!(
+            "{}: bound {BOUND}, {} executions, {} states uncached",
+            row.workload, uncached.executions, uncached.distinct_states
+        );
+        println!(
+            "  cold cache: {} executions, {} store(s), {:.1}% in-run hit rate ({:.3}s)",
+            cold.executions,
+            cold_cache.stores,
+            hit_rate(cold),
+            cold_secs
+        );
+        println!(
+            "  warm cache: {} executions (certified), {} pruned ({pruned_pct:.0}%), {delta:+.3}s saved",
+            warm.executions, pruned
+        );
+
+        entries.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"workload\": \"{workload}\",\n",
+                "    \"preemption_bound\": {bound},\n",
+                "    \"uncached\": {{ \"executions\": {u_execs}, \"seconds\": {u_secs:.4} }},\n",
+                "    \"cold_cache\": {{ \"executions\": {c_execs}, \"stores\": {c_stores}, ",
+                "\"in_run_hit_rate_pct\": {c_rate:.2}, \"seconds\": {c_secs:.4} }},\n",
+                "    \"warm_cache\": {{ \"executions\": {w_execs}, \"hits\": {w_hits}, ",
+                "\"certified\": true, \"seconds\": {w_secs:.4} }},\n",
+                "    \"executions_pruned\": {pruned},\n",
+                "    \"executions_pruned_pct\": {pruned_pct:.1},\n",
+                "    \"wall_clock_delta_seconds\": {delta:.4},\n",
+                "    \"verdicts_match\": true\n",
+                "  }}"
+            ),
+            workload = row.workload,
+            bound = BOUND,
+            u_execs = uncached.executions,
+            u_secs = uncached_secs,
+            c_execs = cold.executions,
+            c_stores = cold_cache.stores,
+            c_rate = hit_rate(cold),
+            c_secs = cold_secs,
+            w_execs = warm.executions,
+            w_hits = warm.cache.as_ref().map_or(0, |c| c.hits),
+            w_secs = warm_secs,
+            pruned = pruned,
+            pruned_pct = pruned_pct,
+            delta = delta,
+        ));
+    }
+
+    let (h_uncached, h_uncached_secs, h_cached, h_cached_secs) = measure_heuristic("Bluetooth");
+    let h_pruned = h_uncached.executions.saturating_sub(h_cached.executions);
+    println!(
+        "Bluetooth (heuristic): bound {BOUND}, {} executions uncached",
+        h_uncached.executions
+    );
+    println!(
+        "  in-run cache: {} executions, {} pruned, {:.1}% hit rate ({:.3}s vs {:.3}s), non-exhaustive",
+        h_cached.executions,
+        h_pruned,
+        hit_rate(&h_cached),
+        h_cached_secs,
+        h_uncached_secs
+    );
+    entries.push(format!(
+        concat!(
+            "  {{\n",
+            "    \"workload\": \"Bluetooth\",\n",
+            "    \"mode\": \"heuristic (happens-before hashes, non-exhaustive)\",\n",
+            "    \"preemption_bound\": {bound},\n",
+            "    \"uncached\": {{ \"executions\": {u_execs}, \"seconds\": {u_secs:.4} }},\n",
+            "    \"in_run_cache\": {{ \"executions\": {c_execs}, \"hits\": {c_hits}, ",
+            "\"stores\": {c_stores}, \"in_run_hit_rate_pct\": {c_rate:.2}, \"seconds\": {c_secs:.4} }},\n",
+            "    \"executions_pruned\": {pruned},\n",
+            "    \"wall_clock_delta_seconds\": {delta:.4},\n",
+            "    \"verdicts_match\": true\n",
+            "  }}"
+        ),
+        bound = BOUND,
+        u_execs = h_uncached.executions,
+        u_secs = h_uncached_secs,
+        c_execs = h_cached.executions,
+        c_hits = h_cached.cache.as_ref().map_or(0, |c| c.hits),
+        c_stores = h_cached.cache.as_ref().map_or(0, |c| c.stores),
+        c_rate = hit_rate(&h_cached),
+        c_secs = h_cached_secs,
+        pruned = h_pruned,
+        delta = h_uncached_secs - h_cached_secs,
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"fingerprint_cache\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = "results/BENCH_cache.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

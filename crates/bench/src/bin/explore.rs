@@ -4,13 +4,18 @@
 //! explore list
 //! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]
 //!             [--bound N] [--budget N] [--jobs N] [--shrink]
+//!             [--cache <dir>] [--cache-heuristic]
 //!             [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]
 //!             [--telemetry jsonl:<path>] [--progress] [--profile]
 //! explore resume <checkpoint> [--jobs N] [--checkpoint-every N]
+//!                [--cache <dir>] [--cache-heuristic]
 //!                [--telemetry jsonl:<path>] [--progress] [--profile]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
 //! explore report <run.jsonl>... [--markdown] [--top N] [--stitch]
+//! explore cache stats|ls <dir>
+//! explore cache gc <dir>
+//! explore cache invalidate <dir> <benchmark> [--bug <name>]
 //! explore disasm <benchmark>
 //! ```
 //!
@@ -30,6 +35,17 @@
 //! deterministically: the same report at any `N >= 2`, and `--jobs 1`
 //! (the default) stays byte-identical to the sequential checker.
 //! Checkpoints taken under `--jobs N` resume at any other `--jobs M`.
+//!
+//! `--cache <dir>` attaches a persistent state-fingerprint cache: a
+//! completed bug-free run certifies its result in `<dir>` and records
+//! every fully-explored `(state, next-thread)` subtree, so a later run
+//! of the same program prunes already-covered work items — or, when the
+//! certification ledger already covers the requested bound, skips the
+//! search entirely. Exact (and therefore sound) for VM benchmarks;
+//! runtime benchmarks use heuristic happens-before fingerprints and
+//! require the explicit `--cache-heuristic` opt-in, which marks the
+//! report non-exhaustive. `explore cache stats|ls|gc|invalidate`
+//! administers a cache directory.
 //!
 //! `--checkpoint <path>` makes the search crash-resilient: a snapshot of
 //! the full search state is written atomically every `--checkpoint-every`
@@ -58,6 +74,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use icb_cache::CacheStore;
 use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::interrupt;
 use icb_core::NullSink;
@@ -69,7 +86,7 @@ use icb_telemetry::{
     render_markdown, render_text, ExplorationProfiler, JsonlSink, MultiObserver, ProgressReporter,
     RunReport,
 };
-use icb_workloads::registry::{all_benchmarks, AnyProgram, BenchmarkInfo};
+use icb_workloads::registry::{all_benchmarks, program_identity, AnyProgram, BenchmarkInfo};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,15 +101,19 @@ fn main() -> ExitCode {
                 "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]"
             );
             eprintln!("              [--bound N] [--budget N] [--jobs N] [--shrink]");
+            eprintln!("              [--cache <dir>] [--cache-heuristic]");
             eprintln!(
                 "              [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]"
             );
             eprintln!("              [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("  explore resume <checkpoint> [--jobs N] [--checkpoint-every N]");
+            eprintln!("                 [--cache <dir>] [--cache-heuristic]");
             eprintln!("                 [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
             eprintln!("  explore report <run.jsonl>... [--markdown] [--top N] [--stitch]");
+            eprintln!("  explore cache stats|ls|gc <dir>");
+            eprintln!("  explore cache invalidate <dir> <benchmark> [--bug <name>]");
             eprintln!("  explore disasm <benchmark>");
             ExitCode::FAILURE
         }
@@ -109,6 +130,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("resume") => cmd_resume(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         other => Err(match other {
             Some(cmd) => format!("unknown command `{cmd}`"),
@@ -228,6 +250,33 @@ fn arm_watchdog(program: &mut AnyProgram, ms: u64) -> Result<(), String> {
     }
 }
 
+/// Opens the `--cache <dir>` store for this benchmark/bug combination,
+/// when requested.
+fn open_cache(
+    args: &[String],
+    bench_name: &str,
+    bug: Option<&str>,
+    program: &AnyProgram,
+) -> Result<Option<CacheStore>, String> {
+    match flag_value(args, "--cache") {
+        Some(dir) => {
+            let id = program_identity(bench_name, bug, program);
+            CacheStore::open(Path::new(dir), id)
+                .map(Some)
+                .map_err(|e| format!("cannot open cache {dir}: {e}"))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Warns when a certification could not be persisted (the run itself
+/// already succeeded; only the cache write failed).
+fn report_cache_errors(cache: &Option<CacheStore>) {
+    if let Some(e) = cache.as_ref().and_then(|c| c.last_persist_error()) {
+        eprintln!("warning: cache segment could not be written: {e}");
+    }
+}
+
 /// The observer bundle shared by `run` and `resume`: an optional JSONL
 /// event stream, a live progress line, and the exploration profiler.
 struct Observers {
@@ -334,6 +383,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         arm_watchdog(&mut program, ms)?;
     }
 
+    let cache = open_cache(args, bench.name, flag_value(args, "--bug"), &program)?;
     let mut obs = Observers::from_args(args, bench.paper_threads)?;
     println!("exploring {} with {strat}…", bench.name);
 
@@ -344,6 +394,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .config(config)
             .jobs(jobs)
             .observer(&mut observers);
+        if let Some(store) = &cache {
+            search = search
+                .cache(store)
+                .cache_heuristic(args.iter().any(|a| a == "--cache-heuristic"));
+        }
         if let Some(path) = flag_value(args, "--checkpoint") {
             // Snapshot metadata carries everything `resume` needs to
             // rebuild the same program with the same flags.
@@ -359,6 +414,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         search.run().map_err(|e| e.to_string())?
     };
+    report_cache_errors(&cache);
     obs.finish(&report, &program, args)
 }
 
@@ -390,6 +446,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     interrupt::install();
 
     let jobs = parse_jobs(args)?;
+    let cache = open_cache(args, &bench_name, bug.as_deref(), &program)?;
     let mut obs = Observers::from_args(args, bench.paper_threads)?;
     let strat = snapshot.strategy.clone();
     println!(
@@ -398,14 +455,21 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     );
     let report = {
         let mut observers = obs.fan_out();
-        Search::over(&program)
+        let mut search = Search::over(&program)
             .resume_from(snapshot)
             .jobs(jobs)
             .observer(&mut observers)
-            .checkpoint(ckpt)
+            .checkpoint(ckpt);
+        if let Some(store) = &cache {
+            search = search
+                .cache(store)
+                .cache_heuristic(args.iter().any(|a| a == "--cache-heuristic"));
+        }
+        search
             .run()
             .map_err(|e| format!("cannot resume from {path}: {e}"))?
     };
+    report_cache_errors(&cache);
     obs.finish(&report, &program, args)
 }
 
@@ -503,6 +567,113 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     };
     print!("{rendered}");
     Ok(())
+}
+
+/// Every program the registry can build, with its cache identity —
+/// used to label the opaque program-id directories of a cache.
+fn known_programs() -> Vec<(u64, String)> {
+    let mut out = Vec::new();
+    for bench in all_benchmarks() {
+        let program = (bench.correct)();
+        out.push((
+            program_identity(bench.name, None, &program),
+            bench.name.to_string(),
+        ));
+        for bug in &bench.bugs {
+            let program = (bug.build)();
+            out.push((
+                program_identity(bench.name, Some(bug.name), &program),
+                format!("{} --bug \"{}\"", bench.name, bug.name),
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing cache subcommand (stats|ls|gc|invalidate)")?;
+    let dir = args.get(1).ok_or("missing cache directory")?;
+    let root = Path::new(dir);
+    let label_of = |id: u64, labels: &[(u64, String)]| {
+        labels
+            .iter()
+            .find(|(known, _)| *known == id)
+            .map_or_else(|| "(unknown program)".to_string(), |(_, l)| l.clone())
+    };
+    match sub {
+        "ls" => {
+            let labels = known_programs();
+            let programs = icb_cache::list_programs(root).map_err(|e| e.to_string())?;
+            if programs.is_empty() {
+                println!("cache {dir} is empty");
+            }
+            for p in programs {
+                println!(
+                    "{:016x}  {} segment(s), {} byte(s)  {}",
+                    p.program_id,
+                    p.segments,
+                    p.bytes,
+                    label_of(p.program_id, &labels)
+                );
+            }
+            Ok(())
+        }
+        "stats" => {
+            let labels = known_programs();
+            let programs = icb_cache::list_programs(root).map_err(|e| e.to_string())?;
+            if programs.is_empty() {
+                println!("cache {dir} is empty");
+            }
+            for p in programs {
+                let store = CacheStore::open(root, p.program_id).map_err(|e| {
+                    format!("cannot open cached program {:016x}: {e}", p.program_id)
+                })?;
+                let stats = store.stats();
+                println!("{:016x}  {}", p.program_id, label_of(p.program_id, &labels));
+                println!(
+                    "    {} subtree entries, {} seed states, {} certification(s)",
+                    stats.entries,
+                    stats.seeds,
+                    stats.certifications.len()
+                );
+                for cert in &stats.certifications {
+                    println!(
+                        "    certified bug-free: strategy {}, bound {}, {} executions, {} states",
+                        cert.strategy,
+                        cert.bound
+                            .map_or_else(|| "exhaustive".to_string(), |b| format!("<= {b}")),
+                        cert.executions,
+                        cert.distinct_states,
+                    );
+                }
+            }
+            Ok(())
+        }
+        "gc" => {
+            let (kept, removed) = icb_cache::gc(root).map_err(|e| e.to_string())?;
+            println!("kept {kept} program(s), removed {removed} unreadable segment(s)");
+            Ok(())
+        }
+        "invalidate" => {
+            let name = args.get(2).ok_or("missing benchmark name")?;
+            let bench = find_benchmark(name)?;
+            let bug = flag_value(args, "--bug");
+            let program = build_program(&bench, bug)?;
+            let id = program_identity(bench.name, bug, &program);
+            if icb_cache::invalidate(root, id).map_err(|e| e.to_string())? {
+                println!("invalidated {id:016x} ({name})");
+            } else {
+                println!("nothing cached for {id:016x} ({name})");
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache subcommand `{other}` (expected stats|ls|gc|invalidate)"
+        )),
+    }
 }
 
 fn cmd_disasm(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,196 @@
+//! The in-memory half of the cache: a sharded concurrent map from
+//! `(state fingerprint, next thread)` keys to the best coverage credit
+//! recorded for that subtree.
+//!
+//! The table is on every worker's work-item emission path, so it is
+//! sharded into a fixed power-of-two number of `RwLock`ed maps — probes
+//! for different keys almost never contend, and the per-shard critical
+//! section is a single hash-map entry operation. There is no global
+//! lock and no resizing barrier.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use icb_core::hash::mix64;
+use icb_core::Tid;
+
+/// Number of independent locks. 64 comfortably exceeds the worker
+/// counts the parallel driver spawns.
+const SHARDS: usize = 64;
+
+/// A sharded `(state, thread) -> credit` map with atomic
+/// probe-and-record semantics.
+pub struct FingerprintTable {
+    shards: Vec<RwLock<HashMap<u64, u32>>>,
+    probes: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for FingerprintTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FingerprintTable")
+            .field("entries", &self.len())
+            .field("probes", &self.probes.load(Ordering::Relaxed))
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FingerprintTable {
+    fn default() -> Self {
+        FingerprintTable {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            probes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Collapses a `(state, choice)` pair into the table's key. The state
+/// fingerprint is already well-mixed; fold the thread id in and re-mix
+/// so that the pair — not just the state — addresses the entry.
+pub fn table_key(state: u64, choice: Tid) -> u64 {
+    mix64(state ^ (choice.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+impl FingerprintTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FingerprintTable::default()
+    }
+
+    /// Atomically tests-and-records: returns `true` (covered — prune)
+    /// when an entry for `(state, choice)` already holds at least
+    /// `credit`; otherwise records `credit` and returns `false`. Of N
+    /// racing callers with the same key and credit, exactly one gets
+    /// `false` — the shard's write lock makes the entry update atomic.
+    pub fn probe(&self, state: u64, choice: Tid, credit: u32) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let key = table_key(state, choice);
+        let shard = &self.shards[(key as usize) % SHARDS];
+        {
+            // Fast path: most probes on a warm table are pure reads.
+            let map = shard.read().expect("table shard poisoned");
+            if map.get(&key).is_some_and(|&have| have >= credit) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        let mut map = shard.write().expect("table shard poisoned");
+        match map.entry(key) {
+            Entry::Occupied(mut e) => {
+                if *e.get() >= credit {
+                    drop(map);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    *e.get_mut() = credit;
+                    false
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(credit);
+                false
+            }
+        }
+    }
+
+    /// Inserts a pre-keyed entry (segment load), keeping the larger
+    /// credit on collision.
+    pub fn load(&self, key: u64, credit: u32) {
+        let shard = &self.shards[(key as usize) % SHARDS];
+        let mut map = shard.write().expect("table shard poisoned");
+        map.entry(key)
+            .and_modify(|have| *have = (*have).max(credit))
+            .or_insert(credit);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("table shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime probe / hit counters (diagnostics for `cache stats`).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.probes.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Every `(key, credit)` entry, sorted by key — the canonical order
+    /// the segment codec writes.
+    pub fn entries(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("table shard poisoned")
+                    .iter()
+                    .map(|(&k, &c)| (k, c))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_records_then_covers() {
+        let t = FingerprintTable::new();
+        assert!(!t.probe(0xabc, Tid(1), 3), "first probe records");
+        assert!(t.probe(0xabc, Tid(1), 3), "equal credit is covered");
+        assert!(t.probe(0xabc, Tid(1), 2), "smaller credit is covered");
+        assert!(!t.probe(0xabc, Tid(1), 4), "larger credit re-records");
+        assert!(t.probe(0xabc, Tid(1), 4));
+    }
+
+    #[test]
+    fn choice_distinguishes_entries() {
+        let t = FingerprintTable::new();
+        assert!(!t.probe(0xabc, Tid(0), 1));
+        assert!(!t.probe(0xabc, Tid(1), 1), "different thread, new entry");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn exactly_one_racing_prober_records() {
+        let t = std::sync::Arc::new(FingerprintTable::new());
+        let recorded: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let t = std::sync::Arc::clone(&t);
+                    s.spawn(move || usize::from(!t.probe(0x51a7e, Tid(2), 7)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(recorded, 1, "one store, seven hits");
+    }
+
+    #[test]
+    fn load_keeps_best_credit() {
+        let t = FingerprintTable::new();
+        t.load(42, 3);
+        t.load(42, 1);
+        assert_eq!(t.entries(), vec![(42, 3)]);
+        t.load(42, 9);
+        assert_eq!(t.entries(), vec![(42, 9)]);
+    }
+}

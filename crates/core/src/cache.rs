@@ -1,0 +1,224 @@
+//! The search-side interface to a state-fingerprint cache.
+//!
+//! The paper's engineering contrast (Section 6) is ZING — explicit-state,
+//! *with* a state cache that "prunes redundant interleavings" — versus
+//! CHESS, which is stateless and re-executes equivalent prefixes it has
+//! no memory of. This module is the bridge between the two: a search
+//! strategy consults an [`ExplorationCache`] at every work-item emission
+//! and skips subtrees rooted at an already-covered `(state fingerprint,
+//! next thread)` pair, exactly the `(state, tid)` work-item dedup of
+//! ZING's frontier.
+//!
+//! The trait lives in `icb-core` so the drivers can consult it; the
+//! sharded concurrent implementation, the disk-backed segment format and
+//! the certification ledger live in the `icb-cache` crate.
+//!
+//! # Soundness
+//!
+//! Pruning on a fingerprint match is *sound* exactly when equal
+//! fingerprints imply equal states (the explicit-state VM hashes the
+//! concrete state — see
+//! [`ControlledProgram::fingerprints_are_exact`](crate::ControlledProgram::fingerprints_are_exact)).
+//! The stateless runtime's happens-before fingerprints are a
+//! *heuristic*: equal fingerprints mean equivalent interleavings of the
+//! prefix, not equal continuations, so pruning may miss states. The
+//! search session refuses to combine a cache with heuristic fingerprints
+//! unless the caller opts in explicitly, and then flags the report as
+//! non-exhaustive.
+//!
+//! # Coverage credit
+//!
+//! A cache entry does not merely record "visited": it records *how much
+//! preemption budget* the recorded exploration had left, as a
+//! [`coverage credit`](coverage_credit). A later visit may be pruned only
+//! if the recorded credit is at least as large — a subtree explored with
+//! more remaining preemptions strictly subsumes one explored with fewer
+//! (the monotonicity behind the paper's Theorem 1).
+
+use crate::tid::Tid;
+
+/// Sentinel credit: the subtree was (or will be) explored with an
+/// unlimited preemption budget, i.e. exhaustively.
+pub const FULL_CREDIT: u32 = u32::MAX;
+
+/// Computes the coverage credit of a work item born with `born`(≥ 0)
+/// preemptions already spent, under a search targeting `target`
+/// preemptions in total (`None` = unbounded, run to exhaustion).
+///
+/// Credits are comparable across *any* pair of runs: an entry recorded
+/// with credit `r` covers a query needing credit `q` iff `r >= q`.
+/// Returns `None` when the item lies beyond the target bound (it will
+/// never run, so it must be neither pruned nor recorded).
+pub fn coverage_credit(born: usize, target: Option<usize>) -> Option<u32> {
+    match target {
+        Some(n) => {
+            if born > n {
+                None
+            } else {
+                Some((n - born).min(FULL_CREDIT as usize - 1) as u32)
+            }
+        }
+        // Unbounded searches explore every item they emit with an
+        // unlimited *relative* budget; encode the born bound from the
+        // top so same-run comparisons (born_a <= born_b) still hold.
+        // `FULL_CREDIT` itself is reserved for certified-exhaustive
+        // entries, which subsume every possible query.
+        None => Some(FULL_CREDIT - 1 - born.min(1 << 20) as u32),
+    }
+}
+
+/// A durable record that a program was certified bug-free — the paper's
+/// Theorem-1 guarantee ("no bug within c preemptions") made persistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certification {
+    /// Strategy label of the certifying run (`icb`, `dfs`, …).
+    pub strategy: String,
+    /// The certified preemption bound: no bug exists within this many
+    /// preemptions. `None` means the entire schedule space was
+    /// exhausted — bug-free at *any* bound.
+    pub bound: Option<usize>,
+    /// Executions the certifying run performed.
+    pub executions: usize,
+    /// Distinct states the certifying run visited.
+    pub distinct_states: usize,
+}
+
+impl Certification {
+    /// Whether this certificate answers a search targeting `target`
+    /// preemptions (`None` = exhaustion) with strategy `strategy`.
+    pub fn covers(&self, strategy: &str, target: Option<usize>) -> bool {
+        if self.strategy != strategy {
+            return false;
+        }
+        match (self.bound, target) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(c), Some(n)) => n <= c,
+        }
+    }
+}
+
+/// A concurrent state-fingerprint cache consulted by the search drivers.
+///
+/// Implementations must be cheap and thread-safe: the parallel driver's
+/// workers call [`probe`](ExplorationCache::probe) from every worker at
+/// every work-item emission.
+pub trait ExplorationCache: Sync {
+    /// Atomically tests whether the subtree rooted at state `state` with
+    /// first move `choice` is already covered with at least `credit`
+    /// preemption budget; records `(state, choice, credit)` otherwise.
+    ///
+    /// Returns `true` when covered — the caller skips (does not emit)
+    /// the work item. The test-and-record must be atomic per key so
+    /// that, of N concurrent emitters of the same item, exactly one
+    /// records (and emits) it.
+    fn probe(&self, state: u64, choice: Tid, credit: u32) -> bool;
+
+    /// State fingerprints inherited from previous runs, used to seed the
+    /// coverage tracker so a warm run reports the same *final* coverage
+    /// as the cold run it is skipping parts of. Empty for a cold cache.
+    fn seed_states(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Observes a state fingerprint visited by the running search. The
+    /// drivers tee every coverage visit here so a persistent cache can
+    /// save the visited set as the seed states of future warm runs.
+    /// Called from every worker; must be cheap and thread-safe.
+    fn note_state(&self, state: u64) {
+        let _ = state;
+    }
+
+    /// Looks up a certificate covering a `strategy` search to `target`
+    /// preemptions (`None` = exhaustion). A hit lets the session skip
+    /// the entire search and synthesize its report.
+    fn find_certification(&self, strategy: &str, target: Option<usize>) -> Option<Certification> {
+        let _ = (strategy, target);
+        None
+    }
+
+    /// Records that a search completed cleanly and bug-free, durably
+    /// extending the ledger. Implementations decide persistence timing.
+    fn certify(&self, certification: Certification) {
+        let _ = certification;
+    }
+}
+
+/// An always-miss cache, useful in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopCache;
+
+impl ExplorationCache for NoopCache {
+    fn probe(&self, _state: u64, _choice: Tid, _credit: u32) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_orders_by_born_bound_within_a_run() {
+        // Same target: an earlier-born item has strictly more credit.
+        for target in [Some(3), None] {
+            let a = coverage_credit(1, target).unwrap();
+            let b = coverage_credit(2, target).unwrap();
+            assert!(a > b, "target {target:?}");
+        }
+    }
+
+    #[test]
+    fn credit_is_comparable_across_targets() {
+        // A bound-2 run's root entry covers a bound-2 query but not a
+        // bound-3 query at the same born bound.
+        let stored = coverage_credit(1, Some(2)).unwrap();
+        assert!(stored >= coverage_credit(1, Some(2)).unwrap());
+        assert!(stored < coverage_credit(1, Some(3)).unwrap());
+        // An exhaustive certificate covers everything.
+        assert!(FULL_CREDIT > coverage_credit(1, None).unwrap());
+    }
+
+    #[test]
+    fn items_beyond_the_target_have_no_credit() {
+        assert_eq!(coverage_credit(3, Some(2)), None);
+        assert!(coverage_credit(3, None).is_some());
+    }
+
+    #[test]
+    fn certification_coverage() {
+        let exhaustive = Certification {
+            strategy: "icb".into(),
+            bound: None,
+            executions: 10,
+            distinct_states: 5,
+        };
+        assert!(exhaustive.covers("icb", None));
+        assert!(exhaustive.covers("icb", Some(7)));
+        assert!(!exhaustive.covers("dfs", None));
+
+        let bounded = Certification {
+            strategy: "icb".into(),
+            bound: Some(2),
+            ..exhaustive
+        };
+        assert!(bounded.covers("icb", Some(2)));
+        assert!(bounded.covers("icb", Some(1)));
+        assert!(!bounded.covers("icb", Some(3)));
+        assert!(!bounded.covers("icb", None));
+    }
+
+    #[test]
+    fn noop_cache_never_prunes() {
+        let c = NoopCache;
+        assert!(!c.probe(1, Tid(0), 5));
+        assert!(c.seed_states().is_empty());
+        assert!(c.find_certification("icb", None).is_none());
+        c.certify(Certification {
+            strategy: "icb".into(),
+            bound: None,
+            executions: 0,
+            distinct_states: 0,
+        });
+    }
+}

@@ -12,6 +12,11 @@
 
 use std::collections::HashSet;
 
+// The hash primitives historically lived here; they are now shared from
+// [`crate::hash`] (the cache segment format and the race-fingerprint
+// layer use the same functions), re-exported for compatibility.
+pub use crate::hash::{fingerprint_bytes, mix64};
+
 /// Receiver of state fingerprints during an execution.
 pub trait StateSink {
     /// Records that a state with the given fingerprint was visited.
@@ -47,17 +52,42 @@ impl StateSink for NullSink {
 /// cov.end_execution();
 /// assert_eq!(cov.curve(), &[(1, 2)]);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CoverageTracker {
     seen: HashSet<u64>,
     executions: usize,
     curve: Vec<(usize, usize)>,
+    stride: usize,
+}
+
+impl Default for CoverageTracker {
+    fn default() -> Self {
+        CoverageTracker {
+            seen: HashSet::new(),
+            executions: 0,
+            curve: Vec::new(),
+            stride: 1,
+        }
+    }
 }
 
 impl CoverageTracker {
-    /// Creates an empty tracker.
+    /// Creates an empty tracker sampling the growth curve at every
+    /// execution.
     pub fn new() -> Self {
         CoverageTracker::default()
+    }
+
+    /// Sets the growth-curve sampling stride: one curve point per
+    /// `stride` executions instead of one per execution, so
+    /// million-execution runs don't hold a point per execution. The
+    /// final execution is always sampled (by
+    /// [`into_curve`](CoverageTracker::into_curve)), so the curve's end
+    /// point matches the run totals at any stride. A stride of 0 is
+    /// treated as 1 (the legacy point-per-execution behavior).
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride.max(1);
+        self
     }
 
     /// Number of distinct states seen so far.
@@ -76,10 +106,13 @@ impl CoverageTracker {
     }
 
     /// Marks the end of one execution, appending a sample
-    /// `(executions, distinct_states)` to the growth curve.
+    /// `(executions, distinct_states)` to the growth curve (subject to
+    /// the sampling stride).
     pub fn end_execution(&mut self) {
         self.executions += 1;
-        self.curve.push((self.executions, self.seen.len()));
+        if self.executions.is_multiple_of(self.stride) {
+            self.curve.push((self.executions, self.seen.len()));
+        }
     }
 
     /// The coverage growth curve: cumulative distinct states after each
@@ -88,8 +121,13 @@ impl CoverageTracker {
         &self.curve
     }
 
-    /// Consumes the tracker, returning the growth curve.
-    pub fn into_curve(self) -> Vec<(usize, usize)> {
+    /// Consumes the tracker, returning the growth curve. When the
+    /// sampling stride skipped the final execution, a closing point is
+    /// appended so the curve always ends at the run's true totals.
+    pub fn into_curve(mut self) -> Vec<(usize, usize)> {
+        if self.executions > 0 && self.curve.last().map(|&(e, _)| e) != Some(self.executions) {
+            self.curve.push((self.executions, self.seen.len()));
+        }
         self.curve
     }
 
@@ -110,6 +148,7 @@ impl CoverageTracker {
             seen: states.into_iter().collect(),
             executions,
             curve,
+            stride: 1,
         }
     }
 }
@@ -118,30 +157,6 @@ impl StateSink for CoverageTracker {
     fn visit(&mut self, fingerprint: u64) {
         self.seen.insert(fingerprint);
     }
-}
-
-/// Hashes arbitrary bytes into a state fingerprint (FNV-1a, 64-bit).
-///
-/// A tiny, dependency-free hash is sufficient here: fingerprints are used
-/// only for coverage statistics and state caching of *small* spaces, and
-/// every use site tolerates the (astronomically unlikely) collision by
-/// undercounting a state.
-pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Mixes a 64-bit value into a well-distributed fingerprint
-/// (SplitMix64 finalizer).
-pub fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -172,17 +187,38 @@ mod tests {
     }
 
     #[test]
-    fn fnv_is_stable_and_spread() {
-        let a = fingerprint_bytes(b"hello");
-        let b = fingerprint_bytes(b"hellp");
-        assert_ne!(a, b);
-        assert_eq!(a, fingerprint_bytes(b"hello"));
+    fn reexported_hashes_are_the_shared_ones() {
+        // The historical home of the hash functions must keep exposing
+        // the canonical `crate::hash` implementations.
+        assert_eq!(
+            fingerprint_bytes(b"x"),
+            crate::hash::fingerprint_bytes(b"x")
+        );
+        assert_eq!(mix64(7), crate::hash::mix64(7));
     }
 
     #[test]
-    fn mix64_changes_low_entropy_inputs() {
-        assert_ne!(mix64(0), mix64(1));
-        assert_ne!(mix64(1), mix64(2));
+    fn stride_thins_the_curve_but_keeps_the_end_point() {
+        let mut t = CoverageTracker::new().with_stride(3);
+        for f in 0..7u64 {
+            t.visit(f);
+            t.end_execution();
+        }
+        // Only every third execution is sampled...
+        assert_eq!(t.curve(), &[(3, 3), (6, 6)]);
+        // ...but the consumed curve is closed at the true totals.
+        assert_eq!(t.into_curve().last(), Some(&(7, 7)));
+    }
+
+    #[test]
+    fn default_stride_preserves_point_per_execution() {
+        let mut t = CoverageTracker::new();
+        t.visit(1);
+        t.end_execution();
+        t.visit(2);
+        t.end_execution();
+        assert_eq!(t.clone().into_curve(), vec![(1, 1), (2, 2)]);
+        assert_eq!(t.curve(), &[(1, 1), (2, 2)]);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The workspace's shared, dependency-free hash primitives.
+//!
+//! One canonical home for the two hashes every fingerprinting layer
+//! builds on — the checkpoint codec ([`crate::snapshot`]), the coverage
+//! tracker ([`crate::coverage`]), the happens-before fingerprints
+//! (`icb-race`), and the fingerprint cache's on-disk segment format
+//! (`icb-cache`). Cache keys persist across runs, so these functions are
+//! part of the on-disk format: their outputs are pinned by golden tests
+//! and must never change.
+
+/// Hashes arbitrary bytes into a state fingerprint (FNV-1a, 64-bit).
+///
+/// A tiny, dependency-free hash is sufficient here: fingerprints are used
+/// only for coverage statistics and state caching of *small* spaces, and
+/// every use site tolerates the (astronomically unlikely) collision by
+/// undercounting a state.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Mixes a 64-bit value into a well-distributed fingerprint
+/// (SplitMix64 finalizer).
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_spread() {
+        let a = fingerprint_bytes(b"hello");
+        let b = fingerprint_bytes(b"hellp");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint_bytes(b"hello"));
+    }
+
+    #[test]
+    fn mix64_changes_low_entropy_inputs() {
+        assert_ne!(mix64(0), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn golden_values_are_pinned() {
+        // Persisted cache segments key on these outputs: changing either
+        // function silently invalidates every cache on disk. If one of
+        // these assertions fails, you have changed the on-disk format —
+        // bump the segment VERSION instead of updating the constants.
+        assert_eq!(fingerprint_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint_bytes(b"icb"), 0x2b95_e319_2bcc_4425);
+        assert_eq!(mix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(mix64(0x1cb), 0xc472_9bd0_0254_1e7a);
+    }
+}

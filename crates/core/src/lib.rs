@@ -89,7 +89,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bounds;
+pub mod cache;
 pub mod coverage;
+pub mod hash;
 pub mod program;
 pub mod render;
 pub mod replay;
@@ -101,6 +103,7 @@ pub mod telemetry;
 pub mod tid;
 pub mod trace;
 
+pub use cache::{Certification, ExplorationCache, NoopCache};
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;

@@ -116,6 +116,20 @@ pub trait ControlledProgram {
     fn executions_per_run(&self) -> usize {
         1
     }
+
+    /// Whether equal state fingerprints imply equal concrete states.
+    ///
+    /// The explicit-state VM hashes the full concrete state, so a
+    /// fingerprint match there identifies the state exactly and
+    /// fingerprint-based subtree pruning is sound. The stateless
+    /// runtime's happens-before fingerprints are a heuristic (equal
+    /// fingerprints mean equivalent interleavings of the *prefix*, not
+    /// an identical continuation), so pruning on them may miss states.
+    /// The default is the conservative `false`; only hosts with exact
+    /// state hashing override it.
+    fn fingerprints_are_exact(&self) -> bool {
+        false
+    }
 }
 
 impl<P: ControlledProgram + ?Sized> ControlledProgram for &P {
@@ -134,6 +148,10 @@ impl<P: ControlledProgram + ?Sized> ControlledProgram for &P {
 
     fn executions_per_run(&self) -> usize {
         (**self).executions_per_run()
+    }
+
+    fn fingerprints_are_exact(&self) -> bool {
+        (**self).fingerprints_are_exact()
     }
 }
 

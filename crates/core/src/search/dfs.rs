@@ -2,11 +2,16 @@
 //! (`db:N`) and iterative depth-bounding (`idfs`), the strategies the
 //! paper compares ICB against (Figures 2, 5 and 6).
 
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::cache::{coverage_credit, ExplorationCache};
 use crate::coverage::StateSink;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
-use crate::search::icb::validate_branches;
+use crate::search::icb::{validate_branches, CursorSink, ItemCache};
 use crate::search::{
-    execute_recovering, QuarantinedTrace, SearchConfig, SearchCtx, SearchReport, SearchStrategy,
+    execute_recovering, CacheBinding, QuarantinedTrace, SearchConfig, SearchCtx, SearchReport,
+    SearchStrategy,
 };
 use crate::snapshot::{
     interrupt, BranchSnapshot, Checkpointer, DfsState, ResumeBase, SearchSnapshot, SnapshotError,
@@ -54,7 +59,7 @@ impl DfsSearch {
         note = "superseded by the unified builder: Search::over(program).strategy(Strategy::Dfs).run()"
     )]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.drive(program, &mut NoopObserver, None, Vec::new(), None)
+        self.drive(program, &mut NoopObserver, None, Vec::new(), None, None)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
@@ -66,7 +71,7 @@ impl DfsSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.drive(program, observer, None, Vec::new(), None)
+        self.drive(program, observer, None, Vec::new(), None, None)
     }
 
     /// Runs the search with periodic checkpointing (see
@@ -81,7 +86,7 @@ impl DfsSearch {
         observer: &mut dyn SearchObserver,
         ckpt: &mut Checkpointer,
     ) -> SearchReport {
-        self.drive(program, observer, Some(ckpt), Vec::new(), None)
+        self.drive(program, observer, Some(ckpt), Vec::new(), None, None)
     }
 
     /// Resumes a search from a checkpoint written by
@@ -111,7 +116,7 @@ impl DfsSearch {
             None => DfsSearch::new(snapshot.config),
         };
         let stack = state.stack.into_iter().map(Branch::from).collect();
-        Ok(search.drive(program, observer, ckpt, stack, Some(snapshot.base)))
+        Ok(search.drive(program, observer, ckpt, stack, Some(snapshot.base), None))
     }
 
     pub(crate) fn drive(
@@ -121,6 +126,7 @@ impl DfsSearch {
         mut ckpt: Option<&mut Checkpointer>,
         initial_stack: Vec<Branch>,
         base: Option<ResumeBase>,
+        cache: Option<CacheBinding<'_>>,
     ) -> SearchReport {
         observer.search_started(&self.name());
         let mut ctx = SearchCtx::new(self.config.clone(), observer);
@@ -134,6 +140,10 @@ impl DfsSearch {
                 ctx.halt(AbortReason::ExecutionBudget);
             }
         }
+        if let Some(binding) = &cache {
+            ctx.attach_cache(binding.heuristic);
+            ctx.seed_coverage(&binding.cache.seed_states());
+        }
         let completed = if ctx.stop {
             false
         } else {
@@ -145,6 +155,7 @@ impl DfsSearch {
                 initial_stack,
                 &mut ckpt,
                 &self.name(),
+                cache.as_ref().map(|b| b.cache),
             )
         };
         if completed {
@@ -168,7 +179,7 @@ impl SearchStrategy for DfsSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.drive(program, observer, None, Vec::new(), None)
+        self.drive(program, observer, None, Vec::new(), None, None)
     }
 
     fn name(&self) -> String {
@@ -246,6 +257,7 @@ impl IterativeDeepeningSearch {
                 Vec::new(),
                 &mut None,
                 "idfs",
+                None,
             );
             if ctx.stop {
                 break;
@@ -294,8 +306,16 @@ fn run_dfs(
     initial_stack: Vec<Branch>,
     ckpt: &mut Option<&mut Checkpointer>,
     strategy_label: &str,
+    cache: Option<&dyn ExplorationCache>,
 ) -> bool {
     let bound = depth_bound.unwrap_or(usize::MAX);
+    // Sound only for *unbounded* DFS (a depth-bounded subtree is explored
+    // truncated, which covers nothing); the session builder enforces it.
+    debug_assert!(
+        cache.is_none() || depth_bound.is_none(),
+        "fingerprint cache is unsound under a depth bound"
+    );
+    let state_cursor = Rc::new(Cell::new(0u64));
     let mut stack = initial_stack;
     loop {
         let mut sched = DfsScheduler {
@@ -303,14 +323,41 @@ fn run_dfs(
             cursor: 0,
             path: Schedule::new(),
             bound,
+            cache: cache.map(|cache| ItemCache {
+                cache,
+                state: Rc::clone(&state_cursor),
+                // DFS explores each recorded subtree schedule-exhaustively.
+                credit: coverage_credit(0, None),
+                hits: 0,
+                stores: 0,
+            }),
+            coast: false,
         };
         ctx.begin_execution();
-        let mut sink = GatedSink {
-            inner: &mut ctx.coverage,
-            remaining: bound,
+        let result = if let Some(cache) = cache {
+            state_cursor.set(0);
+            let mut gated = GatedSink {
+                inner: &mut ctx.coverage,
+                remaining: bound,
+            };
+            let mut sink = CursorSink {
+                inner: &mut gated,
+                state: &state_cursor,
+                cache,
+            };
+            execute_recovering(program, &mut sched, &mut sink, ctx.observer)
+        } else {
+            let mut sink = GatedSink {
+                inner: &mut ctx.coverage,
+                remaining: bound,
+            };
+            execute_recovering(program, &mut sched, &mut sink, ctx.observer)
         };
-        let result = execute_recovering(program, &mut sched, &mut sink, ctx.observer);
         stack = sched.stack;
+        if let Some(c) = sched.cache.take() {
+            ctx.cache_hit(c.hits);
+            ctx.cache_store(c.stores);
+        }
 
         if let Some(m) = track_max_len {
             *m = (*m).max(result.stats.steps);
@@ -425,18 +472,27 @@ impl From<BranchSnapshot> for Branch {
     }
 }
 
-struct DfsScheduler {
+struct DfsScheduler<'a> {
     stack: Vec<Branch>,
     cursor: usize,
     /// Full schedule chosen so far in this run, for quarantine reports.
     path: Schedule,
     bound: usize,
+    /// Fingerprint-cache probing at fresh branch points; `None` branches
+    /// over every enabled thread (the legacy behavior).
+    cache: Option<ItemCache<'a>>,
+    /// Set once a fresh branch point found *all* its subtrees covered:
+    /// the rest of the run completes under the default policy without
+    /// pushing further branches (they would all lie inside covered
+    /// subtrees).
+    coast: bool,
 }
 
-impl Scheduler for DfsScheduler {
+impl Scheduler for DfsScheduler<'_> {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
-        if point.step_index >= self.bound {
-            // Truncated region: complete the run without branching.
+        if point.step_index >= self.bound || self.coast {
+            // Truncated region (or coasting out of a fully covered
+            // branch point): complete the run without branching.
             let choice = point.default_choice();
             self.path.push(choice);
             return choice;
@@ -452,12 +508,25 @@ impl Scheduler for DfsScheduler {
             self.cursor += 1;
             tid
         } else {
+            let mut options = point.enabled.to_vec();
+            if let Some(cache) = &mut self.cache {
+                // Keep only the options whose subtrees are not already
+                // covered from the current state.
+                options.retain(|&t| !cache.covered(t));
+                if options.is_empty() {
+                    self.coast = true;
+                    let choice = point.default_choice();
+                    self.path.push(choice);
+                    return choice;
+                }
+            }
             self.stack.push(Branch {
-                options: point.enabled.to_vec(),
+                options,
                 next_ix: 0,
             });
             self.cursor += 1;
-            point.enabled[0]
+            let b = self.stack.last().expect("branch just pushed");
+            b.options[0]
         };
         self.path.push(choice);
         choice

@@ -21,12 +21,16 @@
 //! is explored before any execution with `i + 1`, and the first bug found
 //! is exposed by a minimal number of preemptions.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
+use crate::cache::{coverage_credit, ExplorationCache};
+use crate::coverage::StateSink;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::search::{
-    execute_recovering, BoundStats, BugReport, QuarantinedTrace, SearchConfig, SearchCtx,
-    SearchReport, SearchStrategy,
+    execute_recovering, BoundStats, BugReport, CacheBinding, QuarantinedTrace, SearchConfig,
+    SearchCtx, SearchReport, SearchStrategy,
 };
 use crate::snapshot::{
     interrupt, BranchSnapshot, Checkpointer, IcbState, SearchSnapshot, SnapshotError, StrategyState,
@@ -91,7 +95,7 @@ impl IcbSearch {
             ..SearchConfig::default()
         });
         search
-            .drive(program, &mut NoopObserver, None, None)
+            .drive(program, &mut NoopObserver, None, None, None)
             .bugs
             .into_iter()
             .next()
@@ -100,7 +104,7 @@ impl IcbSearch {
     /// Runs the search.
     #[deprecated(note = "superseded by the unified builder: Search::over(program).run()")]
     pub fn run(&self, program: &dyn ControlledProgram) -> SearchReport {
-        self.drive(program, &mut NoopObserver, None, None)
+        self.drive(program, &mut NoopObserver, None, None, None)
     }
 
     /// Runs the search, streaming telemetry events to `observer`.
@@ -112,7 +116,7 @@ impl IcbSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.drive(program, observer, None, None)
+        self.drive(program, observer, None, None, None)
     }
 
     /// Runs the search with periodic checkpointing: a [`SearchSnapshot`]
@@ -131,7 +135,7 @@ impl IcbSearch {
         observer: &mut dyn SearchObserver,
         ckpt: &mut Checkpointer,
     ) -> SearchReport {
-        self.drive(program, observer, Some(ckpt), None)
+        self.drive(program, observer, Some(ckpt), None, None)
     }
 
     /// Resumes a search from a checkpoint written by
@@ -163,7 +167,7 @@ impl IcbSearch {
             validate_branches(stack)?;
         }
         let search = IcbSearch::new(snapshot.config);
-        Ok(search.drive(program, observer, ckpt, Some((snapshot.base, state))))
+        Ok(search.drive(program, observer, ckpt, Some((snapshot.base, state)), None))
     }
 
     /// The single engine behind fresh, checkpointed and resumed runs.
@@ -173,9 +177,13 @@ impl IcbSearch {
         observer: &mut dyn SearchObserver,
         mut ckpt: Option<&mut Checkpointer>,
         resume: Option<(crate::snapshot::ResumeBase, IcbState)>,
+        cache: Option<CacheBinding<'_>>,
     ) -> SearchReport {
         observer.search_started("icb");
         let mut ctx = SearchCtx::new(self.config.clone(), observer);
+        if let Some(binding) = &cache {
+            ctx.attach_cache(binding.heuristic);
+        }
         let mut driver;
         let mut pending: Option<(Schedule, Vec<Branch>)> = None;
         match resume {
@@ -194,6 +202,8 @@ impl IcbSearch {
                     completed_bound: None,
                     execs_base: 0,
                     bugs_base: 0,
+                    cache: cache.as_ref().map(|b| b.cache),
+                    state_cursor: Rc::new(Cell::new(0)),
                 };
             }
             Some((base, state)) => {
@@ -220,6 +230,8 @@ impl IcbSearch {
                     completed_bound: state.completed_bound,
                     execs_base: state.bound_executions_base,
                     bugs_base: state.bound_bugs_base,
+                    cache: cache.as_ref().map(|b| b.cache),
+                    state_cursor: Rc::new(Cell::new(0)),
                 };
                 // A snapshot written right at an exhausted budget must
                 // not run one more execution after resume.
@@ -227,6 +239,11 @@ impl IcbSearch {
                     driver.ctx.halt(AbortReason::ExecutionBudget);
                 }
             }
+        }
+        if let Some(binding) = &cache {
+            // Idempotent on resume: a checkpointed warm run's coverage
+            // already contains the seeds.
+            driver.ctx.seed_coverage(&binding.cache.seed_states());
         }
         driver.run(pending, &mut ckpt);
         driver.finish()
@@ -250,6 +267,13 @@ struct Driver<'p, 'o> {
     execs_base: usize,
     /// `ctx.buggy_executions` when the current bound started.
     bugs_base: usize,
+    /// Fingerprint cache consulted at work-item emission; `None` runs
+    /// the legacy (cache-free) search.
+    cache: Option<&'p dyn ExplorationCache>,
+    /// Fingerprint of the most recently visited state of the in-flight
+    /// execution, shared with the scheduler for cache probes at pick
+    /// time (the probe key is the state *before* the deferred step).
+    state_cursor: Rc<Cell<u64>>,
 }
 
 impl Driver<'_, '_> {
@@ -373,22 +397,44 @@ impl Driver<'_, '_> {
                 path: Schedule::new(),
                 fresh_from,
                 emitted: Vec::new(),
+                cache: self.cache.map(|cache| ItemCache {
+                    cache,
+                    state: Rc::clone(&self.state_cursor),
+                    credit: coverage_credit(self.bound + 1, self.ctx.config.preemption_bound),
+                    hits: 0,
+                    stores: 0,
+                }),
             };
             self.ctx.begin_execution();
             let mut sched = sched;
-            let result = execute_recovering(
-                self.program,
-                &mut sched,
-                &mut self.ctx.coverage,
-                self.ctx.observer,
-            );
+            let result = if let Some(cache) = self.cache {
+                self.state_cursor.set(0);
+                let mut sink = CursorSink {
+                    inner: &mut self.ctx.coverage,
+                    state: &self.state_cursor,
+                    cache,
+                };
+                execute_recovering(self.program, &mut sched, &mut sink, self.ctx.observer)
+            } else {
+                execute_recovering(
+                    self.program,
+                    &mut sched,
+                    &mut self.ctx.coverage,
+                    self.ctx.observer,
+                )
+            };
             let ItemScheduler {
                 stack: run_stack,
                 path,
                 emitted,
+                cache: item_cache,
                 ..
             } = sched;
             stack = run_stack;
+            if let Some(c) = item_cache {
+                self.ctx.cache_hit(c.hits);
+                self.ctx.cache_store(c.stores);
+            }
 
             if let ExecutionOutcome::ReplayDivergence {
                 step,
@@ -523,7 +569,7 @@ impl SearchStrategy for IcbSearch {
         program: &dyn ControlledProgram,
         observer: &mut dyn SearchObserver,
     ) -> SearchReport {
-        self.drive(program, observer, None, None)
+        self.drive(program, observer, None, None, None)
     }
 
     fn name(&self) -> String {
@@ -562,6 +608,68 @@ impl From<BranchSnapshot> for Branch {
     }
 }
 
+/// A [`StateSink`] tee: forwards every fingerprint to the wrapped sink
+/// and mirrors the latest one into a shared cell, so the scheduler can
+/// read "the state we are at right now" at pick time without borrowing
+/// the coverage tracker.
+pub(crate) struct CursorSink<'a> {
+    pub(crate) inner: &'a mut dyn StateSink,
+    pub(crate) state: &'a Cell<u64>,
+    /// Tee of every visit, so a persistent cache can save the visited
+    /// set as seed states for future warm runs.
+    pub(crate) cache: &'a dyn ExplorationCache,
+}
+
+impl StateSink for CursorSink<'_> {
+    fn visit(&mut self, fingerprint: u64) {
+        self.state.set(fingerprint);
+        self.cache.note_state(fingerprint);
+        self.inner.visit(fingerprint);
+    }
+}
+
+impl std::fmt::Debug for CursorSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CursorSink")
+            .field("state", &self.state.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-run cache probe state of one [`ItemScheduler`].
+pub(crate) struct ItemCache<'a> {
+    pub(crate) cache: &'a dyn ExplorationCache,
+    /// Latest fingerprint of the in-flight execution (fed by
+    /// [`CursorSink`]); at a forced-continue point this is the state the
+    /// deferred work items branch from.
+    pub(crate) state: Rc<Cell<u64>>,
+    /// Coverage credit of the work items this run emits (born at the
+    /// next bound); `None` when they lie beyond the target bound and
+    /// will never run — then neither probed nor recorded.
+    pub(crate) credit: Option<u32>,
+    pub(crate) hits: usize,
+    pub(crate) stores: usize,
+}
+
+impl ItemCache<'_> {
+    /// Probes the cache for the `(current state, t)` subtree. `true`
+    /// means it is already covered: skip the emission (a hit).
+    /// Otherwise the probe has recorded the subtree as ours to explore
+    /// (a store).
+    pub(crate) fn covered(&mut self, t: Tid) -> bool {
+        let Some(credit) = self.credit else {
+            return false;
+        };
+        if self.cache.probe(self.state.get(), t, credit) {
+            self.hits += 1;
+            true
+        } else {
+            self.stores += 1;
+            false
+        }
+    }
+}
+
 /// The scheduler driving one run within a work item (shared with the
 /// parallel driver, whose workers run the same nested DFS per item).
 pub(crate) struct ItemScheduler<'a> {
@@ -575,6 +683,9 @@ pub(crate) struct ItemScheduler<'a> {
     pub(crate) fresh_from: usize,
     /// Deferred work items (`path-so-far · t`) discovered in this run.
     pub(crate) emitted: Vec<Schedule>,
+    /// Fingerprint-cache probing at emission points; `None` emits every
+    /// fresh work item (the legacy behavior).
+    pub(crate) cache: Option<ItemCache<'a>>,
 }
 
 impl Scheduler for ItemScheduler<'_> {
@@ -598,6 +709,11 @@ impl Scheduler for ItemScheduler<'_> {
             if point.step_index >= self.fresh_from {
                 for &t in point.enabled {
                     if t != current {
+                        if let Some(cache) = &mut self.cache {
+                            if cache.covered(t) {
+                                continue;
+                            }
+                        }
                         let mut item = self.path.clone();
                         item.push(t);
                         self.emitted.push(item);

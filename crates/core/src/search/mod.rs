@@ -32,6 +32,7 @@ pub use icb::IcbSearch;
 pub use random::RandomSearch;
 pub use session::{Search, SearchError, Strategy};
 
+use crate::cache::ExplorationCache;
 use crate::coverage::{CoverageTracker, StateSink};
 use crate::program::{ControlledProgram, Scheduler};
 use crate::snapshot::ResumeBase;
@@ -62,6 +63,12 @@ pub struct SearchConfig {
     /// Wall-clock budget: the search stops (incomplete) after this long.
     /// `None` = unlimited.
     pub max_duration: Option<std::time::Duration>,
+    /// Growth-curve sampling stride: one coverage-curve point per this
+    /// many executions (see [`CoverageTracker::with_stride`]). The
+    /// default of 1 keeps the legacy point-per-execution curve; raise it
+    /// so million-execution runs don't hold a point per execution. 0 is
+    /// treated as 1.
+    pub coverage_stride: usize,
 }
 
 impl Default for SearchConfig {
@@ -73,6 +80,7 @@ impl Default for SearchConfig {
             max_bug_reports: 64,
             max_work_queue: None,
             max_duration: None,
+            coverage_stride: 1,
         }
     }
 }
@@ -146,6 +154,38 @@ pub struct BoundStats {
     pub bugs_found: usize,
 }
 
+/// Fingerprint-cache outcome of one search run (present only when a
+/// cache was attached via [`Search::cache`](crate::search::Search)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Work items skipped because the cache already covered their
+    /// `(state, next thread)` subtree.
+    pub hits: usize,
+    /// New `(state, next thread)` subtrees recorded.
+    pub stores: usize,
+    /// The cache pruned on *heuristic* (happens-before) fingerprints:
+    /// the run is NOT exhaustive — a pruned subtree may have contained
+    /// unvisited states. Always `false` for exact (explicit-state)
+    /// fingerprints.
+    pub heuristic: bool,
+    /// The run was answered entirely from the certification ledger: a
+    /// previous clean run already certified this program bug-free at
+    /// the requested bound, so no executions were performed.
+    pub certified: bool,
+}
+
+impl CacheSummary {
+    /// Fraction of cache probes that hit, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.stores;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The result of running a search strategy.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchReport {
@@ -181,6 +221,10 @@ pub struct SearchReport {
     pub quarantined_total: usize,
     /// Executions abandoned by the per-execution wall-clock watchdog.
     pub watchdog_trips: usize,
+    /// Fingerprint-cache outcome; `None` when no cache was attached.
+    /// When `cache.heuristic` is set the search was NOT exhaustive even
+    /// if `completed` is `true` — see [`CacheSummary::heuristic`].
+    pub cache: Option<CacheSummary>,
 }
 
 impl SearchReport {
@@ -235,6 +279,20 @@ impl std::fmt::Display for SearchReport {
         if self.watchdog_trips > 0 {
             write!(f, ", {} watchdog trip(s)", self.watchdog_trips)?;
         }
+        if let Some(cache) = &self.cache {
+            if cache.certified {
+                write!(f, ", CERTIFIED (answered from cache ledger)")?;
+            } else {
+                write!(
+                    f,
+                    ", cache: {} hit(s) / {} store(s)",
+                    cache.hits, cache.stores
+                )?;
+            }
+            if cache.heuristic {
+                write!(f, ", HEURISTIC fingerprints (non-exhaustive)")?;
+            }
+        }
         Ok(())
     }
 }
@@ -265,6 +323,24 @@ pub trait SearchStrategy {
     fn name(&self) -> String;
 }
 
+/// A fingerprint cache attached to one search run, resolved by the
+/// session builder: the cache itself plus the exactness of the
+/// program's fingerprints (heuristic pruning makes the run
+/// non-exhaustive; the flag is carried into the report).
+#[derive(Clone, Copy)]
+pub(crate) struct CacheBinding<'c> {
+    pub(crate) cache: &'c dyn ExplorationCache,
+    pub(crate) heuristic: bool,
+}
+
+impl std::fmt::Debug for CacheBinding<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheBinding")
+            .field("heuristic", &self.heuristic)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Shared bookkeeping: budget, coverage, bug collection, telemetry.
 pub(crate) struct SearchCtx<'o> {
     pub(crate) config: SearchConfig,
@@ -283,15 +359,20 @@ pub(crate) struct SearchCtx<'o> {
     pub(crate) quarantined: Vec<QuarantinedTrace>,
     pub(crate) quarantined_total: usize,
     pub(crate) watchdog_trips: usize,
+    /// Cache accounting; `Some` only when the driver attached a cache
+    /// (the summary's `heuristic` flag is fixed at attach time, the
+    /// counters accumulate during the search).
+    pub(crate) cache: Option<CacheSummary>,
     pub(crate) observer: &'o mut dyn SearchObserver,
 }
 
 impl<'o> SearchCtx<'o> {
     pub(crate) fn new(config: SearchConfig, observer: &'o mut dyn SearchObserver) -> Self {
+        let stride = config.coverage_stride;
         SearchCtx {
             config,
             started: std::time::Instant::now(),
-            coverage: CoverageTracker::new(),
+            coverage: CoverageTracker::new().with_stride(stride),
             executions: 0,
             bugs: Vec::new(),
             buggy_executions: 0,
@@ -302,8 +383,50 @@ impl<'o> SearchCtx<'o> {
             quarantined: Vec::new(),
             quarantined_total: 0,
             watchdog_trips: 0,
+            cache: None,
             observer,
         }
+    }
+
+    /// Attaches cache accounting to the context: the report will carry a
+    /// [`CacheSummary`] with the given exactness flag.
+    pub(crate) fn attach_cache(&mut self, heuristic: bool) {
+        self.cache = Some(CacheSummary {
+            heuristic,
+            ..CacheSummary::default()
+        });
+    }
+
+    /// Counts one cache hit (a pruned work item) and tells the observer.
+    pub(crate) fn cache_hit(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.hits += count;
+        }
+        self.observer.cache_hit(count);
+    }
+
+    /// Seeds the coverage tracker with state fingerprints inherited from
+    /// previous runs (see [`ExplorationCache::seed_states`]), so a warm
+    /// run's *final* coverage matches the cold run it prunes parts of.
+    pub(crate) fn seed_coverage(&mut self, states: &[u64]) {
+        for &fp in states {
+            self.coverage.visit(fp);
+        }
+    }
+
+    /// Counts one cache store (a newly recorded subtree) and tells the
+    /// observer.
+    pub(crate) fn cache_store(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if let Some(cache) = &mut self.cache {
+            cache.stores += count;
+        }
+        self.observer.cache_store(count);
     }
 
     /// Seeds the context's cumulative counters, coverage and findings
@@ -322,7 +445,8 @@ impl<'o> SearchCtx<'o> {
             base.coverage_states,
             base.coverage_executions,
             base.coverage_curve,
-        );
+        )
+        .with_stride(self.config.coverage_stride);
         self.current_bound = bound;
         let info = ResumeInfo {
             executions: self.executions,
@@ -477,6 +601,7 @@ impl<'o> SearchCtx<'o> {
             quarantined: std::mem::take(&mut self.quarantined),
             quarantined_total: self.quarantined_total,
             watchdog_trips: self.watchdog_trips,
+            cache: self.cache.take(),
         };
         self.observer.search_finished(&report);
         report

@@ -34,21 +34,24 @@
 //! drained, and the queue then **is** the complete set of unexplored
 //! work — a snapshot of it is resumable at any `--jobs` count.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashSet};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::cache::{coverage_credit, ExplorationCache};
 use crate::coverage::{mix64, StateSink};
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::rng::SplitMix64;
 use crate::search::dfs::{Branch as DfsBranch, GatedSink};
 use crate::search::frontier::Frontier;
-use crate::search::icb::{Branch as IcbBranch, ItemScheduler};
+use crate::search::icb::{Branch as IcbBranch, CursorSink, ItemCache, ItemScheduler};
 use crate::search::{
-    choice_events, execute_recovering, BoundStats, BugReport, ChoiceEvent, QuarantinedTrace,
-    SearchConfig, SearchReport,
+    choice_events, execute_recovering, BoundStats, BugReport, CacheBinding, CacheSummary,
+    ChoiceEvent, QuarantinedTrace, SearchConfig, SearchReport,
 };
 use crate::snapshot::{
     interrupt, Checkpointer, IcbState, ParallelDfsState, ParallelRandomState, ResumeBase,
@@ -84,6 +87,10 @@ struct ExecEvent {
     /// ICB: work items deferred to the next bound by this execution.
     deferred: Vec<Schedule>,
     quarantine: Option<QuarantinedTrace>,
+    /// Fingerprint-cache hits (pruned emissions) of this execution.
+    cache_hits: usize,
+    /// Fingerprint-cache stores (recorded subtrees) of this execution.
+    cache_stores: usize,
 }
 
 /// Worker-side observer: buffers the engine-level events of one
@@ -170,6 +177,8 @@ struct Ledger<'o> {
     /// Emit `work_queue_depth` after events (ICB only).
     track_queue: bool,
     want_choice: bool,
+    /// Cache accounting; `Some` only when a cache is attached.
+    cache: Option<CacheSummary>,
     observer: &'o mut dyn SearchObserver,
 }
 
@@ -196,6 +205,7 @@ impl<'o> Ledger<'o> {
             deferred: Vec::new(),
             track_queue,
             want_choice,
+            cache: None,
             observer,
         }
     }
@@ -317,6 +327,18 @@ impl<'o> Ledger<'o> {
                 self.observer.work_item_deferred(self.current_bound + 1);
             }
         }
+        if ev.cache_hits > 0 || ev.cache_stores > 0 {
+            if let Some(c) = &mut self.cache {
+                c.hits += ev.cache_hits;
+                c.stores += ev.cache_stores;
+            }
+            if ev.cache_hits > 0 {
+                self.observer.cache_hit(ev.cache_hits);
+            }
+            if ev.cache_stores > 0 {
+                self.observer.cache_store(ev.cache_stores);
+            }
+        }
         if self.track_queue {
             self.observer.work_queue_depth(self.deferred.len());
         }
@@ -385,6 +407,7 @@ impl<'o> Ledger<'o> {
             quarantined: self.canonical_quarantined(),
             quarantined_total: self.quarantined_total,
             watchdog_trips: self.watchdog_trips,
+            cache: self.cache.clone(),
         };
         self.observer.search_finished(&report);
         report
@@ -509,9 +532,11 @@ fn icb_worker(
     tx: mpsc::Sender<ExecEvent>,
     worker: usize,
     seq: &AtomicU64,
+    cache: Option<(&dyn ExplorationCache, Option<u32>)>,
 ) {
     let cost = env.program.executions_per_run().max(1);
     let mut dedup = DedupSink::default();
+    let cursor = Rc::new(Cell::new(0u64));
     'items: while let Some((prefix, mut stack)) = frontier.pop() {
         let mut first_run = stack.is_empty();
         loop {
@@ -537,16 +562,35 @@ fn icb_worker(
                 path: Schedule::new(),
                 fresh_from,
                 emitted: Vec::new(),
+                cache: cache.map(|(cache, credit)| ItemCache {
+                    cache,
+                    state: Rc::clone(&cursor),
+                    credit,
+                    hits: 0,
+                    stores: 0,
+                }),
             };
             let mut buf = BufObserver::new(env.want_phases);
-            let result = execute_recovering(env.program, &mut sched, &mut dedup, &mut buf);
+            let result = if let Some((cache, _)) = cache {
+                cursor.set(0);
+                let mut sink = CursorSink {
+                    inner: &mut dedup,
+                    state: &cursor,
+                    cache,
+                };
+                execute_recovering(env.program, &mut sched, &mut sink, &mut buf)
+            } else {
+                execute_recovering(env.program, &mut sched, &mut dedup, &mut buf)
+            };
             let ItemScheduler {
                 stack: run_stack,
                 path,
                 emitted,
+                cache: item_cache,
                 ..
             } = sched;
             stack = run_stack;
+            let (cache_hits, cache_stores) = item_cache.map_or((0, 0), |c| (c.hits, c.stores));
 
             let (quarantine, deferred) = if let ExecutionOutcome::ReplayDivergence {
                 step,
@@ -590,6 +634,8 @@ fn icb_worker(
                 phases: std::mem::take(&mut buf.phases),
                 deferred,
                 quarantine,
+                cache_hits,
+                cache_stores,
             });
             if item_done {
                 frontier.complete();
@@ -685,6 +731,7 @@ fn write_icb_checkpoint(
 
 /// Drains one ICB bound with a worker swarm; returns the frontier's
 /// leftover items (non-empty only when the search stopped mid-bound).
+#[allow(clippy::too_many_arguments)]
 fn run_icb_bound(
     env: &WorkerEnv<'_>,
     jobs: usize,
@@ -693,15 +740,15 @@ fn run_icb_bound(
     ckpt: &mut Option<&mut Checkpointer>,
     bc: &IcbBoundCtx,
     seqs: &[AtomicU64],
+    cache: Option<(&dyn ExplorationCache, Option<u32>)>,
 ) -> Vec<IcbItem> {
     let frontier = Frontier::new(items);
     let (tx, rx) = mpsc::channel::<ExecEvent>();
     std::thread::scope(|s| {
-        for worker in 0..jobs {
+        for (worker, seq) in seqs.iter().enumerate().take(jobs) {
             let tx = tx.clone();
             let frontier = &frontier;
-            let seq = &seqs[worker];
-            s.spawn(move || icb_worker(env, frontier, tx, worker, seq));
+            s.spawn(move || icb_worker(env, frontier, tx, worker, seq, cache));
         }
         drop(tx);
         loop {
@@ -751,12 +798,19 @@ pub(crate) fn run_parallel_icb(
     observer: &mut dyn SearchObserver,
     mut ckpt: Option<&mut Checkpointer>,
     resume: Option<(ResumeBase, IcbState)>,
+    cache: Option<CacheBinding<'_>>,
 ) -> SearchReport {
     observer.search_started("icb");
     let want_choice = observer.wants_choice_points();
     let want_phases = observer.wants_phase_timing();
     let mut ledger = Ledger::new(config.clone(), observer, true);
     let budget = config.max_executions.unwrap_or(usize::MAX);
+    if let Some(binding) = &cache {
+        ledger.cache = Some(CacheSummary {
+            heuristic: binding.heuristic,
+            ..CacheSummary::default()
+        });
+    }
 
     let mut bc;
     let mut work: Vec<IcbItem>;
@@ -797,6 +851,13 @@ pub(crate) fn run_parallel_icb(
             }
         }
     }
+    if let Some(binding) = &cache {
+        // After the resume-restore: idempotent there since any snapshot
+        // taken with the cache attached already includes the seeds.
+        for fp in binding.cache.seed_states() {
+            ledger.master.insert(fp);
+        }
+    }
     let stop_flag = AtomicBool::new(false);
     let claimed = AtomicUsize::new(ledger.executions);
     let seqs: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
@@ -815,6 +876,12 @@ pub(crate) fn run_parallel_icb(
         let depth = work.len();
         ledger.observer.bound_started(bc.bound, depth);
         let began = Instant::now();
+        let bound_cache = cache.as_ref().map(|b| {
+            (
+                b.cache,
+                coverage_credit(bc.bound + 1, config.preemption_bound),
+            )
+        });
         let leftover = run_icb_bound(
             &env,
             jobs,
@@ -823,6 +890,7 @@ pub(crate) fn run_parallel_icb(
             &mut ckpt,
             &bc,
             &seqs,
+            bound_cache,
         );
         if !ledger.stop && !leftover.is_empty() && ledger.remaining_budget() == 0 {
             ledger.halt(AbortReason::ExecutionBudget);
@@ -886,7 +954,7 @@ pub(crate) fn run_parallel_icb(
         work = deferred.into_iter().map(|p| (p, Vec::new())).collect();
     }
     if !ledger.stop {
-        if let Some(ck) = ckpt.as_deref_mut() {
+        if let Some(ck) = ckpt {
             ck.finish();
         }
     }
@@ -1035,6 +1103,8 @@ fn dfs_worker(
                 phases: std::mem::take(&mut buf.phases),
                 deferred: Vec::new(),
                 quarantine,
+                cache_hits: 0,
+                cache_stores: 0,
             });
             if item_done {
                 frontier.complete();
@@ -1360,6 +1430,8 @@ fn random_worker(
             phases: std::mem::take(&mut buf.phases),
             deferred: Vec::new(),
             quarantine: None,
+            cache_hits: 0,
+            cache_stores: 0,
         });
         claimer.finish_one();
     }
@@ -1490,7 +1562,7 @@ pub(crate) fn run_parallel_random(
         if ledger.remaining_budget() == 0 {
             ledger.halt(AbortReason::ExecutionBudget);
             write_random_checkpoint(&mut ledger, &mut ckpt, seed, claimer.next_index());
-        } else if let Some(ck) = ckpt.as_deref_mut() {
+        } else if let Some(ck) = ckpt {
             // Stopped for no recorded reason (cannot happen today): keep
             // the snapshot rather than deleting a resumable state.
             let _ = ck;

@@ -35,22 +35,24 @@
 
 use std::time::Duration;
 
+use crate::cache::{Certification, ExplorationCache};
 use crate::program::ControlledProgram;
 use crate::search::bestfirst::BestFirstSearch;
 use crate::search::dfs::{Branch as DfsBranch, DfsSearch, IterativeDeepeningSearch};
 use crate::search::icb::{validate_branches, IcbSearch};
 use crate::search::parallel::{run_parallel_dfs, run_parallel_icb, run_parallel_random};
 use crate::search::random::RandomSearch;
-use crate::search::{SearchConfig, SearchReport};
+use crate::search::{CacheBinding, CacheSummary, SearchConfig, SearchReport};
 use crate::snapshot::{Checkpointer, SearchSnapshot, SnapshotError, StrategyState};
 use crate::telemetry::{NoopObserver, SearchObserver};
 use crate::trace::Schedule;
 
 /// Which search algorithm a [`Search`] session runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// Iterative context bounding (the paper's Algorithm 1). The
     /// default.
+    #[default]
     Icb,
     /// Unbounded depth-first search (`dfs`).
     Dfs,
@@ -74,12 +76,6 @@ pub enum Strategy {
     /// Coverage-guided best-first search. Sequential only; requires an
     /// execution budget.
     BestFirst,
-}
-
-impl Default for Strategy {
-    fn default() -> Self {
-        Strategy::Icb
-    }
 }
 
 impl Strategy {
@@ -248,6 +244,8 @@ pub struct Search<'a> {
     observer: Option<&'a mut dyn SearchObserver>,
     checkpoint: Option<Checkpointer>,
     resume: Option<SearchSnapshot>,
+    cache: Option<&'a dyn ExplorationCache>,
+    cache_heuristic: bool,
 }
 
 impl std::fmt::Debug for Search<'_> {
@@ -259,6 +257,7 @@ impl std::fmt::Debug for Search<'_> {
             .field("observed", &self.observer.is_some())
             .field("checkpointed", &self.checkpoint.is_some())
             .field("resuming", &self.resume.is_some())
+            .field("cached", &self.cache.is_some())
             .finish()
     }
 }
@@ -279,6 +278,8 @@ impl<'a> Search<'a> {
             observer: None,
             checkpoint: None,
             resume: None,
+            cache: None,
+            cache_heuristic: false,
         }
     }
 
@@ -336,6 +337,31 @@ impl<'a> Search<'a> {
         self
     }
 
+    /// Attaches a state-fingerprint cache (see
+    /// [`ExplorationCache`]): work items whose `(state, next thread)`
+    /// subtree the cache already covers are pruned instead of explored,
+    /// and a certification-ledger hit skips the whole search.
+    ///
+    /// Supported for [`Strategy::Icb`] at any `jobs` count and for
+    /// unbounded [`Strategy::Dfs`] at `jobs == 1`; other combinations
+    /// are rejected up front. Programs whose fingerprints are not exact
+    /// (see [`ControlledProgram::fingerprints_are_exact`]) additionally
+    /// require [`cache_heuristic`](Search::cache_heuristic).
+    pub fn cache(mut self, cache: &'a dyn ExplorationCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Opts in to cache pruning on *heuristic* (happens-before)
+    /// fingerprints. Pruned subtrees may then contain unvisited states:
+    /// the run is no longer exhaustive, and the report (and its JSONL
+    /// stream) is flagged accordingly. No effect on programs with exact
+    /// fingerprints.
+    pub fn cache_heuristic(mut self, opt_in: bool) -> Self {
+        self.cache_heuristic = opt_in;
+        self
+    }
+
     /// Validates the session and runs it to completion, returning the
     /// merged report.
     ///
@@ -350,6 +376,8 @@ impl<'a> Search<'a> {
             observer,
             mut checkpoint,
             resume,
+            cache,
+            cache_heuristic,
         } = self;
         if jobs == 0 {
             return Err(SearchError::ZeroJobs);
@@ -360,92 +388,211 @@ impl<'a> Search<'a> {
         if checkpoint.as_ref().is_some_and(|ck| ck.every() == 0) {
             return Err(SearchError::ZeroCheckpointInterval);
         }
+        let binding = match cache {
+            None => None,
+            Some(cache) => {
+                // Resume validates against the snapshot's strategy instead.
+                if resume.is_none() {
+                    let supported = matches!(strategy, Strategy::Icb)
+                        || (matches!(strategy, Strategy::Dfs) && jobs == 1);
+                    if !supported {
+                        return Err(SearchError::Unsupported(cache_unsupported_msg(
+                            &strategy.label(),
+                            jobs,
+                        )));
+                    }
+                }
+                let heuristic = !program.fingerprints_are_exact();
+                if heuristic && !cache_heuristic {
+                    return Err(SearchError::Unsupported(
+                        "this program's state fingerprints are heuristic (happens-before \
+                         hashes): cache pruning could silently skip unvisited states. Opt in \
+                         with cache_heuristic(true) to run a flagged, non-exhaustive search"
+                            .to_string(),
+                    ));
+                }
+                Some(CacheBinding { cache, heuristic })
+            }
+        };
         let mut noop = NoopObserver;
         let observer: &mut dyn SearchObserver = match observer {
             Some(o) => o,
             None => &mut noop,
         };
+
+        // Certification fast path: a previous clean run already proved
+        // this search's claim — answer from the ledger without running.
+        if resume.is_none() {
+            if let Some(binding) = &binding {
+                let target = match strategy {
+                    Strategy::Icb => config.preemption_bound,
+                    _ => None,
+                };
+                let label = strategy.label();
+                if let Some(cert) = binding.cache.find_certification(&label, target) {
+                    observer.search_started(&label);
+                    observer.bound_certified(cert.bound);
+                    let report = SearchReport {
+                        strategy: label,
+                        distinct_states: cert.distinct_states,
+                        completed: cert.bound.is_none(),
+                        completed_bound: match strategy {
+                            Strategy::Icb => target.or(cert.bound),
+                            _ => None,
+                        },
+                        cache: Some(CacheSummary {
+                            heuristic: binding.heuristic,
+                            certified: true,
+                            ..CacheSummary::default()
+                        }),
+                        ..SearchReport::default()
+                    };
+                    observer.search_finished(&report);
+                    if let Some(ck) = checkpoint.as_mut() {
+                        ck.finish();
+                    }
+                    return Ok(report);
+                }
+            }
+        }
+        let cert_target = config.preemption_bound;
         let ckpt = checkpoint.as_mut();
 
         if let Some(snapshot) = resume {
-            return run_resumed(program, jobs, snapshot, observer, ckpt);
+            let cert_target = snapshot.config.preemption_bound;
+            let report = run_resumed(program, jobs, snapshot, observer, ckpt, binding)?;
+            if let Some(binding) = &binding {
+                maybe_certify(binding, cert_target, &report);
+            }
+            return Ok(report);
         }
 
         #[allow(deprecated)]
-        match strategy {
-            Strategy::Icb => Ok(if jobs == 1 {
-                IcbSearch::new(config).drive(program, observer, ckpt, None)
-            } else {
-                run_parallel_icb(program, &config, jobs, observer, ckpt, None)
-            }),
-            Strategy::Dfs | Strategy::DepthBounded(_) => {
-                let depth = match strategy {
-                    Strategy::DepthBounded(b) => Some(b),
-                    _ => None,
-                };
-                Ok(if jobs == 1 {
-                    let search = match depth {
-                        Some(b) => DfsSearch::with_depth_bound(config, b),
-                        None => DfsSearch::new(config),
+        let report: Result<SearchReport, SearchError> =
+            match strategy {
+                Strategy::Icb => Ok(if jobs == 1 {
+                    IcbSearch::new(config).drive(program, observer, ckpt, None, binding)
+                } else {
+                    run_parallel_icb(program, &config, jobs, observer, ckpt, None, binding)
+                }),
+                Strategy::Dfs | Strategy::DepthBounded(_) => {
+                    let depth = match strategy {
+                        Strategy::DepthBounded(b) => Some(b),
+                        _ => None,
                     };
-                    search.drive(program, observer, ckpt, Vec::new(), None)
-                } else {
-                    run_parallel_dfs(program, &config, jobs, depth, observer, ckpt, None)
-                })
-            }
-            Strategy::Random { seed } => {
-                if config.max_executions.is_none() {
-                    return Err(SearchError::MissingBudget);
+                    Ok(if jobs == 1 {
+                        let search = match depth {
+                            Some(b) => DfsSearch::with_depth_bound(config, b),
+                            None => DfsSearch::new(config),
+                        };
+                        search.drive(program, observer, ckpt, Vec::new(), None, binding)
+                    } else {
+                        run_parallel_dfs(program, &config, jobs, depth, observer, ckpt, None)
+                    })
                 }
-                Ok(if jobs == 1 {
-                    RandomSearch::new(config, seed).drive(program, observer, ckpt, None)
-                } else {
-                    run_parallel_random(program, &config, jobs, seed, observer, ckpt, None)
-                })
-            }
-            Strategy::IterativeDeepening { start, step, max } => {
-                if step == 0 {
-                    return Err(SearchError::Unsupported(
-                        "iterative deepening requires a positive step".to_string(),
-                    ));
+                Strategy::Random { seed } => {
+                    if config.max_executions.is_none() {
+                        return Err(SearchError::MissingBudget);
+                    }
+                    Ok(if jobs == 1 {
+                        RandomSearch::new(config, seed).drive(program, observer, ckpt, None)
+                    } else {
+                        run_parallel_random(program, &config, jobs, seed, observer, ckpt, None)
+                    })
                 }
-                if jobs > 1 {
-                    return Err(SearchError::Unsupported(
-                        "iterative deepening re-explores shallow prefixes per iteration and \
+                Strategy::IterativeDeepening { start, step, max } => {
+                    if step == 0 {
+                        return Err(SearchError::Unsupported(
+                            "iterative deepening requires a positive step".to_string(),
+                        ));
+                    }
+                    if jobs > 1 {
+                        return Err(SearchError::Unsupported(
+                            "iterative deepening re-explores shallow prefixes per iteration and \
                          does not support jobs > 1"
-                            .to_string(),
-                    ));
+                                .to_string(),
+                        ));
+                    }
+                    if ckpt.is_some() {
+                        return Err(SearchError::Unsupported(
+                            "iterative deepening does not support checkpointing".to_string(),
+                        ));
+                    }
+                    Ok(IterativeDeepeningSearch::new(config, start, step, max)
+                        .drive(program, observer))
                 }
-                if ckpt.is_some() {
-                    return Err(SearchError::Unsupported(
-                        "iterative deepening does not support checkpointing".to_string(),
-                    ));
-                }
-                Ok(
-                    IterativeDeepeningSearch::new(config, start, step, max)
-                        .drive(program, observer),
-                )
-            }
-            Strategy::BestFirst => {
-                if config.max_executions.is_none() {
-                    return Err(SearchError::MissingBudget);
-                }
-                if jobs > 1 {
-                    return Err(SearchError::Unsupported(
-                        "best-first search orders its frontier globally and does not support \
+                Strategy::BestFirst => {
+                    if config.max_executions.is_none() {
+                        return Err(SearchError::MissingBudget);
+                    }
+                    if jobs > 1 {
+                        return Err(SearchError::Unsupported(
+                            "best-first search orders its frontier globally and does not support \
                          jobs > 1"
-                            .to_string(),
-                    ));
+                                .to_string(),
+                        ));
+                    }
+                    if ckpt.is_some() {
+                        return Err(SearchError::Unsupported(
+                            "best-first search does not support checkpointing".to_string(),
+                        ));
+                    }
+                    Ok(BestFirstSearch::new(config).drive(program, observer))
                 }
-                if ckpt.is_some() {
-                    return Err(SearchError::Unsupported(
-                        "best-first search does not support checkpointing".to_string(),
-                    ));
-                }
-                Ok(BestFirstSearch::new(config).drive(program, observer))
-            }
+            };
+        let report = report?;
+        if let Some(binding) = &binding {
+            maybe_certify(binding, cert_target, &report);
         }
+        Ok(report)
     }
+}
+
+/// The rejection message for a cache attached to a strategy/jobs
+/// combination the drivers cannot prune soundly.
+fn cache_unsupported_msg(label: &str, jobs: usize) -> String {
+    format!(
+        "a fingerprint cache is supported for strategy `icb` (any jobs) and unbounded `dfs` \
+         at jobs = 1; got strategy `{label}` with jobs = {jobs}. Depth-bounded and sampling \
+         searches cannot claim subtree coverage, so caching them would be unsound"
+    )
+}
+
+/// Records a certification after a run that proved its claim cleanly:
+/// exact fingerprints, no bugs, nothing truncated, forfeited or
+/// abandoned. `completed` certifies exhaustion (`bound: None`); an ICB
+/// run that ran its target preemption bound `n` to the end certifies
+/// `bound: n`.
+///
+/// `certify` is also the cache's signal that every subtree recorded
+/// this run was fully explored (persistence gate), so a run that was
+/// cut short mid-bound — budget, deadline, interrupt — must NOT
+/// certify, even though its last *completed* bound would be a sound
+/// claim on its own.
+fn maybe_certify(binding: &CacheBinding<'_>, target: Option<usize>, report: &SearchReport) {
+    if binding.heuristic
+        || report.buggy_executions > 0
+        || !report.bugs.is_empty()
+        || report.truncated
+        || report.quarantined_total > 0
+        || report.watchdog_trips > 0
+        || report.cache.as_ref().is_some_and(|c| c.certified)
+    {
+        return;
+    }
+    let bound = if report.completed {
+        None
+    } else if target.is_some() && report.completed_bound == target {
+        target
+    } else {
+        return;
+    };
+    binding.cache.certify(Certification {
+        strategy: report.strategy.clone(),
+        bound,
+        executions: report.executions,
+        distinct_states: report.distinct_states,
+    });
 }
 
 /// Resume dispatch: the snapshot's [`StrategyState`] variant decides the
@@ -457,9 +604,25 @@ fn run_resumed(
     snapshot: SearchSnapshot,
     observer: &mut dyn SearchObserver,
     ckpt: Option<&mut Checkpointer>,
+    cache: Option<CacheBinding<'_>>,
 ) -> Result<SearchReport, SearchError> {
     let config = snapshot.config;
     let base = snapshot.base;
+    if cache.is_some() {
+        let supported = match &snapshot.state {
+            StrategyState::Icb(_) => true,
+            StrategyState::Dfs(state) => jobs == 1 && state.depth_bound.is_none(),
+            _ => false,
+        };
+        if !supported {
+            let label = match &snapshot.state {
+                StrategyState::Icb(_) => "icb",
+                StrategyState::Dfs(_) | StrategyState::ParallelDfs(_) => "dfs",
+                StrategyState::Random(_) | StrategyState::ParallelRandom(_) => "random",
+            };
+            return Err(SearchError::Unsupported(cache_unsupported_msg(label, jobs)));
+        }
+    }
     #[allow(deprecated)]
     match snapshot.state {
         StrategyState::Icb(state) => {
@@ -467,9 +630,17 @@ fn run_resumed(
                 validate_branches(stack)?;
             }
             Ok(if jobs == 1 {
-                IcbSearch::new(config).drive(program, observer, ckpt, Some((base, state)))
+                IcbSearch::new(config).drive(program, observer, ckpt, Some((base, state)), cache)
             } else {
-                run_parallel_icb(program, &config, jobs, observer, ckpt, Some((base, state)))
+                run_parallel_icb(
+                    program,
+                    &config,
+                    jobs,
+                    observer,
+                    ckpt,
+                    Some((base, state)),
+                    cache,
+                )
             })
         }
         StrategyState::Dfs(state) => {
@@ -480,7 +651,7 @@ fn run_resumed(
                     Some(b) => DfsSearch::with_depth_bound(config, b),
                     None => DfsSearch::new(config),
                 };
-                search.drive(program, observer, ckpt, stack, Some(base))
+                search.drive(program, observer, ckpt, stack, Some(base), cache)
             } else {
                 // A sequential DFS checkpoint is one suspended subtree:
                 // seed the frontier with it and let the workers dissolve

@@ -30,7 +30,8 @@ use crate::trace::{ExecStats, ExecutionOutcome, Schedule};
 /// Magic bytes opening every snapshot file.
 const MAGIC: &[u8; 8] = b"ICBSNAPv";
 /// Current format version. Bump on any layout change.
-const VERSION: u32 = 1;
+/// v2: `SearchConfig` gained `coverage_stride`.
+const VERSION: u32 = 2;
 /// Fixed header size: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -473,6 +474,7 @@ fn encode_config(w: &mut Writer, c: &SearchConfig) {
             w.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
         }
     }
+    w.usize(c.coverage_stride);
 }
 
 fn decode_config(r: &mut Reader<'_>) -> Result<SearchConfig, SnapshotError> {
@@ -487,6 +489,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<SearchConfig, SnapshotError> {
         } else {
             None
         },
+        coverage_stride: r.usize()?,
     })
 }
 
@@ -946,6 +949,7 @@ mod tests {
                 max_bug_reports: 7,
                 max_work_queue: None,
                 max_duration: Some(std::time::Duration::from_millis(1500)),
+                coverage_stride: 3,
             },
             base: ResumeBase {
                 executions: 42,

@@ -362,6 +362,18 @@ pub trait SearchObserver {
     /// `execution_finished`.
     fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {}
 
+    /// The fingerprint cache pruned `count` work item(s): their subtrees
+    /// were already covered by an earlier (or concurrent) exploration.
+    fn cache_hit(&mut self, count: usize) {}
+
+    /// The fingerprint cache recorded `count` new work-item subtree(s).
+    fn cache_store(&mut self, count: usize) {}
+
+    /// The certification ledger answered the whole search: the program
+    /// is already certified bug-free at preemption bound `bound`
+    /// (`None` = certified exhaustively). No executions will run.
+    fn bound_certified(&mut self, bound: Option<usize>) {}
+
     /// The search is over; `report` is the final report about to be
     /// returned to the caller.
     fn search_finished(&mut self, report: &SearchReport) {}
@@ -436,6 +448,15 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     }
     fn trace_quarantined(&mut self, quarantined: &QuarantinedTrace) {
         (**self).trace_quarantined(quarantined)
+    }
+    fn cache_hit(&mut self, count: usize) {
+        (**self).cache_hit(count)
+    }
+    fn cache_store(&mut self, count: usize) {
+        (**self).cache_store(count)
+    }
+    fn bound_certified(&mut self, bound: Option<usize>) {
+        (**self).bound_certified(bound)
     }
     fn search_finished(&mut self, report: &SearchReport) {
         (**self).search_finished(report)

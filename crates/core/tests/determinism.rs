@@ -169,7 +169,7 @@ fn random_same_report_at_any_parallel_worker_count() {
     let program = clean();
     let config = SearchConfig::with_max_executions(64);
     let strategy = Strategy::Random { seed: 0x1cb };
-    let par2 = run(&program, strategy.clone(), config.clone(), 2);
+    let par2 = run(&program, strategy, config.clone(), 2);
     let par8 = run(&program, strategy, config, 8);
     assert_eq!(par2, par8, "parallel random must be worker-count-free");
     assert_eq!(par2.executions, 64);

@@ -1,0 +1,80 @@
+//! Golden fingerprints for the happens-before state representation.
+//!
+//! The cache subsystem persists `(fingerprint, credit)` pairs across
+//! process runs (`icb-cache` segments), which turns the exact u64 values
+//! produced by [`HbFingerprint`] into an on-disk compatibility contract:
+//! any change to the mixing function silently orphans every existing
+//! cache entry. This test pins the fingerprints of three small
+//! interleavings — two HB-equivalent, one not — so that a hash change
+//! shows up as a test failure instead of a mysteriously cold cache.
+//!
+//! If you change the fingerprint function *intentionally*, update these
+//! constants AND bump `icb_cache::VERSION` so old segments are rejected
+//! instead of misinterpreted.
+
+use icb_race::{HbFingerprint, Tid, VectorClock};
+
+fn vc(pairs: &[(usize, u32)]) -> VectorClock {
+    pairs.iter().map(|&(t, v)| (Tid(t), v)).collect()
+}
+
+/// The scenario: two threads, each performing one lock-free write to its
+/// own variable (independent, so concurrent — singleton vector clocks),
+/// then T1 performing a read of T0's variable *after* acquiring a lock
+/// T0 released (so its clock includes T0's component).
+const OP_WRITE_X: u64 = 0x77_58;
+const OP_WRITE_Y: u64 = 0x77_59;
+const OP_READ_X: u64 = 0x72_58;
+
+/// Interleaving 1: T0's write folded first.
+fn interleaving_writes_t0_first() -> u64 {
+    let mut fp = HbFingerprint::new();
+    fp.record(Tid(0), OP_WRITE_X, &vc(&[(0, 1)]));
+    fp.record(Tid(1), OP_WRITE_Y, &vc(&[(1, 1)]));
+    fp.current()
+}
+
+/// Interleaving 2: same two events, T1's write folded first. The writes
+/// are independent, so this linearization is HB-equivalent to the first.
+fn interleaving_writes_t1_first() -> u64 {
+    let mut fp = HbFingerprint::new();
+    fp.record(Tid(1), OP_WRITE_Y, &vc(&[(1, 1)]));
+    fp.record(Tid(0), OP_WRITE_X, &vc(&[(0, 1)]));
+    fp.current()
+}
+
+/// Interleaving 3: T1's second event reads x under an HB edge from T0
+/// (its vector clock carries T0's component) — a different
+/// happens-before relation, so a different state.
+fn interleaving_with_hb_edge() -> u64 {
+    let mut fp = HbFingerprint::new();
+    fp.record(Tid(0), OP_WRITE_X, &vc(&[(0, 1)]));
+    fp.record(Tid(1), OP_WRITE_Y, &vc(&[(1, 1)]));
+    fp.record(Tid(1), OP_READ_X, &vc(&[(0, 1), (1, 2)]));
+    fp.current()
+}
+
+const GOLDEN_EQUIVALENT: u64 = 0x8df5_388e_3627_9f38;
+const GOLDEN_INEQUIVALENT: u64 = 0x6c78_1fe2_0b43_e3c8;
+
+#[test]
+fn equivalent_interleavings_share_the_pinned_fingerprint() {
+    assert_eq!(
+        interleaving_writes_t0_first(),
+        GOLDEN_EQUIVALENT,
+        "actual {:#018x}",
+        interleaving_writes_t0_first()
+    );
+    assert_eq!(interleaving_writes_t1_first(), GOLDEN_EQUIVALENT);
+}
+
+#[test]
+fn inequivalent_interleaving_has_a_distinct_pinned_fingerprint() {
+    assert_eq!(
+        interleaving_with_hb_edge(),
+        GOLDEN_INEQUIVALENT,
+        "actual {:#018x}",
+        interleaving_with_hb_edge()
+    );
+    assert_ne!(GOLDEN_INEQUIVALENT, GOLDEN_EQUIVALENT);
+}

@@ -71,6 +71,16 @@ impl ControlledProgram for RuntimeProgram {
         self.execute_observed(scheduler, sink, &mut NoopObserver)
     }
 
+    /// Runtime fingerprints are happens-before *hashes* of the
+    /// synchronization history, not concrete state: two genuinely
+    /// different states can collide, so pruning on them is a heuristic.
+    /// This matches the trait default; it is spelled out here because
+    /// [`Search::cache_heuristic`](icb_core::search::Search::cache_heuristic)
+    /// keys off it.
+    fn fingerprints_are_exact(&self) -> bool {
+        false
+    }
+
     fn execute_observed(
         &self,
         scheduler: &mut dyn Scheduler,

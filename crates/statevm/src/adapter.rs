@@ -22,6 +22,13 @@ impl ControlledProgram for Model {
         self.execute_observed(scheduler, sink, &mut NoopObserver)
     }
 
+    /// The VM hashes the complete concrete machine state (globals,
+    /// locals, pcs, lock/monitor state), so equal fingerprints mean
+    /// equal states and cache pruning on them is sound.
+    fn fingerprints_are_exact(&self) -> bool {
+        true
+    }
+
     fn execute_observed(
         &self,
         scheduler: &mut dyn Scheduler,

@@ -101,6 +101,21 @@ pub enum Event {
         /// The forfeited schedule prefix and divergence details.
         quarantined: QuarantinedTrace,
     },
+    /// `cache_hit(count)`.
+    CacheHit {
+        /// Work items pruned by the fingerprint cache.
+        count: usize,
+    },
+    /// `cache_store(count)`.
+    CacheStore {
+        /// New subtree entries recorded in the fingerprint cache.
+        count: usize,
+    },
+    /// `bound_certified(bound)`.
+    BoundCertified {
+        /// The certified preemption bound (`None` = exhaustive).
+        bound: Option<usize>,
+    },
     /// `search_aborted(reason)`.
     SearchAborted {
         /// Why the search stopped early.
@@ -133,6 +148,9 @@ impl Event {
             Event::SearchResumed { .. } => "search-resumed",
             Event::CheckpointWritten { .. } => "checkpoint-written",
             Event::TraceQuarantined { .. } => "trace-quarantined",
+            Event::CacheHit { .. } => "cache-hit",
+            Event::CacheStore { .. } => "cache-store",
+            Event::BoundCertified { .. } => "bound-certified",
             Event::SearchAborted { .. } => "search-aborted",
             Event::SearchFinished { .. } => "search-finished",
         }
@@ -253,6 +271,18 @@ impl SearchObserver for EventLog {
         self.events.push(Event::TraceQuarantined {
             quarantined: quarantined.clone(),
         });
+    }
+
+    fn cache_hit(&mut self, count: usize) {
+        self.events.push(Event::CacheHit { count });
+    }
+
+    fn cache_store(&mut self, count: usize) {
+        self.events.push(Event::CacheStore { count });
+    }
+
+    fn bound_certified(&mut self, bound: Option<usize>) {
+        self.events.push(Event::BoundCertified { bound });
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {

@@ -315,6 +315,24 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
         ));
     }
 
+    fn cache_hit(&mut self, count: usize) {
+        self.emit(&format!("{{\"event\":\"cache-hit\",\"count\":{count}}}"));
+    }
+
+    fn cache_store(&mut self, count: usize) {
+        self.emit(&format!("{{\"event\":\"cache-store\",\"count\":{count}}}"));
+    }
+
+    fn bound_certified(&mut self, bound: Option<usize>) {
+        self.emit(&format!(
+            "{{\"event\":\"bound-certified\",\"bound\":{}}}",
+            match bound {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            }
+        ));
+    }
+
     fn race_detected(&mut self, description: &str) {
         let line = format!(
             "{{\"event\":\"race-detected\",\"description\":{}}}",
@@ -336,10 +354,17 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
         let elapsed_ns = self
             .started
             .map_or("null".to_string(), |t| t.elapsed().as_nanos().to_string());
+        let cache = report.cache.as_ref().map_or(String::new(), |c| {
+            format!(
+                "\"cache_hits\":{},\"cache_stores\":{},\"cache_heuristic\":{},\
+                 \"cache_certified\":{},",
+                c.hits, c.stores, c.heuristic, c.certified,
+            )
+        });
         let line = format!(
             "{{\"event\":\"search-finished\",\"strategy\":{},\"executions\":{},\
              \"distinct_states\":{},\"buggy_executions\":{},\"bugs_reported\":{},\
-             \"completed\":{},\"completed_bound\":{},\"truncated\":{},\"elapsed_ns\":{}}}",
+             \"completed\":{},\"completed_bound\":{},\"truncated\":{},{cache}\"elapsed_ns\":{}}}",
             json_string(&report.strategy),
             report.executions,
             report.distinct_states,
@@ -574,6 +599,43 @@ mod tests {
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.contains("\"outcome\":\"replay-divergence\""), "{text}");
         assert!(text.contains("\"outcome\":\"watchdog-timeout\""), "{text}");
+    }
+
+    #[test]
+    fn cache_events_are_encoded() {
+        use icb_core::search::CacheSummary;
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.cache_store(2);
+        sink.cache_hit(5);
+        sink.bound_certified(Some(2));
+        sink.bound_certified(None);
+        sink.search_finished(&SearchReport {
+            strategy: "icb".to_string(),
+            cache: Some(CacheSummary {
+                hits: 5,
+                stores: 2,
+                heuristic: false,
+                certified: false,
+            }),
+            ..SearchReport::default()
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"event\":\"cache-store\",\"count\":2}");
+        assert_eq!(lines[1], "{\"event\":\"cache-hit\",\"count\":5}");
+        assert_eq!(lines[2], "{\"event\":\"bound-certified\",\"bound\":2}");
+        assert_eq!(lines[3], "{\"event\":\"bound-certified\",\"bound\":null}");
+        assert!(lines[4].contains("\"cache_hits\":5"), "{text}");
+        assert!(lines[4].contains("\"cache_stores\":2"));
+        assert!(lines[4].contains("\"cache_heuristic\":false"));
+        assert!(lines[4].contains("\"cache_certified\":false"));
+
+        // Without a cache attached, the fields are absent entirely.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.search_finished(&SearchReport::default());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(!text.contains("cache_hits"), "{text}");
     }
 
     #[test]

@@ -111,6 +111,9 @@ pub struct MetricsRecorder {
     preemption_counts: Vec<usize>,
     coverage_curve: Vec<(usize, usize)>,
     bound_rows: Vec<(BoundStats, Duration)>,
+    cache_hits: usize,
+    cache_stores: usize,
+    certified_bound: Option<Option<usize>>,
     abort: Option<AbortReason>,
     finished: bool,
 }
@@ -190,6 +193,22 @@ impl MetricsRecorder {
     /// Figures 1 and 4, plus per-bound timing the report does not carry.
     pub fn bound_rows(&self) -> &[(BoundStats, Duration)] {
         &self.bound_rows
+    }
+
+    /// Work items pruned by the fingerprint cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// New subtree entries the fingerprint cache recorded.
+    pub fn cache_stores(&self) -> usize {
+        self.cache_stores
+    }
+
+    /// `Some(bound)` when the certification ledger answered the search
+    /// without running it (inner `None` = certified exhaustively).
+    pub fn certified_bound(&self) -> Option<Option<usize>> {
+        self.certified_bound
     }
 
     /// Why the search aborted, if it did not exhaust its space.
@@ -273,6 +292,18 @@ impl SearchObserver for MetricsRecorder {
 
     fn race_detected(&mut self, _description: &str) {
         self.races_detected += 1;
+    }
+
+    fn cache_hit(&mut self, count: usize) {
+        self.cache_hits += count;
+    }
+
+    fn cache_store(&mut self, count: usize) {
+        self.cache_stores += count;
+    }
+
+    fn bound_certified(&mut self, bound: Option<usize>) {
+        self.certified_bound = Some(bound);
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {

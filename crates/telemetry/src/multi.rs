@@ -163,6 +163,24 @@ impl SearchObserver for MultiObserver<'_> {
         }
     }
 
+    fn cache_hit(&mut self, count: usize) {
+        for o in &mut self.observers {
+            o.cache_hit(count);
+        }
+    }
+
+    fn cache_store(&mut self, count: usize) {
+        for o in &mut self.observers {
+            o.cache_store(count);
+        }
+    }
+
+    fn bound_certified(&mut self, bound: Option<usize>) {
+        for o in &mut self.observers {
+            o.bound_certified(bound);
+        }
+    }
+
     fn search_aborted(&mut self, reason: AbortReason) {
         for o in &mut self.observers {
             o.search_aborted(reason);

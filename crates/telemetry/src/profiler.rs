@@ -41,6 +41,10 @@ pub struct ExplorationProfiler {
     watchdog_trips: usize,
     checkpoints: usize,
     resumed_from: Option<usize>,
+    cache_hits: usize,
+    cache_stores: usize,
+    cache_heuristic: bool,
+    cache_certified: bool,
 }
 
 impl Default for ExplorationProfiler {
@@ -70,6 +74,10 @@ impl ExplorationProfiler {
             watchdog_trips: 0,
             checkpoints: 0,
             resumed_from: None,
+            cache_hits: 0,
+            cache_stores: 0,
+            cache_heuristic: false,
+            cache_certified: false,
         }
     }
 
@@ -102,6 +110,10 @@ impl ExplorationProfiler {
             watchdog_trips: self.watchdog_trips,
             checkpoints: self.checkpoints,
             resumed_from: self.resumed_from,
+            cache_hits: self.cache_hits,
+            cache_stores: self.cache_stores,
+            cache_heuristic: self.cache_heuristic,
+            cache_certified: self.cache_certified,
         }
     }
 }
@@ -181,6 +193,18 @@ impl SearchObserver for ExplorationProfiler {
         self.quarantined += 1;
     }
 
+    fn cache_hit(&mut self, count: usize) {
+        self.cache_hits += count;
+    }
+
+    fn cache_store(&mut self, count: usize) {
+        self.cache_stores += count;
+    }
+
+    fn bound_certified(&mut self, _bound: Option<usize>) {
+        self.cache_certified = true;
+    }
+
     fn search_finished(&mut self, report: &SearchReport) {
         self.elapsed = self.started.map(|t| t.elapsed());
         self.executions = report.executions;
@@ -191,6 +215,12 @@ impl SearchObserver for ExplorationProfiler {
         self.truncated = report.truncated;
         self.quarantined = report.quarantined_total;
         self.watchdog_trips = report.watchdog_trips;
+        if let Some(cache) = &report.cache {
+            self.cache_hits = cache.hits;
+            self.cache_stores = cache.stores;
+            self.cache_heuristic = cache.heuristic;
+            self.cache_certified |= cache.certified;
+        }
     }
 }
 

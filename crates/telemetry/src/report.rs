@@ -117,6 +117,16 @@ pub struct RunReport {
     /// Cumulative executions inherited from a checkpoint, when this
     /// segment started with `explore resume`.
     pub resumed_from: Option<usize>,
+    /// Work items pruned by the fingerprint cache.
+    pub cache_hits: usize,
+    /// New subtree entries the fingerprint cache recorded.
+    pub cache_stores: usize,
+    /// Whether cache pruning used heuristic fingerprints — coverage is
+    /// then a lower bound, not an exhaustiveness claim.
+    pub cache_heuristic: bool,
+    /// Whether the certification ledger answered the run without
+    /// executing anything.
+    pub cache_certified: bool,
 }
 
 /// Incremental per-site attribution, shared between the live profiler
@@ -354,6 +364,15 @@ impl RunReport {
                             .map(|ns| Duration::from_nanos(ns as u64)),
                     });
                 }
+                "cache-hit" => {
+                    report.cache_hits += field_usize(line, "count").unwrap_or(0);
+                }
+                "cache-store" => {
+                    report.cache_stores += field_usize(line, "count").unwrap_or(0);
+                }
+                "bound-certified" => {
+                    report.cache_certified = true;
+                }
                 "search-aborted" => {
                     report.aborted = field_str(line, "reason");
                 }
@@ -373,6 +392,21 @@ impl RunReport {
                     }
                     report.completed = field_bool(line, "completed").unwrap_or(false);
                     report.truncated = field_bool(line, "truncated").unwrap_or(false);
+                    // The final report's cache totals are authoritative
+                    // over the per-event sums (a log cut mid-run keeps
+                    // the sums instead).
+                    if let Some(v) = field_usize(line, "cache_hits") {
+                        report.cache_hits = v;
+                    }
+                    if let Some(v) = field_usize(line, "cache_stores") {
+                        report.cache_stores = v;
+                    }
+                    if let Some(v) = field_bool(line, "cache_heuristic") {
+                        report.cache_heuristic = v;
+                    }
+                    if let Some(v) = field_bool(line, "cache_certified") {
+                        report.cache_certified = report.cache_certified || v;
+                    }
                     report.elapsed =
                         field_u128(line, "elapsed_ns").map(|ns| Duration::from_nanos(ns as u64));
                 }
@@ -413,6 +447,9 @@ impl RunReport {
         out.quarantined = 0;
         out.watchdog_trips = 0;
         out.checkpoints = 0;
+        out.cache_hits = 0;
+        out.cache_stores = 0;
+        out.cache_heuristic = false;
         for seg in segments {
             for row in &seg.bounds {
                 bounds.insert(row.bound, row.clone());
@@ -439,6 +476,9 @@ impl RunReport {
             out.quarantined += seg.quarantined;
             out.watchdog_trips += seg.watchdog_trips;
             out.checkpoints += seg.checkpoints;
+            out.cache_hits += seg.cache_hits;
+            out.cache_stores += seg.cache_stores;
+            out.cache_heuristic |= seg.cache_heuristic;
         }
         out.bounds = bounds.into_values().collect();
         let mut site_rows: Vec<SiteRow> = sites.into_values().collect();
@@ -598,6 +638,19 @@ fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
         }
         if run.watchdog_trips > 0 {
             summary.push_str(&format!(", {} watchdog trips", run.watchdog_trips));
+        }
+        if run.cache_certified {
+            summary.push_str(", CERTIFIED (answered from cache ledger)");
+        }
+        if run.cache_hits > 0 || run.cache_stores > 0 {
+            let rate = 100.0 * run.cache_hits as f64 / (run.cache_hits + run.cache_stores) as f64;
+            summary.push_str(&format!(
+                ", cache: {} hits / {} stores ({rate:.1}% hit rate)",
+                run.cache_hits, run.cache_stores
+            ));
+        }
+        if run.cache_heuristic {
+            summary.push_str(", HEURISTIC fingerprints (non-exhaustive)");
         }
         if let Some(elapsed) = run.elapsed {
             summary.push_str(&format!(", {}", secs(elapsed)));
@@ -861,6 +914,51 @@ mod tests {
     #[test]
     fn stitch_of_nothing_is_none() {
         assert!(RunReport::stitch(&[]).is_none());
+    }
+
+    const CACHED_LOG: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"cache-store","count":3}
+{"event":"cache-hit","count":2}
+{"event":"cache-hit","count":1}
+{"event":"search-finished","strategy":"icb","executions":4,"distinct_states":6,"buggy_executions":0,"bugs_reported":0,"completed":true,"completed_bound":2,"truncated":false,"cache_hits":3,"cache_stores":3,"cache_heuristic":false,"cache_certified":false,"elapsed_ns":900}
+"#;
+
+    #[test]
+    fn cache_events_reconstruct_and_render() {
+        let r = RunReport::from_jsonl(CACHED_LOG).unwrap();
+        assert_eq!(r.cache_hits, 3);
+        assert_eq!(r.cache_stores, 3);
+        assert!(!r.cache_heuristic);
+        assert!(!r.cache_certified);
+        let text = render_text(std::slice::from_ref(&r), 10);
+        assert!(
+            text.contains("cache: 3 hits / 3 stores (50.0% hit rate)"),
+            "{text}"
+        );
+
+        // A log cut before search-finished keeps the per-event sums.
+        let cut = CACHED_LOG.lines().take(4).collect::<Vec<_>>().join("\n");
+        let r = RunReport::from_jsonl(&cut).unwrap();
+        assert_eq!((r.cache_hits, r.cache_stores), (3, 3));
+
+        // A certified warm run renders the ledger answer.
+        let certified = r#"{"event":"search-started","strategy":"icb"}
+{"event":"bound-certified","bound":2}
+{"event":"search-finished","strategy":"icb","executions":0,"distinct_states":6,"buggy_executions":0,"bugs_reported":0,"completed":false,"completed_bound":2,"truncated":false,"cache_hits":0,"cache_stores":0,"cache_heuristic":false,"cache_certified":true,"elapsed_ns":10}
+"#;
+        let r = RunReport::from_jsonl(certified).unwrap();
+        assert!(r.cache_certified);
+        let text = render_text(std::slice::from_ref(&r), 10);
+        assert!(
+            text.contains("CERTIFIED (answered from cache ledger)"),
+            "{text}"
+        );
+
+        // Stitching sums the per-segment cache counters.
+        let a = RunReport::from_jsonl(CACHED_LOG).unwrap();
+        let b = RunReport::from_jsonl(CACHED_LOG).unwrap();
+        let stitched = RunReport::stitch(&[a, b]).unwrap();
+        assert_eq!((stitched.cache_hits, stitched.cache_stores), (6, 6));
     }
 
     #[test]

@@ -41,6 +41,36 @@ impl ControlledProgram for AnyProgram {
             AnyProgram::Vm(m) => m.execute_observed(scheduler, sink, observer),
         }
     }
+
+    fn fingerprints_are_exact(&self) -> bool {
+        match self {
+            AnyProgram::Runtime(p) => p.fingerprints_are_exact(),
+            AnyProgram::Vm(m) => m.fingerprints_are_exact(),
+        }
+    }
+}
+
+/// A stable identity hash for `program`, used to key its on-disk cache
+/// directory.
+///
+/// The hash covers the benchmark name, the bug variant, and — for VM
+/// models — the full disassembly, so editing a model's instruction
+/// stream invalidates its cached exploration. Runtime programs are
+/// closures the harness cannot introspect, so their identity is purely
+/// name-based: renaming is the only way to tell the cache a runtime
+/// workload changed. (The cache is heuristic-only for those anyway.)
+pub fn program_identity(benchmark: &str, bug: Option<&str>, program: &AnyProgram) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"icb-workload\0");
+    bytes.extend_from_slice(benchmark.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(bug.unwrap_or("correct").as_bytes());
+    bytes.push(0);
+    match program {
+        AnyProgram::Runtime(_) => bytes.extend_from_slice(b"runtime"),
+        AnyProgram::Vm(m) => bytes.extend_from_slice(m.disasm().as_bytes()),
+    }
+    icb_core::hash::fingerprint_bytes(&bytes)
 }
 
 impl fmt::Debug for AnyProgram {

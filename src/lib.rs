@@ -15,6 +15,10 @@
 //!   evaluation, with their seeded bugs.
 //! * [`telemetry`] — concrete [`SearchObserver`](core::SearchObserver)
 //!   sinks: in-memory metrics, JSONL event streams, live progress.
+//! * [`cache`] — the persistent state-fingerprint cache: in-run
+//!   subtree pruning, disk-backed segments and a cross-run
+//!   certification ledger (bind one with
+//!   [`Search::cache`](core::search::Search::cache)).
 //!
 //! # Quickstart
 //!
@@ -53,6 +57,7 @@
 
 pub mod guide;
 
+pub use icb_cache as cache;
 pub use icb_core as core;
 pub use icb_race as race;
 pub use icb_runtime as runtime;
