@@ -7,9 +7,12 @@
 //!             [--cache <dir>] [--cache-heuristic]
 //!             [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]
 //!             [--telemetry jsonl:<path>] [--progress] [--profile]
+//!             [--serve-metrics <addr>]
 //! explore resume <checkpoint> [--jobs N] [--checkpoint-every N]
 //!                [--cache <dir>] [--cache-heuristic]
 //!                [--telemetry jsonl:<path>] [--progress] [--profile]
+//!                [--serve-metrics <addr>]
+//! explore top <addr> [--interval-ms N] [--once]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
 //! explore report <run.jsonl>... [--markdown] [--top N] [--stitch]
@@ -28,6 +31,21 @@
 //! also carries the per-step `choice-point` / `preemption-taken` /
 //! `phase-time` events, so `explore report` can rebuild the same tables
 //! offline.
+//!
+//! `--serve-metrics <addr>` attaches the live metrics registry to the
+//! search and serves it as a Prometheus text-exposition page at
+//! `http://<addr>/metrics` (bind to port 0 for an ephemeral port; the
+//! resolved address is printed to stderr). The page is rendered from
+//! lock-free atomics on every scrape, so serving it costs the search
+//! nothing between scrapes. `explore top <addr>` polls such an endpoint
+//! (or any Prometheus-compatible ICB exporter) and renders a refreshing
+//! terminal status board: per-bound progress with the Theorem-1 ETA,
+//! per-worker utilization bars, and a throughput sparkline. `--once`
+//! prints a single frame and exits (useful in scripts and CI);
+//! `--interval-ms` sets the poll cadence. With `--serve-metrics`, the
+//! JSONL stream additionally carries periodic `metrics-snapshot` events
+//! that `explore report` turns into throughput-over-time and
+//! worker-utilization tables.
 //!
 //! `--jobs N` shards the exploration over `N` worker threads, each with
 //! its own runtime engine and race detector, pulling work from a shared
@@ -72,6 +90,7 @@
 use std::io::BufWriter;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use icb_cache::CacheStore;
@@ -79,12 +98,12 @@ use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::interrupt;
 use icb_core::NullSink;
 use icb_core::{
-    render, shrink, Checkpointer, ControlledProgram, CoverageTracker, ReplayScheduler, Schedule,
-    SearchObserver, SearchSnapshot,
+    render, shrink, Checkpointer, ControlledProgram, CoverageTracker, MetricsRegistry,
+    ReplayScheduler, Schedule, SearchObserver, SearchSnapshot,
 };
 use icb_telemetry::{
-    render_markdown, render_text, ExplorationProfiler, JsonlSink, MultiObserver, ProgressReporter,
-    RunReport,
+    parse_exposition, render_markdown, render_text, scrape, series_value, ExplorationProfiler,
+    JsonlSink, MetricsServer, MultiObserver, ProgressReporter, RunReport,
 };
 use icb_workloads::registry::{all_benchmarks, program_identity, AnyProgram, BenchmarkInfo};
 
@@ -106,9 +125,12 @@ fn main() -> ExitCode {
                 "              [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]"
             );
             eprintln!("              [--telemetry jsonl:<path>] [--progress] [--profile]");
+            eprintln!("              [--serve-metrics <addr>]");
             eprintln!("  explore resume <checkpoint> [--jobs N] [--checkpoint-every N]");
             eprintln!("                 [--cache <dir>] [--cache-heuristic]");
             eprintln!("                 [--telemetry jsonl:<path>] [--progress] [--profile]");
+            eprintln!("                 [--serve-metrics <addr>]");
+            eprintln!("  explore top <addr> [--interval-ms N] [--once]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
             eprintln!("  explore report <run.jsonl>... [--markdown] [--top N] [--stitch]");
@@ -128,6 +150,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
@@ -277,6 +300,30 @@ fn report_cache_errors(cache: &Option<CacheStore>) {
     }
 }
 
+/// Opens the `--serve-metrics <addr>` registry and HTTP listener, when
+/// requested. The registry comes back alongside the server so `run` /
+/// `resume` can wire the same instance into the search (and a shared
+/// [`ProgressReporter`]).
+fn open_metrics(
+    args: &[String],
+    paper_threads: usize,
+) -> Result<Option<(Arc<MetricsRegistry>, MetricsServer)>, String> {
+    match flag_value(args, "--serve-metrics") {
+        Some(addr) => {
+            let registry = Arc::new(MetricsRegistry::new());
+            // Same Theorem-1 parameterization the progress reporter
+            // uses, so /metrics and `explore top` carry the ETA too.
+            let n = paper_threads as u64;
+            registry.set_theorem1(n, n);
+            let server = MetricsServer::start(addr, Arc::clone(&registry))
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            eprintln!("serving metrics at http://{}/metrics", server.addr());
+            Ok(Some((registry, server)))
+        }
+        None => Ok(None),
+    }
+}
+
 /// The observer bundle shared by `run` and `resume`: an optional JSONL
 /// event stream, a live progress line, and the exploration profiler.
 struct Observers {
@@ -286,7 +333,11 @@ struct Observers {
 }
 
 impl Observers {
-    fn from_args(args: &[String], paper_threads: usize) -> Result<Self, String> {
+    fn from_args(
+        args: &[String],
+        paper_threads: usize,
+        metrics: Option<&Arc<MetricsRegistry>>,
+    ) -> Result<Self, String> {
         let profile = args.iter().any(|a| a == "--profile");
         Ok(Observers {
             jsonl: open_jsonl(args, profile)?,
@@ -295,7 +346,18 @@ impl Observers {
                 // (termination) per thread — good enough for an
                 // order-of-magnitude ETA.
                 let n = paper_threads as u64;
-                ProgressReporter::stderr().with_theorem1(n, n)
+                let reporter = ProgressReporter::stderr();
+                match metrics {
+                    // The search mirrors its events into a shared
+                    // registry (--serve-metrics): the reporter renders
+                    // that registry, so the status line, /metrics, and
+                    // `explore top` all show the same numbers.
+                    Some(registry) => reporter.with_registry(Arc::clone(registry)),
+                    None => {
+                        reporter.registry().set_theorem1(n, n);
+                        reporter
+                    }
+                }
             }),
             profiler: profile.then(ExplorationProfiler::new),
         })
@@ -384,7 +446,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
 
     let cache = open_cache(args, bench.name, flag_value(args, "--bug"), &program)?;
-    let mut obs = Observers::from_args(args, bench.paper_threads)?;
+    let metrics = open_metrics(args, bench.paper_threads)?;
+    let mut obs =
+        Observers::from_args(args, bench.paper_threads, metrics.as_ref().map(|(r, _)| r))?;
     println!("exploring {} with {strat}…", bench.name);
 
     let report = {
@@ -394,6 +458,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .config(config)
             .jobs(jobs)
             .observer(&mut observers);
+        if let Some((registry, _)) = &metrics {
+            search = search.metrics(Arc::clone(registry));
+        }
         if let Some(store) = &cache {
             search = search
                 .cache(store)
@@ -414,6 +481,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         search.run().map_err(|e| e.to_string())?
     };
+    if let Some((_, server)) = metrics {
+        server.shutdown();
+    }
     report_cache_errors(&cache);
     obs.finish(&report, &program, args)
 }
@@ -447,7 +517,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
 
     let jobs = parse_jobs(args)?;
     let cache = open_cache(args, &bench_name, bug.as_deref(), &program)?;
-    let mut obs = Observers::from_args(args, bench.paper_threads)?;
+    let metrics = open_metrics(args, bench.paper_threads)?;
+    let mut obs =
+        Observers::from_args(args, bench.paper_threads, metrics.as_ref().map(|(r, _)| r))?;
     let strat = snapshot.strategy.clone();
     println!(
         "resuming {} with {strat} from {path} ({} executions done)…",
@@ -460,6 +532,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
             .jobs(jobs)
             .observer(&mut observers)
             .checkpoint(ckpt);
+        if let Some((registry, _)) = &metrics {
+            search = search.metrics(Arc::clone(registry));
+        }
         if let Some(store) = &cache {
             search = search
                 .cache(store)
@@ -469,8 +544,190 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
             .run()
             .map_err(|e| format!("cannot resume from {path}: {e}"))?
     };
+    if let Some((_, server)) = metrics {
+        server.shutdown();
+    }
     report_cache_errors(&cache);
     obs.finish(&report, &program, args)
+}
+
+/// One eighth-block per sample, scaled to the window's maximum.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// A `width`-cell utilization bar: `[██████··············]`.
+fn utilization_bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut bar = String::with_capacity(width + 2);
+    bar.push('[');
+    for i in 0..width {
+        bar.push(if i < filled { '█' } else { '·' });
+    }
+    bar.push(']');
+    bar
+}
+
+/// Extracts the strategy label from the `icb_info{strategy="…"}` series.
+fn exposition_strategy(parsed: &[(String, f64)]) -> Option<String> {
+    parsed.iter().find_map(|(name, _)| {
+        name.strip_prefix("icb_info{strategy=\"")?
+            .strip_suffix("\"}")
+            .map(str::to_string)
+    })
+}
+
+/// Renders one `explore top` frame from a parsed exposition page and the
+/// recent per-poll execution rates (newest last). Pure, so the board is
+/// testable without a live server.
+fn render_top_frame(parsed: &[(String, f64)], rates: &[f64]) -> String {
+    let value = |name: &str| series_value(parsed, name);
+    let count = |name: &str| value(name).unwrap_or(0.0);
+    let mut out = String::new();
+
+    let strategy = exposition_strategy(parsed).unwrap_or_else(|| "?".to_string());
+    let rate = rates.last().copied().unwrap_or_else(|| {
+        let elapsed = count("icb_elapsed_seconds");
+        if elapsed > 0.0 {
+            count("icb_executions_total") / elapsed
+        } else {
+            0.0
+        }
+    });
+    out.push_str(&format!(
+        "[{strategy}] {:.0}s elapsed — {} execs ({rate:.0}/s), {} states, {} bugs\n",
+        count("icb_elapsed_seconds"),
+        count("icb_executions_total"),
+        count("icb_distinct_states"),
+        count("icb_bugs_reported_total"),
+    ));
+
+    if let Some(bound) = value("icb_current_bound") {
+        let mut line = format!(
+            "bound {bound:.0}: {} execs, queue {}, {} deferred",
+            count("icb_bound_executions"),
+            count("icb_work_queue_depth"),
+            count("icb_work_items_deferred_total"),
+        );
+        match value("icb_eta_seconds") {
+            Some(eta) if eta.is_finite() => line.push_str(&format!(", eta {eta:.1}s")),
+            Some(_) => line.push_str(", eta beyond the Theorem-1 horizon"),
+            None => {}
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+
+    let workers = count("icb_workers") as usize;
+    if workers > 1 {
+        out.push_str(&format!(
+            "workers ({workers}): frontier {}, pop waits {}, donations {}, pump depth {}\n",
+            count("icb_frontier_queue_depth"),
+            count("icb_frontier_pop_waits_total"),
+            count("icb_steal_donations_total"),
+            count("icb_pump_channel_depth"),
+        ));
+        for w in 0..workers {
+            let busy = count(&format!("icb_worker_busy_seconds_total{{worker=\"{w}\"}}"));
+            let idle = count(&format!("icb_worker_idle_seconds_total{{worker=\"{w}\"}}"));
+            let execs = count(&format!("icb_worker_executions_total{{worker=\"{w}\"}}"));
+            let util = if busy + idle > 0.0 {
+                busy / (busy + idle)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  w{w} {} {:3.0}%  {execs:.0} execs\n",
+                utilization_bar(util, 20),
+                util * 100.0
+            ));
+        }
+    }
+
+    let probes = count("icb_cache_table_probes_total");
+    if probes > 0.0 {
+        out.push_str(&format!(
+            "cache: {} pruned, {} stored; table {probes:.0} probes, {:.0}% covered\n",
+            count("icb_cache_hits_total"),
+            count("icb_cache_stores_total"),
+            100.0 * count("icb_cache_table_hits_total") / probes,
+        ));
+    }
+    let checkpoints = count("icb_checkpoints_written_total");
+    let quarantined = count("icb_quarantined_total");
+    if checkpoints > 0.0 || quarantined > 0.0 {
+        out.push_str(&format!(
+            "resilience: {checkpoints:.0} checkpoints, {quarantined:.0} quarantined, {} watchdog trips\n",
+            count("icb_watchdog_trips_total"),
+        ));
+    }
+    if rates.len() > 1 {
+        out.push_str(&format!("throughput {}\n", sparkline(rates)));
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let addr = args
+        .first()
+        .ok_or("missing metrics address (expected `explore top <host:port>`)")?;
+    let once = args.iter().any(|a| a == "--once");
+    let interval = match flag_value(args, "--interval-ms") {
+        Some(v) => Duration::from_millis(v.parse().map_err(|_| "invalid --interval-ms")?),
+        None => Duration::from_millis(1000),
+    };
+    // Rates come from deltas between polls of the cumulative execution
+    // counter, keyed on the *server's* clock (icb_elapsed_seconds) so a
+    // slow scrape cannot distort them.
+    let mut last: Option<(f64, f64)> = None; // (elapsed, executions)
+    let mut rates: Vec<f64> = Vec::new();
+    let mut connected = false;
+    loop {
+        let body = match scrape(addr.as_str()) {
+            Ok(body) => body,
+            Err(e) if connected => {
+                println!("metrics endpoint gone ({e}); run finished?");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("cannot scrape {addr}: {e}")),
+        };
+        connected = true;
+        let parsed = parse_exposition(&body);
+        let elapsed = series_value(&parsed, "icb_elapsed_seconds").unwrap_or(0.0);
+        let executions = series_value(&parsed, "icb_executions_total").unwrap_or(0.0);
+        if let Some((prev_elapsed, prev_execs)) = last {
+            let dt = elapsed - prev_elapsed;
+            if dt > 0.0 {
+                rates.push((executions - prev_execs).max(0.0) / dt);
+                if rates.len() > 32 {
+                    rates.remove(0);
+                }
+            }
+        }
+        last = Some((elapsed, executions));
+        let frame = render_top_frame(&parsed, &rates);
+        if once {
+            print!("{frame}");
+            return Ok(());
+        }
+        // Clear + home, then the frame: a flicker-free refresh without
+        // pulling in a terminal library.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -692,4 +949,95 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     );
     println!("{}", model.disasm());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(series: &[(&str, f64)]) -> Vec<(String, f64)> {
+        series.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn top_frame_shows_bound_eta_and_workers() {
+        let parsed = page(&[
+            ("icb_info{strategy=\"icb\"}", 1.0),
+            ("icb_elapsed_seconds", 12.5),
+            ("icb_executions_total", 5000.0),
+            ("icb_distinct_states", 1200.0),
+            ("icb_bugs_reported_total", 0.0),
+            ("icb_current_bound", 2.0),
+            ("icb_bound_executions", 800.0),
+            ("icb_work_queue_depth", 40.0),
+            ("icb_work_items_deferred_total", 90.0),
+            ("icb_eta_seconds", 33.25),
+            ("icb_workers", 2.0),
+            ("icb_frontier_queue_depth", 7.0),
+            ("icb_frontier_pop_waits_total", 3.0),
+            ("icb_steal_donations_total", 1.0),
+            ("icb_pump_channel_depth", 2.0),
+            ("icb_worker_busy_seconds_total{worker=\"0\"}", 9.0),
+            ("icb_worker_idle_seconds_total{worker=\"0\"}", 3.0),
+            ("icb_worker_executions_total{worker=\"0\"}", 2600.0),
+            ("icb_worker_busy_seconds_total{worker=\"1\"}", 6.0),
+            ("icb_worker_idle_seconds_total{worker=\"1\"}", 6.0),
+            ("icb_worker_executions_total{worker=\"1\"}", 2400.0),
+        ]);
+        let frame = render_top_frame(&parsed, &[100.0, 200.0, 400.0]);
+        assert!(frame.contains("[icb]"), "{frame}");
+        assert!(frame.contains("5000 execs (400/s)"), "{frame}");
+        assert!(frame.contains("bound 2: 800 execs, queue 40"), "{frame}");
+        assert!(frame.contains("eta 33.2s"), "{frame}");
+        assert!(frame.contains("w0 [███████████████·····]  75%"), "{frame}");
+        assert!(frame.contains("w1 [██████████··········]  50%"), "{frame}");
+        assert!(frame.contains("throughput ▃▅█"), "{frame}");
+    }
+
+    #[test]
+    fn top_frame_degrades_to_a_single_line_for_a_bare_page() {
+        // Before the search reaches its first bound (or for a non-ICB
+        // strategy) most series are absent: the frame must still render.
+        let parsed = page(&[
+            ("icb_info{strategy=\"random\"}", 1.0),
+            ("icb_elapsed_seconds", 0.5),
+            ("icb_executions_total", 10.0),
+            ("icb_distinct_states", 4.0),
+            ("icb_workers", 1.0),
+        ]);
+        let frame = render_top_frame(&parsed, &[]);
+        assert!(frame.contains("[random]"), "{frame}");
+        // Rate falls back to cumulative executions over server elapsed.
+        assert!(frame.contains("(20/s)"), "{frame}");
+        assert_eq!(frame.lines().count(), 1, "{frame}");
+    }
+
+    #[test]
+    fn infinite_eta_is_labelled_not_printed_raw() {
+        let parsed = page(&[
+            ("icb_info{strategy=\"icb\"}", 1.0),
+            ("icb_elapsed_seconds", 1.0),
+            ("icb_executions_total", 50.0),
+            ("icb_current_bound", 4.0),
+            ("icb_eta_seconds", f64::INFINITY),
+        ]);
+        let frame = render_top_frame(&parsed, &[]);
+        assert!(frame.contains("beyond the Theorem-1 horizon"), "{frame}");
+        assert!(!frame.contains("inf"), "{frame}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_window_maximum() {
+        assert_eq!(sparkline(&[0.0, 50.0, 100.0]), "▁▅█");
+        assert_eq!(sparkline(&[]), "");
+        // An all-zero window stays flat instead of dividing by zero.
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    fn utilization_bar_clamps() {
+        assert_eq!(utilization_bar(0.0, 4), "[····]");
+        assert_eq!(utilization_bar(0.5, 4), "[██··]");
+        assert_eq!(utilization_bar(7.5, 4), "[████]");
+    }
 }

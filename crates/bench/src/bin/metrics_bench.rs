@@ -1,0 +1,128 @@
+//! `metrics_bench` — measures the overhead of the live metrics layer on
+//! the sequential hot path and writes `results/BENCH_metrics.json`.
+//!
+//! The same clean-Bluetooth bound-2 search the parallel benchmark uses
+//! (a finite ~3.1k-execution space) runs `--jobs 1` twice per
+//! iteration: bare, and with a [`MetricsRegistry`] mirrored through the
+//! bridge while a [`MetricsServer`] listens (unscraped — the budget is
+//! for the *instrumentation*, scrapes are the scraper's bill). Each
+//! variant takes the best of `ITERATIONS` runs, so transient machine
+//! noise does not masquerade as overhead. The budget is 3%: the
+//! registry is relaxed atomics end to end, so anything above that means
+//! a hot-path regression, not measurement jitter.
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin metrics_bench
+//! ```
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+use icb_core::search::{Search, SearchConfig, SearchReport};
+use icb_core::MetricsRegistry;
+use icb_telemetry::MetricsServer;
+use icb_workloads::registry::{all_benchmarks, AnyProgram};
+
+const BOUND: usize = 2;
+const ITERATIONS: usize = 5;
+const BUDGET_PCT: f64 = 3.0;
+
+fn bluetooth() -> AnyProgram {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Bluetooth")
+        .expect("Bluetooth benchmark");
+    (bench.correct)()
+}
+
+fn run_once(program: &AnyProgram, metrics: Option<Arc<MetricsRegistry>>) -> (SearchReport, f64) {
+    let start = Instant::now();
+    let mut search = Search::over(program)
+        .config(SearchConfig {
+            preemption_bound: Some(BOUND),
+            ..SearchConfig::default()
+        })
+        .jobs(1);
+    if let Some(registry) = metrics {
+        search = search.metrics(registry);
+    }
+    let report = search.run().expect("search");
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let program = bluetooth();
+
+    let mut bare_best = f64::INFINITY;
+    let mut metered_best = f64::INFINITY;
+    let mut bare_execs = 0;
+    let mut metered_execs = 0;
+    for _ in 0..ITERATIONS {
+        let (report, secs) = run_once(&program, None);
+        bare_best = bare_best.min(secs);
+        bare_execs = report.executions;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).expect("metrics server");
+        let (report, secs) = run_once(&program, Some(Arc::clone(&registry)));
+        server.shutdown();
+        metered_best = metered_best.min(secs);
+        metered_execs = report.executions;
+        assert_eq!(
+            registry.executions(),
+            report.executions as u64,
+            "served counter diverged from the report"
+        );
+    }
+
+    // The overhead is only meaningful if both variants did the same work.
+    assert_eq!(bare_execs, metered_execs);
+
+    let overhead_pct = 100.0 * (metered_best - bare_best) / bare_best;
+    let within_budget = overhead_pct <= BUDGET_PCT;
+    println!("bluetooth bound {BOUND}, jobs 1, best of {ITERATIONS}:");
+    println!("  bare:    {bare_best:.3}s ({bare_execs} executions)");
+    println!("  metered: {metered_best:.3}s (registry + idle /metrics listener)");
+    println!(
+        "  overhead: {overhead_pct:+.2}% (budget {BUDGET_PCT}%) — {}",
+        if within_budget { "ok" } else { "OVER BUDGET" }
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"metrics_overhead\",\n",
+            "  \"workload\": \"Bluetooth (correct)\",\n",
+            "  \"preemption_bound\": {bound},\n",
+            "  \"jobs\": 1,\n",
+            "  \"iterations\": {iters},\n",
+            "  \"executions\": {execs},\n",
+            "  \"bare\": {{ \"seconds\": {bare:.3} }},\n",
+            "  \"metered\": {{ \"seconds\": {metered:.3} }},\n",
+            "  \"overhead_pct\": {overhead:.2},\n",
+            "  \"budget_pct\": {budget:.1},\n",
+            "  \"within_budget\": {within},\n",
+            "  \"executions_match\": true\n",
+            "}}\n"
+        ),
+        bound = BOUND,
+        iters = ITERATIONS,
+        execs = bare_execs,
+        bare = bare_best,
+        metered = metered_best,
+        overhead = overhead_pct,
+        budget = BUDGET_PCT,
+        within = within_budget,
+    );
+    let path = "results/BENCH_metrics.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

@@ -208,6 +208,10 @@ impl ExplorationCache for CacheStore {
             .cloned()
     }
 
+    fn attach_metrics(&self, registry: &std::sync::Arc<icb_core::MetricsRegistry>) {
+        self.table.attach_metrics(std::sync::Arc::clone(registry));
+    }
+
     fn certify(&self, certification: Certification) {
         {
             let mut certs = self.certs.lock().unwrap();

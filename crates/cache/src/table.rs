@@ -11,10 +11,10 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use icb_core::hash::mix64;
-use icb_core::Tid;
+use icb_core::{MetricsRegistry, Tid};
 
 /// Number of independent locks. 64 comfortably exceeds the worker
 /// counts the parallel driver spawns.
@@ -26,6 +26,9 @@ pub struct FingerprintTable {
     shards: Vec<RwLock<HashMap<u64, u32>>>,
     probes: AtomicU64,
     hits: AtomicU64,
+    /// Live per-shard probe/hit mirroring, when a run attaches a
+    /// registry ([`attach_metrics`](FingerprintTable::attach_metrics)).
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl std::fmt::Debug for FingerprintTable {
@@ -44,6 +47,7 @@ impl Default for FingerprintTable {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             probes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         }
     }
 }
@@ -61,6 +65,13 @@ impl FingerprintTable {
         FingerprintTable::default()
     }
 
+    /// Attaches a live metrics registry: every subsequent probe also
+    /// bumps the registry's per-shard probe/hit counters. First
+    /// attachment wins; later calls are ignored.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(registry);
+    }
+
     /// Atomically tests-and-records: returns `true` (covered — prune)
     /// when an entry for `(state, choice)` already holds at least
     /// `credit`; otherwise records `credit` and returns `false`. Of N
@@ -69,32 +80,39 @@ impl FingerprintTable {
     pub fn probe(&self, state: u64, choice: Tid, credit: u32) -> bool {
         self.probes.fetch_add(1, Ordering::Relaxed);
         let key = table_key(state, choice);
-        let shard = &self.shards[(key as usize) % SHARDS];
-        {
-            // Fast path: most probes on a warm table are pure reads.
-            let map = shard.read().expect("table shard poisoned");
-            if map.get(&key).is_some_and(|&have| have >= credit) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return true;
+        let index = (key as usize) % SHARDS;
+        let shard = &self.shards[index];
+        let covered = 'probe: {
+            {
+                // Fast path: most probes on a warm table are pure reads.
+                let map = shard.read().expect("table shard poisoned");
+                if map.get(&key).is_some_and(|&have| have >= credit) {
+                    break 'probe true;
+                }
             }
-        }
-        let mut map = shard.write().expect("table shard poisoned");
-        match map.entry(key) {
-            Entry::Occupied(mut e) => {
-                if *e.get() >= credit {
-                    drop(map);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    true
-                } else {
-                    *e.get_mut() = credit;
+            let mut map = shard.write().expect("table shard poisoned");
+            match map.entry(key) {
+                Entry::Occupied(mut e) => {
+                    if *e.get() >= credit {
+                        true
+                    } else {
+                        *e.get_mut() = credit;
+                        false
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert(credit);
                     false
                 }
             }
-            Entry::Vacant(v) => {
-                v.insert(credit);
-                false
-            }
+        };
+        if covered {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(m) = self.metrics.get() {
+            m.cache_table_probe(index, covered);
+        }
+        covered
     }
 
     /// Inserts a pre-keyed entry (segment load), keeping the larger

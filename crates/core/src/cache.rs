@@ -35,6 +35,9 @@
 //! more remaining preemptions strictly subsumes one explored with fewer
 //! (the monotonicity behind the paper's Theorem 1).
 
+use std::sync::Arc;
+
+use crate::metrics::MetricsRegistry;
 use crate::tid::Tid;
 
 /// Sentinel credit: the subtree was (or will be) explored with an
@@ -141,6 +144,13 @@ pub trait ExplorationCache: Sync {
     /// extending the ledger. Implementations decide persistence timing.
     fn certify(&self, certification: Certification) {
         let _ = certification;
+    }
+
+    /// Attaches a live metrics registry. Implementations that track
+    /// probe traffic (the sharded fingerprint table) report per-shard
+    /// probe/hit counts through it; the default ignores the registry.
+    fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
+        let _ = registry;
     }
 }
 

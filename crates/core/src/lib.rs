@@ -92,6 +92,7 @@ pub mod bounds;
 pub mod cache;
 pub mod coverage;
 pub mod hash;
+pub mod metrics;
 pub mod program;
 pub mod render;
 pub mod replay;
@@ -105,6 +106,7 @@ pub mod trace;
 
 pub use cache::{Certification, ExplorationCache, NoopCache};
 pub use coverage::{CoverageTracker, NullSink, StateSink};
+pub use metrics::{MetricsBridge, MetricsRegistry, MetricsSnapshot, WorkerStats};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
 pub use search::{Search, SearchError, Strategy};

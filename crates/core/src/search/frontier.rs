@@ -22,7 +22,9 @@
 //! frontiers.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::metrics::MetricsRegistry;
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -43,6 +45,9 @@ struct Inner<T> {
 pub struct Frontier<T> {
     inner: Mutex<Inner<T>>,
     cv: Condvar,
+    /// Live counters ([`with_metrics`](Frontier::with_metrics)): queue
+    /// depth, lock acquisitions, blocked pops and donation volume.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<T> std::fmt::Debug for Frontier<T> {
@@ -61,15 +66,38 @@ impl<T> std::fmt::Debug for Frontier<T> {
 impl<T> Frontier<T> {
     /// Creates a frontier seeded with `items`.
     pub fn new(items: impl IntoIterator<Item = T>) -> Self {
+        Frontier::with_metrics(items, None)
+    }
+
+    /// Like [`new`](Frontier::new), but every operation additionally
+    /// updates `metrics`: the queue-depth gauge, the mutex-acquisition
+    /// counter (the lock is the known contention point of the parallel
+    /// drivers) and the blocked-`pop` counter.
+    pub fn with_metrics(
+        items: impl IntoIterator<Item = T>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        let queue: VecDeque<T> = items.into_iter().collect();
+        if let Some(m) = &metrics {
+            m.set_frontier_len(queue.len());
+        }
         Frontier {
             inner: Mutex::new(Inner {
-                queue: items.into_iter().collect(),
+                queue,
                 checked_out: 0,
                 waiters: 0,
                 closed: false,
                 paused: false,
             }),
             cv: Condvar::new(),
+            metrics,
+        }
+    }
+
+    /// Counts one mutex acquisition (call right after locking).
+    fn note_lock(&self) {
+        if let Some(m) = &self.metrics {
+            m.frontier_lock_op();
         }
     }
 
@@ -79,6 +107,8 @@ impl<T> Frontier<T> {
     /// exhausted or the frontier is closed.
     pub fn pop(&self) -> Option<T> {
         let mut g = self.inner.lock().unwrap();
+        self.note_lock();
+        let mut waited = false;
         loop {
             if g.closed {
                 return None;
@@ -86,6 +116,9 @@ impl<T> Frontier<T> {
             if !g.paused {
                 if let Some(item) = g.queue.pop_front() {
                     g.checked_out += 1;
+                    if let Some(m) = &self.metrics {
+                        m.set_frontier_len(g.queue.len());
+                    }
                     return Some(item);
                 }
                 if g.checked_out == 0 {
@@ -93,6 +126,12 @@ impl<T> Frontier<T> {
                     // waiters so they observe exhaustion too.
                     self.cv.notify_all();
                     return None;
+                }
+            }
+            if !waited {
+                waited = true;
+                if let Some(m) = &self.metrics {
+                    m.frontier_pop_wait();
                 }
             }
             g.waiters += 1;
@@ -106,7 +145,11 @@ impl<T> Frontier<T> {
     /// count — pair every `pop` with exactly one [`complete`](Frontier::complete).
     pub fn push_many(&self, items: impl IntoIterator<Item = T>) {
         let mut g = self.inner.lock().unwrap();
+        self.note_lock();
         g.queue.extend(items);
+        if let Some(m) = &self.metrics {
+            m.set_frontier_len(g.queue.len());
+        }
         drop(g);
         self.cv.notify_all();
     }
@@ -115,6 +158,7 @@ impl<T> Frontier<T> {
     /// [`push_many`](Frontier::push_many)).
     pub fn complete(&self) {
         let mut g = self.inner.lock().unwrap();
+        self.note_lock();
         g.checked_out = g.checked_out.saturating_sub(1);
         drop(g);
         self.cv.notify_all();
@@ -125,6 +169,7 @@ impl<T> Frontier<T> {
     /// and donate part of their subtree when it holds.
     pub fn starving(&self) -> bool {
         let g = self.inner.lock().unwrap();
+        self.note_lock();
         !g.paused && g.waiters > 0 && g.queue.is_empty()
     }
 
@@ -138,7 +183,9 @@ impl<T> Frontier<T> {
     /// Whether the frontier is paused (workers poll this at execution
     /// boundaries to return their items promptly).
     pub fn paused(&self) -> bool {
-        self.inner.lock().unwrap().paused
+        let g = self.inner.lock().unwrap();
+        self.note_lock();
+        g.paused
     }
 
     /// Resumes a paused frontier.

@@ -39,11 +39,12 @@ use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cache::{coverage_credit, ExplorationCache};
 use crate::coverage::{mix64, StateSink};
+use crate::metrics::MetricsRegistry;
 use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
 use crate::rng::SplitMix64;
 use crate::search::dfs::{Branch as DfsBranch, GatedSink};
@@ -71,6 +72,11 @@ struct ExecEvent {
     worker: usize,
     /// 1-based, contiguous per worker: the `worker_stamp` payload.
     seq: u64,
+    /// Wall-clock offset since the search began, stamped worker-side
+    /// when the execution finished. The pump replays events in arrival
+    /// order, so this is the only correct time base for
+    /// throughput-over-time series at `jobs > 1`.
+    at: Duration,
     /// Execution-count cost of this event (`executions_per_run`).
     cost: usize,
     stats: ExecStats,
@@ -179,11 +185,22 @@ struct Ledger<'o> {
     want_choice: bool,
     /// Cache accounting; `Some` only when a cache is attached.
     cache: Option<CacheSummary>,
+    /// Live registry mirror of pump-side quantities (channel depth,
+    /// recv-timeout stalls). Event-level mirroring is the bridge's job.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Events sent but not yet applied — the observer-pump backlog.
+    backlog: Arc<AtomicUsize>,
     observer: &'o mut dyn SearchObserver,
 }
 
 impl<'o> Ledger<'o> {
-    fn new(config: SearchConfig, observer: &'o mut dyn SearchObserver, track_queue: bool) -> Self {
+    fn new(
+        config: SearchConfig,
+        observer: &'o mut dyn SearchObserver,
+        track_queue: bool,
+        metrics: Option<Arc<MetricsRegistry>>,
+        backlog: Arc<AtomicUsize>,
+    ) -> Self {
         let want_choice = observer.wants_choice_points();
         Ledger {
             config,
@@ -206,7 +223,16 @@ impl<'o> Ledger<'o> {
             track_queue,
             want_choice,
             cache: None,
+            metrics,
+            backlog,
             observer,
+        }
+    }
+
+    /// Counts one pump `recv_timeout` expiry (an idle pump tick).
+    fn note_pump_stall(&self) {
+        if let Some(m) = &self.metrics {
+            m.pump_recv_timeout();
         }
     }
 
@@ -261,7 +287,14 @@ impl<'o> Ledger<'o> {
     /// per-execution event order the sequential drivers emit, prefixed
     /// with the worker stamp.
     fn apply(&mut self, ev: ExecEvent) {
-        self.observer.worker_stamp(ev.worker, ev.seq);
+        let backlog = self
+            .backlog
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        if let Some(m) = &self.metrics {
+            m.set_pump_channel_depth(backlog);
+        }
+        self.observer.worker_stamp(ev.worker, ev.seq, ev.at);
         self.observer.execution_started(self.executions + 1);
         for race in &ev.races {
             self.observer.race_detected(race);
@@ -518,6 +551,21 @@ struct WorkerEnv<'a> {
     budget: usize,
     want_choice: bool,
     want_phases: bool,
+    /// Shared time base for worker-side event stamps.
+    epoch: Instant,
+    /// Live registry for per-worker busy/idle/donation accounting.
+    metrics: Option<&'a MetricsRegistry>,
+    /// Events sent but not yet applied by the pump (channel depth).
+    backlog: &'a AtomicUsize,
+}
+
+impl WorkerEnv<'_> {
+    /// Stamps an event about to be sent: the channel-depth counter must
+    /// rise *before* the send so the pump's decrement never underflows.
+    fn stamp(&self) -> Duration {
+        self.backlog.fetch_add(1, Ordering::Relaxed);
+        self.epoch.elapsed()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -537,7 +585,14 @@ fn icb_worker(
     let cost = env.program.executions_per_run().max(1);
     let mut dedup = DedupSink::default();
     let cursor = Rc::new(Cell::new(0u64));
-    'items: while let Some((prefix, mut stack)) = frontier.pop() {
+    'items: loop {
+        let wait = Instant::now();
+        let Some((prefix, mut stack)) = frontier.pop() else {
+            break;
+        };
+        if let Some(m) = env.metrics {
+            m.worker_idle(worker, wait.elapsed());
+        }
         let mut first_run = stack.is_empty();
         loop {
             if env.stop.load(Ordering::SeqCst) {
@@ -571,6 +626,7 @@ fn icb_worker(
                 }),
             };
             let mut buf = BufObserver::new(env.want_phases);
+            let busy = Instant::now();
             let result = if let Some((cache, _)) = cache {
                 cursor.set(0);
                 let mut sink = CursorSink {
@@ -582,6 +638,10 @@ fn icb_worker(
             } else {
                 execute_recovering(env.program, &mut sched, &mut dedup, &mut buf)
             };
+            if let Some(m) = env.metrics {
+                m.worker_busy(worker, busy.elapsed());
+                m.worker_execution(worker);
+            }
             let ItemScheduler {
                 stack: run_stack,
                 path,
@@ -620,6 +680,7 @@ fn icb_worker(
                 // at every bound barrier, but a worker's stamps must stay
                 // contiguous across the whole search.
                 seq: seq.fetch_add(1, Ordering::Relaxed) + 1,
+                at: env.stamp(),
                 cost,
                 stats: result.stats,
                 bug_schedule: result.outcome.is_bug().then(|| result.trace.schedule()),
@@ -642,7 +703,12 @@ fn icb_worker(
                 continue 'items;
             }
             if frontier.paused() || frontier.starving() {
-                frontier.push_many(dissolve_icb(&path, &stack));
+                let donated = dissolve_icb(&path, &stack);
+                if let Some(m) = env.metrics {
+                    m.steal_donation(donated.len());
+                    m.worker_donation(worker);
+                }
+                frontier.push_many(donated);
                 frontier.complete();
                 continue 'items;
             }
@@ -742,7 +808,7 @@ fn run_icb_bound(
     seqs: &[AtomicU64],
     cache: Option<(&dyn ExplorationCache, Option<u32>)>,
 ) -> Vec<IcbItem> {
-    let frontier = Frontier::new(items);
+    let frontier = Frontier::with_metrics(items, ledger.metrics.clone());
     let (tx, rx) = mpsc::channel::<ExecEvent>();
     std::thread::scope(|s| {
         for (worker, seq) in seqs.iter().enumerate().take(jobs) {
@@ -754,7 +820,7 @@ fn run_icb_bound(
         loop {
             match rx.recv_timeout(PUMP_TICK) {
                 Ok(ev) => ledger.apply(ev),
-                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Timeout) => ledger.note_pump_stall(),
                 Err(RecvTimeoutError::Disconnected) => break,
             }
             if ledger.stop {
@@ -791,6 +857,7 @@ fn run_icb_bound(
 /// The parallel ICB driver: shards each bound's work queue across `jobs`
 /// workers with a per-bound barrier, preserving the minimal-preemption
 /// bug guarantee.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel_icb(
     program: &(dyn ControlledProgram + Sync),
     config: &SearchConfig,
@@ -799,11 +866,22 @@ pub(crate) fn run_parallel_icb(
     mut ckpt: Option<&mut Checkpointer>,
     resume: Option<(ResumeBase, IcbState)>,
     cache: Option<CacheBinding<'_>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> SearchReport {
     observer.search_started("icb");
+    if let Some(m) = &metrics {
+        m.set_workers(jobs);
+    }
     let want_choice = observer.wants_choice_points();
     let want_phases = observer.wants_phase_timing();
-    let mut ledger = Ledger::new(config.clone(), observer, true);
+    let backlog = Arc::new(AtomicUsize::new(0));
+    let mut ledger = Ledger::new(
+        config.clone(),
+        observer,
+        true,
+        metrics.clone(),
+        Arc::clone(&backlog),
+    );
     let budget = config.max_executions.unwrap_or(usize::MAX);
     if let Some(binding) = &cache {
         ledger.cache = Some(CacheSummary {
@@ -868,6 +946,9 @@ pub(crate) fn run_parallel_icb(
         budget,
         want_choice,
         want_phases,
+        epoch: Instant::now(),
+        metrics: metrics.as_deref(),
+        backlog: &backlog,
     };
 
     let mut completed = false;
@@ -1026,7 +1107,14 @@ fn dfs_worker(
     let cost = env.program.executions_per_run().max(1);
     let mut seq: u64 = 0;
     let mut dedup = DedupSink::default();
-    'items: while let Some((prefix, mut stack)) = frontier.pop() {
+    'items: loop {
+        let wait = Instant::now();
+        let Some((prefix, mut stack)) = frontier.pop() else {
+            break;
+        };
+        if let Some(m) = env.metrics {
+            m.worker_idle(worker, wait.elapsed());
+        }
         loop {
             if env.stop.load(Ordering::SeqCst) {
                 frontier.complete();
@@ -1049,7 +1137,12 @@ fn dfs_worker(
                 inner: &mut dedup,
                 remaining: bound,
             };
+            let busy = Instant::now();
             let result = execute_recovering(env.program, &mut sched, &mut sink, &mut buf);
+            if let Some(m) = env.metrics {
+                m.worker_busy(worker, busy.elapsed());
+                m.worker_execution(worker);
+            }
             let path = std::mem::take(&mut sched.path);
             stack = sched.stack;
 
@@ -1086,6 +1179,7 @@ fn dfs_worker(
                     seq += 1;
                     seq
                 },
+                at: env.stamp(),
                 cost,
                 stats: effective.stats,
                 bug_schedule: effective
@@ -1111,7 +1205,12 @@ fn dfs_worker(
                 continue 'items;
             }
             if frontier.paused() || frontier.starving() {
-                frontier.push_many(dissolve_dfs(prefix.len(), &path, &stack));
+                let donated = dissolve_dfs(prefix.len(), &path, &stack);
+                if let Some(m) = env.metrics {
+                    m.steal_donation(donated.len());
+                    m.worker_donation(worker);
+                }
+                frontier.push_many(donated);
                 frontier.complete();
                 continue 'items;
             }
@@ -1160,6 +1259,7 @@ fn write_dfs_checkpoint(
 
 /// The parallel DFS driver (`dfs` / `db:N`): shards subtree prefixes
 /// across `jobs` workers.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel_dfs(
     program: &(dyn ControlledProgram + Sync),
     config: &SearchConfig,
@@ -1168,15 +1268,26 @@ pub(crate) fn run_parallel_dfs(
     observer: &mut dyn SearchObserver,
     mut ckpt: Option<&mut Checkpointer>,
     resume: Option<(ResumeBase, Vec<DfsItem>)>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> SearchReport {
     let label = match depth_bound {
         Some(b) => format!("db:{b}"),
         None => "dfs".to_string(),
     };
     observer.search_started(&label);
+    if let Some(m) = &metrics {
+        m.set_workers(jobs);
+    }
     let want_choice = observer.wants_choice_points();
     let want_phases = observer.wants_phase_timing();
-    let mut ledger = Ledger::new(config.clone(), observer, false);
+    let backlog = Arc::new(AtomicUsize::new(0));
+    let mut ledger = Ledger::new(
+        config.clone(),
+        observer,
+        false,
+        metrics.clone(),
+        Arc::clone(&backlog),
+    );
     let budget = config.max_executions.unwrap_or(usize::MAX);
 
     let items = match resume {
@@ -1202,9 +1313,15 @@ pub(crate) fn run_parallel_dfs(
         budget,
         want_choice,
         want_phases,
+        epoch: Instant::now(),
+        metrics: metrics.as_deref(),
+        backlog: &backlog,
     };
 
-    let frontier = Frontier::new(if ledger.stop { Vec::new() } else { items });
+    let frontier = Frontier::with_metrics(
+        if ledger.stop { Vec::new() } else { items },
+        metrics.clone(),
+    );
     let (tx, rx) = mpsc::channel::<ExecEvent>();
     std::thread::scope(|s| {
         for worker in 0..jobs {
@@ -1217,7 +1334,7 @@ pub(crate) fn run_parallel_dfs(
         loop {
             match rx.recv_timeout(PUMP_TICK) {
                 Ok(ev) => ledger.apply(ev),
-                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Timeout) => ledger.note_pump_stall(),
                 Err(RecvTimeoutError::Disconnected) => break,
             }
             if ledger.stop {
@@ -1401,7 +1518,14 @@ fn random_worker(
     let cost = env.program.executions_per_run().max(1);
     let mut seq: u64 = 0;
     let mut dedup = DedupSink::default();
-    while let Some(index) = claimer.claim(cost as u64) {
+    loop {
+        let wait = Instant::now();
+        let Some(index) = claimer.claim(cost as u64) else {
+            break;
+        };
+        if let Some(m) = env.metrics {
+            m.worker_idle(worker, wait.elapsed());
+        }
         if env.stop.load(Ordering::SeqCst) {
             claimer.finish_one();
             return;
@@ -1409,13 +1533,19 @@ fn random_worker(
         let mut rng = walk_rng(seed, index);
         let mut sched = WalkScheduler { rng: &mut rng };
         let mut buf = BufObserver::new(env.want_phases);
+        let busy = Instant::now();
         let result = execute_recovering(env.program, &mut sched, &mut dedup, &mut buf);
+        if let Some(m) = env.metrics {
+            m.worker_busy(worker, busy.elapsed());
+            m.worker_execution(worker);
+        }
         let _ = tx.send(ExecEvent {
             worker,
             seq: {
                 seq += 1;
                 seq
             },
+            at: env.stamp(),
             cost,
             stats: result.stats,
             bug_schedule: result.outcome.is_bug().then(|| result.trace.schedule()),
@@ -1465,6 +1595,7 @@ fn write_random_checkpoint(
 /// seed-derived RNG stream, so results are identical at any worker count
 /// (but deliberately differ from the sequential single-stream walk —
 /// the two samplings are equally uniform and are not interchangeable).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_parallel_random(
     program: &(dyn ControlledProgram + Sync),
     config: &SearchConfig,
@@ -1473,11 +1604,22 @@ pub(crate) fn run_parallel_random(
     observer: &mut dyn SearchObserver,
     mut ckpt: Option<&mut Checkpointer>,
     resume: Option<(ResumeBase, ParallelRandomState)>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> SearchReport {
     observer.search_started("random");
+    if let Some(m) = &metrics {
+        m.set_workers(jobs);
+    }
     let want_choice = observer.wants_choice_points();
     let want_phases = observer.wants_phase_timing();
-    let mut ledger = Ledger::new(config.clone(), observer, false);
+    let backlog = Arc::new(AtomicUsize::new(0));
+    let mut ledger = Ledger::new(
+        config.clone(),
+        observer,
+        false,
+        metrics.clone(),
+        Arc::clone(&backlog),
+    );
     let budget = config
         .max_executions
         .expect("parallel random search requires an execution budget");
@@ -1505,6 +1647,9 @@ pub(crate) fn run_parallel_random(
         budget: usize::MAX,
         want_choice,
         want_phases,
+        epoch: Instant::now(),
+        metrics: metrics.as_deref(),
+        backlog: &backlog,
     };
 
     let claimer = IndexClaimer::new(
@@ -1527,7 +1672,7 @@ pub(crate) fn run_parallel_random(
         loop {
             match rx.recv_timeout(PUMP_TICK) {
                 Ok(ev) => ledger.apply(ev),
-                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Timeout) => ledger.note_pump_stall(),
                 Err(RecvTimeoutError::Disconnected) => break,
             }
             if ledger.stop {

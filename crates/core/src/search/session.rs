@@ -33,9 +33,11 @@
 //!   which is a different (equally uniform) sampling than the
 //!   sequential single stream.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::{Certification, ExplorationCache};
+use crate::metrics::{MetricsBridge, MetricsRegistry};
 use crate::program::ControlledProgram;
 use crate::search::bestfirst::BestFirstSearch;
 use crate::search::dfs::{Branch as DfsBranch, DfsSearch, IterativeDeepeningSearch};
@@ -246,6 +248,7 @@ pub struct Search<'a> {
     resume: Option<SearchSnapshot>,
     cache: Option<&'a dyn ExplorationCache>,
     cache_heuristic: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl std::fmt::Debug for Search<'_> {
@@ -258,6 +261,7 @@ impl std::fmt::Debug for Search<'_> {
             .field("checkpointed", &self.checkpoint.is_some())
             .field("resuming", &self.resume.is_some())
             .field("cached", &self.cache.is_some())
+            .field("metered", &self.metrics.is_some())
             .finish()
     }
 }
@@ -280,6 +284,7 @@ impl<'a> Search<'a> {
             resume: None,
             cache: None,
             cache_heuristic: false,
+            metrics: None,
         }
     }
 
@@ -362,6 +367,19 @@ impl<'a> Search<'a> {
         self
     }
 
+    /// Attaches a live [`MetricsRegistry`]: the session wraps its
+    /// observer in a [`MetricsBridge`] (mirroring the event stream into
+    /// the registry and emitting periodic `metrics_snapshot` events),
+    /// threads the registry into the parallel drivers' workers, pump
+    /// and [`Frontier`](crate::search::Frontier), and attaches it to
+    /// the exploration cache. Any thread holding a clone of the `Arc` —
+    /// a scrape endpoint, a status board — can read the counters while
+    /// the search runs.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Validates the session and runs it to completion, returning the
     /// merged report.
     ///
@@ -378,6 +396,7 @@ impl<'a> Search<'a> {
             resume,
             cache,
             cache_heuristic,
+            metrics,
         } = self;
         if jobs == 0 {
             return Err(SearchError::ZeroJobs);
@@ -418,6 +437,22 @@ impl<'a> Search<'a> {
         let observer: &mut dyn SearchObserver = match observer {
             Some(o) => o,
             None => &mut noop,
+        };
+        // A registry watches through a bridge so every driver —
+        // sequential or parallel — feeds it from the event stream; the
+        // parallel drivers additionally receive the registry itself for
+        // the worker, frontier and pump counters no event carries.
+        let mut bridge;
+        let observer: &mut dyn SearchObserver = match &metrics {
+            Some(registry) => {
+                registry.set_workers(jobs);
+                if let Some(binding) = &binding {
+                    binding.cache.attach_metrics(registry);
+                }
+                bridge = MetricsBridge::new(Arc::clone(registry), observer);
+                &mut bridge
+            }
+            None => observer,
         };
 
         // Certification fast path: a previous clean run already proved
@@ -460,7 +495,7 @@ impl<'a> Search<'a> {
 
         if let Some(snapshot) = resume {
             let cert_target = snapshot.config.preemption_bound;
-            let report = run_resumed(program, jobs, snapshot, observer, ckpt, binding)?;
+            let report = run_resumed(program, jobs, snapshot, observer, ckpt, binding, metrics)?;
             if let Some(binding) = &binding {
                 maybe_certify(binding, cert_target, &report);
             }
@@ -473,7 +508,16 @@ impl<'a> Search<'a> {
                 Strategy::Icb => Ok(if jobs == 1 {
                     IcbSearch::new(config).drive(program, observer, ckpt, None, binding)
                 } else {
-                    run_parallel_icb(program, &config, jobs, observer, ckpt, None, binding)
+                    run_parallel_icb(
+                        program,
+                        &config,
+                        jobs,
+                        observer,
+                        ckpt,
+                        None,
+                        binding,
+                        metrics.clone(),
+                    )
                 }),
                 Strategy::Dfs | Strategy::DepthBounded(_) => {
                     let depth = match strategy {
@@ -487,7 +531,16 @@ impl<'a> Search<'a> {
                         };
                         search.drive(program, observer, ckpt, Vec::new(), None, binding)
                     } else {
-                        run_parallel_dfs(program, &config, jobs, depth, observer, ckpt, None)
+                        run_parallel_dfs(
+                            program,
+                            &config,
+                            jobs,
+                            depth,
+                            observer,
+                            ckpt,
+                            None,
+                            metrics.clone(),
+                        )
                     })
                 }
                 Strategy::Random { seed } => {
@@ -497,7 +550,16 @@ impl<'a> Search<'a> {
                     Ok(if jobs == 1 {
                         RandomSearch::new(config, seed).drive(program, observer, ckpt, None)
                     } else {
-                        run_parallel_random(program, &config, jobs, seed, observer, ckpt, None)
+                        run_parallel_random(
+                            program,
+                            &config,
+                            jobs,
+                            seed,
+                            observer,
+                            ckpt,
+                            None,
+                            metrics.clone(),
+                        )
                     })
                 }
                 Strategy::IterativeDeepening { start, step, max } => {
@@ -605,6 +667,7 @@ fn run_resumed(
     observer: &mut dyn SearchObserver,
     ckpt: Option<&mut Checkpointer>,
     cache: Option<CacheBinding<'_>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> Result<SearchReport, SearchError> {
     let config = snapshot.config;
     let base = snapshot.base;
@@ -640,6 +703,7 @@ fn run_resumed(
                     ckpt,
                     Some((base, state)),
                     cache,
+                    metrics,
                 )
             })
         }
@@ -665,6 +729,7 @@ fn run_resumed(
                     observer,
                     ckpt,
                     Some((base, items)),
+                    metrics,
                 )
             })
         }
@@ -703,6 +768,7 @@ fn run_resumed(
                 observer,
                 ckpt,
                 Some((base, items)),
+                metrics,
             ))
         }
         StrategyState::ParallelRandom(state) => {
@@ -717,6 +783,7 @@ fn run_resumed(
                 observer,
                 ckpt,
                 Some((base, state)),
+                metrics,
             ))
         }
     }

@@ -23,6 +23,7 @@
 
 use std::time::Duration;
 
+use crate::metrics::MetricsSnapshot;
 use crate::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
 use crate::trace::{ExecStats, ExecutionOutcome};
 
@@ -296,11 +297,15 @@ pub trait SearchObserver {
     /// execution: everything from the next `execution_started` through
     /// its `execution_finished` was produced by worker `worker`, where it
     /// was that worker's `seq`-th execution (1-based, contiguous per
-    /// worker). Sequential searches (`jobs = 1`) never emit this, which
-    /// keeps their event streams byte-identical to previous releases;
-    /// sinks that persist it can prove a merged parallel log lost or
+    /// worker), finishing `at` after the parallel search began (stamped
+    /// on the worker thread when the execution completed, *not* when the
+    /// pump replayed it — arrival order is the only ordering the pump
+    /// guarantees, so throughput-over-time series must use this stamp).
+    /// Sequential searches (`jobs = 1`) never emit this, which keeps
+    /// their event streams byte-identical to previous releases; sinks
+    /// that persist it can prove a merged parallel log lost or
     /// duplicated nothing by checking per-worker contiguity.
-    fn worker_stamp(&mut self, worker: usize, seq: u64) {}
+    fn worker_stamp(&mut self, worker: usize, seq: u64, at: Duration) {}
 
     /// Opt-in gate for the per-step [`choice_point`] /
     /// [`preemption_taken`] events. Strategies batch these like
@@ -374,6 +379,17 @@ pub trait SearchObserver {
     /// (`None` = certified exhaustively). No executions will run.
     fn bound_certified(&mut self, bound: Option<usize>) {}
 
+    /// A point-in-time copy of the live [`MetricsRegistry`] attached to
+    /// the search. Emitted by the [`MetricsBridge`] at checkpoint
+    /// cadence, after each completed bound, and once right before
+    /// `search_finished` — only when a registry is attached, so searches
+    /// without one keep their event streams byte-identical to previous
+    /// releases.
+    ///
+    /// [`MetricsRegistry`]: crate::metrics::MetricsRegistry
+    /// [`MetricsBridge`]: crate::metrics::MetricsBridge
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {}
+
     /// The search is over; `report` is the final report about to be
     /// returned to the caller.
     fn search_finished(&mut self, report: &SearchReport) {}
@@ -419,8 +435,8 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     fn race_detected(&mut self, description: &str) {
         (**self).race_detected(description)
     }
-    fn worker_stamp(&mut self, worker: usize, seq: u64) {
-        (**self).worker_stamp(worker, seq)
+    fn worker_stamp(&mut self, worker: usize, seq: u64, at: Duration) {
+        (**self).worker_stamp(worker, seq, at)
     }
     fn wants_choice_points(&self) -> bool {
         (**self).wants_choice_points()
@@ -457,6 +473,9 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     }
     fn bound_certified(&mut self, bound: Option<usize>) {
         (**self).bound_certified(bound)
+    }
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        (**self).metrics_snapshot(snapshot)
     }
     fn search_finished(&mut self, report: &SearchReport) {
         (**self).search_finished(report)

@@ -193,7 +193,7 @@ struct StampAudit {
 }
 
 impl SearchObserver for StampAudit {
-    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+    fn worker_stamp(&mut self, worker: usize, seq: u64, _at: std::time::Duration) {
         self.stamps.push((worker, seq));
     }
     fn execution_started(&mut self, _index: usize) {

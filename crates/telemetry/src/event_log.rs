@@ -4,7 +4,9 @@ use std::time::Duration;
 
 use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
 use icb_core::telemetry::{AbortReason, ResumeInfo};
-use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
+use icb_core::{
+    ChoiceKind, ExecStats, ExecutionOutcome, MetricsSnapshot, Phase, SearchObserver, SiteId,
+};
 
 /// One recorded search event (an owned mirror of the
 /// [`SearchObserver`] hook arguments).
@@ -116,6 +118,11 @@ pub enum Event {
         /// The certified preemption bound (`None` = exhaustive).
         bound: Option<usize>,
     },
+    /// `metrics_snapshot(snapshot)`.
+    MetricsSnapshot {
+        /// The registry's counters at the snapshot instant.
+        snapshot: MetricsSnapshot,
+    },
     /// `search_aborted(reason)`.
     SearchAborted {
         /// Why the search stopped early.
@@ -151,6 +158,7 @@ impl Event {
             Event::CacheHit { .. } => "cache-hit",
             Event::CacheStore { .. } => "cache-store",
             Event::BoundCertified { .. } => "bound-certified",
+            Event::MetricsSnapshot { .. } => "metrics-snapshot",
             Event::SearchAborted { .. } => "search-aborted",
             Event::SearchFinished { .. } => "search-finished",
         }
@@ -283,6 +291,12 @@ impl SearchObserver for EventLog {
 
     fn bound_certified(&mut self, bound: Option<usize>) {
         self.events.push(Event::BoundCertified { bound });
+    }
+
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        self.events.push(Event::MetricsSnapshot {
+            snapshot: snapshot.clone(),
+        });
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {

@@ -1,0 +1,549 @@
+//! Prometheus text-exposition rendering of a [`MetricsRegistry`].
+//!
+//! The output follows the text exposition format version 0.0.4 — `# HELP`
+//! / `# TYPE` comment pairs followed by one sample per line — which every
+//! Prometheus-compatible scraper (and `explore top`) understands. The
+//! renderer is dependency-free: it is a deterministic string builder over
+//! a registry snapshot, so a golden test can pin the exact page layout.
+//!
+//! Conventions:
+//!
+//! * every series is prefixed `icb_`;
+//! * cumulative counters end in `_total`, instantaneous values are
+//!   gauges;
+//! * per-worker and per-shard series carry `worker="N"` / `shard="N"`
+//!   labels and are emitted only for configured workers / touched
+//!   shards, keeping the page small at high shard counts;
+//! * the step histogram uses bit-length buckets (`le` = `2^i - 1`),
+//!   matching the registry's lock-free fixed-bucket layout.
+
+use icb_core::metrics::STEP_BUCKETS;
+use icb_core::MetricsRegistry;
+
+use std::fmt::Write as _;
+
+/// Renders the registry as a Prometheus text-exposition (0.0.4) page.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let snap = registry.snapshot();
+    let strategy = registry.strategy();
+    let mut out = String::with_capacity(4096);
+
+    let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+    };
+
+    header(
+        &mut out,
+        "icb_info",
+        "gauge",
+        "Constant 1; the strategy label rides on the series.",
+    );
+    let _ = writeln!(
+        &mut out,
+        "icb_info{{strategy=\"{}\"}} 1",
+        strategy.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+
+    let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+        header(out, name, "gauge", help);
+        let _ = writeln!(out, "{name} {value}");
+    };
+    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+        header(out, name, "counter", help);
+        let _ = writeln!(out, "{name} {value}");
+    };
+
+    header(
+        &mut out,
+        "icb_elapsed_seconds",
+        "gauge",
+        "Wall-clock seconds since the search started.",
+    );
+    let _ = writeln!(
+        &mut out,
+        "icb_elapsed_seconds {:.6}",
+        snap.elapsed.as_secs_f64()
+    );
+
+    counter(
+        &mut out,
+        "icb_executions_total",
+        "Executions performed (cumulative, including resumed segments).",
+        snap.executions,
+    );
+    counter(
+        &mut out,
+        "icb_buggy_executions_total",
+        "Executions that ended in a bug outcome.",
+        snap.buggy_executions,
+    );
+    counter(
+        &mut out,
+        "icb_bugs_reported_total",
+        "Distinct bugs reported.",
+        snap.bugs_reported,
+    );
+    counter(
+        &mut out,
+        "icb_races_detected_total",
+        "Data races flagged by the race detector.",
+        snap.races_detected,
+    );
+    gauge(
+        &mut out,
+        "icb_distinct_states",
+        "Distinct program states visited (the paper's coverage metric).",
+        snap.distinct_states,
+    );
+    if let Some(bound) = snap.bound {
+        gauge(
+            &mut out,
+            "icb_current_bound",
+            "Active preemption bound of the ICB driver.",
+            bound,
+        );
+    }
+    gauge(
+        &mut out,
+        "icb_bound_executions",
+        "Executions performed inside the active bound.",
+        snap.bound_executions,
+    );
+    gauge(
+        &mut out,
+        "icb_work_queue_depth",
+        "Work items deferred to the next preemption bound.",
+        snap.work_queue_depth,
+    );
+    counter(
+        &mut out,
+        "icb_work_items_deferred_total",
+        "Work items ever deferred to a later bound.",
+        snap.work_items_deferred,
+    );
+    gauge(
+        &mut out,
+        "icb_frontier_queue_depth",
+        "Items queued in the shared parallel frontier.",
+        snap.frontier_len,
+    );
+    counter(
+        &mut out,
+        "icb_frontier_pop_waits_total",
+        "Frontier pops that blocked waiting for work.",
+        snap.frontier_pop_waits,
+    );
+    counter(
+        &mut out,
+        "icb_frontier_lock_ops_total",
+        "Frontier mutex acquisitions (the parallel drivers' known contention point).",
+        snap.frontier_lock_ops,
+    );
+    counter(
+        &mut out,
+        "icb_steal_donations_total",
+        "Work-stealing donations (a busy worker splitting its subtree).",
+        snap.steal_donations,
+    );
+    counter(
+        &mut out,
+        "icb_steal_donated_items_total",
+        "Work items moved by donations.",
+        snap.steal_donated_items,
+    );
+    counter(
+        &mut out,
+        "icb_pump_recv_timeouts_total",
+        "Event-pump receive timeouts (pump idle ticks).",
+        snap.pump_recv_timeouts,
+    );
+    gauge(
+        &mut out,
+        "icb_pump_channel_depth",
+        "Events queued between the workers and the observer pump.",
+        snap.pump_channel_depth,
+    );
+    counter(
+        &mut out,
+        "icb_checkpoints_written_total",
+        "Durable checkpoints written.",
+        snap.checkpoints,
+    );
+    counter(
+        &mut out,
+        "icb_quarantined_total",
+        "Traces quarantined after replay divergence.",
+        snap.quarantined,
+    );
+    counter(
+        &mut out,
+        "icb_watchdog_trips_total",
+        "Executions killed by the watchdog.",
+        snap.watchdog_trips,
+    );
+    counter(
+        &mut out,
+        "icb_cache_hits_total",
+        "Work items pruned by the fingerprint cache.",
+        snap.cache_hits,
+    );
+    counter(
+        &mut out,
+        "icb_cache_stores_total",
+        "Subtree entries recorded in the fingerprint cache.",
+        snap.cache_stores,
+    );
+    counter(
+        &mut out,
+        "icb_cache_table_probes_total",
+        "Fingerprint-table probes.",
+        snap.cache_table_probes,
+    );
+    counter(
+        &mut out,
+        "icb_cache_table_hits_total",
+        "Fingerprint-table probes answered covered.",
+        snap.cache_table_hits,
+    );
+
+    let shards = registry.cache_shard_counters();
+    if shards.iter().any(|&(p, _)| p > 0) {
+        header(
+            &mut out,
+            "icb_cache_shard_probes_total",
+            "counter",
+            "Fingerprint-table probes per shard (touched shards only).",
+        );
+        for (i, &(probes, _)) in shards.iter().enumerate() {
+            if probes > 0 {
+                let _ = writeln!(
+                    &mut out,
+                    "icb_cache_shard_probes_total{{shard=\"{i}\"}} {probes}"
+                );
+            }
+        }
+        header(
+            &mut out,
+            "icb_cache_shard_hits_total",
+            "counter",
+            "Fingerprint-table hits per shard (touched shards only).",
+        );
+        for (i, &(probes, hits)) in shards.iter().enumerate() {
+            if probes > 0 {
+                let _ = writeln!(
+                    &mut out,
+                    "icb_cache_shard_hits_total{{shard=\"{i}\"}} {hits}"
+                );
+            }
+        }
+    }
+
+    gauge(
+        &mut out,
+        "icb_workers",
+        "Configured worker count.",
+        snap.workers_configured.max(1),
+    );
+
+    header(
+        &mut out,
+        "icb_worker_busy_seconds_total",
+        "counter",
+        "Seconds each worker spent executing schedules.",
+    );
+    for (i, w) in snap.workers.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "icb_worker_busy_seconds_total{{worker=\"{i}\"}} {:.6}",
+            w.busy_ns as f64 / 1e9
+        );
+    }
+    header(
+        &mut out,
+        "icb_worker_idle_seconds_total",
+        "counter",
+        "Seconds each worker spent waiting for work.",
+    );
+    for (i, w) in snap.workers.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "icb_worker_idle_seconds_total{{worker=\"{i}\"}} {:.6}",
+            w.idle_ns as f64 / 1e9
+        );
+    }
+    header(
+        &mut out,
+        "icb_worker_executions_total",
+        "counter",
+        "Executions completed per worker.",
+    );
+    for (i, w) in snap.workers.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "icb_worker_executions_total{{worker=\"{i}\"}} {}",
+            w.executions
+        );
+    }
+    header(
+        &mut out,
+        "icb_worker_donations_total",
+        "counter",
+        "Work-stealing donations made per worker.",
+    );
+    for (i, w) in snap.workers.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "icb_worker_donations_total{{worker=\"{i}\"}} {}",
+            w.donations
+        );
+    }
+
+    let (buckets, sum, count) = registry.step_histogram();
+    header(
+        &mut out,
+        "icb_execution_steps",
+        "histogram",
+        "Steps per execution (bit-length buckets).",
+    );
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cumulative += n;
+        if i + 1 == STEP_BUCKETS {
+            let _ = writeln!(
+                &mut out,
+                "icb_execution_steps_bucket{{le=\"+Inf\"}} {cumulative}"
+            );
+        } else {
+            // Bucket i holds step counts of bit length i: at most 2^i - 1.
+            let le = (1u64 << i) - 1;
+            let _ = writeln!(
+                &mut out,
+                "icb_execution_steps_bucket{{le=\"{le}\"}} {cumulative}"
+            );
+        }
+    }
+    let _ = writeln!(&mut out, "icb_execution_steps_sum {sum}");
+    let _ = writeln!(&mut out, "icb_execution_steps_count {count}");
+
+    if let Some(eta) = snap.eta_seconds {
+        header(
+            &mut out,
+            "icb_eta_seconds",
+            "gauge",
+            "Theorem-1 upper bound on seconds left in the current bound.",
+        );
+        if eta.is_finite() {
+            let _ = writeln!(&mut out, "icb_eta_seconds {eta:.3}");
+        } else {
+            let _ = writeln!(&mut out, "icb_eta_seconds +Inf");
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::{ExecStats, ExecutionOutcome};
+
+    /// Replaces the wall-clock-dependent sample with a fixed token so
+    /// the rest of the page can be compared exactly.
+    fn normalize(page: &str) -> String {
+        page.lines()
+            .map(|l| {
+                if l.starts_with("icb_elapsed_seconds ") {
+                    "icb_elapsed_seconds <ELAPSED>".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    }
+
+    #[test]
+    fn exposition_page_is_golden() {
+        let r = MetricsRegistry::new();
+        r.set_strategy("icb");
+        r.set_workers(2);
+        r.record_bound_started(1);
+        let stats = ExecStats {
+            steps: 5,
+            ..ExecStats::default()
+        };
+        r.record_execution(1, &stats, &ExecutionOutcome::Terminated, 3);
+        r.record_execution(2, &stats, &ExecutionOutcome::Terminated, 4);
+        r.cache_table_probe(1, false);
+        r.cache_table_probe(1, true);
+
+        let got = normalize(&render_prometheus(&r));
+        let want = "\
+# HELP icb_info Constant 1; the strategy label rides on the series.
+# TYPE icb_info gauge
+icb_info{strategy=\"icb\"} 1
+# HELP icb_elapsed_seconds Wall-clock seconds since the search started.
+# TYPE icb_elapsed_seconds gauge
+icb_elapsed_seconds <ELAPSED>
+# HELP icb_executions_total Executions performed (cumulative, including resumed segments).
+# TYPE icb_executions_total counter
+icb_executions_total 2
+# HELP icb_buggy_executions_total Executions that ended in a bug outcome.
+# TYPE icb_buggy_executions_total counter
+icb_buggy_executions_total 0
+# HELP icb_bugs_reported_total Distinct bugs reported.
+# TYPE icb_bugs_reported_total counter
+icb_bugs_reported_total 0
+# HELP icb_races_detected_total Data races flagged by the race detector.
+# TYPE icb_races_detected_total counter
+icb_races_detected_total 0
+# HELP icb_distinct_states Distinct program states visited (the paper's coverage metric).
+# TYPE icb_distinct_states gauge
+icb_distinct_states 4
+# HELP icb_current_bound Active preemption bound of the ICB driver.
+# TYPE icb_current_bound gauge
+icb_current_bound 1
+# HELP icb_bound_executions Executions performed inside the active bound.
+# TYPE icb_bound_executions gauge
+icb_bound_executions 2
+# HELP icb_work_queue_depth Work items deferred to the next preemption bound.
+# TYPE icb_work_queue_depth gauge
+icb_work_queue_depth 0
+# HELP icb_work_items_deferred_total Work items ever deferred to a later bound.
+# TYPE icb_work_items_deferred_total counter
+icb_work_items_deferred_total 0
+# HELP icb_frontier_queue_depth Items queued in the shared parallel frontier.
+# TYPE icb_frontier_queue_depth gauge
+icb_frontier_queue_depth 0
+# HELP icb_frontier_pop_waits_total Frontier pops that blocked waiting for work.
+# TYPE icb_frontier_pop_waits_total counter
+icb_frontier_pop_waits_total 0
+# HELP icb_frontier_lock_ops_total Frontier mutex acquisitions (the parallel drivers' known contention point).
+# TYPE icb_frontier_lock_ops_total counter
+icb_frontier_lock_ops_total 0
+# HELP icb_steal_donations_total Work-stealing donations (a busy worker splitting its subtree).
+# TYPE icb_steal_donations_total counter
+icb_steal_donations_total 0
+# HELP icb_steal_donated_items_total Work items moved by donations.
+# TYPE icb_steal_donated_items_total counter
+icb_steal_donated_items_total 0
+# HELP icb_pump_recv_timeouts_total Event-pump receive timeouts (pump idle ticks).
+# TYPE icb_pump_recv_timeouts_total counter
+icb_pump_recv_timeouts_total 0
+# HELP icb_pump_channel_depth Events queued between the workers and the observer pump.
+# TYPE icb_pump_channel_depth gauge
+icb_pump_channel_depth 0
+# HELP icb_checkpoints_written_total Durable checkpoints written.
+# TYPE icb_checkpoints_written_total counter
+icb_checkpoints_written_total 0
+# HELP icb_quarantined_total Traces quarantined after replay divergence.
+# TYPE icb_quarantined_total counter
+icb_quarantined_total 0
+# HELP icb_watchdog_trips_total Executions killed by the watchdog.
+# TYPE icb_watchdog_trips_total counter
+icb_watchdog_trips_total 0
+# HELP icb_cache_hits_total Work items pruned by the fingerprint cache.
+# TYPE icb_cache_hits_total counter
+icb_cache_hits_total 0
+# HELP icb_cache_stores_total Subtree entries recorded in the fingerprint cache.
+# TYPE icb_cache_stores_total counter
+icb_cache_stores_total 0
+# HELP icb_cache_table_probes_total Fingerprint-table probes.
+# TYPE icb_cache_table_probes_total counter
+icb_cache_table_probes_total 2
+# HELP icb_cache_table_hits_total Fingerprint-table probes answered covered.
+# TYPE icb_cache_table_hits_total counter
+icb_cache_table_hits_total 1
+# HELP icb_cache_shard_probes_total Fingerprint-table probes per shard (touched shards only).
+# TYPE icb_cache_shard_probes_total counter
+icb_cache_shard_probes_total{shard=\"1\"} 2
+# HELP icb_cache_shard_hits_total Fingerprint-table hits per shard (touched shards only).
+# TYPE icb_cache_shard_hits_total counter
+icb_cache_shard_hits_total{shard=\"1\"} 1
+# HELP icb_workers Configured worker count.
+# TYPE icb_workers gauge
+icb_workers 2
+# HELP icb_worker_busy_seconds_total Seconds each worker spent executing schedules.
+# TYPE icb_worker_busy_seconds_total counter
+icb_worker_busy_seconds_total{worker=\"0\"} 0.000000
+icb_worker_busy_seconds_total{worker=\"1\"} 0.000000
+# HELP icb_worker_idle_seconds_total Seconds each worker spent waiting for work.
+# TYPE icb_worker_idle_seconds_total counter
+icb_worker_idle_seconds_total{worker=\"0\"} 0.000000
+icb_worker_idle_seconds_total{worker=\"1\"} 0.000000
+# HELP icb_worker_executions_total Executions completed per worker.
+# TYPE icb_worker_executions_total counter
+icb_worker_executions_total{worker=\"0\"} 0
+icb_worker_executions_total{worker=\"1\"} 0
+# HELP icb_worker_donations_total Work-stealing donations made per worker.
+# TYPE icb_worker_donations_total counter
+icb_worker_donations_total{worker=\"0\"} 0
+icb_worker_donations_total{worker=\"1\"} 0
+# HELP icb_execution_steps Steps per execution (bit-length buckets).
+# TYPE icb_execution_steps histogram
+icb_execution_steps_bucket{le=\"0\"} 0
+icb_execution_steps_bucket{le=\"1\"} 0
+icb_execution_steps_bucket{le=\"3\"} 0
+icb_execution_steps_bucket{le=\"7\"} 2
+icb_execution_steps_bucket{le=\"15\"} 2
+icb_execution_steps_bucket{le=\"31\"} 2
+icb_execution_steps_bucket{le=\"63\"} 2
+icb_execution_steps_bucket{le=\"127\"} 2
+icb_execution_steps_bucket{le=\"255\"} 2
+icb_execution_steps_bucket{le=\"511\"} 2
+icb_execution_steps_bucket{le=\"1023\"} 2
+icb_execution_steps_bucket{le=\"2047\"} 2
+icb_execution_steps_bucket{le=\"4095\"} 2
+icb_execution_steps_bucket{le=\"8191\"} 2
+icb_execution_steps_bucket{le=\"16383\"} 2
+icb_execution_steps_bucket{le=\"32767\"} 2
+icb_execution_steps_bucket{le=\"65535\"} 2
+icb_execution_steps_bucket{le=\"131071\"} 2
+icb_execution_steps_bucket{le=\"262143\"} 2
+icb_execution_steps_bucket{le=\"524287\"} 2
+icb_execution_steps_bucket{le=\"1048575\"} 2
+icb_execution_steps_bucket{le=\"2097151\"} 2
+icb_execution_steps_bucket{le=\"4194303\"} 2
+icb_execution_steps_bucket{le=\"8388607\"} 2
+icb_execution_steps_bucket{le=\"16777215\"} 2
+icb_execution_steps_bucket{le=\"33554431\"} 2
+icb_execution_steps_bucket{le=\"67108863\"} 2
+icb_execution_steps_bucket{le=\"134217727\"} 2
+icb_execution_steps_bucket{le=\"268435455\"} 2
+icb_execution_steps_bucket{le=\"536870911\"} 2
+icb_execution_steps_bucket{le=\"1073741823\"} 2
+icb_execution_steps_bucket{le=\"2147483647\"} 2
+icb_execution_steps_bucket{le=\"+Inf\"} 2
+icb_execution_steps_sum 10
+icb_execution_steps_count 2
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn eta_series_appears_when_computable() {
+        let r = MetricsRegistry::new();
+        r.set_strategy("icb");
+        r.set_theorem1(2, 2);
+        r.mark_started();
+        r.record_bound_started(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let stats = ExecStats {
+            steps: 4,
+            ..ExecStats::default()
+        };
+        r.record_execution(1, &stats, &ExecutionOutcome::Terminated, 1);
+        let page = render_prometheus(&r);
+        assert!(page.contains("icb_eta_seconds"), "{page}");
+    }
+
+    #[test]
+    fn strategy_label_is_escaped() {
+        let r = MetricsRegistry::new();
+        r.set_strategy("a\"b");
+        let page = render_prometheus(&r);
+        assert!(page.contains("icb_info{strategy=\"a\\\"b\"} 1"), "{page}");
+    }
+}

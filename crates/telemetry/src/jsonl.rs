@@ -5,7 +5,9 @@ use std::time::{Duration, Instant};
 
 use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
 use icb_core::telemetry::{AbortReason, ResumeInfo};
-use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
+use icb_core::{
+    ChoiceKind, ExecStats, ExecutionOutcome, MetricsSnapshot, Phase, SearchObserver, SiteId,
+};
 
 /// Writes every search event as one JSON object per line.
 ///
@@ -297,10 +299,42 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
         self.emit(&line);
     }
 
-    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+    fn worker_stamp(&mut self, worker: usize, seq: u64, at: Duration) {
         self.emit(&format!(
-            "{{\"event\":\"worker-stamp\",\"worker\":{worker},\"seq\":{seq}}}"
+            "{{\"event\":\"worker-stamp\",\"worker\":{worker},\"seq\":{seq},\"at_ns\":{}}}",
+            at.as_nanos()
         ));
+    }
+
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        let arr = |f: fn(&icb_core::WorkerStats) -> u64| -> String {
+            let vals: Vec<String> = snapshot.workers.iter().map(|w| f(w).to_string()).collect();
+            format!("[{}]", vals.join(","))
+        };
+        let line = format!(
+            "{{\"event\":\"metrics-snapshot\",\"elapsed_ns\":{},\"executions\":{},\
+             \"distinct_states\":{},\"bound\":{},\"bound_executions\":{},\
+             \"frontier_len\":{},\"pump_channel_depth\":{},\"eta_seconds\":{},\
+             \"worker_busy_ns\":{},\"worker_idle_ns\":{},\"worker_executions\":{}}}",
+            snapshot.elapsed.as_nanos(),
+            snapshot.executions,
+            snapshot.distinct_states,
+            match snapshot.bound {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
+            snapshot.bound_executions,
+            snapshot.frontier_len,
+            snapshot.pump_channel_depth,
+            match snapshot.eta_seconds {
+                Some(eta) if eta.is_finite() => format!("{eta:.3}"),
+                _ => "null".to_string(),
+            },
+            arr(|w| w.busy_ns),
+            arr(|w| w.idle_ns),
+            arr(|w| w.executions),
+        );
+        self.emit(&line);
     }
 
     fn work_item_deferred(&mut self, next_bound: usize) {

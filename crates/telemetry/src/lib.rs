@@ -17,6 +17,11 @@
 //!   suite uses it to assert the observer event grammar, and it doubles
 //!   as a scriptable sink for ad-hoc tooling.
 //! * [`MultiObserver`] — fans one event stream out to several observers.
+//! * [`registry`] / [`render_prometheus`] / [`MetricsServer`] — the live
+//!   introspection layer: a lock-free [`MetricsRegistry`] fed by the
+//!   drivers, rendered as a Prometheus text-exposition page and served
+//!   over a dependency-free HTTP listener (`explore run
+//!   --serve-metrics`, polled by `explore top`).
 //! * [`ExplorationProfiler`] — per-site preemption attribution, per-bound
 //!   coverage rows, and wall-clock phase totals, aggregated live into a
 //!   [`RunReport`].
@@ -31,17 +36,26 @@
 #![warn(missing_debug_implementations)]
 
 mod event_log;
+mod export;
+mod http;
 mod jsonl;
 mod metrics;
 mod multi;
 mod profiler;
 mod progress;
+pub mod registry;
 mod report;
 
 pub use event_log::{Event, EventLog};
+pub use export::render_prometheus;
+pub use http::{parse_exposition, scrape, series_value, MetricsServer};
 pub use jsonl::JsonlSink;
 pub use metrics::{Histogram, MetricsRecorder};
 pub use multi::MultiObserver;
 pub use profiler::ExplorationProfiler;
 pub use progress::ProgressReporter;
-pub use report::{render_markdown, render_text, BoundRow, PhaseTotals, RunReport, SiteRow};
+pub use registry::{MetricsBridge, MetricsRegistry, MetricsSnapshot, WorkerStats};
+pub use report::{
+    render_markdown, render_text, BoundRow, PhaseTotals, RunReport, SiteRow, ThroughputSample,
+    WorkerUtilRow,
+};

@@ -4,7 +4,9 @@ use std::time::Duration;
 
 use icb_core::search::{BoundStats, BugReport, QuarantinedTrace, SearchReport};
 use icb_core::telemetry::{AbortReason, ResumeInfo};
-use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
+use icb_core::{
+    ChoiceKind, ExecStats, ExecutionOutcome, MetricsSnapshot, Phase, SearchObserver, SiteId,
+};
 
 /// Forwards every event to each contained observer, in insertion order.
 ///
@@ -151,9 +153,15 @@ impl SearchObserver for MultiObserver<'_> {
         }
     }
 
-    fn worker_stamp(&mut self, worker: usize, seq: u64) {
+    fn worker_stamp(&mut self, worker: usize, seq: u64, at: Duration) {
         for o in &mut self.observers {
-            o.worker_stamp(worker, seq);
+            o.worker_stamp(worker, seq, at);
+        }
+    }
+
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        for o in &mut self.observers {
+            o.metrics_snapshot(snapshot);
         }
     }
 

@@ -17,9 +17,13 @@ use std::time::{Duration, Instant};
 
 use icb_core::search::{BoundStats, BugReport, SearchReport};
 use icb_core::telemetry::AbortReason;
-use icb_core::{ChoiceKind, ExecStats, ExecutionOutcome, Phase, SearchObserver, SiteId};
+use icb_core::{
+    ChoiceKind, ExecStats, ExecutionOutcome, MetricsSnapshot, Phase, SearchObserver, SiteId,
+};
 
-use crate::report::{Attribution, BoundRow, PhaseTotals, RunReport};
+use crate::report::{
+    Attribution, BoundRow, PhaseTotals, RunReport, ThroughputSample, WorkerUtilRow,
+};
 
 /// Aggregates attributed search events into a [`RunReport`].
 #[derive(Debug)]
@@ -45,6 +49,8 @@ pub struct ExplorationProfiler {
     cache_stores: usize,
     cache_heuristic: bool,
     cache_certified: bool,
+    throughput: Vec<ThroughputSample>,
+    worker_utilization: Vec<WorkerUtilRow>,
 }
 
 impl Default for ExplorationProfiler {
@@ -78,6 +84,8 @@ impl ExplorationProfiler {
             cache_stores: 0,
             cache_heuristic: false,
             cache_certified: false,
+            throughput: Vec::new(),
+            worker_utilization: Vec::new(),
         }
     }
 
@@ -114,6 +122,8 @@ impl ExplorationProfiler {
             cache_stores: self.cache_stores,
             cache_heuristic: self.cache_heuristic,
             cache_certified: self.cache_certified,
+            throughput: self.throughput.clone(),
+            worker_utilization: self.worker_utilization.clone(),
         }
     }
 }
@@ -191,6 +201,24 @@ impl SearchObserver for ExplorationProfiler {
 
     fn trace_quarantined(&mut self, _quarantined: &icb_core::search::QuarantinedTrace) {
         self.quarantined += 1;
+    }
+
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        self.throughput.push(ThroughputSample {
+            elapsed: snapshot.elapsed,
+            executions: snapshot.executions as usize,
+        });
+        self.worker_utilization = snapshot
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(worker, w)| WorkerUtilRow {
+                worker,
+                busy: Duration::from_nanos(w.busy_ns),
+                idle: Duration::from_nanos(w.idle_ns),
+                executions: w.executions as usize,
+            })
+            .collect();
     }
 
     fn cache_hit(&mut self, count: usize) {

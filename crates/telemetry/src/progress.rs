@@ -1,12 +1,12 @@
 //! Rate-limited live progress reporting.
 
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use icb_core::bounds;
 use icb_core::search::{BoundStats, SearchReport};
 use icb_core::telemetry::{AbortReason, ResumeInfo};
-use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
+use icb_core::{ExecStats, ExecutionOutcome, MetricsRegistry, SearchObserver};
 
 /// Prints a live status line while a search runs.
 ///
@@ -15,33 +15,39 @@ use icb_core::{ExecStats, ExecutionOutcome, SearchObserver};
 /// executions per second costs almost nothing. Bound transitions and the
 /// final summary are always printed.
 ///
-/// When the program's parameters are supplied via
-/// [`with_theorem1`](ProgressReporter::with_theorem1), the reporter
-/// estimates the remaining work of the current bound from the paper's
-/// Theorem 1 ceiling — the number of executions with `c` preemptions is
-/// at most `C(nk, c) · (nb + c)!` — and the observed execution rate,
-/// and prints an ETA. The ceiling is loose (it counts infeasible
-/// schedules), so the ETA is an upper bound and is capped at 10⁶
-/// seconds before the reporter gives up and prints `eta >1e6s`.
+/// All counters behind the status line — executions, rate, distinct
+/// states, the active bound, queue depth, and the Theorem-1 ETA — come
+/// from a [`MetricsRegistry`], the same registry that backs `/metrics`
+/// and `explore top`. By default the reporter owns a private registry
+/// and feeds it from the events it observes; pass the search's shared
+/// registry via [`with_registry`](ProgressReporter::with_registry) and
+/// the reporter becomes a pure renderer, reading figures the
+/// [`MetricsBridge`](icb_core::MetricsBridge) already mirrored.
+///
+/// When Theorem-1 parameters are supplied (via
+/// [`MetricsRegistry::set_theorem1`] on the reporter's
+/// [`registry`](ProgressReporter::registry)), the reporter prints an ETA
+/// for the current bound from the paper's ceiling — the number of
+/// executions with `c` preemptions is at most `C(nk, c) · (nb + c)!` —
+/// and the observed execution rate. The ceiling is loose (it counts
+/// infeasible schedules), so the ETA is an upper bound and is capped at
+/// 10⁶ seconds before the reporter gives up and prints `eta >1e6s`.
 #[derive(Debug)]
 pub struct ProgressReporter<W: Write> {
     out: W,
     min_interval: Duration,
     last_line: Option<Instant>,
-    started: Option<Instant>,
     strategy: String,
-    bound: Option<usize>,
-    bound_executions: usize,
-    executions: usize,
-    distinct_states: usize,
+    /// Bugs printed so far; deliberately private to the reporter (the
+    /// registry counts *reported* bugs too, but numbering the `bug #N`
+    /// lines belongs to the renderer, not the metrics layer).
     bugs: usize,
-    queue_depth: usize,
-    max_steps: usize,
-    /// `(threads, blocking ops per thread)` for the Theorem 1 ETA.
-    theorem1: Option<(u64, u64)>,
-    /// Executions inherited from a checkpoint: they predate this
-    /// segment's wall clock, so rate and ETA must not count them.
-    resumed_base: usize,
+    registry: Arc<MetricsRegistry>,
+    /// Whether the reporter must feed `registry` itself. False when the
+    /// registry is shared: the [`MetricsBridge`](icb_core::MetricsBridge)
+    /// upstream already mirrors every event before forwarding it here,
+    /// and double-feeding would double-count histogram buckets.
+    owns_registry: bool,
 }
 
 impl ProgressReporter<std::io::Stderr> {
@@ -52,23 +58,16 @@ impl ProgressReporter<std::io::Stderr> {
 }
 
 impl<W: Write> ProgressReporter<W> {
-    /// A reporter printing to `out`.
+    /// A reporter printing to `out`, backed by a private registry.
     pub fn to_writer(out: W) -> Self {
         ProgressReporter {
             out,
             min_interval: Duration::from_millis(250),
             last_line: None,
-            started: None,
             strategy: String::new(),
-            bound: None,
-            bound_executions: 0,
-            executions: 0,
-            distinct_states: 0,
             bugs: 0,
-            queue_depth: 0,
-            max_steps: 0,
-            theorem1: None,
-            resumed_base: 0,
+            registry: Arc::new(MetricsRegistry::new()),
+            owns_registry: true,
         }
     }
 
@@ -78,14 +77,36 @@ impl<W: Write> ProgressReporter<W> {
         self
     }
 
+    /// Renders from `registry` instead of a private one.
+    ///
+    /// Use this when the search already mirrors its events into a
+    /// registry (`Search::metrics`): the reporter stops feeding counters
+    /// itself and becomes a read-only view, so the status line, the
+    /// `/metrics` page, and `explore top` all show the same numbers.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = registry;
+        self.owns_registry = false;
+        self
+    }
+
+    /// The registry backing this reporter's figures.
+    ///
+    /// For a reporter with a private registry, this is where to supply
+    /// Theorem-1 parameters: `reporter.registry().set_theorem1(n, b)`.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Enables the Theorem-1 ETA for a program with `threads` threads,
     /// each executing at most `blocking` potentially blocking operations.
-    /// The per-thread step count `k` is estimated from the longest
-    /// execution observed so far. `threads` is clamped to at least 1 so
-    /// a degenerate parameterization cannot poison the estimate with
-    /// divisions by zero.
-    pub fn with_theorem1(mut self, threads: u64, blocking: u64) -> Self {
-        self.theorem1 = Some((threads.max(1), blocking));
+    #[deprecated(
+        since = "0.6.0",
+        note = "set Theorem-1 parameters on the registry instead: \
+                `reporter.registry().set_theorem1(threads, blocking)` (or on \
+                the shared registry passed to `with_registry`)"
+    )]
+    pub fn with_theorem1(self, threads: u64, blocking: u64) -> Self {
+        self.registry.set_theorem1(threads, blocking);
         self
     }
 
@@ -94,63 +115,28 @@ impl<W: Write> ProgressReporter<W> {
             .is_none_or(|t| t.elapsed() >= self.min_interval)
     }
 
-    /// Upper bound on the seconds left in the current bound, from
-    /// Theorem 1's ceiling and the observed execution rate.
-    fn eta_secs(&self) -> Option<f64> {
-        let (n, b) = self.theorem1?;
-        let c = self.bound? as u64;
-        let k = ((self.max_steps as u64) / n.max(1)).max(1);
-        let secs = self.started?.elapsed().as_secs_f64();
-        let fresh = self.executions.saturating_sub(self.resumed_base);
-        if secs <= 0.0 || fresh == 0 {
-            return None;
-        }
-        let rate = fresh as f64 / secs;
-        if !rate.is_finite() || rate <= 0.0 {
-            return None;
-        }
-        // Log-space first: the ceiling overflows u128 long before the
-        // search becomes infeasible to *estimate*.
-        let ln_ceiling = bounds::ln_executions_with_preemptions(n, k, b, c);
-        if ln_ceiling.is_nan() {
-            return None;
-        }
-        if ln_ceiling > 60.0 {
-            return Some(f64::INFINITY);
-        }
-        let ceiling = ln_ceiling.exp();
-        // At bound 0 (or once a bound overruns its loose ceiling) the
-        // remaining work clamps to zero rather than going negative.
-        let remaining = (ceiling - self.bound_executions as f64).max(0.0);
-        let eta = remaining / rate;
-        if eta.is_nan() {
-            return None;
-        }
-        Some(eta)
-    }
-
     fn status_line(&mut self, force: bool) {
         if !force && !self.due() {
             return;
         }
         self.last_line = Some(Instant::now());
-        let rate = match self.started {
-            Some(s) if s.elapsed().as_secs_f64() > 0.0 => {
-                self.executions.saturating_sub(self.resumed_base) as f64 / s.elapsed().as_secs_f64()
-            }
-            _ => 0.0,
-        };
         let mut line = format!(
             "[{}] {} execs ({:.0}/s), {} states",
-            self.strategy, self.executions, rate, self.distinct_states
+            self.strategy,
+            self.registry.executions(),
+            self.registry.fresh_rate(),
+            self.registry.distinct_states()
         );
-        if let Some(b) = self.bound {
-            line.push_str(&format!(", bound {b} (queue {})", self.queue_depth));
+        if let Some(b) = self.registry.current_bound() {
+            line.push_str(&format!(
+                ", bound {b} (queue {})",
+                self.registry.work_queue_depth()
+            ));
         }
         if self.bugs > 0 {
             line.push_str(&format!(", {} bugs", self.bugs));
         }
-        match self.eta_secs() {
+        match self.registry.eta_seconds() {
             Some(eta) if eta.is_finite() && eta <= 1e6 => {
                 line.push_str(&format!(", eta {eta:.1}s"));
             }
@@ -165,18 +151,19 @@ impl<W: Write> ProgressReporter<W> {
 impl<W: Write> SearchObserver for ProgressReporter<W> {
     fn search_started(&mut self, strategy: &str) {
         self.strategy = strategy.to_string();
-        self.started = Some(Instant::now());
+        if self.owns_registry {
+            self.registry.mark_started();
+            self.registry.set_strategy(strategy);
+        }
     }
 
     fn search_resumed(&mut self, info: &ResumeInfo) {
-        // Seed the cumulative counters from the snapshot so the status
-        // line is truthful, but base the rate (and thus the ETA) on the
-        // executions this segment actually performs.
-        self.resumed_base = info.executions;
-        self.executions = info.executions;
-        self.distinct_states = info.distinct_states;
-        self.bound = Some(info.bound);
-        self.bound_executions = info.bound_executions;
+        // The registry seeds its cumulative counters from the snapshot so
+        // the status line is truthful, but bases the rate (and thus the
+        // ETA) on the executions this segment actually performs.
+        if self.owns_registry {
+            self.registry.record_resume(info);
+        }
         let _ = writeln!(
             self.out,
             "[{}] resumed from checkpoint: {} execs, {} states, bound {}",
@@ -189,20 +176,20 @@ impl<W: Write> SearchObserver for ProgressReporter<W> {
         &mut self,
         index: usize,
         stats: &ExecStats,
-        _outcome: &ExecutionOutcome,
+        outcome: &ExecutionOutcome,
         distinct_states: usize,
     ) {
-        self.executions = index;
-        self.bound_executions += 1;
-        self.distinct_states = distinct_states;
-        self.max_steps = self.max_steps.max(stats.steps);
+        if self.owns_registry {
+            self.registry
+                .record_execution(index, stats, outcome, distinct_states);
+        }
         self.status_line(false);
     }
 
     fn bound_started(&mut self, bound: usize, work_items: usize) {
-        self.bound = Some(bound);
-        self.bound_executions = 0;
-        self.queue_depth = 0;
+        if self.owns_registry {
+            self.registry.record_bound_started(bound);
+        }
         let _ = writeln!(
             self.out,
             "[{}] entering bound {bound} ({work_items} work items)",
@@ -226,6 +213,9 @@ impl<W: Write> SearchObserver for ProgressReporter<W> {
     }
 
     fn bug_found(&mut self, bug: &icb_core::search::BugReport) {
+        if self.owns_registry {
+            self.registry.bug_reported();
+        }
         self.bugs += 1;
         let _ = writeln!(
             self.out,
@@ -236,7 +226,9 @@ impl<W: Write> SearchObserver for ProgressReporter<W> {
     }
 
     fn work_queue_depth(&mut self, depth: usize) {
-        self.queue_depth = depth;
+        if self.owns_registry {
+            self.registry.set_work_queue_depth(depth);
+        }
     }
 
     fn search_aborted(&mut self, reason: AbortReason) {
@@ -245,8 +237,9 @@ impl<W: Write> SearchObserver for ProgressReporter<W> {
     }
 
     fn search_finished(&mut self, report: &SearchReport) {
-        self.executions = report.executions;
-        self.distinct_states = report.distinct_states;
+        if self.owns_registry {
+            self.registry.record_finished(report);
+        }
         // A forced final status line; rendering the report itself is the
         // caller's business (explore already prints it to stdout).
         self.status_line(true);
@@ -343,6 +336,29 @@ mod tests {
 
     #[test]
     fn eta_appears_with_theorem1_params() {
+        let mut p = ProgressReporter::to_writer(Vec::new()).with_interval(Duration::ZERO);
+        p.registry().set_theorem1(2, 1);
+        p.search_started("icb");
+        p.bound_started(0, 1);
+        std::thread::sleep(Duration::from_millis(2));
+        p.execution_finished(
+            1,
+            &ExecStats {
+                steps: 4,
+                ..ExecStats::default()
+            },
+            &ExecutionOutcome::Terminated,
+            2,
+        );
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("eta"), "{text}");
+    }
+
+    /// Back-compat: the deprecated builder still routes the parameters
+    /// into the registry.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_theorem1_builder_still_works() {
         let mut p = ProgressReporter::to_writer(Vec::new())
             .with_interval(Duration::ZERO)
             .with_theorem1(2, 1);
@@ -364,9 +380,8 @@ mod tests {
 
     #[test]
     fn eta_at_bound_zero_clamps_instead_of_going_negative() {
-        let mut p = ProgressReporter::to_writer(Vec::new())
-            .with_interval(Duration::ZERO)
-            .with_theorem1(2, 1);
+        let mut p = ProgressReporter::to_writer(Vec::new()).with_interval(Duration::ZERO);
+        p.registry().set_theorem1(2, 1);
         p.search_started("icb");
         p.bound_started(0, 1);
         std::thread::sleep(Duration::from_millis(2));
@@ -390,9 +405,8 @@ mod tests {
 
     #[test]
     fn degenerate_theorem1_params_never_print_nan() {
-        let mut p = ProgressReporter::to_writer(Vec::new())
-            .with_interval(Duration::ZERO)
-            .with_theorem1(0, 0);
+        let mut p = ProgressReporter::to_writer(Vec::new()).with_interval(Duration::ZERO);
+        p.registry().set_theorem1(0, 0);
         p.search_started("icb");
         p.bound_started(0, 0);
         std::thread::sleep(Duration::from_millis(2));
@@ -404,9 +418,8 @@ mod tests {
 
     #[test]
     fn empty_bound_is_reported_without_an_eta_blowup() {
-        let mut p = ProgressReporter::to_writer(Vec::new())
-            .with_interval(Duration::ZERO)
-            .with_theorem1(2, 1);
+        let mut p = ProgressReporter::to_writer(Vec::new()).with_interval(Duration::ZERO);
+        p.registry().set_theorem1(2, 1);
         p.search_started("icb");
         // A bound can legitimately start with zero deferred work items
         // (everything at the previous bound completed without deferral).
@@ -420,5 +433,31 @@ mod tests {
         assert!(!text.contains("NaN"), "{text}");
         // No executions happened: the ETA must be absent, not infinite.
         assert!(!text.contains("eta"), "{text}");
+    }
+
+    #[test]
+    fn shared_registry_reporter_renders_without_feeding() {
+        // When the registry is shared, upstream (the MetricsBridge)
+        // feeds it; the reporter renders exactly those figures and never
+        // double-counts the step histogram.
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut p = ProgressReporter::to_writer(Vec::new())
+            .with_interval(Duration::ZERO)
+            .with_registry(Arc::clone(&registry));
+        // Simulate the bridge mirroring an event before forwarding it.
+        registry.mark_started();
+        registry.set_strategy("icb");
+        p.search_started("icb");
+        let stats = ExecStats {
+            steps: 3,
+            ..ExecStats::default()
+        };
+        registry.record_execution(5, &stats, &ExecutionOutcome::Terminated, 4);
+        p.execution_finished(5, &stats, &ExecutionOutcome::Terminated, 4);
+        let text = String::from_utf8(p.out).unwrap();
+        assert!(text.contains("[icb] 5 execs"), "{text}");
+        assert!(text.contains("4 states"), "{text}");
+        let (_, _, count) = registry.step_histogram();
+        assert_eq!(count, 1, "reporter must not double-feed a shared registry");
     }
 }

@@ -80,6 +80,43 @@ impl PhaseTotals {
     }
 }
 
+/// One point of the throughput-over-time series, taken from a
+/// `metrics-snapshot` event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThroughputSample {
+    /// Wall time into the run (segment-local in a raw report; offset to
+    /// chain time by [`RunReport::stitch`]).
+    pub elapsed: Duration,
+    /// Cumulative executions at that instant.
+    pub executions: usize,
+}
+
+/// One worker's cumulative busy/idle split, from the last
+/// `metrics-snapshot` of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerUtilRow {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Time spent executing schedules.
+    pub busy: Duration,
+    /// Time spent waiting for work.
+    pub idle: Duration,
+    /// Executions completed by this worker.
+    pub executions: usize,
+}
+
+impl WorkerUtilRow {
+    /// busy / (busy + idle), `None` before the worker did anything.
+    pub fn utilization(&self) -> Option<f64> {
+        let total = self.busy + self.idle;
+        if total.is_zero() {
+            None
+        } else {
+            Some(self.busy.as_secs_f64() / total.as_secs_f64())
+        }
+    }
+}
+
 /// Everything `explore report` knows about one run.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -127,6 +164,11 @@ pub struct RunReport {
     /// Whether the certification ledger answered the run without
     /// executing anything.
     pub cache_certified: bool,
+    /// Throughput-over-time samples from `metrics-snapshot` events
+    /// (empty when the run had no metrics registry attached).
+    pub throughput: Vec<ThroughputSample>,
+    /// Per-worker busy/idle split from the run's last `metrics-snapshot`.
+    pub worker_utilization: Vec<WorkerUtilRow>,
 }
 
 /// Incremental per-site attribution, shared between the live profiler
@@ -263,6 +305,19 @@ fn field_usize(line: &str, key: &str) -> Option<usize> {
     field_u128(line, key).map(|v| v as usize)
 }
 
+/// Extracts the value of `"key":` when it is a flat array of unsigned
+/// integers (`"key":[1,2,3]`).
+fn field_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let end = start + line[start..].find(']')?;
+    let body = &line[start..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|v| v.trim().parse().ok()).collect()
+}
+
 fn field_bool(line: &str, key: &str) -> Option<bool> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
@@ -373,6 +428,37 @@ impl RunReport {
                 "bound-certified" => {
                     report.cache_certified = true;
                 }
+                "metrics-snapshot" => {
+                    if let (Some(ns), Some(executions)) = (
+                        field_u128(line, "elapsed_ns"),
+                        field_usize(line, "executions"),
+                    ) {
+                        report.throughput.push(ThroughputSample {
+                            elapsed: Duration::from_nanos(ns as u64),
+                            executions,
+                        });
+                    }
+                    if let (Some(busy), Some(idle), Some(execs)) = (
+                        field_u64_array(line, "worker_busy_ns"),
+                        field_u64_array(line, "worker_idle_ns"),
+                        field_u64_array(line, "worker_executions"),
+                    ) {
+                        // Keep-last: cumulative counters make the final
+                        // snapshot the authoritative per-worker split.
+                        report.worker_utilization = busy
+                            .iter()
+                            .zip(&idle)
+                            .zip(&execs)
+                            .enumerate()
+                            .map(|(worker, ((&b, &i), &e))| WorkerUtilRow {
+                                worker,
+                                busy: Duration::from_nanos(b),
+                                idle: Duration::from_nanos(i),
+                                executions: e as usize,
+                            })
+                            .collect();
+                    }
+                }
                 "search-aborted" => {
                     report.aborted = field_str(line, "reason");
                 }
@@ -444,6 +530,9 @@ impl RunReport {
         let mut sites: BTreeMap<String, SiteRow> = BTreeMap::new();
         let mut phases = PhaseTotals::default();
         let mut elapsed: Option<Duration> = None;
+        let mut throughput: Vec<ThroughputSample> = Vec::new();
+        let mut utilization: Vec<WorkerUtilRow> = Vec::new();
+        let mut offset = Duration::ZERO;
         out.quarantined = 0;
         out.watchdog_trips = 0;
         out.checkpoints = 0;
@@ -479,6 +568,23 @@ impl RunReport {
             out.cache_hits += seg.cache_hits;
             out.cache_stores += seg.cache_stores;
             out.cache_heuristic |= seg.cache_heuristic;
+            // Snapshot timestamps are segment-local: offset each segment
+            // by the chain's wall time so far, so the stitched series is
+            // monotone in chain time.
+            for sample in &seg.throughput {
+                throughput.push(ThroughputSample {
+                    elapsed: offset + sample.elapsed,
+                    executions: sample.executions,
+                });
+            }
+            if !seg.worker_utilization.is_empty() {
+                utilization = seg.worker_utilization.clone();
+            }
+            let seg_span = seg
+                .elapsed
+                .or_else(|| seg.throughput.last().map(|s| s.elapsed))
+                .unwrap_or(Duration::ZERO);
+            offset += seg_span;
         }
         out.bounds = bounds.into_values().collect();
         let mut site_rows: Vec<SiteRow> = sites.into_values().collect();
@@ -491,6 +597,8 @@ impl RunReport {
         out.sites = site_rows;
         out.phases = phases;
         out.elapsed = elapsed;
+        out.throughput = throughput;
+        out.worker_utilization = utilization;
         // The stitched run starts where the *first* segment did.
         out.resumed_from = segments[0].resumed_from;
         Some(out)
@@ -709,6 +817,53 @@ fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
                     s.choices.to_string(),
                     s.executions.to_string(),
                     s.states_unlocked.to_string(),
+                ]);
+            }
+            t.render(&mut out, markdown);
+            out.push('\n');
+        }
+
+        if !run.throughput.is_empty() {
+            heading(&mut out, "Throughput over time", markdown);
+            let mut t = Table::new(vec!["elapsed", "executions", "rate"]);
+            // Sample evenly down to ~20 rows; the full series stays in
+            // the RunReport for anything that wants to plot it.
+            let stride = run.throughput.len().div_ceil(20).max(1);
+            let mut prev: Option<ThroughputSample> = None;
+            for (i, sample) in run.throughput.iter().enumerate() {
+                if i % stride != 0 && i + 1 != run.throughput.len() {
+                    continue;
+                }
+                let rate = match prev {
+                    Some(p) if sample.elapsed > p.elapsed => {
+                        let dt = (sample.elapsed - p.elapsed).as_secs_f64();
+                        let dx = sample.executions.saturating_sub(p.executions);
+                        format!("{:.0}/s", dx as f64 / dt)
+                    }
+                    _ => "-".to_string(),
+                };
+                t.row(vec![
+                    secs(sample.elapsed),
+                    sample.executions.to_string(),
+                    rate,
+                ]);
+                prev = Some(*sample);
+            }
+            t.render(&mut out, markdown);
+            out.push('\n');
+        }
+
+        if !run.worker_utilization.is_empty() {
+            heading(&mut out, "Worker utilization", markdown);
+            let mut t = Table::new(vec!["worker", "busy", "idle", "utilization", "executions"]);
+            for w in &run.worker_utilization {
+                t.row(vec![
+                    w.worker.to_string(),
+                    secs(w.busy),
+                    secs(w.idle),
+                    w.utilization()
+                        .map_or("-".to_string(), |u| format!("{:.1}%", 100.0 * u)),
+                    w.executions.to_string(),
                 ]);
             }
             t.render(&mut out, markdown);
@@ -959,6 +1114,84 @@ mod tests {
         let b = RunReport::from_jsonl(CACHED_LOG).unwrap();
         let stitched = RunReport::stitch(&[a, b]).unwrap();
         assert_eq!((stitched.cache_hits, stitched.cache_stores), (6, 6));
+    }
+
+    const METERED_SEGMENT1: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"execution-finished","index":10,"steps":2,"blocking_steps":0,"preemptions":0,"context_switches":0,"outcome":"terminated","distinct_states":5}
+{"event":"metrics-snapshot","elapsed_ns":1000000000,"executions":10,"distinct_states":5,"bound":1,"bound_executions":10,"frontier_len":3,"pump_channel_depth":0,"eta_seconds":null,"worker_busy_ns":[600000000,500000000],"worker_idle_ns":[100000000,200000000],"worker_executions":[6,4]}
+{"event":"checkpoint-written","executions":10}
+"#;
+
+    const METERED_SEGMENT2: &str = r#"{"event":"search-started","strategy":"icb"}
+{"event":"search-resumed","executions":10,"distinct_states":5,"bound":1,"bound_executions":10}
+{"event":"metrics-snapshot","elapsed_ns":500000000,"executions":18,"distinct_states":7,"bound":1,"bound_executions":18,"frontier_len":1,"pump_channel_depth":0,"eta_seconds":0.125,"worker_busy_ns":[900000000,800000000],"worker_idle_ns":[150000000,250000000],"worker_executions":[10,8]}
+{"event":"search-finished","strategy":"icb","executions":20,"distinct_states":8,"buggy_executions":0,"bugs_reported":0,"completed":true,"completed_bound":1,"truncated":false,"elapsed_ns":700000000}
+"#;
+
+    #[test]
+    fn metrics_snapshots_reconstruct_throughput_and_utilization() {
+        let r = RunReport::from_jsonl(METERED_SEGMENT1).unwrap();
+        assert_eq!(
+            r.throughput,
+            vec![ThroughputSample {
+                elapsed: Duration::from_secs(1),
+                executions: 10,
+            }]
+        );
+        assert_eq!(r.worker_utilization.len(), 2);
+        assert_eq!(r.worker_utilization[0].worker, 0);
+        assert_eq!(r.worker_utilization[0].busy, Duration::from_millis(600));
+        assert_eq!(r.worker_utilization[0].executions, 6);
+        let util = r.worker_utilization[1].utilization().unwrap();
+        assert!((util - 500.0 / 700.0).abs() < 1e-9, "{util}");
+
+        let text = render_text(std::slice::from_ref(&r), 10);
+        assert!(text.contains("Throughput over time"), "{text}");
+        assert!(text.contains("Worker utilization"), "{text}");
+    }
+
+    #[test]
+    fn stitch_offsets_snapshot_series_to_chain_time() {
+        let a = RunReport::from_jsonl(METERED_SEGMENT1).unwrap();
+        let b = RunReport::from_jsonl(METERED_SEGMENT2).unwrap();
+        let stitched = RunReport::stitch(&[a, b]).unwrap();
+
+        // Segment 1 has no search-finished, so its span is its last
+        // snapshot (1s); segment 2's sample shifts from 0.5s to 1.5s.
+        assert_eq!(
+            stitched.throughput,
+            vec![
+                ThroughputSample {
+                    elapsed: Duration::from_secs(1),
+                    executions: 10,
+                },
+                ThroughputSample {
+                    elapsed: Duration::from_millis(1500),
+                    executions: 18,
+                },
+            ]
+        );
+        // The series is monotone in both axes across the seam.
+        for pair in stitched.throughput.windows(2) {
+            assert!(pair[0].elapsed < pair[1].elapsed);
+            assert!(pair[0].executions <= pair[1].executions);
+        }
+        // Worker utilization keeps the final (cumulative) snapshot.
+        assert_eq!(
+            stitched.worker_utilization[0].busy,
+            Duration::from_millis(900)
+        );
+        assert_eq!(stitched.worker_utilization[1].executions, 8);
+    }
+
+    #[test]
+    fn parses_u64_arrays() {
+        assert_eq!(
+            field_u64_array(r#"{"a":[1,2,3],"b":[]}"#, "a"),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(field_u64_array(r#"{"a":[1],"b":[]}"#, "b"), Some(vec![]));
+        assert_eq!(field_u64_array(r#"{"a":7}"#, "a"), None);
     }
 
     #[test]
