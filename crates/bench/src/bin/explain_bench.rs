@@ -1,0 +1,180 @@
+//! `explain_bench` — measures what a bug explanation costs on the six
+//! paper bugs and writes `results/BENCH_explain.json`.
+//!
+//! Two numbers matter, and they are billed separately. *Shrink cost*:
+//! `ExplainedWitness::explain` replays the program once per prefix probe
+//! plus twice for attribution and the nearest-passing diff — replays
+//! that happen outside the search's execution budget (the
+//! `icb_shrink_replays_total` counter). *Bundle cost*: rendering and
+//! writing the six artifacts (`witness.json`, `lanes.txt`, `hb.dot`,
+//! `hb.json`, `trace.chrome.json`, `EXPLANATION.md`). Each phase takes
+//! the best of `ITERATIONS` timings; the search that finds the witness
+//! is timed once for context but is not part of the explanation's bill.
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin explain_bench
+//! ```
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use icb_core::render;
+use icb_core::search::{Search, SearchConfig};
+use icb_core::ExplainedWitness;
+use icb_race::CausalGraph;
+use icb_telemetry::export::chrome::ChromeTrace;
+use icb_workloads::registry::all_benchmarks;
+
+const ITERATIONS: usize = 3;
+const BUDGET: usize = 200_000;
+
+/// The six paper bugs: the first registered bug of each buggy workload,
+/// plus the paper's Figure 3 use-after-free as Dryad's second entry.
+const WORKLOADS: [(&str, &str); 6] = [
+    ("Bluetooth", "check-then-increment"),
+    ("Work Stealing Q.", "tail-publish-first"),
+    ("Transaction Manager", "commit-toctou"),
+    ("APE", "missing-join"),
+    ("Dryad Channels", "stop-jumps-queue"),
+    ("Dryad Channels", "close-no-wait (Fig. 3 UAF)"),
+];
+
+fn main() {
+    let benchmarks = all_benchmarks();
+    let out_dir = std::env::temp_dir().join(format!("icb-explain-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("create scratch dir");
+
+    let mut rows = String::new();
+    for (i, (workload, bug)) in WORKLOADS.iter().enumerate() {
+        let bench = benchmarks
+            .iter()
+            .find(|b| b.name == *workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let spec = bench
+            .bugs
+            .iter()
+            .find(|b| b.name == *bug)
+            .unwrap_or_else(|| panic!("{workload} has no bug {bug}"));
+        let program = (spec.build)();
+
+        let search_start = Instant::now();
+        let report = Search::over(&program)
+            .config(SearchConfig {
+                max_executions: Some(BUDGET),
+                stop_on_first_bug: true,
+                ..SearchConfig::default()
+            })
+            .run()
+            .expect("search");
+        let search_seconds = search_start.elapsed().as_secs_f64();
+        let found = report
+            .first_bug()
+            .unwrap_or_else(|| panic!("{workload} --bug {bug}: no bug in {BUDGET} executions"));
+        let schedule = found.schedule.clone();
+
+        let mut shrink_best = f64::INFINITY;
+        let mut witness = None;
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let explained = ExplainedWitness::explain(&program, &schedule);
+            shrink_best = shrink_best.min(start.elapsed().as_secs_f64());
+            witness = Some(explained);
+        }
+        let witness = witness.unwrap();
+
+        let mut bundle_best = f64::INFINITY;
+        let mut bundle_bytes = 0usize;
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            let graph = CausalGraph::from_execution(&witness.trace, &witness.outcome);
+            let chrome = ChromeTrace::new().add_execution(&witness.trace, &witness.outcome);
+            let artifacts = [
+                ("witness.json", witness.to_json()),
+                (
+                    "lanes.txt",
+                    format!("{}\n", render::lanes_wrapped(&witness.trace, 120)),
+                ),
+                ("hb.dot", graph.to_dot()),
+                ("hb.json", graph.to_json()),
+                ("trace.chrome.json", chrome.render()),
+                ("EXPLANATION.md", witness.to_markdown(bench.name)),
+            ];
+            bundle_bytes = artifacts.iter().map(|(_, text)| text.len()).sum();
+            for (name, text) in &artifacts {
+                std::fs::write(out_dir.join(name), text).expect("write artifact");
+            }
+            bundle_best = bundle_best.min(start.elapsed().as_secs_f64());
+        }
+
+        println!(
+            "{workload} --bug {bug}: witness {} ({} preemptions, {} steps)",
+            witness.schedule,
+            witness.preemptions,
+            witness.trace.len()
+        );
+        println!(
+            "  search {search_seconds:.3}s ({} executions) | shrink {:.1}ms \
+             ({} replays) | bundle {:.1}ms ({bundle_bytes} bytes)",
+            report.executions,
+            shrink_best * 1e3,
+            witness.shrink_replays,
+            bundle_best * 1e3,
+        );
+
+        write!(
+            rows,
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{workload}\",\n",
+                "      \"bug\": \"{bug}\",\n",
+                "      \"search_executions\": {execs},\n",
+                "      \"search_seconds\": {search:.3},\n",
+                "      \"witness_preemptions\": {preempt},\n",
+                "      \"witness_steps\": {steps},\n",
+                "      \"shrink_replays\": {replays},\n",
+                "      \"shrink_seconds\": {shrink:.6},\n",
+                "      \"bundle_bytes\": {bytes},\n",
+                "      \"bundle_write_seconds\": {bundle:.6}\n",
+                "    }}{comma}\n",
+            ),
+            workload = workload,
+            bug = bug.replace('"', "\\\""),
+            execs = report.executions,
+            search = search_seconds,
+            preempt = witness.preemptions,
+            steps = witness.trace.len(),
+            replays = witness.shrink_replays,
+            shrink = shrink_best,
+            bytes = bundle_bytes,
+            bundle = bundle_best,
+            comma = if i + 1 < WORKLOADS.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"explain_pipeline\",\n",
+            "  \"strategy\": \"icb\",\n",
+            "  \"budget\": {budget},\n",
+            "  \"iterations\": {iters},\n",
+            "  \"workloads\": [\n{rows}  ]\n",
+            "}}\n",
+        ),
+        budget = BUDGET,
+        iters = ITERATIONS,
+        rows = rows,
+    );
+    let path = "results/BENCH_explain.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

@@ -13,6 +13,9 @@
 //!                [--telemetry jsonl:<path>] [--progress] [--profile]
 //!                [--serve-metrics <addr>]
 //! explore top <addr> [--interval-ms N] [--once]
+//! explore explain <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]
+//!                 [--budget N] [--bound N] [--jobs N] [--out <dir>]
+//!                 [--from <run.jsonl>] [--wrap N] [--timings]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
 //! explore report <run.jsonl>... [--markdown] [--top N] [--stitch]
@@ -76,11 +79,25 @@
 //! outcome instead of a wedged search. `explore report --stitch` merges
 //! the per-segment JSONL logs of a resumed run into one report.
 //!
+//! `explain` turns the first witness of a search (or of a previously
+//! recorded `--telemetry` JSONL log, via `--from`) into a self-contained
+//! explanation bundle under `--out <dir>`: `witness.json` (the shrunk,
+//! per-step-attributed schedule), `lanes.txt` (the per-thread lane
+//! rendering, wrapped at `--wrap` columns), `hb.dot` / `hb.json` (the
+//! happens-before relation as a causal graph, racing pair highlighted),
+//! `trace.chrome.json` (a Chrome trace-event timeline loadable in
+//! Perfetto / `chrome://tracing`), and `EXPLANATION.md` tying them
+//! together with the nearest-passing-schedule diff. Every artifact is a
+//! pure function of the witness, so `--jobs N` produces byte-identical
+//! bundles. `--timings` adds the profiler's wall-clock phase spans to
+//! the Chrome trace (opting out of byte-determinism).
+//!
 //! Examples:
 //!
 //! ```sh
 //! cargo run --release -p icb-bench --bin explore -- list
 //! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --bug check-then-increment
+//! cargo run --release -p icb-bench --bin explore -- explain "Bluetooth" --out bundle/
 //! cargo run --release -p icb-bench --bin explore -- run "Work Stealing Q." --strategy random --budget 5000
 //! cargo run --release -p icb-bench --bin explore -- run "Bluetooth" --telemetry jsonl:events.jsonl --profile
 //! cargo run --release -p icb-bench --bin explore -- report events.jsonl --markdown
@@ -98,9 +115,11 @@ use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::interrupt;
 use icb_core::NullSink;
 use icb_core::{
-    render, shrink, Checkpointer, ControlledProgram, CoverageTracker, MetricsRegistry,
-    ReplayScheduler, Schedule, SearchObserver, SearchSnapshot,
+    render, shrink, Checkpointer, ControlledProgram, CoverageTracker, ExplainedWitness,
+    MetricsRegistry, ReplayScheduler, Schedule, SearchObserver, SearchSnapshot,
 };
+use icb_race::CausalGraph;
+use icb_telemetry::export::chrome::ChromeTrace;
 use icb_telemetry::{
     parse_exposition, render_markdown, render_text, scrape, series_value, ExplorationProfiler,
     JsonlSink, MetricsServer, MultiObserver, ProgressReporter, RunReport,
@@ -131,6 +150,10 @@ fn main() -> ExitCode {
             eprintln!("                 [--telemetry jsonl:<path>] [--progress] [--profile]");
             eprintln!("                 [--serve-metrics <addr>]");
             eprintln!("  explore top <addr> [--interval-ms N] [--once]");
+            eprintln!(
+                "  explore explain <benchmark> [--bug <name>] [--strategy s] [--budget N] [--bound N]"
+            );
+            eprintln!("                  [--jobs N] [--out <dir>] [--from <run.jsonl>] [--wrap N] [--timings]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
             eprintln!("  explore report <run.jsonl>... [--markdown] [--top N] [--stitch]");
@@ -151,6 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
@@ -384,6 +408,7 @@ impl Observers {
         report: &SearchReport,
         program: &AnyProgram,
         args: &[String],
+        registry: Option<&MetricsRegistry>,
     ) -> Result<(), String> {
         let top: usize = match flag_value(args, "--top") {
             Some(v) => v.parse().map_err(|_| "invalid --top")?,
@@ -402,6 +427,9 @@ impl Observers {
             println!("witness: {}", bug.schedule);
             if args.iter().any(|a| a == "--shrink") {
                 let shrunk = shrink::minimize_witness(program, &bug.schedule);
+                if let Some(r) = registry {
+                    r.shrink_replays_add(shrunk.replays);
+                }
                 println!(
                     "shrunk to {} forced choice(s) in {} replays: {}",
                     shrunk.schedule.len(),
@@ -481,11 +509,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         search.run().map_err(|e| e.to_string())?
     };
+    let registry = metrics.as_ref().map(|(r, _)| Arc::clone(r));
     if let Some((_, server)) = metrics {
         server.shutdown();
     }
     report_cache_errors(&cache);
-    obs.finish(&report, &program, args)
+    obs.finish(&report, &program, args, registry.as_deref())
 }
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
@@ -544,11 +573,12 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
             .run()
             .map_err(|e| format!("cannot resume from {path}: {e}"))?
     };
+    let registry = metrics.as_ref().map(|(r, _)| Arc::clone(r));
     if let Some((_, server)) = metrics {
         server.shutdown();
     }
     report_cache_errors(&cache);
-    obs.finish(&report, &program, args)
+    obs.finish(&report, &program, args, registry.as_deref())
 }
 
 /// One eighth-block per sample, scaled to the window's maximum.
@@ -655,6 +685,13 @@ fn render_top_frame(parsed: &[(String, f64)], rates: &[f64]) -> String {
         }
     }
 
+    let shrink_replays = count("icb_shrink_replays_total");
+    if shrink_replays > 0.0 {
+        out.push_str(&format!(
+            "shrink: {shrink_replays:.0} replays spent minimizing witnesses\n"
+        ));
+    }
+
     let probes = count("icb_cache_table_probes_total");
     if probes > 0.0 {
         out.push_str(&format!(
@@ -728,6 +765,176 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         let _ = std::io::stdout().flush();
         std::thread::sleep(interval);
     }
+}
+
+/// Extracts the first reported witness schedule from a `--telemetry`
+/// JSONL log (the `"schedule":[…]` field of its first `bug-found`
+/// event).
+fn schedule_from_jsonl(text: &str) -> Result<Schedule, String> {
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"event\":\"bug-found\""))
+        .ok_or("log contains no bug-found event")?;
+    let start = line
+        .find("\"schedule\":[")
+        .ok_or("bug-found event carries no schedule")?
+        + "\"schedule\":[".len();
+    let body = &line[start..];
+    let end = body.find(']').ok_or("unterminated schedule array")?;
+    body[..end]
+        .parse::<Schedule>()
+        .map_err(|e| format!("corrupt schedule in bug-found event: {e}"))
+}
+
+/// A filesystem-friendly slug of a benchmark name (`Work Stealing Q.` →
+/// `work-stealing-q`).
+fn slugify(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+/// Writes one bundle artifact, mapping IO errors to a CLI message.
+fn write_artifact(dir: &Path, name: &str, contents: &str) -> Result<(), String> {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("missing benchmark name")?;
+    if name.starts_with("--") {
+        return Err(
+            "missing benchmark name (explain needs a workload, even with --from, \
+                    to rebuild the program for replay)"
+                .into(),
+        );
+    }
+    let bench = find_benchmark(name)?;
+    // Explaining needs a failing program: unlike `run`, an omitted --bug
+    // selects the benchmark's first registered bug rather than the
+    // correct implementation.
+    let bug_name = match flag_value(args, "--bug") {
+        Some(b) => Some(b.to_string()),
+        None => bench.bugs.first().map(|b| b.name.to_string()),
+    };
+    let bug_name = bug_name.ok_or_else(|| {
+        format!(
+            "{} has no registered bugs; pass --bug to pick a failing variant",
+            bench.name
+        )
+    })?;
+    let program = build_program(&bench, Some(&bug_name))?;
+    let title = format!("{} --bug {}", bench.name, bug_name);
+
+    let registry = MetricsRegistry::new();
+    let mut profiler = ExplorationProfiler::new();
+    let (witness_schedule, reported_preemptions) = match flag_value(args, "--from") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            println!("explaining first witness recorded in {path}…");
+            (schedule_from_jsonl(&text)?, None)
+        }
+        None => {
+            let budget: usize = match flag_value(args, "--budget") {
+                Some(v) => v.parse().map_err(|_| "invalid --budget")?,
+                None => 200_000,
+            };
+            let bound: Option<usize> = match flag_value(args, "--bound") {
+                Some(v) => Some(v.parse().map_err(|_| "invalid --bound")?),
+                None => None,
+            };
+            let strat = flag_value(args, "--strategy").unwrap_or("icb");
+            let strategy = parse_strategy(strat)?;
+            let jobs = parse_jobs(args)?;
+            println!("exploring {title} with {strat}…");
+            let report = Search::over(&program)
+                .strategy(strategy)
+                .config(SearchConfig {
+                    max_executions: Some(budget),
+                    preemption_bound: bound,
+                    stop_on_first_bug: true,
+                    ..SearchConfig::default()
+                })
+                .jobs(jobs)
+                .observer(&mut profiler)
+                .run()
+                .map_err(|e| e.to_string())?;
+            let bug = report
+                .first_bug()
+                .ok_or_else(|| format!("no bug found in {} executions", report.executions))?;
+            (bug.schedule.clone(), Some(bug.preemptions))
+        }
+    };
+
+    let witness = ExplainedWitness::explain_with_metrics(&program, &witness_schedule, &registry);
+    if let Some(min) = reported_preemptions {
+        // ICB's headline guarantee: the witness the search reports is
+        // already preemption-minimal, and shrinking must preserve that.
+        if witness.preemptions != min {
+            eprintln!(
+                "note: shrunk witness has {} preemption(s), search reported {min} \
+                 (expected only under non-ICB strategies)",
+                witness.preemptions
+            );
+        }
+    }
+
+    let wrap: usize = match flag_value(args, "--wrap") {
+        Some(v) => v.parse().map_err(|_| "invalid --wrap")?,
+        None => 120,
+    };
+    let out_dir = flag_value(args, "--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("explain-{}", slugify(bench.name)));
+    let dir = Path::new(&out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+
+    let graph = CausalGraph::from_execution(&witness.trace, &witness.outcome);
+    let mut chrome = ChromeTrace::new().add_execution(&witness.trace, &witness.outcome);
+    if args.iter().any(|a| a == "--timings") {
+        chrome = chrome.add_phases(&profiler.phase_totals());
+    }
+    let mut explanation = witness.to_markdown(&title);
+    explanation.push_str(
+        "\n## Bundle contents\n\n\
+         | file | contents |\n|------|----------|\n\
+         | `witness.json` | the shrunk schedule with per-step site attribution and enabled sets |\n\
+         | `lanes.txt` | per-thread lane rendering of the failing execution |\n\
+         | `hb.dot` / `hb.json` | the happens-before causal graph (Graphviz / JSON) |\n\
+         | `trace.chrome.json` | Chrome trace-event timeline (open in Perfetto or chrome://tracing) |\n",
+    );
+
+    write_artifact(dir, "witness.json", &witness.to_json())?;
+    write_artifact(
+        dir,
+        "lanes.txt",
+        &format!("{}\n", render::lanes_wrapped(&witness.trace, wrap)),
+    )?;
+    write_artifact(dir, "hb.dot", &graph.to_dot())?;
+    write_artifact(dir, "hb.json", &graph.to_json())?;
+    write_artifact(dir, "trace.chrome.json", &chrome.render())?;
+    write_artifact(dir, "EXPLANATION.md", &explanation)?;
+
+    println!("outcome: {}", witness.outcome);
+    println!(
+        "witness: {} ({} preemption(s), {} steps, shrunk in {} replays)",
+        witness.schedule,
+        witness.preemptions,
+        witness.trace.len(),
+        witness.shrink_replays,
+    );
+    println!(
+        "bundle: {} (witness.json, lanes.txt, hb.dot, hb.json, trace.chrome.json, EXPLANATION.md)",
+        dir.display()
+    );
+    Ok(())
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {

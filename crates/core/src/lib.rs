@@ -91,6 +91,7 @@
 pub mod bounds;
 pub mod cache;
 pub mod coverage;
+pub mod explain;
 pub mod hash;
 pub mod metrics;
 pub mod program;
@@ -106,6 +107,7 @@ pub mod trace;
 
 pub use cache::{Certification, ExplorationCache, NoopCache};
 pub use coverage::{CoverageTracker, NullSink, StateSink};
+pub use explain::{ExplainedWitness, NearestPassing};
 pub use metrics::{MetricsBridge, MetricsRegistry, MetricsSnapshot, WorkerStats};
 pub use program::{ControlledProgram, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;

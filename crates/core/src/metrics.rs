@@ -134,6 +134,9 @@ pub struct MetricsSnapshot {
     pub watchdog_trips: u64,
     /// Data races flagged by the happens-before detector.
     pub races_detected: u64,
+    /// Replays spent shrinking witnesses (see
+    /// [`shrink::minimize_witness`](crate::shrink::minimize_witness)).
+    pub shrink_replays: u64,
     /// Work items pruned by the fingerprint cache.
     pub cache_hits: u64,
     /// New subtree entries the fingerprint cache recorded.
@@ -163,6 +166,7 @@ pub struct MetricsRegistry {
     buggy_executions: AtomicU64,
     bugs_reported: AtomicU64,
     races_detected: AtomicU64,
+    shrink_replays: AtomicU64,
     distinct_states: AtomicU64,
     work_items_deferred: AtomicU64,
     work_queue_depth: AtomicU64,
@@ -211,6 +215,7 @@ impl MetricsRegistry {
             buggy_executions: AtomicU64::new(0),
             bugs_reported: AtomicU64::new(0),
             races_detected: AtomicU64::new(0),
+            shrink_replays: AtomicU64::new(0),
             distinct_states: AtomicU64::new(0),
             work_items_deferred: AtomicU64::new(0),
             work_queue_depth: AtomicU64::new(0),
@@ -358,6 +363,14 @@ impl MetricsRegistry {
     /// The race detector flagged a data race.
     pub fn race_detected(&self) {
         self.races_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Witness shrinking spent `n` additional replays (cumulative, a
+    /// plain counter: shrinking runs re-execute the program outside the
+    /// search proper, so `icb_executions_total` would otherwise silently
+    /// under-report the work done).
+    pub fn shrink_replays_add(&self, n: usize) {
+        self.shrink_replays.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     /// One work item was deferred to a later bound.
@@ -641,6 +654,7 @@ impl MetricsRegistry {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
             races_detected: self.races_detected.load(Ordering::Relaxed),
+            shrink_replays: self.shrink_replays.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_stores: self.cache_stores.load(Ordering::Relaxed),
             cache_table_probes,

@@ -25,6 +25,20 @@ use crate::trace::Trace;
 /// assert!(lanes.contains("!")); // the preemption marker
 /// ```
 pub fn lanes(trace: &Trace) -> String {
+    lanes_wrapped(trace, usize::MAX)
+}
+
+/// Like [`lanes`], but wraps the step columns at `width` per block so
+/// long traces stay readable in a terminal. Blocks after the first are
+/// introduced by a `── steps a..b ──` header line. The gutter widens
+/// with the largest thread id (`T9 │` / `T10│` / `T100│` all align), so
+/// traces with more than ten threads no longer misalign.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn lanes_wrapped(trace: &Trace, width: usize) -> String {
+    assert!(width > 0, "wrap width must be at least one column");
     let entries = trace.entries();
     let threads = entries
         .iter()
@@ -32,24 +46,38 @@ pub fn lanes(trace: &Trace) -> String {
         .chain(entries.iter().map(|e| e.chosen.index()))
         .max()
         .map_or(0, |m| m + 1);
+    let gutter = threads
+        .checked_sub(1)
+        .map_or(2, |m| decimal_digits(m).max(2));
     let mut out = String::new();
-    for t in 0..threads {
-        let _ = write!(out, "T{t:<2}│");
-        for e in entries {
-            let c = if e.chosen.index() == t {
-                if e.is_preemption() {
-                    '!'
-                } else {
-                    '●'
-                }
-            } else if e.enabled.iter().any(|x| x.index() == t) {
-                '·'
-            } else {
-                ' '
-            };
-            out.push(c);
+    let mut start = 0usize;
+    loop {
+        let end = entries.len().min(start.saturating_add(width));
+        if start > 0 {
+            let _ = writeln!(out, "── steps {start}..{end} ──");
         }
-        out.push('\n');
+        for t in 0..threads {
+            let _ = write!(out, "T{t:<gutter$}│");
+            for e in &entries[start..end] {
+                let c = if e.chosen.index() == t {
+                    if e.is_preemption() {
+                        '!'
+                    } else {
+                        '●'
+                    }
+                } else if e.enabled.iter().any(|x| x.index() == t) {
+                    '·'
+                } else {
+                    ' '
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        start = end;
+        if start >= entries.len() {
+            break;
+        }
     }
     let _ = write!(
         out,
@@ -59,6 +87,15 @@ pub fn lanes(trace: &Trace) -> String {
         trace.preemptions(),
     );
     out
+}
+
+fn decimal_digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
 }
 
 /// One-line summary of a trace: the schedule in run-length form
@@ -127,5 +164,61 @@ mod tests {
         let t = Trace::new();
         assert!(lanes(&t).contains("0 steps"));
         assert_eq!(compact(&t), "");
+    }
+
+    #[test]
+    fn wide_traces_keep_the_gutter_aligned() {
+        // 12 threads: two-digit ids used to overflow the fixed 2-char pad
+        // only by luck of `{t:<2}` (fine for T10) — but a 100-thread trace
+        // needs 3 columns. Check all gutters share one width.
+        let enabled: Vec<Tid> = (0..101).map(Tid).collect();
+        let trace: Trace = vec![TraceEntry::new(Tid(100), enabled, None, false, false)].into();
+        let s = lanes(&trace);
+        let widths: std::collections::BTreeSet<usize> = s
+            .lines()
+            .filter(|l| l.contains('│'))
+            .map(|l| l.split('│').next().unwrap().chars().count())
+            .collect();
+        assert_eq!(widths.len(), 1, "misaligned gutters:\n{s}");
+        assert!(s.contains("T100│"));
+        assert!(s.contains("T0  │"));
+    }
+
+    #[test]
+    fn wrapped_lanes_split_into_blocks() {
+        let mut entries = vec![TraceEntry::new(
+            Tid(0),
+            vec![Tid(0), Tid(1)],
+            None,
+            false,
+            false,
+        )];
+        for i in 1..10 {
+            let chosen = Tid(i % 2);
+            entries.push(TraceEntry::new(
+                chosen,
+                vec![Tid(0), Tid(1)],
+                Some(Tid((i - 1) % 2)),
+                true,
+                false,
+            ));
+        }
+        let trace: Trace = entries.into();
+        let s = lanes_wrapped(&trace, 4);
+        assert!(s.contains("── steps 4..8 ──"), "got:\n{s}");
+        assert!(s.contains("── steps 8..10 ──"), "got:\n{s}");
+        // Each block renders at most 4 step columns.
+        for line in s.lines().filter(|l| l.contains('│')) {
+            let cols = line.split('│').nth(1).unwrap().chars().count();
+            assert!(cols <= 4, "block too wide: {line:?}");
+        }
+        // Unwrapped rendering of the same trace stays on one block.
+        assert!(!lanes(&trace).contains("── steps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap width")]
+    fn zero_wrap_width_is_rejected() {
+        let _ = lanes_wrapped(&Trace::new(), 0);
     }
 }

@@ -14,12 +14,14 @@
 //!   streams byte-identical to the pre-parallel releases.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
+use icb_core::snapshot::{Checkpointer, SearchSnapshot};
 use icb_core::telemetry::SearchObserver;
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
-    Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, ExplainedWitness, SchedulePoint,
+    Scheduler, StateSink, Tid, Trace, TraceEntry,
 };
 
 /// `n` threads × `k` increments of a shared counter; an optional bug
@@ -233,6 +235,107 @@ fn worker_stamps_are_contiguous_per_worker() {
             );
         }
     }
+}
+
+/// Explains the report's first bug and renders the bundle-format JSON.
+/// The explanation is a pure function of (program, schedule), so any two
+/// reports agreeing on the minimal witness must yield identical bytes.
+fn witness_json(program: &Counters, report: &SearchReport) -> String {
+    let bug = report.first_bug().expect("report carries a bug");
+    ExplainedWitness::explain(program, &bug.schedule).to_json()
+}
+
+/// Observer that copies the live checkpoint file aside after its `at`-th
+/// write, freezing the state a crash at that instant would leave behind.
+struct FreezeCheckpoint {
+    live: PathBuf,
+    frozen: PathBuf,
+    at: usize,
+    seen: usize,
+}
+
+impl SearchObserver for FreezeCheckpoint {
+    fn checkpoint_written(&mut self, _executions: usize) {
+        self.seen += 1;
+        if self.seen == self.at {
+            std::fs::copy(&self.live, &self.frozen).expect("freeze checkpoint copy");
+        }
+    }
+}
+
+#[test]
+fn explained_witness_json_is_byte_identical_across_worker_counts() {
+    // The `explore explain` bundle promises byte-identical witness.json
+    // no matter how many workers found the bug. Sequential and parallel
+    // drivers agree on the canonical minimal witness, so the rendered
+    // explanation — schedule, attribution, nearest-passing diff — must
+    // agree byte for byte.
+    let program = buggy();
+    let seq = run(&program, Strategy::Icb, SearchConfig::default(), 1);
+    let par2 = run(&program, Strategy::Icb, SearchConfig::default(), 2);
+    let par8 = run(&program, Strategy::Icb, SearchConfig::default(), 8);
+    let reference = witness_json(&program, &seq);
+    assert!(!reference.is_empty());
+    assert_eq!(
+        witness_json(&program, &par2),
+        reference,
+        "jobs=2 witness.json must match jobs=1 byte for byte"
+    );
+    assert_eq!(
+        witness_json(&program, &par8),
+        reference,
+        "jobs=8 witness.json must match jobs=1 byte for byte"
+    );
+}
+
+#[test]
+fn explained_witness_json_is_byte_identical_via_resume() {
+    // Same contract across a crash: a search resumed from a mid-run
+    // checkpoint reports the same minimal witness, hence the same
+    // explanation bytes, as the uninterrupted run.
+    let program = buggy();
+    let reference = {
+        let report = run(&program, Strategy::Icb, SearchConfig::default(), 1);
+        witness_json(&program, &report)
+    };
+
+    let dir = std::env::temp_dir().join(format!("icb-witness-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.ck");
+    let frozen = dir.join("frozen.ck");
+    let mut copier = FreezeCheckpoint {
+        live: live.clone(),
+        frozen: frozen.clone(),
+        at: 2,
+        seen: 0,
+    };
+    let full = Search::over(&program)
+        .config(SearchConfig::default())
+        .observer(&mut copier)
+        .checkpoint(Checkpointer::new(&live, 1))
+        .run()
+        .unwrap();
+    assert!(
+        copier.seen >= 2,
+        "search wrote too few checkpoints to freeze"
+    );
+    assert_eq!(
+        witness_json(&program, &full),
+        reference,
+        "checkpointing must not perturb the witness"
+    );
+
+    let snapshot = SearchSnapshot::read_from(&frozen).expect("read frozen checkpoint");
+    let resumed = Search::over(&program)
+        .resume_from(snapshot)
+        .run()
+        .expect("resume icb");
+    assert_eq!(
+        witness_json(&program, &resumed),
+        reference,
+        "resumed witness.json must match the uninterrupted run byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

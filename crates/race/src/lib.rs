@@ -29,10 +29,12 @@
 mod clock;
 mod detector;
 mod fingerprint;
+pub mod graph;
 
 pub use clock::{ClockOrdering, VectorClock};
 pub use detector::{AccessKind, DataRaceInfo, RaceDetector};
 pub use fingerprint::HbFingerprint;
+pub use graph::{CausalEdge, CausalEdgeKind, CausalGraph, CausalNode};
 
 /// Thread identifier, re-exported from `icb-core` for convenience.
 pub use icb_core::Tid;

@@ -1,4 +1,8 @@
-//! Prometheus text-exposition rendering of a [`MetricsRegistry`].
+//! Exporters turning in-memory run state into external formats:
+//! Prometheus text exposition (this module) and Chrome trace-event JSON
+//! ([`chrome`]).
+//!
+//! # Prometheus text exposition
 //!
 //! The output follows the text exposition format version 0.0.4 — `# HELP`
 //! / `# TYPE` comment pairs followed by one sample per line — which every
@@ -16,6 +20,8 @@
 //!   shards, keeping the page small at high shard counts;
 //! * the step histogram uses bit-length buckets (`le` = `2^i - 1`),
 //!   matching the registry's lock-free fixed-bucket layout.
+
+pub mod chrome;
 
 use icb_core::metrics::STEP_BUCKETS;
 use icb_core::MetricsRegistry;
@@ -89,6 +95,12 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
         "icb_races_detected_total",
         "Data races flagged by the race detector.",
         snap.races_detected,
+    );
+    counter(
+        &mut out,
+        "icb_shrink_replays_total",
+        "Replays spent shrinking witnesses (outside the search's execution count).",
+        snap.shrink_replays,
     );
     gauge(
         &mut out,
@@ -378,6 +390,7 @@ mod tests {
         r.record_execution(2, &stats, &ExecutionOutcome::Terminated, 4);
         r.cache_table_probe(1, false);
         r.cache_table_probe(1, true);
+        r.shrink_replays_add(3);
 
         let got = normalize(&render_prometheus(&r));
         let want = "\
@@ -399,6 +412,9 @@ icb_bugs_reported_total 0
 # HELP icb_races_detected_total Data races flagged by the race detector.
 # TYPE icb_races_detected_total counter
 icb_races_detected_total 0
+# HELP icb_shrink_replays_total Replays spent shrinking witnesses (outside the search's execution count).
+# TYPE icb_shrink_replays_total counter
+icb_shrink_replays_total 3
 # HELP icb_distinct_states Distinct program states visited (the paper's coverage metric).
 # TYPE icb_distinct_states gauge
 icb_distinct_states 4

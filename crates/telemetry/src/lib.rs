@@ -36,7 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event_log;
-mod export;
+pub mod export;
 mod http;
 mod jsonl;
 mod metrics;
