@@ -3,7 +3,7 @@
 //! ```text
 //! explore list
 //! explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]
-//!             [--bound N] [--budget N] [--jobs N] [--shrink]
+//!             [--bound N] [--fault-bound N] [--budget N] [--jobs N] [--shrink]
 //!             [--cache <dir>] [--cache-heuristic]
 //!             [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]
 //!             [--telemetry jsonl:<path>] [--progress] [--profile]
@@ -14,7 +14,7 @@
 //!                [--serve-metrics <addr>]
 //! explore top <addr> [--interval-ms N] [--once]
 //! explore explain <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]
-//!                 [--budget N] [--bound N] [--jobs N] [--out <dir>]
+//!                 [--budget N] [--bound N] [--fault-bound N] [--jobs N] [--out <dir>]
 //!                 [--from <run.jsonl>] [--wrap N] [--timings]
 //! explore replay <benchmark> [--bug <name>] --schedule "T0 T1 T1 …"
 //!                [--telemetry jsonl:<path>]
@@ -138,7 +138,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "  explore run <benchmark> [--bug <name>] [--strategy icb|dfs|db:N|random|best-first]"
             );
-            eprintln!("              [--bound N] [--budget N] [--jobs N] [--shrink]");
+            eprintln!(
+                "              [--bound N] [--fault-bound N] [--budget N] [--jobs N] [--shrink]"
+            );
             eprintln!("              [--cache <dir>] [--cache-heuristic]");
             eprintln!(
                 "              [--checkpoint <path>] [--checkpoint-every N] [--max-wall-time-ms N]"
@@ -153,7 +155,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "  explore explain <benchmark> [--bug <name>] [--strategy s] [--budget N] [--bound N]"
             );
-            eprintln!("                  [--jobs N] [--out <dir>] [--from <run.jsonl>] [--wrap N] [--timings]");
+            eprintln!("                  [--fault-bound N] [--jobs N] [--out <dir>] [--from <run.jsonl>] [--wrap N] [--timings]");
             eprintln!("  explore replay <benchmark> [--bug <name>] --schedule \"T0 T1 ...\"");
             eprintln!("                 [--telemetry jsonl:<path>]");
             eprintln!("  explore report <run.jsonl>... [--markdown] [--top N] [--stitch]");
@@ -190,10 +192,17 @@ fn list() {
     for bench in all_benchmarks() {
         println!("{} ({} threads)", bench.name, bench.paper_threads);
         for bug in &bench.bugs {
-            println!(
-                "    --bug \"{}\" (expected bound {})",
-                bug.name, bug.expected_bound
-            );
+            if bug.expected_faults > 0 {
+                println!(
+                    "    --bug \"{}\" (expected bound {}, fault bound {})",
+                    bug.name, bug.expected_bound, bug.expected_faults
+                );
+            } else {
+                println!(
+                    "    --bug \"{}\" (expected bound {})",
+                    bug.name, bug.expected_bound
+                );
+            }
         }
     }
 }
@@ -257,6 +266,14 @@ fn parse_jobs(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--jobs") {
         Some(v) => v.parse().map_err(|_| "invalid --jobs".into()),
         None => Ok(1),
+    }
+}
+
+/// Parses `--fault-bound`, defaulting to zero (no fault injection).
+fn parse_fault_bound(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--fault-bound") {
+        Some(v) => v.parse().map_err(|_| "invalid --fault-bound".into()),
+        None => Ok(0),
     }
 }
 
@@ -462,6 +479,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let config = SearchConfig {
         max_executions: Some(budget),
         preemption_bound: bound,
+        fault_bound: parse_fault_bound(args)?,
         stop_on_first_bug: true,
         ..SearchConfig::default()
     };
@@ -685,6 +703,13 @@ fn render_top_frame(parsed: &[(String, f64)], rates: &[f64]) -> String {
         }
     }
 
+    let faults = count("icb_faults_injected_total");
+    if faults > 0.0 {
+        out.push_str(&format!(
+            "faults: {faults:.0} injected at fallible operations\n"
+        ));
+    }
+
     let shrink_replays = count("icb_shrink_replays_total");
     if shrink_replays > 0.0 {
         out.push_str(&format!(
@@ -859,6 +884,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
                 .config(SearchConfig {
                     max_executions: Some(budget),
                     preemption_bound: bound,
+                    fault_bound: parse_fault_bound(args)?,
                     stop_on_first_bug: true,
                     ..SearchConfig::default()
                 })
@@ -923,8 +949,15 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     write_artifact(dir, "EXPLANATION.md", &explanation)?;
 
     println!("outcome: {}", witness.outcome);
+    // The fault clause appears only on faulted witnesses, keeping
+    // fault-free output byte-identical to older releases.
+    let faults = if witness.faults > 0 {
+        format!("{} injected fault(s), ", witness.faults)
+    } else {
+        String::new()
+    };
     println!(
-        "witness: {} ({} preemption(s), {} steps, shrunk in {} replays)",
+        "witness: {} ({} preemption(s), {faults}{} steps, shrunk in {} replays)",
         witness.schedule,
         witness.preemptions,
         witness.trace.len(),
@@ -1104,8 +1137,13 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
                     stats.certifications.len()
                 );
                 for cert in &stats.certifications {
+                    let faults = if cert.fault_bound > 0 {
+                        format!(", fault bound <= {}", cert.fault_bound)
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "    certified bug-free: strategy {}, bound {}, {} executions, {} states",
+                        "    certified bug-free: strategy {}, bound {}{faults}, {} executions, {} states",
                         cert.strategy,
                         cert.bound
                             .map_or_else(|| "exhaustive".to_string(), |b| format!("<= {b}")),

@@ -1,0 +1,151 @@
+//! `faults_bench` — the fault-bound ablation: runs the fault-injection
+//! workloads (plus one classic preemption bug as a control) over the
+//! whole `(preemption_bound, fault_bound)` grid and writes
+//! `results/BENCH_faults.json`.
+//!
+//! The grid makes the tentpole claim measurable: a fault-dependent bug
+//! is invisible along the entire `f = 0` column no matter how high the
+//! preemption bound climbs, appears exactly when `f` reaches the bug's
+//! `expected_faults`, and its witness carries the minimum
+//! `(preemptions, faults)` level — while a classic preemption bug's row
+//! is untouched by `f`, paying only the extra executions of the widened
+//! space.
+//!
+//! ```sh
+//! cargo run --release -p icb-bench --bin faults_bench
+//! ```
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use icb_core::search::{Search, SearchConfig};
+use icb_workloads::registry::all_benchmarks;
+
+const BUDGET: usize = 200_000;
+const MAX_PREEMPTION_BOUND: usize = 2;
+const MAX_FAULT_BOUND: usize = 2;
+
+/// The ablation subjects: both fault-dependent bugs, plus the paper's
+/// Bluetooth driver bug as the preemption-only control row.
+const WORKLOADS: [(&str, &str); 3] = [
+    ("Fault Injection", "shed-on-try-lock-failure"),
+    ("Fault Injection", "missing-spurious-recheck"),
+    ("Bluetooth", "check-then-increment"),
+];
+
+fn main() {
+    let benchmarks = all_benchmarks();
+    let mut workload_rows = String::new();
+    for (w, (workload, bug)) in WORKLOADS.iter().enumerate() {
+        let bench = benchmarks
+            .iter()
+            .find(|b| b.name == *workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let spec = bench
+            .bugs
+            .iter()
+            .find(|b| b.name == *bug)
+            .unwrap_or_else(|| panic!("{workload} has no bug {bug}"));
+        println!(
+            "{workload} --bug {bug} (expected bound {}, expected faults {})",
+            spec.expected_bound, spec.expected_faults
+        );
+
+        let mut cells = String::new();
+        for c in 0..=MAX_PREEMPTION_BOUND {
+            for f in 0..=MAX_FAULT_BOUND {
+                let program = (spec.build)();
+                let start = Instant::now();
+                let report = Search::over(&program)
+                    .config(SearchConfig {
+                        max_executions: Some(BUDGET),
+                        preemption_bound: Some(c),
+                        fault_bound: f,
+                        ..SearchConfig::default()
+                    })
+                    .run()
+                    .expect("search");
+                let seconds = start.elapsed().as_secs_f64();
+                let witness = report.first_bug();
+                println!(
+                    "  (c={c}, f={f}): {} executions, {} — {:.3}s",
+                    report.executions,
+                    match witness {
+                        Some(b) => format!(
+                            "bug at ({} preemptions, {} faults)",
+                            b.preemptions, b.faults
+                        ),
+                        None => "no bug".into(),
+                    },
+                    seconds,
+                );
+                write!(
+                    cells,
+                    concat!(
+                        "        {{\"preemption_bound\": {c}, \"fault_bound\": {f}, ",
+                        "\"executions\": {execs}, \"distinct_states\": {states}, ",
+                        "\"bug_found\": {found}, \"witness_preemptions\": {wp}, ",
+                        "\"witness_faults\": {wf}, \"seconds\": {secs:.3}}},\n",
+                    ),
+                    c = c,
+                    f = f,
+                    execs = report.executions,
+                    states = report.distinct_states,
+                    found = witness.is_some(),
+                    wp = witness.map_or(-1i64, |b| b.preemptions as i64),
+                    wf = witness.map_or(-1i64, |b| b.faults as i64),
+                    secs = seconds,
+                )
+                .unwrap();
+            }
+        }
+        // Drop the trailing comma of the last cell.
+        let cells = cells.trim_end().trim_end_matches(',').to_string();
+        write!(
+            workload_rows,
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{workload}\",\n",
+                "      \"bug\": \"{bug}\",\n",
+                "      \"expected_bound\": {eb},\n",
+                "      \"expected_faults\": {ef},\n",
+                "      \"grid\": [\n{cells}\n      ]\n",
+                "    }}{comma}\n",
+            ),
+            workload = workload,
+            bug = bug,
+            eb = spec.expected_bound,
+            ef = spec.expected_faults,
+            cells = cells,
+            comma = if w + 1 < WORKLOADS.len() { "," } else { "" },
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fault_grid\",\n",
+            "  \"strategy\": \"icb\",\n",
+            "  \"budget\": {budget},\n",
+            "  \"max_preemption_bound\": {mc},\n",
+            "  \"max_fault_bound\": {mf},\n",
+            "  \"workloads\": [\n{rows}  ]\n",
+            "}}\n",
+        ),
+        budget = BUDGET,
+        mc = MAX_PREEMPTION_BOUND,
+        mf = MAX_FAULT_BOUND,
+        rows = workload_rows,
+    );
+    let path = "results/BENCH_faults.json";
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("warning: cannot write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}

@@ -70,6 +70,9 @@ struct Drill<'a> {
     /// cutoff truncates sequential and parallel runs at different
     /// (equally valid) subsets of the space.
     bound: Option<&'a str>,
+    /// `--fault-bound N`: turns fault injection on for the drill. The
+    /// checkpoint encodes the bound, so `explore resume` needs no flag.
+    fault_bound: Option<&'a str>,
     kill_jobs: &'a str,
     resume_jobs: &'a str,
 }
@@ -94,6 +97,9 @@ fn crash_drill(d: Drill<'_>) {
     };
     if let Some(bound) = d.bound {
         bug_args.extend_from_slice(&["--bound", bound]);
+    }
+    if let Some(fault_bound) = d.fault_bound {
+        bug_args.extend_from_slice(&["--fault-bound", fault_bound]);
     }
 
     // Uninterrupted reference.
@@ -214,6 +220,7 @@ fn killed_dfs_search_resumes_to_the_reference_report() {
         budget: "3000",
         bug: Some("tail-publish-first"),
         bound: None,
+        fault_bound: None,
         kill_jobs: "1",
         resume_jobs: "1",
     });
@@ -227,6 +234,25 @@ fn killed_icb_search_resumes_to_the_reference_report() {
         budget: "3000",
         bug: Some("check-then-increment"),
         bound: None,
+        fault_bound: None,
+        kill_jobs: "1",
+        resume_jobs: "1",
+    });
+}
+
+#[test]
+fn killed_fault_bound_search_resumes_to_the_reference_report() {
+    // The crash drill with fault injection on: the snapshot encodes the
+    // fault bound, so the resumed run continues the (preemption, fault)
+    // level progression exactly where the killed run left off and
+    // converges on the uninterrupted reference byte for byte.
+    crash_drill(Drill {
+        benchmark: "Fault Injection",
+        strategy: "icb",
+        budget: "3000",
+        bug: Some("shed-on-try-lock-failure"),
+        bound: None,
+        fault_bound: Some("1"),
         kill_jobs: "1",
         resume_jobs: "1",
     });
@@ -245,6 +271,7 @@ fn killed_parallel_icb_search_resumes_at_a_smaller_worker_count() {
         budget: "200000",
         bug: None,
         bound: Some("2"),
+        fault_bound: None,
         kill_jobs: "4",
         resume_jobs: "2",
     });
@@ -260,6 +287,7 @@ fn killed_parallel_dfs_search_resumes_at_a_smaller_worker_count() {
         budget: "100000",
         bug: None,
         bound: None,
+        fault_bound: None,
         kill_jobs: "4",
         resume_jobs: "2",
     });

@@ -29,7 +29,8 @@ pub(crate) const MAGIC: &[u8; 8] = b"ICBCACHE";
 /// Current segment format version. Bump on any layout change —
 /// including any change to the fingerprint functions in
 /// `icb-core::hash`, which would silently re-key every entry.
-pub const VERSION: u32 = 1;
+/// Version 2 added the certification fault bound.
+pub const VERSION: u32 = 2;
 /// Fixed header size: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -108,12 +109,17 @@ impl Segment {
         let mut tmp_os = path.as_os_str().to_owned();
         tmp_os.push(".tmp");
         let tmp = PathBuf::from(tmp_os);
-        let io = |e: std::io::Error| CacheError::Io(e.to_string());
-        let mut file = fs::File::create(&tmp).map_err(io)?;
-        file.write_all(&bytes).map_err(io)?;
-        file.sync_all().map_err(io)?;
-        drop(file);
-        fs::rename(&tmp, path).map_err(io)
+        // Transient write failures (NFS hiccups, momentary ENOSPC) must
+        // not forfeit the run's coverage: retry the whole atomic write a
+        // bounded number of times before reporting the error.
+        icb_core::retry::with_backoff("cache segment write", || {
+            let io = |e: std::io::Error| CacheError::Io(e.to_string());
+            let mut file = fs::File::create(&tmp).map_err(io)?;
+            file.write_all(&bytes).map_err(io)?;
+            file.sync_all().map_err(io)?;
+            drop(file);
+            fs::rename(&tmp, path).map_err(io)
+        })
     }
 
     /// Reads and validates a segment from `path`.
@@ -168,6 +174,7 @@ impl Segment {
         for cert in &self.certifications {
             w.str(&cert.strategy);
             w.opt_usize(cert.bound);
+            w.usize(cert.fault_bound);
             w.usize(cert.executions);
             w.usize(cert.distinct_states);
         }
@@ -192,6 +199,7 @@ impl Segment {
             certifications.push(Certification {
                 strategy: r.str()?,
                 bound: r.opt_usize()?,
+                fault_bound: r.usize()?,
                 executions: r.usize()?,
                 distinct_states: r.usize()?,
             });
@@ -310,6 +318,7 @@ mod tests {
             certifications: vec![Certification {
                 strategy: "icb".into(),
                 bound: Some(2),
+                fault_bound: 1,
                 executions: 1234,
                 distinct_states: 321,
             }],

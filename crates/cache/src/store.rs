@@ -38,6 +38,8 @@ pub struct CacheStore {
     states: Vec<Mutex<HashSet<u64>>>,
     certs: Mutex<Vec<Certification>>,
     persist_error: Mutex<Option<CacheError>>,
+    /// Segments set aside as `.corrupt` when this store was opened.
+    quarantined: usize,
 }
 
 impl std::fmt::Debug for CacheStore {
@@ -65,6 +67,8 @@ pub struct StoreStats {
     pub probes: u64,
     /// Lifetime probe hits.
     pub hits: u64,
+    /// Segments quarantined as `.corrupt` when the store was opened.
+    pub quarantined: usize,
 }
 
 impl CacheStore {
@@ -79,23 +83,60 @@ impl CacheStore {
         let table = FingerprintTable::new();
         let mut seeds: HashSet<u64> = HashSet::new();
         let mut certs: Vec<Certification> = Vec::new();
-        let paths = segment_paths(&dir)?;
-        for path in &paths {
-            let seg = Segment::read_from(path)?;
-            if seg.program_id != program_id {
-                return Err(CacheError::WrongProgram {
-                    expected: program_id,
-                    found: seg.program_id,
-                });
-            }
-            for (key, credit) in seg.entries {
-                table.load(key, credit);
-            }
-            seeds.extend(seg.seeds);
-            for cert in seg.certifications {
-                if !certs.contains(&cert) {
-                    certs.push(cert);
+        let mut paths = Vec::new();
+        let mut quarantined = 0usize;
+        for path in segment_paths(&dir)? {
+            match Segment::read_from(&path) {
+                Ok(seg) if seg.program_id == program_id => {
+                    for (key, credit) in seg.entries {
+                        table.load(key, credit);
+                    }
+                    seeds.extend(seg.seeds);
+                    for cert in seg.certifications {
+                        if !certs.contains(&cert) {
+                            certs.push(cert);
+                        }
+                    }
+                    paths.push(path);
                 }
+                // A foreign segment is a usage error, not damage: its
+                // entries would poison the search, so refuse loudly
+                // instead of silently discarding it.
+                Ok(seg) => {
+                    return Err(CacheError::WrongProgram {
+                        expected: program_id,
+                        found: seg.program_id,
+                    })
+                }
+                // Damaged or version-skewed segments must not kill the
+                // run: set them aside under a `.corrupt` name (for
+                // post-mortems) and continue with a cold cache. Losing
+                // coverage credit is always sound — the cache only ever
+                // *prunes*.
+                Err(
+                    err @ (CacheError::BadMagic
+                    | CacheError::Truncated
+                    | CacheError::ChecksumMismatch
+                    | CacheError::Corrupt(_)
+                    | CacheError::UnsupportedVersion(_)),
+                ) => {
+                    let mut corrupt = path.as_os_str().to_owned();
+                    corrupt.push(".corrupt");
+                    let renamed = std::fs::rename(&path, PathBuf::from(corrupt));
+                    eprintln!(
+                        "warning: cache segment {} unreadable ({err}); {}, continuing cold",
+                        path.display(),
+                        if renamed.is_ok() {
+                            "quarantined as .corrupt"
+                        } else {
+                            "quarantine rename failed; ignoring it"
+                        },
+                    );
+                    quarantined += 1;
+                }
+                // Filesystem-level failures stay fatal: nothing says the
+                // data is bad, so quarantining would destroy good state.
+                Err(e) => return Err(e),
             }
         }
         let mut loaded_seeds: Vec<u64> = seeds.iter().copied().collect();
@@ -119,6 +160,7 @@ impl CacheStore {
             states,
             certs: Mutex::new(certs),
             persist_error: Mutex::new(None),
+            quarantined,
         };
         if paths.len() > 1 {
             // Compact: one merged segment replaces the pile.
@@ -142,6 +184,7 @@ impl CacheStore {
             certifications: self.certs.lock().unwrap().clone(),
             probes,
             hits,
+            quarantined: self.quarantined,
         }
     }
 
@@ -199,12 +242,17 @@ impl ExplorationCache for CacheStore {
             .insert(state);
     }
 
-    fn find_certification(&self, strategy: &str, target: Option<usize>) -> Option<Certification> {
+    fn find_certification(
+        &self,
+        strategy: &str,
+        target: Option<usize>,
+        fault_target: usize,
+    ) -> Option<Certification> {
         self.certs
             .lock()
             .unwrap()
             .iter()
-            .find(|c| c.covers(strategy, target))
+            .find(|c| c.covers(strategy, target, fault_target))
             .cloned()
     }
 
@@ -219,7 +267,7 @@ impl ExplorationCache for CacheStore {
             // one it covers.
             certs.retain(|old| {
                 old.strategy != certification.strategy
-                    || !certification.covers(&old.strategy, old.bound)
+                    || !certification.covers(&old.strategy, old.bound, old.fault_bound)
             });
             certs.push(certification);
         }
@@ -369,6 +417,7 @@ mod tests {
         store.certify(Certification {
             strategy: "icb".into(),
             bound: Some(2),
+            fault_bound: 1,
             executions: 10,
             distinct_states: 2,
         });
@@ -381,11 +430,18 @@ mod tests {
         assert!(warm.probe(0x11, Tid(0), 2));
         assert!(!warm.probe(0x11, Tid(0), 9), "larger credit still misses");
         assert_eq!(
-            warm.find_certification("icb", Some(1)).unwrap().executions,
+            warm.find_certification("icb", Some(1), 0)
+                .unwrap()
+                .executions,
             10
         );
-        assert!(warm.find_certification("icb", Some(3)).is_none());
-        assert!(warm.find_certification("dfs", Some(1)).is_none());
+        assert!(
+            warm.find_certification("icb", Some(1), 1).is_some(),
+            "fault bound survived the disk trip"
+        );
+        assert!(warm.find_certification("icb", Some(1), 2).is_none());
+        assert!(warm.find_certification("icb", Some(3), 0).is_none());
+        assert!(warm.find_certification("dfs", Some(1), 0).is_none());
         std::fs::remove_dir_all(&root).unwrap();
     }
 
@@ -396,6 +452,7 @@ mod tests {
         let base = Certification {
             strategy: "icb".into(),
             bound: Some(1),
+            fault_bound: 0,
             executions: 5,
             distinct_states: 3,
         };
@@ -405,17 +462,29 @@ mod tests {
             ..base.clone()
         });
         assert_eq!(store.stats().certifications.len(), 1);
-        assert!(store.find_certification("icb", Some(4)).is_some());
+        assert!(store.find_certification("icb", Some(4), 0).is_some());
+        // A faulted certificate subsumes the fault-free one, but not
+        // vice versa: certifying fault-free again keeps both.
+        store.certify(Certification {
+            bound: Some(4),
+            fault_bound: 2,
+            ..base.clone()
+        });
+        assert_eq!(store.stats().certifications.len(), 1);
+        store.certify(base);
+        assert_eq!(store.stats().certifications.len(), 2);
+        assert!(store.find_certification("icb", Some(4), 2).is_some());
         std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
-    fn wrong_program_and_corruption_are_rejected() {
+    fn wrong_program_is_rejected() {
         let root = tmp_root("poison");
         let store = CacheStore::open(&root, 0xaaaa).unwrap();
         store.certify(Certification {
             strategy: "icb".into(),
             bound: None,
+            fault_bound: 0,
             executions: 1,
             distinct_states: 1,
         });
@@ -428,15 +497,55 @@ mod tests {
             CacheStore::open(&root, 0xbbbb),
             Err(CacheError::WrongProgram { .. })
         ));
-        // Flip a byte in the original: checksum must catch it.
-        let mut bytes = std::fs::read(&src).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_and_open_continues_cold() {
+        let root = tmp_root("bitflip");
+        let store = CacheStore::open(&root, 0xcccc).unwrap();
+        store.note_state(0x42);
+        store.certify(Certification {
+            strategy: "icb".into(),
+            bound: None,
+            fault_bound: 0,
+            executions: 1,
+            distinct_states: 1,
+        });
+        drop(store);
+        // Flip one payload byte: the checksum catches it, the store
+        // renames the file aside and opens cold instead of dying.
+        let seg = segment_paths(&program_dir(&root, 0xcccc)).unwrap()[0].clone();
+        let mut bytes = std::fs::read(&seg).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
-        std::fs::write(&src, bytes).unwrap();
-        assert_eq!(
-            CacheStore::open(&root, 0xaaaa).err(),
-            Some(CacheError::ChecksumMismatch)
+        std::fs::write(&seg, bytes).unwrap();
+
+        let cold = CacheStore::open(&root, 0xcccc).unwrap();
+        assert!(cold.seed_states().is_empty(), "cold: no seeds survive");
+        assert!(cold.find_certification("icb", None, 0).is_none());
+        assert_eq!(cold.stats().quarantined, 1);
+        assert!(!seg.exists(), "damaged segment moved aside");
+        let mut corrupt = seg.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        assert!(
+            PathBuf::from(corrupt).exists(),
+            "damaged bytes kept for post-mortem"
         );
+        // The quarantined file is invisible to later opens and does not
+        // block fresh certifications.
+        cold.certify(Certification {
+            strategy: "icb".into(),
+            bound: Some(1),
+            fault_bound: 0,
+            executions: 2,
+            distinct_states: 1,
+        });
+        assert_eq!(cold.last_persist_error(), None);
+        drop(cold);
+        let warm = CacheStore::open(&root, 0xcccc).unwrap();
+        assert_eq!(warm.stats().quarantined, 0);
+        assert!(warm.find_certification("icb", Some(1), 0).is_some());
         std::fs::remove_dir_all(&root).unwrap();
     }
 
@@ -448,6 +557,7 @@ mod tests {
             store.certify(Certification {
                 strategy: "icb".into(),
                 bound: None,
+                fault_bound: 0,
                 executions: 2,
                 distinct_states: 2,
             });

@@ -44,6 +44,13 @@ use crate::tid::Tid;
 /// unlimited preemption budget, i.e. exhaustively.
 pub const FULL_CREDIT: u32 = u32::MAX;
 
+/// Salt XOR-ed into the state fingerprint when probing for a *fault*
+/// work item (the same `(state, thread)` step with a fault injected
+/// into it). An injected fault changes the program's behavior, so the
+/// faulted subtree is a different subtree and must never collide with
+/// the fault-free entry for the same state and thread.
+pub const FAULT_PROBE_SALT: u64 = 0x9e6c_63b7_41f4_5a1d;
+
 /// Computes the coverage credit of a work item born with `born`(≥ 0)
 /// preemptions already spent, under a search targeting `target`
 /// preemptions in total (`None` = unbounded, run to exhaustion).
@@ -80,6 +87,10 @@ pub struct Certification {
     /// preemptions. `None` means the entire schedule space was
     /// exhausted — bug-free at *any* bound.
     pub bound: Option<usize>,
+    /// The fault bound of the certifying run: the guarantee extends to
+    /// executions with up to this many injected faults. A fault-free
+    /// certificate (`0`) says nothing about faulted executions.
+    pub fault_bound: usize,
     /// Executions the certifying run performed.
     pub executions: usize,
     /// Distinct states the certifying run visited.
@@ -88,9 +99,12 @@ pub struct Certification {
 
 impl Certification {
     /// Whether this certificate answers a search targeting `target`
-    /// preemptions (`None` = exhaustion) with strategy `strategy`.
-    pub fn covers(&self, strategy: &str, target: Option<usize>) -> bool {
-        if self.strategy != strategy {
+    /// preemptions (`None` = exhaustion) and `fault_target` injected
+    /// faults with strategy `strategy`. A run exploring more faults
+    /// strictly subsumes one exploring fewer, so coverage requires
+    /// `fault_target <= self.fault_bound`.
+    pub fn covers(&self, strategy: &str, target: Option<usize>, fault_target: usize) -> bool {
+        if self.strategy != strategy || fault_target > self.fault_bound {
             return false;
         }
         match (self.bound, target) {
@@ -133,10 +147,16 @@ pub trait ExplorationCache: Sync {
     }
 
     /// Looks up a certificate covering a `strategy` search to `target`
-    /// preemptions (`None` = exhaustion). A hit lets the session skip
-    /// the entire search and synthesize its report.
-    fn find_certification(&self, strategy: &str, target: Option<usize>) -> Option<Certification> {
-        let _ = (strategy, target);
+    /// preemptions (`None` = exhaustion) at `fault_target` injected
+    /// faults. A hit lets the session skip the entire search and
+    /// synthesize its report.
+    fn find_certification(
+        &self,
+        strategy: &str,
+        target: Option<usize>,
+        fault_target: usize,
+    ) -> Option<Certification> {
+        let _ = (strategy, target, fault_target);
         None
     }
 
@@ -200,22 +220,44 @@ mod tests {
         let exhaustive = Certification {
             strategy: "icb".into(),
             bound: None,
+            fault_bound: 0,
             executions: 10,
             distinct_states: 5,
         };
-        assert!(exhaustive.covers("icb", None));
-        assert!(exhaustive.covers("icb", Some(7)));
-        assert!(!exhaustive.covers("dfs", None));
+        assert!(exhaustive.covers("icb", None, 0));
+        assert!(exhaustive.covers("icb", Some(7), 0));
+        assert!(!exhaustive.covers("dfs", None, 0));
 
         let bounded = Certification {
             strategy: "icb".into(),
             bound: Some(2),
-            ..exhaustive
+            ..exhaustive.clone()
         };
-        assert!(bounded.covers("icb", Some(2)));
-        assert!(bounded.covers("icb", Some(1)));
-        assert!(!bounded.covers("icb", Some(3)));
-        assert!(!bounded.covers("icb", None));
+        assert!(bounded.covers("icb", Some(2), 0));
+        assert!(bounded.covers("icb", Some(1), 0));
+        assert!(!bounded.covers("icb", Some(3), 0));
+        assert!(!bounded.covers("icb", None, 0));
+    }
+
+    #[test]
+    fn certification_fault_dimension() {
+        // A fault-free certificate says nothing about faulted searches;
+        // a faulted certificate subsumes fault-free queries.
+        let fault_free = Certification {
+            strategy: "icb".into(),
+            bound: Some(2),
+            fault_bound: 0,
+            executions: 10,
+            distinct_states: 5,
+        };
+        assert!(!fault_free.covers("icb", Some(1), 1));
+        let faulted = Certification {
+            fault_bound: 2,
+            ..fault_free
+        };
+        assert!(faulted.covers("icb", Some(2), 0));
+        assert!(faulted.covers("icb", Some(2), 2));
+        assert!(!faulted.covers("icb", Some(2), 3));
     }
 
     #[test]
@@ -223,10 +265,11 @@ mod tests {
         let c = NoopCache;
         assert!(!c.probe(1, Tid(0), 5));
         assert!(c.seed_states().is_empty());
-        assert!(c.find_certification("icb", None).is_none());
+        assert!(c.find_certification("icb", None, 0).is_none());
         c.certify(Certification {
             strategy: "icb".into(),
             bound: None,
+            fault_bound: 0,
             executions: 0,
             distinct_states: 0,
         });

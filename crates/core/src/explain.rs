@@ -8,8 +8,10 @@
 //! [`shrink::minimize_witness`](crate::shrink::minimize_witness)), the
 //! fully attributed replay trace (per-step [`SiteId`] and enabled-set
 //! history), and the *nearest passing schedule* — the execution obtained
-//! by flipping the witness's final preemption, which shows exactly where
-//! the passing and failing worlds diverge.
+//! by flipping the witness's last divergence point (its final preemption,
+//! or its final injected fault when the fault-bound search found the
+//! bug), which shows exactly where the passing and failing worlds
+//! diverge.
 //!
 //! Everything here is a pure function of the program and the schedule:
 //! replays are deterministic, renderings use no wall clock, and the JSON
@@ -44,23 +46,36 @@ pub struct ExplainedWitness {
     /// Preemptions in the replayed execution (the quantity ICB
     /// minimizes).
     pub preemptions: usize,
+    /// Faults injected in the replayed execution (the second component
+    /// of the lexicographic `(preemptions, faults)` level the fault
+    /// bound minimizes).
+    pub faults: usize,
     /// Replays spent shrinking the witness.
     pub shrink_replays: usize,
-    /// The execution obtained by flipping the final preemption, when the
-    /// witness has one.
+    /// The execution obtained by flipping the witness's last divergence
+    /// point — its final preemption or final injected fault, whichever
+    /// comes later — when the witness has one.
     pub nearest_passing: Option<NearestPassing>,
 }
 
-/// The execution reached by *not* taking the witness's final preemption:
-/// the schedule continues the thread that was preempted and then follows
-/// the preemption-free default policy.
+/// The execution reached by *not* taking the witness's last divergence
+/// point. For a preemption, the schedule continues the thread that was
+/// preempted and then follows the preemption-free default policy; for an
+/// injected fault, the same schedule is replayed with that fault
+/// suppressed so the fallible operation succeeds.
 #[derive(Clone, Debug)]
 pub struct NearestPassing {
-    /// The step index of the flipped preemption — the first step at
-    /// which the passing and failing executions diverge.
+    /// The step index of the flipped preemption or suppressed fault —
+    /// the first step at which the passing and failing executions
+    /// diverge.
     pub flipped_step: usize,
+    /// `true` when the flip suppressed an injected fault rather than
+    /// undoing a preemption.
+    pub flipped_fault: bool,
     /// The replayed prefix: the failing schedule up to `flipped_step`,
-    /// then the previously running thread instead of the preemptor.
+    /// then the previously running thread instead of the preemptor — or,
+    /// for a fault flip, the choices through the faulted step with the
+    /// fault removed.
     pub schedule: Schedule,
     /// How the flipped execution ended.
     pub outcome: ExecutionOutcome,
@@ -124,6 +139,7 @@ impl ExplainedWitness {
             schedule: shrunk.schedule,
             outcome: result.outcome,
             preemptions: result.stats.preemptions,
+            faults: result.stats.faults,
             shrink_replays: shrunk.replays,
             trace: result.trace,
             nearest_passing,
@@ -142,6 +158,12 @@ impl ExplainedWitness {
         }
         let _ = writeln!(out, "  \"schedule\": {},", schedule_array(&self.schedule));
         let _ = writeln!(out, "  \"preemptions\": {},", self.preemptions);
+        // Fault fields appear only on faulted witnesses, keeping
+        // fault-free bundles byte-identical to previous releases.
+        if self.faults > 0 {
+            let _ = writeln!(out, "  \"faults\": {},", self.faults);
+            let _ = writeln!(out, "  \"fault_steps\": {},", fault_array(&self.schedule));
+        }
         let _ = writeln!(out, "  \"steps\": {},", self.trace.len());
         let _ = writeln!(out, "  \"shrink_replays\": {},", self.shrink_replays);
         out.push_str("  \"trace\": [\n");
@@ -149,7 +171,7 @@ impl ExplainedWitness {
             let _ = writeln!(
                 out,
                 "    {{\"step\": {}, \"thread\": {}, \"site\": {}, \"enabled\": [{}], \
-                 \"preemption\": {}, \"switch\": {}, \"blocking\": {}}}{}",
+                 \"preemption\": {}, \"switch\": {}, \"blocking\": {}{}}}{}",
                 i,
                 e.chosen.index(),
                 json_string(&e.site.to_string()),
@@ -161,6 +183,7 @@ impl ExplainedWitness {
                 e.is_preemption(),
                 e.is_context_switch(),
                 e.blocking,
+                if e.fault { ", \"fault\": true" } else { "" },
                 if i + 1 < self.trace.len() { "," } else { "" },
             );
         }
@@ -170,6 +193,9 @@ impl ExplainedWitness {
             Some(np) => {
                 out.push_str("  \"nearest_passing\": {\n");
                 let _ = writeln!(out, "    \"flipped_step\": {},", np.flipped_step);
+                if np.flipped_fault {
+                    out.push_str("    \"flipped_fault\": true,\n");
+                }
                 let _ = writeln!(out, "    \"schedule\": {},", schedule_array(&np.schedule));
                 let _ = writeln!(out, "    \"outcome\": \"{}\",", outcome_kind(&np.outcome));
                 let _ = writeln!(out, "    \"steps\": {},", np.trace.len());
@@ -188,14 +214,20 @@ impl ExplainedWitness {
         let mut out = String::new();
         let _ = write!(out, "# Explaining `{title}`\n\n");
         let _ = write!(out, "**Outcome:** {}\n\n", self.outcome);
+        let faults = if self.faults > 0 {
+            format!(", {} injected fault{}", self.faults, plural(self.faults))
+        } else {
+            String::new()
+        };
         let _ = write!(
             out,
-            "**Witness:** `{}` — {} preemption{}, {} steps. Shrunk to the decisive \
+            "**Witness:** `{}` — {} preemption{}{}, {} steps. Shrunk to the decisive \
              prefix in {} replay{}; past the prefix the preemption-free default \
              policy reaches the bug on its own.\n\n",
             self.schedule,
             self.preemptions,
             plural(self.preemptions),
+            faults,
             self.trace.len(),
             self.shrink_replays,
             plural(self.shrink_replays),
@@ -204,8 +236,12 @@ impl ExplainedWitness {
         out.push_str(
             "One column per step; `●` marks the running thread, `!` marks a step \
              reached by preempting the previous thread, `·` marks a thread that was \
-             enabled but not chosen.\n\n```text\n",
+             enabled but not chosen.",
         );
+        if self.faults > 0 {
+            out.push_str(" `×` marks a step whose fallible operation was made to fail.");
+        }
+        out.push_str("\n\n```text\n");
         out.push_str(&render::lanes(&self.trace));
         out.push_str("\n```\n\n");
 
@@ -238,6 +274,24 @@ impl ExplainedWitness {
             out.push('\n');
         }
 
+        // The fault table appears only on faulted witnesses so fault-free
+        // explanations render byte-identically to previous releases.
+        if self.faults > 0 {
+            out.push_str("## Injected faults\n\n");
+            out.push_str(
+                "Steps where the scheduler made a fallible operation fail (marked \
+                 `×` in the lanes above).\n\n",
+            );
+            out.push_str("| step | thread | at site |\n");
+            out.push_str("|-----:|--------|---------|\n");
+            for (i, e) in self.trace.entries().iter().enumerate() {
+                if e.fault {
+                    let _ = writeln!(out, "| {} | {} | `{}` |", i, e.chosen, e.site);
+                }
+            }
+            out.push('\n');
+        }
+
         out.push_str("## Step attribution\n\n");
         out.push_str("| step | thread | site | enabled | notes |\n");
         out.push_str("|-----:|--------|------|---------|-------|\n");
@@ -256,6 +310,9 @@ impl ExplainedWitness {
             }
             if e.blocking {
                 notes.push("blocking");
+            }
+            if e.fault {
+                notes.push("fault");
             }
             let _ = writeln!(
                 out,
@@ -278,53 +335,103 @@ impl ExplainedWitness {
             ),
             Some(np) => {
                 let e = &self.trace.entries()[np.flipped_step];
-                let _ = write!(
-                    out,
-                    "Flipping the final preemption — keeping {} running at step {} \
-                     instead of preempting it at `{}` — yields `{}`:\n\n```text\n{}\n```\n\n",
-                    e.current.map_or_else(|| "-".into(), |t| t.to_string()),
-                    np.flipped_step,
-                    e.site,
-                    np.schedule,
-                    render::lanes(&np.trace),
-                );
-                let _ = writeln!(
-                    out,
-                    "The executions diverge at step {}: the failing run preempts to \
-                     {} and ends with *{}* after {} steps; the flipped run {} after \
-                     {} steps ({}).",
-                    np.flipped_step,
-                    e.chosen,
-                    self.outcome,
-                    self.trace.len(),
-                    if np.passes() {
-                        "terminates cleanly"
-                    } else {
-                        "still fails"
-                    },
-                    np.trace.len(),
-                    np.outcome,
-                );
+                if np.flipped_fault {
+                    let _ = write!(
+                        out,
+                        "Suppressing the final injected fault — letting {}'s operation \
+                         at `{}` (step {}) succeed — yields `{}`:\n\n```text\n{}\n```\n\n",
+                        e.chosen,
+                        e.site,
+                        np.flipped_step,
+                        np.schedule,
+                        render::lanes(&np.trace),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "The executions diverge at step {}: the failing run faults at \
+                         `{}` and ends with *{}* after {} steps; the fault-free run {} \
+                         after {} steps ({}).",
+                        np.flipped_step,
+                        e.site,
+                        self.outcome,
+                        self.trace.len(),
+                        if np.passes() {
+                            "terminates cleanly"
+                        } else {
+                            "still fails"
+                        },
+                        np.trace.len(),
+                        np.outcome,
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        "Flipping the final preemption — keeping {} running at step {} \
+                         instead of preempting it at `{}` — yields `{}`:\n\n```text\n{}\n```\n\n",
+                        e.current.map_or_else(|| "-".into(), |t| t.to_string()),
+                        np.flipped_step,
+                        e.site,
+                        np.schedule,
+                        render::lanes(&np.trace),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "The executions diverge at step {}: the failing run preempts to \
+                         {} and ends with *{}* after {} steps; the flipped run {} after \
+                         {} steps ({}).",
+                        np.flipped_step,
+                        e.chosen,
+                        self.outcome,
+                        self.trace.len(),
+                        if np.passes() {
+                            "terminates cleanly"
+                        } else {
+                            "still fails"
+                        },
+                        np.trace.len(),
+                        np.outcome,
+                    );
+                }
             }
         }
         out
     }
 }
 
-/// Flips the last preemption of `trace`: replays the schedule up to that
-/// step, then the thread that was running (instead of the preemptor),
-/// then the preemption-free default policy. Returns `None` for
-/// preemption-free witnesses.
+/// Flips the last divergence point of `trace`. For a preemption, replays
+/// the schedule up to that step, then the thread that was running
+/// (instead of the preemptor), then the preemption-free default policy.
+/// For an injected fault occurring after the last preemption, replays
+/// the same choices with that fault suppressed. Returns `None` for
+/// witnesses with neither preemptions nor faults.
 fn nearest_passing(program: &dyn ControlledProgram, trace: &Trace) -> Option<NearestPassing> {
-    let flipped_step = trace.entries().iter().rposition(|e| e.is_preemption())?;
-    let kept = trace.entries()[flipped_step].current?;
+    let last_preemption = trace.entries().iter().rposition(|e| e.is_preemption());
+    let last_fault = trace.entries().iter().rposition(|e| e.fault);
+    let (flipped_step, flipped_fault) = match (last_preemption, last_fault) {
+        (Some(p), Some(f)) if p > f => (p, false),
+        (_, Some(f)) => (f, true),
+        (Some(p), None) => (p, false),
+        (None, None) => return None,
+    };
     let mut schedule = trace.schedule();
-    schedule.truncate(flipped_step);
-    schedule.push(kept);
+    if flipped_fault {
+        // Keep the choices through the faulted step (the same thread
+        // runs the same fallible operation, but now succeeds), drop the
+        // fault, and let the default policy continue: the post-fault
+        // suffix belongs to the failing world and would spuriously
+        // diverge.
+        schedule.truncate(flipped_step + 1);
+        schedule.remove_fault(flipped_step);
+    } else {
+        let kept = trace.entries()[flipped_step].current?;
+        schedule.truncate(flipped_step);
+        schedule.push(kept);
+    }
     let mut replay = ReplayScheduler::new(schedule.clone());
     let result = program.execute(&mut replay, &mut NullSink);
     Some(NearestPassing {
         flipped_step,
+        flipped_fault,
         schedule,
         outcome: result.outcome,
         trace: result.trace,
@@ -357,6 +464,20 @@ fn schedule_array(schedule: &Schedule) -> String {
             out.push_str(", ");
         }
         let _ = write!(out, "{}", t.index());
+    }
+    out.push(']');
+    out
+}
+
+/// The sorted step indices at which `schedule` injects faults, as a JSON
+/// array.
+fn fault_array(schedule: &Schedule) -> String {
+    let mut out = String::from("[");
+    for (i, s) in schedule.faults().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{s}");
     }
     out.push(']');
     out
@@ -521,6 +642,59 @@ mod tests {
         assert!(md.contains("## Step attribution"));
         assert!(md.contains("## Nearest passing schedule"));
         assert!(md.contains("T0 │"), "lane rendering embedded");
+    }
+
+    #[test]
+    fn explains_a_fault_witness() {
+        let p = crate::search::testprog::FaultyCounters { n: 2, k: 2 };
+        let bug = Search::over(&p)
+            .strategy(Strategy::Icb)
+            .config(SearchConfig {
+                max_executions: Some(100_000),
+                fault_bound: 1,
+                ..SearchConfig::default()
+            })
+            .run()
+            .expect("search runs")
+            .first_bug()
+            .cloned()
+            .expect("fault bug found");
+        assert_eq!(
+            (bug.preemptions, bug.faults),
+            (0, 1),
+            "minimum witness is preemption-free with a single fault"
+        );
+        let w = ExplainedWitness::from_report(&p, &bug);
+        assert!(w.outcome.is_bug());
+        assert_eq!((w.preemptions, w.faults), (0, 1));
+        assert_eq!(w.schedule.fault_count(), 1);
+        let np = w
+            .nearest_passing
+            .as_ref()
+            .expect("fault witnesses always have a flip");
+        assert!(np.flipped_fault);
+        assert!(np.passes(), "suppressing the only fault avoids the bug");
+        let json = w.to_json();
+        assert!(json.contains("\"faults\": 1,"), "{json}");
+        assert!(json.contains("\"fault_steps\": ["), "{json}");
+        assert!(json.contains("\"fault\": true"), "{json}");
+        assert!(json.contains("\"flipped_fault\": true,"), "{json}");
+        let md = w.to_markdown("faulty-counters");
+        assert!(md.contains("## Injected faults"), "{md}");
+        assert!(md.contains("1 injected fault,"), "{md}");
+        assert!(md.contains("Suppressing the final injected fault"), "{md}");
+        assert!(md.contains('×'), "fault marker in lanes: {md}");
+    }
+
+    #[test]
+    fn fault_free_bundles_render_without_fault_fields() {
+        let p = buggy();
+        let bug = first_bug(&p);
+        let w = ExplainedWitness::from_report(&p, &bug);
+        assert!(!w.to_json().contains("\"fault"));
+        let md = w.to_markdown("counters");
+        assert!(!md.contains("Injected faults"));
+        assert!(!md.contains("injected fault"));
     }
 
     #[test]

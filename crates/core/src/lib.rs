@@ -97,6 +97,7 @@ pub mod metrics;
 pub mod program;
 pub mod render;
 pub mod replay;
+pub mod retry;
 pub mod rng;
 pub mod search;
 pub mod shrink;
@@ -109,7 +110,7 @@ pub use cache::{Certification, ExplorationCache, NoopCache};
 pub use coverage::{CoverageTracker, NullSink, StateSink};
 pub use explain::{ExplainedWitness, NearestPassing};
 pub use metrics::{MetricsBridge, MetricsRegistry, MetricsSnapshot, WorkerStats};
-pub use program::{ControlledProgram, SchedulePoint, Scheduler};
+pub use program::{ControlledProgram, FaultPoint, SchedulePoint, Scheduler};
 pub use replay::ReplayScheduler;
 pub use search::{Search, SearchError, Strategy};
 pub use snapshot::{Checkpointer, ResumeBase, SearchSnapshot, SnapshotError, StrategyState};

@@ -134,6 +134,8 @@ pub struct MetricsSnapshot {
     pub watchdog_trips: u64,
     /// Data races flagged by the happens-before detector.
     pub races_detected: u64,
+    /// Faults injected at fallible operations by the fault-bound search.
+    pub faults_injected: u64,
     /// Replays spent shrinking witnesses (see
     /// [`shrink::minimize_witness`](crate::shrink::minimize_witness)).
     pub shrink_replays: u64,
@@ -166,6 +168,7 @@ pub struct MetricsRegistry {
     buggy_executions: AtomicU64,
     bugs_reported: AtomicU64,
     races_detected: AtomicU64,
+    faults_injected: AtomicU64,
     shrink_replays: AtomicU64,
     distinct_states: AtomicU64,
     work_items_deferred: AtomicU64,
@@ -215,6 +218,7 @@ impl MetricsRegistry {
             buggy_executions: AtomicU64::new(0),
             bugs_reported: AtomicU64::new(0),
             races_detected: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             shrink_replays: AtomicU64::new(0),
             distinct_states: AtomicU64::new(0),
             work_items_deferred: AtomicU64::new(0),
@@ -363,6 +367,11 @@ impl MetricsRegistry {
     /// The race detector flagged a data race.
     pub fn race_detected(&self) {
         self.races_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The scheduler injected a fault at a fallible operation.
+    pub fn fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Witness shrinking spent `n` additional replays (cumulative, a
@@ -654,6 +663,7 @@ impl MetricsRegistry {
             quarantined: self.quarantined.load(Ordering::Relaxed),
             watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
             races_detected: self.races_detected.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             shrink_replays: self.shrink_replays.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_stores: self.cache_stores.load(Ordering::Relaxed),
@@ -786,6 +796,15 @@ impl SearchObserver for MetricsBridge<'_> {
 
     fn preemption_taken(&mut self, site: SiteId) {
         self.inner.preemption_taken(site);
+    }
+
+    fn fault_injected(&mut self, site: SiteId, step: usize) {
+        self.registry.fault_injected();
+        self.inner.fault_injected(site, step);
+    }
+
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        self.inner.worker_panic(worker, message);
     }
 
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {

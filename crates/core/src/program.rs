@@ -1,7 +1,7 @@
 //! The interface between programs under test and search strategies.
 
 use crate::coverage::StateSink;
-use crate::telemetry::SearchObserver;
+use crate::telemetry::{SearchObserver, SiteId};
 use crate::tid::Tid;
 use crate::trace::ExecutionResult;
 
@@ -49,6 +49,27 @@ impl SchedulePoint<'_> {
     }
 }
 
+/// A fallible operation about to execute: the information available to
+/// the scheduler when it must decide whether to inject a fault.
+///
+/// Program hosts reach a fault point immediately after the scheduling
+/// decision of a step whose operation is *designated fallible* — a
+/// `try_lock` (may fail even when the lock is free), a condvar wait (may
+/// wake spuriously), a bounded channel send (may observe a full
+/// channel), or an explicit `fail_point(site)`. The scheduler answers
+/// with a binary decision, making environmental failure a searched
+/// dimension exactly like preemption.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPoint {
+    /// Index of the step this fault decision belongs to (the same index
+    /// the preceding [`SchedulePoint`] carried).
+    pub step_index: usize,
+    /// The thread executing the fallible operation.
+    pub tid: Tid,
+    /// The site of the fallible operation, as resolved by the host.
+    pub site: SiteId,
+}
+
 /// Decides which thread runs at every scheduling point.
 ///
 /// Implementations range from trivial (replay a fixed schedule, pick at
@@ -63,11 +84,28 @@ pub trait Scheduler {
     /// replay scheduler observing a divergent execution); the driving
     /// search treats this as a hard error in the program under test.
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid;
+
+    /// Decides whether to inject a fault into the fallible operation at
+    /// `point`. Called by the program host right after
+    /// [`pick`](Scheduler::pick) chose the thread, for the same step,
+    /// and only for designated fallible operations.
+    ///
+    /// The default never injects — schedulers that predate fault
+    /// bounding (and any search at fault bound 0) behave exactly as
+    /// before.
+    fn decide_fault(&mut self, point: FaultPoint) -> bool {
+        let _ = point;
+        false
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn pick(&mut self, point: SchedulePoint<'_>) -> Tid {
         (**self).pick(point)
+    }
+
+    fn decide_fault(&mut self, point: FaultPoint) -> bool {
+        (**self).decide_fault(point)
     }
 }
 

@@ -8,9 +8,11 @@ use crate::trace::Trace;
 /// Renders a trace as per-thread lanes.
 ///
 /// Each column is one step; the running thread's lane shows `●` (or `!`
-/// when it was scheduled *by preempting* the previous thread), other
-/// lanes show `·` if enabled at that point and space if not. The summary
-/// line states the step, switch and preemption counts.
+/// when it was scheduled *by preempting* the previous thread, or `×`
+/// when the scheduler injected a fault at that step's fallible
+/// operation), other lanes show `·` if enabled at that point and space
+/// if not. The summary line states the step, switch and preemption
+/// counts, plus the fault count when any were injected.
 ///
 /// # Examples
 ///
@@ -60,7 +62,9 @@ pub fn lanes_wrapped(trace: &Trace, width: usize) -> String {
             let _ = write!(out, "T{t:<gutter$}│");
             for e in &entries[start..end] {
                 let c = if e.chosen.index() == t {
-                    if e.is_preemption() {
+                    if e.fault {
+                        '×'
+                    } else if e.is_preemption() {
                         '!'
                     } else {
                         '●'
@@ -86,6 +90,13 @@ pub fn lanes_wrapped(trace: &Trace, width: usize) -> String {
         trace.context_switches(),
         trace.preemptions(),
     );
+    // Emitted only for faulted traces so fault-free renderings stay
+    // byte-identical to previous releases.
+    let faults = trace.faults();
+    if faults > 0 {
+        let noun = if faults == 1 { "fault" } else { "faults" };
+        let _ = write!(out, ", {faults} {noun} injected (marked `×`)");
+    }
     out
 }
 
@@ -151,6 +162,21 @@ mod tests {
         assert!(s.contains("T0 │●●·●"), "got:\n{s}");
         assert!(s.contains("T1 │··! "), "got:\n{s}");
         assert!(s.contains("4 steps, 2 context switches (1 preempting"));
+    }
+
+    #[test]
+    fn lanes_mark_injected_faults() {
+        let trace: Trace = vec![
+            TraceEntry::new(Tid(0), vec![Tid(0), Tid(1)], None, false, false),
+            TraceEntry::new(Tid(1), vec![Tid(0), Tid(1)], Some(Tid(0)), true, false)
+                .with_fault(true),
+        ]
+        .into();
+        let s = lanes(&trace);
+        assert!(s.contains("T1 │·×"), "got:\n{s}");
+        assert!(s.contains("1 fault injected (marked `×`)"), "got:\n{s}");
+        // Fault-free traces keep the legacy summary line verbatim.
+        assert!(!lanes(&sample()).contains("fault"));
     }
 
     #[test]

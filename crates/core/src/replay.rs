@@ -1,6 +1,6 @@
 //! Replay scheduling: reproduce an execution from its schedule.
 
-use crate::program::{SchedulePoint, Scheduler};
+use crate::program::{FaultPoint, SchedulePoint, Scheduler};
 use crate::tid::Tid;
 use crate::trace::{DivergencePayload, Schedule};
 
@@ -73,6 +73,13 @@ impl Scheduler for ReplayScheduler {
             TailPolicy::LowestId => point.enabled[0],
         }
     }
+
+    /// Replays the recorded fault set: inject exactly at the prefix
+    /// steps marked faulted, never in the tail. This is what makes a
+    /// fault witness byte-deterministic under replay.
+    fn decide_fault(&mut self, point: FaultPoint) -> bool {
+        point.step_index < self.prefix.len() && self.prefix.fault_at(point.step_index)
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +109,22 @@ mod tests {
         assert_eq!(s.pick(point(1, Some(Tid(1)), true, &enabled)), Tid(1));
         // Current blocked: nonpreempting switch to lowest id.
         assert_eq!(s.pick(point(2, Some(Tid(1)), false, &enabled)), Tid(0));
+    }
+
+    #[test]
+    fn replays_recorded_faults_only_inside_the_prefix() {
+        let mut prefix = Schedule::from(vec![Tid(0), Tid(1)]);
+        prefix.add_fault(1);
+        let mut s = ReplayScheduler::new(prefix);
+        let fp = |step| crate::program::FaultPoint {
+            step_index: step,
+            tid: Tid(1),
+            site: crate::telemetry::SiteId::UNKNOWN,
+        };
+        assert!(!s.decide_fault(fp(0)));
+        assert!(s.decide_fault(fp(1)));
+        // Tail: never inject.
+        assert!(!s.decide_fault(fp(2)));
     }
 
     #[test]

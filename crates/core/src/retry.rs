@@ -1,0 +1,95 @@
+//! Bounded retry with jittered backoff for transient I/O failures.
+//!
+//! Long searches write durable artifacts — checkpoints, cache segments —
+//! whose writes can fail transiently (NFS hiccups, momentary ENOSPC, AV
+//! scanners holding the temp file). A search should not die, and should
+//! not immediately forfeit durability, because one write failed once.
+//! This module provides the one retry policy those writers share: a
+//! small fixed number of attempts with jittered exponential backoff,
+//! after which the error is returned to the caller, who degrades to a
+//! logged warning and keeps searching (durability is best-effort; the
+//! search itself never depends on it).
+
+use std::time::Duration;
+
+use crate::rng::SplitMix64;
+
+/// Total attempts (the first try plus retries) made by
+/// [`with_backoff`].
+pub const ATTEMPTS: u32 = 3;
+
+/// Runs `op` up to [`ATTEMPTS`] times, sleeping with jittered
+/// exponential backoff between failures (≈10 ms then ≈40 ms, each with
+/// up to 100% added jitter so colocated writers do not retry in
+/// lockstep). Returns the first success, or the last error once the
+/// attempts are exhausted. Every failed attempt is logged to stderr with
+/// `what` for context.
+pub fn with_backoff<T, E: std::fmt::Display>(
+    what: &str,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    // The jitter stream need not be reproducible across runs (it never
+    // influences search results), only cheap and process-local.
+    let mut rng = SplitMix64::new(std::process::id() as u64 ^ ((what.len() as u64) << 32));
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= ATTEMPTS {
+                    return Err(e);
+                }
+                let base = 10u64 << (2 * (attempt - 1)); // 10ms, 40ms
+                let delay = base + rng.gen_index(base as usize + 1) as u64;
+                eprintln!(
+                    "warning: {what} failed (attempt {attempt}/{ATTEMPTS}): {e}; \
+                     retrying in {delay}ms"
+                );
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_first_success_without_retry() {
+        let mut calls = 0;
+        let out: Result<u32, String> = with_backoff("test op", || {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_transient_failures_then_succeeds() {
+        let mut calls = 0;
+        let out: Result<u32, String> = with_backoff("test op", || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient".to_string())
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!(out, Ok(9));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhausts_attempts_and_returns_last_error() {
+        let mut calls = 0;
+        let out: Result<u32, String> = with_backoff("test op", || {
+            calls += 1;
+            Err(format!("fail {calls}"))
+        });
+        assert_eq!(out, Err("fail 3".to_string()));
+        assert_eq!(calls, ATTEMPTS as usize);
+    }
+}

@@ -328,6 +328,8 @@ fn run_dfs(
                 state: Rc::clone(&state_cursor),
                 // DFS explores each recorded subtree schedule-exhaustively.
                 credit: coverage_credit(0, None),
+                // DFS never defers fault items (faults are ICB-only).
+                fault_credit: None,
                 hits: 0,
                 stores: 0,
             }),

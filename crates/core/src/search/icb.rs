@@ -20,14 +20,26 @@
 //! swaps in the deferred queue — so every execution with `i` preemptions
 //! is explored before any execution with `i + 1`, and the first bug found
 //! is exposed by a minimal number of preemptions.
+//!
+//! # Fault levels
+//!
+//! When [`SearchConfig::fault_bound`] is non-zero, *injected faults*
+//! become a second bounded dimension: every designated fallible
+//! operation reached fresh during the nested DFS additionally defers a
+//! work item with a fault injected into that step, to the level
+//! `(c, f + 1)`. Levels are processed in lexicographic `(preemptions,
+//! faults)` order — `(0,0), (0,1), …, (0,F), (1,0), …` — so the first
+//! bug found carries a minimum-`(preemptions, faults)` witness. At
+//! fault bound 0 no fault is ever injected or deferred and the search
+//! degenerates exactly to the single-axis algorithm above.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use crate::cache::{coverage_credit, ExplorationCache};
+use crate::cache::{coverage_credit, ExplorationCache, FAULT_PROBE_SALT};
 use crate::coverage::StateSink;
-use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+use crate::program::{ControlledProgram, FaultPoint, SchedulePoint, Scheduler};
 use crate::search::{
     execute_recovering, BoundStats, BugReport, CacheBinding, QuarantinedTrace, SearchConfig,
     SearchCtx, SearchReport, SearchStrategy,
@@ -194,8 +206,9 @@ impl IcbSearch {
                     program,
                     ctx,
                     work,
-                    next: VecDeque::new(),
+                    deferred: BTreeMap::new(),
                     bound: 0,
+                    fault: 0,
                     truncated: false,
                     bound_history: Vec::new(),
                     completed: false,
@@ -222,8 +235,13 @@ impl IcbSearch {
                     program,
                     ctx,
                     work: state.work.into(),
-                    next: state.next.into(),
+                    deferred: state
+                        .deferred
+                        .into_iter()
+                        .map(|(c, f, q)| ((c, f), q.into()))
+                        .collect(),
                     bound: state.bound,
+                    fault: state.fault,
                     truncated,
                     bound_history: state.bound_history,
                     completed: false,
@@ -257,8 +275,15 @@ struct Driver<'p, 'o> {
     program: &'p dyn ControlledProgram,
     ctx: SearchCtx<'o>,
     work: VecDeque<Schedule>,
-    next: VecDeque<Schedule>,
+    /// Deferred work items keyed by the `(preemption, fault)` level at
+    /// which they will run; drained in lexicographic key order. At
+    /// fault bound 0 only `(bound + 1, 0)` is ever populated — the
+    /// legacy single `next` queue.
+    deferred: BTreeMap<(usize, usize), VecDeque<Schedule>>,
     bound: usize,
+    /// The fault level `f` of the level currently being explored
+    /// (always 0 at fault bound 0).
+    fault: usize,
     truncated: bool,
     bound_history: Vec<BoundStats>,
     completed: bool,
@@ -303,13 +328,14 @@ impl Driver<'_, '_> {
                     },
                 };
                 self.search_item(prefix, stack, ckpt);
-                self.ctx.observer.work_queue_depth(self.next.len());
+                self.ctx.observer.work_queue_depth(self.deferred_len());
                 if self.ctx.stop {
                     break 'outer;
                 }
             }
             let stats = BoundStats {
                 bound: self.bound,
+                faults: self.fault,
                 executions: self.ctx.executions - self.execs_base,
                 cumulative_states: self.ctx.coverage.distinct_states(),
                 bugs_found: self.ctx.buggy_executions - self.bugs_base,
@@ -318,33 +344,40 @@ impl Driver<'_, '_> {
                 .observer
                 .bound_completed(&stats, bound_began.elapsed());
             self.bound_history.push(stats);
-            self.completed_bound = Some(self.bound);
-            if self.next.is_empty() {
+            // A preemption bound `c` counts as completed only once every
+            // fault level `(c, _)` with pending work has been drained —
+            // at fault bound 0 that is after every level, as before.
+            let next_level = self.deferred.keys().next().copied();
+            if next_level.is_none_or(|(c, _)| c > self.bound) {
+                self.completed_bound = Some(self.bound);
+            }
+            let Some(level) = next_level else {
                 self.completed = !self.truncated;
                 break;
-            }
+            };
             if self
                 .ctx
                 .config
                 .preemption_bound
-                .is_some_and(|pb| self.bound >= pb)
+                .is_some_and(|pb| level.0 > pb)
             {
                 break;
             }
-            // Re-check the wall-clock budget between bound iterations:
+            // Re-check the wall-clock budget between levels:
             // `record` only checks after each execution, so without this a
-            // deadline expiring exactly at a bound boundary would start
-            // (and fully time) another bound's first execution.
+            // deadline expiring exactly at a level boundary would start
+            // (and fully time) another level's first execution.
             if self.ctx.over_deadline() {
                 self.ctx.halt(AbortReason::Timeout);
                 self.truncated = true;
                 self.write_checkpoint(ckpt, None);
                 break;
             }
-            self.bound += 1;
+            let queue = self.deferred.remove(&level).expect("peeked key exists");
+            (self.bound, self.fault) = level;
             self.execs_base = self.ctx.executions;
             self.bugs_base = self.ctx.buggy_executions;
-            std::mem::swap(&mut self.work, &mut self.next);
+            self.work = queue;
         }
         if !self.ctx.stop {
             // Clean completion (space exhausted or the configured bound
@@ -397,10 +430,13 @@ impl Driver<'_, '_> {
                 path: Schedule::new(),
                 fresh_from,
                 emitted: Vec::new(),
+                emitted_faults: Vec::new(),
+                emit_faults: self.fault < self.ctx.config.fault_bound,
                 cache: self.cache.map(|cache| ItemCache {
                     cache,
                     state: Rc::clone(&self.state_cursor),
                     credit: coverage_credit(self.bound + 1, self.ctx.config.preemption_bound),
+                    fault_credit: coverage_credit(self.bound, self.ctx.config.preemption_bound),
                     hits: 0,
                     stores: 0,
                 }),
@@ -427,6 +463,7 @@ impl Driver<'_, '_> {
                 stack: run_stack,
                 path,
                 emitted,
+                emitted_faults,
                 cache: item_cache,
                 ..
             } = sched;
@@ -461,14 +498,23 @@ impl Driver<'_, '_> {
                     .max_work_queue
                     .unwrap_or(usize::MAX)
                     .min(self.ctx.remaining_budget());
-                for item in emitted {
-                    if self.next.len() < queue_cap {
-                        self.next.push_back(item);
-                        self.ctx.observer.work_item_deferred(self.bound + 1);
-                    } else {
-                        self.truncated = true;
+                // Preemption deferrals run at the next preemption bound,
+                // fault deferrals at the next fault level of this bound.
+                for (level, items) in [
+                    ((self.bound + 1, self.fault), emitted),
+                    ((self.bound, self.fault + 1), emitted_faults),
+                ] {
+                    for item in items {
+                        let queue = self.deferred.entry(level).or_default();
+                        if queue.len() < queue_cap {
+                            queue.push_back(item);
+                            self.ctx.observer.work_item_deferred(level.0);
+                        } else {
+                            self.truncated = true;
+                        }
                     }
                 }
+                self.deferred.retain(|_, q| !q.is_empty());
             }
 
             self.ctx.record(&result, self.program.executions_per_run());
@@ -510,6 +556,11 @@ impl Driver<'_, '_> {
         }
     }
 
+    /// Total number of deferred work items across every pending level.
+    fn deferred_len(&self) -> usize {
+        self.deferred.values().map(|q| q.len()).sum()
+    }
+
     /// Builds and atomically writes a snapshot of the current loop
     /// state. `in_progress` carries the partially explored work item, if
     /// the checkpoint falls inside one.
@@ -531,11 +582,16 @@ impl Driver<'_, '_> {
             base,
             state: StrategyState::Icb(IcbState {
                 bound: self.bound,
+                fault: self.fault,
                 bound_executions_base: self.execs_base,
                 bound_bugs_base: self.bugs_base,
                 completed_bound: self.completed_bound,
                 work: self.work.iter().cloned().collect(),
-                next: self.next.iter().cloned().collect(),
+                deferred: self
+                    .deferred
+                    .iter()
+                    .map(|(&(c, f), q)| (c, f, q.iter().cloned().collect()))
+                    .collect(),
                 bound_history: self.bound_history.clone(),
                 in_progress: in_progress
                     .map(|(p, s)| (p.clone(), s.iter().map(Branch::to_snapshot).collect())),
@@ -647,6 +703,10 @@ pub(crate) struct ItemCache<'a> {
     /// next bound); `None` when they lie beyond the target bound and
     /// will never run — then neither probed nor recorded.
     pub(crate) credit: Option<u32>,
+    /// Coverage credit of *fault* work items, which run at this bound
+    /// (next fault level), so they carry one more preemption of budget
+    /// than preemption deferrals do.
+    pub(crate) fault_credit: Option<u32>,
     pub(crate) hits: usize,
     pub(crate) stores: usize,
 }
@@ -661,6 +721,26 @@ impl ItemCache<'_> {
             return false;
         };
         if self.cache.probe(self.state.get(), t, credit) {
+            self.hits += 1;
+            true
+        } else {
+            self.stores += 1;
+            false
+        }
+    }
+
+    /// Probes the cache for the faulted variant of the `(current state,
+    /// t)` subtree. The key is salted with [`FAULT_PROBE_SALT`]: an
+    /// injected fault changes the continuation, so the faulted subtree
+    /// must never collide with the fault-free entry.
+    pub(crate) fn covered_fault(&mut self, t: Tid) -> bool {
+        let Some(credit) = self.fault_credit else {
+            return false;
+        };
+        if self
+            .cache
+            .probe(self.state.get() ^ FAULT_PROBE_SALT, t, credit)
+        {
             self.hits += 1;
             true
         } else {
@@ -683,6 +763,13 @@ pub(crate) struct ItemScheduler<'a> {
     pub(crate) fresh_from: usize,
     /// Deferred work items (`path-so-far · t`) discovered in this run.
     pub(crate) emitted: Vec<Schedule>,
+    /// Deferred *fault* work items (`path-so-far` with a fault injected
+    /// into its last step) discovered in this run; they belong to the
+    /// next fault level of the current preemption bound.
+    pub(crate) emitted_faults: Vec<Schedule>,
+    /// Whether fresh fallible points emit fault work items (false once
+    /// the fault bound is reached, and always false at fault bound 0).
+    pub(crate) emit_faults: bool,
     /// Fingerprint-cache probing at emission points; `None` emits every
     /// fresh work item (the legacy behavior).
     pub(crate) cache: Option<ItemCache<'a>>,
@@ -751,6 +838,32 @@ impl Scheduler for ItemScheduler<'_> {
         };
         self.path.push(choice);
         choice
+    }
+
+    /// Within the prefix, replay the recorded fault set (and mirror it
+    /// into `path` so emitted work items and quarantine records inherit
+    /// it). Past the prefix, never inject — instead, at fresh points,
+    /// defer a copy of the path with a fault added to this very step:
+    /// the faulted continuation is explored at the next fault level.
+    fn decide_fault(&mut self, point: FaultPoint) -> bool {
+        if point.step_index < self.prefix.len() {
+            if self.prefix.fault_at(point.step_index) {
+                self.path.add_fault(point.step_index);
+                return true;
+            }
+            return false;
+        }
+        if self.emit_faults && point.step_index >= self.fresh_from {
+            if let Some(cache) = &mut self.cache {
+                if cache.covered_fault(point.tid) {
+                    return false;
+                }
+            }
+            let mut item = self.path.clone();
+            item.add_fault(point.step_index);
+            self.emitted_faults.push(item);
+        }
+        false
     }
 }
 

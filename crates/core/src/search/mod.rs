@@ -52,6 +52,13 @@ pub struct SearchConfig {
     /// `None` iterates until the space is exhausted or another limit
     /// triggers.
     pub preemption_bound: Option<usize>,
+    /// For [`IcbSearch`]: the iterative *fault bound* `f`, composing
+    /// lexicographically with the preemption bound `c` — levels are
+    /// explored in the order `(0,0), (0,1), …, (0,f), (1,0), …`, so the
+    /// first bug found carries a minimum-`(preemptions, faults)`
+    /// witness. 0 (the default) never injects a fault and reproduces
+    /// pre-fault behavior exactly.
+    pub fault_bound: usize,
     /// Abort the search as soon as the first bug is recorded.
     pub stop_on_first_bug: bool,
     /// Keep at most this many bug reports (further buggy executions are
@@ -76,6 +83,7 @@ impl Default for SearchConfig {
         SearchConfig {
             max_executions: Some(1_000_000),
             preemption_bound: None,
+            fault_bound: 0,
             stop_on_first_bug: false,
             max_bug_reports: 64,
             max_work_queue: None,
@@ -112,8 +120,13 @@ pub struct BugReport {
     /// [`crate::ReplayScheduler`] to reproduce the bug deterministically.
     pub schedule: Schedule,
     /// Number of preemptions in the failing execution. For [`IcbSearch`]
-    /// the first report's value is *minimal* over all failing executions.
+    /// the first report's value is *minimal* over all failing executions
+    /// (lexicographically in `(preemptions, faults)` when a fault bound
+    /// is set).
     pub preemptions: usize,
+    /// Number of injected faults in the failing execution (0 unless the
+    /// search ran with a fault bound).
+    pub faults: usize,
     /// 1-based index of the failing execution within the search.
     pub execution_index: usize,
     /// Length of the failing execution in steps.
@@ -140,11 +153,17 @@ pub struct QuarantinedTrace {
     pub actual: Vec<Tid>,
 }
 
-/// Statistics for one completed preemption bound of [`IcbSearch`].
+/// Statistics for one completed preemption bound of [`IcbSearch`] — or,
+/// when a fault bound is set, one `(preemption, fault)` level of the
+/// lexicographic grid (one row per level, identified by
+/// `(bound, faults)`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BoundStats {
     /// The preemption bound these statistics describe.
     pub bound: usize,
+    /// The fault level these statistics describe (0 in fault-free runs,
+    /// where one row per preemption bound is emitted as before).
+    pub faults: usize,
     /// Executions explored *at* this bound.
     pub executions: usize,
     /// Cumulative distinct states after completing this bound — the
@@ -263,9 +282,15 @@ impl std::fmt::Display for SearchReport {
                 if let Some(bug) = self.first_bug() {
                     write!(
                         f,
-                        "; first: {} ({} preemptions)",
+                        "; first: {} ({} preemptions",
                         bug.outcome, bug.preemptions
                     )?;
+                    // Stated only for faulted witnesses: fault-free
+                    // reports stay byte-identical to older releases.
+                    if bug.faults > 0 {
+                        write!(f, ", {} faults", bug.faults)?;
+                    }
+                    write!(f, ")")?;
                 }
             }
         }
@@ -539,6 +564,11 @@ impl<'o> SearchCtx<'o> {
         if self.observer.wants_choice_points() {
             self.emit_choice_points(result);
         }
+        if result.stats.faults > 0 {
+            for (site, step) in fault_events(result) {
+                self.observer.fault_injected(site, step);
+            }
+        }
         self.observer.execution_finished(
             self.executions,
             &result.stats,
@@ -555,6 +585,7 @@ impl<'o> SearchCtx<'o> {
                     outcome: result.outcome.clone(),
                     schedule: result.trace.schedule(),
                     preemptions: result.stats.preemptions,
+                    faults: result.stats.faults,
                     execution_index: self.executions,
                     steps: result.stats.steps,
                 };
@@ -621,6 +652,20 @@ pub(crate) struct ChoiceEvent {
     pub(crate) victim: Option<SiteId>,
 }
 
+/// The injected faults of a finished execution, as `(site, step)` pairs
+/// in step order. Shared by the sequential [`SearchCtx`] and the
+/// parallel event pump so both attribute identically.
+pub(crate) fn fault_events(result: &ExecutionResult) -> Vec<(SiteId, usize)> {
+    result
+        .trace
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.fault)
+        .map(|(i, e)| (e.site, i))
+        .collect()
+}
+
 pub(crate) fn choice_events(result: &ExecutionResult) -> Vec<ChoiceEvent> {
     let entries = result.trace.entries();
     entries
@@ -683,7 +728,8 @@ pub(crate) mod testprog {
     //! exercise blocking (nonpreempting switches).
 
     use crate::coverage::{fingerprint_bytes, StateSink};
-    use crate::program::{ControlledProgram, SchedulePoint, Scheduler};
+    use crate::program::{ControlledProgram, FaultPoint, SchedulePoint, Scheduler};
+    use crate::telemetry::SiteId;
     use crate::tid::Tid;
     use crate::trace::{ExecutionOutcome, ExecutionResult, Trace, TraceEntry};
 
@@ -752,6 +798,75 @@ pub(crate) mod testprog {
                     message: "bug pattern hit".into(),
                 },
                 None => ExecutionOutcome::Terminated,
+            };
+            ExecutionResult::from_trace(outcome, trace)
+        }
+    }
+
+    /// `n` threads × `k` increments where every increment is a fallible
+    /// operation: the scheduler may fault it, in which case the update is
+    /// lost. The final counter is asserted at join, so the bug is
+    /// invisible at `fault_bound: 0` and has a minimum witness of zero
+    /// preemptions and exactly one injected fault.
+    pub(crate) struct FaultyCounters {
+        pub n: usize,
+        pub k: usize,
+    }
+
+    impl ControlledProgram for FaultyCounters {
+        fn execute(
+            &self,
+            scheduler: &mut dyn Scheduler,
+            sink: &mut dyn StateSink,
+        ) -> ExecutionResult {
+            let mut counter: u32 = 0;
+            let mut pos = vec![0usize; self.n];
+            let mut trace = Trace::new();
+            let mut current: Option<Tid> = None;
+            loop {
+                let enabled: Vec<Tid> = (0..self.n).filter(|&i| pos[i] < self.k).map(Tid).collect();
+                if enabled.is_empty() {
+                    break;
+                }
+                let current_enabled = current.is_some_and(|t| pos[t.index()] < self.k);
+                let chosen = scheduler.pick(SchedulePoint {
+                    step_index: trace.len(),
+                    current,
+                    current_enabled,
+                    enabled: &enabled,
+                });
+                let site = SiteId::at(chosen.index() as u32, "incr", pos[chosen.index()] as u32);
+                let fault = scheduler.decide_fault(FaultPoint {
+                    step_index: trace.len(),
+                    tid: chosen,
+                    site,
+                });
+                trace.push(
+                    TraceEntry::new(chosen, enabled, current, current_enabled, false)
+                        .with_site(site)
+                        .with_fault(fault),
+                );
+                if !fault {
+                    counter += 1;
+                }
+                pos[chosen.index()] += 1;
+                current = Some(chosen);
+
+                let mut bytes = Vec::with_capacity(4 + self.n * 8);
+                bytes.extend_from_slice(&counter.to_le_bytes());
+                for p in &pos {
+                    bytes.extend_from_slice(&(*p as u64).to_le_bytes());
+                }
+                sink.visit(fingerprint_bytes(&bytes));
+            }
+            let expected = (self.n * self.k) as u32;
+            let outcome = if counter == expected {
+                ExecutionOutcome::Terminated
+            } else {
+                ExecutionOutcome::AssertionFailure {
+                    thread: Tid(0),
+                    message: format!("lost update: counter {counter} != {expected}"),
+                }
             };
             ExecutionResult::from_trace(outcome, trace)
         }

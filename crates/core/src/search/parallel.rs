@@ -51,14 +51,14 @@ use crate::search::dfs::{Branch as DfsBranch, GatedSink};
 use crate::search::frontier::Frontier;
 use crate::search::icb::{Branch as IcbBranch, CursorSink, ItemCache, ItemScheduler};
 use crate::search::{
-    choice_events, execute_recovering, BoundStats, BugReport, CacheBinding, CacheSummary,
-    ChoiceEvent, QuarantinedTrace, SearchConfig, SearchReport,
+    choice_events, execute_recovering, fault_events, BoundStats, BugReport, CacheBinding,
+    CacheSummary, ChoiceEvent, QuarantinedTrace, SearchConfig, SearchReport,
 };
 use crate::snapshot::{
     interrupt, Checkpointer, IcbState, ParallelDfsState, ParallelRandomState, ResumeBase,
     SearchSnapshot, StrategyState,
 };
-use crate::telemetry::{AbortReason, Phase, ResumeInfo, SearchObserver};
+use crate::telemetry::{AbortReason, Phase, ResumeInfo, SearchObserver, SiteId};
 use crate::tid::Tid;
 use crate::trace::{DivergencePayload, ExecStats, ExecutionOutcome, Schedule};
 
@@ -90,13 +90,36 @@ struct ExecEvent {
     choice: Vec<ChoiceEvent>,
     races: Vec<String>,
     phases: Vec<(Phase, Duration)>,
-    /// ICB: work items deferred to the next bound by this execution.
+    /// ICB: work items deferred to the next *preemption* bound
+    /// (`(c + 1, f)`) by this execution.
     deferred: Vec<Schedule>,
+    /// ICB: work items deferred to the next *fault* level (`(c, f + 1)`)
+    /// by this execution. Always empty at fault bound 0.
+    deferred_faults: Vec<Schedule>,
+    /// Faults injected during this execution, as `(site, step)` pairs
+    /// for the pump to replay through the observer.
+    faults: Vec<(SiteId, usize)>,
     quarantine: Option<QuarantinedTrace>,
     /// Fingerprint-cache hits (pruned emissions) of this execution.
     cache_hits: usize,
     /// Fingerprint-cache stores (recorded subtrees) of this execution.
     cache_stores: usize,
+    /// `Some(message)` when the program panicked out of this run (not a
+    /// replay divergence). The event then carries no execution result:
+    /// the pump emits `worker_panic` (plus the quarantine record, on the
+    /// second strike) and skips the per-execution bookkeeping.
+    panic: Option<String>,
+}
+
+/// Renders a caught panic payload for the `worker-panic` event.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Worker-side observer: buffers the engine-level events of one
@@ -167,9 +190,10 @@ struct Ledger<'o> {
     coverage_executions: usize,
     executions: usize,
     buggy_executions: usize,
-    /// Bugs keyed `(preemptions, schedule)`: iteration order is the
-    /// canonical minimal-first report order regardless of arrival order.
-    bugs: BTreeMap<(usize, Schedule), BugReport>,
+    /// Bugs keyed `(preemptions, faults, schedule)`: iteration order is
+    /// the canonical minimal-first report order regardless of arrival
+    /// order (lexicographic, matching the `(c, f)` level order).
+    bugs: BTreeMap<(usize, usize, Schedule), BugReport>,
     max_stats: ExecStats,
     quarantined: Vec<QuarantinedTrace>,
     quarantined_total: usize,
@@ -178,8 +202,13 @@ struct Ledger<'o> {
     stop: bool,
     abort: Option<AbortReason>,
     current_bound: usize,
-    /// ICB: next-bound work items collected from events this bound.
+    /// ICB: `(c + 1, f)` work items collected from events this level.
     deferred: Vec<Schedule>,
+    /// ICB: `(c, f + 1)` work items collected from events this level.
+    deferred_faults: Vec<Schedule>,
+    /// ICB: total items already queued at not-yet-run levels (for the
+    /// `work_queue_depth` event, which reports all pending work).
+    pending_depth: usize,
     /// Emit `work_queue_depth` after events (ICB only).
     track_queue: bool,
     want_choice: bool,
@@ -220,6 +249,8 @@ impl<'o> Ledger<'o> {
             abort: None,
             current_bound: 0,
             deferred: Vec::new(),
+            deferred_faults: Vec::new(),
+            pending_depth: 0,
             track_queue,
             want_choice,
             cache: None,
@@ -242,7 +273,7 @@ impl<'o> Ledger<'o> {
         self.buggy_executions = base.buggy_executions;
         for bug in base.bugs {
             self.bugs
-                .insert((bug.preemptions, bug.schedule.clone()), bug);
+                .insert((bug.preemptions, bug.faults, bug.schedule.clone()), bug);
         }
         self.max_stats = base.max_stats;
         self.quarantined = base.quarantined;
@@ -295,6 +326,22 @@ impl<'o> Ledger<'o> {
             m.set_pump_channel_depth(backlog);
         }
         self.observer.worker_stamp(ev.worker, ev.seq, ev.at);
+        if let Some(message) = &ev.panic {
+            // A panicked run produced no execution result: surface the
+            // event (and the quarantine record on the second strike),
+            // keep whatever coverage the partial run visited, and skip
+            // the per-execution bookkeeping.
+            self.observer.worker_panic(ev.worker, message);
+            for &fp in &ev.fresh {
+                self.master.insert(fp);
+            }
+            if let Some(q) = ev.quarantine {
+                self.quarantined_total += 1;
+                self.observer.trace_quarantined(&q);
+                self.quarantined.push(q);
+            }
+            return;
+        }
         self.observer.execution_started(self.executions + 1);
         for race in &ev.races {
             self.observer.race_detected(race);
@@ -317,6 +364,9 @@ impl<'o> Ledger<'o> {
                 }
             }
         }
+        for &(site, step) in &ev.faults {
+            self.observer.fault_injected(site, step);
+        }
         self.observer.execution_finished(
             self.executions,
             &ev.stats,
@@ -334,12 +384,13 @@ impl<'o> Ledger<'o> {
         if ev.outcome.is_bug() {
             self.buggy_executions += 1;
             if let Some(schedule) = ev.bug_schedule {
-                let key = (ev.stats.preemptions, schedule.clone());
+                let key = (ev.stats.preemptions, ev.stats.faults, schedule.clone());
                 if !self.bugs.contains_key(&key) {
                     let bug = BugReport {
                         outcome: ev.outcome.clone(),
                         schedule,
                         preemptions: ev.stats.preemptions,
+                        faults: ev.stats.faults,
                         // Arrival-order index for the streamed event; the
                         // final report canonicalizes to rank order.
                         execution_index: self.executions,
@@ -360,6 +411,14 @@ impl<'o> Ledger<'o> {
                 self.observer.work_item_deferred(self.current_bound + 1);
             }
         }
+        if !ev.deferred_faults.is_empty() {
+            // Fault deferrals run at the *same* preemption bound (next
+            // fault level), matching the sequential driver's event.
+            for item in ev.deferred_faults {
+                self.deferred_faults.push(item);
+                self.observer.work_item_deferred(self.current_bound);
+            }
+        }
         if ev.cache_hits > 0 || ev.cache_stores > 0 {
             if let Some(c) = &mut self.cache {
                 c.hits += ev.cache_hits;
@@ -373,7 +432,9 @@ impl<'o> Ledger<'o> {
             }
         }
         if self.track_queue {
-            self.observer.work_queue_depth(self.deferred.len());
+            self.observer.work_queue_depth(
+                self.pending_depth + self.deferred.len() + self.deferred_faults.len(),
+            );
         }
     }
 
@@ -467,7 +528,7 @@ fn claim_budget(claimed: &AtomicUsize, budget: usize, cost: usize) -> bool {
 /// fresh item whose own `fresh_from` (its prefix length, `step + 1`)
 /// matches what this item would have used after backtracking to that
 /// level, so deferral emission is unchanged by the dissolution.
-fn dissolve_icb(path: &Schedule, stack: &[IcbBranch]) -> Vec<(Schedule, Vec<IcbBranch>)> {
+fn dissolve_icb(path: &Schedule, stack: &[IcbBranch]) -> Vec<IcbItem> {
     let mut items = Vec::new();
     for (j, b) in stack.iter().enumerate() {
         let lo = if j + 1 == stack.len() {
@@ -479,7 +540,7 @@ fn dissolve_icb(path: &Schedule, stack: &[IcbBranch]) -> Vec<(Schedule, Vec<IcbB
             let mut prefix = path.clone();
             prefix.truncate(b.step);
             prefix.push(option);
-            items.push((prefix, Vec::new()));
+            items.push((prefix, Vec::new(), false));
         }
     }
     items
@@ -488,11 +549,7 @@ fn dissolve_icb(path: &Schedule, stack: &[IcbBranch]) -> Vec<(Schedule, Vec<IcbB
 /// DFS analogue of [`dissolve_icb`]: branch level `j` of an item with
 /// prefix length `p` sits at step `p + j` (parallel DFS branches at every
 /// in-bound point past the prefix).
-fn dissolve_dfs(
-    prefix_len: usize,
-    path: &Schedule,
-    stack: &[DfsBranch],
-) -> Vec<(Schedule, Vec<DfsBranch>)> {
+fn dissolve_dfs(prefix_len: usize, path: &Schedule, stack: &[DfsBranch]) -> Vec<DfsItem> {
     let mut items = Vec::new();
     for (j, b) in stack.iter().enumerate() {
         let lo = if j + 1 == stack.len() {
@@ -504,7 +561,7 @@ fn dissolve_dfs(
             let mut prefix = path.clone();
             prefix.truncate(prefix_len + j);
             prefix.push(option);
-            items.push((prefix, Vec::new()));
+            items.push((prefix, Vec::new(), false));
         }
     }
     items
@@ -572,22 +629,27 @@ impl WorkerEnv<'_> {
 // Parallel ICB
 // ---------------------------------------------------------------------
 
-type IcbItem = (Schedule, Vec<IcbBranch>);
+/// `(prefix, branch stack, retried)` — `retried` marks an item already
+/// requeued once after a worker-side panic; a second panic quarantines
+/// it instead of retrying again.
+type IcbItem = (Schedule, Vec<IcbBranch>, bool);
 
+#[allow(clippy::too_many_arguments)]
 fn icb_worker(
     env: &WorkerEnv<'_>,
     frontier: &Frontier<IcbItem>,
     tx: mpsc::Sender<ExecEvent>,
     worker: usize,
     seq: &AtomicU64,
-    cache: Option<(&dyn ExplorationCache, Option<u32>)>,
+    cache: Option<(&dyn ExplorationCache, Option<u32>, Option<u32>)>,
+    emit_faults: bool,
 ) {
     let cost = env.program.executions_per_run().max(1);
     let mut dedup = DedupSink::default();
     let cursor = Rc::new(Cell::new(0u64));
     'items: loop {
         let wait = Instant::now();
-        let Some((prefix, mut stack)) = frontier.pop() else {
+        let Some((prefix, mut stack, retried)) = frontier.pop() else {
             break;
         };
         if let Some(m) = env.metrics {
@@ -600,7 +662,7 @@ fn icb_worker(
                 return;
             }
             if !claim_budget(env.claimed, env.budget, cost) {
-                frontier.push_many([(prefix, stack)]);
+                frontier.push_many([(prefix, stack, retried)]);
                 frontier.complete();
                 return;
             }
@@ -610,6 +672,9 @@ fn icb_worker(
                 stack.last().map_or(prefix.len(), |b| b.step + 1)
             };
             first_run = false;
+            // Kept so a panicking run can be requeued from its pre-run
+            // state (the scheduler's stack is garbage after a panic).
+            let stack_backup = stack.clone();
             let mut sched = ItemScheduler {
                 prefix: &prefix,
                 stack,
@@ -617,61 +682,109 @@ fn icb_worker(
                 path: Schedule::new(),
                 fresh_from,
                 emitted: Vec::new(),
-                cache: cache.map(|(cache, credit)| ItemCache {
+                emitted_faults: Vec::new(),
+                emit_faults,
+                cache: cache.map(|(cache, credit, fault_credit)| ItemCache {
                     cache,
                     state: Rc::clone(&cursor),
                     credit,
+                    fault_credit,
                     hits: 0,
                     stores: 0,
                 }),
             };
             let mut buf = BufObserver::new(env.want_phases);
             let busy = Instant::now();
-            let result = if let Some((cache, _)) = cache {
-                cursor.set(0);
-                let mut sink = CursorSink {
-                    inner: &mut dedup,
-                    state: &cursor,
-                    cache,
-                };
-                execute_recovering(env.program, &mut sched, &mut sink, &mut buf)
-            } else {
-                execute_recovering(env.program, &mut sched, &mut dedup, &mut buf)
-            };
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some((cache, _, _)) = cache {
+                    cursor.set(0);
+                    let mut sink = CursorSink {
+                        inner: &mut dedup,
+                        state: &cursor,
+                        cache,
+                    };
+                    execute_recovering(env.program, &mut sched, &mut sink, &mut buf)
+                } else {
+                    execute_recovering(env.program, &mut sched, &mut dedup, &mut buf)
+                }
+            }));
             if let Some(m) = env.metrics {
                 m.worker_busy(worker, busy.elapsed());
                 m.worker_execution(worker);
             }
+            let result = match run {
+                Ok(result) => result,
+                Err(payload) => {
+                    // The program panicked out of the run. First strike:
+                    // requeue the item (marked) for one retry. Second:
+                    // quarantine its prefix and abandon the item.
+                    drop(sched); // releases the borrow of `prefix`
+                    let quarantine = retried.then(|| QuarantinedTrace {
+                        schedule: prefix.clone(),
+                        step: prefix.len(),
+                        expected: Tid(0),
+                        actual: Vec::new(),
+                    });
+                    let _ = tx.send(ExecEvent {
+                        worker,
+                        seq: seq.fetch_add(1, Ordering::Relaxed) + 1,
+                        at: env.stamp(),
+                        cost,
+                        stats: ExecStats::default(),
+                        outcome: ExecutionOutcome::Terminated,
+                        fresh: dedup.take_fresh(),
+                        bug_schedule: None,
+                        choice: Vec::new(),
+                        races: std::mem::take(&mut buf.races),
+                        phases: std::mem::take(&mut buf.phases),
+                        deferred: Vec::new(),
+                        deferred_faults: Vec::new(),
+                        faults: Vec::new(),
+                        quarantine,
+                        cache_hits: 0,
+                        cache_stores: 0,
+                        panic: Some(panic_message(payload)),
+                    });
+                    if !retried {
+                        frontier.push_many([(prefix, stack_backup, true)]);
+                    }
+                    frontier.complete();
+                    continue 'items;
+                }
+            };
             let ItemScheduler {
                 stack: run_stack,
                 path,
                 emitted,
+                emitted_faults,
                 cache: item_cache,
                 ..
             } = sched;
             stack = run_stack;
             let (cache_hits, cache_stores) = item_cache.map_or((0, 0), |c| (c.hits, c.stores));
 
-            let (quarantine, deferred) = if let ExecutionOutcome::ReplayDivergence {
-                step,
-                expected,
-                ref actual,
-            } = result.outcome
-            {
-                // Determinism broke on this path: forfeit its emitted
-                // items, quarantine the diverging schedule.
-                (
-                    Some(QuarantinedTrace {
-                        schedule: path.clone(),
-                        step,
-                        expected,
-                        actual: actual.clone(),
-                    }),
-                    Vec::new(),
-                )
-            } else {
-                (None, emitted)
-            };
+            let (quarantine, deferred, deferred_faults) =
+                if let ExecutionOutcome::ReplayDivergence {
+                    step,
+                    expected,
+                    ref actual,
+                } = result.outcome
+                {
+                    // Determinism broke on this path: forfeit its emitted
+                    // items, quarantine the diverging schedule.
+                    (
+                        Some(QuarantinedTrace {
+                            schedule: path.clone(),
+                            step,
+                            expected,
+                            actual: actual.clone(),
+                        }),
+                        Vec::new(),
+                        Vec::new(),
+                    )
+                } else {
+                    (None, emitted, emitted_faults)
+                };
 
             let item_done = backtrack_icb(&mut stack);
             let _ = tx.send(ExecEvent {
@@ -689,14 +802,21 @@ fn icb_worker(
                 } else {
                     Vec::new()
                 },
+                faults: if result.stats.faults > 0 {
+                    fault_events(&result)
+                } else {
+                    Vec::new()
+                },
                 outcome: result.outcome,
                 fresh: dedup.take_fresh(),
                 races: std::mem::take(&mut buf.races),
                 phases: std::mem::take(&mut buf.phases),
                 deferred,
+                deferred_faults,
                 quarantine,
                 cache_hits,
                 cache_stores,
+                panic: None,
             });
             if item_done {
                 frontier.complete();
@@ -716,13 +836,20 @@ fn icb_worker(
     }
 }
 
-/// Per-bound bookkeeping the pump needs to write mid-bound checkpoints.
+/// Per-level bookkeeping the pump needs to write mid-level checkpoints.
 struct IcbBoundCtx {
     bound: usize,
+    /// Fault level `f` of the `(c, f)` level currently being drained.
+    fault: usize,
     execs_base: usize,
     bugs_base: usize,
     completed_bound: Option<usize>,
     bound_history: Vec<BoundStats>,
+    /// Work already queued at not-yet-run levels, keyed `(c, f)` —
+    /// the parallel analogue of the sequential driver's deferred map
+    /// (minus the current level's still-accruing items, which live in
+    /// the ledger until the level barrier folds them in).
+    pending: BTreeMap<(usize, usize), Vec<Schedule>>,
 }
 
 /// Pauses the frontier, waits for every worker to return (dissolve) its
@@ -747,7 +874,7 @@ fn quiesce<T>(frontier: &Frontier<T>, rx: &mpsc::Receiver<ExecEvent>, ledger: &m
 fn split_icb_queue(queue: Vec<IcbItem>) -> (Vec<Schedule>, Option<(Schedule, Vec<IcbBranch>)>) {
     let mut work = Vec::new();
     let mut in_progress = None;
-    for (prefix, stack) in queue {
+    for (prefix, stack, _) in queue {
         if stack.is_empty() {
             work.push(prefix);
         } else {
@@ -768,8 +895,29 @@ fn write_icb_checkpoint(
         return;
     };
     let (work, in_progress) = split_icb_queue(queue);
-    let mut next = ledger.deferred.clone();
-    next.sort();
+    // Fold the level's still-accruing deferrals into the pending-level
+    // map, then emit it as sorted rows so snapshot bytes are independent
+    // of worker timing.
+    let mut levels = bc.pending.clone();
+    if !ledger.deferred.is_empty() {
+        levels
+            .entry((bc.bound + 1, bc.fault))
+            .or_default()
+            .extend(ledger.deferred.iter().cloned());
+    }
+    if !ledger.deferred_faults.is_empty() {
+        levels
+            .entry((bc.bound, bc.fault + 1))
+            .or_default()
+            .extend(ledger.deferred_faults.iter().cloned());
+    }
+    let deferred = levels
+        .into_iter()
+        .map(|((c, f), mut q)| {
+            q.sort();
+            (c, f, q)
+        })
+        .collect();
     let base = ledger.snapshot_base();
     let executions = base.executions;
     let snapshot = SearchSnapshot {
@@ -779,11 +927,12 @@ fn write_icb_checkpoint(
         base,
         state: StrategyState::Icb(IcbState {
             bound: bc.bound,
+            fault: bc.fault,
             bound_executions_base: bc.execs_base,
             bound_bugs_base: bc.bugs_base,
             completed_bound: bc.completed_bound,
             work,
-            next,
+            deferred,
             bound_history: bc.bound_history.clone(),
             in_progress: in_progress
                 .map(|(p, s)| (p, s.iter().map(IcbBranch::to_snapshot).collect())),
@@ -795,8 +944,9 @@ fn write_icb_checkpoint(
     }
 }
 
-/// Drains one ICB bound with a worker swarm; returns the frontier's
-/// leftover items (non-empty only when the search stopped mid-bound).
+/// Drains one ICB `(c, f)` level with a worker swarm; returns the
+/// frontier's leftover items (non-empty only when the search stopped
+/// mid-level).
 #[allow(clippy::too_many_arguments)]
 fn run_icb_bound(
     env: &WorkerEnv<'_>,
@@ -806,7 +956,8 @@ fn run_icb_bound(
     ckpt: &mut Option<&mut Checkpointer>,
     bc: &IcbBoundCtx,
     seqs: &[AtomicU64],
-    cache: Option<(&dyn ExplorationCache, Option<u32>)>,
+    cache: Option<(&dyn ExplorationCache, Option<u32>, Option<u32>)>,
+    emit_faults: bool,
 ) -> Vec<IcbItem> {
     let frontier = Frontier::with_metrics(items, ledger.metrics.clone());
     let (tx, rx) = mpsc::channel::<ExecEvent>();
@@ -814,7 +965,7 @@ fn run_icb_bound(
         for (worker, seq) in seqs.iter().enumerate().take(jobs) {
             let tx = tx.clone();
             let frontier = &frontier;
-            s.spawn(move || icb_worker(env, frontier, tx, worker, seq, cache));
+            s.spawn(move || icb_worker(env, frontier, tx, worker, seq, cache, emit_faults));
         }
         drop(tx);
         loop {
@@ -896,12 +1047,14 @@ pub(crate) fn run_parallel_icb(
         None => {
             bc = IcbBoundCtx {
                 bound: 0,
+                fault: 0,
                 execs_base: 0,
                 bugs_base: 0,
                 completed_bound: None,
                 bound_history: Vec::new(),
+                pending: BTreeMap::new(),
             };
-            work = vec![(Schedule::new(), Vec::new())];
+            work = vec![(Schedule::new(), Vec::new(), false)];
         }
         Some((base, state)) => {
             let bound_executions = base.executions - state.bound_executions_base;
@@ -911,19 +1064,35 @@ pub(crate) fn run_parallel_icb(
             }
             bc = IcbBoundCtx {
                 bound: state.bound,
+                fault: state.fault,
                 execs_base: state.bound_executions_base,
                 bugs_base: state.bound_bugs_base,
                 completed_bound: state.completed_bound,
                 bound_history: state.bound_history,
+                // Snapshots fold the current level's accruals into the
+                // pending rows, so the ledger starts each resumed level
+                // with empty accrual lists.
+                pending: state
+                    .deferred
+                    .into_iter()
+                    .map(|(c, f, q)| ((c, f), q))
+                    .collect(),
             };
-            work = state.work.into_iter().map(|p| (p, Vec::new())).collect();
+            work = state
+                .work
+                .into_iter()
+                .map(|p| (p, Vec::new(), false))
+                .collect();
             if let Some((prefix, stack)) = state.in_progress {
                 work.insert(
                     0,
-                    (prefix, stack.into_iter().map(IcbBranch::from).collect()),
+                    (
+                        prefix,
+                        stack.into_iter().map(IcbBranch::from).collect(),
+                        false,
+                    ),
                 );
             }
-            ledger.deferred = state.next;
             if ledger.remaining_budget() == 0 {
                 ledger.halt(AbortReason::ExecutionBudget);
             }
@@ -954,6 +1123,7 @@ pub(crate) fn run_parallel_icb(
     let mut completed = false;
     while !ledger.stop {
         ledger.current_bound = bc.bound;
+        ledger.pending_depth = bc.pending.values().map(Vec::len).sum();
         let depth = work.len();
         ledger.observer.bound_started(bc.bound, depth);
         let began = Instant::now();
@@ -961,8 +1131,10 @@ pub(crate) fn run_parallel_icb(
             (
                 b.cache,
                 coverage_credit(bc.bound + 1, config.preemption_bound),
+                coverage_credit(bc.bound, config.preemption_bound),
             )
         });
+        let emit_faults = bc.fault < config.fault_bound;
         let leftover = run_icb_bound(
             &env,
             jobs,
@@ -972,6 +1144,7 @@ pub(crate) fn run_parallel_icb(
             &bc,
             &seqs,
             bound_cache,
+            emit_faults,
         );
         if !ledger.stop && !leftover.is_empty() && ledger.remaining_budget() == 0 {
             ledger.halt(AbortReason::ExecutionBudget);
@@ -980,59 +1153,89 @@ pub(crate) fn run_parallel_icb(
             write_icb_checkpoint(&mut ledger, &mut ckpt, &bc, leftover);
             break;
         }
-        debug_assert!(leftover.is_empty(), "bound drained without stopping");
+        debug_assert!(leftover.is_empty(), "level drained without stopping");
 
         let stats = BoundStats {
             bound: bc.bound,
+            faults: bc.fault,
             executions: ledger.executions - bc.execs_base,
             cumulative_states: ledger.master.len(),
             bugs_found: ledger.buggy_executions - bc.bugs_base,
         };
         ledger.observer.bound_completed(&stats, began.elapsed());
         bc.bound_history.push(stats);
-        bc.completed_bound = Some(bc.bound);
         ledger.curve.push((ledger.executions, ledger.master.len()));
 
         if ledger.config.stop_on_first_bug && ledger.buggy_executions > 0 {
-            // The bound was finished before halting, preserving the
-            // minimal-preemption guarantee for the reported bug.
+            // The level was finished before halting, preserving the
+            // minimal-(preemptions, faults) guarantee for the bug. (The
+            // checkpoint folds the un-run deferrals in by itself.)
             ledger.halt(AbortReason::FirstBug);
             write_icb_checkpoint(&mut ledger, &mut ckpt, &bc, Vec::new());
             break;
         }
-        let mut deferred = std::mem::take(&mut ledger.deferred);
-        deferred.sort();
+        // Fold the level's deferrals into the pending-level map; each
+        // batch is sorted so the items a level starts with — and with
+        // them the whole exploration — are independent of worker timing.
         let cap = ledger
             .config
             .max_work_queue
             .unwrap_or(usize::MAX)
             .min(ledger.remaining_budget());
-        if deferred.len() > cap {
-            deferred.truncate(cap);
-            ledger.truncated = true;
+        for (level, items) in [
+            (
+                (bc.bound + 1, bc.fault),
+                std::mem::take(&mut ledger.deferred),
+            ),
+            (
+                (bc.bound, bc.fault + 1),
+                std::mem::take(&mut ledger.deferred_faults),
+            ),
+        ] {
+            if items.is_empty() {
+                continue;
+            }
+            let mut items = items;
+            items.sort();
+            let queue = bc.pending.entry(level).or_default();
+            for item in items {
+                if queue.len() < cap {
+                    queue.push(item);
+                } else {
+                    ledger.truncated = true;
+                }
+            }
         }
-        if deferred.is_empty() {
+        bc.pending.retain(|_, q| !q.is_empty());
+
+        // A preemption bound counts as completed only once every fault
+        // level `(c, _)` with pending work has been drained.
+        let next_level = bc.pending.keys().next().copied();
+        if next_level.is_none_or(|(c, _)| c > bc.bound) {
+            bc.completed_bound = Some(bc.bound);
+        }
+        let Some(level) = next_level else {
             completed = !ledger.truncated;
             break;
-        }
+        };
         if ledger
             .config
             .preemption_bound
-            .is_some_and(|pb| bc.bound >= pb)
+            .is_some_and(|pb| level.0 > pb)
         {
             break;
         }
         if ledger.over_deadline() {
             ledger.halt(AbortReason::Timeout);
             ledger.truncated = true;
-            ledger.deferred = deferred;
             write_icb_checkpoint(&mut ledger, &mut ckpt, &bc, Vec::new());
             break;
         }
-        bc.bound += 1;
+        let queue = bc.pending.remove(&level).expect("peeked key exists");
+        (bc.bound, bc.fault) = level;
         bc.execs_base = ledger.executions;
         bc.bugs_base = ledger.buggy_executions;
-        work = deferred.into_iter().map(|p| (p, Vec::new())).collect();
+        work = queue.into_iter().map(|p| (p, Vec::new(), false)).collect();
     }
     if !ledger.stop {
         if let Some(ck) = ckpt {
@@ -1047,7 +1250,8 @@ pub(crate) fn run_parallel_icb(
 // Parallel DFS
 // ---------------------------------------------------------------------
 
-type DfsItem = (Schedule, Vec<DfsBranch>);
+/// `(prefix, branch stack, retried)`; see [`IcbItem`] for `retried`.
+type DfsItem = (Schedule, Vec<DfsBranch>, bool);
 
 /// Replays the item's prefix, then branches over every enabled thread at
 /// each in-bound point past it — the prefix-rooted form of the
@@ -1109,7 +1313,7 @@ fn dfs_worker(
     let mut dedup = DedupSink::default();
     'items: loop {
         let wait = Instant::now();
-        let Some((prefix, mut stack)) = frontier.pop() else {
+        let Some((prefix, mut stack, retried)) = frontier.pop() else {
             break;
         };
         if let Some(m) = env.metrics {
@@ -1121,10 +1325,11 @@ fn dfs_worker(
                 return;
             }
             if !claim_budget(env.claimed, env.budget, cost) {
-                frontier.push_many([(prefix, stack)]);
+                frontier.push_many([(prefix, stack, retried)]);
                 frontier.complete();
                 return;
             }
+            let stack_backup = stack.clone();
             let mut sched = PrefixDfsScheduler {
                 prefix: &prefix,
                 stack,
@@ -1133,16 +1338,58 @@ fn dfs_worker(
                 bound,
             };
             let mut buf = BufObserver::new(env.want_phases);
-            let mut sink = GatedSink {
-                inner: &mut dedup,
-                remaining: bound,
-            };
             let busy = Instant::now();
-            let result = execute_recovering(env.program, &mut sched, &mut sink, &mut buf);
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut sink = GatedSink {
+                    inner: &mut dedup,
+                    remaining: bound,
+                };
+                execute_recovering(env.program, &mut sched, &mut sink, &mut buf)
+            }));
             if let Some(m) = env.metrics {
                 m.worker_busy(worker, busy.elapsed());
                 m.worker_execution(worker);
             }
+            let result = match run {
+                Ok(result) => result,
+                Err(payload) => {
+                    drop(sched);
+                    let quarantine = retried.then(|| QuarantinedTrace {
+                        schedule: prefix.clone(),
+                        step: prefix.len(),
+                        expected: Tid(0),
+                        actual: Vec::new(),
+                    });
+                    let _ = tx.send(ExecEvent {
+                        worker,
+                        seq: {
+                            seq += 1;
+                            seq
+                        },
+                        at: env.stamp(),
+                        cost,
+                        stats: ExecStats::default(),
+                        outcome: ExecutionOutcome::Terminated,
+                        fresh: dedup.take_fresh(),
+                        bug_schedule: None,
+                        choice: Vec::new(),
+                        races: std::mem::take(&mut buf.races),
+                        phases: std::mem::take(&mut buf.phases),
+                        deferred: Vec::new(),
+                        deferred_faults: Vec::new(),
+                        faults: Vec::new(),
+                        quarantine,
+                        cache_hits: 0,
+                        cache_stores: 0,
+                        panic: Some(panic_message(payload)),
+                    });
+                    if !retried {
+                        frontier.push_many([(prefix, stack_backup, true)]);
+                    }
+                    frontier.complete();
+                    continue 'items;
+                }
+            };
             let path = std::mem::take(&mut sched.path);
             stack = sched.stack;
 
@@ -1196,9 +1443,12 @@ fn dfs_worker(
                 races: std::mem::take(&mut buf.races),
                 phases: std::mem::take(&mut buf.phases),
                 deferred: Vec::new(),
+                deferred_faults: Vec::new(),
+                faults: Vec::new(),
                 quarantine,
                 cache_hits: 0,
                 cache_stores: 0,
+                panic: None,
             });
             if item_done {
                 frontier.complete();
@@ -1230,7 +1480,7 @@ fn write_dfs_checkpoint(
     };
     let mut frontier = Vec::new();
     let mut pending = None;
-    for (prefix, stack) in queue {
+    for (prefix, stack, _) in queue {
         if stack.is_empty() {
             frontier.push(prefix);
         } else {
@@ -1291,7 +1541,7 @@ pub(crate) fn run_parallel_dfs(
     let budget = config.max_executions.unwrap_or(usize::MAX);
 
     let items = match resume {
-        None => vec![(Schedule::new(), Vec::new())],
+        None => vec![(Schedule::new(), Vec::new(), false)],
         Some((base, items)) => {
             let executions = base.executions;
             ledger.restore(base, 0, executions);
@@ -1530,39 +1780,84 @@ fn random_worker(
             claimer.finish_one();
             return;
         }
-        let mut rng = walk_rng(seed, index);
-        let mut sched = WalkScheduler { rng: &mut rng };
-        let mut buf = BufObserver::new(env.want_phases);
-        let busy = Instant::now();
-        let result = execute_recovering(env.program, &mut sched, &mut dedup, &mut buf);
-        if let Some(m) = env.metrics {
-            m.worker_busy(worker, busy.elapsed());
-            m.worker_execution(worker);
+        // A panicking walk is retried once (same index, same RNG stream,
+        // so the retry replays the identical walk) and then abandoned
+        // with a `worker-panic` event per strike.
+        let mut retried = false;
+        loop {
+            let mut rng = walk_rng(seed, index);
+            let mut buf = BufObserver::new(env.want_phases);
+            let busy = Instant::now();
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut sched = WalkScheduler { rng: &mut rng };
+                execute_recovering(env.program, &mut sched, &mut dedup, &mut buf)
+            }));
+            if let Some(m) = env.metrics {
+                m.worker_busy(worker, busy.elapsed());
+                m.worker_execution(worker);
+            }
+            let result = match run {
+                Ok(result) => result,
+                Err(payload) => {
+                    let _ = tx.send(ExecEvent {
+                        worker,
+                        seq: {
+                            seq += 1;
+                            seq
+                        },
+                        at: env.stamp(),
+                        cost,
+                        stats: ExecStats::default(),
+                        outcome: ExecutionOutcome::Terminated,
+                        fresh: dedup.take_fresh(),
+                        bug_schedule: None,
+                        choice: Vec::new(),
+                        races: std::mem::take(&mut buf.races),
+                        phases: std::mem::take(&mut buf.phases),
+                        deferred: Vec::new(),
+                        deferred_faults: Vec::new(),
+                        faults: Vec::new(),
+                        quarantine: None,
+                        cache_hits: 0,
+                        cache_stores: 0,
+                        panic: Some(panic_message(payload)),
+                    });
+                    if retried {
+                        break;
+                    }
+                    retried = true;
+                    continue;
+                }
+            };
+            let _ = tx.send(ExecEvent {
+                worker,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                at: env.stamp(),
+                cost,
+                stats: result.stats,
+                bug_schedule: result.outcome.is_bug().then(|| result.trace.schedule()),
+                choice: if env.want_choice {
+                    choice_events(&result)
+                } else {
+                    Vec::new()
+                },
+                outcome: result.outcome,
+                fresh: dedup.take_fresh(),
+                races: std::mem::take(&mut buf.races),
+                phases: std::mem::take(&mut buf.phases),
+                deferred: Vec::new(),
+                deferred_faults: Vec::new(),
+                faults: Vec::new(),
+                quarantine: None,
+                cache_hits: 0,
+                cache_stores: 0,
+                panic: None,
+            });
+            break;
         }
-        let _ = tx.send(ExecEvent {
-            worker,
-            seq: {
-                seq += 1;
-                seq
-            },
-            at: env.stamp(),
-            cost,
-            stats: result.stats,
-            bug_schedule: result.outcome.is_bug().then(|| result.trace.schedule()),
-            choice: if env.want_choice {
-                choice_events(&result)
-            } else {
-                Vec::new()
-            },
-            outcome: result.outcome,
-            fresh: dedup.take_fresh(),
-            races: std::mem::take(&mut buf.races),
-            phases: std::mem::take(&mut buf.phases),
-            deferred: Vec::new(),
-            quarantine: None,
-            cache_hits: 0,
-            cache_stores: 0,
-        });
         claimer.finish_one();
     }
 }

@@ -304,6 +304,19 @@ impl<'a> Search<'a> {
         self
     }
 
+    /// Sets the iterative *fault bound*: designated fallible operations
+    /// (`try_lock`, condvar waits, bounded sends, `fail_point`s) become
+    /// searched binary choice points, explored in lexicographic
+    /// `(preemptions, faults)` level order so the first bug found
+    /// carries a minimum-`(preemptions, faults)` witness. Only
+    /// [`Strategy::Icb`] supports a non-zero fault bound; other
+    /// strategies are rejected up front. The default of 0 never injects
+    /// and behaves exactly as before the fault dimension existed.
+    pub fn fault_bound(mut self, bound: usize) -> Self {
+        self.config.fault_bound = bound;
+        self
+    }
+
     /// Shards the search over `jobs` worker threads (default 1). At 1
     /// the unchanged sequential driver runs; above 1 each worker owns
     /// its own engine and race detector, pulling work items from a
@@ -407,6 +420,14 @@ impl<'a> Search<'a> {
         if checkpoint.as_ref().is_some_and(|ck| ck.every() == 0) {
             return Err(SearchError::ZeroCheckpointInterval);
         }
+        if config.fault_bound > 0 && resume.is_none() && !matches!(strategy, Strategy::Icb) {
+            return Err(SearchError::Unsupported(format!(
+                "a fault bound composes with the iterative preemption bound and is only \
+                 supported for strategy `icb`; got strategy `{}` with fault_bound = {}",
+                strategy.label(),
+                config.fault_bound
+            )));
+        }
         let binding = match cache {
             None => None,
             Some(cache) => {
@@ -464,7 +485,11 @@ impl<'a> Search<'a> {
                     _ => None,
                 };
                 let label = strategy.label();
-                if let Some(cert) = binding.cache.find_certification(&label, target) {
+                if let Some(cert) =
+                    binding
+                        .cache
+                        .find_certification(&label, target, config.fault_bound)
+                {
                     observer.search_started(&label);
                     observer.bound_certified(cert.bound);
                     let report = SearchReport {
@@ -491,13 +516,15 @@ impl<'a> Search<'a> {
             }
         }
         let cert_target = config.preemption_bound;
+        let cert_faults = config.fault_bound;
         let ckpt = checkpoint.as_mut();
 
         if let Some(snapshot) = resume {
             let cert_target = snapshot.config.preemption_bound;
+            let cert_faults = snapshot.config.fault_bound;
             let report = run_resumed(program, jobs, snapshot, observer, ckpt, binding, metrics)?;
             if let Some(binding) = &binding {
-                maybe_certify(binding, cert_target, &report);
+                maybe_certify(binding, cert_target, cert_faults, &report);
             }
             return Ok(report);
         }
@@ -604,7 +631,7 @@ impl<'a> Search<'a> {
             };
         let report = report?;
         if let Some(binding) = &binding {
-            maybe_certify(binding, cert_target, &report);
+            maybe_certify(binding, cert_target, cert_faults, &report);
         }
         Ok(report)
     }
@@ -631,7 +658,12 @@ fn cache_unsupported_msg(label: &str, jobs: usize) -> String {
 /// cut short mid-bound — budget, deadline, interrupt — must NOT
 /// certify, even though its last *completed* bound would be a sound
 /// claim on its own.
-fn maybe_certify(binding: &CacheBinding<'_>, target: Option<usize>, report: &SearchReport) {
+fn maybe_certify(
+    binding: &CacheBinding<'_>,
+    target: Option<usize>,
+    fault_bound: usize,
+    report: &SearchReport,
+) {
     if binding.heuristic
         || report.buggy_executions > 0
         || !report.bugs.is_empty()
@@ -652,6 +684,7 @@ fn maybe_certify(binding: &CacheBinding<'_>, target: Option<usize>, report: &Sea
     binding.cache.certify(Certification {
         strategy: report.strategy.clone(),
         bound,
+        fault_bound,
         executions: report.executions,
         distinct_states: report.distinct_states,
     });
@@ -720,7 +753,7 @@ fn run_resumed(
                 // A sequential DFS checkpoint is one suspended subtree:
                 // seed the frontier with it and let the workers dissolve
                 // it into parallel shards.
-                let items = vec![(Schedule::new(), stack)];
+                let items = vec![(Schedule::new(), stack, false)];
                 run_parallel_dfs(
                     program,
                     &config,
@@ -748,16 +781,20 @@ fn run_resumed(
             Ok(RandomSearch::new(config, 0).drive(program, observer, ckpt, Some((base, state))))
         }
         StrategyState::ParallelDfs(state) => {
-            let mut items: Vec<(Schedule, Vec<DfsBranch>)> = state
+            let mut items: Vec<(Schedule, Vec<DfsBranch>, bool)> = state
                 .frontier
                 .into_iter()
-                .map(|prefix| (prefix, Vec::new()))
+                .map(|prefix| (prefix, Vec::new(), false))
                 .collect();
             if let Some((prefix, stack)) = state.pending {
                 validate_branches(&stack)?;
                 items.insert(
                     0,
-                    (prefix, stack.into_iter().map(DfsBranch::from).collect()),
+                    (
+                        prefix,
+                        stack.into_iter().map(DfsBranch::from).collect(),
+                        false,
+                    ),
                 );
             }
             Ok(run_parallel_dfs(

@@ -31,7 +31,11 @@ use crate::trace::{ExecStats, ExecutionOutcome, Schedule};
 const MAGIC: &[u8; 8] = b"ICBSNAPv";
 /// Current format version. Bump on any layout change.
 /// v2: `SearchConfig` gained `coverage_stride`.
-const VERSION: u32 = 2;
+/// v3: fault bounding — `SearchConfig` gained `fault_bound`, schedules
+/// carry fault sets, `ExecStats`/`BugReport`/`BoundStats` gained fault
+/// counters, and `IcbState` replaced the single `next` queue with the
+/// per-`(preemption, fault)`-level deferred map.
+const VERSION: u32 = 3;
 /// Fixed header size: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -131,24 +135,30 @@ pub struct BranchSnapshot {
     pub next_ix: usize,
 }
 
-/// ICB-specific checkpoint state: the two work queues, per-bound
-/// baselines and the optionally suspended (mid-item) nested DFS.
+/// ICB-specific checkpoint state: the current level's work queue, the
+/// deferred levels, per-level baselines and the optionally suspended
+/// (mid-item) nested DFS.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct IcbState {
     /// The preemption bound being explored.
     pub bound: usize,
-    /// `executions` counter value when this bound started (for the
-    /// per-bound statistics row).
+    /// The fault level being explored (0 at fault bound 0).
+    pub fault: usize,
+    /// `executions` counter value when this level started (for the
+    /// per-level statistics row).
     pub bound_executions_base: usize,
-    /// `buggy_executions` counter value when this bound started.
+    /// `buggy_executions` counter value when this level started.
     pub bound_bugs_base: usize,
     /// Highest bound fully explored before the checkpoint.
     pub completed_bound: Option<usize>,
-    /// Remaining work items (schedule prefixes) of the current bound.
+    /// Remaining work items (schedule prefixes) of the current level.
     pub work: Vec<Schedule>,
-    /// Work items already deferred to the next bound.
-    pub next: Vec<Schedule>,
-    /// Per-bound statistics of the bounds completed so far.
+    /// Work items already deferred to future `(preemption, fault)`
+    /// levels, as `(bound, fault, items)` rows sorted by level. At
+    /// fault bound 0 this holds at most the `(bound + 1, 0)` row — the
+    /// legacy `next` queue.
+    pub deferred: Vec<(usize, usize, Vec<Schedule>)>,
+    /// Per-level statistics of the levels completed so far.
     pub bound_history: Vec<BoundStats>,
     /// A work item interrupted mid-exploration: its prefix and the
     /// branch stack positioned for the next run of its nested DFS.
@@ -325,14 +335,21 @@ impl SearchSnapshot {
             StrategyState::Icb(s) => {
                 w.u8(0);
                 w.usize(s.bound);
+                w.usize(s.fault);
                 w.usize(s.bound_executions_base);
                 w.usize(s.bound_bugs_base);
                 w.opt_usize(s.completed_bound);
                 w.schedules(&s.work);
-                w.schedules(&s.next);
+                w.len(s.deferred.len());
+                for (c, f, items) in &s.deferred {
+                    w.usize(*c);
+                    w.usize(*f);
+                    w.schedules(items);
+                }
                 w.len(s.bound_history.len());
                 for b in &s.bound_history {
                     w.usize(b.bound);
+                    w.usize(b.faults);
                     w.usize(b.executions);
                     w.usize(b.cumulative_states);
                     w.usize(b.bugs_found);
@@ -389,16 +406,22 @@ impl SearchSnapshot {
         let state = match r.u8()? {
             0 => {
                 let bound = r.usize()?;
+                let fault = r.usize()?;
                 let bound_executions_base = r.usize()?;
                 let bound_bugs_base = r.usize()?;
                 let completed_bound = r.opt_usize()?;
                 let work = r.schedules()?;
-                let next = r.schedules()?;
+                let n_levels = r.len()?;
+                let mut deferred = Vec::with_capacity(n_levels.min(1024));
+                for _ in 0..n_levels {
+                    deferred.push((r.usize()?, r.usize()?, r.schedules()?));
+                }
                 let n = r.len()?;
                 let mut bound_history = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     bound_history.push(BoundStats {
                         bound: r.usize()?,
+                        faults: r.usize()?,
                         executions: r.usize()?,
                         cumulative_states: r.usize()?,
                         bugs_found: r.usize()?,
@@ -411,11 +434,12 @@ impl SearchSnapshot {
                 };
                 StrategyState::Icb(IcbState {
                     bound,
+                    fault,
                     bound_executions_base,
                     bound_bugs_base,
                     completed_bound,
                     work,
-                    next,
+                    deferred,
                     bound_history,
                     in_progress,
                 })
@@ -464,6 +488,7 @@ impl SearchSnapshot {
 fn encode_config(w: &mut Writer, c: &SearchConfig) {
     w.opt_usize(c.max_executions);
     w.opt_usize(c.preemption_bound);
+    w.usize(c.fault_bound);
     w.bool(c.stop_on_first_bug);
     w.usize(c.max_bug_reports);
     w.opt_usize(c.max_work_queue);
@@ -481,6 +506,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<SearchConfig, SnapshotError> {
     Ok(SearchConfig {
         max_executions: r.opt_usize()?,
         preemption_bound: r.opt_usize()?,
+        fault_bound: r.usize()?,
         stop_on_first_bug: r.bool()?,
         max_bug_reports: r.usize()?,
         max_work_queue: r.opt_usize()?,
@@ -501,6 +527,7 @@ fn encode_base(w: &mut Writer, b: &ResumeBase) {
         encode_outcome(w, &bug.outcome);
         w.schedule(&bug.schedule);
         w.usize(bug.preemptions);
+        w.usize(bug.faults);
         w.usize(bug.execution_index);
         w.usize(bug.steps);
     }
@@ -537,6 +564,7 @@ fn decode_base(r: &mut Reader<'_>) -> Result<ResumeBase, SnapshotError> {
             outcome: decode_outcome(r)?,
             schedule: r.schedule()?,
             preemptions: r.usize()?,
+            faults: r.usize()?,
             execution_index: r.usize()?,
             steps: r.usize()?,
         });
@@ -586,6 +614,7 @@ fn encode_stats(w: &mut Writer, s: &ExecStats) {
     w.usize(s.blocking_steps);
     w.usize(s.preemptions);
     w.usize(s.context_switches);
+    w.usize(s.faults);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<ExecStats, SnapshotError> {
@@ -594,6 +623,7 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<ExecStats, SnapshotError> {
         blocking_steps: r.usize()?,
         preemptions: r.usize()?,
         context_switches: r.usize()?,
+        faults: r.usize()?,
     })
 }
 
@@ -694,6 +724,11 @@ impl Writer {
     }
     fn schedule(&mut self, s: &Schedule) {
         self.tids(s.as_slice());
+        let faults = s.faults();
+        self.len(faults.len());
+        for &step in faults {
+            self.usize(step);
+        }
     }
     fn schedules(&mut self, ss: &[Schedule]) {
         self.len(ss.len());
@@ -771,7 +806,14 @@ impl Reader<'_> {
         Ok(out)
     }
     fn schedule(&mut self) -> Result<Schedule, SnapshotError> {
-        Ok(Schedule::from(self.tids()?))
+        let mut s = Schedule::from(self.tids()?);
+        let n = self.len()?;
+        let mut faults = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            faults.push(self.usize()?);
+        }
+        s.set_faults(faults);
+        Ok(s)
     }
     fn schedules(&mut self) -> Result<Vec<Schedule>, SnapshotError> {
         let n = self.len()?;
@@ -864,9 +906,12 @@ impl Checkpointer {
         executions.saturating_sub(self.last_at) >= self.every.max(1)
     }
 
-    /// Writes `snapshot` atomically to the checkpoint path.
+    /// Writes `snapshot` atomically to the checkpoint path, retrying
+    /// transient I/O failures with bounded jittered backoff (see
+    /// [`crate::retry`]). After the attempts are exhausted the error is
+    /// returned; callers degrade to a logged warning and keep searching.
     pub fn write(&mut self, snapshot: &SearchSnapshot) -> Result<(), SnapshotError> {
-        snapshot.write_to(&self.path)?;
+        crate::retry::with_backoff("checkpoint write", || snapshot.write_to(&self.path))?;
         self.last_at = snapshot.base.executions;
         Ok(())
     }
@@ -945,6 +990,7 @@ mod tests {
             config: SearchConfig {
                 max_executions: Some(5000),
                 preemption_bound: Some(2),
+                fault_bound: 1,
                 stop_on_first_bug: true,
                 max_bug_reports: 7,
                 max_work_queue: None,
@@ -959,8 +1005,13 @@ mod tests {
                         thread: Tid(1),
                         message: "lost \"update\"".into(),
                     },
-                    schedule: vec![Tid(0), Tid(1), Tid(0)].into(),
+                    schedule: {
+                        let mut s = Schedule::from(vec![Tid(0), Tid(1), Tid(0)]);
+                        s.add_fault(1);
+                        s
+                    },
                     preemptions: 1,
+                    faults: 1,
                     execution_index: 17,
                     steps: 3,
                 }],
@@ -969,6 +1020,7 @@ mod tests {
                     blocking_steps: 2,
                     preemptions: 2,
                     context_switches: 4,
+                    faults: 1,
                 },
                 quarantined: vec![QuarantinedTrace {
                     schedule: vec![Tid(1)].into(),
@@ -985,13 +1037,18 @@ mod tests {
             },
             state: StrategyState::Icb(IcbState {
                 bound: 1,
+                fault: 1,
                 bound_executions_base: 30,
                 bound_bugs_base: 0,
                 completed_bound: Some(0),
                 work: vec![vec![Tid(0), Tid(1)].into()],
-                next: vec![vec![Tid(1)].into(), vec![Tid(0)].into()],
+                deferred: vec![
+                    (1, 2, vec![vec![Tid(1)].into()]),
+                    (2, 1, vec![vec![Tid(0)].into()]),
+                ],
                 bound_history: vec![BoundStats {
                     bound: 0,
+                    faults: 0,
                     executions: 30,
                     cumulative_states: 2,
                     bugs_found: 0,

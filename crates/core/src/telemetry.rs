@@ -343,6 +343,19 @@ pub trait SearchObserver {
     /// [`ChoiceKind::Preemption`].
     fn preemption_taken(&mut self, site: SiteId) {}
 
+    /// A fault was injected into the fallible operation at `site`
+    /// during step `step` of the just-finished execution. Emitted once
+    /// per injected fault, in trace order, between the execution's
+    /// `execution_started` and `execution_finished`. Searches at fault
+    /// bound 0 never inject, so their event streams are unchanged.
+    fn fault_injected(&mut self, site: SiteId, step: usize) {}
+
+    /// A parallel worker caught a panic escaping the program under test
+    /// (not a replay divergence — those are quarantined as usual). The
+    /// item is retried once and then quarantined; `message` is the
+    /// panic payload rendered as text.
+    fn worker_panic(&mut self, worker: usize, message: &str) {}
+
     /// The just-finished execution spent `elapsed` inside `phase`.
     /// Gated by [`wants_phase_timing`](SearchObserver::wants_phase_timing);
     /// hosts emit at most one event per phase per execution.
@@ -449,6 +462,12 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     }
     fn preemption_taken(&mut self, site: SiteId) {
         (**self).preemption_taken(site)
+    }
+    fn fault_injected(&mut self, site: SiteId, step: usize) {
+        (**self).fault_injected(site, step)
+    }
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        (**self).worker_panic(worker, message)
     }
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
         (**self).phase_time(phase, elapsed)

@@ -216,6 +216,13 @@ pub struct TraceEntry {
     /// ([`SiteId::UNKNOWN`] for hosts that do not resolve sites). This
     /// is what the exploration profiler attributes preemptions to.
     pub site: SiteId,
+    /// Whether a fault was injected into the operation executed at this
+    /// step (the scheduler answered `true` at a fallible operation: a
+    /// `try_lock` forced to fail, a spurious condvar wakeup, a bounded
+    /// send observing a full channel, a tripped `fail_point`). Fault
+    /// decisions are the second bounded axis of nondeterminism next to
+    /// preemptions.
+    pub fault: bool,
 }
 
 impl TraceEntry {
@@ -236,12 +243,19 @@ impl TraceEntry {
             current_enabled,
             blocking,
             site: SiteId::UNKNOWN,
+            fault: false,
         }
     }
 
     /// Attaches the resolved site of the executed operation.
     pub fn with_site(mut self, site: SiteId) -> Self {
         self.site = site;
+        self
+    }
+
+    /// Marks whether a fault was injected at this step.
+    pub fn with_fault(mut self, fault: bool) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -318,10 +332,22 @@ impl Trace {
         self.entries.iter().filter(|e| e.blocking).count()
     }
 
-    /// The schedule (sequence of chosen thread ids) of this trace,
-    /// sufficient to replay the execution deterministically.
+    /// Number of injected faults (`f`, the second bounded axis).
+    pub fn faults(&self) -> usize {
+        self.entries.iter().filter(|e| e.fault).count()
+    }
+
+    /// The schedule (sequence of chosen thread ids, plus the steps at
+    /// which faults were injected) of this trace, sufficient to replay
+    /// the execution deterministically.
     pub fn schedule(&self) -> Schedule {
-        Schedule::from_iter(self.entries.iter().map(|e| e.chosen))
+        let mut schedule = Schedule::from_iter(self.entries.iter().map(|e| e.chosen));
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.fault {
+                schedule.add_fault(i);
+            }
+        }
+        schedule
     }
 }
 
@@ -351,11 +377,16 @@ impl Extend<TraceEntry> for Trace {
 /// nondeterminism in the program under test, replaying a schedule from the
 /// initial state reproduces the execution exactly (Section 3 of the paper).
 ///
-/// Schedules order lexicographically (by choice sequence), which makes
-/// them usable directly as deterministic priority-queue keys.
+/// Schedules order lexicographically (by choice sequence, then by fault
+/// set), which makes them usable directly as deterministic
+/// priority-queue keys. A schedule with no faults orders and renders
+/// exactly as it did before faults existed.
 #[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Schedule {
     choices: Vec<Tid>,
+    /// Sorted step indices at which a fault is injected. Every index is
+    /// `< choices.len()`; almost always empty (fault bound 0).
+    faults: Vec<usize>,
 }
 
 impl Schedule {
@@ -374,9 +405,48 @@ impl Schedule {
         self.choices.push(tid);
     }
 
-    /// Truncates the schedule to `len` choices.
+    /// Truncates the schedule to `len` choices, dropping fault marks on
+    /// the removed steps.
     pub fn truncate(&mut self, len: usize) {
         self.choices.truncate(len);
+        self.faults.retain(|&s| s < len);
+    }
+
+    /// Marks step `step` as fault-injected (idempotent; keeps the fault
+    /// set sorted).
+    pub fn add_fault(&mut self, step: usize) {
+        if let Err(ix) = self.faults.binary_search(&step) {
+            self.faults.insert(ix, step);
+        }
+    }
+
+    /// Removes the fault mark on `step`, if present.
+    pub fn remove_fault(&mut self, step: usize) {
+        if let Ok(ix) = self.faults.binary_search(&step) {
+            self.faults.remove(ix);
+        }
+    }
+
+    /// Whether a fault is injected at step `step`.
+    pub fn fault_at(&self, step: usize) -> bool {
+        self.faults.binary_search(&step).is_ok()
+    }
+
+    /// The sorted step indices at which faults are injected.
+    pub fn faults(&self) -> &[usize] {
+        &self.faults
+    }
+
+    /// Number of injected faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Replaces the fault set (indices are sorted and deduplicated).
+    pub fn set_faults(&mut self, mut faults: Vec<usize>) {
+        faults.sort_unstable();
+        faults.dedup();
+        self.faults = faults;
     }
 
     /// Number of choices.
@@ -404,6 +474,7 @@ impl FromIterator<Tid> for Schedule {
     fn from_iter<I: IntoIterator<Item = Tid>>(iter: I) -> Self {
         Schedule {
             choices: iter.into_iter().collect(),
+            faults: Vec::new(),
         }
     }
 }
@@ -416,11 +487,17 @@ impl Extend<Tid> for Schedule {
 
 impl From<Vec<Tid>> for Schedule {
     fn from(choices: Vec<Tid>) -> Self {
-        Schedule { choices }
+        Schedule {
+            choices,
+            faults: Vec::new(),
+        }
     }
 }
 
 impl fmt::Display for Schedule {
+    /// Renders `[T0 T1]`; a schedule with injected faults appends one
+    /// `!step` token per fault (`[T0 T1 !1]`), so fault-free schedules
+    /// render byte-identically to previous releases.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
         for (i, t) in self.choices.iter().enumerate() {
@@ -428,6 +505,12 @@ impl fmt::Display for Schedule {
                 write!(f, " ")?;
             }
             write!(f, "{t}")?;
+        }
+        for (j, s) in self.faults.iter().enumerate() {
+            if j > 0 || !self.choices.is_empty() {
+                write!(f, " ")?;
+            }
+            write!(f, "!{s}")?;
         }
         write!(f, "]")
     }
@@ -450,16 +533,25 @@ impl std::error::Error for ParseScheduleError {}
 impl std::str::FromStr for Schedule {
     type Err = ParseScheduleError;
 
-    /// Parses the [`Display`](fmt::Display) form (`[T0 T1 T1]`) as well
-    /// as bare whitespace/comma-separated indices (`0 1 1` / `0,1,1`),
-    /// so witnesses can be pasted straight from a report back into a
+    /// Parses the [`Display`](fmt::Display) form (`[T0 T1 T1]`, with
+    /// optional `!step` fault tokens: `[T0 T1 !1]`) as well as bare
+    /// whitespace/comma-separated indices (`0 1 1` / `0,1,1`), so
+    /// witnesses can be pasted straight from a report back into a
     /// replay.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let trimmed = s.trim().trim_start_matches('[').trim_end_matches(']');
         let mut choices = Vec::new();
+        let mut faults = Vec::new();
         for raw in trimmed.split([' ', ',', '\t', '\n']) {
             let token = raw.trim();
             if token.is_empty() {
+                continue;
+            }
+            if let Some(digits) = token.strip_prefix('!') {
+                let step: usize = digits.parse().map_err(|_| ParseScheduleError {
+                    token: token.to_string(),
+                })?;
+                faults.push(step);
                 continue;
             }
             let digits = token.strip_prefix('T').unwrap_or(token);
@@ -468,7 +560,12 @@ impl std::str::FromStr for Schedule {
             })?;
             choices.push(Tid(ix));
         }
-        Ok(Schedule { choices })
+        let mut schedule = Schedule {
+            choices,
+            faults: Vec::new(),
+        };
+        schedule.set_faults(faults);
+        Ok(schedule)
     }
 }
 
@@ -483,6 +580,9 @@ pub struct ExecStats {
     pub preemptions: usize,
     /// Context switches of either kind.
     pub context_switches: usize,
+    /// Injected faults (`f`, the second bounded axis; 0 unless the
+    /// search runs with a fault bound).
+    pub faults: usize,
 }
 
 impl ExecStats {
@@ -493,6 +593,7 @@ impl ExecStats {
             blocking_steps: trace.blocking_steps(),
             preemptions: trace.preemptions(),
             context_switches: trace.context_switches(),
+            faults: trace.faults(),
         }
     }
 
@@ -504,6 +605,7 @@ impl ExecStats {
             blocking_steps: self.blocking_steps.max(other.blocking_steps),
             preemptions: self.preemptions.max(other.preemptions),
             context_switches: self.context_switches.max(other.context_switches),
+            faults: self.faults.max(other.faults),
         }
     }
 }
@@ -610,18 +712,55 @@ mod tests {
             blocking_steps: 1,
             preemptions: 5,
             context_switches: 6,
+            faults: 0,
         };
         let b = ExecStats {
             steps: 3,
             blocking_steps: 4,
             preemptions: 2,
             context_switches: 9,
+            faults: 1,
         };
         let m = a.max(b);
         assert_eq!(m.steps, 10);
         assert_eq!(m.blocking_steps, 4);
         assert_eq!(m.preemptions, 5);
         assert_eq!(m.context_switches, 9);
+        assert_eq!(m.faults, 1);
+    }
+
+    #[test]
+    fn schedule_fault_set_round_trips() {
+        let mut sched: Schedule = vec![Tid(0), Tid(1), Tid(1)].into();
+        sched.add_fault(1);
+        assert_eq!(sched.to_string(), "[T0 T1 T1 !1]");
+        let parsed: Schedule = sched.to_string().parse().unwrap();
+        assert_eq!(parsed, sched);
+        assert!(parsed.fault_at(1));
+        assert!(!parsed.fault_at(0));
+        assert_eq!(parsed.fault_count(), 1);
+        // Truncation drops fault marks on removed steps.
+        let mut t = sched.clone();
+        t.truncate(1);
+        assert_eq!(t.fault_count(), 0);
+        // Fault-free schedules render exactly as before.
+        let plain: Schedule = vec![Tid(0), Tid(1)].into();
+        assert_eq!(plain.to_string(), "[T0 T1]");
+        // Ordering: the fault-free schedule sorts before its faulted twin.
+        let mut faulted = plain.clone();
+        faulted.add_fault(0);
+        assert!(plain < faulted);
+    }
+
+    #[test]
+    fn trace_faults_flow_into_schedule_and_stats() {
+        let mut e = entry(0, &[0, 1], None, false);
+        e.fault = true;
+        let trace: Trace = vec![e, entry(1, &[0, 1], Some(0), true)].into();
+        assert_eq!(trace.faults(), 1);
+        let sched = trace.schedule();
+        assert!(sched.fault_at(0));
+        assert_eq!(ExecStats::from_trace(&trace).faults, 1);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   parallel execution, with per-worker sequence numbers that are
 //!   1-based and contiguous — no stamp lost, none duplicated;
 //! * sequential searches emit no stamps at all, keeping their event
-//!   streams byte-identical to the pre-parallel releases.
+//!   streams byte-identical to the pre-parallel releases;
+//! * all of the above hold with fault injection on (`fault_bound >= 1`):
+//!   fault decisions are part of the schedule, so reports and rendered
+//!   witnesses stay byte-identical across worker counts and across a
+//!   kill-and-resume.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -20,8 +24,8 @@ use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
 use icb_core::snapshot::{Checkpointer, SearchSnapshot};
 use icb_core::telemetry::SearchObserver;
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, ExplainedWitness, SchedulePoint,
-    Scheduler, StateSink, Tid, Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, ExplainedWitness, FaultPoint,
+    SchedulePoint, Scheduler, SiteId, StateSink, Tid, Trace, TraceEntry,
 };
 
 /// `n` threads × `k` increments of a shared counter; an optional bug
@@ -88,6 +92,69 @@ impl ControlledProgram for Counters {
     }
 }
 
+/// `n` threads × `k` increments where every increment is a fallible
+/// operation the scheduler may fault, losing the update. The final
+/// counter is asserted at join: the bug is invisible at `fault_bound: 0`
+/// and has a minimum witness of zero preemptions and one fault.
+struct FaultyCounters {
+    n: usize,
+    k: usize,
+}
+
+impl ControlledProgram for FaultyCounters {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let mut counter: u32 = 0;
+        let mut pos = vec![0usize; self.n];
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..self.n).filter(|&i| pos[i] < self.k).map(Tid).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|t| pos[t.index()] < self.k);
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            let site = SiteId::at(chosen.index() as u32, "incr", pos[chosen.index()] as u32);
+            let fault = scheduler.decide_fault(FaultPoint {
+                step_index: trace.len(),
+                tid: chosen,
+                site,
+            });
+            trace.push(
+                TraceEntry::new(chosen, enabled, current, current_enabled, false)
+                    .with_site(site)
+                    .with_fault(fault),
+            );
+            if !fault {
+                counter += 1;
+            }
+            pos[chosen.index()] += 1;
+            current = Some(chosen);
+            let mut bytes = Vec::with_capacity(4 + self.n * 8);
+            bytes.extend_from_slice(&counter.to_le_bytes());
+            for p in &pos {
+                bytes.extend_from_slice(&(*p as u64).to_le_bytes());
+            }
+            sink.visit(icb_core::coverage::fingerprint_bytes(&bytes));
+        }
+        let expected = (self.n * self.k) as u32;
+        let outcome = if counter == expected {
+            ExecutionOutcome::Terminated
+        } else {
+            ExecutionOutcome::AssertionFailure {
+                thread: Tid(0),
+                message: format!("lost update: counter {counter} != {expected}"),
+            }
+        };
+        ExecutionResult::from_trace(outcome, trace)
+    }
+}
+
 fn buggy() -> Counters {
     Counters {
         n: 2,
@@ -104,7 +171,12 @@ fn clean() -> Counters {
     }
 }
 
-fn run(program: &Counters, strategy: Strategy, config: SearchConfig, jobs: usize) -> SearchReport {
+fn run(
+    program: &(dyn ControlledProgram + Sync),
+    strategy: Strategy,
+    config: SearchConfig,
+    jobs: usize,
+) -> SearchReport {
     Search::over(program)
         .strategy(strategy)
         .config(config)
@@ -124,12 +196,13 @@ fn assert_order_independent_match(par: &SearchReport, seq: &SearchReport) {
     assert_eq!(par.bound_history, seq.bound_history, "bound history");
     assert_eq!(par.max_stats, seq.max_stats, "max stats");
     // Sequential drivers report bugs in discovery order; the parallel
-    // merge canonicalizes to (preemptions, schedule). Compare the sets.
+    // merge canonicalizes to (preemptions, faults, schedule). Compare
+    // the sets.
     let canonical = |r: &SearchReport| {
         let mut bugs: Vec<_> = r
             .bugs
             .iter()
-            .map(|b| (b.preemptions, b.schedule.clone()))
+            .map(|b| (b.preemptions, b.faults, b.schedule.clone()))
             .collect();
         bugs.sort();
         bugs
@@ -240,7 +313,7 @@ fn worker_stamps_are_contiguous_per_worker() {
 /// Explains the report's first bug and renders the bundle-format JSON.
 /// The explanation is a pure function of (program, schedule), so any two
 /// reports agreeing on the minimal witness must yield identical bytes.
-fn witness_json(program: &Counters, report: &SearchReport) -> String {
+fn witness_json(program: &dyn ControlledProgram, report: &SearchReport) -> String {
     let bug = report.first_bug().expect("report carries a bug");
     ExplainedWitness::explain(program, &bug.schedule).to_json()
 }
@@ -334,6 +407,118 @@ fn explained_witness_json_is_byte_identical_via_resume() {
         witness_json(&program, &resumed),
         reference,
         "resumed witness.json must match the uninterrupted run byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One injected fault allowed on top of the usual preemption bounds.
+fn fault_config() -> SearchConfig {
+    SearchConfig {
+        fault_bound: 1,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn fault_bound_same_report_at_jobs_1_2_8() {
+    let program = FaultyCounters { n: 2, k: 2 };
+    // The lost-update bug needs an injected fault: the exhaustive search
+    // at fault_bound 0 completes without finding anything.
+    let baseline = run(&program, Strategy::Icb, SearchConfig::default(), 1);
+    assert!(baseline.completed, "{baseline}");
+    assert!(
+        baseline.bugs.is_empty(),
+        "bug must be invisible without faults: {baseline}"
+    );
+
+    let seq = run(&program, Strategy::Icb, fault_config(), 1);
+    let par2 = run(&program, Strategy::Icb, fault_config(), 2);
+    let par8 = run(&program, Strategy::Icb, fault_config(), 8);
+    assert_eq!(
+        par2, par8,
+        "parallel fault-bound reports must be worker-count-free"
+    );
+    assert_order_independent_match(&par2, &seq);
+    let bug = seq.first_bug().expect("fault bug found");
+    assert_eq!(
+        (bug.preemptions, bug.faults),
+        (0, 1),
+        "the iterative (c, f) levels surface the minimum witness first"
+    );
+}
+
+#[test]
+fn fault_witness_json_is_byte_identical_across_worker_counts() {
+    let program = FaultyCounters { n: 2, k: 3 };
+    let seq = run(&program, Strategy::Icb, fault_config(), 1);
+    let par2 = run(&program, Strategy::Icb, fault_config(), 2);
+    let par8 = run(&program, Strategy::Icb, fault_config(), 8);
+    let reference = witness_json(&program, &seq);
+    assert!(
+        reference.contains("\"fault_steps\": ["),
+        "witness records its injected faults: {reference}"
+    );
+    assert_eq!(
+        witness_json(&program, &par2),
+        reference,
+        "jobs=2 fault witness.json must match jobs=1 byte for byte"
+    );
+    assert_eq!(
+        witness_json(&program, &par8),
+        reference,
+        "jobs=8 fault witness.json must match jobs=1 byte for byte"
+    );
+}
+
+#[test]
+fn fault_witness_json_is_byte_identical_via_resume() {
+    // The resume contract with fault injection on: a search resumed from
+    // a mid-run checkpoint (the state a kill -9 leaves behind) reports
+    // the same minimal fault witness, hence the same explanation bytes,
+    // as the uninterrupted run. The checkpoint carries the fault bound,
+    // so the resumed search needs no re-configuration.
+    let program = FaultyCounters { n: 2, k: 3 };
+    let reference = {
+        let report = run(&program, Strategy::Icb, fault_config(), 1);
+        witness_json(&program, &report)
+    };
+    assert!(reference.contains("\"fault_steps\": ["), "{reference}");
+
+    let dir = std::env::temp_dir().join(format!("icb-fault-witness-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.ck");
+    let frozen = dir.join("frozen.ck");
+    let mut copier = FreezeCheckpoint {
+        live: live.clone(),
+        frozen: frozen.clone(),
+        at: 2,
+        seen: 0,
+    };
+    let full = Search::over(&program)
+        .config(fault_config())
+        .observer(&mut copier)
+        .checkpoint(Checkpointer::new(&live, 1))
+        .run()
+        .unwrap();
+    assert!(
+        copier.seen >= 2,
+        "search wrote too few checkpoints to freeze"
+    );
+    assert_eq!(
+        witness_json(&program, &full),
+        reference,
+        "checkpointing must not perturb the fault witness"
+    );
+
+    let snapshot = SearchSnapshot::read_from(&frozen).expect("read frozen checkpoint");
+    let resumed = Search::over(&program)
+        .resume_from(snapshot)
+        .run()
+        .expect("resume icb with fault bound");
+    assert_eq!(
+        witness_json(&program, &resumed),
+        reference,
+        "resumed fault witness.json must match the uninterrupted run byte for byte"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

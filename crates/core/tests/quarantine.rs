@@ -7,8 +7,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use icb_core::search::{Search, SearchConfig, Strategy};
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, StateSink, Tid,
-    Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, SchedulePoint, Scheduler, SearchObserver,
+    StateSink, Tid, Trace, TraceEntry,
 };
 
 /// Two threads × `k` steps, deliberately nondeterministic: on every
@@ -133,6 +133,110 @@ fn best_first_quarantines_instead_of_crashing() {
         .unwrap();
     assert!(report.quarantined_total > 0, "{report}");
     assert_eq!(report.buggy_executions, 0);
+}
+
+/// Two threads × `k` steps; panics (a raw unwind, not a bug outcome)
+/// whenever thread 1 is scheduled first. The panic is deterministic in
+/// the schedule, so a requeued item panics again on its retry and must
+/// be quarantined on the second strike.
+struct PanicsOnT1First {
+    k: usize,
+}
+
+impl ControlledProgram for PanicsOnT1First {
+    fn execute(&self, scheduler: &mut dyn Scheduler, sink: &mut dyn StateSink) -> ExecutionResult {
+        let mut pos = [0usize; 2];
+        let mut trace = Trace::new();
+        let mut current: Option<Tid> = None;
+        loop {
+            let enabled: Vec<Tid> = (0..2).filter(|&i| pos[i] < self.k).map(Tid).collect();
+            if enabled.is_empty() {
+                break;
+            }
+            let current_enabled = current.is_some_and(|t| enabled.contains(&t));
+            let chosen = scheduler.pick(SchedulePoint {
+                step_index: trace.len(),
+                current,
+                current_enabled,
+                enabled: &enabled,
+            });
+            if trace.is_empty() && chosen == Tid(1) {
+                panic!("drill: thread 1 scheduled first");
+            }
+            trace.push(TraceEntry::new(
+                chosen,
+                enabled,
+                current,
+                current_enabled,
+                false,
+            ));
+            pos[chosen.index()] += 1;
+            current = Some(chosen);
+            let fp = (pos[0] as u64) << 32 | pos[1] as u64;
+            sink.visit(icb_core::coverage::mix64(fp));
+        }
+        ExecutionResult::from_trace(ExecutionOutcome::Terminated, trace)
+    }
+}
+
+/// Records every `worker_panic` event the pump emits.
+#[derive(Default)]
+struct PanicCounter {
+    panics: Vec<(usize, String)>,
+}
+
+impl SearchObserver for PanicCounter {
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        self.panics.push((worker, message.to_string()));
+    }
+}
+
+#[test]
+fn parallel_workers_requeue_a_panicking_item_once_then_quarantine_it() {
+    let program = PanicsOnT1First { k: 2 };
+    let mut counter = PanicCounter::default();
+    // Keep the default hook from spamming the test output: the panics
+    // below are deliberate and caught by the workers.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = Search::over(&program)
+        .config(SearchConfig::with_max_executions(500))
+        .jobs(4)
+        .observer(&mut counter)
+        .run()
+        .unwrap();
+    std::panic::set_hook(hook);
+
+    // The search survived the unwinds and kept exploring the healthy
+    // (thread-0-first) half of the tree.
+    assert!(report.executions > 0, "{report}");
+    // A panicking run is an infrastructure failure, not a program bug.
+    assert_eq!(report.buggy_executions, 0, "{report}");
+    assert!(report.bugs.is_empty());
+    // Every panic surfaced as a worker-panic event with the payload.
+    assert!(
+        counter.panics.len() >= 2,
+        "first strike + retry must both be reported: {:?}",
+        counter.panics
+    );
+    assert!(
+        counter
+            .panics
+            .iter()
+            .all(|(_, m)| m.contains("drill: thread 1 scheduled first")),
+        "{:?}",
+        counter.panics
+    );
+    // Second strike forfeits the item: it shows up as quarantined, and
+    // each quarantined item panicked exactly twice (once on first
+    // strike, once on its single retry).
+    assert!(report.quarantined_total > 0, "{report}");
+    assert!(
+        counter.panics.len() >= 2 * report.quarantined_total,
+        "{} panics for {} quarantined item(s)",
+        counter.panics.len(),
+        report.quarantined_total
+    );
 }
 
 #[test]

@@ -20,13 +20,13 @@ use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as Std
 use std::time::{Duration, Instant};
 
 use icb_core::{
-    DivergencePayload, ExecutionOutcome, ExecutionResult, Phase, SchedulePoint, Scheduler,
-    SearchObserver, StateSink, Tid, Trace, TraceEntry,
+    DivergencePayload, ExecutionOutcome, ExecutionResult, FaultPoint, Phase, SchedulePoint,
+    Scheduler, SearchObserver, StateSink, Tid, Trace, TraceEntry,
 };
 use icb_race::{AccessKind, HbFingerprint, RaceDetector};
 
 use crate::config::RuntimeConfig;
-use crate::op::{CondWaiter, PendingOp, Resources};
+use crate::op::{CondWaiter, PendingOp, Resources, FAULT_OP_SALT};
 use crate::pool;
 
 /// Whose turn it is to run.
@@ -67,12 +67,18 @@ pub(crate) enum EffectOut {
     Generation(u32),
     /// `Spawn`: the new task's id.
     Spawned(Tid),
+    /// `FailPoint`: whether the scheduler injected the fault.
+    Fault(bool),
 }
 
 #[derive(Debug)]
 struct TaskEntry {
     finished: bool,
     pending: Option<PendingOp>,
+    /// Whether the scheduler injected a fault into the pending operation
+    /// (set by the controller alongside the baton hand-over, consumed by
+    /// [`apply_effect`]).
+    fault: bool,
 }
 
 #[derive(Debug)]
@@ -216,6 +222,7 @@ impl Execution {
             inner.tasks.push(TaskEntry {
                 finished: false,
                 pending: Some(PendingOp::Start),
+                fault: false,
             });
             inner.alive = 1;
             inner.time_phases = observer.wants_phase_timing();
@@ -391,9 +398,27 @@ impl Execution {
                 .expect("enabled task has a pending op");
             let blocking = pending.is_blocking();
             let site = pending.site();
+            let fallible = pending.is_fallible();
+            // Fault decisions belong to the same step as the scheduling
+            // decision: ask right after the pick, before the step index
+            // advances, so replay sees one aligned (choice, fault) pair.
+            let fault = fallible && {
+                let t0 = time_phases.then(Instant::now);
+                let fault = scheduler.decide_fault(FaultPoint {
+                    step_index: inner.steps,
+                    tid: chosen,
+                    site,
+                });
+                if let Some(t0) = t0 {
+                    selection_time += t0.elapsed();
+                }
+                fault
+            };
+            inner.tasks[chosen.index()].fault = fault;
             inner.trace.push(
                 TraceEntry::new(chosen, enabled, current, current_enabled, blocking)
-                    .with_site(site),
+                    .with_site(site)
+                    .with_fault(fault),
             );
             inner.steps += 1;
             inner.current = Some(chosen);
@@ -457,7 +482,8 @@ impl Execution {
             .pending
             .take()
             .expect("scheduled task has a pending op");
-        let out = apply_effect(&mut inner, tid, &op);
+        let fault = std::mem::take(&mut inner.tasks[tid.index()].fault);
+        let out = apply_effect(&mut inner, tid, &op, fault);
         if is_exit {
             inner.turn = Turn::Controller;
             self.cv.notify_all();
@@ -484,7 +510,7 @@ impl Execution {
             .take()
             .expect("started task has the Start op pending");
         debug_assert_eq!(op, PendingOp::Start);
-        apply_effect(&mut inner, tid, &op);
+        apply_effect(&mut inner, tid, &op, false);
     }
 
     /// Records a task's unwinding (user panic or abort).
@@ -641,7 +667,13 @@ fn op_enabled(inner: &ExecInner, tid: Tid, op: &PendingOp) -> bool {
 
 /// Applies the state transition of `op`, records its happens-before
 /// edges, and stores the post-step fingerprint for the controller.
-fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
+///
+/// `fault` is the scheduler's decision for designated fallible
+/// operations (always `false` otherwise): a faulted `TryAcquire` fails
+/// even when the lock is free, a faulted `CondWait` enqueues the waiter
+/// pre-signaled (a spurious wakeup that consumes no notification), and a
+/// faulted `FailPoint` trips.
+fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp, fault: bool) -> EffectOut {
     let mut out = EffectOut::None;
     match *op {
         PendingOp::Start | PendingOp::Yield => {}
@@ -661,7 +693,7 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
         }
         PendingOp::TryAcquire { lock, sync } => {
             inner.with_detector(|d| d.sync_access(tid, sync));
-            if inner.resources.locks[lock].is_none() {
+            if !fault && inner.resources.locks[lock].is_none() {
                 inner.resources.locks[lock] = Some(tid);
                 out = EffectOut::Acquired(true);
             } else {
@@ -676,9 +708,13 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
         } => {
             debug_assert_eq!(inner.resources.locks[lock], Some(tid));
             inner.resources.locks[lock] = None;
+            // A faulted wait is a spurious wakeup: the waiter enters the
+            // queue already signaled, so its reacquire is enabled without
+            // any notify — and a later notify_one skips it, consuming no
+            // signal on its behalf.
             inner.resources.condvars[cv].push(CondWaiter {
                 tid,
-                signaled: false,
+                signaled: fault,
             });
             inner.with_detector(|d| d.sync_access(tid, lock_sync));
             inner.with_detector(|d| d.sync_access(tid, cv_sync));
@@ -747,6 +783,7 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
             inner.tasks.push(TaskEntry {
                 finished: false,
                 pending: Some(PendingOp::Start),
+                fault: false,
             });
             inner.alive += 1;
             inner.with_detector(|d| d.fork(tid, child));
@@ -792,9 +829,20 @@ fn apply_effect(inner: &mut ExecInner, tid: Tid, op: &PendingOp) -> EffectOut {
         PendingOp::BarrierWait { sync, .. } => {
             inner.with_detector(|d| d.sync_access(tid, sync));
         }
+        PendingOp::FailPoint { .. } => {
+            out = EffectOut::Fault(fault);
+        }
     }
     let vc = inner.detector.thread_clock(tid);
-    let fp = inner.fingerprint.record(tid, op.op_hash(), &vc);
+    let op_hash = if fault {
+        // A faulted step is a different program event than its
+        // fault-free twin: salt the hash so fingerprints (and hence
+        // cache keys and coverage) distinguish the two histories.
+        op.op_hash() ^ FAULT_OP_SALT
+    } else {
+        op.op_hash()
+    };
+    let fp = inner.fingerprint.record(tid, op_hash, &vc);
     inner.pending_fp = Some(fp);
     out
 }

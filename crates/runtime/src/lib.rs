@@ -69,3 +69,53 @@ pub mod thread;
 pub use config::RuntimeConfig;
 pub use data::DataVar;
 pub use program::RuntimeProgram;
+
+/// Declares a named fallible site and asks the scheduler whether the
+/// fault fires here, in this execution.
+///
+/// Use it wherever the program under test would consult an external
+/// operation that can transiently fail — an I/O call, an allocation, an
+/// RPC. Under a search with
+/// [`fault_bound`](icb_core::search::Search::fault_bound)` ≥ 1` the
+/// checker explores both answers systematically, exactly as it explores
+/// scheduling decisions; at fault bound 0 (and under any pre-fault
+/// scheduler) it always returns `false`.
+///
+/// Every call is a scheduling point. The site's `name` is its identity
+/// in profiles, fault attribution, and happens-before fingerprints; two
+/// calls with the same name are the same site.
+///
+/// Outside a running execution this returns `false` (the fault never
+/// fires), so instrumented code also runs unchecked.
+///
+/// # Examples
+///
+/// ```
+/// use icb_core::search::{IcbSearch, SearchConfig};
+/// use icb_runtime::{fail_point, RuntimeProgram};
+///
+/// let program = RuntimeProgram::new(|| {
+///     let mut attempts = 0;
+///     while fail_point("journal-write") {
+///         attempts += 1;
+///         assert!(attempts < 3, "journal write kept failing");
+///     }
+/// });
+/// let config = SearchConfig {
+///     fault_bound: 3,
+///     ..SearchConfig::default()
+/// };
+/// let report = IcbSearch::new(config).run(&program);
+/// assert_eq!(report.bugs.len(), 1); // three injected failures trip it
+/// assert_eq!(report.bugs[0].faults, 3);
+/// ```
+pub fn fail_point(name: &'static str) -> bool {
+    engine::try_with_current(|exec, tid| {
+        match exec.sched_point(tid, op::PendingOp::FailPoint { name }) {
+            engine::EffectOut::Fault(injected) => injected,
+            // An abort unwind skips the effect; the answer is moot.
+            _ => false,
+        }
+    })
+    .unwrap_or(false)
+}

@@ -79,7 +79,17 @@ pub(crate) enum PendingOp {
     Join { target: Tid },
     /// Voluntary yield: a scheduling point with no effect.
     Yield,
+    /// An explicit fallible site declared with
+    /// [`fail_point`](crate::fail_point). Always enabled; the scheduler's
+    /// fault decision becomes the operation's boolean result.
+    FailPoint { name: &'static str },
 }
+
+/// XOR-salt folded into [`PendingOp::op_hash`] when a fault is injected
+/// into the operation: a faulted step is a different program event than
+/// its fault-free twin, so their happens-before fingerprints must
+/// diverge (cache keys and coverage counts distinguish them).
+pub(crate) const FAULT_OP_SALT: u64 = 0x5eed_fa17_0b5e_55ed;
 
 impl PendingOp {
     /// Whether this operation is *potentially blocking* — the `B` count
@@ -97,6 +107,19 @@ impl PendingOp {
                 | PendingOp::Join { .. }
                 | PendingOp::RwAcquire { .. }
                 | PendingOp::BarrierWait { .. }
+        )
+    }
+
+    /// Whether this operation is *designated fallible* — the controller
+    /// consults [`Scheduler::decide_fault`](icb_core::Scheduler) for it
+    /// right after the scheduling decision. A `try_lock` may fail even
+    /// when the lock is free, a condvar wait may wake spuriously, and a
+    /// [`fail_point`](crate::fail_point) may trip; everything else is
+    /// deterministic given the schedule.
+    pub(crate) fn is_fallible(&self) -> bool {
+        matches!(
+            self,
+            PendingOp::TryAcquire { .. } | PendingOp::CondWait { .. } | PendingOp::FailPoint { .. }
         )
     }
 
@@ -140,6 +163,7 @@ impl PendingOp {
             } => SiteId::op("rw-release-r", rw as u32),
             PendingOp::BarrierArrive { bar, .. } => SiteId::op("barrier-arrive", bar as u32),
             PendingOp::BarrierWait { bar, .. } => SiteId::op("barrier-wait", bar as u32),
+            PendingOp::FailPoint { name } => SiteId::op(name, 0),
         }
     }
 
@@ -172,6 +196,15 @@ impl PendingOp {
             PendingOp::RwRelease { rw, write, .. } => h(20, rw, write as usize),
             PendingOp::BarrierArrive { bar, .. } => h(21, bar, 0),
             PendingOp::BarrierWait { bar, gen, .. } => h(22, bar, gen as usize),
+            PendingOp::FailPoint { name } => {
+                // The name is the site's whole identity; fold its bytes
+                // (FNV-1a) so distinct fail points hash apart.
+                let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+                for &byte in name.as_bytes() {
+                    acc = (acc ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h(23, 0, 0) ^ (acc << 8)
+            }
         }
     }
 }
@@ -296,6 +329,37 @@ mod tests {
         let c = PendingOp::Release { lock: 0, sync: 0 }.op_hash();
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fallible_classification() {
+        assert!(PendingOp::TryAcquire { lock: 0, sync: 0 }.is_fallible());
+        assert!(PendingOp::CondWait {
+            cv: 0,
+            cv_sync: 0,
+            lock: 0,
+            lock_sync: 0
+        }
+        .is_fallible());
+        assert!(PendingOp::FailPoint { name: "io" }.is_fallible());
+        assert!(!PendingOp::Acquire { lock: 0, sync: 0 }.is_fallible());
+        assert!(!PendingOp::CondReacquire {
+            cv: 0,
+            cv_sync: 0,
+            lock: 0,
+            lock_sync: 0
+        }
+        .is_fallible());
+        assert!(!PendingOp::FailPoint { name: "io" }.is_blocking());
+    }
+
+    #[test]
+    fn fail_points_hash_and_site_by_name() {
+        let a = PendingOp::FailPoint { name: "disk-write" };
+        let b = PendingOp::FailPoint { name: "net-send" };
+        assert_ne!(a.op_hash(), b.op_hash());
+        assert_eq!(a.site().to_string(), "disk-write#0");
+        assert_ne!(a.op_hash() ^ FAULT_OP_SALT, a.op_hash());
     }
 
     #[test]

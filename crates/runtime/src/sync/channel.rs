@@ -81,6 +81,10 @@ impl<T> Channel<T> {
 
     /// Sends `value`, blocking while the channel is full.
     ///
+    /// Under a fault bound the internal waits may wake spuriously; the
+    /// re-check loop here absorbs that, so `send` itself never fails —
+    /// use [`try_send`](Channel::try_send) for the fallible variant.
+    ///
     /// # Panics
     ///
     /// Panics if the channel is closed — sending after close is a
@@ -111,6 +115,35 @@ impl<T> Channel<T> {
             }
             state = self.not_empty.wait(state);
         }
+    }
+
+    /// Attempts to send without blocking, returning the value if the
+    /// channel is full right now.
+    ///
+    /// This is a *designated fallible operation*: under a search with a
+    /// fault bound, the scheduler may also fail the send transiently at
+    /// the `channel-send` fail point even though space is available —
+    /// modeling a timed-out or spuriously rejected bounded send. Callers
+    /// must therefore be prepared to retry or shed the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(Full(value))` when the queue is at capacity or a
+    /// fault was injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is closed, as for [`send`](Channel::send).
+    pub fn try_send(&self, value: T) -> Result<(), Full<T>> {
+        let mut state = self.state.lock();
+        assert!(!state.closed, "send on closed channel");
+        if state.queue.len() == self.capacity || crate::fail_point("channel-send") {
+            return Err(Full(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Attempts to receive without blocking. `Ok(None)` means the
@@ -162,6 +195,25 @@ impl<T> fmt::Debug for Channel<T> {
             .finish()
     }
 }
+
+/// Error returned by [`Channel::try_send`]: the channel was full (or a
+/// fault was injected), and here is the value back.
+pub struct Full<T>(pub T);
+
+impl<T> fmt::Debug for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The payload may not be Debug; identity is enough.
+        f.write_str("Full(..)")
+    }
+}
+
+impl<T> fmt::Display for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel full")
+    }
+}
+
+impl<T> std::error::Error for Full<T> {}
 
 /// Error returned by [`Channel::try_recv`] on a closed, drained channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

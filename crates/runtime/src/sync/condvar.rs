@@ -7,8 +7,12 @@ use crate::op::PendingOp;
 use crate::sync::{Mutex, MutexGuard};
 
 /// A condition variable with Win32/Rust semantics: notifications are
-/// lost if nobody is waiting, and there are no spurious wakeups (the
-/// model checker explores real nondeterminism through schedules instead).
+/// lost if nobody is waiting, and `wait` never wakes spuriously at the
+/// default `fault_bound: 0` (the model checker explores real
+/// nondeterminism through schedules instead). Under a fault bound the
+/// wait is a designated fallible operation: the scheduler may inject a
+/// spurious wakeup that consumes no notification, so — exactly as on
+/// real hardware — callers must re-check their predicate in a loop.
 ///
 /// # Examples
 ///

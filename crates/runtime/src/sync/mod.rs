@@ -25,7 +25,7 @@ mod semaphore;
 
 pub use atomic::{AtomicBool, AtomicI64, AtomicUsize};
 pub use barrier::Barrier;
-pub use channel::{Channel, Closed};
+pub use channel::{Channel, Closed, Full};
 pub use condvar::Condvar;
 pub use event::Event;
 pub use mutex::{Mutex, MutexGuard};

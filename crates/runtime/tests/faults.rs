@@ -1,0 +1,197 @@
+//! Fault-injection semantics of the runtime: designated fallible
+//! operations (`try_lock`, condvar waits, `try_send`, `fail_point`)
+//! under an iterative fault bound, their byte-compatibility at fault
+//! bound 0, and deterministic replay of faulted witnesses.
+
+use std::sync::Arc;
+
+use icb_core::search::{Search, SearchConfig, SearchReport, Strategy};
+use icb_core::{ControlledProgram, ExecutionOutcome, NullSink, ReplayScheduler};
+use icb_runtime::sync::{Channel, Condvar, Mutex};
+use icb_runtime::{fail_point, thread, DataVar, RuntimeProgram};
+
+fn search(program: &RuntimeProgram, fault_bound: usize) -> SearchReport {
+    Search::over(program)
+        .strategy(Strategy::Icb)
+        .config(SearchConfig {
+            fault_bound,
+            ..SearchConfig::default()
+        })
+        .run()
+        .unwrap()
+}
+
+/// A single-task program asserting `try_lock` on a free lock succeeds:
+/// only an injected fault can fail it.
+fn try_lock_believer() -> RuntimeProgram {
+    RuntimeProgram::new(|| {
+        let lock = Mutex::new(());
+        assert!(lock.try_lock().is_some(), "try_lock failed on a free lock");
+    })
+}
+
+#[test]
+fn try_lock_on_free_lock_fails_only_under_fault() {
+    let program = try_lock_believer();
+    let clean = search(&program, 0);
+    assert!(clean.completed && clean.bugs.is_empty());
+
+    let faulty = search(&program, 1);
+    let bug = faulty.bugs.first().expect("fault bound 1 exposes the bug");
+    assert_eq!(bug.preemptions, 0, "no preemption needed");
+    assert_eq!(bug.faults, 1, "exactly one injected fault");
+    assert!(matches!(
+        bug.outcome,
+        ExecutionOutcome::AssertionFailure { .. }
+    ));
+}
+
+#[test]
+fn faulted_witness_replays_deterministically() {
+    let program = try_lock_believer();
+    let bug = search(&program, 1).bugs.into_iter().next().expect("bug");
+    assert_eq!(bug.schedule.fault_count(), 1, "schedule encodes the fault");
+    let mut replay = ReplayScheduler::new(bug.schedule.clone());
+    let result = program.execute(&mut replay, &mut NullSink);
+    assert!(matches!(
+        result.outcome,
+        ExecutionOutcome::AssertionFailure { .. }
+    ));
+    assert_eq!(result.trace.schedule(), bug.schedule);
+    assert_eq!(result.stats.faults, 1);
+}
+
+#[test]
+fn spurious_wakeup_breaks_if_recheck_but_not_while_recheck() {
+    // The canonical bug: `if !ready { wait() }` instead of `while`.
+    let build = |use_while: bool| {
+        RuntimeProgram::new(move || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let producer = {
+                let pair = Arc::clone(&pair);
+                thread::spawn(move || {
+                    let (lock, cv) = &*pair;
+                    let mut ready = lock.lock();
+                    *ready = true;
+                    cv.notify_one();
+                })
+            };
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            if use_while {
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            } else if !*ready {
+                ready = cv.wait(ready);
+            }
+            assert!(*ready, "woke without the condition holding");
+            drop(ready);
+            producer.join();
+        })
+    };
+
+    let missing_recheck = build(false);
+    assert!(
+        search(&missing_recheck, 0).bugs.is_empty(),
+        "without spurious wakeups the if-recheck is never caught"
+    );
+    let bug_report = search(&missing_recheck, 1);
+    let bug = bug_report.bugs.first().expect("spurious wakeup trips it");
+    assert_eq!(bug.faults, 1);
+
+    let proper = build(true);
+    let report = search(&proper, 1);
+    assert!(
+        report.completed && report.bugs.is_empty(),
+        "a while-recheck absorbs every spurious wakeup"
+    );
+}
+
+#[test]
+fn spurious_wakeup_consumes_no_notification() {
+    // Two waiters, one notify_one: a spurious wakeup of waiter A must
+    // not swallow the signal destined for waiter B (both must exit).
+    let program = RuntimeProgram::new(|| {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let pair = Arc::clone(&pair);
+                thread::spawn(move || {
+                    let (lock, cv) = &*pair;
+                    let mut stage = lock.lock();
+                    while *stage == 0 {
+                        stage = cv.wait(stage);
+                    }
+                })
+            })
+            .collect();
+        let (lock, cv) = &*pair;
+        *lock.lock() = 1;
+        cv.notify_all();
+        for w in waiters {
+            w.join();
+        }
+    });
+    let report = search(&program, 1);
+    assert!(report.completed && report.bugs.is_empty());
+}
+
+#[test]
+fn try_send_fails_transiently_under_fault() {
+    let program = RuntimeProgram::new(|| {
+        let ch = Channel::bounded(4);
+        // Capacity 4, queue empty: only an injected fault can fail it.
+        assert!(ch.try_send(1u8).is_ok(), "try_send failed with space free");
+    });
+    assert!(search(&program, 0).bugs.is_empty());
+    let bug_report = search(&program, 1);
+    let bug = bug_report.bugs.first().expect("fault fails the send");
+    assert_eq!(bug.faults, 1);
+}
+
+#[test]
+fn fail_point_outside_execution_never_fires() {
+    assert!(!fail_point("outside"));
+}
+
+#[test]
+fn fault_free_search_is_byte_identical_to_fault_bound_zero() {
+    // The same program, searched with and without the fault machinery
+    // in the schedule space, must produce identical reports when no
+    // fault is ever injected: same executions, same schedules.
+    let build = || {
+        RuntimeProgram::new(|| {
+            let v = Arc::new(DataVar::new(0));
+            let t = {
+                let v = Arc::clone(&v);
+                thread::spawn(move || v.with_mut(|x| *x += 1))
+            };
+            t.join();
+            assert_eq!(v.read(), 1);
+        })
+    };
+    let zero = search(&build(), 0);
+    let one = search(&build(), 1);
+    assert_eq!(zero.executions, one.executions);
+    assert_eq!(zero.distinct_states, one.distinct_states);
+    assert!(zero.completed && one.completed);
+}
+
+#[test]
+fn fault_changes_the_fingerprint_history() {
+    // A faulted try_lock and a fault-free one are different program
+    // events: the search at fault bound 1 must observe strictly more
+    // distinct states than at bound 0.
+    let program = RuntimeProgram::new(|| {
+        let lock = Mutex::new(());
+        let _ = lock.try_lock();
+    });
+    let zero = search(&program, 0);
+    let one = search(&program, 1);
+    assert!(one.executions > zero.executions, "fault branch explored");
+    assert!(
+        one.distinct_states > zero.distinct_states,
+        "faulted history fingerprints apart"
+    );
+}

@@ -11,8 +11,8 @@
 use std::time::{Duration, Instant};
 
 use icb_core::{
-    ControlledProgram, ExecutionOutcome, ExecutionResult, NoopObserver, Phase, SchedulePoint,
-    Scheduler, SearchObserver, SiteId, StateSink, Tid, Trace, TraceEntry,
+    ControlledProgram, ExecutionOutcome, ExecutionResult, FaultPoint, NoopObserver, Phase,
+    SchedulePoint, Scheduler, SearchObserver, SiteId, StateSink, Tid, Trace, TraceEntry,
 };
 
 use crate::model::{Model, StepError};
@@ -89,12 +89,27 @@ impl ControlledProgram for Model {
                         let pc = state.threads[chosen.index()].pc as u32;
                         SiteId::at(chosen.index() as u32, i.mnemonic(), pc)
                     });
+                // Fault decisions share the step with the scheduling
+                // decision, so a replayed schedule realigns both.
+                let fault = self.next_is_fallible(&state, chosen) && {
+                    let t0 = time_phases.then(Instant::now);
+                    let fault = scheduler.decide_fault(FaultPoint {
+                        step_index: trace.len(),
+                        tid: chosen,
+                        site,
+                    });
+                    if let Some(t0) = t0 {
+                        selection += t0.elapsed();
+                    }
+                    fault
+                };
                 trace.push(
                     TraceEntry::new(chosen, enabled, current, current_enabled, blocking)
-                        .with_site(site),
+                        .with_site(site)
+                        .with_fault(fault),
                 );
                 current = Some(chosen);
-                if let Err(e) = self.step_in_place(&mut state, chosen) {
+                if let Err(e) = self.step_in_place_faulted(&mut state, chosen, fault) {
                     break 'run step_error_outcome(e);
                 }
                 sink.visit(state.fingerprint());
@@ -173,6 +188,48 @@ mod tests {
             .run()
             .unwrap();
         assert!(!dfs.bugs.is_empty());
+    }
+
+    #[test]
+    fn fail_point_bug_needs_a_fault_bound() {
+        // A thread that asserts its "I/O" never fails: invisible at
+        // fault bound 0, a minimum-(0 preemptions, 1 fault) witness at 1.
+        let build = || {
+            let mut m = ModelBuilder::new();
+            let _g = m.global("g", 0);
+            m.thread("writer", |t| {
+                let failed = t.local();
+                t.fail_point("disk-write", failed);
+                t.assert(failed.eq(0), "unhandled write failure");
+            });
+            m.build()
+        };
+        let clean = Search::over(&build())
+            .config(SearchConfig::default())
+            .run()
+            .unwrap();
+        assert!(clean.completed && clean.bugs.is_empty());
+
+        let faulty = Search::over(&build())
+            .config(SearchConfig {
+                fault_bound: 1,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap();
+        let bug = faulty.bugs.first().expect("fault exposes the bug");
+        assert_eq!((bug.preemptions, bug.faults), (0, 1));
+        assert_eq!(bug.schedule.fault_count(), 1);
+
+        // The witness replays byte-deterministically.
+        let model = build();
+        let mut replay = icb_core::ReplayScheduler::new(bug.schedule.clone());
+        let r = model.execute(&mut replay, &mut icb_core::NullSink);
+        assert!(matches!(
+            r.outcome,
+            ExecutionOutcome::AssertionFailure { .. }
+        ));
+        assert_eq!(r.trace.schedule(), bug.schedule);
     }
 
     #[test]

@@ -298,6 +298,17 @@ impl ThreadBuilder {
         self.code.push(Instr::Yield);
     }
 
+    /// Emits a designated fallible site (one step): `dst := 1` if the
+    /// search injects a fault here, else `dst := 0`. Under a fault
+    /// bound the checker explores both outcomes; at fault bound 0 (and
+    /// in the explicit-state checker) `dst` is always 0.
+    pub fn fail_point(&mut self, name: &str, dst: Local) {
+        self.code.push(Instr::FailPoint {
+            name: name.to_string(),
+            dst,
+        });
+    }
+
     /// Emits the local computation `dst := expr` (invisible).
     pub fn compute(&mut self, dst: Local, expr: impl Into<Expr>) {
         self.code.push(Instr::Compute {
@@ -458,6 +469,7 @@ fn validate_thread(thread: &ThreadCode, globals: usize, arrays: usize, locks: us
                 check_local(dst, pc);
             }
             Instr::BlockUntil { global, .. } => check_global(global, pc),
+            Instr::FailPoint { dst, .. } => check_local(dst, pc),
             Instr::Yield | Instr::Halt => {}
             Instr::Compute { dst, expr } => {
                 check_local(dst, pc);

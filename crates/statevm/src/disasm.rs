@@ -137,6 +137,9 @@ impl Model {
                 format!("wait   {} {pred:?}", g(global.index()))
             }
             Instr::Yield => "yield".to_string(),
+            Instr::FailPoint { name, dst } => {
+                format!("failpt l{} <- \"{name}\"", dst.index())
+            }
             Instr::Compute { dst, expr } => format!("let    l{} <- {expr}", dst.index()),
             Instr::Jump { target } => format!("jmp    {target}"),
             Instr::JumpIf { cond, target } => format!("jif    {cond} -> {target}"),

@@ -165,6 +165,16 @@ pub enum Instr {
     /// A shared no-op: a scheduling point without a variable access
     /// (models a syscall boundary / explicit yield).
     Yield,
+    /// A designated fallible site (one step): `dst := 1` if the search
+    /// injects a fault here, else `dst := 0`. The bytecode analog of
+    /// `icb_runtime::fail_point` — under a fault bound the scheduler
+    /// explores both outcomes.
+    FailPoint {
+        /// Site name, for disassembly and reports.
+        name: String,
+        /// Receives 1 (fault injected) or 0.
+        dst: Local,
+    },
 
     // ---- local instructions (invisible) ----
     /// `dst := expr` over locals only.
@@ -216,6 +226,12 @@ impl Instr {
         matches!(self, Instr::Acquire { .. } | Instr::BlockUntil { .. })
     }
 
+    /// Is this a designated fallible instruction — one whose step
+    /// consults the scheduler's fault decision?
+    pub fn is_fallible(&self) -> bool {
+        matches!(self, Instr::FailPoint { .. })
+    }
+
     /// A short static name for the instruction, used as the class of
     /// profiler [`SiteId`](icb_core::SiteId)s.
     pub fn mnemonic(&self) -> &'static str {
@@ -230,6 +246,7 @@ impl Instr {
             Instr::Cas { .. } => "cas",
             Instr::BlockUntil { .. } => "block-until",
             Instr::Yield => "yield",
+            Instr::FailPoint { .. } => "fail-point",
             Instr::Compute { .. } => "compute",
             Instr::Jump { .. } => "jump",
             Instr::JumpIf { .. } => "jump-if",

@@ -224,6 +224,13 @@ impl Model {
         self.next_shared(state, tid).is_some_and(Instr::is_blocking)
     }
 
+    /// Is the next instruction of `tid` a designated fallible one (a
+    /// `FailPoint`)? The stateless adapter consults the scheduler's
+    /// fault decision for these steps.
+    pub fn next_is_fallible(&self, state: &VmState, tid: Tid) -> bool {
+        self.next_shared(state, tid).is_some_and(Instr::is_fallible)
+    }
+
     /// Executes one step of `tid`: its next shared instruction plus the
     /// following run of local instructions (normalization).
     ///
@@ -243,8 +250,23 @@ impl Model {
     }
 
     /// [`Model::step`] without the defensive clone (the stateless
-    /// adapter advances a single state in place).
+    /// adapter advances a single state in place). `FailPoint`
+    /// instructions take the fault-free branch; the explicit-state
+    /// checker searches only the scheduling dimension.
     pub fn step_in_place(&self, state: &mut VmState, tid: Tid) -> Result<(), StepError> {
+        self.step_in_place_faulted(state, tid, false)
+    }
+
+    /// [`Model::step_in_place`] with an explicit fault decision for a
+    /// `FailPoint` step (`fault` is ignored by every other
+    /// instruction). This is what the stateless adapter calls with the
+    /// scheduler's answer.
+    pub fn step_in_place_faulted(
+        &self,
+        state: &mut VmState,
+        tid: Tid,
+        fault: bool,
+    ) -> Result<(), StepError> {
         debug_assert!(self.enabled(state, tid), "step on disabled thread {tid}");
         let code = &self.threads[tid.index()].code;
         let ts = &mut state.threads[tid.index()];
@@ -313,6 +335,9 @@ impl Model {
                 // access itself has no effect beyond the read.
             }
             Instr::Yield => {}
+            Instr::FailPoint { dst, .. } => {
+                ts.locals[dst.index()] = fault as i64;
+            }
             local => unreachable!("normalized pc points at a shared instruction, found {local:?}"),
         }
         state.threads[tid.index()].pc += 1;

@@ -82,7 +82,9 @@ impl Model {
             Instr::Acquire { lock } | Instr::Release { lock } => {
                 vec![(Object::Lock(lock.eval(locals) as usize), true)]
             }
-            Instr::Yield => Vec::new(),
+            // A fail point writes only the thread's own local: no shared
+            // footprint, independent of every other step.
+            Instr::Yield | Instr::FailPoint { .. } => Vec::new(),
             local => unreachable!("normalized pc on shared instruction, found {local:?}"),
         }
     }

@@ -81,6 +81,20 @@ pub enum Event {
         /// The site of the preempted thread's interrupted operation.
         site: SiteId,
     },
+    /// `fault_injected(site, step)`.
+    FaultInjected {
+        /// The fallible operation's site.
+        site: SiteId,
+        /// The schedule step the injection happened at.
+        step: usize,
+    },
+    /// `worker_panic(worker, message)`.
+    WorkerPanic {
+        /// The panicking worker's index.
+        worker: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
     /// `phase_time(phase, elapsed)`.
     PhaseTime {
         /// Which phase the time belongs to.
@@ -151,6 +165,8 @@ impl Event {
             Event::RaceDetected { .. } => "race-detected",
             Event::ChoicePoint { .. } => "choice-point",
             Event::PreemptionTaken { .. } => "preemption-taken",
+            Event::FaultInjected { .. } => "fault-injected",
+            Event::WorkerPanic { .. } => "worker-panic",
             Event::PhaseTime { .. } => "phase-time",
             Event::SearchResumed { .. } => "search-resumed",
             Event::CheckpointWritten { .. } => "checkpoint-written",
@@ -261,6 +277,17 @@ impl SearchObserver for EventLog {
 
     fn preemption_taken(&mut self, site: SiteId) {
         self.events.push(Event::PreemptionTaken { site });
+    }
+
+    fn fault_injected(&mut self, site: SiteId, step: usize) {
+        self.events.push(Event::FaultInjected { site, step });
+    }
+
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        self.events.push(Event::WorkerPanic {
+            worker,
+            message: message.to_string(),
+        });
     }
 
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {

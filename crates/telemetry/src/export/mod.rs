@@ -98,6 +98,12 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     );
     counter(
         &mut out,
+        "icb_faults_injected_total",
+        "Faults injected at fallible operations by the fault-bound search.",
+        snap.faults_injected,
+    );
+    counter(
+        &mut out,
         "icb_shrink_replays_total",
         "Replays spent shrinking witnesses (outside the search's execution count).",
         snap.shrink_replays,
@@ -412,6 +418,9 @@ icb_bugs_reported_total 0
 # HELP icb_races_detected_total Data races flagged by the race detector.
 # TYPE icb_races_detected_total counter
 icb_races_detected_total 0
+# HELP icb_faults_injected_total Faults injected at fallible operations by the fault-bound search.
+# TYPE icb_faults_injected_total counter
+icb_faults_injected_total 0
 # HELP icb_shrink_replays_total Replays spent shrinking witnesses (outside the search's execution count).
 # TYPE icb_shrink_replays_total counter
 icb_shrink_replays_total 3

@@ -146,10 +146,16 @@ fn outcome_fields(outcome: &ExecutionOutcome) -> String {
 }
 
 fn stats_fields(stats: &ExecStats) -> String {
-    format!(
+    let mut fields = format!(
         "\"steps\":{},\"blocking_steps\":{},\"preemptions\":{},\"context_switches\":{}",
         stats.steps, stats.blocking_steps, stats.preemptions, stats.context_switches
-    )
+    );
+    // Only faulted executions carry the field: fault-free runs (every
+    // run at fault bound 0) keep their pre-fault byte layout.
+    if stats.faults > 0 {
+        fields.push_str(&format!(",\"faults\":{}", stats.faults));
+    }
+    fields
 }
 
 fn schedule_array(schedule: &icb_core::Schedule) -> String {
@@ -244,8 +250,15 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
     }
 
     fn bound_completed(&mut self, stats: &BoundStats, wall_time: Duration) {
+        // The fault level appears only on levels that inject: a search
+        // at fault bound 0 emits the exact pre-fault byte layout.
+        let faults = if stats.faults > 0 {
+            format!("\"faults\":{},", stats.faults)
+        } else {
+            String::new()
+        };
         let line = format!(
-            "{{\"event\":\"bound-completed\",\"bound\":{},\"executions\":{},\
+            "{{\"event\":\"bound-completed\",\"bound\":{},{faults}\"executions\":{},\
              \"cumulative_states\":{},\"bugs_found\":{},\"wall_time_ns\":{}}}",
             stats.bound,
             stats.executions,
@@ -257,9 +270,26 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
     }
 
     fn bug_found(&mut self, bug: &BugReport) {
+        // Fault-free witnesses keep the pre-fault byte layout; faulted
+        // ones additionally record which schedule steps injected.
+        let faults = if bug.faults > 0 {
+            let steps: Vec<String> = bug
+                .schedule
+                .faults()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            format!(
+                "\"faults\":{},\"fault_steps\":[{}],",
+                bug.faults,
+                steps.join(",")
+            )
+        } else {
+            String::new()
+        };
         let line = format!(
             "{{\"event\":\"bug-found\",\"execution_index\":{},\"preemptions\":{},\
-             \"steps\":{},{},\"schedule\":{}}}",
+             {faults}\"steps\":{},{},\"schedule\":{}}}",
             bug.execution_index,
             bug.preemptions,
             bug.steps,
@@ -267,6 +297,25 @@ impl<W: Write> SearchObserver for JsonlSink<W> {
             schedule_array(&bug.schedule),
         );
         self.emit(&line);
+    }
+
+    fn fault_injected(&mut self, site: SiteId, step: usize) {
+        let line = format!(
+            "{{\"event\":\"fault-injected\",\"site\":{},\"step\":{step}}}",
+            json_string(&site.to_string())
+        );
+        self.emit(&line);
+    }
+
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        let line = format!(
+            "{{\"event\":\"worker-panic\",\"worker\":{worker},\"message\":{}}}",
+            json_string(message)
+        );
+        self.emit(&line);
+        // A panicking workload may be about to take the process down on
+        // the retry; make sure the first observation reaches disk.
+        self.flush();
     }
 
     fn search_resumed(&mut self, info: &ResumeInfo) {
@@ -670,6 +719,83 @@ mod tests {
         sink.search_finished(&SearchReport::default());
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(!text.contains("cache_hits"), "{text}");
+    }
+
+    #[test]
+    fn fault_events_are_encoded_and_absent_when_fault_free() {
+        use icb_core::{Schedule, Tid};
+
+        // Fault-free stats and bugs: byte-identical to the pre-fault
+        // layout (no "faults" key anywhere).
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.execution_finished(1, &ExecStats::default(), &ExecutionOutcome::Terminated, 1);
+        sink.bound_completed(
+            &BoundStats {
+                bound: 1,
+                faults: 0,
+                executions: 3,
+                cumulative_states: 2,
+                bugs_found: 0,
+            },
+            Duration::from_nanos(9),
+        );
+        sink.bug_found(&BugReport {
+            outcome: ExecutionOutcome::Terminated,
+            schedule: Schedule::from(vec![Tid(0)]),
+            preemptions: 0,
+            faults: 0,
+            execution_index: 1,
+            steps: 1,
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(!text.contains("fault"), "fault-free must be silent: {text}");
+
+        // Faulted: counts, injection sites and witness steps all appear.
+        let mut sink = JsonlSink::new(Vec::new());
+        let stats = ExecStats {
+            faults: 2,
+            ..ExecStats::default()
+        };
+        sink.execution_finished(1, &stats, &ExecutionOutcome::Terminated, 1);
+        sink.fault_injected(SiteId::op("try-acquire", 3), 5);
+        sink.bound_completed(
+            &BoundStats {
+                bound: 1,
+                faults: 1,
+                executions: 3,
+                cumulative_states: 2,
+                bugs_found: 1,
+            },
+            Duration::from_nanos(9),
+        );
+        let mut schedule = Schedule::from(vec![Tid(0), Tid(1)]);
+        schedule.add_fault(1);
+        sink.bug_found(&BugReport {
+            outcome: ExecutionOutcome::Terminated,
+            schedule,
+            preemptions: 0,
+            faults: 1,
+            execution_index: 2,
+            steps: 2,
+        });
+        sink.worker_panic(3, "worker died: index out of bounds");
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"faults\":2"), "{text}");
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"fault-injected\",\"site\":\"try-acquire#3\",\"step\":5}"
+        );
+        assert!(lines[2].contains("\"bound\":1,\"faults\":1,"), "{text}");
+        assert!(
+            lines[3].contains("\"faults\":1,\"fault_steps\":[1],"),
+            "{text}"
+        );
+        assert!(
+            lines[4].contains("\"event\":\"worker-panic\",\"worker\":3"),
+            "{text}"
+        );
+        assert!(lines[4].contains("index out of bounds"), "{text}");
     }
 
     #[test]

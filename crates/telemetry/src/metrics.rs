@@ -347,6 +347,7 @@ mod tests {
                 blocking_steps: 0,
                 preemptions: 2,
                 context_switches: 2,
+                faults: 0,
             },
             &ExecutionOutcome::Terminated,
             4,

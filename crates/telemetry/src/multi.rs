@@ -135,6 +135,18 @@ impl SearchObserver for MultiObserver<'_> {
         }
     }
 
+    fn fault_injected(&mut self, site: SiteId, step: usize) {
+        for o in &mut self.observers {
+            o.fault_injected(site, step);
+        }
+    }
+
+    fn worker_panic(&mut self, worker: usize, message: &str) {
+        for o in &mut self.observers {
+            o.worker_panic(worker, message);
+        }
+    }
+
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
         for o in &mut self.observers {
             o.phase_time(phase, elapsed);

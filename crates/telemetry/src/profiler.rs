@@ -183,6 +183,10 @@ impl SearchObserver for ExplorationProfiler {
         self.attribution.preemption(site);
     }
 
+    fn fault_injected(&mut self, site: SiteId, _step: usize) {
+        self.attribution.fault(site);
+    }
+
     fn phase_time(&mut self, phase: Phase, elapsed: Duration) {
         self.phases.add(phase, elapsed);
     }

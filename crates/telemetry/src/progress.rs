@@ -259,6 +259,7 @@ mod tests {
         p.bound_completed(
             &BoundStats {
                 bound: 0,
+                faults: 0,
                 executions: 1,
                 cumulative_states: 2,
                 bugs_found: 0,

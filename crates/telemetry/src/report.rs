@@ -47,6 +47,8 @@ pub struct SiteRow {
     pub executions: usize,
     /// Preemptions that interrupted an operation of this site.
     pub preemptions: usize,
+    /// Faults injected at an operation of this site.
+    pub faults: usize,
     /// Distinct states newly discovered by executions that preempted
     /// this site (each such execution's coverage delta is credited to
     /// every site it preempted).
@@ -187,6 +189,7 @@ struct Counters {
     choices: usize,
     executions: usize,
     preemptions: usize,
+    faults: usize,
     states_unlocked: usize,
 }
 
@@ -210,6 +213,12 @@ impl<K: Ord + Clone> Attribution<K> {
     pub(crate) fn preemption(&mut self, site: K) {
         self.sites.entry(site.clone()).or_default().preemptions += 1;
         self.exec_preemptions.push(site);
+    }
+
+    /// A fault was injected at an operation of `site`.
+    pub(crate) fn fault(&mut self, site: K) {
+        self.sites.entry(site.clone()).or_default().faults += 1;
+        self.exec_sites.insert(site);
     }
 
     /// Closes the current execution: attributes it to every site it
@@ -245,12 +254,14 @@ impl<K: Ord + Clone> Attribution<K> {
                 choices: c.choices,
                 executions: c.executions,
                 preemptions: c.preemptions,
+                faults: c.faults,
                 states_unlocked: c.states_unlocked,
             })
             .collect();
         rows.sort_by(|a, b| {
             b.preemptions
                 .cmp(&a.preemptions)
+                .then(b.faults.cmp(&a.faults))
                 .then(b.choices.cmp(&a.choices))
                 .then(a.site.cmp(&b.site))
         });
@@ -394,6 +405,11 @@ impl RunReport {
                 "preemption-taken" => {
                     if let Some(site) = field_str(line, "site") {
                         attribution.preemption(site);
+                    }
+                }
+                "fault-injected" => {
+                    if let Some(site) = field_str(line, "site") {
+                        attribution.fault(site);
                     }
                 }
                 "phase-time" => {
@@ -549,11 +565,13 @@ impl RunReport {
                     choices: 0,
                     executions: 0,
                     preemptions: 0,
+                    faults: 0,
                     states_unlocked: 0,
                 });
                 entry.choices += site.choices;
                 entry.executions += site.executions;
                 entry.preemptions += site.preemptions;
+                entry.faults += site.faults;
                 entry.states_unlocked += site.states_unlocked;
             }
             phases.replay += seg.phases.replay;
@@ -591,6 +609,7 @@ impl RunReport {
         site_rows.sort_by(|a, b| {
             b.preemptions
                 .cmp(&a.preemptions)
+                .then(b.faults.cmp(&a.faults))
                 .then(b.choices.cmp(&a.choices))
                 .then(a.site.cmp(&b.site))
         });
@@ -794,7 +813,7 @@ fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
         let hot: Vec<&SiteRow> = run
             .sites
             .iter()
-            .filter(|s| s.preemptions > 0)
+            .filter(|s| s.preemptions > 0 || s.faults > 0)
             .take(top)
             .collect();
         if !hot.is_empty() {
@@ -803,21 +822,27 @@ fn render(runs: &[RunReport], top: usize, markdown: bool) -> String {
                 &format!("Hottest preemption sites (top {})", hot.len()),
                 markdown,
             );
-            let mut t = Table::new(vec![
-                "site",
-                "preemptions",
-                "choice points",
-                "executions",
-                "states unlocked",
-            ]);
+            // The faults column only appears when a fault-bound run
+            // actually injected faults, so fault-free reports render
+            // exactly as they did before fault bounding existed.
+            let faulted = hot.iter().any(|s| s.faults > 0);
+            let mut headers = vec!["site", "preemptions"];
+            if faulted {
+                headers.push("faults");
+            }
+            headers.extend(["choice points", "executions", "states unlocked"]);
+            let mut t = Table::new(headers);
             for s in hot {
-                t.row(vec![
-                    s.site.clone(),
-                    s.preemptions.to_string(),
+                let mut row = vec![s.site.clone(), s.preemptions.to_string()];
+                if faulted {
+                    row.push(s.faults.to_string());
+                }
+                row.extend([
                     s.choices.to_string(),
                     s.executions.to_string(),
                     s.states_unlocked.to_string(),
                 ]);
+                t.row(row);
             }
             t.render(&mut out, markdown);
             out.push('\n');

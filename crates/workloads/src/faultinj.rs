@@ -1,0 +1,275 @@
+//! Fault-injection workloads: bugs that no purely preemption-bounded
+//! search can reach.
+//!
+//! Both programs are clean under every schedule at fault bound 0 — the
+//! fallible operations they use (`Mutex::try_lock`, `Condvar::wait`)
+//! cannot fail without the scheduler injecting a fault, because the
+//! locks are uncontended and the condition variables are only notified
+//! after their predicates hold. The seeded bugs are error-handling
+//! mistakes, visible exactly at fault bound ≥ 1:
+//!
+//! - [`retry_lock_program`]: workers publish one update each through a
+//!   thread-private lock acquired with `try_lock`. The buggy variant
+//!   sheds the update after a single failed attempt instead of
+//!   retrying, losing it — minimal witness `(0 preemptions, 1 fault)`.
+//! - [`spurious_consumer_program`]: a producer/consumer handshake whose
+//!   buggy consumer guards `Condvar::wait` with `if` instead of
+//!   `while`, so a spurious wakeup lets it consume before the item is
+//!   ready — minimal witness `(0 preemptions, 1 fault)`.
+//!
+//! [`faultinj_model`] is the retry loop as a VM model built on the
+//! [`fail_point`](icb_statevm::ThreadBuilder::fail_point) instruction,
+//! for the explicit-state side (where fail points never fire, so the
+//! model doubles as a state-count baseline for the fault-free space).
+
+use std::sync::Arc;
+
+use icb_runtime::sync::{AtomicI64, Condvar, Mutex};
+use icb_runtime::{thread, RuntimeProgram};
+use icb_statevm::{Model, ModelBuilder};
+
+/// How a worker reacts to a failed `try_lock`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryVariant {
+    /// Retry until the lock is acquired: correct under any fault bound
+    /// (the bound itself guarantees the loop terminates).
+    Correct,
+    /// Shed the update after the first failure — the seeded lost-update
+    /// bug, reachable only with an injected fault.
+    ShedOnFailure,
+}
+
+/// How the consumer guards its `Condvar::wait`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsumerVariant {
+    /// `while !ready { wait }`: rechecks after every wakeup, absorbing
+    /// spurious ones. Correct under any fault bound.
+    WhileRecheck,
+    /// `if !ready { wait }`: trusts the first wakeup — the seeded
+    /// missing-recheck bug, reachable only via a spurious wakeup.
+    IfNoRecheck,
+}
+
+/// `workers` threads each publish one update through a thread-private
+/// lock acquired with `try_lock`; the main task asserts that no update
+/// was lost.
+///
+/// Every lock is owned by exactly one worker, so `try_lock` can fail
+/// *only* by injected fault: at fault bound 0 this program is correct
+/// under every schedule, buggy variant included.
+pub fn retry_lock_program(variant: RetryVariant, workers: usize) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let total = Arc::new(AtomicI64::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let total = Arc::clone(&total);
+                thread::spawn(move || {
+                    // Thread-private: contention-free, so failure means
+                    // an injected fault (a "timed-out" acquisition).
+                    let cell = Mutex::new(0i64);
+                    loop {
+                        match cell.try_lock() {
+                            Some(mut slot) => {
+                                *slot += 1;
+                                break;
+                            }
+                            None => match variant {
+                                RetryVariant::Correct => continue,
+                                // BUG: gives up and drops the update.
+                                RetryVariant::ShedOnFailure => break,
+                            },
+                        }
+                    }
+                    total.fetch_add(cell.into_inner());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(
+            total.load(),
+            workers as i64,
+            "an update was shed on try_lock failure"
+        );
+    })
+}
+
+/// A one-item producer/consumer handshake over a condition variable.
+///
+/// The producer sets `ready` under the lock before notifying, and the
+/// consumer holds the lock from its check through the wait, so at fault
+/// bound 0 no schedule can wake the consumer early and both variants
+/// are correct. A spurious wakeup (an injected `Condvar::wait` fault)
+/// breaks the `if`-guarded variant.
+pub fn spurious_consumer_program(variant: ConsumerVariant) -> RuntimeProgram {
+    RuntimeProgram::new(move || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                *lock.lock() = true;
+                cv.notify_one();
+            })
+        };
+        let consumer = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                match variant {
+                    ConsumerVariant::WhileRecheck => {
+                        while !*ready {
+                            ready = cv.wait(ready);
+                        }
+                    }
+                    ConsumerVariant::IfNoRecheck => {
+                        // BUG: a spurious wakeup skips the recheck.
+                        if !*ready {
+                            ready = cv.wait(ready);
+                        }
+                    }
+                }
+                assert!(*ready, "consumed before the item was ready");
+            })
+        };
+        producer.join();
+        consumer.join();
+    })
+}
+
+/// The correct retry loop as a VM model, one `fail-point` instruction
+/// per attempt.
+///
+/// Under the stateless adapter the fail point is a searched binary
+/// choice; under the explicit-state checker it never fires, so the
+/// model also serves as the fault-free state-count baseline.
+pub fn faultinj_model(workers: usize) -> Model {
+    let mut m = ModelBuilder::new();
+    let total = m.global("total", 0);
+    for _ in 0..workers {
+        m.thread("worker", |t| {
+            let failed = t.local();
+            let old = t.local();
+            let retry = t.new_label();
+            t.place(retry);
+            t.fail_point("cell-update", failed);
+            t.jump_if(failed.ne(0), retry);
+            t.fetch_add(total, 1, old);
+            t.assert(old.ge(0), "count never regresses");
+        });
+    }
+    m.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icb_core::search::{Search, SearchConfig};
+    use icb_core::ControlledProgram;
+
+    fn search(
+        program: &(dyn ControlledProgram + Sync),
+        fault_bound: usize,
+    ) -> icb_core::search::SearchReport {
+        Search::over(program)
+            .config(SearchConfig {
+                fault_bound,
+                ..SearchConfig::default()
+            })
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn shed_on_failure_is_invisible_without_faults() {
+        let program = retry_lock_program(RetryVariant::ShedOnFailure, 2);
+        let report = search(&program, 0);
+        assert!(report.completed, "small program must exhaust");
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn shed_on_failure_found_at_one_fault_with_minimal_witness() {
+        let program = retry_lock_program(RetryVariant::ShedOnFailure, 2);
+        let report = search(&program, 1);
+        let bug = report.bugs.first().expect("lost update under fault");
+        assert_eq!(
+            (bug.preemptions, bug.faults),
+            (0, 1),
+            "witness must be fault-minimal: {bug:?}"
+        );
+        assert_eq!(bug.schedule.fault_count(), 1);
+        match &bug.outcome {
+            icb_core::ExecutionOutcome::AssertionFailure { message, .. } => {
+                assert!(message.contains("shed"), "got: {message}");
+            }
+            other => panic!("expected assertion failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn shed_witness_replays_byte_identically() {
+        let program = retry_lock_program(RetryVariant::ShedOnFailure, 2);
+        let report = search(&program, 1);
+        let bug = report.bugs.first().expect("bug");
+        let mut replay = icb_core::ReplayScheduler::new(bug.schedule.clone());
+        let result = program.execute(&mut replay, &mut icb_core::NullSink);
+        assert!(result.outcome.is_bug(), "witness must replay as a bug");
+        assert_eq!(result.trace.schedule(), bug.schedule);
+        assert_eq!(result.stats.faults, 1);
+    }
+
+    #[test]
+    fn retry_variant_survives_faults() {
+        let program = retry_lock_program(RetryVariant::Correct, 2);
+        let report = search(&program, 2);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn missing_recheck_is_invisible_without_faults() {
+        let program = spurious_consumer_program(ConsumerVariant::IfNoRecheck);
+        let report = search(&program, 0);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn missing_recheck_fails_on_spurious_wakeup() {
+        let program = spurious_consumer_program(ConsumerVariant::IfNoRecheck);
+        let report = search(&program, 1);
+        let bug = report.bugs.first().expect("spurious wakeup bug");
+        assert_eq!((bug.preemptions, bug.faults), (0, 1), "{bug:?}");
+        match &bug.outcome {
+            icb_core::ExecutionOutcome::AssertionFailure { message, .. } => {
+                assert!(message.contains("ready"), "got: {message}");
+            }
+            other => panic!("expected assertion failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn while_recheck_survives_spurious_wakeups() {
+        let program = spurious_consumer_program(ConsumerVariant::WhileRecheck);
+        let report = search(&program, 2);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+    }
+
+    #[test]
+    fn vm_retry_model_is_clean_and_fault_searchable() {
+        // Stateless adapter: faults explored, retry loop stays correct.
+        let model = faultinj_model(2);
+        let report = search(&model, 2);
+        assert!(report.completed);
+        assert!(report.bugs.is_empty(), "bugs: {:?}", report.bugs);
+        // Explicit-state side: fail points never fire, model terminates.
+        use icb_statevm::{ExplicitConfig, ExplicitIcb};
+        let explicit = ExplicitIcb::new(ExplicitConfig::default()).run(&model);
+        assert!(explicit.completed);
+        assert!(explicit.bugs.is_empty());
+    }
+}

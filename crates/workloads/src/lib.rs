@@ -9,6 +9,7 @@
 //! | [`txnmgr`] | transaction manager (ZING model) | 2 | 3 seeded (bounds 2–3) |
 //! | [`ape`] | asynchronous processing environment | 3 | 4 seeded (bounds 0–2) |
 //! | [`dryad`] | Dryad shared-memory channels | 5 | 5 seeded (bounds 0–1) |
+//! | [`faultinj`] | fault-injection extension (not in the paper) | 3 | 2 seeded (fault bound 1) |
 //!
 //! Every benchmark exists in two forms where the experiments need both:
 //! a native-Rust program against the `icb-runtime` primitives (the CHESS
@@ -24,6 +25,7 @@
 pub mod ape;
 pub mod bluetooth;
 pub mod dryad;
+pub mod faultinj;
 pub mod filesystem;
 pub mod registry;
 pub mod txnmgr;

@@ -10,6 +10,9 @@ use icb_statevm::Model;
 use crate::ape::{ape_model, ape_program, ApeVariant};
 use crate::bluetooth::{bluetooth_model, bluetooth_program, BluetoothVariant};
 use crate::dryad::{dryad_model, dryad_program, DryadVariant};
+use crate::faultinj::{
+    faultinj_model, retry_lock_program, spurious_consumer_program, ConsumerVariant, RetryVariant,
+};
 use crate::filesystem::{filesystem_model, filesystem_program, FsParams};
 use crate::txnmgr::{txnmgr_model, TxnVariant};
 use crate::wsq::{wsq_model, wsq_program, WsqVariant};
@@ -90,6 +93,11 @@ pub struct BugSpec {
     /// The minimal preemption bound of this reimplementation's bug, as
     /// verified by the workload test suites.
     pub expected_bound: usize,
+    /// The minimal fault bound of the bug: how many injected faults its
+    /// minimum-`(preemptions, faults)` witness needs. Zero for every
+    /// bug of the paper's inventory; the harness must search with
+    /// `fault_bound >= expected_faults` to find the bug at all.
+    pub expected_faults: usize,
     /// Builds the buggy program.
     pub build: fn() -> AnyProgram,
 }
@@ -124,6 +132,7 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
             bugs: vec![BugSpec {
                 name: "check-then-increment",
                 expected_bound: 1,
+                expected_faults: 0,
                 build: || AnyProgram::Runtime(bluetooth_program(BluetoothVariant::Buggy, 2)),
             }],
         },
@@ -145,11 +154,13 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "tail-publish-first",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(wsq_program(WsqVariant::TailPublishFirst, 3, 2)),
                 },
                 BugSpec {
                     name: "missing-tail-restore",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || {
                         AnyProgram::Runtime(wsq_program(WsqVariant::MissingTailRestore, 3, 2))
                     },
@@ -157,6 +168,7 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "non-atomic-steal",
                     expected_bound: 2,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(wsq_program(WsqVariant::NonAtomicSteal, 3, 2)),
                 },
             ],
@@ -171,16 +183,19 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "commit-toctou",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Vm(txnmgr_model(TxnVariant::CommitToctou)),
                 },
                 BugSpec {
                     name: "unlocked-scan",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Vm(txnmgr_model(TxnVariant::UnlockedScan)),
                 },
                 BugSpec {
                     name: "torn-flush",
                     expected_bound: 2,
+                    expected_faults: 0,
                     build: || AnyProgram::Vm(txnmgr_model(TxnVariant::TornFlush)),
                 },
             ],
@@ -195,21 +210,25 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "missing-join",
                     expected_bound: 0,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(ape_program(ApeVariant::MissingJoin, 2)),
                 },
                 BugSpec {
                     name: "poison-shortcut",
                     expected_bound: 0,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(ape_program(ApeVariant::PoisonShortcut, 2)),
                 },
                 BugSpec {
                     name: "untracked-insert",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(ape_program(ApeVariant::UntrackedInsert, 2)),
                 },
                 BugSpec {
                     name: "non-atomic-release",
                     expected_bound: 2,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(ape_program(ApeVariant::NonAtomicRelease, 2)),
                 },
             ],
@@ -224,6 +243,7 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "stop-jumps-queue",
                     expected_bound: 0,
+                    expected_faults: 0,
                     build: || {
                         AnyProgram::Runtime(dryad_program(DryadVariant::StopJumpsQueue, 2, 2))
                     },
@@ -231,11 +251,13 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "close-no-wait (Fig. 3 UAF)",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(dryad_program(DryadVariant::CloseNoWait, 2, 2)),
                 },
                 BugSpec {
                     name: "ack-before-alert",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || {
                         AnyProgram::Runtime(dryad_program(DryadVariant::AckBeforeAlert, 2, 2))
                     },
@@ -243,13 +265,43 @@ pub fn all_benchmarks() -> Vec<BenchmarkInfo> {
                 BugSpec {
                     name: "unsync-stats",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || AnyProgram::Runtime(dryad_program(DryadVariant::UnsyncStats, 2, 2)),
                 },
                 BugSpec {
                     name: "unlocked-untrack",
                     expected_bound: 1,
+                    expected_faults: 0,
                     build: || {
                         AnyProgram::Runtime(dryad_program(DryadVariant::UnlockedUntrack, 2, 2))
+                    },
+                },
+            ],
+        },
+        // Extension beyond the paper's Table 1: fault-dependent bugs,
+        // invisible to every purely preemption-bounded search (see
+        // DESIGN.md §12). `paper_loc` is 0: there is no Table 1 row.
+        BenchmarkInfo {
+            name: "Fault Injection",
+            paper_threads: 3,
+            paper_loc: 0,
+            correct: || AnyProgram::Runtime(retry_lock_program(RetryVariant::Correct, 2)),
+            vm_model: Some(|| faultinj_model(2)),
+            bugs: vec![
+                BugSpec {
+                    name: "shed-on-try-lock-failure",
+                    expected_bound: 0,
+                    expected_faults: 1,
+                    build: || {
+                        AnyProgram::Runtime(retry_lock_program(RetryVariant::ShedOnFailure, 2))
+                    },
+                },
+                BugSpec {
+                    name: "missing-spurious-recheck",
+                    expected_bound: 0,
+                    expected_faults: 1,
+                    build: || {
+                        AnyProgram::Runtime(spurious_consumer_program(ConsumerVariant::IfNoRecheck))
                     },
                 },
             ],
@@ -264,13 +316,18 @@ mod tests {
     #[test]
     fn registry_matches_the_paper_inventory() {
         let benches = all_benchmarks();
-        assert_eq!(benches.len(), 6);
-        let total_bugs: usize = benches.iter().map(|b| b.bugs.len()).sum();
-        // 16 bugs: 7 previously known (Bluetooth 1 + WSQ 3 + TxnMgr 3)
-        // plus the 9 found in APE (4) and Dryad (5). The paper's Table 2
-        // caption says "14", but its own rows sum to 16 (and the text's
-        // 7 known + 9 new = 16); we reproduce the rows.
-        assert_eq!(total_bugs, 16);
+        // Table 1's six benchmarks plus the fault-injection extension.
+        assert_eq!(benches.len(), 7);
+        let paper_bugs: usize = benches
+            .iter()
+            .flat_map(|b| &b.bugs)
+            .filter(|bug| bug.expected_faults == 0)
+            .count();
+        // 16 paper bugs: 7 previously known (Bluetooth 1 + WSQ 3 +
+        // TxnMgr 3) plus the 9 found in APE (4) and Dryad (5). The
+        // paper's Table 2 caption says "14", but its own rows sum to 16
+        // (and the text's 7 known + 9 new = 16); we reproduce the rows.
+        assert_eq!(paper_bugs, 16);
         // Every bug is reachable within 2 preemptions — the paper's
         // headline claim ("each of which was exposed by an execution
         // with at most 2 preempting context switches" for the new ones).
@@ -278,6 +335,17 @@ mod tests {
             .iter()
             .flat_map(|b| &b.bugs)
             .all(|bug| bug.expected_bound <= 2));
+        // The extension's bugs need faults but no preemptions at all:
+        // the fault dimension is orthogonal to the preemption dimension.
+        let fault_bugs: Vec<_> = benches
+            .iter()
+            .flat_map(|b| &b.bugs)
+            .filter(|bug| bug.expected_faults > 0)
+            .collect();
+        assert_eq!(fault_bugs.len(), 2);
+        assert!(fault_bugs
+            .iter()
+            .all(|bug| bug.expected_bound == 0 && bug.expected_faults == 1));
     }
 
     #[test]
@@ -306,7 +374,11 @@ mod tests {
     fn bound_distribution_matches_the_papers_shape() {
         let benches = all_benchmarks();
         let mut by_bound = [0usize; 4];
-        for bug in benches.iter().flat_map(|b| &b.bugs) {
+        for bug in benches
+            .iter()
+            .flat_map(|b| &b.bugs)
+            .filter(|bug| bug.expected_faults == 0)
+        {
             by_bound[bug.expected_bound.min(3)] += 1;
         }
         // Paper's Table 2 column sums: 3 at bound 0, 7 at bound 1, 5 at

@@ -59,6 +59,7 @@ fn every_seeded_bug_is_found_by_icb_at_its_expected_bound() {
                 .config(SearchConfig {
                     max_executions: Some(500_000),
                     stop_on_first_bug: true,
+                    fault_bound: bug.expected_faults,
                     ..SearchConfig::default()
                 })
                 .run()
@@ -68,9 +69,38 @@ fn every_seeded_bug_is_found_by_icb_at_its_expected_bound() {
                 .next()
                 .unwrap_or_else(|| panic!("{}/{} not found", bench.name, bug.name));
             assert_eq!(
-                found.preemptions, bug.expected_bound,
+                (found.preemptions, found.faults),
+                (bug.expected_bound, bug.expected_faults),
                 "{}/{}: bound drifted",
+                bench.name,
+                bug.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_bugs_are_invisible_below_their_fault_bound() {
+    // The fault dimension is real: searching the fault-dependent bugs
+    // with fault_bound 0 — even exhaustively — finds nothing.
+    for bench in all_benchmarks() {
+        for bug in bench.bugs.iter().filter(|bug| bug.expected_faults > 0) {
+            let program = (bug.build)();
+            let report = Search::over(&program)
+                .config(SearchConfig::with_max_executions(100_000))
+                .run()
+                .unwrap();
+            assert!(
+                report.completed,
+                "{}/{}: fault-free space must exhaust",
                 bench.name, bug.name
+            );
+            assert!(
+                report.bugs.is_empty(),
+                "{}/{}: found without faults: {:?}",
+                bench.name,
+                bug.name,
+                report.bugs
             );
         }
     }

@@ -121,11 +121,16 @@ fn small_bounds_find_most_bugs() {
     let mut total = 0;
     for bench in all_benchmarks() {
         for bug in &bench.bugs {
+            assert!(bug.expected_bound <= 2, "{}: bound > 2", bug.name);
+            if bug.expected_faults > 0 {
+                // The fault-injection extension is outside the paper's
+                // Table 2 tally (its bugs need no preemptions at all).
+                continue;
+            }
             total += 1;
             if bug.expected_bound <= 1 {
                 found_at_or_below_1 += 1;
             }
-            assert!(bug.expected_bound <= 2, "{}: bound > 2", bug.name);
         }
     }
     assert_eq!(total, 16);
